@@ -1,0 +1,103 @@
+//! Criterion microbenchmarks for the OS layer: partition allocation
+//! churn, page-replacement stepping, and a full system simulation run.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fpga::{ConfigPort, ConfigTiming};
+use fsim::{SimDuration, SimRng};
+use std::sync::Arc;
+use vfpga::manager::dynload::DynLoadManager;
+use vfpga::manager::partition::{PartitionManager, PartitionMode};
+use vfpga::manager::{Activation, FpgaManager};
+use vfpga::vmem::{PagingSim, Replacement, SegmentedFunction};
+use vfpga::{PreemptAction, RoundRobinScheduler, System, SystemConfig, TaskId};
+use workload::{poisson_tasks, Domain, MixParams};
+
+fn setup() -> (Arc<vfpga::CircuitLib>, Vec<vfpga::CircuitId>, ConfigTiming) {
+    let spec = fpga::device::part("VF400");
+    let mut lib = vfpga::CircuitLib::new();
+    let mut ids = Vec::new();
+    for app in workload::suite(Domain::Telecom, spec.rows).apps {
+        ids.push(lib.register_compiled(app.compiled));
+    }
+    (
+        Arc::new(lib),
+        ids,
+        ConfigTiming { spec, port: ConfigPort::SerialFast },
+    )
+}
+
+fn bench_partition_churn(c: &mut Criterion) {
+    let (lib, ids, timing) = setup();
+    c.bench_function("partition_activate_release_churn", |b| {
+        b.iter_batched(
+            || {
+                PartitionManager::new(
+                    lib.clone(),
+                    timing,
+                    PartitionMode::Variable,
+                    PreemptAction::SaveRestore,
+                )
+            },
+            |mut m| {
+                for round in 0..50u32 {
+                    for (k, &cid) in ids.iter().enumerate() {
+                        let t = TaskId(round * 16 + k as u32);
+                        if let Activation::Ready { .. } = m.activate(t, cid) {
+                            m.op_done(t, cid);
+                        }
+                        m.task_exit(t);
+                    }
+                }
+                m.stats().downloads
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_paging_step(c: &mut Criterion) {
+    let func = SegmentedFunction { segment_widths: vec![3, 5, 2, 4, 6, 8, 2, 3] };
+    let timing = ConfigTiming {
+        spec: fpga::device::part("VF400"),
+        port: ConfigPort::SerialFast,
+    };
+    let trace: Vec<usize> = {
+        let mut rng = SimRng::new(9);
+        (0..10_000).map(|_| rng.below(8) as usize).collect()
+    };
+    c.bench_function("paging_10k_refs_lru", |b| {
+        b.iter_batched(
+            || PagingSim::new(&func, timing, 16, 4, Replacement::Lru),
+            |mut p| p.run_trace(&trace).faults,
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_full_system(c: &mut Criterion) {
+    let (lib, ids, timing) = setup();
+    let mut g = c.benchmark_group("system");
+    g.sample_size(10);
+    g.bench_function("poisson_mix_8tasks_dynload", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = SimRng::new(7);
+                let specs = poisson_tasks(&MixParams::default(), &ids, &mut rng);
+                let mgr = DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion);
+                System::new(
+                    lib.clone(),
+                    mgr,
+                    RoundRobinScheduler::new(SimDuration::from_millis(5)),
+                    SystemConfig::default(),
+                    specs,
+                )
+            },
+            |sys| sys.run().makespan,
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_partition_churn, bench_paging_step, bench_full_system);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! E2 — Dynamic-loading overhead vs time-slice length (paper §3).
+//!
+//! Claim operationalized: "The applicability of dynamic loading is limited
+//! by the time required to physically download the FPGA configuration …
+//! Changing the configuration upon explicit request is feasible if it is
+//! required not too often with respect to … the time slice in time-shared
+//! systems."
+//!
+//! Six tasks, each with its own circuit, round-robin over a slice swept
+//! from 1 ms to 1 s, on (a) the serial-only port (full reconfiguration
+//! every switch) and (b) the partial-reconfiguration port. The overhead
+//! fraction collapses once the slice dwarfs the download time.
+
+use bench::report::{f3, pct, Table};
+use bench::setup::compile_suite_lib;
+use fpga::{ConfigPort, ConfigTiming};
+use fsim::{SimDuration, SimRng};
+use vfpga::manager::dynload::DynLoadManager;
+use vfpga::{PreemptAction, RoundRobinScheduler, System, SystemConfig};
+use workload::{poisson_tasks, Domain, MixParams};
+
+fn main() {
+    let spec = fpga::device::part("VF800");
+    let (lib, ids) = compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec);
+
+    let slices_ms = [1u64, 2, 5, 10, 20, 50, 100, 200, 500, 1000];
+    let mut t = Table::new(
+        "E2: dynamic loading — overhead fraction vs round-robin slice",
+        &[
+            "slice", "port", "downloads", "overhead frac", "cpu util", "makespan (s)",
+            "mean turnaround (s)",
+        ],
+    );
+
+    for (pname, port) in [("serial-slow", ConfigPort::SerialSlow), ("serial-fast", ConfigPort::SerialFast)] {
+        for &slice in &slices_ms {
+            let timing = ConfigTiming { spec, port };
+            let mut rng = SimRng::new(0xE02);
+            let params = MixParams {
+                tasks: 6,
+                mean_interarrival: SimDuration::from_millis(1),
+                mean_cpu_burst: SimDuration::from_millis(8),
+                fpga_ops_per_task: 4,
+                cycles: (100_000, 400_000),
+            };
+            let specs = poisson_tasks(&params, &ids, &mut rng);
+            // SaveRestore so FPGA operations are themselves time-sliced:
+            // at small slices every preemption lets another task's circuit
+            // evict this one, forcing a re-download on resume — the
+            // thrashing regime the paper warns about.
+            let mgr = DynLoadManager::new(lib.clone(), timing, PreemptAction::SaveRestore);
+            let sys = System::new(
+                lib.clone(),
+                mgr,
+                RoundRobinScheduler::new(SimDuration::from_millis(slice)),
+                SystemConfig { preempt: PreemptAction::SaveRestore, ..Default::default() },
+                specs,
+            );
+            let r = sys.run();
+            t.row(vec![
+                format!("{slice} ms"),
+                pname.into(),
+                r.manager_stats.downloads.to_string(),
+                pct(r.overhead_fraction()),
+                pct(r.cpu_utilization()),
+                f3(r.makespan.as_secs_f64()),
+                f3(r.mean_turnaround_s()),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nReference: full serial-slow download = {:.1} ms, partial (per circuit) ≈ a few ms.",
+        ConfigTiming { spec, port: ConfigPort::SerialSlow }
+            .full_config_time()
+            .as_millis_f64()
+    );
+}

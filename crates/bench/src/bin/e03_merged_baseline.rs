@@ -1,0 +1,103 @@
+//! E3 — The merged-circuit trivial solution vs dynamic loading (paper §3).
+//!
+//! Claim operationalized: "If the FPGA is large enough to accommodate
+//! contemporaneously all circuits required by all applications, a trivial
+//! solution is to merge all circuits into only one … The general solution
+//! is indeed dynamic loading."
+//!
+//! Growing circuit sets on a fixed device: the merge fits up to a point
+//! (zero per-switch overhead, one boot download), then area/pins overflow
+//! and only dynamic loading can serve the set — at a per-switch price.
+
+use bench::report::{f3, Table};
+use bench::setup::compile_suite_lib;
+use fpga::{ConfigPort, ConfigTiming};
+use fsim::{SimDuration, SimRng};
+use std::sync::Arc;
+use vfpga::manager::dynload::DynLoadManager;
+use vfpga::manager::merged::MergedManager;
+use vfpga::{CircuitId, PreemptAction, RoundRobinScheduler, System, SystemConfig};
+use workload::{poisson_tasks, Domain, MixParams};
+
+fn main() {
+    let spec = fpga::device::part("VF400");
+    let (full_lib, all_ids) = compile_suite_lib(
+        &[Domain::Telecom, Domain::Storage, Domain::Networking],
+        spec,
+    );
+
+    let mut t = Table::new(
+        "E3: merged circuit vs dynamic loading on VF400",
+        &[
+            "circuits", "total cols", "merge fits?", "merged makespan (s)",
+            "dynload makespan (s)", "dynload downloads", "merged speedup",
+        ],
+    );
+
+    for n in 2..=all_ids.len() {
+        // Sub-library with circuits renumbered 0..n.
+        let lib = Arc::new(full_lib.subset(&all_ids[..n]));
+        let ids: Vec<CircuitId> = (0..n as u32).map(CircuitId).collect();
+        let total_cols: u32 = ids.iter().map(|&i| lib.get(i).shape().0).sum();
+        let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+
+        let mut rng = SimRng::new(0xE03);
+        let params = MixParams {
+            tasks: n,
+            mean_interarrival: SimDuration::from_millis(1),
+            mean_cpu_burst: SimDuration::from_millis(2),
+            fpga_ops_per_task: 5,
+            cycles: (50_000, 200_000),
+        };
+        let specs = poisson_tasks(&params, &ids, &mut rng);
+
+        let dyn_r = {
+            let mgr = DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion);
+            System::new(
+                lib.clone(),
+                mgr,
+                RoundRobinScheduler::new(SimDuration::from_millis(5)),
+                SystemConfig::default(),
+                specs.clone(),
+            )
+            .run()
+        };
+
+        match MergedManager::new(lib.clone(), timing) {
+            Ok(mgr) => {
+                let merged_r = System::new(
+                    lib.clone(),
+                    mgr,
+                    RoundRobinScheduler::new(SimDuration::from_millis(5)),
+                    SystemConfig::default(),
+                    specs,
+                )
+                .run();
+                t.row(vec![
+                    n.to_string(),
+                    total_cols.to_string(),
+                    "yes".into(),
+                    f3(merged_r.makespan.as_secs_f64()),
+                    f3(dyn_r.makespan.as_secs_f64()),
+                    dyn_r.manager_stats.downloads.to_string(),
+                    format!(
+                        "{:.2}x",
+                        dyn_r.makespan.as_secs_f64() / merged_r.makespan.as_secs_f64().max(1e-12)
+                    ),
+                ]);
+            }
+            Err(e) => {
+                t.row(vec![
+                    n.to_string(),
+                    total_cols.to_string(),
+                    format!("no ({e})"),
+                    "-".into(),
+                    f3(dyn_r.makespan.as_secs_f64()),
+                    dyn_r.manager_stats.downloads.to_string(),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    t.print();
+}

@@ -1,0 +1,107 @@
+//! E4 — Exclusive vs dynamic loading vs partitioning (paper §4).
+//!
+//! Claim operationalized: the non-preemptable exclusive device makes
+//! "parallelism of the execution of application tasks … greatly reduced,
+//! even implicitly forcing the scheduling to a strictly FIFO policy",
+//! while "partitioning is an effective technique to reduce the number of
+//! loading … operations … without impairing the parallelism in a relevant
+//! way".
+//!
+//! The same Poisson task mix runs under all three managers; partitioning
+//! should show the fewest downloads and the lowest waiting time.
+
+use bench::report::{f3, pct, Table};
+use bench::setup::compile_suite_lib;
+use fpga::{ConfigPort, ConfigTiming};
+use fsim::{SimDuration, SimRng};
+use vfpga::manager::dynload::DynLoadManager;
+use vfpga::manager::exclusive::ExclusiveManager;
+use vfpga::manager::partition::{PartitionManager, PartitionMode};
+use vfpga::{PreemptAction, Report, RoundRobinScheduler, System, SystemConfig, TaskSpec};
+use workload::{poisson_tasks, Domain, MixParams};
+
+fn run(r: Report, t: &mut Table) {
+    let blocked: u64 = r.tasks.iter().map(|x| x.blocked_count).sum();
+    t.row(vec![
+        r.manager.into(),
+        f3(r.makespan.as_secs_f64()),
+        f3(r.mean_waiting_s()),
+        f3(r.mean_turnaround_s()),
+        r.manager_stats.downloads.to_string(),
+        blocked.to_string(),
+        pct(r.overhead_fraction()),
+    ]);
+}
+
+fn main() {
+    let spec = fpga::device::part("VF800");
+    let (lib, ids) = compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec);
+    let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+    let slice = SimDuration::from_millis(10);
+
+    let specs: Vec<TaskSpec> = {
+        let mut rng = SimRng::new(0xE04);
+        poisson_tasks(
+            &MixParams {
+                tasks: 12,
+                mean_interarrival: SimDuration::from_millis(2),
+                mean_cpu_burst: SimDuration::from_millis(3),
+                fpga_ops_per_task: 6,
+                cycles: (100_000, 500_000),
+            },
+            &ids,
+            &mut rng,
+        )
+    };
+
+    let mut t = Table::new(
+        "E4: FPGA sharing policies under one Poisson mix (VF800, fast serial port)",
+        &[
+            "manager", "makespan (s)", "mean wait (s)", "mean turnaround (s)",
+            "downloads", "blocks", "overhead frac",
+        ],
+    );
+
+    run(
+        System::new(
+            lib.clone(),
+            ExclusiveManager::new(lib.clone(), timing),
+            RoundRobinScheduler::new(slice),
+            SystemConfig::default(),
+            specs.clone(),
+        )
+        .run(),
+        &mut t,
+    );
+    run(
+        System::new(
+            lib.clone(),
+            DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion),
+            RoundRobinScheduler::new(slice),
+            SystemConfig::default(),
+            specs.clone(),
+        )
+        .run(),
+        &mut t,
+    );
+    run(
+        System::new(
+            lib.clone(),
+            PartitionManager::new(
+                lib.clone(),
+                timing,
+                PartitionMode::Variable,
+                PreemptAction::SaveRestore,
+            ),
+            RoundRobinScheduler::new(slice),
+            SystemConfig {
+                preempt: PreemptAction::SaveRestore,
+                ..Default::default()
+            },
+            specs,
+        )
+        .run(),
+        &mut t,
+    );
+    t.print();
+}

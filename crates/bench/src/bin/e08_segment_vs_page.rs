@@ -1,0 +1,80 @@
+//! E8 — Segmentation vs pagination of an over-large function (paper §2).
+//!
+//! Claim operationalized: "segmentation decomposes the function … into
+//! smaller parts computing a self-contained sub-function and, as a
+//! consequence, having variable size; pagination partitions the function
+//! … into smaller portions of fixed size."
+//!
+//! One function larger than the device (segments sized from real compiled
+//! kernels) is demand-loaded under a Zipf reference trace while the column
+//! budget shrinks; pagination is additionally swept over page width and
+//! replacement policy. Pagination pays internal fragmentation (padding),
+//! segmentation pays external fragmentation (flushes).
+
+use bench::report::{f3, pct, Table};
+use fpga::{ConfigPort, ConfigTiming};
+use fsim::rng::Zipf;
+use fsim::SimRng;
+use vfpga::vmem::{PagingSim, Replacement, SegmentSim, SegmentedFunction};
+use workload::{suite, Domain};
+
+fn main() {
+    let spec = fpga::device::part("VF400");
+    let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+
+    // Segment widths from real compiled kernels across two domains.
+    let mut widths = Vec::new();
+    for d in [Domain::Multimedia, Domain::Networking] {
+        for app in suite(d, spec.rows).apps {
+            widths.push(app.compiled.shape().0);
+        }
+    }
+    let func = SegmentedFunction { segment_widths: widths.clone() };
+    let total = func.total_columns();
+    println!("function: {} segments, {} total columns, widths {:?}", widths.len(), total, widths);
+
+    // Zipf reference trace over segments.
+    let trace: Vec<usize> = {
+        let z = Zipf::new(widths.len(), 1.0);
+        let mut rng = SimRng::new(0xE08);
+        (0..2_000).map(|_| z.sample(&mut rng)).collect()
+    };
+
+    let mut t = Table::new(
+        "E8: segmentation vs pagination under a Zipf trace (2000 references)",
+        &[
+            "scheme", "budget", "fault rate", "load time (ms)", "padding cols",
+            "evictions", "flushes",
+        ],
+    );
+    for budget_pct in [100u32, 75, 50, 35] {
+        let budget = (total * budget_pct / 100).max(*widths.iter().max().unwrap());
+        // Segmentation.
+        let st = SegmentSim::new(func.clone(), timing, budget).run_trace(&trace);
+        t.row(vec![
+            "segmentation (LRU)".into(),
+            format!("{budget} ({budget_pct}%)"),
+            pct(st.fault_rate()),
+            f3(st.load_time.as_millis_f64()),
+            st.padding_columns.to_string(),
+            st.evictions.to_string(),
+            st.flushes.to_string(),
+        ]);
+        // Pagination at several page widths.
+        for page in [2u32, 4, 8] {
+            for policy in [Replacement::Lru, Replacement::Fifo, Replacement::Clock] {
+                let st = PagingSim::new(&func, timing, budget, page, policy).run_trace(&trace);
+                t.row(vec![
+                    format!("paging w={page} ({policy:?})"),
+                    format!("{budget} ({budget_pct}%)"),
+                    pct(st.fault_rate()),
+                    f3(st.load_time.as_millis_f64()),
+                    st.padding_columns.to_string(),
+                    st.evictions.to_string(),
+                    st.flushes.to_string(),
+                ]);
+            }
+        }
+    }
+    t.print();
+}

@@ -1,0 +1,57 @@
+//! E9 — Input/output multiplexing (paper §2).
+//!
+//! Claim operationalized: "input and output multiplexing is used … to
+//! increase the number of inputs and outputs when there are not enough
+//! physically available."
+//!
+//! Part 1 sweeps the virtual/physical pin ratio: time-division frames,
+//! throughput degradation, and the CLB cost of the mux/demux service
+//! logic. Part 2 runs the pin-assignment table: how many concurrent
+//! circuits a package can host before binding fails.
+
+use bench::report::{f3, pct, Table};
+use bench::setup::compile_suite_lib;
+use vfpga::iomux::{mux_plan, transfer_time, PinTable};
+use workload::Domain;
+
+fn main() {
+    // Part 1: widening.
+    let mut t = Table::new(
+        "E9a: time-division multiplexing of virtual pins (64 physical pins)",
+        &[
+            "virtual pins", "frames", "throughput", "service CLBs",
+            "10k transfers @10ns clk",
+        ],
+    );
+    for v in [32u32, 64, 96, 128, 192, 256, 512] {
+        let plan = mux_plan(v, 64);
+        t.row(vec![
+            v.to_string(),
+            plan.frames.to_string(),
+            pct(plan.throughput_factor()),
+            plan.service_clbs.to_string(),
+            f3(transfer_time(&plan, 10_000, 10.0).as_millis_f64()) + " ms",
+        ]);
+    }
+    t.print();
+
+    // Part 2: pin assignment across concurrent circuits.
+    let spec = fpga::device::part("VF400"); // 128 pins
+    let (lib, ids) = compile_suite_lib(&[Domain::Telecom, Domain::Storage, Domain::Networking], spec);
+    let mut t2 = Table::new(
+        format!("E9b: pin-table packing on {} ({} pins)", spec.name, spec.io_pins),
+        &["circuit", "io pins", "bound?", "free pins after"],
+    );
+    let mut table = PinTable::new(spec.io_pins);
+    for (k, &cid) in ids.iter().enumerate() {
+        let io = lib.get(cid).io_count() as u32;
+        let ok = table.bind(k as u32, io).is_some();
+        t2.row(vec![
+            lib.get(cid).name().into(),
+            io.to_string(),
+            if ok { "yes" } else { "NO (exhausted)" }.into(),
+            table.free_pins().to_string(),
+        ]);
+    }
+    t2.print();
+}

@@ -1,0 +1,92 @@
+//! E10 — Preempting sequential circuits: save/restore vs rollback (§3).
+//!
+//! Claim operationalized: "if the operating system is allowed to interrupt
+//! the execution of the algorithm in the FPGA before its completion … it
+//! must store all information which are necessary to roll-back the
+//! computation … In the case of FPGA implementing sequential circuits …
+//! the internal state of the sequential circuit must be observable … and
+//! controllable."
+//!
+//! A sequential kernel (LFSR scrambler) of growing op length competes with
+//! CPU tasks under a fixed round-robin slice. Wait-completion blocks the
+//! CPU tasks; rollback only terminates when the op fits in one slice;
+//! save/restore always terminates at a readback cost.
+
+use bench::report::{f3, pct, Table};
+use bench::setup::compile_suite_lib;
+use fpga::{ConfigPort, ConfigTiming};
+use fsim::{SimDuration, SimTime};
+use vfpga::manager::dynload::DynLoadManager;
+use vfpga::{
+    Op, PreemptAction, RoundRobinScheduler, System, SystemConfig, TaskSpec,
+};
+use workload::Domain;
+
+fn main() {
+    let spec = fpga::device::part("VF800");
+    let (lib, ids) = compile_suite_lib(&[Domain::Telecom], spec);
+    let scrambler = ids[0]; // LFSR: sequential
+    let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+    let slice = SimDuration::from_millis(10);
+    let per_cycle = lib.get(scrambler).run_time(1).as_nanos().max(1);
+
+    let mut t = Table::new(
+        "E10: preemption policy vs FPGA-op length (slice = 10 ms)",
+        &[
+            "op length", "policy", "completes?", "fpga turnaround (s)",
+            "lost time (s)", "state saves", "overhead frac",
+        ],
+    );
+
+    for op_ms in [2u64, 8, 25, 100] {
+        let cycles = (op_ms * 1_000_000) / per_cycle;
+        for policy in [
+            PreemptAction::WaitCompletion,
+            PreemptAction::Rollback,
+            PreemptAction::SaveRestore,
+        ] {
+            // Rollback with op > slice makes progress only once every
+            // competitor has left the ready queue (the OS skips pointless
+            // preemption when nobody else can run); the lost-time column
+            // shows the discarded work.
+            let specs = vec![
+                TaskSpec::new(
+                    "fpga-task",
+                    SimTime::ZERO,
+                    vec![Op::FpgaRun { circuit: scrambler, cycles }],
+                ),
+                TaskSpec::new("cpu-a", SimTime::ZERO, vec![Op::Cpu(SimDuration::from_millis(40))]),
+                TaskSpec::new("cpu-b", SimTime::ZERO, vec![Op::Cpu(SimDuration::from_millis(40))]),
+            ];
+            let mgr = DynLoadManager::new(lib.clone(), timing, policy);
+            let r = System::new(
+                lib.clone(),
+                mgr,
+                RoundRobinScheduler::new(slice),
+                SystemConfig { preempt: policy, ..Default::default() },
+                specs,
+            )
+            .run();
+            t.row(vec![
+                format!("{op_ms} ms"),
+                format!("{policy:?}"),
+                if r.tasks[0].lost_time > SimDuration::ZERO {
+                    "yes (after CPU tasks idle)".into()
+                } else {
+                    "yes".into()
+                },
+                f3(r.tasks[0].turnaround().as_secs_f64()),
+                f3(r.tasks[0].lost_time.as_secs_f64()),
+                r.manager_stats.state_saves.to_string(),
+                pct(r.overhead_fraction()),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nState footprint of the scrambler: {} flip-flops over {} frames; one readback = {:.3} ms",
+        lib.get(scrambler).state_bits(),
+        lib.get(scrambler).frames(),
+        timing.readback_time(lib.get(scrambler).frames()).as_millis_f64()
+    );
+}

@@ -1,0 +1,80 @@
+//! E11 — Completion detection: a-priori estimate vs done signal (§3).
+//!
+//! Claim operationalized: "This time can be estimated a priori by the
+//! compiler of the FPGA configuration … Alternatively, a suitable service
+//! logic circuit can be introduced in the FPGA itself to generate a
+//! control signal which becomes active only after the completion."
+//!
+//! One task runs 20 FPGA ops. The estimate path wastes `(factor−1)×op`
+//! per op; the done-signal path wastes at most one poll period plus the
+//! poll CPU cost. The table locates where each mechanism wins.
+
+use bench::report::{f3, pct, Table};
+use bench::setup::compile_suite_lib;
+use fpga::{ConfigPort, ConfigTiming};
+use fsim::{SimDuration, SimTime};
+use vfpga::manager::dynload::DynLoadManager;
+use vfpga::{
+    CompletionDetect, FifoScheduler, Op, PreemptAction, System, SystemConfig, TaskSpec,
+};
+use workload::Domain;
+
+fn main() {
+    let spec = fpga::device::part("VF800");
+    let (lib, ids) = compile_suite_lib(&[Domain::Networking], spec);
+    let cid = ids[0];
+    let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+    let cycles = 200_000u64;
+    let op_ms = lib.get(cid).run_time(cycles).as_millis_f64();
+
+    let mut detect_modes: Vec<(String, CompletionDetect)> = vec![
+        ("exact (ideal)".into(), CompletionDetect::Exact),
+    ];
+    for factor in [1.05, 1.1, 1.25, 1.5, 2.0] {
+        detect_modes.push((
+            format!("estimate x{factor}"),
+            CompletionDetect::Estimate { factor },
+        ));
+    }
+    for poll_us in [10u64, 100, 1_000, 10_000] {
+        detect_modes.push((
+            format!("done-signal poll {poll_us}us"),
+            CompletionDetect::DoneSignal { poll: SimDuration::from_micros(poll_us) },
+        ));
+    }
+
+    let mut t = Table::new(
+        format!("E11: completion detection over 20 ops of {op_ms:.2} ms each"),
+        &["mechanism", "makespan (s)", "overhead frac", "wasted per op (ms)"],
+    );
+    for (name, completion) in detect_modes {
+        let ops: Vec<Op> = (0..20)
+            .flat_map(|_| {
+                vec![
+                    Op::FpgaRun { circuit: cid, cycles },
+                    Op::Cpu(SimDuration::from_micros(200)),
+                ]
+            })
+            .collect();
+        let specs = vec![TaskSpec::new("t", SimTime::ZERO, ops)];
+        let mgr = DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion);
+        let r = System::new(
+            lib.clone(),
+            mgr,
+            FifoScheduler::new(),
+            SystemConfig { completion, ..Default::default() },
+            specs,
+        )
+        .run();
+        // Wasted time = overhead beyond the single configuration download.
+        let config = r.manager_stats.config_time;
+        let wasted = r.tasks[0].overhead_time.saturating_sub(config);
+        t.row(vec![
+            name,
+            f3(r.makespan.as_secs_f64()),
+            pct(r.overhead_fraction()),
+            f3(wasted.as_millis_f64() / 20.0),
+        ]);
+    }
+    t.print();
+}

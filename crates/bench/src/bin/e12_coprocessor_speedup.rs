@@ -1,0 +1,68 @@
+//! E12 — FPGA co-processing vs software execution (paper §1/§5).
+//!
+//! Claim operationalized: "frequently-executed algorithms can be
+//! downloaded on these boards to speed up the computation on the main
+//! processor" — and the flip side, that configuration time must amortize:
+//! small batches lose to software.
+//!
+//! For every kernel in every domain suite: software ns/item vs FPGA
+//! ns/item, raw speed-up, and the effective speed-up at batch sizes
+//! 1 / 100 / 10k / 1M items once the configuration download is charged.
+
+use bench::report::{f3, Table};
+use fpga::{ConfigPort, ConfigTiming};
+use workload::{suite, Domain};
+
+fn main() {
+    let spec = fpga::device::part("VF800");
+    let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+
+    let mut t = Table::new(
+        "E12: software vs FPGA co-processor (fast serial port, per-kernel)",
+        &[
+            "domain", "kernel", "sw ns/item", "hw ns/item", "raw speedup",
+            "config (ms)", "batch 1", "batch 100", "batch 10k", "batch 1M",
+            "break-even batch",
+        ],
+    );
+
+    for d in Domain::ALL {
+        let s = suite(d, spec.rows);
+        for app in &s.apps {
+            let frames = app.compiled.shape().0 as usize;
+            let config_ns = {
+                use fpga::config::{FRAME_ADDR_BITS, HEADER_BITS};
+                let bits =
+                    HEADER_BITS + frames as u64 * (FRAME_ADDR_BITS + timing.frame_bits());
+                bits.saturating_mul(1_000_000_000) / timing.port.bits_per_sec()
+            };
+            let sw = app.sw_ns_per_item;
+            let hw = app.hw_ns_per_item();
+            let eff = |batch: u64| -> f64 {
+                let sw_total = sw.saturating_mul(batch) as f64;
+                let hw_total = (config_ns + hw.saturating_mul(batch)) as f64;
+                sw_total / hw_total
+            };
+            // Break-even batch: config / (sw - hw) when hardware is faster.
+            let breakeven = if sw > hw {
+                (config_ns as f64 / (sw - hw) as f64).ceil() as u64
+            } else {
+                u64::MAX
+            };
+            t.row(vec![
+                d.name().into(),
+                app.name.clone(),
+                sw.to_string(),
+                hw.to_string(),
+                format!("{:.1}x", app.raw_speedup()),
+                f3(config_ns as f64 / 1e6),
+                format!("{:.3}x", eff(1)),
+                format!("{:.2}x", eff(100)),
+                format!("{:.1}x", eff(10_000)),
+                format!("{:.1}x", eff(1_000_000)),
+                if breakeven == u64::MAX { "never".into() } else { breakeven.to_string() },
+            ]);
+        }
+    }
+    t.print();
+}

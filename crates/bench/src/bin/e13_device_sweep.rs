@@ -1,0 +1,98 @@
+//! E13 — Right-sizing the device (paper §1/§5).
+//!
+//! Claim operationalized: VFPGA techniques let designers "reduce the cost
+//! of using these components by avoiding underused components" — i.e. run
+//! the same workload on a smaller, cheaper part and pay with management
+//! overhead instead of silicon.
+//!
+//! One fixed task mix swept across the whole part catalog under variable
+//! partitioning: large parts keep everything resident; small ones evict
+//! and reload; below the widest circuit's footprint the workload becomes
+//! infeasible.
+
+use bench::report::{f3, pct, Table};
+use fpga::{ConfigPort, ConfigTiming, PARTS};
+use fsim::{SimDuration, SimRng};
+use std::sync::Arc;
+use vfpga::manager::partition::{PartitionManager, PartitionMode};
+use vfpga::{CircuitLib, PreemptAction, RoundRobinScheduler, System, SystemConfig};
+use workload::{poisson_tasks, suite, Domain, MixParams};
+
+fn main() {
+    let mut t = Table::new(
+        "E13: one workload across the part catalog (variable partitions)",
+        &[
+            "part", "cols", "gates", "fits?", "makespan (s)", "mean wait (s)",
+            "downloads", "evictions", "overhead frac",
+        ],
+    );
+
+    for spec in PARTS {
+        // Recompile the suites for this part's height so circuits are
+        // full-height columns on *this* device.
+        let mut lib = CircuitLib::new();
+        let mut ids = Vec::new();
+        for d in [Domain::Telecom, Domain::Storage] {
+            for app in suite(d, spec.rows).apps {
+                ids.push(lib.register_compiled(app.compiled));
+            }
+        }
+        let lib = Arc::new(lib);
+        let widest = ids.iter().map(|&i| lib.get(i).shape().0).max().unwrap();
+        if widest > spec.cols {
+            t.row(vec![
+                spec.name.into(),
+                spec.cols.to_string(),
+                spec.gates.to_string(),
+                format!("NO (needs {widest} cols)"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            continue;
+        }
+
+        let timing = ConfigTiming { spec: *spec, port: ConfigPort::SerialFast };
+        let mut rng = SimRng::new(0xE13);
+        let specs = poisson_tasks(
+            &MixParams {
+                tasks: 10,
+                mean_interarrival: SimDuration::from_millis(2),
+                mean_cpu_burst: SimDuration::from_millis(2),
+                fpga_ops_per_task: 5,
+                cycles: (50_000, 200_000),
+            },
+            &ids,
+            &mut rng,
+        );
+        let mgr = PartitionManager::new(
+            lib.clone(),
+            timing,
+            PartitionMode::Variable,
+            PreemptAction::SaveRestore,
+        );
+        let r = System::new(
+            lib.clone(),
+            mgr,
+            RoundRobinScheduler::new(SimDuration::from_millis(10)),
+            SystemConfig { preempt: PreemptAction::SaveRestore, ..Default::default() },
+            specs,
+        )
+        .run();
+        t.row(vec![
+            spec.name.into(),
+            spec.cols.to_string(),
+            spec.gates.to_string(),
+            "yes".into(),
+            f3(r.makespan.as_secs_f64()),
+            f3(r.mean_waiting_s()),
+            r.manager_stats.downloads.to_string(),
+            r.manager_stats.evictions.to_string(),
+            pct(r.overhead_fraction()),
+        ]);
+    }
+    t.print();
+    println!("\nThe cheapest part with acceptable makespan is the right buy — §1's cost argument.");
+}

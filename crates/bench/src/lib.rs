@@ -1,0 +1,11 @@
+//! # bench — the experiment harness
+//!
+//! One binary per experiment (`e01`…`e12`, see DESIGN.md §4 and
+//! EXPERIMENTS.md) plus Criterion microbenches for the substrate hot
+//! paths. This library holds the shared table-printing and setup helpers.
+
+pub mod report;
+pub mod setup;
+
+pub use report::Table;
+pub use setup::{compile_suite_lib, std_timing};

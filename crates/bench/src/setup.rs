@@ -1,0 +1,37 @@
+//! Shared experiment setup.
+
+use fpga::{ConfigPort, ConfigTiming, DeviceSpec};
+use std::sync::Arc;
+use vfpga::{CircuitId, CircuitLib};
+use workload::{suite, Domain};
+
+/// Standard timing model: the given part on the given port.
+pub fn std_timing(part: &str, port: ConfigPort) -> ConfigTiming {
+    ConfigTiming { spec: fpga::device::part(part), port }
+}
+
+/// Compile every app of the given domains into one circuit library sized
+/// for `spec`; returns the library and circuit ids in suite order.
+pub fn compile_suite_lib(domains: &[Domain], spec: DeviceSpec) -> (Arc<CircuitLib>, Vec<CircuitId>) {
+    let mut lib = CircuitLib::new();
+    let mut ids = Vec::new();
+    for &d in domains {
+        for app in suite(d, spec.rows).apps {
+            ids.push(lib.register_compiled(app.compiled));
+        }
+    }
+    (Arc::new(lib), ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_lib_compiles() {
+        let spec = fpga::device::part("VF400");
+        let (lib, ids) = compile_suite_lib(&[Domain::Telecom], spec);
+        assert_eq!(lib.len(), 4);
+        assert_eq!(ids.len(), 4);
+    }
+}

@@ -1,0 +1,289 @@
+//! Configuration bitstreams.
+//!
+//! A [`Bitstream`] is the unit the operating system downloads into the
+//! device: a set of per-column [`FrameWrite`]s plus I/O-block settings,
+//! protected by a checksum the device verifies on load (real bitstreams
+//! carry a CRC; a corrupted stream must be rejected, not half-applied).
+//! Partial bitstreams simply carry fewer frames.
+
+use crate::region::Rect;
+
+/// Where a CLB input or an output IOB takes its signal from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClbSource {
+    /// Unconnected (reads as constant 0).
+    None,
+    /// Output of the CLB at `(col, row)`.
+    Clb(u32, u32),
+    /// Value of I/O pin `pin` (the IOB must be configured as an input).
+    Pin(u32),
+    /// Constant signal.
+    Const(bool),
+}
+
+/// Configuration of one CLB: a K-input LUT, an optional flip-flop fed by
+/// the LUT output, and an output selector (combinational or registered) —
+/// the XC4000-style logic block reduced to what the experiments exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClbCell {
+    /// LUT truth table (bit `m` = output for minterm `m`); K ≤ 4 so 16 bits.
+    pub lut_table: u16,
+    /// LUT input connections, LSB-first in minterm index.
+    pub inputs: [ClbSource; 4],
+    /// Whether the flip-flop is used.
+    pub has_ff: bool,
+    /// Flip-flop power-up value.
+    pub ff_init: bool,
+    /// If true the CLB output is the flip-flop output, else the LUT output.
+    pub out_from_ff: bool,
+}
+
+impl ClbCell {
+    /// A purely combinational cell.
+    pub fn comb(lut_table: u16, inputs: [ClbSource; 4]) -> Self {
+        ClbCell {
+            lut_table,
+            inputs,
+            has_ff: false,
+            ff_init: false,
+            out_from_ff: false,
+        }
+    }
+
+    /// A registered cell: LUT feeding the flip-flop, output from the FF.
+    pub fn registered(lut_table: u16, inputs: [ClbSource; 4], ff_init: bool) -> Self {
+        ClbCell {
+            lut_table,
+            inputs,
+            has_ff: true,
+            ff_init,
+            out_from_ff: true,
+        }
+    }
+}
+
+/// One configuration frame write: a column, the row span it covers, and
+/// the cell contents (None = clear the CLB).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameWrite {
+    /// Target column.
+    pub col: u32,
+    /// First row covered.
+    pub row0: u32,
+    /// Cell contents for rows `row0..row0+cells.len()`.
+    pub cells: Vec<Option<ClbCell>>,
+}
+
+/// Configuration of one I/O block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IobConfig {
+    /// Pin drives into the fabric.
+    Input,
+    /// Pin is driven by the CLB at the given coordinates.
+    Output(u32, u32),
+    /// Pin unused.
+    Unused,
+}
+
+/// A full or partial configuration stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitstream {
+    /// Human-readable origin (circuit name) for traces.
+    pub label: String,
+    /// Frame writes, in download order.
+    pub frames: Vec<FrameWrite>,
+    /// IOB writes as `(pin, config)`.
+    pub iobs: Vec<(u32, IobConfig)>,
+    /// Whether this stream reconfigures the whole device (the serial
+    /// full-configuration path) or only the listed frames (partial).
+    pub full: bool,
+    /// Integrity checksum over the payload.
+    pub crc: u64,
+}
+
+impl Bitstream {
+    /// Assemble a stream and stamp its checksum.
+    pub fn new(
+        label: impl Into<String>,
+        frames: Vec<FrameWrite>,
+        iobs: Vec<(u32, IobConfig)>,
+        full: bool,
+    ) -> Self {
+        let mut bs = Bitstream {
+            label: label.into(),
+            frames,
+            iobs,
+            full,
+            crc: 0,
+        };
+        bs.crc = bs.compute_crc();
+        bs
+    }
+
+    /// FNV-1a over a canonical serialization of the payload.
+    pub fn compute_crc(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |b: u64| {
+            for i in 0..8 {
+                h ^= (b >> (i * 8)) & 0xFF;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        eat(self.full as u64);
+        for f in &self.frames {
+            eat(f.col as u64);
+            eat(f.row0 as u64);
+            eat(f.cells.len() as u64);
+            for c in &f.cells {
+                match c {
+                    None => eat(u64::MAX),
+                    Some(cell) => {
+                        eat(cell.lut_table as u64);
+                        for s in cell.inputs {
+                            eat(source_code(s));
+                        }
+                        eat(cell.has_ff as u64 | ((cell.ff_init as u64) << 1)
+                            | ((cell.out_from_ff as u64) << 2));
+                    }
+                }
+            }
+        }
+        for &(pin, cfg) in &self.iobs {
+            eat(pin as u64);
+            eat(match cfg {
+                IobConfig::Input => 1,
+                IobConfig::Output(c, r) => 2 | ((c as u64) << 8) | ((r as u64) << 40),
+                IobConfig::Unused => 0,
+            });
+        }
+        h
+    }
+
+    /// Whether the stored checksum matches the payload.
+    pub fn crc_ok(&self) -> bool {
+        self.crc == self.compute_crc()
+    }
+
+    /// Number of distinct frame columns this stream writes.
+    pub fn frame_count(&self) -> usize {
+        let mut cols: Vec<u32> = self.frames.iter().map(|f| f.col).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        cols.len()
+    }
+
+    /// Whether any frame covers only part of a column of the given height
+    /// (forcing a read-modify-write on the device).
+    pub fn has_partial_columns(&self, device_rows: u32) -> bool {
+        self.frames
+            .iter()
+            .any(|f| f.row0 != 0 || (f.cells.len() as u32) < device_rows)
+    }
+
+    /// The bounding region of all frame writes, if any.
+    pub fn bounding_rect(&self) -> Option<Rect> {
+        let mut min_c = u32::MAX;
+        let mut max_c = 0;
+        let mut min_r = u32::MAX;
+        let mut max_r = 0;
+        for f in &self.frames {
+            min_c = min_c.min(f.col);
+            max_c = max_c.max(f.col);
+            min_r = min_r.min(f.row0);
+            max_r = max_r.max(f.row0 + f.cells.len() as u32 - 1);
+        }
+        if min_c == u32::MAX {
+            None
+        } else {
+            Some(Rect::new(min_c, min_r, max_c - min_c + 1, max_r - min_r + 1))
+        }
+    }
+
+    /// Corrupt the checksum (test helper for the device's rejection path).
+    pub fn corrupted(mut self) -> Self {
+        self.crc ^= 0xDEAD_BEEF;
+        self
+    }
+}
+
+fn source_code(s: ClbSource) -> u64 {
+    match s {
+        ClbSource::None => 0,
+        ClbSource::Clb(c, r) => 1 | ((c as u64) << 8) | ((r as u64) << 40),
+        ClbSource::Pin(p) => 2 | ((p as u64) << 8),
+        ClbSource::Const(b) => 3 | ((b as u64) << 8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Bitstream {
+        let cell = ClbCell::comb(0b0110, [ClbSource::Pin(0), ClbSource::Pin(1), ClbSource::None, ClbSource::None]);
+        Bitstream::new(
+            "xor",
+            vec![FrameWrite { col: 3, row0: 2, cells: vec![Some(cell), None] }],
+            vec![(0, IobConfig::Input), (1, IobConfig::Input), (2, IobConfig::Output(3, 2))],
+            false,
+        )
+    }
+
+    #[test]
+    fn crc_is_stable_and_detects_tampering() {
+        let bs = sample();
+        assert!(bs.crc_ok());
+        let bad = bs.clone().corrupted();
+        assert!(!bad.crc_ok());
+
+        let mut modified = bs.clone();
+        modified.frames[0].col = 4;
+        assert!(!modified.crc_ok(), "payload change must invalidate CRC");
+    }
+
+    #[test]
+    fn frame_count_dedupes_columns() {
+        let cell = ClbCell::comb(0, [ClbSource::None; 4]);
+        let bs = Bitstream::new(
+            "x",
+            vec![
+                FrameWrite { col: 1, row0: 0, cells: vec![Some(cell)] },
+                FrameWrite { col: 1, row0: 4, cells: vec![Some(cell)] },
+                FrameWrite { col: 2, row0: 0, cells: vec![Some(cell)] },
+            ],
+            vec![],
+            false,
+        );
+        assert_eq!(bs.frame_count(), 2);
+    }
+
+    #[test]
+    fn partial_column_detection() {
+        let bs = sample();
+        assert!(bs.has_partial_columns(10), "covers rows 2..4 of 10");
+        let cell = ClbCell::comb(0, [ClbSource::None; 4]);
+        let full_col = Bitstream::new(
+            "f",
+            vec![FrameWrite { col: 0, row0: 0, cells: vec![Some(cell); 10] }],
+            vec![],
+            false,
+        );
+        assert!(!full_col.has_partial_columns(10));
+    }
+
+    #[test]
+    fn bounding_rect() {
+        let bs = sample();
+        assert_eq!(bs.bounding_rect(), Some(Rect::new(3, 2, 1, 2)));
+        let empty = Bitstream::new("e", vec![], vec![], false);
+        assert_eq!(empty.bounding_rect(), None);
+    }
+
+    #[test]
+    fn cell_constructors() {
+        let c = ClbCell::comb(7, [ClbSource::None; 4]);
+        assert!(!c.has_ff && !c.out_from_ff);
+        let r = ClbCell::registered(7, [ClbSource::None; 4], true);
+        assert!(r.has_ff && r.out_from_ff && r.ff_init);
+    }
+}

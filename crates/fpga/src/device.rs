@@ -1,0 +1,416 @@
+//! The device catalog and the device state.
+//!
+//! [`DeviceSpec`] describes a part's geometry; [`Device`] holds live
+//! configuration RAM (the CLB grid and IOBs) and flip-flop state, applies
+//! bitstreams, and exposes readback/state-write — the physical substrate
+//! every VFPGA technique manipulates.
+
+use crate::bitstream::{Bitstream, ClbCell, IobConfig};
+use crate::config::{ConfigPort, ConfigTiming};
+use crate::region::Rect;
+use fsim::SimDuration;
+
+/// Geometry and capability of one part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceSpec {
+    /// Part name.
+    pub name: &'static str,
+    /// CLB columns.
+    pub cols: u32,
+    /// CLB rows.
+    pub rows: u32,
+    /// User I/O pins.
+    pub io_pins: u32,
+    /// Marketing gate count (for report tables only).
+    pub gates: u32,
+}
+
+impl DeviceSpec {
+    /// Total CLBs.
+    pub fn clbs(&self) -> u32 {
+        self.cols * self.rows
+    }
+
+    /// The whole-device region.
+    pub fn full_rect(&self) -> Rect {
+        Rect::new(0, 0, self.cols, self.rows)
+    }
+}
+
+/// The part catalog — a family spanning the paper's "up to 250 K gates"
+/// range. Geometry follows the XC4000 progression (square arrays, pin
+/// count growing with the perimeter).
+pub const PARTS: &[DeviceSpec] = &[
+    DeviceSpec { name: "VF100", cols: 10, rows: 10, io_pins: 64, gates: 10_000 },
+    DeviceSpec { name: "VF200", cols: 14, rows: 14, io_pins: 96, gates: 20_000 },
+    DeviceSpec { name: "VF400", cols: 20, rows: 20, io_pins: 128, gates: 40_000 },
+    DeviceSpec { name: "VF600", cols: 24, rows: 24, io_pins: 160, gates: 60_000 },
+    DeviceSpec { name: "VF800", cols: 32, rows: 32, io_pins: 224, gates: 100_000 },
+    DeviceSpec { name: "VF1000", cols: 40, rows: 40, io_pins: 288, gates: 150_000 },
+    DeviceSpec { name: "VF1500", cols: 48, rows: 48, io_pins: 352, gates: 200_000 },
+    DeviceSpec { name: "VF2000", cols: 56, rows: 56, io_pins: 448, gates: 250_000 },
+];
+
+/// Look up a part by name.
+pub fn part(name: &str) -> DeviceSpec {
+    *PARTS
+        .iter()
+        .find(|p| p.name == name)
+        .unwrap_or_else(|| panic!("unknown part '{name}'"))
+}
+
+/// Errors surfaced by the device when applying configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// Bitstream checksum mismatch — the stream is rejected untouched.
+    CrcMismatch,
+    /// A frame addresses a column/row outside the device.
+    OutOfRange {
+        /// Offending column.
+        col: u32,
+        /// Offending row.
+        row: u32,
+    },
+    /// An IOB write addresses a pin the package doesn't have.
+    BadPin(u32),
+    /// The port in use cannot perform partial writes.
+    PartialUnsupported,
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::CrcMismatch => write!(f, "bitstream CRC mismatch"),
+            DeviceError::OutOfRange { col, row } => write!(f, "frame write outside device at ({col},{row})"),
+            DeviceError::BadPin(p) => write!(f, "no such pin {p}"),
+            DeviceError::PartialUnsupported => write!(f, "configuration port cannot do partial writes"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// Live device state: configuration RAM + flip-flop contents.
+#[derive(Debug, Clone)]
+pub struct Device {
+    spec: DeviceSpec,
+    port: ConfigPort,
+    cells: Vec<Option<ClbCell>>,
+    iobs: Vec<IobConfig>,
+    /// Flip-flop value per CLB, 64 simulation lanes wide.
+    ff: Vec<u64>,
+    /// Count of configuration downloads performed (diagnostics).
+    downloads: u64,
+}
+
+impl Device {
+    /// A blank (unconfigured) device.
+    pub fn new(spec: DeviceSpec, port: ConfigPort) -> Self {
+        Device {
+            spec,
+            port,
+            cells: vec![None; spec.clbs() as usize],
+            iobs: vec![IobConfig::Unused; spec.io_pins as usize],
+            ff: vec![0; spec.clbs() as usize],
+            downloads: 0,
+        }
+    }
+
+    /// The part geometry.
+    pub fn spec(&self) -> DeviceSpec {
+        self.spec
+    }
+
+    /// The configured port.
+    pub fn port(&self) -> ConfigPort {
+        self.port
+    }
+
+    /// The timing calculator for this device+port.
+    pub fn timing(&self) -> ConfigTiming {
+        ConfigTiming { spec: self.spec, port: self.port }
+    }
+
+    #[inline]
+    fn idx(&self, col: u32, row: u32) -> usize {
+        (row * self.spec.cols + col) as usize
+    }
+
+    /// Cell configuration at `(col, row)`.
+    pub fn cell(&self, col: u32, row: u32) -> Option<ClbCell> {
+        self.cells[self.idx(col, row)]
+    }
+
+    /// IOB configuration of `pin`.
+    pub fn iob(&self, pin: u32) -> IobConfig {
+        self.iobs[pin as usize]
+    }
+
+    /// Number of configured (non-empty) CLBs.
+    pub fn used_clbs(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Total downloads applied so far.
+    pub fn download_count(&self) -> u64 {
+        self.downloads
+    }
+
+    /// Validate and apply a bitstream, returning the download time.
+    ///
+    /// A rejected stream (bad CRC, out-of-range write, unsupported partial)
+    /// leaves the device untouched.
+    pub fn apply(&mut self, bs: &Bitstream) -> Result<SimDuration, DeviceError> {
+        if !bs.crc_ok() {
+            return Err(DeviceError::CrcMismatch);
+        }
+        if !bs.full && !self.port.supports_partial() {
+            return Err(DeviceError::PartialUnsupported);
+        }
+        // Validate before mutating.
+        for f in &bs.frames {
+            if f.col >= self.spec.cols {
+                return Err(DeviceError::OutOfRange { col: f.col, row: 0 });
+            }
+            let end_row = f.row0 as usize + f.cells.len();
+            if end_row > self.spec.rows as usize {
+                return Err(DeviceError::OutOfRange { col: f.col, row: end_row as u32 - 1 });
+            }
+        }
+        for &(pin, _) in &bs.iobs {
+            if pin >= self.spec.io_pins {
+                return Err(DeviceError::BadPin(pin));
+            }
+        }
+
+        if bs.full {
+            // A full download wipes the device first.
+            self.cells.fill(None);
+            self.iobs.fill(IobConfig::Unused);
+            self.ff.fill(0);
+        }
+        for f in &bs.frames {
+            for (k, cell) in f.cells.iter().enumerate() {
+                let row = f.row0 + k as u32;
+                let i = self.idx(f.col, row);
+                self.cells[i] = *cell;
+                // (Re)configuring a CLB initializes its flip-flop.
+                self.ff[i] = match cell {
+                    Some(c) if c.has_ff && c.ff_init => u64::MAX,
+                    _ => 0,
+                };
+            }
+        }
+        for &(pin, cfg) in &bs.iobs {
+            self.iobs[pin as usize] = cfg;
+        }
+        self.downloads += 1;
+        Ok(self.timing().download_time(bs))
+    }
+
+    /// Clear a region's CLBs (used when a partition is released), and
+    /// unbind any output IOB driven from inside the region. This is
+    /// bookkeeping, not a device operation: the OS simply forgets the
+    /// contents; no download time is charged.
+    pub fn clear_region(&mut self, r: &Rect) {
+        assert!(self.spec.full_rect().contains_rect(r), "region outside device");
+        for (c, row) in r.cells() {
+            let i = self.idx(c, row);
+            self.cells[i] = None;
+            self.ff[i] = 0;
+        }
+        for iob in &mut self.iobs {
+            if let IobConfig::Output(c, row) = *iob {
+                if r.contains(c, row) {
+                    *iob = IobConfig::Unused;
+                }
+            }
+        }
+    }
+
+    /// **Readback**: snapshot flip-flop words of every CLB in the region
+    /// (row-major order), with the time the readback occupies the port.
+    pub fn readback_region(&self, r: &Rect) -> (Vec<u64>, SimDuration) {
+        assert!(self.spec.full_rect().contains_rect(r), "region outside device");
+        let state = r.cells().map(|(c, row)| self.ff[self.idx(c, row)]).collect();
+        let t = self.timing().readback_time(r.w as usize);
+        (state, t)
+    }
+
+    /// **State write**: restore flip-flop words captured by
+    /// [`Device::readback_region`] over the same region shape.
+    pub fn write_state_region(&mut self, r: &Rect, state: &[u64]) -> SimDuration {
+        assert!(self.spec.full_rect().contains_rect(r), "region outside device");
+        assert_eq!(state.len(), r.area() as usize, "state length mismatch");
+        for ((c, row), &v) in r.cells().zip(state) {
+            let i = self.idx(c, row);
+            self.ff[i] = v;
+        }
+        self.timing().state_write_time(r.w as usize)
+    }
+
+    /// Raw flip-flop word access for the fabric executor.
+    pub(crate) fn ff_word(&self, col: u32, row: u32) -> u64 {
+        self.ff[self.idx(col, row)]
+    }
+
+    /// Raw flip-flop word write for the fabric executor.
+    pub(crate) fn set_ff_word(&mut self, col: u32, row: u32, v: u64) {
+        let i = self.idx(col, row);
+        self.ff[i] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitstream::{ClbSource, FrameWrite};
+
+    fn xor_stream(spec: &DeviceSpec) -> Bitstream {
+        let cell = ClbCell::comb(
+            0b0110,
+            [ClbSource::Pin(0), ClbSource::Pin(1), ClbSource::None, ClbSource::None],
+        );
+        Bitstream::new(
+            "xor",
+            vec![FrameWrite { col: 0, row0: 0, cells: vec![Some(cell); spec.rows as usize] }],
+            vec![(0, IobConfig::Input), (1, IobConfig::Input), (2, IobConfig::Output(0, 0))],
+            false,
+        )
+    }
+
+    #[test]
+    fn apply_partial_configures_cells() {
+        let spec = part("VF100");
+        let mut d = Device::new(spec, ConfigPort::SerialFast);
+        assert_eq!(d.used_clbs(), 0);
+        let t = d.apply(&xor_stream(&spec)).unwrap();
+        assert!(t.as_nanos() > 0);
+        assert_eq!(d.used_clbs(), spec.rows as usize);
+        assert!(d.cell(0, 0).is_some());
+        assert_eq!(d.iob(2), IobConfig::Output(0, 0));
+        assert_eq!(d.download_count(), 1);
+    }
+
+    #[test]
+    fn corrupted_stream_rejected_untouched() {
+        let spec = part("VF100");
+        let mut d = Device::new(spec, ConfigPort::SerialFast);
+        let bad = xor_stream(&spec).corrupted();
+        assert_eq!(d.apply(&bad), Err(DeviceError::CrcMismatch));
+        assert_eq!(d.used_clbs(), 0);
+        assert_eq!(d.download_count(), 0);
+    }
+
+    #[test]
+    fn slow_serial_port_rejects_partial() {
+        let spec = part("VF100");
+        let mut d = Device::new(spec, ConfigPort::SerialSlow);
+        assert_eq!(d.apply(&xor_stream(&spec)), Err(DeviceError::PartialUnsupported));
+        let mut full = xor_stream(&spec);
+        full.full = true;
+        let full = Bitstream::new(full.label, full.frames, full.iobs, true);
+        assert!(d.apply(&full).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_frame_rejected() {
+        let spec = part("VF100");
+        let mut d = Device::new(spec, ConfigPort::SerialFast);
+        let cell = ClbCell::comb(0, [ClbSource::None; 4]);
+        let bs = Bitstream::new(
+            "oob",
+            vec![FrameWrite { col: spec.cols, row0: 0, cells: vec![Some(cell)] }],
+            vec![],
+            false,
+        );
+        assert!(matches!(d.apply(&bs), Err(DeviceError::OutOfRange { .. })));
+
+        let tall = Bitstream::new(
+            "tall",
+            vec![FrameWrite { col: 0, row0: spec.rows - 1, cells: vec![Some(cell); 2] }],
+            vec![],
+            false,
+        );
+        assert!(matches!(d.apply(&tall), Err(DeviceError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn bad_pin_rejected() {
+        let spec = part("VF100");
+        let mut d = Device::new(spec, ConfigPort::SerialFast);
+        let bs = Bitstream::new("p", vec![], vec![(spec.io_pins, IobConfig::Input)], false);
+        assert_eq!(d.apply(&bs), Err(DeviceError::BadPin(spec.io_pins)));
+    }
+
+    #[test]
+    fn full_download_wipes_previous_contents() {
+        let spec = part("VF100");
+        let mut d = Device::new(spec, ConfigPort::SerialFast);
+        d.apply(&xor_stream(&spec)).unwrap();
+        let empty_full = Bitstream::new("wipe", vec![], vec![], true);
+        d.apply(&empty_full).unwrap();
+        assert_eq!(d.used_clbs(), 0);
+        assert_eq!(d.iob(2), IobConfig::Unused);
+    }
+
+    #[test]
+    fn readback_roundtrip() {
+        let spec = part("VF100");
+        let mut d = Device::new(spec, ConfigPort::SerialFast);
+        let r = Rect::new(2, 3, 3, 2);
+        // Manually poke FF state (stands in for circuit activity).
+        d.set_ff_word(2, 3, 0xAB);
+        d.set_ff_word(4, 4, 0xCD);
+        let (state, t) = d.readback_region(&r);
+        assert!(t.as_nanos() > 0);
+        assert_eq!(state.len(), 6);
+        assert_eq!(state[0], 0xAB);
+        assert_eq!(state[5], 0xCD);
+
+        d.set_ff_word(2, 3, 0);
+        d.set_ff_word(4, 4, 0);
+        d.write_state_region(&r, &state);
+        assert_eq!(d.ff_word(2, 3), 0xAB);
+        assert_eq!(d.ff_word(4, 4), 0xCD);
+    }
+
+    #[test]
+    fn clear_region_wipes_cells_state_and_driven_iobs() {
+        let spec = part("VF100");
+        let mut d = Device::new(spec, ConfigPort::SerialFast);
+        d.apply(&xor_stream(&spec)).unwrap();
+        d.set_ff_word(0, 0, 7);
+        assert_eq!(d.iob(2), IobConfig::Output(0, 0));
+        d.clear_region(&Rect::new(0, 0, 1, spec.rows));
+        assert_eq!(d.used_clbs(), 0);
+        assert_eq!(d.ff_word(0, 0), 0);
+        assert_eq!(d.iob(2), IobConfig::Unused, "output IOB must unbind");
+        assert_eq!(d.iob(0), IobConfig::Input, "input IOBs are untouched");
+    }
+
+    #[test]
+    fn reconfiguring_a_clb_resets_its_ff_to_init() {
+        let spec = part("VF100");
+        let mut d = Device::new(spec, ConfigPort::SerialFast);
+        let cell = ClbCell::registered(0b01, [ClbSource::Pin(0), ClbSource::None, ClbSource::None, ClbSource::None], true);
+        let bs = Bitstream::new(
+            "r",
+            vec![FrameWrite { col: 1, row0: 1, cells: vec![Some(cell)] }],
+            vec![(0, IobConfig::Input)],
+            false,
+        );
+        d.apply(&bs).unwrap();
+        assert_eq!(d.ff_word(1, 1), u64::MAX, "init=1 must preset the FF");
+    }
+
+    #[test]
+    fn catalog_is_ordered_and_unique() {
+        for w in PARTS.windows(2) {
+            assert!(w[0].clbs() < w[1].clbs());
+            assert!(w[0].io_pins <= w[1].io_pins);
+            assert_ne!(w[0].name, w[1].name);
+        }
+        assert_eq!(part("VF400").cols, 20);
+    }
+}

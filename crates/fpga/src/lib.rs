@@ -1,0 +1,31 @@
+//! # fpga — the simulated physical device
+//!
+//! The paper targets RAM-based symmetrical-array FPGAs (Xilinx XC4000
+//! class). This crate models one device family at the fidelity the VFPGA
+//! operating system needs (see DESIGN.md §2 for the substitution
+//! rationale):
+//!
+//! * [`DeviceSpec`] — a catalog of parts from 10×10 to 56×56 CLBs with
+//!   pin counts and configuration-RAM geometry,
+//! * [`region::Rect`] — rectangular CLB-region algebra used by the
+//!   partition manager,
+//! * [`bitstream::Bitstream`] — full and partial configuration streams
+//!   with CRC protection,
+//! * [`config`] — configuration-port timing (serial/parallel, full/partial
+//!   /readback), calibrated so a flagship part takes ≈ 200 ms to configure
+//!   serially, the paper's quantitative anchor,
+//! * [`fabric`] — an *executable* configuration state: what is loaded in
+//!   the CLB array is exactly what runs; flip-flop state is readable
+//!   (observability) and writable (controllability).
+
+pub mod bitstream;
+pub mod config;
+pub mod device;
+pub mod fabric;
+pub mod region;
+
+pub use bitstream::{Bitstream, ClbCell, ClbSource, FrameWrite, IobConfig};
+pub use config::{ConfigPort, ConfigTiming};
+pub use device::{Device, DeviceSpec, PARTS};
+pub use fabric::{FabricError, FabricView};
+pub use region::Rect;

@@ -1,0 +1,233 @@
+//! Rectangular CLB-region algebra.
+//!
+//! Partitions, overlay areas, segments, and pages are all rectangular
+//! regions of the CLB array. The partition manager needs exact splitting,
+//! merging, and adjacency tests; the configuration-cost model needs the
+//! set of *frame columns* a region touches (configuration frames span full
+//! device columns, as on real symmetrical-array parts, which is why
+//! column-aligned partitions reconfigure cheaper — the paper's §4
+//! observation that partition position constrains implementations).
+
+/// A rectangle of CLBs: columns `[col, col+w)`, rows `[row, row+h)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    /// Leftmost column.
+    pub col: u32,
+    /// Topmost row.
+    pub row: u32,
+    /// Width in columns (> 0).
+    pub w: u32,
+    /// Height in rows (> 0).
+    pub h: u32,
+}
+
+impl Rect {
+    /// Construct a rectangle; zero-sized rectangles are programming errors.
+    pub fn new(col: u32, row: u32, w: u32, h: u32) -> Rect {
+        assert!(w > 0 && h > 0, "zero-sized region");
+        Rect { col, row, w, h }
+    }
+
+    /// Number of CLBs covered.
+    #[inline]
+    pub fn area(&self) -> u32 {
+        self.w * self.h
+    }
+
+    /// Exclusive right edge.
+    #[inline]
+    pub fn col_end(&self) -> u32 {
+        self.col + self.w
+    }
+
+    /// Exclusive bottom edge.
+    #[inline]
+    pub fn row_end(&self) -> u32 {
+        self.row + self.h
+    }
+
+    /// Whether `(c, r)` lies inside.
+    #[inline]
+    pub fn contains(&self, c: u32, r: u32) -> bool {
+        c >= self.col && c < self.col_end() && r >= self.row && r < self.row_end()
+    }
+
+    /// Whether `other` lies entirely inside `self`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.col >= self.col
+            && other.col_end() <= self.col_end()
+            && other.row >= self.row
+            && other.row_end() <= self.row_end()
+    }
+
+    /// Whether the two rectangles share any CLB.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.col < other.col_end()
+            && other.col < self.col_end()
+            && self.row < other.row_end()
+            && other.row < self.row_end()
+    }
+
+    /// The columns this region touches — i.e. the configuration frames a
+    /// (partial) reconfiguration of this region must write.
+    pub fn columns(&self) -> impl Iterator<Item = u32> + '_ {
+        self.col..self.col_end()
+    }
+
+    /// Iterate all `(col, row)` cells, row-major.
+    pub fn cells(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let me = *self;
+        (me.row..me.row_end()).flat_map(move |r| (me.col..me.col_end()).map(move |c| (c, r)))
+    }
+
+    /// Split vertically at absolute column `at` (must be strictly inside),
+    /// returning `(left, right)`.
+    pub fn split_at_col(&self, at: u32) -> (Rect, Rect) {
+        assert!(at > self.col && at < self.col_end(), "split column outside region");
+        (
+            Rect::new(self.col, self.row, at - self.col, self.h),
+            Rect::new(at, self.row, self.col_end() - at, self.h),
+        )
+    }
+
+    /// Split horizontally at absolute row `at` (must be strictly inside),
+    /// returning `(top, bottom)`.
+    pub fn split_at_row(&self, at: u32) -> (Rect, Rect) {
+        assert!(at > self.row && at < self.row_end(), "split row outside region");
+        (
+            Rect::new(self.col, self.row, self.w, at - self.row),
+            Rect::new(self.col, at, self.w, self.row_end() - at),
+        )
+    }
+
+    /// If the two rectangles tile a larger rectangle (share a full edge),
+    /// return the merged rectangle — the partition garbage collector's
+    /// coalescing primitive.
+    pub fn merge(&self, other: &Rect) -> Option<Rect> {
+        // Horizontally adjacent, same rows.
+        if self.row == other.row && self.h == other.h {
+            if self.col_end() == other.col {
+                return Some(Rect::new(self.col, self.row, self.w + other.w, self.h));
+            }
+            if other.col_end() == self.col {
+                return Some(Rect::new(other.col, self.row, self.w + other.w, self.h));
+            }
+        }
+        // Vertically adjacent, same columns.
+        if self.col == other.col && self.w == other.w {
+            if self.row_end() == other.row {
+                return Some(Rect::new(self.col, self.row, self.w, self.h + other.h));
+            }
+            if other.row_end() == self.row {
+                return Some(Rect::new(self.col, other.row, self.w, self.h + other.h));
+            }
+        }
+        None
+    }
+
+    /// Translate by `(dc, dr)` — the relocation primitive. Returns `None`
+    /// on coordinate underflow.
+    pub fn translated(&self, dc: i32, dr: i32) -> Option<Rect> {
+        let col = self.col as i64 + dc as i64;
+        let row = self.row as i64 + dr as i64;
+        if col < 0 || row < 0 || col > u32::MAX as i64 || row > u32::MAX as i64 {
+            return None;
+        }
+        Some(Rect::new(col as u32, row as u32, self.w, self.h))
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}..{})x[{}..{})", self.col, self.col_end(), self.row, self.row_end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_edges() {
+        let r = Rect::new(2, 3, 4, 5);
+        assert_eq!(r.area(), 20);
+        assert_eq!(r.col_end(), 6);
+        assert_eq!(r.row_end(), 8);
+        assert!(r.contains(2, 3));
+        assert!(r.contains(5, 7));
+        assert!(!r.contains(6, 3));
+        assert!(!r.contains(2, 8));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Rect::new(0, 0, 4, 4);
+        assert!(a.intersects(&Rect::new(3, 3, 2, 2)));
+        assert!(!a.intersects(&Rect::new(4, 0, 2, 2)), "edge-adjacent is disjoint");
+        assert!(!a.intersects(&Rect::new(0, 4, 2, 2)));
+        assert!(a.intersects(&a));
+    }
+
+    #[test]
+    fn containment() {
+        let big = Rect::new(0, 0, 10, 10);
+        assert!(big.contains_rect(&Rect::new(2, 2, 3, 3)));
+        assert!(big.contains_rect(&big));
+        assert!(!big.contains_rect(&Rect::new(8, 8, 3, 3)));
+    }
+
+    #[test]
+    fn splits_partition_exactly() {
+        let r = Rect::new(2, 2, 6, 4);
+        let (l, rr) = r.split_at_col(5);
+        assert_eq!(l, Rect::new(2, 2, 3, 4));
+        assert_eq!(rr, Rect::new(5, 2, 3, 4));
+        assert_eq!(l.area() + rr.area(), r.area());
+        assert!(!l.intersects(&rr));
+
+        let (t, bt) = r.split_at_row(4);
+        assert_eq!(t, Rect::new(2, 2, 6, 2));
+        assert_eq!(bt, Rect::new(2, 4, 6, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "split column outside region")]
+    fn bad_split_panics() {
+        Rect::new(0, 0, 4, 4).split_at_col(0);
+    }
+
+    #[test]
+    fn merge_is_inverse_of_split() {
+        let r = Rect::new(1, 1, 8, 6);
+        let (a, b) = r.split_at_col(4);
+        assert_eq!(a.merge(&b), Some(r));
+        assert_eq!(b.merge(&a), Some(r));
+        let (t, bt) = r.split_at_row(3);
+        assert_eq!(t.merge(&bt), Some(r));
+        assert_eq!(bt.merge(&t), Some(r));
+    }
+
+    #[test]
+    fn merge_rejects_non_tiling() {
+        let a = Rect::new(0, 0, 2, 2);
+        assert_eq!(a.merge(&Rect::new(2, 0, 2, 3)), None, "height mismatch");
+        assert_eq!(a.merge(&Rect::new(3, 0, 2, 2)), None, "gap");
+        assert_eq!(a.merge(&Rect::new(2, 1, 2, 2)), None, "row offset");
+    }
+
+    #[test]
+    fn columns_and_cells() {
+        let r = Rect::new(3, 1, 2, 2);
+        let cols: Vec<u32> = r.columns().collect();
+        assert_eq!(cols, vec![3, 4]);
+        let cells: Vec<(u32, u32)> = r.cells().collect();
+        assert_eq!(cells, vec![(3, 1), (4, 1), (3, 2), (4, 2)]);
+    }
+
+    #[test]
+    fn translation() {
+        let r = Rect::new(2, 2, 3, 3);
+        assert_eq!(r.translated(4, -1), Some(Rect::new(6, 1, 3, 3)));
+        assert_eq!(r.translated(-3, 0), None, "underflow");
+    }
+}

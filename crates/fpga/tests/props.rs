@@ -1,0 +1,107 @@
+//! Property-based tests for the device model: configuration round-trips,
+//! readback/write-state inverses, and timing monotonicity.
+
+use fpga::{Bitstream, ClbCell, ClbSource, ConfigPort, ConfigTiming, Device, FrameWrite, Rect};
+use proptest::prelude::*;
+
+fn part() -> fpga::DeviceSpec {
+    fpga::device::part("VF200") // 14x14
+}
+
+proptest! {
+    /// Applying a frame write then reading cells back returns exactly the
+    /// written configuration.
+    #[test]
+    fn config_write_read_roundtrip(
+        col in 0u32..14,
+        row0 in 0u32..10,
+        tables in proptest::collection::vec(any::<u16>(), 1..4),
+    ) {
+        let cells: Vec<Option<ClbCell>> = tables
+            .iter()
+            .map(|&t| Some(ClbCell::comb(t, [ClbSource::None; 4])))
+            .collect();
+        let bs = Bitstream::new(
+            "p",
+            vec![FrameWrite { col, row0, cells: cells.clone() }],
+            vec![],
+            false,
+        );
+        let mut d = Device::new(part(), ConfigPort::SerialFast);
+        d.apply(&bs).unwrap();
+        for (k, c) in cells.iter().enumerate() {
+            prop_assert_eq!(d.cell(col, row0 + k as u32), *c);
+        }
+        prop_assert_eq!(d.used_clbs(), cells.len());
+    }
+
+    /// readback_region / write_state_region are inverses for any region
+    /// and any state pattern.
+    #[test]
+    fn state_roundtrip(
+        col in 0u32..10, row in 0u32..10,
+        w in 1u32..5, h in 1u32..5,
+        pattern in any::<u64>(),
+    ) {
+        prop_assume!(col + w <= 14 && row + h <= 14);
+        let r = Rect::new(col, row, w, h);
+        let mut d = Device::new(part(), ConfigPort::SerialFast);
+        // Scatter a deterministic pattern.
+        let state: Vec<u64> = (0..r.area() as u64)
+            .map(|i| pattern.rotate_left((i % 63) as u32))
+            .collect();
+        d.write_state_region(&r, &state);
+        let (read, _) = d.readback_region(&r);
+        prop_assert_eq!(read, state);
+    }
+
+    /// Download time is monotone in the number of frames written.
+    #[test]
+    fn download_time_monotone_in_frames(n in 1usize..14) {
+        let spec = part();
+        let t = ConfigTiming { spec, port: ConfigPort::SerialFast };
+        let cell = ClbCell::comb(0, [ClbSource::None; 4]);
+        let mk = |frames: usize| {
+            let fw: Vec<FrameWrite> = (0..frames as u32)
+                .map(|c| FrameWrite { col: c, row0: 0, cells: vec![Some(cell); spec.rows as usize] })
+                .collect();
+            Bitstream::new("x", fw, vec![], false)
+        };
+        let a = t.download_time(&mk(n));
+        let b = t.download_time(&mk(n + 0)); // identical
+        prop_assert_eq!(a, b);
+        if n < 13 {
+            prop_assert!(t.download_time(&mk(n + 1)) > a);
+        }
+    }
+
+    /// Corrupting any frame's column invalidates the CRC.
+    #[test]
+    fn crc_catches_column_shift(col in 0u32..13, table in any::<u16>()) {
+        let cell = ClbCell::comb(table, [ClbSource::None; 4]);
+        let bs = Bitstream::new(
+            "p",
+            vec![FrameWrite { col, row0: 0, cells: vec![Some(cell)] }],
+            vec![],
+            false,
+        );
+        let mut bad = bs.clone();
+        bad.frames[0].col += 1;
+        prop_assert!(!bad.crc_ok());
+    }
+
+    /// Region cells() yields exactly area() distinct in-bounds cells.
+    #[test]
+    fn region_cells_enumerate_area(
+        col in 0u32..20, row in 0u32..20, w in 1u32..10, h in 1u32..10,
+    ) {
+        let r = Rect::new(col, row, w, h);
+        let cells: Vec<(u32, u32)> = r.cells().collect();
+        prop_assert_eq!(cells.len() as u32, r.area());
+        let set: std::collections::HashSet<_> = cells.iter().collect();
+        prop_assert_eq!(set.len() as u32, r.area());
+        for &(c, rr) in &cells {
+            prop_assert!(r.contains(c, rr));
+        }
+    }
+}

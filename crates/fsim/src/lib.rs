@@ -1,0 +1,28 @@
+//! # fsim — deterministic discrete-event simulation kernel
+//!
+//! The VFPGA operating-system layer (crate `vfpga`) is evaluated on a
+//! simulated host computer. This crate provides the substrate for that
+//! simulation:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time,
+//! * [`EventQueue`] — a stable (FIFO-on-tie) pending-event set,
+//! * [`rng`] — a small deterministic PRNG plus the distributions the
+//!   workload generators need (uniform, exponential, Zipf, bounded Pareto),
+//! * [`stats`] — streaming summary statistics and fixed-bin histograms,
+//! * [`trace`] — a lightweight event trace for debugging and assertions.
+//!
+//! Everything in this crate is deterministic: the same seed and the same
+//! sequence of calls produce bit-identical results on every platform, which
+//! is what makes the experiment tables in `EXPERIMENTS.md` reproducible.
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use event::{EventQueue, ScheduledEvent};
+pub use rng::SimRng;
+pub use stats::{Histogram, Summary};
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceEntry};

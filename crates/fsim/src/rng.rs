@@ -1,0 +1,310 @@
+//! Deterministic pseudo-randomness for workloads and heuristics.
+//!
+//! [`SimRng`] wraps a splitmix64-seeded xoshiro256** generator implemented
+//! here (8 lines of arithmetic) rather than pulling the full `rand` trait
+//! machinery into every hot loop; `rand` is still used where distributions
+//! from its ecosystem are convenient. All experiment randomness flows
+//! through this type, keyed by an explicit `u64` seed, so tables are
+//! reproducible across runs and platforms.
+
+/// A deterministic PRNG (xoshiro256**) with convenience samplers.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Seed the generator. Any seed (including 0) is valid.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Derive an independent stream for a named sub-component.
+    ///
+    /// Streams derived with different tags are statistically independent;
+    /// the same `(seed, tag)` pair always yields the same stream.
+    pub fn derive(&self, tag: u64) -> SimRng {
+        let mut sm = self.s[0] ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        // 53 high bits -> uniform double in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be nonzero.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        // Lemire's multiply-shift rejection method: unbiased.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        if lo == hi {
+            return lo;
+        }
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform `usize` in `[lo, hi]`.
+    #[inline]
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0,1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponentially distributed sample with the given mean.
+    ///
+    /// Used for Poisson inter-arrival times in the workload generators.
+    #[inline]
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        let u = 1.0 - self.f64(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Shuffle a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "choose from empty slice");
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+/// A Zipf-distributed sampler over ranks `0..n` with skew `s`.
+///
+/// Rank 0 is the most popular item. Used by the overlay and paging
+/// experiments to model the paper's "common functions which are frequently
+/// used" versus "specific functions which are typically rarely used".
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler for `n` items with exponent `s` (s = 0 is uniform;
+    /// larger `s` concentrates mass on low ranks).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over zero items");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top end.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is over zero items (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Sample a rank in `0..n`.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 3, "streams should be effectively disjoint");
+    }
+
+    #[test]
+    fn derive_is_stable_and_independent() {
+        let root = SimRng::new(7);
+        let mut d1 = root.derive(1);
+        let mut d1b = root.derive(1);
+        let mut d2 = root.derive(2);
+        assert_eq!(d1.next_u64(), d1b.next_u64());
+        assert_ne!(d1.next_u64(), d2.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::new(3);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_roughly_uniform() {
+        let mut r = SimRng::new(4);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[r.below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            // expected 10_000; allow 10% slack.
+            assert!((9_000..11_000).contains(&c), "count {c} out of tolerance");
+        }
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut r = SimRng::new(5);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| r.exp(3.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_rank0_most_popular() {
+        let z = Zipf::new(50, 1.0);
+        let mut r = SimRng::new(6);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[49]);
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_uniformish() {
+        let z = Zipf::new(4, 0.0);
+        let mut r = SimRng::new(8);
+        let mut counts = vec![0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SimRng::new(9);
+        let mut xs: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        let expect: Vec<u32> = (0..100).collect();
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut r = SimRng::new(10);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            match r.range_u64(3, 5) {
+                3 => lo_seen = true,
+                5 => hi_seen = true,
+                4 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+}

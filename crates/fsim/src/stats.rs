@@ -1,0 +1,293 @@
+//! Streaming statistics for experiment reporting.
+//!
+//! [`Summary`] accumulates count/mean/variance/min/max in O(1) space using
+//! Welford's online algorithm; [`Histogram`] buckets samples into fixed-width
+//! bins for percentile estimates. The experiment harness aggregates every
+//! reported metric (wait time, overhead fraction, utilization, …) through
+//! these types.
+
+use std::fmt;
+
+/// Online mean/variance/min/max accumulator (Welford).
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "non-finite sample {x}");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another summary into this one (parallel Welford combination).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.n,
+            self.mean(),
+            self.stddev(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// A fixed-bin histogram over `[lo, hi)` with out-of-range samples clamped
+/// into the edge bins. Percentiles are estimated by linear interpolation
+/// within the containing bin.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Build a histogram with `bins` equal-width bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be nonempty");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Record one sample (clamped into range).
+    pub fn add(&mut self, x: f64) {
+        let nb = self.bins.len();
+        let w = (self.hi - self.lo) / nb as f64;
+        let idx = if x <= self.lo {
+            0
+        } else if x >= self.hi {
+            nb - 1
+        } else {
+            (((x - self.lo) / w) as usize).min(nb - 1)
+        };
+        self.bins[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Estimate the `q`-quantile (`q` in `[0,1]`); 0 if empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = q * self.total as f64;
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        let mut acc = 0.0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = acc + c as f64;
+            if next >= target && c > 0 {
+                let frac = if c == 0 { 0.0 } else { (target - acc) / c as f64 };
+                return self.lo + (i as f64 + frac.clamp(0.0, 1.0)) * w;
+            }
+            acc = next;
+        }
+        self.hi
+    }
+
+    /// Bin counts (read-only view, mainly for tests and plots).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let mut s = Summary::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.variance() - 1.25).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert!((s.sum() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroes() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Summary::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut left = Summary::new();
+        let mut right = Summary::new();
+        for &x in &xs[..37] {
+            left.add(x);
+        }
+        for &x in &xs[37..] {
+            right.add(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Summary::new();
+        a.add(5.0);
+        let before = a.clone();
+        a.merge(&Summary::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e.count(), 1);
+        assert_eq!(e.mean(), 5.0);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..1000 {
+            h.add((i % 100) as f64);
+        }
+        let med = h.quantile(0.5);
+        assert!((45.0..55.0).contains(&med), "median {med}");
+        assert!(h.quantile(0.0) <= h.quantile(1.0));
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(-5.0);
+        h.add(500.0);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[9], 1);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+}

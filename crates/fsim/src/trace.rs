@@ -1,0 +1,153 @@
+//! Lightweight event tracing.
+//!
+//! The OS simulator emits a [`TraceEntry`] for every externally observable
+//! action (task state change, configuration download, preemption, …).
+//! Integration tests assert on the trace; experiments usually run with the
+//! trace disabled for speed.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// One trace record: a timestamped, categorized message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When the action happened.
+    pub at: SimTime,
+    /// Category tag, e.g. `"sched"`, `"config"`, `"gc"`.
+    pub tag: &'static str,
+    /// Human-readable details.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>14}] {:<8} {}", self.at.to_string(), self.tag, self.message)
+    }
+}
+
+/// An append-only trace buffer that can be globally enabled or disabled.
+///
+/// When disabled (the default for benchmark runs), [`Trace::emit`] is a
+/// no-op so tracing costs one branch.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// A disabled trace (records nothing).
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            entries: Vec::new(),
+        }
+    }
+
+    /// An enabled trace.
+    pub fn enabled() -> Self {
+        Trace {
+            enabled: true,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Whether entries are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an entry if enabled. The message closure is only evaluated
+    /// when the trace is on.
+    pub fn emit(&mut self, at: SimTime, tag: &'static str, message: impl FnOnce() -> String) {
+        if self.enabled {
+            self.entries.push(TraceEntry {
+                at,
+                tag,
+                message: message(),
+            });
+        }
+    }
+
+    /// All recorded entries in emission order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Entries with the given tag.
+    pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.entries.iter().filter(move |e| e.tag == tag)
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop all recorded entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing_and_skips_closure() {
+        let mut t = Trace::disabled();
+        let mut evaluated = false;
+        t.emit(SimTime(1), "x", || {
+            evaluated = true;
+            "boom".into()
+        });
+        assert!(!evaluated, "message closure must not run when disabled");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::enabled();
+        t.emit(SimTime(1), "a", || "first".into());
+        t.emit(SimTime(2), "b", || "second".into());
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.entries()[0].message, "first");
+        assert_eq!(t.entries()[1].at, SimTime(2));
+    }
+
+    #[test]
+    fn tag_filter() {
+        let mut t = Trace::enabled();
+        t.emit(SimTime(1), "sched", || "s1".into());
+        t.emit(SimTime(2), "config", || "c1".into());
+        t.emit(SimTime(3), "sched", || "s2".into());
+        let scheds: Vec<_> = t.with_tag("sched").map(|e| e.message.as_str()).collect();
+        assert_eq!(scheds, vec!["s1", "s2"]);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let e = TraceEntry {
+            at: SimTime(1_500_000),
+            tag: "gc",
+            message: "merged 2 partitions".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("gc"));
+        assert!(s.contains("merged 2 partitions"));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut t = Trace::enabled();
+        t.emit(SimTime(1), "a", || "x".into());
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! # netlist — gate-level logic networks and a mini synthesis flow
+//!
+//! The VFPGA paper's operating-system layer manages *circuits*: it
+//! downloads them, splits them into partitions/segments/pages, estimates
+//! their latency, and saves/restores their flip-flop state. To exercise
+//! those code paths on real data this crate provides:
+//!
+//! * [`Netlist`] — a gate-level DAG (2-input gates, muxes, D flip-flops)
+//!   with a [`Builder`] API,
+//! * [`sim::Simulator`] — 64-way bit-parallel functional simulation of a
+//!   netlist, including flip-flop state readout and load (the paper's
+//!   *observability* and *controllability* requirements),
+//! * [`mapper`] — technology mapping onto K-input LUTs, producing a
+//!   [`LutNetwork`] that the `pnr` crate places and routes onto the
+//!   simulated FPGA,
+//! * [`library`] — ~20 parametric generator circuits (adders, multipliers,
+//!   CRCs, LFSRs, comparators, encoders, ALU, …) standing in for the
+//!   paper's application circuits (codecs, modems, protocol engines).
+//!
+//! Everything is deterministic and pure-Rust; no external CAD tools.
+
+pub mod gate;
+pub mod graph;
+pub mod library;
+pub mod lutnet;
+pub mod mapper;
+pub mod sim;
+pub mod truth;
+
+pub use gate::{Gate, NodeId};
+pub use graph::{Builder, Netlist, NetlistStats};
+pub use lutnet::{FlipFlop, Lut, LutIn, LutNetwork};
+pub use mapper::{map_to_luts, MapOptions};
+pub use sim::Simulator;

@@ -1,0 +1,201 @@
+//! Arithmetic circuits: adders, subtractors, multipliers.
+
+use super::util::{add_bus, full_adder, sub_bus};
+use crate::graph::{Builder, Netlist};
+
+/// `width`-bit ripple-carry adder.
+///
+/// Inputs: `a[width]`, `b[width]`; outputs: `sum[width]`, `cout`.
+pub fn ripple_adder(name: &str, width: usize) -> Netlist {
+    assert!(width >= 1);
+    let mut b = Builder::new(name);
+    let xs = b.inputs(width);
+    let ys = b.inputs(width);
+    let zero = b.constant(false);
+    let (sum, cout) = add_bus(&mut b, &xs, &ys, zero);
+    b.output_bus("sum", &sum);
+    b.output("cout", cout);
+    b.finish()
+}
+
+/// Golden model for [`ripple_adder`]: returns `(sum mod 2^w, carry)`.
+pub fn golden_add(a: u64, b: u64, width: usize) -> (u64, bool) {
+    let mask = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+    let full = (a & mask) + (b & mask);
+    (full & mask, full > mask)
+}
+
+/// `width`-bit subtractor (two's complement).
+///
+/// Inputs: `a[width]`, `b[width]`; outputs: `diff[width]`, `ge` (1 iff a ≥ b).
+pub fn subtractor(name: &str, width: usize) -> Netlist {
+    assert!(width >= 1);
+    let mut b = Builder::new(name);
+    let xs = b.inputs(width);
+    let ys = b.inputs(width);
+    let (diff, ge) = sub_bus(&mut b, &xs, &ys);
+    b.output_bus("diff", &diff);
+    b.output("ge", ge);
+    b.finish()
+}
+
+/// Golden model for [`subtractor`].
+pub fn golden_sub(a: u64, b: u64, width: usize) -> (u64, bool) {
+    let mask = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+    ((a.wrapping_sub(b)) & mask, (a & mask) >= (b & mask))
+}
+
+/// `width × width` unsigned array multiplier.
+///
+/// Inputs: `a[width]`, `b[width]`; outputs: `p[2*width]`.
+///
+/// Classic carry-save array: AND partial products, rows of full adders.
+/// Area grows quadratically — the library's "large circuit", used to
+/// exercise partition-overflow paths.
+pub fn array_multiplier(name: &str, width: usize) -> Netlist {
+    assert!(width >= 1);
+    let mut b = Builder::new(name);
+    let xs = b.inputs(width);
+    let ys = b.inputs(width);
+    let zero = b.constant(false);
+
+    // pp[j] = xs AND ys[j], shifted left j.
+    let mut acc: Vec<crate::gate::NodeId> = vec![zero; 2 * width];
+    for (j, &yj) in ys.iter().enumerate() {
+        let pp: Vec<_> = xs.iter().map(|&x| b.and(x, yj)).collect();
+        // acc[j..j+width] += pp, ripple.
+        let mut carry = zero;
+        for (i, &p) in pp.iter().enumerate() {
+            let (s, c) = full_adder(&mut b, acc[j + i], p, carry);
+            acc[j + i] = s;
+            carry = c;
+        }
+        // Propagate the final carry upward.
+        let mut k = j + width;
+        while k < 2 * width {
+            let s = b.xor(acc[k], carry);
+            let c = b.and(acc[k], carry);
+            acc[k] = s;
+            carry = c;
+            k += 1;
+        }
+    }
+    b.output_bus("p", &acc);
+    b.finish()
+}
+
+/// Golden model for [`array_multiplier`].
+pub fn golden_mul(a: u64, b: u64, width: usize) -> u64 {
+    let mask = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+    (a & mask).wrapping_mul(b & mask)
+}
+
+/// `width`-bit carry-select adder: computes the upper half for both carry
+/// values and selects. Slightly larger but shallower than ripple —
+/// included so experiments have two area/depth variants of the same
+/// function (the paper's §4 note that partition shape constrains which
+/// circuit variant can be used).
+pub fn carry_select_adder(name: &str, width: usize) -> Netlist {
+    assert!(width >= 2);
+    let half = width / 2;
+    let mut b = Builder::new(name);
+    let xs = b.inputs(width);
+    let ys = b.inputs(width);
+    let zero = b.constant(false);
+    let one = b.constant(true);
+
+    let (lo_sum, lo_carry) = add_bus(&mut b, &xs[..half], &ys[..half], zero);
+    let (hi0, c0) = add_bus(&mut b, &xs[half..], &ys[half..], zero);
+    let (hi1, c1) = add_bus(&mut b, &xs[half..], &ys[half..], one);
+    let hi = super::util::mux_bus(&mut b, lo_carry, &hi0, &hi1);
+    let cout = b.mux(lo_carry, c0, c1);
+
+    let mut sum = lo_sum;
+    sum.extend(hi);
+    b.output_bus("sum", &sum);
+    b.output("cout", cout);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::eval_comb;
+
+    fn bits(v: u64, w: usize) -> Vec<bool> {
+        (0..w).map(|i| (v >> i) & 1 == 1).collect()
+    }
+
+    fn to_u64(bs: &[bool]) -> u64 {
+        bs.iter()
+            .enumerate()
+            .fold(0, |a, (i, &b)| a | ((b as u64) << i))
+    }
+
+    #[test]
+    fn ripple_adder_exhaustive_4bit() {
+        let n = ripple_adder("a4", 4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let mut inp = bits(a, 4);
+                inp.extend(bits(b, 4));
+                let out = eval_comb(&n, &inp);
+                let (sum, c) = golden_add(a, b, 4);
+                assert_eq!(to_u64(&out[..4]), sum);
+                assert_eq!(out[4], c);
+            }
+        }
+    }
+
+    #[test]
+    fn carry_select_matches_ripple() {
+        let r = ripple_adder("r6", 6);
+        let c = carry_select_adder("c6", 6);
+        for a in (0..64u64).step_by(5) {
+            for b in (0..64u64).step_by(7) {
+                let mut inp = bits(a, 6);
+                inp.extend(bits(b, 6));
+                assert_eq!(eval_comb(&r, &inp), eval_comb(&c, &inp), "{a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtractor_exhaustive_4bit() {
+        let n = subtractor("s4", 4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let mut inp = bits(a, 4);
+                inp.extend(bits(b, 4));
+                let out = eval_comb(&n, &inp);
+                let (d, ge) = golden_sub(a, b, 4);
+                assert_eq!(to_u64(&out[..4]), d, "{a}-{b}");
+                assert_eq!(out[4], ge);
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_exhaustive_4bit() {
+        let n = array_multiplier("m4", 4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let mut inp = bits(a, 4);
+                inp.extend(bits(b, 4));
+                let out = eval_comb(&n, &inp);
+                assert_eq!(to_u64(&out), golden_mul(a, b, 4), "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_area_grows_quadratically() {
+        let m4 = array_multiplier("m4", 4).stats().gates;
+        let m8 = array_multiplier("m8", 8).stats().gates;
+        let ratio = m8 as f64 / m4 as f64;
+        assert!(
+            (3.0..5.5).contains(&ratio),
+            "8-bit multiplier should be ~4x the 4-bit one, ratio {ratio}"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! DSP datapaths: FIR filter and moving-average — the paper's multimedia
+//! scenario ("voice and image compression/decompression algorithms").
+
+use super::util::{add_bus, resize_bus, shl_const};
+use crate::gate::NodeId;
+use crate::graph::{Builder, Netlist};
+
+/// Direct-form FIR filter with small constant coefficients.
+///
+/// Inputs: `x[width]`; outputs: `y[width + headroom]` where `headroom`
+/// covers the coefficient sum. Multiplication by constants is realized as
+/// shift-and-add, the standard FPGA idiom. The delay line is a chain of
+/// registered buses, so the circuit carries `width * (taps-1)` bits of
+/// state — the heaviest state-save workload in the library.
+pub fn fir(name: &str, width: usize, coeffs: &[u64]) -> Netlist {
+    assert!(width >= 1);
+    assert!(!coeffs.is_empty());
+    let sum: u64 = coeffs.iter().sum();
+    assert!(sum > 0, "all-zero FIR is degenerate");
+    let headroom = 64 - sum.leading_zeros() as usize;
+    let out_w = width + headroom;
+
+    let mut b = Builder::new(name);
+    let x = b.inputs(width);
+
+    // Delay line: stage 0 is the live input, stage i is x delayed i cycles.
+    let mut stages: Vec<Vec<NodeId>> = vec![x.clone()];
+    for s in 1..coeffs.len() {
+        let prev = stages[s - 1].clone();
+        let regs: Vec<NodeId> = prev.iter().map(|&p| b.dff(p, false)).collect();
+        stages.push(regs);
+    }
+
+    // y = sum over taps of coeff * stage, coeff realized by shift-adds.
+    let zero = b.constant(false);
+    let mut acc: Vec<NodeId> = vec![zero; out_w];
+    for (s, &c) in coeffs.iter().enumerate() {
+        let stage_w = resize_bus(&mut b, &stages[s], out_w);
+        let mut bit = 0usize;
+        let mut cc = c;
+        while cc != 0 {
+            if cc & 1 == 1 {
+                let shifted = shl_const(&mut b, &stage_w, bit);
+                let (next, _) = add_bus(&mut b, &acc, &shifted, zero);
+                acc = next;
+            }
+            cc >>= 1;
+            bit += 1;
+        }
+    }
+    b.output_bus("y", &acc);
+    b.finish()
+}
+
+/// Golden model for [`fir`]: one output sample given the current input and
+/// the delay-line history (`history[0]` = newest past input).
+pub fn golden_fir_sample(x: u64, history: &[u64], coeffs: &[u64], width: usize) -> u64 {
+    let mask = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+    let sum: u64 = coeffs.iter().sum();
+    let headroom = 64 - sum.leading_zeros() as usize;
+    let out_mask = if width + headroom >= 64 {
+        u64::MAX
+    } else {
+        (1 << (width + headroom)) - 1
+    };
+    let mut y = coeffs[0].wrapping_mul(x & mask);
+    for (i, &c) in coeffs.iter().enumerate().skip(1) {
+        let h = history.get(i - 1).copied().unwrap_or(0) & mask;
+        y = y.wrapping_add(c.wrapping_mul(h));
+    }
+    y & out_mask
+}
+
+/// Moving-average of the last `taps` inputs (all coefficients 1) — the
+/// cheap smoothing filter of the embedded-control scenario.
+pub fn moving_sum(name: &str, width: usize, taps: usize) -> Netlist {
+    assert!(taps >= 1);
+    let coeffs = vec![1u64; taps];
+    fir(name, width, &coeffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    fn in_words(x: u64, w: usize) -> Vec<u64> {
+        (0..w).map(|i| (x >> i) & 1).collect()
+    }
+
+    fn out_u64(sim: &Simulator, n: usize) -> u64 {
+        (0..n).fold(0u64, |acc, i| acc | ((sim.output(i) & 1) << i))
+    }
+
+    #[test]
+    fn fir_impulse_response_is_coefficients() {
+        let coeffs = [3u64, 5, 2];
+        let n = fir("f", 4, &coeffs);
+        let out_w = n.outputs().len();
+        let mut sim = Simulator::new(&n);
+        // Impulse: x = 1, then zeros. Output at time t is coeffs[t].
+        let mut got = Vec::new();
+        for t in 0..5 {
+            let x = if t == 0 { 1u64 } else { 0 };
+            sim.eval(&in_words(x, 4));
+            got.push(out_u64(&sim, out_w));
+            sim.clock();
+        }
+        assert_eq!(got, vec![3, 5, 2, 0, 0]);
+    }
+
+    #[test]
+    fn fir_matches_golden_on_random_stream() {
+        let coeffs = [1u64, 4, 2, 7];
+        let w = 5;
+        let n = fir("f", w, &coeffs);
+        let out_w = n.outputs().len();
+        let mut sim = Simulator::new(&n);
+        let stream = [9u64, 30, 1, 17, 22, 5, 31, 0, 13];
+        let mut hist: Vec<u64> = Vec::new();
+        for &x in &stream {
+            sim.eval(&in_words(x, w));
+            let expect = golden_fir_sample(x, &hist, &coeffs, w);
+            assert_eq!(out_u64(&sim, out_w), expect, "x={x} hist={hist:?}");
+            sim.clock();
+            hist.insert(0, x);
+        }
+    }
+
+    #[test]
+    fn moving_sum_sums_window() {
+        let n = moving_sum("ms", 4, 3);
+        let out_w = n.outputs().len();
+        let mut sim = Simulator::new(&n);
+        let stream = [2u64, 3, 5, 7, 11 & 0xF];
+        let mut window: Vec<u64> = Vec::new();
+        for &x in &stream {
+            sim.eval(&in_words(x, 4));
+            window.insert(0, x);
+            window.truncate(3);
+            let expect: u64 = window.iter().sum();
+            assert_eq!(out_u64(&sim, out_w), expect);
+            sim.clock();
+        }
+    }
+
+    #[test]
+    fn fir_state_width_scales_with_taps() {
+        let f2 = fir("f2", 8, &[1, 1]);
+        let f5 = fir("f5", 8, &[1, 1, 1, 1, 1]);
+        assert_eq!(f2.stats().dffs, 8);
+        assert_eq!(f5.stats().dffs, 32);
+    }
+}

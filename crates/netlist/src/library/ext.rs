@@ -1,0 +1,358 @@
+//! Extended circuit collection: divider, Booth multiplier, bitonic sorting
+//! network, seven-segment decoder, and BCD conversion.
+//!
+//! These round out the library's area/depth spectrum: the restoring
+//! divider is the deepest circuit in the collection (quadratic depth), the
+//! bitonic sorter the most wire-dense, the seven-segment decoder the most
+//! LUT-friendly — useful stress shapes for the placer, router, and
+//! partition experiments.
+
+use super::util::{mux_bus, shl_const, sub_bus};
+use crate::gate::NodeId;
+use crate::graph::{Builder, Netlist};
+
+/// `width`-bit unsigned restoring divider.
+///
+/// Inputs: `n[width]` (dividend), `d[width]` (divisor);
+/// outputs: `q[width]`, `r[width]`. Division by zero yields q = all-ones,
+/// r = n (the conventional garbage; golden model matches).
+pub fn restoring_divider(name: &str, width: usize) -> Netlist {
+    assert!((1..=16).contains(&width), "divider width 1..=16");
+    let mut b = Builder::new(name);
+    let n = b.inputs(width);
+    let d = b.inputs(width);
+
+    // Work in 2w bits: remainder register starts as zero-extended n and is
+    // shifted left one bit per step; the divisor sits in the high half.
+    let zero = b.constant(false);
+    let mut rem: Vec<NodeId> = n.clone();
+    rem.resize(2 * width, zero);
+    let mut dd: Vec<NodeId> = vec![zero; width];
+    dd.extend(d.iter().copied());
+
+    let mut q: Vec<NodeId> = vec![zero; width];
+    for step in 0..width {
+        // rem <<= 1
+        rem = shl_const(&mut b, &rem, 1);
+        // trial = rem - dd
+        let (trial, no_borrow) = sub_bus(&mut b, &rem, &dd);
+        // if no_borrow: rem = trial, quotient bit = 1
+        rem = mux_bus(&mut b, no_borrow, &rem, &trial);
+        q[width - 1 - step] = no_borrow;
+    }
+    b.output_bus("q", &q);
+    b.output_bus("r", &rem[width..2 * width].to_vec());
+    b.finish()
+}
+
+/// Golden model for [`restoring_divider`]: `(quotient, remainder)`.
+pub fn golden_divide(n: u64, d: u64, width: usize) -> (u64, u64) {
+    let mask = (1u64 << width) - 1;
+    let (n, d) = (n & mask, d & mask);
+    if d == 0 {
+        // Mirror the hardware: every trial subtraction "succeeds".
+        return (mask, n);
+    }
+    (n / d, n % d)
+}
+
+/// `width × width` Booth-encoded (radix-2) signed multiplier.
+///
+/// Inputs: `a[width]`, `b[width]` (two's complement);
+/// outputs: `p[2*width]`.
+pub fn booth_multiplier(name: &str, width: usize) -> Netlist {
+    assert!((2..=12).contains(&width), "booth width 2..=12");
+    let mut bld = Builder::new(name);
+    let a = bld.inputs(width);
+    let b_in = bld.inputs(width);
+    let zero = bld.constant(false);
+
+    // Sign-extended A and -A in 2w bits.
+    let mut a_ext: Vec<NodeId> = a.clone();
+    while a_ext.len() < 2 * width {
+        a_ext.push(a[width - 1]);
+    }
+    let zeros = vec![zero; 2 * width];
+    let (neg_a, _) = sub_bus(&mut bld, &zeros, &a_ext);
+
+    // Radix-2 Booth: examine (b[i], b[i-1]); 01 -> +A<<i, 10 -> -A<<i.
+    let mut acc: Vec<NodeId> = vec![zero; 2 * width];
+    let mut prev = zero;
+    for (i, &bi) in b_in.iter().enumerate() {
+        let nprev = bld.not(prev);
+        let nbi = bld.not(bi);
+        let plus = bld.and(nbi, prev); // 0,1 -> add
+        let minus = bld.and(bi, nprev); // 1,0 -> subtract
+        let pos = shl_const(&mut bld, &a_ext, i);
+        let neg = shl_const(&mut bld, &neg_a, i);
+        // operand = plus? pos : (minus? neg : 0)
+        let sel_minus = mux_bus(&mut bld, minus, &zeros, &neg);
+        let operand = mux_bus(&mut bld, plus, &sel_minus, &pos);
+        let (next, _) = super::util::add_bus(&mut bld, &acc, &operand, zero);
+        acc = next;
+        prev = bi;
+    }
+    bld.output_bus("p", &acc);
+    bld.finish()
+}
+
+/// Golden model for [`booth_multiplier`]: signed product, 2w bits.
+pub fn golden_booth(a: u64, b: u64, width: usize) -> u64 {
+    let sign_extend = |v: u64| -> i64 {
+        let m = 1u64 << (width - 1);
+        ((v & ((1 << width) - 1)) as i64 ^ m as i64) - m as i64
+    };
+    let p = sign_extend(a).wrapping_mul(sign_extend(b));
+    (p as u64) & ((1u64 << (2 * width)) - 1)
+}
+
+/// Bitonic sorting network over `n` (power of two) `width`-bit keys.
+///
+/// Inputs: `x0[width]`, `x1[width]`, …; outputs: `y0[width]` ≤ `y1[width]` ≤ ….
+pub fn bitonic_sorter(name: &str, n: usize, width: usize) -> Netlist {
+    assert!(n.is_power_of_two() && n >= 2, "n must be a power of two >= 2");
+    let mut b = Builder::new(name);
+    let mut lanes: Vec<Vec<NodeId>> = (0..n).map(|_| b.inputs(width)).collect();
+
+    // Compare-exchange: ascending puts min on `lo`.
+    let cmpex = |b: &mut Builder, lanes: &mut Vec<Vec<NodeId>>, lo: usize, hi: usize, asc: bool| {
+        let (_, ge) = sub_bus(b, &lanes[lo], &lanes[hi]); // ge = lanes[lo] >= lanes[hi]
+        let swap = if asc { ge } else { b.not(ge) };
+        let new_lo = mux_bus(b, swap, &lanes[lo], &lanes[hi]);
+        let new_hi = mux_bus(b, swap, &lanes[hi], &lanes[lo]);
+        lanes[lo] = new_lo;
+        lanes[hi] = new_hi;
+    };
+
+    // Standard bitonic network.
+    let mut k = 2;
+    while k <= n {
+        let mut j = k / 2;
+        while j >= 1 {
+            for i in 0..n {
+                let l = i ^ j;
+                if l > i {
+                    let asc = (i & k) == 0;
+                    cmpex(&mut b, &mut lanes, i, l, asc);
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+    for (i, lane) in lanes.iter().enumerate() {
+        b.output_bus(&format!("y{i}"), lane);
+    }
+    b.finish()
+}
+
+/// Golden model for [`bitonic_sorter`]: sort ascending.
+pub fn golden_sort(xs: &[u64], width: usize) -> Vec<u64> {
+    let mask = (1u64 << width) - 1;
+    let mut v: Vec<u64> = xs.iter().map(|&x| x & mask).collect();
+    v.sort_unstable();
+    v
+}
+
+/// Seven-segment decoder for one hex digit.
+///
+/// Inputs: `d[4]`; outputs: `seg[7]` (a..g active-high, standard layout).
+pub fn seven_segment(name: &str) -> Netlist {
+    let mut b = Builder::new(name);
+    let d = b.inputs(4);
+    let mut segs: Vec<NodeId> = Vec::with_capacity(7);
+    for seg in 0..7 {
+        // Build each segment as a sum of minterms from the golden table.
+        let mut terms = Vec::new();
+        for v in 0..16u64 {
+            if (golden_seven_segment(v) >> seg) & 1 == 1 {
+                let mut bits = Vec::with_capacity(4);
+                for (i, &di) in d.iter().enumerate() {
+                    bits.push(if (v >> i) & 1 == 1 { di } else { b.not(di) });
+                }
+                terms.push(b.and_tree(&bits));
+            }
+        }
+        segs.push(b.or_tree(&terms));
+    }
+    b.output_bus("seg", &segs);
+    b.finish()
+}
+
+/// Golden model for [`seven_segment`]: segment mask a..g for a hex digit.
+pub fn golden_seven_segment(v: u64) -> u64 {
+    // Standard common-cathode hex patterns, bit0 = a … bit6 = g.
+    const TABLE: [u64; 16] = [
+        0b0111111, 0b0000110, 0b1011011, 0b1001111, 0b1100110, 0b1101101, 0b1111101, 0b0000111,
+        0b1111111, 0b1101111, 0b1110111, 0b1111100, 0b0111001, 0b1011110, 0b1111001, 0b1110001,
+    ];
+    TABLE[(v & 0xF) as usize]
+}
+
+/// Binary→BCD (double-dabble) converter for values 0..100.
+///
+/// Inputs: `x[7]`; outputs: `tens[4]`, `ones[4]`.
+pub fn bin_to_bcd(name: &str) -> Netlist {
+    let mut b = Builder::new(name);
+    let x = b.inputs(7);
+    let zero = b.constant(false);
+    // Shift-and-add-3, unrolled: scratch = [ones(4) | tens(4)].
+    let mut ones: Vec<NodeId> = vec![zero; 4];
+    let mut tens: Vec<NodeId> = vec![zero; 4];
+    for i in (0..7).rev() {
+        // Add 3 to any BCD digit >= 5 before shifting.
+        for digit in [&mut ones, &mut tens] {
+            let five = super::util::const_bus(&mut b, 5, 4);
+            let (_, ge5) = sub_bus(&mut b, digit, &five);
+            let three = super::util::const_bus(&mut b, 3, 4);
+            let (plus3, _) = super::util::add_bus(&mut b, digit, &three, zero);
+            let next = mux_bus(&mut b, ge5, digit, &plus3);
+            digit.clone_from(&next);
+        }
+        // Shift left, feeding x[i] into ones[0] and ones[3] into tens[0].
+        let ones_msb = ones[3];
+        ones = vec![x[i], ones[0], ones[1], ones[2]];
+        tens = vec![ones_msb, tens[0], tens[1], tens[2]];
+    }
+    b.output_bus("ones", &ones);
+    b.output_bus("tens", &tens);
+    b.finish()
+}
+
+/// Golden model for [`bin_to_bcd`]: `(tens, ones)` for 0..100.
+pub fn golden_bcd(v: u64) -> (u64, u64) {
+    let v = v % 100;
+    (v / 10, v % 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::eval_comb;
+
+    fn bits(v: u64, w: usize) -> Vec<bool> {
+        (0..w).map(|i| (v >> i) & 1 == 1).collect()
+    }
+
+    fn to_u64(bs: &[bool]) -> u64 {
+        bs.iter()
+            .enumerate()
+            .fold(0, |a, (i, &b)| a | ((b as u64) << i))
+    }
+
+    #[test]
+    fn divider_exhaustive_4bit() {
+        let net = restoring_divider("div4", 4);
+        for n in 0..16u64 {
+            for d in 0..16u64 {
+                let mut inp = bits(n, 4);
+                inp.extend(bits(d, 4));
+                let out = eval_comb(&net, &inp);
+                let (q, r) = golden_divide(n, d, 4);
+                assert_eq!(to_u64(&out[..4]), q, "{n}/{d} quotient");
+                assert_eq!(to_u64(&out[4..]), r, "{n}/{d} remainder");
+            }
+        }
+    }
+
+    #[test]
+    fn divider_spot_checks_6bit() {
+        let net = restoring_divider("div6", 6);
+        for (n, d) in [(63u64, 7u64), (42, 5), (1, 63), (60, 1), (0, 9)] {
+            let mut inp = bits(n, 6);
+            inp.extend(bits(d, 6));
+            let out = eval_comb(&net, &inp);
+            let (q, r) = golden_divide(n, d, 6);
+            assert_eq!(to_u64(&out[..6]), q, "{n}/{d}");
+            assert_eq!(to_u64(&out[6..]), r, "{n}%{d}");
+        }
+    }
+
+    #[test]
+    fn booth_exhaustive_4bit_signed() {
+        let net = booth_multiplier("bm4", 4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let mut inp = bits(a, 4);
+                inp.extend(bits(b, 4));
+                let out = eval_comb(&net, &inp);
+                assert_eq!(to_u64(&out), golden_booth(a, b, 4), "{a}*{b} signed");
+            }
+        }
+    }
+
+    #[test]
+    fn bitonic_sorts_4x3_exhaustively_sampled() {
+        let net = bitonic_sorter("bs4", 4, 3);
+        for seed in 0..200u64 {
+            // Derive 4 pseudo-random 3-bit keys from the seed.
+            let keys: Vec<u64> = (0..4).map(|i| (seed * 7 + i * 13) % 8).collect();
+            let mut inp = Vec::new();
+            for &k in &keys {
+                inp.extend(bits(k, 3));
+            }
+            let out = eval_comb(&net, &inp);
+            let got: Vec<u64> = (0..4).map(|i| to_u64(&out[i * 3..(i + 1) * 3])).collect();
+            assert_eq!(got, golden_sort(&keys, 3), "keys {keys:?}");
+        }
+    }
+
+    #[test]
+    fn bitonic_8_lane_smoke() {
+        let net = bitonic_sorter("bs8", 8, 4);
+        let keys = [9u64, 3, 15, 0, 7, 7, 12, 1];
+        let mut inp = Vec::new();
+        for &k in &keys {
+            inp.extend(bits(k, 4));
+        }
+        let out = eval_comb(&net, &inp);
+        let got: Vec<u64> = (0..8).map(|i| to_u64(&out[i * 4..(i + 1) * 4])).collect();
+        assert_eq!(got, golden_sort(&keys, 4));
+    }
+
+    #[test]
+    fn seven_segment_all_digits() {
+        let net = seven_segment("sseg");
+        for v in 0..16u64 {
+            let out = eval_comb(&net, &bits(v, 4));
+            assert_eq!(to_u64(&out), golden_seven_segment(v), "digit {v:x}");
+        }
+    }
+
+    #[test]
+    fn bcd_all_values() {
+        let net = bin_to_bcd("bcd");
+        for v in 0..100u64 {
+            let out = eval_comb(&net, &bits(v, 7));
+            let (tens, ones) = golden_bcd(v);
+            assert_eq!(to_u64(&out[..4]), ones, "{v} ones");
+            assert_eq!(to_u64(&out[4..]), tens, "{v} tens");
+        }
+    }
+
+    #[test]
+    fn extended_circuits_survive_the_mapper() {
+        for net in [
+            restoring_divider("d", 4),
+            booth_multiplier("b", 4),
+            bitonic_sorter("s", 4, 3),
+            seven_segment("7"),
+            bin_to_bcd("bcd"),
+        ] {
+            let mapped = crate::map_to_luts(&net, crate::MapOptions::default());
+            assert_eq!(mapped.validate(), Ok(()));
+            // Spot-check functional equivalence on 64 random vectors.
+            let mut words = Vec::new();
+            let mut x = 0x1234_5678_9ABC_DEF0u64;
+            for _ in 0..net.num_inputs() {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                words.push(x);
+            }
+            let mut gsim = crate::Simulator::new(&net);
+            gsim.eval(&words);
+            let mut lsim = crate::lutnet::LutSimulator::new(&mapped);
+            lsim.eval(&words);
+            assert_eq!(gsim.outputs(), lsim.outputs(&words), "{}", net.name());
+        }
+    }
+}

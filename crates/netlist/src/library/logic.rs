@@ -1,0 +1,266 @@
+//! Combinational logic circuits: comparators, parity, popcount, encoders,
+//! shifters, majority voters.
+
+use super::util::{add_bus, mux_bus, resize_bus};
+use crate::gate::NodeId;
+use crate::graph::{Builder, Netlist};
+
+/// `width`-bit unsigned comparator.
+///
+/// Inputs: `a[width]`, `b[width]`; outputs: `eq`, `lt` (a < b).
+pub fn comparator(name: &str, width: usize) -> Netlist {
+    assert!(width >= 1);
+    let mut b = Builder::new(name);
+    let xs = b.inputs(width);
+    let ys = b.inputs(width);
+    // MSB-first scan: lt = y_i & !x_i at the first differing bit.
+    let mut eq_so_far = b.constant(true);
+    let mut lt = b.constant(false);
+    for i in (0..width).rev() {
+        let xi = xs[i];
+        let yi = ys[i];
+        let nxi = b.not(xi);
+        let here_lt = b.and(nxi, yi);
+        let contrib = b.and(eq_so_far, here_lt);
+        lt = b.or(lt, contrib);
+        let here_eq = b.xnor(xi, yi);
+        eq_so_far = b.and(eq_so_far, here_eq);
+    }
+    b.output("eq", eq_so_far);
+    b.output("lt", lt);
+    b.finish()
+}
+
+/// Golden model for [`comparator`].
+pub fn golden_compare(a: u64, b: u64) -> (bool, bool) {
+    (a == b, a < b)
+}
+
+/// `width`-input parity (XOR) tree. Output: `p`.
+pub fn parity(name: &str, width: usize) -> Netlist {
+    assert!(width >= 1);
+    let mut b = Builder::new(name);
+    let xs = b.inputs(width);
+    let p = b.xor_tree(&xs);
+    b.output("p", p);
+    b.finish()
+}
+
+/// Golden model for [`parity`].
+pub fn golden_parity(v: u64) -> bool {
+    v.count_ones() % 2 == 1
+}
+
+/// `width`-input population count. Outputs: `c[ceil(log2(width+1))]`.
+pub fn popcount(name: &str, width: usize) -> Netlist {
+    assert!(width >= 1);
+    let out_w = (usize::BITS - width.leading_zeros()) as usize;
+    let mut b = Builder::new(name);
+    let xs = b.inputs(width);
+    // Adder-tree reduction of 1-bit values.
+    let mut layer: Vec<Vec<NodeId>> = xs.iter().map(|&x| vec![x]).collect();
+    let zero = b.constant(false);
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        let mut it = layer.into_iter();
+        while let Some(a) = it.next() {
+            if let Some(c) = it.next() {
+                let w = a.len().max(c.len());
+                let aw = resize_bus(&mut b, &a, w);
+                let cw = resize_bus(&mut b, &c, w);
+                let (mut s, cout) = add_bus(&mut b, &aw, &cw, zero);
+                s.push(cout);
+                next.push(s);
+            } else {
+                next.push(a);
+            }
+        }
+        layer = next;
+    }
+    let count = resize_bus(&mut b, &layer[0], out_w);
+    b.output_bus("c", &count);
+    b.finish()
+}
+
+/// Golden model for [`popcount`].
+pub fn golden_popcount(v: u64) -> u64 {
+    v.count_ones() as u64
+}
+
+/// `width`-input priority encoder (highest-index set bit wins).
+///
+/// Outputs: `idx[ceil(log2 width)]`, `valid`.
+pub fn priority_encoder(name: &str, width: usize) -> Netlist {
+    assert!(width >= 2);
+    let idx_w = (usize::BITS - (width - 1).leading_zeros()) as usize;
+    let mut b = Builder::new(name);
+    let xs = b.inputs(width);
+    let mut idx = super::util::const_bus(&mut b, 0, idx_w);
+    let mut valid = b.constant(false);
+    // Scan LSB→MSB so higher indices override.
+    for (i, &x) in xs.iter().enumerate() {
+        let here = super::util::const_bus(&mut b, i as u64, idx_w);
+        idx = mux_bus(&mut b, x, &idx, &here);
+        valid = b.or(valid, x);
+    }
+    b.output_bus("idx", &idx);
+    b.output("valid", valid);
+    b.finish()
+}
+
+/// Golden model for [`priority_encoder`]: `(index, valid)`.
+pub fn golden_priority(v: u64, width: usize) -> (u64, bool) {
+    for i in (0..width).rev() {
+        if (v >> i) & 1 == 1 {
+            return (i as u64, true);
+        }
+    }
+    (0, false)
+}
+
+/// `width`-bit barrel shifter (logical left).
+///
+/// Inputs: `a[width]`, `sh[log2 width]`; outputs: `y[width]`.
+pub fn barrel_shifter(name: &str, width: usize) -> Netlist {
+    assert!(width.is_power_of_two() && width >= 2);
+    let sh_w = width.trailing_zeros() as usize;
+    let mut b = Builder::new(name);
+    let xs = b.inputs(width);
+    let sh = b.inputs(sh_w);
+    let mut cur = xs;
+    for (stage, &s) in sh.iter().enumerate() {
+        let shifted = super::util::shl_const(&mut b, &cur, 1 << stage);
+        cur = mux_bus(&mut b, s, &cur, &shifted);
+    }
+    b.output_bus("y", &cur);
+    b.finish()
+}
+
+/// Golden model for [`barrel_shifter`].
+pub fn golden_shl(a: u64, sh: u64, width: usize) -> u64 {
+    let mask = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+    ((a & mask) << sh) & mask
+}
+
+/// Majority voter over `n` (odd) inputs — the classic fault-tolerance
+/// primitive for the paper's "high-volume fault-tolerant memory storage"
+/// scenario. Output: `m`.
+pub fn majority(name: &str, n: usize) -> Netlist {
+    assert!(n % 2 == 1 && n >= 3, "majority needs odd n >= 3");
+    let mut b = Builder::new(name);
+    let xs = b.inputs(n);
+    // Count set bits with an adder tree, then threshold against n/2 + 1.
+    let out_w = (usize::BITS - n.leading_zeros()) as usize;
+    let zero = b.constant(false);
+    let mut layer: Vec<Vec<NodeId>> = xs.iter().map(|&x| vec![x]).collect();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        let mut it = layer.into_iter();
+        while let Some(a) = it.next() {
+            if let Some(c) = it.next() {
+                let w = a.len().max(c.len());
+                let aw = resize_bus(&mut b, &a, w);
+                let cw = resize_bus(&mut b, &c, w);
+                let (mut s, cout) = add_bus(&mut b, &aw, &cw, zero);
+                s.push(cout);
+                next.push(s);
+            } else {
+                next.push(a);
+            }
+        }
+        layer = next;
+    }
+    let count = resize_bus(&mut b, &layer[0], out_w);
+    // m = count > n/2  <=>  count >= n/2 + 1  <=>  !(count < n/2+1).
+    let threshold = super::util::const_bus(&mut b, (n / 2 + 1) as u64, out_w);
+    let (_, ge) = super::util::sub_bus(&mut b, &count, &threshold);
+    b.output("m", ge);
+    b.finish()
+}
+
+/// Golden model for [`majority`].
+pub fn golden_majority(v: u64, n: usize) -> bool {
+    (v & ((1 << n) - 1)).count_ones() as usize > n / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::eval_comb;
+
+    fn bits(v: u64, w: usize) -> Vec<bool> {
+        (0..w).map(|i| (v >> i) & 1 == 1).collect()
+    }
+
+    fn to_u64(bs: &[bool]) -> u64 {
+        bs.iter()
+            .enumerate()
+            .fold(0, |a, (i, &b)| a | ((b as u64) << i))
+    }
+
+    #[test]
+    fn comparator_exhaustive() {
+        let n = comparator("c4", 4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let mut inp = bits(a, 4);
+                inp.extend(bits(b, 4));
+                let out = eval_comb(&n, &inp);
+                let (eq, lt) = golden_compare(a, b);
+                assert_eq!(out[0], eq, "{a} eq {b}");
+                assert_eq!(out[1], lt, "{a} lt {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_exhaustive() {
+        let n = parity("p6", 6);
+        for v in 0..64u64 {
+            assert_eq!(eval_comb(&n, &bits(v, 6))[0], golden_parity(v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn popcount_exhaustive() {
+        let n = popcount("pc7", 7);
+        for v in 0..128u64 {
+            let out = eval_comb(&n, &bits(v, 7));
+            assert_eq!(to_u64(&out), golden_popcount(v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn priority_encoder_exhaustive() {
+        let n = priority_encoder("pe8", 8);
+        for v in 0..256u64 {
+            let out = eval_comb(&n, &bits(v, 8));
+            let (idx, valid) = golden_priority(v, 8);
+            assert_eq!(out[out.len() - 1], valid, "valid for {v:#b}");
+            if valid {
+                assert_eq!(to_u64(&out[..out.len() - 1]), idx, "idx for {v:#b}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrel_shifter_exhaustive() {
+        let n = barrel_shifter("sh8", 8);
+        for a in (0..256u64).step_by(7) {
+            for sh in 0..8u64 {
+                let mut inp = bits(a, 8);
+                inp.extend(bits(sh, 3));
+                let out = eval_comb(&n, &inp);
+                assert_eq!(to_u64(&out), golden_shl(a, sh, 8), "{a} << {sh}");
+            }
+        }
+    }
+
+    #[test]
+    fn majority_exhaustive() {
+        let n = majority("m5", 5);
+        for v in 0..32u64 {
+            assert_eq!(eval_comb(&n, &bits(v, 5))[0], golden_majority(v, 5), "v={v:#b}");
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Parametric generator circuits.
+//!
+//! The paper motivates VFPGAs with application circuits — codec banks,
+//! modem encoders, network protocol engines, storage-array codecs,
+//! embedded-control diagnosis. This module provides the concrete circuits
+//! those suites are assembled from, each with a software *golden model*
+//! used both for verification and as the software-execution baseline in
+//! experiment E12.
+//!
+//! Submodules:
+//! * [`util`] — bus-level construction helpers on [`crate::Builder`],
+//! * [`arith`] — adders, subtractors, multipliers,
+//! * [`logic`] — comparators, parity, popcount, encoders, shifters,
+//! * [`codes`] — CRC, Hamming, Gray code,
+//! * [`seq`] — counters, LFSRs, shift registers, accumulators, FSMs,
+//! * [`dsp`] — FIR filter datapath,
+//! * [`ext`] — divider, Booth multiplier, bitonic sorter, 7-segment, BCD,
+//! * [`alu`] — a small multi-function ALU.
+
+pub mod alu;
+pub mod arith;
+pub mod codes;
+pub mod dsp;
+pub mod ext;
+pub mod logic;
+pub mod seq;
+pub mod util;

@@ -1,0 +1,237 @@
+//! Bus-level construction helpers.
+//!
+//! All circuit generators manipulate *buses*: LSB-first vectors of
+//! [`NodeId`]. These free functions extend [`Builder`] with the word-level
+//! operators the generators need; they are deliberately structural (ripple
+//! carries, mux trees) so that circuit area scales the way real FPGA
+//! datapaths do.
+
+use crate::gate::NodeId;
+use crate::graph::Builder;
+
+/// A constant bus holding `value`, LSB-first, `width` bits.
+pub fn const_bus(b: &mut Builder, value: u64, width: usize) -> Vec<NodeId> {
+    (0..width).map(|i| b.constant((value >> i) & 1 == 1)).collect()
+}
+
+/// Bitwise NOT of a bus.
+pub fn not_bus(b: &mut Builder, xs: &[NodeId]) -> Vec<NodeId> {
+    xs.iter().map(|&x| b.not(x)).collect()
+}
+
+/// Bitwise AND of two equal-width buses.
+pub fn and_bus(b: &mut Builder, xs: &[NodeId], ys: &[NodeId]) -> Vec<NodeId> {
+    assert_eq!(xs.len(), ys.len());
+    xs.iter().zip(ys).map(|(&x, &y)| b.and(x, y)).collect()
+}
+
+/// Bitwise XOR of two equal-width buses.
+pub fn xor_bus(b: &mut Builder, xs: &[NodeId], ys: &[NodeId]) -> Vec<NodeId> {
+    assert_eq!(xs.len(), ys.len());
+    xs.iter().zip(ys).map(|(&x, &y)| b.xor(x, y)).collect()
+}
+
+/// Bus-wide 2:1 mux: `sel ? hi : lo`, element-wise.
+pub fn mux_bus(b: &mut Builder, sel: NodeId, lo: &[NodeId], hi: &[NodeId]) -> Vec<NodeId> {
+    assert_eq!(lo.len(), hi.len());
+    lo.iter()
+        .zip(hi)
+        .map(|(&l, &h)| b.mux(sel, l, h))
+        .collect()
+}
+
+/// Full adder: returns `(sum, carry_out)`.
+pub fn full_adder(b: &mut Builder, x: NodeId, y: NodeId, cin: NodeId) -> (NodeId, NodeId) {
+    let s1 = b.xor(x, y);
+    let sum = b.xor(s1, cin);
+    let c1 = b.and(x, y);
+    let c2 = b.and(s1, cin);
+    let cout = b.or(c1, c2);
+    (sum, cout)
+}
+
+/// Ripple-carry addition of two equal-width buses; returns `(sum, carry_out)`.
+pub fn add_bus(
+    b: &mut Builder,
+    xs: &[NodeId],
+    ys: &[NodeId],
+    cin: NodeId,
+) -> (Vec<NodeId>, NodeId) {
+    assert_eq!(xs.len(), ys.len());
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(xs.len());
+    for (&x, &y) in xs.iter().zip(ys) {
+        let (s, c) = full_adder(b, x, y, carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Two's-complement subtraction `xs - ys`; returns `(difference, borrow_free)`
+/// where the second element is the carry-out (1 means no borrow, i.e.
+/// `xs >= ys` for unsigned operands).
+pub fn sub_bus(b: &mut Builder, xs: &[NodeId], ys: &[NodeId]) -> (Vec<NodeId>, NodeId) {
+    let ny = not_bus(b, ys);
+    let one = b.constant(true);
+    add_bus(b, xs, &ny, one)
+}
+
+/// Increment a bus by an enable bit; returns `(result, carry_out)`.
+pub fn inc_bus(b: &mut Builder, xs: &[NodeId], en: NodeId) -> (Vec<NodeId>, NodeId) {
+    let mut carry = en;
+    let mut out = Vec::with_capacity(xs.len());
+    for &x in xs {
+        let s = b.xor(x, carry);
+        let c = b.and(x, carry);
+        out.push(s);
+        carry = c;
+    }
+    (out, carry)
+}
+
+/// Equality of two equal-width buses.
+pub fn eq_bus(b: &mut Builder, xs: &[NodeId], ys: &[NodeId]) -> NodeId {
+    assert_eq!(xs.len(), ys.len());
+    let eqs: Vec<NodeId> = xs.iter().zip(ys).map(|(&x, &y)| b.xnor(x, y)).collect();
+    b.and_tree(&eqs)
+}
+
+/// Zero-extend (or truncate) a bus to `width` bits.
+pub fn resize_bus(b: &mut Builder, xs: &[NodeId], width: usize) -> Vec<NodeId> {
+    let zero = b.constant(false);
+    let mut out: Vec<NodeId> = xs.iter().copied().take(width).collect();
+    while out.len() < width {
+        out.push(zero);
+    }
+    out
+}
+
+/// Logical left shift by a constant amount (zero-filled), keeping width.
+pub fn shl_const(b: &mut Builder, xs: &[NodeId], by: usize) -> Vec<NodeId> {
+    let zero = b.constant(false);
+    let mut out = vec![zero; by.min(xs.len())];
+    out.extend(xs.iter().copied().take(xs.len().saturating_sub(by)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::eval_comb;
+
+    fn bits(v: u64, w: usize) -> Vec<bool> {
+        (0..w).map(|i| (v >> i) & 1 == 1).collect()
+    }
+
+    fn to_u64(bs: &[bool]) -> u64 {
+        bs.iter()
+            .enumerate()
+            .fold(0, |a, (i, &b)| a | ((b as u64) << i))
+    }
+
+    #[test]
+    fn add_bus_matches_integer_addition() {
+        let w = 5;
+        let mut b = Builder::new("add");
+        let xs = b.inputs(w);
+        let ys = b.inputs(w);
+        let zero = b.constant(false);
+        let (sum, cout) = add_bus(&mut b, &xs, &ys, zero);
+        b.output_bus("s", &sum);
+        b.output("c", cout);
+        let n = b.finish();
+        for x in 0..(1u64 << w) {
+            for y in (0..(1u64 << w)).step_by(3) {
+                let mut inp = bits(x, w);
+                inp.extend(bits(y, w));
+                let out = eval_comb(&n, &inp);
+                let got = to_u64(&out[..w]) | ((out[w] as u64) << w);
+                assert_eq!(got, x + y, "{x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn sub_bus_matches_wrapping_subtraction() {
+        let w = 4;
+        let mut b = Builder::new("sub");
+        let xs = b.inputs(w);
+        let ys = b.inputs(w);
+        let (diff, nb) = sub_bus(&mut b, &xs, &ys);
+        b.output_bus("d", &diff);
+        b.output("nb", nb);
+        let n = b.finish();
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut inp = bits(x, w);
+                inp.extend(bits(y, w));
+                let out = eval_comb(&n, &inp);
+                assert_eq!(to_u64(&out[..w]), x.wrapping_sub(y) & 0xF, "{x}-{y}");
+                assert_eq!(out[w], x >= y, "borrow for {x}-{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn inc_and_eq() {
+        let w = 4;
+        let mut b = Builder::new("inc");
+        let xs = b.inputs(w);
+        let en = b.input();
+        let (inc, _) = inc_bus(&mut b, &xs, en);
+        let three = const_bus(&mut b, 3, w);
+        let is3 = eq_bus(&mut b, &xs, &three);
+        b.output_bus("i", &inc);
+        b.output("is3", is3);
+        let n = b.finish();
+        for x in 0..16u64 {
+            for e in [0u64, 1] {
+                let mut inp = bits(x, w);
+                inp.push(e == 1);
+                let out = eval_comb(&n, &inp);
+                assert_eq!(to_u64(&out[..w]), (x + e) & 0xF);
+                assert_eq!(out[w], x == 3);
+            }
+        }
+    }
+
+    #[test]
+    fn mux_and_shift() {
+        let w = 4;
+        let mut b = Builder::new("ms");
+        let xs = b.inputs(w);
+        let ys = b.inputs(w);
+        let sel = b.input();
+        let m = mux_bus(&mut b, sel, &xs, &ys);
+        let sh = shl_const(&mut b, &xs, 2);
+        b.output_bus("m", &m);
+        b.output_bus("sh", &sh);
+        let n = b.finish();
+        for x in 0..16u64 {
+            let y = 0b1010;
+            for s in [false, true] {
+                let mut inp = bits(x, w);
+                inp.extend(bits(y, w));
+                inp.push(s);
+                let out = eval_comb(&n, &inp);
+                assert_eq!(to_u64(&out[..w]), if s { y } else { x });
+                assert_eq!(to_u64(&out[w..]), (x << 2) & 0xF);
+            }
+        }
+    }
+
+    #[test]
+    fn resize_extends_and_truncates() {
+        let mut b = Builder::new("rz");
+        let xs = b.inputs(3);
+        let wide = resize_bus(&mut b, &xs, 5);
+        let narrow = resize_bus(&mut b, &xs, 2);
+        b.output_bus("w", &wide);
+        b.output_bus("n", &narrow);
+        let n = b.finish();
+        let out = eval_comb(&n, &bits(0b101, 3));
+        assert_eq!(to_u64(&out[..5]), 0b101);
+        assert_eq!(to_u64(&out[5..]), 0b01);
+    }
+}

@@ -1,0 +1,361 @@
+//! Technology mapping onto K-input LUTs.
+//!
+//! A classic cut-based mapper: enumerate K-feasible cuts bottom-up with
+//! pruning, label each node with its optimal arrival depth, then cover the
+//! netlist from its roots using each node's depth-best cut and extract the
+//! cone truth table for the resulting LUT. This is FlowMap-style
+//! depth-oriented mapping with a small cut budget — simple, deterministic,
+//! and good enough that mapped areas track gate counts closely, which is
+//! what the partition/paging experiments need.
+
+use crate::gate::{Gate, NodeId};
+use crate::graph::Netlist;
+use crate::lutnet::{FlipFlop, Lut, LutIn, LutNetwork};
+use crate::truth::cone_truth_table;
+use std::collections::HashMap;
+
+/// Mapper configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MapOptions {
+    /// LUT input arity (the simulated fabric uses 4, like the XC4000's
+    /// primary function generators).
+    pub k: usize,
+    /// Cut-set budget per node; larger explores more area/depth trade-offs.
+    pub max_cuts: usize,
+}
+
+impl Default for MapOptions {
+    fn default() -> Self {
+        MapOptions { k: 4, max_cuts: 8 }
+    }
+}
+
+/// A cut: a sorted set of leaf nodes (≤ K of them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Cut {
+    leaves: Vec<NodeId>,
+    /// Depth of the LUT rooted here if this cut is chosen.
+    depth: u32,
+}
+
+fn merge_leaves(k: usize, parts: &[&[NodeId]]) -> Option<Vec<NodeId>> {
+    let mut out: Vec<NodeId> = Vec::with_capacity(k + 1);
+    for part in parts {
+        for &l in *part {
+            if let Err(pos) = out.binary_search(&l) {
+                if out.len() == k {
+                    return None;
+                }
+                out.insert(pos, l);
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Map a gate netlist to a [`LutNetwork`].
+///
+/// # Panics
+/// Panics on internal inconsistencies (cone extraction failing for an
+/// enumerated cut), which would indicate a mapper bug.
+pub fn map_to_luts(net: &Netlist, opts: MapOptions) -> LutNetwork {
+    assert!((1..=6).contains(&opts.k), "K must be in 1..=6");
+    assert!(opts.max_cuts >= 1);
+    let n = net.nodes().len();
+
+    // ---- Phase 1: bottom-up cut enumeration with depth labeling. ----
+    // `arrival[i]` = depth of the best LUT implementation rooted at i
+    // (0 for leaves).
+    let mut arrival = vec![0u32; n];
+    let mut cuts: Vec<Vec<Cut>> = Vec::with_capacity(n);
+
+    for i in 0..n {
+        let id = NodeId(i as u32);
+        let g = net.gate(id);
+        let node_cuts = match g {
+            // Constants fold into cones: expose an *empty* cut so they
+            // never consume a LUT input.
+            Gate::Const(_) => vec![Cut { leaves: vec![], depth: 0 }],
+            // Pure leaves: only the trivial cut.
+            Gate::Input { .. } | Gate::Dff { .. } => {
+                vec![Cut { leaves: vec![id], depth: 0 }]
+            }
+            _ => {
+                let fanin: Vec<NodeId> = g.comb_fanin().iter().collect();
+                let mut cands: Vec<Cut> = Vec::new();
+                // Cross-product of fan-in cut sets.
+                match fanin.len() {
+                    1 => {
+                        for ca in &cuts[fanin[0].index()] {
+                            if let Some(leaves) = merge_leaves(opts.k, &[&ca.leaves]) {
+                                cands.push(Cut { leaves, depth: 0 });
+                            }
+                        }
+                    }
+                    2 => {
+                        for ca in &cuts[fanin[0].index()] {
+                            for cb in &cuts[fanin[1].index()] {
+                                if let Some(leaves) =
+                                    merge_leaves(opts.k, &[&ca.leaves, &cb.leaves])
+                                {
+                                    cands.push(Cut { leaves, depth: 0 });
+                                }
+                            }
+                        }
+                    }
+                    3 => {
+                        for ca in &cuts[fanin[0].index()] {
+                            for cb in &cuts[fanin[1].index()] {
+                                for cc in &cuts[fanin[2].index()] {
+                                    if let Some(leaves) = merge_leaves(
+                                        opts.k,
+                                        &[&ca.leaves, &cb.leaves, &cc.leaves],
+                                    ) {
+                                        cands.push(Cut { leaves, depth: 0 });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    arity => unreachable!("unexpected gate arity {arity}"),
+                }
+                // Depth of each candidate = 1 + max leaf arrival.
+                for c in &mut cands {
+                    let worst = c.leaves.iter().map(|l| arrival[l.index()]).max().unwrap_or(0);
+                    c.depth = worst + 1;
+                }
+                // Sort by (depth, size), dedupe identical leaf sets, prune.
+                cands.sort_by(|a, b| {
+                    a.depth
+                        .cmp(&b.depth)
+                        .then(a.leaves.len().cmp(&b.leaves.len()))
+                        .then(a.leaves.cmp(&b.leaves))
+                });
+                cands.dedup_by(|a, b| a.leaves == b.leaves);
+                cands.truncate(opts.max_cuts);
+                assert!(
+                    !cands.is_empty(),
+                    "no K-feasible cut for node {id} ({}); K too small",
+                    g.kind()
+                );
+                arrival[i] = cands[0].depth;
+                // Append the trivial cut so parents can stop here.
+                cands.push(Cut { leaves: vec![id], depth: arrival[i] });
+                cands
+            }
+        };
+        cuts.push(node_cuts);
+    }
+
+    // ---- Phase 2: cover from the roots. ----
+    struct Cover<'a> {
+        net: &'a Netlist,
+        cuts: &'a [Vec<Cut>],
+        ff_index: HashMap<NodeId, u32>,
+        memo: HashMap<NodeId, LutIn>,
+        luts: Vec<Lut>,
+    }
+
+    impl Cover<'_> {
+        fn materialize(&mut self, id: NodeId) -> LutIn {
+            if let Some(&m) = self.memo.get(&id) {
+                return m;
+            }
+            let out = match self.net.gate(id) {
+                Gate::Input { bit } => LutIn::Input(bit),
+                Gate::Const(c) => LutIn::Const(c),
+                Gate::Dff { .. } => LutIn::Ff(self.ff_index[&id]),
+                _ => {
+                    // Best non-trivial cut is first (the trivial cut was
+                    // appended last and never has strictly better depth).
+                    let cut = self.cuts[id.index()]
+                        .iter()
+                        .find(|c| !(c.leaves.len() == 1 && c.leaves[0] == id))
+                        .expect("gate node always has a non-trivial cut")
+                        .clone();
+                    let ins: Vec<LutIn> =
+                        cut.leaves.iter().map(|&l| self.materialize(l)).collect();
+                    let table = cone_truth_table(self.net, id, &cut.leaves)
+                        .expect("enumerated cut must cover its cone");
+                    let idx = self.luts.len() as u32;
+                    self.luts.push(Lut { inputs: ins, table });
+                    LutIn::Lut(idx)
+                }
+            };
+            self.memo.insert(id, out);
+            out
+        }
+    }
+
+    let dff_nodes = net.dff_nodes();
+    let ff_index: HashMap<NodeId, u32> = dff_nodes
+        .iter()
+        .enumerate()
+        .map(|(k, &id)| (id, k as u32))
+        .collect();
+
+    let mut cover = Cover {
+        net,
+        cuts: &cuts,
+        ff_index,
+        memo: HashMap::new(),
+        luts: Vec::new(),
+    };
+
+    // Roots: every primary output and every flip-flop data input.
+    let outputs: Vec<(String, LutIn)> = net
+        .outputs()
+        .iter()
+        .map(|(name, id)| (name.clone(), cover.materialize(*id)))
+        .collect();
+
+    let ffs: Vec<FlipFlop> = dff_nodes
+        .iter()
+        .map(|&id| match net.gate(id) {
+            Gate::Dff { d, init } => FlipFlop { d: cover.materialize(d), init },
+            _ => unreachable!(),
+        })
+        .collect();
+
+    let mapped = LutNetwork {
+        name: net.name().to_string(),
+        k: opts.k,
+        num_inputs: net.num_inputs(),
+        luts: cover.luts,
+        ffs,
+        outputs,
+    };
+    debug_assert_eq!(mapped.validate(), Ok(()));
+    mapped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Builder;
+    use crate::lutnet::{lut_eval_comb, LutSimulator};
+    use crate::sim::{eval_comb, Simulator};
+
+    /// Exhaustively (≤ 12 inputs) or randomly check functional equivalence
+    /// of a combinational netlist and its mapping.
+    fn assert_comb_equiv(net: &Netlist, mapped: &LutNetwork) {
+        let w = net.num_inputs();
+        assert!(w <= 16, "test helper limited to 16 inputs");
+        for v in 0..(1u64 << w) {
+            let bits: Vec<bool> = (0..w).map(|i| (v >> i) & 1 == 1).collect();
+            let golden = eval_comb(net, &bits);
+            let got = lut_eval_comb(mapped, &bits);
+            assert_eq!(golden, got, "mismatch at input {v:#b}");
+        }
+    }
+
+    #[test]
+    fn maps_xor_chain_into_single_lut() {
+        let mut b = Builder::new("x4");
+        let xs = b.inputs(4);
+        let x = b.xor_tree(&xs);
+        b.output("x", x);
+        let net = b.finish();
+        let mapped = map_to_luts(&net, MapOptions::default());
+        mapped.validate().unwrap();
+        assert_eq!(mapped.luts.len(), 1, "4-input parity fits one 4-LUT");
+        assert_eq!(mapped.depth(), 1);
+        assert_comb_equiv(&net, &mapped);
+    }
+
+    #[test]
+    fn maps_wider_parity_into_tree() {
+        let mut b = Builder::new("x10");
+        let xs = b.inputs(10);
+        let x = b.xor_tree(&xs);
+        b.output("x", x);
+        let net = b.finish();
+        let mapped = map_to_luts(&net, MapOptions::default());
+        mapped.validate().unwrap();
+        assert!(mapped.luts.len() >= 3);
+        assert!(mapped.depth() <= 2, "10 vars -> depth 2 in 4-LUTs");
+        assert_comb_equiv(&net, &mapped);
+    }
+
+    #[test]
+    fn constants_fold_into_cones() {
+        let mut b = Builder::new("cf");
+        let x = b.input();
+        let one = b.constant(true);
+        let a = b.and(x, one);
+        let o = b.xor(a, one);
+        b.output("o", o);
+        let net = b.finish();
+        let mapped = map_to_luts(&net, MapOptions::default());
+        assert_eq!(mapped.luts.len(), 1);
+        assert_eq!(mapped.luts[0].inputs.len(), 1, "constant must not use a LUT pin");
+        assert_comb_equiv(&net, &mapped);
+    }
+
+    #[test]
+    fn sequential_mapping_preserves_behaviour() {
+        let net = crate::library::seq::counter("cnt4", 4);
+        let mapped = map_to_luts(&net, MapOptions::default());
+        mapped.validate().unwrap();
+        assert_eq!(mapped.ffs.len(), 4);
+        let mut gsim = Simulator::new(&net);
+        let mut lsim = LutSimulator::new(&mapped);
+        for step in 0..40 {
+            let en = if step % 5 == 0 { 0u64 } else { u64::MAX };
+            gsim.eval(&[en]);
+            lsim.eval(&[en]);
+            let g = gsim.outputs();
+            let l = lsim.outputs(&[en]);
+            assert_eq!(g, l, "cycle {step}");
+            gsim.clock();
+            lsim.clock(&[en]);
+        }
+    }
+
+    #[test]
+    fn adder_maps_equivalently() {
+        let net = crate::library::arith::ripple_adder("add4", 4);
+        let mapped = map_to_luts(&net, MapOptions::default());
+        assert_comb_equiv(&net, &mapped);
+        // Mapping must not balloon: a 4-bit adder is a handful of LUTs.
+        assert!(mapped.luts.len() <= 12, "got {} luts", mapped.luts.len());
+    }
+
+    #[test]
+    fn k_variants_all_equivalent() {
+        let net = crate::library::arith::ripple_adder("add3", 3);
+        for k in 2..=6 {
+            let mapped = map_to_luts(&net, MapOptions { k, max_cuts: 8 });
+            mapped.validate().unwrap();
+            assert_comb_equiv(&net, &mapped);
+        }
+    }
+
+    #[test]
+    fn larger_k_never_deepens() {
+        let mut b = Builder::new("mixed");
+        let xs = b.inputs(12);
+        let s1 = b.xor_tree(&xs[0..6]);
+        let s2 = b.and_tree(&xs[6..12]);
+        let o = b.or(s1, s2);
+        b.output("o", o);
+        let net = b.finish();
+        let d4 = map_to_luts(&net, MapOptions { k: 4, max_cuts: 8 }).depth();
+        let d6 = map_to_luts(&net, MapOptions { k: 6, max_cuts: 8 }).depth();
+        assert!(d6 <= d4, "k=6 depth {d6} vs k=4 depth {d4}");
+    }
+
+    #[test]
+    fn passthrough_output_needs_no_lut() {
+        let mut b = Builder::new("wire");
+        let x = b.input();
+        let y = b.input();
+        let a = b.and(x, y);
+        b.output("a", a);
+        b.output("x_again", x);
+        let net = b.finish();
+        let mapped = map_to_luts(&net, MapOptions::default());
+        assert_eq!(mapped.luts.len(), 1);
+        assert_eq!(mapped.outputs[1].1, LutIn::Input(0));
+    }
+}

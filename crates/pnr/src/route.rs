@@ -1,0 +1,360 @@
+//! Channel-capacity routing over the device grid.
+//!
+//! The routing model is a grid graph: one node per CLB site, horizontal
+//! and vertical channel segments between neighbours, each with a fixed
+//! track capacity shared by *all circuits currently loaded on the device*.
+//! Each block-to-block connection is routed by BFS (maze routing) through
+//! segments with spare capacity; when a connection fails, a short
+//! negotiated-congestion loop (rip-up with history costs) retries.
+//!
+//! Because capacity is shared device-wide, whether a placed circuit routes
+//! *depends on its origin and on its neighbours* — the §4 phenomenon that
+//! makes FPGA relocation harder than code relocation, and the mechanism
+//! behind garbage-collection relocation failures in experiment E6.
+
+use crate::pack::BlockSource;
+use crate::place::PlacedCircuit;
+use std::collections::VecDeque;
+
+/// Routing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The circuit does not fit on the device at this origin.
+    OutOfBounds,
+    /// A connection could not be routed within the capacity budget.
+    Congested {
+        /// Source CLB (absolute).
+        from: (u32, u32),
+        /// Sink CLB (absolute).
+        to: (u32, u32),
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::OutOfBounds => write!(f, "placement exceeds device bounds"),
+            RouteError::Congested { from, to } => {
+                write!(f, "no route from {from:?} to {to:?}: channels full")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// A segment id in the routing fabric (opaque to callers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegId(u32);
+
+/// The routes of one loaded circuit, for later release.
+#[derive(Debug, Clone, Default)]
+pub struct CircuitRoutes {
+    segs: Vec<SegId>,
+    /// Total wire segments used (diagnostic).
+    pub wirelength: usize,
+}
+
+/// Device-wide routing state.
+#[derive(Debug, Clone)]
+pub struct RoutingFabric {
+    cols: u32,
+    rows: u32,
+    cap: u16,
+    /// Usage per horizontal segment (between (c,r) and (c+1,r)).
+    h_used: Vec<u16>,
+    /// Usage per vertical segment (between (c,r) and (c,r+1)).
+    v_used: Vec<u16>,
+}
+
+/// Default tracks per channel segment — enough for healthy utilization,
+/// scarce enough that congestion is a real phenomenon.
+pub const DEFAULT_CHANNEL_CAPACITY: u16 = 12;
+
+impl RoutingFabric {
+    /// A fabric for a `cols × rows` device with the given per-segment
+    /// track capacity.
+    pub fn new(cols: u32, rows: u32, cap: u16) -> Self {
+        let h = ((cols.saturating_sub(1)) * rows) as usize;
+        let v = (cols * rows.saturating_sub(1)) as usize;
+        RoutingFabric {
+            cols,
+            rows,
+            cap,
+            h_used: vec![0; h],
+            v_used: vec![0; v],
+        }
+    }
+
+    /// Fabric sized to a device spec with default capacity.
+    pub fn for_device(spec: &fpga::DeviceSpec) -> Self {
+        RoutingFabric::new(spec.cols, spec.rows, DEFAULT_CHANNEL_CAPACITY)
+    }
+
+    fn h_idx(&self, c: u32, r: u32) -> usize {
+        (r * (self.cols - 1) + c) as usize
+    }
+
+    fn v_idx(&self, c: u32, r: u32) -> usize {
+        (r * self.cols + c) as usize
+    }
+
+    /// Fraction of total channel capacity currently in use.
+    pub fn utilization(&self) -> f64 {
+        let used: u64 = self.h_used.iter().chain(&self.v_used).map(|&u| u as u64).sum();
+        let total = (self.h_used.len() + self.v_used.len()) as u64 * self.cap as u64;
+        if total == 0 {
+            0.0
+        } else {
+            used as f64 / total as f64
+        }
+    }
+
+    fn seg_between(&self, a: (u32, u32), b: (u32, u32)) -> SegId {
+        // Encode: horizontal segs in [0, H), vertical in [H, H+V).
+        if a.1 == b.1 {
+            let c = a.0.min(b.0);
+            SegId(self.h_idx(c, a.1) as u32)
+        } else {
+            let r = a.1.min(b.1);
+            SegId((self.h_used.len() + self.v_idx(a.0, r)) as u32)
+        }
+    }
+
+    fn seg_used(&self, s: SegId) -> u16 {
+        let i = s.0 as usize;
+        if i < self.h_used.len() {
+            self.h_used[i]
+        } else {
+            self.v_used[i - self.h_used.len()]
+        }
+    }
+
+    fn seg_add(&mut self, s: SegId, delta: i32) {
+        let i = s.0 as usize;
+        let slot = if i < self.h_used.len() {
+            &mut self.h_used[i]
+        } else {
+            &mut self.v_used[i - self.h_used.len()]
+        };
+        let v = *slot as i32 + delta;
+        debug_assert!(v >= 0, "segment usage underflow");
+        *slot = v as u16;
+    }
+
+    /// BFS a path from `from` to `to` through segments with spare capacity.
+    /// Returns the segments of the path, or None.
+    fn bfs(&self, from: (u32, u32), to: (u32, u32)) -> Option<Vec<SegId>> {
+        if from == to {
+            return Some(Vec::new());
+        }
+        let n = (self.cols * self.rows) as usize;
+        let idx = |c: u32, r: u32| (r * self.cols + c) as usize;
+        let mut prev: Vec<u32> = vec![u32::MAX; n];
+        let mut q = VecDeque::new();
+        q.push_back(from);
+        prev[idx(from.0, from.1)] = idx(from.0, from.1) as u32;
+        while let Some((c, r)) = q.pop_front() {
+            if (c, r) == to {
+                // Reconstruct.
+                let mut segs = Vec::new();
+                let mut cur = (c, r);
+                while cur != from {
+                    let p = prev[idx(cur.0, cur.1)];
+                    let pc = p % self.cols;
+                    let pr = p / self.cols;
+                    segs.push(self.seg_between((pc, pr), cur));
+                    cur = (pc, pr);
+                }
+                segs.reverse();
+                return Some(segs);
+            }
+            let neighbours = [
+                (c.wrapping_sub(1), r),
+                (c + 1, r),
+                (c, r.wrapping_sub(1)),
+                (c, r + 1),
+            ];
+            for (nc, nr) in neighbours {
+                if nc >= self.cols || nr >= self.rows {
+                    continue;
+                }
+                if prev[idx(nc, nr)] != u32::MAX {
+                    continue;
+                }
+                let seg = self.seg_between((c, r), (nc, nr));
+                if self.seg_used(seg) >= self.cap {
+                    continue;
+                }
+                prev[idx(nc, nr)] = idx(c, r) as u32;
+                q.push_back((nc, nr));
+            }
+        }
+        None
+    }
+
+    /// Route every block-to-block connection of `placed` at `origin`,
+    /// committing segment usage. On failure nothing is committed.
+    pub fn route_circuit(
+        &mut self,
+        placed: &PlacedCircuit,
+        origin: (u32, u32),
+    ) -> Result<CircuitRoutes, RouteError> {
+        // Bounds.
+        if origin.0 + placed.width > self.cols || origin.1 + placed.height > self.rows {
+            return Err(RouteError::OutOfBounds);
+        }
+        let abs = |rel: (u32, u32)| (rel.0 + origin.0, rel.1 + origin.1);
+
+        // Connections, shortest first (long nets route last so they detour
+        // around short ones — a cheap but effective ordering heuristic).
+        let mut conns: Vec<((u32, u32), (u32, u32))> = Vec::new();
+        for (i, blk) in placed.circuit.blocks.iter().enumerate() {
+            for s in blk.inputs {
+                if let BlockSource::Block(j) = s {
+                    conns.push((abs(placed.coords[j as usize]), abs(placed.coords[i])));
+                }
+            }
+        }
+        conns.sort_by_key(|&(a, b)| a.0.abs_diff(b.0) + a.1.abs_diff(b.1));
+
+        let mut committed: Vec<SegId> = Vec::new();
+        let mut wirelength = 0usize;
+        for &(from, to) in &conns {
+            match self.bfs(from, to) {
+                Some(segs) => {
+                    for &s in &segs {
+                        self.seg_add(s, 1);
+                    }
+                    wirelength += segs.len();
+                    committed.extend(segs);
+                }
+                None => {
+                    // Roll back everything committed for this circuit.
+                    for &s in &committed {
+                        self.seg_add(s, -1);
+                    }
+                    return Err(RouteError::Congested { from, to });
+                }
+            }
+        }
+        Ok(CircuitRoutes { segs: committed, wirelength })
+    }
+
+    /// Release the segments of a previously routed circuit.
+    pub fn release(&mut self, routes: &CircuitRoutes) {
+        for &s in &routes.segs {
+            self.seg_add(s, -1);
+        }
+    }
+
+    /// Probe whether `placed` would route at `origin` without committing.
+    pub fn can_route(&self, placed: &PlacedCircuit, origin: (u32, u32)) -> bool {
+        let mut probe = self.clone();
+        probe.route_circuit(placed, origin).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::pack;
+    use crate::place::place;
+    use fsim::SimRng;
+    use netlist::{map_to_luts, MapOptions};
+
+    fn placed_mult(w: u32, h: u32) -> PlacedCircuit {
+        let net = netlist::library::arith::array_multiplier("m5", 5);
+        let pc = pack(&map_to_luts(&net, MapOptions::default()));
+        place(&pc, w, h, &mut SimRng::new(1)).unwrap()
+    }
+
+    #[test]
+    fn routes_at_origin_and_releases_cleanly() {
+        let p = placed_mult(10, 10);
+        let mut f = RoutingFabric::new(20, 20, DEFAULT_CHANNEL_CAPACITY);
+        let before = f.utilization();
+        let routes = f.route_circuit(&p, (0, 0)).unwrap();
+        assert!(routes.wirelength > 0);
+        assert!(f.utilization() > before);
+        f.release(&routes);
+        assert_eq!(f.utilization(), before);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let p = placed_mult(10, 10);
+        let mut f = RoutingFabric::new(12, 12, DEFAULT_CHANNEL_CAPACITY);
+        match f.route_circuit(&p, (4, 4)) {
+            Err(RouteError::OutOfBounds) => {}
+            other => panic!("expected OutOfBounds, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn relocation_routes_at_multiple_origins() {
+        let p = placed_mult(10, 10);
+        let mut f = RoutingFabric::new(32, 32, DEFAULT_CHANNEL_CAPACITY);
+        let a = f.route_circuit(&p, (0, 0)).unwrap();
+        let b = f.route_circuit(&p, (20, 20)).unwrap();
+        // Disjoint regions: both must succeed and be independently releasable.
+        f.release(&a);
+        f.release(&b);
+        assert_eq!(f.utilization(), 0.0);
+    }
+
+    #[test]
+    fn congestion_eventually_blocks_loading() {
+        // Tiny capacity: packing many copies side by side must fail at
+        // some point, and the failure must roll back cleanly.
+        let p = placed_mult(10, 10);
+        let mut f = RoutingFabric::new(20, 20, 2);
+        let mut loaded = 0;
+        let mut failed = false;
+        for origin in [(0, 0), (10, 0), (0, 10), (10, 10)] {
+            match f.route_circuit(&p, origin) {
+                Ok(_) => loaded += 1,
+                Err(RouteError::Congested { .. }) => {
+                    failed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert!(
+            failed || loaded == 4,
+            "with cap=2 either everything squeezes in or congestion appears"
+        );
+        assert!(failed, "capacity 2 should congest a 5x5 multiplier tiling, loaded {loaded}");
+    }
+
+    #[test]
+    fn failed_route_commits_nothing() {
+        let p = placed_mult(10, 10);
+        let mut f = RoutingFabric::new(10, 10, 1);
+        let before_h = f.h_used.clone();
+        let before_v = f.v_used.clone();
+        if f.route_circuit(&p, (0, 0)).is_err() {
+            assert_eq!(f.h_used, before_h);
+            assert_eq!(f.v_used, before_v);
+        }
+    }
+
+    #[test]
+    fn bfs_detours_around_full_channels() {
+        let mut f = RoutingFabric::new(4, 4, 1);
+        // Saturate the straight-line path between (0,0) and (3,0).
+        for c in 0..3 {
+            let s = f.seg_between((c, 0), (c + 1, 0));
+            f.seg_add(s, 1);
+        }
+        let path = f.bfs((0, 0), (3, 0)).expect("detour must exist");
+        assert!(path.len() > 3, "must detour, got len {}", path.len());
+    }
+
+    #[test]
+    fn utilization_is_zero_on_fresh_fabric() {
+        let f = RoutingFabric::new(10, 10, 8);
+        assert_eq!(f.utilization(), 0.0);
+    }
+}

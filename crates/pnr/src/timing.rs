@@ -1,0 +1,146 @@
+//! Critical-path estimation.
+//!
+//! The paper's §3 requires the OS to know when a downloaded combinational
+//! circuit has finished: "this time can be estimated a priori by the
+//! compiler of the FPGA configuration". This module is that estimator: the
+//! longest register-to-register / input-to-output path through the placed
+//! circuit, charging a fixed CLB delay per block plus a Manhattan wire
+//! delay per hop between placed blocks.
+
+use crate::pack::BlockSource;
+use crate::place::PlacedCircuit;
+
+/// Propagation delay through one CLB (LUT + local mux), nanoseconds.
+pub const CLB_DELAY_NS: f64 = 4.5;
+/// Wire delay per Manhattan grid hop, nanoseconds.
+pub const WIRE_DELAY_PER_HOP_NS: f64 = 1.2;
+/// Margin factor applied when deriving a clock period from the critical path.
+pub const CLOCK_MARGIN: f64 = 1.2;
+
+/// Longest combinational path through the placed circuit, in nanoseconds.
+///
+/// Paths start at primary inputs, constants, and FF outputs, and end at
+/// primary outputs and FF data inputs. Registered blocks contribute their
+/// CLB delay to the path that *ends* at them.
+pub fn critical_path_ns(placed: &PlacedCircuit) -> f64 {
+    let blocks = &placed.circuit.blocks;
+    let n = blocks.len();
+    // arrival[i] = worst-case time at block i's LUT output.
+    let mut arrival = vec![0.0f64; n];
+    // Blocks are not guaranteed topologically ordered after packing
+    // (route-throughs appended at the end), so iterate to a fixed point.
+    // Combinational cycles are impossible (LUT networks are validated
+    // acyclic and packing preserves direction), so |blocks| passes bound it.
+    let mut changed = true;
+    let mut guard = 0;
+    while changed {
+        changed = false;
+        guard += 1;
+        assert!(guard <= n + 1, "timing graph has a combinational cycle");
+        for i in 0..n {
+            let mut worst_in = 0.0f64;
+            for s in blocks[i].inputs {
+                if let BlockSource::Block(j) = s {
+                    let j = j as usize;
+                    // Registered source: sequential edge, arrival restarts.
+                    if blocks[j].out_from_ff {
+                        continue;
+                    }
+                    let (jc, jr) = placed.coords[j];
+                    let (ic, ir) = placed.coords[i];
+                    let hops = jc.abs_diff(ic) + jr.abs_diff(ir);
+                    let t = arrival[j] + hops as f64 * WIRE_DELAY_PER_HOP_NS;
+                    worst_in = worst_in.max(t);
+                }
+            }
+            let a = worst_in + CLB_DELAY_NS;
+            if a > arrival[i] {
+                arrival[i] = a;
+                changed = true;
+            }
+        }
+    }
+    arrival.into_iter().fold(0.0, f64::max)
+}
+
+/// Clock period (ns) this circuit can run at, with margin.
+pub fn clock_period_ns(placed: &PlacedCircuit) -> f64 {
+    critical_path_ns(placed) * CLOCK_MARGIN
+}
+
+/// Nanoseconds to run `cycles` synchronous cycles.
+pub fn execution_time_ns(placed: &PlacedCircuit, cycles: u64) -> f64 {
+    clock_period_ns(placed) * cycles as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::pack;
+    use crate::place::{auto_shape, place};
+    use fsim::SimRng;
+    use netlist::{map_to_luts, MapOptions};
+
+    fn compile(net: &netlist::Netlist) -> PlacedCircuit {
+        let pc = pack(&map_to_luts(net, MapOptions::default()));
+        let (w, h) = auto_shape(pc.blocks.len(), 0.8, 32);
+        place(&pc, w, h, &mut SimRng::new(1)).unwrap()
+    }
+
+    #[test]
+    fn single_lut_cost_is_one_clb_delay() {
+        let mut b = netlist::Builder::new("one");
+        let x = b.input();
+        let y = b.input();
+        let a = b.and(x, y);
+        b.output("a", a);
+        let p = compile(&b.finish());
+        assert_eq!(critical_path_ns(&p), CLB_DELAY_NS);
+    }
+
+    #[test]
+    fn deeper_circuits_have_longer_paths() {
+        let add4 = compile(&netlist::library::arith::ripple_adder("a4", 4));
+        let add16 = compile(&netlist::library::arith::ripple_adder("a16", 16));
+        assert!(
+            critical_path_ns(&add16) > critical_path_ns(&add4) * 2.0,
+            "16-bit ripple must be much slower than 4-bit: {} vs {}",
+            critical_path_ns(&add16),
+            critical_path_ns(&add4)
+        );
+    }
+
+    #[test]
+    fn registered_circuits_cut_paths_at_ffs() {
+        // A pipelined FIR's critical path is one tap stage, far below the
+        // sum of all stages.
+        let f = compile(&netlist::library::dsp::fir("f", 8, &[1, 2, 1]));
+        let cp = critical_path_ns(&f);
+        let depth_bound = f.circuit.blocks.len() as f64 * CLB_DELAY_NS;
+        assert!(cp < depth_bound / 2.0, "FF cuts must shorten the path");
+        assert!(cp >= CLB_DELAY_NS);
+    }
+
+    #[test]
+    fn clock_and_execution_time() {
+        let p = compile(&netlist::library::arith::ripple_adder("a8", 8));
+        let period = clock_period_ns(&p);
+        assert!(period > critical_path_ns(&p));
+        assert_eq!(execution_time_ns(&p, 100), period * 100.0);
+    }
+
+    #[test]
+    fn wire_delay_matters() {
+        // The same circuit placed in a huge region (blocks forced apart by
+        // a sparse snake seed) should not be *faster* than a tight one.
+        let net = netlist::library::logic::parity("p16", 16);
+        let pc = pack(&map_to_luts(&net, MapOptions::default()));
+        let tight = place(&pc, 3, 3, &mut SimRng::new(1)).unwrap();
+        let mut sparse = place(&pc, 20, 20, &mut SimRng::new(1)).unwrap();
+        // Force worst case: spread blocks to corners deterministically.
+        for (i, c) in sparse.coords.iter_mut().enumerate() {
+            *c = if i % 2 == 0 { (0, (i as u32) % 20) } else { (19, (i as u32) % 20) };
+        }
+        assert!(critical_path_ns(&sparse) > critical_path_ns(&tight));
+    }
+}

@@ -1,0 +1,208 @@
+//! Input/output multiplexing (§2).
+//!
+//! "Input and output multiplexing is used to assign the current inputs and
+//! outputs to the logical function associated to the running task or to
+//! increase the number of inputs and outputs when there are not enough
+//! physically available."
+//!
+//! Two mechanisms are modeled:
+//!
+//! * [`PinTable`] — the per-task *assignment* of virtual pins to physical
+//!   pins: when a task is dispatched its circuit's virtual pins are bound
+//!   to free physical pins (and unbound at release), so concurrent
+//!   resident circuits share the package;
+//! * [`mux_plan`] — the *widening* case: a circuit with more virtual pins
+//!   than physical ones transfers its I/O in time-division frames, paying
+//!   a serialization factor plus service-logic area (the mux/demux
+//!   registers consume CLBs).
+
+use fsim::SimDuration;
+use std::collections::HashMap;
+
+/// Physical-pin allocation table.
+#[derive(Debug, Clone)]
+pub struct PinTable {
+    total: u32,
+    /// Owner per pin: `(task, virtual pin)`.
+    owner: Vec<Option<(u32, u32)>>,
+    /// Virtual→physical map per task.
+    maps: HashMap<u32, Vec<u32>>,
+}
+
+impl PinTable {
+    /// Table over `total` physical pins.
+    pub fn new(total: u32) -> Self {
+        PinTable {
+            total,
+            owner: vec![None; total as usize],
+            maps: HashMap::new(),
+        }
+    }
+
+    /// Free pins remaining.
+    pub fn free_pins(&self) -> u32 {
+        self.owner.iter().filter(|o| o.is_none()).count() as u32
+    }
+
+    /// Bind `virtual_pins` pins for `task`. Returns the physical pins, or
+    /// `None` when not enough are free (the task must multiplex or wait).
+    pub fn bind(&mut self, task: u32, virtual_pins: u32) -> Option<Vec<u32>> {
+        if self.maps.contains_key(&task) {
+            return self.maps.get(&task).cloned();
+        }
+        if self.free_pins() < virtual_pins {
+            return None;
+        }
+        let mut assigned = Vec::with_capacity(virtual_pins as usize);
+        for p in 0..self.total {
+            if assigned.len() as u32 == virtual_pins {
+                break;
+            }
+            if self.owner[p as usize].is_none() {
+                self.owner[p as usize] = Some((task, assigned.len() as u32));
+                assigned.push(p);
+            }
+        }
+        self.maps.insert(task, assigned.clone());
+        Some(assigned)
+    }
+
+    /// Release every pin bound to `task`.
+    pub fn release(&mut self, task: u32) {
+        if self.maps.remove(&task).is_some() {
+            for o in &mut self.owner {
+                if matches!(o, Some((t, _)) if *t == task) {
+                    *o = None;
+                }
+            }
+        }
+    }
+
+    /// Physical pin backing `(task, virtual pin)`, if bound.
+    pub fn lookup(&self, task: u32, vpin: u32) -> Option<u32> {
+        self.maps.get(&task).and_then(|m| m.get(vpin as usize)).copied()
+    }
+}
+
+/// Plan for time-division multiplexing `virtual_pins` over
+/// `physical_pins`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MuxPlan {
+    /// Virtual pins demanded.
+    pub virtual_pins: u32,
+    /// Physical pins granted.
+    pub physical_pins: u32,
+    /// Time-division frames per logical transfer (ceil(v/p)).
+    pub frames: u32,
+    /// Extra CLBs for the mux/demux and holding registers: one register
+    /// bit per virtual pin plus selector logic.
+    pub service_clbs: u32,
+}
+
+impl MuxPlan {
+    /// Throughput relative to a fully-pinned circuit (1.0 = no slowdown).
+    pub fn throughput_factor(&self) -> f64 {
+        1.0 / self.frames as f64
+    }
+}
+
+/// Compute the multiplexing plan.
+///
+/// # Panics
+/// Panics when no physical pins are granted.
+pub fn mux_plan(virtual_pins: u32, physical_pins: u32) -> MuxPlan {
+    assert!(physical_pins > 0, "cannot multiplex over zero pins");
+    let frames = virtual_pins.div_ceil(physical_pins).max(1);
+    // Service logic: each virtual pin needs a holding flip-flop (1 CLB per
+    // 1 bit in our fabric packing) when frames > 1, plus a selector tree of
+    // roughly one CLB per physical pin per 4 frame choices.
+    let service_clbs = if frames <= 1 {
+        0
+    } else {
+        virtual_pins + physical_pins * frames.div_ceil(4)
+    };
+    MuxPlan { virtual_pins, physical_pins, frames, service_clbs }
+}
+
+/// Wall time to move `transfers` logical I/O transfers of a circuit whose
+/// pins are multiplexed per `plan`, given the circuit's clock period.
+/// Each frame costs one fabric clock (register, shift, present).
+pub fn transfer_time(plan: &MuxPlan, transfers: u64, clock_ns: f64) -> SimDuration {
+    let cycles = transfers.saturating_mul(plan.frames as u64);
+    SimDuration::from_nanos((cycles as f64 * clock_ns).ceil() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_table_binds_and_releases() {
+        let mut t = PinTable::new(8);
+        let a = t.bind(1, 5).unwrap();
+        assert_eq!(a.len(), 5);
+        assert_eq!(t.free_pins(), 3);
+        assert!(t.bind(2, 4).is_none(), "only 3 free");
+        let b = t.bind(2, 3).unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(t.free_pins(), 0);
+        // Disjoint assignments.
+        for p in &a {
+            assert!(!b.contains(p));
+        }
+        t.release(1);
+        assert_eq!(t.free_pins(), 5);
+        assert!(t.bind(3, 5).is_some());
+    }
+
+    #[test]
+    fn bind_is_idempotent_per_task() {
+        let mut t = PinTable::new(4);
+        let a1 = t.bind(7, 2).unwrap();
+        let a2 = t.bind(7, 2).unwrap();
+        assert_eq!(a1, a2);
+        assert_eq!(t.free_pins(), 2);
+    }
+
+    #[test]
+    fn lookup_translates() {
+        let mut t = PinTable::new(4);
+        let a = t.bind(1, 3).unwrap();
+        assert_eq!(t.lookup(1, 0), Some(a[0]));
+        assert_eq!(t.lookup(1, 2), Some(a[2]));
+        assert_eq!(t.lookup(1, 3), None);
+        assert_eq!(t.lookup(9, 0), None);
+    }
+
+    #[test]
+    fn mux_plan_frames_and_area() {
+        let exact = mux_plan(16, 16);
+        assert_eq!(exact.frames, 1);
+        assert_eq!(exact.service_clbs, 0);
+        assert_eq!(exact.throughput_factor(), 1.0);
+
+        let double = mux_plan(32, 16);
+        assert_eq!(double.frames, 2);
+        assert!(double.service_clbs >= 32, "holding registers for 32 vpins");
+        assert_eq!(double.throughput_factor(), 0.5);
+
+        let heavy = mux_plan(64, 4);
+        assert_eq!(heavy.frames, 16);
+        assert!(heavy.throughput_factor() < 0.07);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_frames() {
+        let p1 = mux_plan(8, 8);
+        let p4 = mux_plan(32, 8);
+        let t1 = transfer_time(&p1, 1000, 10.0);
+        let t4 = transfer_time(&p4, 1000, 10.0);
+        assert_eq!(t4.as_nanos(), 4 * t1.as_nanos());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero pins")]
+    fn zero_physical_pins_panics() {
+        mux_plan(8, 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! # vfpga — the Virtual FPGA operating-system layer
+//!
+//! This crate is the paper's contribution: an operating-system layer that
+//! virtualizes one physical FPGA for many concurrent tasks, "in a way
+//! similar to the virtual memory" (Fornaciari & Piuri, IPPS 1998).
+//!
+//! The pieces map one-to-one onto the paper's sections:
+//!
+//! * [`task`] / [`sched`] / [`system`] — the multitasking host: task model
+//!   with CPU and FPGA bursts, FIFO / round-robin / priority schedulers,
+//!   and a deterministic discrete-event execution engine,
+//! * [`manager::exclusive`] — the §4 baseline: a non-preemptable FPGA
+//!   ("any other task needing an already assigned FPGA will enter the
+//!   waiting state"),
+//! * [`manager::dynload`] — §3 dynamic loading, with the three preemption
+//!   policies the paper discusses (wait for completion, rollback, and
+//!   state save/restore via readback),
+//! * [`manager::partition`] — §4 partitioning: fixed and variable-size
+//!   column partitions, splitting, and the garbage collector that merges
+//!   idle fragments via (routing-checked) relocation,
+//! * [`manager::overlay`] — §2 overlaying: resident common functions plus
+//!   a replaceable overlay area (LRU/FIFO/LFU),
+//! * [`manager::merged`] — the §3 "trivial solution": merge all circuits
+//!   into one and ignore unused outputs,
+//! * [`vmem`] — §2 segmentation and pagination of a single over-large
+//!   function, with demand loading and page replacement,
+//! * [`iomux`] — §2 input/output multiplexing: more virtual pins than
+//!   physical ones by time-division multiplexing,
+//! * [`syscall`] — the §3 declaration-time API (`fpga_open`-style) that
+//!   fills the OS circuit tables,
+//! * [`metrics`] — the accounting every experiment reports.
+
+pub mod circuit;
+pub mod iomux;
+pub mod manager;
+pub mod metrics;
+pub mod sched;
+pub mod syscall;
+pub mod system;
+pub mod task;
+pub mod vmem;
+
+pub use circuit::{CircuitId, CircuitImage, CircuitLib};
+pub use manager::{Activation, FpgaManager, ManagerStats, PreemptAction, PreemptCost};
+pub use metrics::{Report, TaskMetrics};
+pub use sched::{FifoScheduler, PriorityScheduler, RoundRobinScheduler, Scheduler};
+pub use syscall::{FpgaHandle, OpenError, OsInterface};
+pub use system::{CompletionDetect, System, SystemConfig};
+pub use task::{Op, TaskId, TaskSpec};
+
+#[cfg(test)]
+mod system_tests;

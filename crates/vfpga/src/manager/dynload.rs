@@ -1,0 +1,270 @@
+//! Dynamic loading (§3).
+//!
+//! "The operating system downloads the desired FPGA configuration into the
+//! FPGA RAM, by using the information received at task loading … Then, the
+//! operating system can put running the task."
+//!
+//! The whole device is multiplexed among tasks: whenever a dispatched task
+//! needs a circuit that is not the one currently configured, the manager
+//! downloads it (full stream on serial-only ports, partial frames when the
+//! port supports it). Preemption mid-operation follows the configured
+//! [`PreemptAction`]; sequential circuits preempted under `SaveRestore`
+//! pay readback on the way out and state-write on the way back in.
+
+use super::{
+    charge_full_download, charge_partial_download, charge_state_move, Activation, FpgaManager,
+    ManagerStats, PreemptCost,
+};
+use crate::circuit::{CircuitId, CircuitLib};
+use crate::manager::PreemptAction;
+use crate::task::TaskId;
+use fpga::ConfigTiming;
+use fsim::SimDuration;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Dynamic whole-device loading.
+#[derive(Debug)]
+pub struct DynLoadManager {
+    lib: Arc<CircuitLib>,
+    timing: ConfigTiming,
+    policy: PreemptAction,
+    /// Circuit currently in configuration RAM.
+    loaded: Option<CircuitId>,
+    /// Saved state per (task, circuit) awaiting restore.
+    saved_state: HashMap<(TaskId, CircuitId), ()>,
+    stats: ManagerStats,
+}
+
+impl DynLoadManager {
+    /// New manager with the given preemption policy.
+    pub fn new(lib: Arc<CircuitLib>, timing: ConfigTiming, policy: PreemptAction) -> Self {
+        DynLoadManager {
+            lib,
+            timing,
+            policy,
+            loaded: None,
+            saved_state: HashMap::new(),
+            stats: ManagerStats::default(),
+        }
+    }
+
+    /// The configured preemption policy.
+    pub fn policy(&self) -> PreemptAction {
+        self.policy
+    }
+
+    fn download(&mut self, cid: CircuitId) -> SimDuration {
+        self.loaded = Some(cid);
+        if self.timing.port.supports_partial() {
+            // Clear-and-load only the circuit's frames.
+            let frames = self.lib.get(cid).frames();
+            charge_partial_download(&self.timing, frames, &mut self.stats)
+        } else {
+            charge_full_download(&self.timing, &mut self.stats)
+        }
+    }
+}
+
+impl FpgaManager for DynLoadManager {
+    fn name(&self) -> &'static str {
+        "dynload"
+    }
+
+    fn activate(&mut self, tid: TaskId, cid: CircuitId) -> Activation {
+        let mut overhead = SimDuration::ZERO;
+        if self.loaded != Some(cid) {
+            self.stats.misses += 1;
+            overhead += self.download(cid);
+        } else {
+            self.stats.hits += 1;
+        }
+        // Restore saved state if this task was preempted mid-op earlier.
+        if self.saved_state.remove(&(tid, cid)).is_some() {
+            let frames = self.lib.get(cid).frames();
+            overhead += charge_state_move(&self.timing, frames, false, &mut self.stats);
+        }
+        Activation::Ready { overhead }
+    }
+
+    fn preempt(&mut self, tid: TaskId, cid: CircuitId) -> PreemptCost {
+        let img = self.lib.get(cid);
+        // A combinational circuit processes a stream of independent items:
+        // preemption at an item boundary loses nothing and needs no
+        // readback — the paper's "simply … wait the complete propagation"
+        // applies per item, not per burst.
+        if !img.is_sequential() {
+            return PreemptCost { overhead: SimDuration::ZERO, lose_progress: false };
+        }
+        match self.policy {
+            PreemptAction::WaitCompletion => {
+                unreachable!("system must not call preempt under WaitCompletion")
+            }
+            // No save machinery: the sequential computation restarts from
+            // its initial data ("roll-back the computation in the FPGA
+            // from the beginning").
+            PreemptAction::Rollback => PreemptCost {
+                overhead: SimDuration::ZERO,
+                lose_progress: true,
+            },
+            PreemptAction::SaveRestore => {
+                let frames = img.frames();
+                let overhead = charge_state_move(&self.timing, frames, true, &mut self.stats);
+                self.saved_state.insert((tid, cid), ());
+                PreemptCost { overhead, lose_progress: false }
+            }
+        }
+    }
+
+    fn op_done(&mut self, _tid: TaskId, _cid: CircuitId) -> (SimDuration, Vec<TaskId>) {
+        // The circuit stays loaded; the next task to need it wins a hit.
+        (SimDuration::ZERO, Vec::new())
+    }
+
+    fn task_exit(&mut self, tid: TaskId) -> Vec<TaskId> {
+        self.saved_state.retain(|(t, _), _| *t != tid);
+        Vec::new()
+    }
+
+    fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga::ConfigPort;
+    use pnr::{compile, CompileOptions};
+
+    fn lib3() -> (Arc<CircuitLib>, Vec<CircuitId>) {
+        let mut lib = CircuitLib::new();
+        let ids = vec![
+            lib.register_compiled(
+                compile(&netlist::library::arith::ripple_adder("add", 8), CompileOptions::default())
+                    .unwrap(),
+            ),
+            lib.register_compiled(
+                compile(
+                    &netlist::library::seq::lfsr("lfsr", 16, 0b1101_0000_0000_1000),
+                    CompileOptions::default(),
+                )
+                .unwrap(),
+            ),
+            lib.register_compiled(
+                compile(&netlist::library::logic::parity("par", 12), CompileOptions::default())
+                    .unwrap(),
+            ),
+        ];
+        (Arc::new(lib), ids)
+    }
+
+    fn manager(port: ConfigPort, policy: PreemptAction) -> (DynLoadManager, Vec<CircuitId>) {
+        let (lib, ids) = lib3();
+        let timing = ConfigTiming { spec: fpga::device::part("VF400"), port };
+        (DynLoadManager::new(lib, timing, policy), ids)
+    }
+
+    #[test]
+    fn switching_circuits_costs_downloads_reuse_does_not() {
+        let (mut m, ids) = manager(ConfigPort::SerialFast, PreemptAction::Rollback);
+        let t0 = TaskId(0);
+        let t1 = TaskId(1);
+        assert!(matches!(m.activate(t0, ids[0]), Activation::Ready { overhead } if overhead > SimDuration::ZERO));
+        m.op_done(t0, ids[0]);
+        // Same circuit again (other task): hit.
+        match m.activate(t1, ids[0]) {
+            Activation::Ready { overhead } => assert_eq!(overhead, SimDuration::ZERO),
+            other => panic!("{other:?}"),
+        }
+        // Different circuit: miss.
+        assert!(matches!(m.activate(t0, ids[2]), Activation::Ready { overhead } if overhead > SimDuration::ZERO));
+        assert_eq!(m.stats().downloads, 2);
+        assert_eq!(m.stats().hits, 1);
+        assert_eq!(m.stats().misses, 2);
+    }
+
+    #[test]
+    fn serial_slow_pays_full_time_partial_port_pays_frames() {
+        let (mut slow, ids) = manager(ConfigPort::SerialSlow, PreemptAction::Rollback);
+        let (mut fast, ids_f) = manager(ConfigPort::SerialFast, PreemptAction::Rollback);
+        let o_slow = match slow.activate(TaskId(0), ids[0]) {
+            Activation::Ready { overhead } => overhead,
+            _ => unreachable!(),
+        };
+        let o_fast = match fast.activate(TaskId(0), ids_f[0]) {
+            Activation::Ready { overhead } => overhead,
+            _ => unreachable!(),
+        };
+        assert_eq!(o_slow, slow.timing.full_config_time());
+        assert!(
+            o_fast.as_nanos() * 4 < o_slow.as_nanos(),
+            "partial frames on the fast port must be far cheaper: {o_fast} vs {o_slow}"
+        );
+    }
+
+    #[test]
+    fn save_restore_on_sequential_circuit() {
+        let (mut m, ids) = manager(ConfigPort::SerialFast, PreemptAction::SaveRestore);
+        let lfsr = ids[1];
+        let t = TaskId(3);
+        m.activate(t, lfsr);
+        let pc = m.preempt(t, lfsr);
+        assert!(!pc.lose_progress, "sequential state is saved, not lost");
+        assert!(pc.overhead > SimDuration::ZERO, "readback costs time");
+        assert_eq!(m.stats().state_saves, 1);
+
+        // Another task evicts the circuit.
+        m.activate(TaskId(4), ids[0]);
+        // Original task resumes: download + state restore.
+        match m.activate(t, lfsr) {
+            Activation::Ready { overhead } => {
+                assert!(overhead > SimDuration::ZERO);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(m.stats().state_restores, 1);
+    }
+
+    #[test]
+    fn combinational_circuit_preempts_free_at_item_boundaries() {
+        let (mut m, ids) = manager(ConfigPort::SerialFast, PreemptAction::SaveRestore);
+        let adder = ids[0];
+        m.activate(TaskId(0), adder);
+        let pc = m.preempt(TaskId(0), adder);
+        assert!(!pc.lose_progress, "items already processed are done");
+        assert_eq!(pc.overhead, SimDuration::ZERO, "no state to read back");
+        assert_eq!(m.stats().state_saves, 0);
+
+        // Same under Rollback: only *sequential* circuits restart.
+        let (mut m2, ids2) = manager(ConfigPort::SerialFast, PreemptAction::Rollback);
+        m2.activate(TaskId(0), ids2[0]);
+        let pc2 = m2.preempt(TaskId(0), ids2[0]);
+        assert!(!pc2.lose_progress);
+    }
+
+    #[test]
+    fn rollback_loses_progress_without_overhead() {
+        let (mut m, ids) = manager(ConfigPort::SerialFast, PreemptAction::Rollback);
+        m.activate(TaskId(0), ids[1]);
+        let pc = m.preempt(TaskId(0), ids[1]);
+        assert!(pc.lose_progress);
+        assert_eq!(pc.overhead, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn task_exit_drops_saved_state() {
+        let (mut m, ids) = manager(ConfigPort::SerialFast, PreemptAction::SaveRestore);
+        let t = TaskId(0);
+        m.activate(t, ids[1]);
+        m.preempt(t, ids[1]);
+        m.task_exit(t);
+        // Re-activating must not charge a restore for the dead save.
+        m.activate(TaskId(1), ids[0]);
+        match m.activate(t, ids[1]) {
+            Activation::Ready { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(m.stats().state_restores, 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! FPGA management policies.
+//!
+//! An [`FpgaManager`] decides how the shared device serves task requests:
+//! whether a circuit is already resident, what download/readback work a
+//! dispatch costs, whether a task must block, and what happens on
+//! preemption. One implementation per technique the paper proposes, plus
+//! the baselines it argues against.
+
+pub mod dynload;
+pub mod exclusive;
+pub mod merged;
+pub mod overlay;
+pub mod partition;
+
+use crate::circuit::CircuitId;
+use crate::task::TaskId;
+use fsim::SimDuration;
+
+/// Result of asking the manager to make a circuit runnable for a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// The circuit is (now) configured; dispatching costs `overhead` of
+    /// CPU time first (downloads, state restore, table updates).
+    Ready {
+        /// CPU time charged before the FPGA op can start.
+        overhead: SimDuration,
+    },
+    /// The resource is held by others; the task must wait. The manager
+    /// has queued it and will return it from a later wake list.
+    Blocked,
+}
+
+/// What preempting a task mid-FPGA-op costs and loses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreemptCost {
+    /// CPU time charged at preemption (e.g. state readback).
+    pub overhead: SimDuration,
+    /// Whether the op's progress is lost (rollback → restart from zero).
+    pub lose_progress: bool,
+}
+
+/// The preemption policy for tasks interrupted during an FPGA operation —
+/// the three options of §3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreemptAction {
+    /// Never interrupt an FPGA op: the slice stretches to completion.
+    WaitCompletion,
+    /// Interrupt and restart the op from the beginning later ("roll-back
+    /// the computation in the FPGA from the beginning").
+    Rollback,
+    /// Read back flip-flop state, restore before resuming (requires the
+    /// circuit to be observable and controllable — all library circuits
+    /// are, because state lives in CLB flip-flops).
+    SaveRestore,
+}
+
+/// Counters every manager maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ManagerStats {
+    /// Configuration downloads performed.
+    pub downloads: u64,
+    /// Configuration frames written.
+    pub frames_written: u64,
+    /// Total time spent downloading configurations.
+    pub config_time: SimDuration,
+    /// State readbacks (saves).
+    pub state_saves: u64,
+    /// State restores.
+    pub state_restores: u64,
+    /// Total time spent moving state.
+    pub state_time: SimDuration,
+    /// Activations served without any download (residency hits).
+    pub hits: u64,
+    /// Activations that required a download (misses).
+    pub misses: u64,
+    /// Times a task had to block on the resource.
+    pub blocks: u64,
+    /// Garbage-collection runs (partition manager).
+    pub gc_runs: u64,
+    /// Circuits relocated by GC.
+    pub relocations: u64,
+    /// Relocations abandoned because the circuit would not route.
+    pub failed_relocations: u64,
+    /// Idle resident circuits evicted to make room.
+    pub evictions: u64,
+    /// Partition splits (variable partitioning).
+    pub splits: u64,
+    /// Partition merges (garbage collection).
+    pub merges: u64,
+}
+
+/// An FPGA management policy.
+pub trait FpgaManager {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Make `cid` runnable for `tid`, or block the task.
+    fn activate(&mut self, tid: TaskId, cid: CircuitId) -> Activation;
+
+    /// The task was preempted mid-op on `cid`.
+    fn preempt(&mut self, tid: TaskId, cid: CircuitId) -> PreemptCost;
+
+    /// The task finished an FPGA op on `cid`. Returns `(overhead, wake)`:
+    /// CPU time charged plus tasks to move from Blocked to Ready.
+    fn op_done(&mut self, tid: TaskId, cid: CircuitId) -> (SimDuration, Vec<TaskId>);
+
+    /// The task exited. Free its resources; returns tasks to wake.
+    fn task_exit(&mut self, tid: TaskId) -> Vec<TaskId>;
+
+    /// Counters.
+    fn stats(&self) -> ManagerStats;
+}
+
+/// Shared helper: charge a download of `frames` full-column frames on the
+/// given timing model, updating stats.
+pub(crate) fn charge_partial_download(
+    timing: &fpga::ConfigTiming,
+    frames: usize,
+    stats: &mut ManagerStats,
+) -> SimDuration {
+    use fpga::config::{FRAME_ADDR_BITS, HEADER_BITS};
+    let bits = HEADER_BITS + frames as u64 * (FRAME_ADDR_BITS + timing.frame_bits());
+    let ns = bits.saturating_mul(1_000_000_000) / timing.port.bits_per_sec();
+    let d = SimDuration::from_nanos(ns);
+    stats.downloads += 1;
+    stats.frames_written += frames as u64;
+    stats.config_time += d;
+    d
+}
+
+/// Shared helper: charge a full-device download.
+pub(crate) fn charge_full_download(
+    timing: &fpga::ConfigTiming,
+    stats: &mut ManagerStats,
+) -> SimDuration {
+    let d = timing.full_config_time();
+    stats.downloads += 1;
+    stats.frames_written += timing.spec.cols as u64;
+    stats.config_time += d;
+    d
+}
+
+/// Shared helper: charge a state movement (readback or write) of `frames`.
+pub(crate) fn charge_state_move(
+    timing: &fpga::ConfigTiming,
+    frames: usize,
+    save: bool,
+    stats: &mut ManagerStats,
+) -> SimDuration {
+    let d = timing.readback_time(frames);
+    if save {
+        stats.state_saves += 1;
+    } else {
+        stats.state_restores += 1;
+    }
+    stats.state_time += d;
+    d
+}

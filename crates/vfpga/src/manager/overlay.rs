@@ -1,0 +1,402 @@
+//! Overlaying (§2).
+//!
+//! "Overlaying configures part of the FPGA to compute common functions
+//! which are frequently used, while the remaining part is used to download
+//! specific functions which are typically rarely used or mutually
+//! exclusive."
+//!
+//! The device is split into a *resident* column range, configured once at
+//! boot with the designated common circuits, and an *overlay* range of
+//! equal-width slots. A task using a common circuit always hits; a task
+//! using a specific circuit faults into an overlay slot, evicting a victim
+//! chosen by the configured replacement policy.
+
+use super::{
+    charge_partial_download, Activation, FpgaManager, ManagerStats, PreemptCost,
+};
+use crate::circuit::{CircuitId, CircuitLib};
+use crate::task::TaskId;
+use fpga::ConfigTiming;
+use fsim::SimDuration;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Overlay-slot replacement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Replacement {
+    /// Evict the least-recently-used slot.
+    Lru,
+    /// Evict slots in load order.
+    Fifo,
+    /// Evict the least-frequently-used slot (ties by LRU).
+    Lfu,
+}
+
+#[derive(Debug, Clone)]
+struct OverlaySlot {
+    resident: Option<CircuitId>,
+    owner: Option<TaskId>,
+    last_use: u64,
+    loaded_at: u64,
+    uses: u64,
+}
+
+/// Resident-plus-overlay manager.
+#[derive(Debug)]
+pub struct OverlayManager {
+    lib: Arc<CircuitLib>,
+    timing: ConfigTiming,
+    /// Circuits permanently resident (loaded once at boot).
+    common: Vec<CircuitId>,
+    /// Who is currently using each common circuit (for blocking).
+    common_owner: Vec<Option<TaskId>>,
+    slots: Vec<OverlaySlot>,
+    slot_width: u32,
+    policy: Replacement,
+    waiters: VecDeque<TaskId>,
+    clock: u64,
+    stats: ManagerStats,
+}
+
+impl OverlayManager {
+    /// Build the manager: `common` circuits become permanently resident
+    /// (their total width is carved off the device); the remaining columns
+    /// are divided into `slot_width`-wide overlay slots.
+    ///
+    /// # Panics
+    /// Panics if the common circuits plus one slot don't fit the device.
+    pub fn new(
+        lib: Arc<CircuitLib>,
+        timing: ConfigTiming,
+        common: Vec<CircuitId>,
+        slot_width: u32,
+        policy: Replacement,
+    ) -> Self {
+        let common_width: u32 = common.iter().map(|&c| lib.get(c).shape().0).sum();
+        let remaining = timing.spec.cols.checked_sub(common_width).unwrap_or_else(|| {
+            panic!("common circuits ({common_width} cols) exceed the device")
+        });
+        let n_slots = (remaining / slot_width) as usize;
+        assert!(n_slots >= 1, "no room for any overlay slot");
+        let mut stats = ManagerStats::default();
+        // Boot-time download of the resident region: one download covering
+        // the common circuits' frames.
+        let mut m = OverlayManager {
+            lib,
+            timing,
+            common_owner: vec![None; common.len()],
+            common,
+            slots: vec![
+                OverlaySlot { resident: None, owner: None, last_use: 0, loaded_at: 0, uses: 0 };
+                n_slots
+            ],
+            slot_width,
+            policy,
+            waiters: VecDeque::new(),
+            clock: 0,
+            stats: ManagerStats::default(),
+        };
+        if common_width > 0 {
+            charge_partial_download(&m.timing, common_width as usize, &mut stats);
+            m.stats = stats;
+        }
+        m
+    }
+
+    /// Number of overlay slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn pick_victim(&self) -> Option<usize> {
+        // Only idle slots are candidates.
+        let idle: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.owner.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        if idle.is_empty() {
+            return None;
+        }
+        // Empty slots first.
+        if let Some(&i) = idle.iter().find(|&&i| self.slots[i].resident.is_none()) {
+            return Some(i);
+        }
+        let key = |i: usize| -> (u64, u64) {
+            let s = &self.slots[i];
+            match self.policy {
+                Replacement::Lru => (s.last_use, 0),
+                Replacement::Fifo => (s.loaded_at, 0),
+                Replacement::Lfu => (s.uses, s.last_use),
+            }
+        };
+        idle.into_iter().min_by_key(|&i| key(i))
+    }
+}
+
+impl FpgaManager for OverlayManager {
+    fn name(&self) -> &'static str {
+        "overlay"
+    }
+
+    fn activate(&mut self, tid: TaskId, cid: CircuitId) -> Activation {
+        let stamp = self.tick();
+        // Common circuit: always resident.
+        if let Some(ci) = self.common.iter().position(|&c| c == cid) {
+            match self.common_owner[ci] {
+                Some(o) if o != tid => {
+                    self.stats.blocks += 1;
+                    self.waiters.push_back(tid);
+                    return Activation::Blocked;
+                }
+                _ => {
+                    self.common_owner[ci] = Some(tid);
+                    self.stats.hits += 1;
+                    return Activation::Ready { overhead: SimDuration::ZERO };
+                }
+            }
+        }
+        // Specific circuit: look for it in the overlay slots.
+        if let Some(i) = self.slots.iter().position(|s| s.resident == Some(cid)) {
+            match self.slots[i].owner {
+                Some(o) if o != tid => {
+                    self.stats.blocks += 1;
+                    self.waiters.push_back(tid);
+                    return Activation::Blocked;
+                }
+                _ => {
+                    let s = &mut self.slots[i];
+                    s.owner = Some(tid);
+                    s.last_use = stamp;
+                    s.uses += 1;
+                    self.stats.hits += 1;
+                    return Activation::Ready { overhead: SimDuration::ZERO };
+                }
+            }
+        }
+        // Fault: load into a victim slot.
+        let width = self.lib.get(cid).shape().0;
+        assert!(
+            width <= self.slot_width,
+            "circuit '{}' ({width} cols) exceeds overlay slot width {}",
+            self.lib.get(cid).name(),
+            self.slot_width
+        );
+        match self.pick_victim() {
+            Some(i) => {
+                self.stats.misses += 1;
+                if self.slots[i].resident.is_some() {
+                    self.stats.evictions += 1;
+                }
+                let overhead =
+                    charge_partial_download(&self.timing, width as usize, &mut self.stats);
+                let s = &mut self.slots[i];
+                s.resident = Some(cid);
+                s.owner = Some(tid);
+                s.last_use = stamp;
+                s.loaded_at = stamp;
+                s.uses = 1;
+                Activation::Ready { overhead }
+            }
+            None => {
+                self.stats.blocks += 1;
+                self.waiters.push_back(tid);
+                Activation::Blocked
+            }
+        }
+    }
+
+    fn preempt(&mut self, _tid: TaskId, _cid: CircuitId) -> PreemptCost {
+        // Slots are not reassigned while owned, so state survives in place.
+        PreemptCost { overhead: SimDuration::ZERO, lose_progress: false }
+    }
+
+    fn op_done(&mut self, tid: TaskId, cid: CircuitId) -> (SimDuration, Vec<TaskId>) {
+        if let Some(ci) = self.common.iter().position(|&c| c == cid) {
+            if self.common_owner[ci] == Some(tid) {
+                self.common_owner[ci] = None;
+            }
+        }
+        for s in &mut self.slots {
+            if s.resident == Some(cid) && s.owner == Some(tid) {
+                s.owner = None;
+            }
+        }
+        (SimDuration::ZERO, self.waiters.drain(..).collect())
+    }
+
+    fn task_exit(&mut self, tid: TaskId) -> Vec<TaskId> {
+        for o in &mut self.common_owner {
+            if *o == Some(tid) {
+                *o = None;
+            }
+        }
+        for s in &mut self.slots {
+            if s.owner == Some(tid) {
+                s.owner = None;
+            }
+        }
+        self.waiters.retain(|t| *t != tid);
+        self.waiters.drain(..).collect()
+    }
+
+    fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga::ConfigPort;
+    use pnr::{compile, CompileOptions};
+
+    fn setup(policy: Replacement) -> (OverlayManager, Vec<CircuitId>) {
+        let spec = fpga::device::part("VF400"); // 20 cols
+        let mut lib = CircuitLib::new();
+        let mut ids = Vec::new();
+        // One common circuit + four specific ones, all narrow.
+        for (i, name) in ["common", "s1", "s2", "s3", "s4"].iter().enumerate() {
+            let net = netlist::library::arith::ripple_adder(name, 4 + i);
+            let opts = CompileOptions {
+                max_height: spec.rows,
+                full_height: true,
+                ..Default::default()
+            };
+            ids.push(lib.register_compiled(compile(&net, opts).unwrap()));
+        }
+        let lib = Arc::new(lib);
+        let widest = ids.iter().map(|&i| lib.get(i).shape().0).max().unwrap();
+        // Exactly 3 overlay slots so the tests can overflow them with the
+        // 4 specific circuits.
+        let common_w = lib.get(ids[0]).shape().0;
+        let slot_w = widest.max((spec.cols - common_w) / 3);
+        let m = OverlayManager::new(
+            lib,
+            ConfigTiming { spec, port: ConfigPort::SerialFast },
+            vec![ids[0]],
+            slot_w,
+            policy,
+        );
+        assert_eq!(m.slot_count(), 3, "tests assume exactly 3 slots");
+        (m, ids)
+    }
+
+    #[test]
+    fn common_circuit_always_hits() {
+        let (mut m, ids) = setup(Replacement::Lru);
+        for t in 0..5u32 {
+            match m.activate(TaskId(t), ids[0]) {
+                Activation::Ready { overhead } => assert_eq!(overhead, SimDuration::ZERO),
+                other => panic!("{other:?}"),
+            }
+            m.op_done(TaskId(t), ids[0]);
+        }
+        assert_eq!(m.stats().hits, 5);
+        assert_eq!(m.stats().misses, 0);
+    }
+
+    #[test]
+    fn specific_circuit_faults_then_hits() {
+        let (mut m, ids) = setup(Replacement::Lru);
+        assert!(matches!(m.activate(TaskId(0), ids[1]), Activation::Ready { overhead } if overhead > SimDuration::ZERO));
+        m.op_done(TaskId(0), ids[1]);
+        assert!(matches!(m.activate(TaskId(1), ids[1]), Activation::Ready { overhead } if overhead == SimDuration::ZERO));
+        assert_eq!(m.stats().misses, 1);
+        assert_eq!(m.stats().hits, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let (mut m, ids) = setup(Replacement::Lru);
+        let n = m.slot_count();
+        // Fill all slots with s1..sN, then touch s1 so s2 is LRU.
+        for (t, &cid) in ids[1..].iter().take(n).enumerate() {
+            m.activate(TaskId(t as u32), cid);
+            m.op_done(TaskId(t as u32), cid);
+        }
+        m.activate(TaskId(9), ids[1]);
+        m.op_done(TaskId(9), ids[1]);
+        let before = m.stats().evictions;
+        // Load one more specific circuit: victim must be s2 (LRU), so s1
+        // must still hit afterwards.
+        let extra = ids[1 + n]; // first circuit beyond the filled slots
+        m.activate(TaskId(10), extra);
+        m.op_done(TaskId(10), extra);
+        assert_eq!(m.stats().evictions, before + 1);
+        assert!(matches!(m.activate(TaskId(11), ids[1]), Activation::Ready { overhead } if overhead == SimDuration::ZERO));
+    }
+
+    #[test]
+    fn busy_slots_are_not_victims() {
+        let (mut m, ids) = setup(Replacement::Lru);
+        let n = m.slot_count();
+        // Occupy every slot and keep them all busy (no op_done).
+        for (t, &cid) in ids[1..].iter().take(n).enumerate() {
+            m.activate(TaskId(t as u32), cid);
+        }
+        let extra = ids[1 + n];
+        assert_eq!(m.activate(TaskId(8), extra), Activation::Blocked);
+        // Release one: the blocked task can now be woken and retried.
+        let (_, wake) = m.op_done(TaskId(0), ids[1]);
+        assert!(wake.contains(&TaskId(8)));
+        assert!(matches!(m.activate(TaskId(8), extra), Activation::Ready { .. }));
+    }
+
+    #[test]
+    fn fifo_and_lfu_policies_differ_from_lru() {
+        // Smoke: same access pattern, count evictions of a probe circuit.
+        for policy in [Replacement::Fifo, Replacement::Lfu] {
+            let (mut m, ids) = setup(policy);
+            let n = m.slot_count();
+            for (t, &cid) in ids[1..].iter().take(n).enumerate() {
+                m.activate(TaskId(t as u32), cid);
+                m.op_done(TaskId(t as u32), cid);
+            }
+            // Hammer s1 (raises its use count and recency).
+            for t in 20..25u32 {
+                m.activate(TaskId(t), ids[1]);
+                m.op_done(TaskId(t), ids[1]);
+            }
+            let extra = ids[1 + n];
+            m.activate(TaskId(30), extra);
+            m.op_done(TaskId(30), extra);
+            // Under LFU, s1 must survive (highest use count).
+            if policy == Replacement::Lfu {
+                assert!(matches!(
+                    m.activate(TaskId(31), ids[1]),
+                    Activation::Ready { overhead } if overhead == SimDuration::ZERO
+                ));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds overlay slot width")]
+    fn oversized_circuit_panics() {
+        let spec = fpga::device::part("VF400");
+        let mut lib = CircuitLib::new();
+        let big = lib.register_compiled(
+            compile(
+                &netlist::library::arith::array_multiplier("big", 8),
+                CompileOptions { max_height: spec.rows, ..Default::default() },
+            )
+            .unwrap(),
+        );
+        let mut m = OverlayManager::new(
+            Arc::new(lib),
+            ConfigTiming { spec, port: ConfigPort::SerialFast },
+            vec![],
+            2,
+            Replacement::Lru,
+        );
+        m.activate(TaskId(0), big);
+    }
+}

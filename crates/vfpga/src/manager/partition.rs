@@ -1,0 +1,683 @@
+//! FPGA partitioning (§4).
+//!
+//! The CLB array is divided into disjoint full-height *column* partitions
+//! (configuration frames span full columns, so column partitions are the
+//! cheap-to-reconfigure shape). Each partition independently holds one
+//! circuit; circuits stay resident after use, so repeat activations are
+//! free — "partitioning is an effective technique to reduce the number of
+//! loading … operations and increase the overall time available for
+//! computation".
+//!
+//! * **Fixed** partitions are created once from a size list ("taking the
+//!   corresponding sizes from system configuration file") and never change;
+//!   a circuit narrower than its partition wastes the difference (internal
+//!   fragmentation).
+//! * **Variable** partitions split free space to exactly the requested
+//!   width ("one of the unused partitions having size large enough is
+//!   selected and split in two parts") and a garbage collector merges idle
+//!   fragments, relocating resident circuits when routing at the new
+//!   origin succeeds ("a garbage-collecting procedure must be introduced
+//!   to merge - when necessary - the idle existing partitions").
+
+use super::{
+    charge_partial_download, charge_state_move, Activation, FpgaManager, ManagerStats,
+    PreemptCost,
+};
+use crate::circuit::{CircuitId, CircuitLib};
+use crate::manager::PreemptAction;
+use crate::task::TaskId;
+use fpga::ConfigTiming;
+use fsim::SimDuration;
+use pnr::route::CircuitRoutes;
+use pnr::RoutingFabric;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Partitioning discipline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionMode {
+    /// Fixed column widths, created at boot.
+    Fixed(Vec<u32>),
+    /// One free partition at boot; split/merge on demand.
+    Variable,
+}
+
+/// Content of one partition.
+#[derive(Debug)]
+enum Slot {
+    Free,
+    /// Holds a resident circuit; `owner` is the task currently executing
+    /// on it (None = idle resident).
+    Resident {
+        cid: CircuitId,
+        owner: Option<TaskId>,
+        routes: CircuitRoutes,
+        /// Monotone last-use stamp for LRU eviction.
+        last_use: u64,
+        /// Saved FF state pending a restore for `(task)`.
+        saved_for: Option<TaskId>,
+    },
+}
+
+#[derive(Debug)]
+struct Partition {
+    col: u32,
+    width: u32,
+    slot: Slot,
+}
+
+/// Column-partitioned FPGA manager.
+#[derive(Debug)]
+pub struct PartitionManager {
+    lib: Arc<CircuitLib>,
+    timing: ConfigTiming,
+    mode: PartitionMode,
+    policy: PreemptAction,
+    parts: Vec<Partition>,
+    routing: RoutingFabric,
+    waiters: VecDeque<(TaskId, CircuitId)>,
+    clock: u64,
+    stats: ManagerStats,
+    /// Enable the garbage collector (ablation knob for E6).
+    pub gc_enabled: bool,
+}
+
+impl PartitionManager {
+    /// Create the manager; fixed widths must tile the device exactly.
+    pub fn new(
+        lib: Arc<CircuitLib>,
+        timing: ConfigTiming,
+        mode: PartitionMode,
+        policy: PreemptAction,
+    ) -> Self {
+        let cols = timing.spec.cols;
+        let parts = match &mode {
+            PartitionMode::Fixed(widths) => {
+                assert_eq!(
+                    widths.iter().sum::<u32>(),
+                    cols,
+                    "fixed widths must tile the device"
+                );
+                let mut c = 0;
+                widths
+                    .iter()
+                    .map(|&w| {
+                        assert!(w > 0, "zero-width partition");
+                        let p = Partition { col: c, width: w, slot: Slot::Free };
+                        c += w;
+                        p
+                    })
+                    .collect()
+            }
+            PartitionMode::Variable => {
+                vec![Partition { col: 0, width: cols, slot: Slot::Free }]
+            }
+        };
+        PartitionManager {
+            lib,
+            timing,
+            mode,
+            policy,
+            parts,
+            routing: RoutingFabric::for_device(&timing.spec),
+            waiters: VecDeque::new(),
+            clock: 0,
+            stats: ManagerStats::default(),
+            gc_enabled: true,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Index of the partition resident with `cid`, if any.
+    fn find_resident(&self, cid: CircuitId) -> Option<usize> {
+        self.parts.iter().position(
+            |p| matches!(p.slot, Slot::Resident { cid: c, .. } if c == cid),
+        )
+    }
+
+    /// CLBs currently occupied by resident circuits.
+    pub fn resident_clbs(&self) -> u32 {
+        self.parts
+            .iter()
+            .map(|p| match p.slot {
+                Slot::Resident { cid, .. } => {
+                    let (w, h) = self.lib.get(cid).shape();
+                    w * h.min(self.timing.spec.rows)
+                }
+                Slot::Free => 0,
+            })
+            .sum()
+    }
+
+    /// External fragmentation: the widest circuit width that can NOT be
+    /// placed even though total free columns would suffice, expressed as
+    /// `1 - largest_free_run / total_free` (0 when free space is one run).
+    pub fn fragmentation(&self) -> f64 {
+        let free: Vec<u32> = self
+            .parts
+            .iter()
+            .filter(|p| matches!(p.slot, Slot::Free))
+            .map(|p| p.width)
+            .collect();
+        let total: u32 = free.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let largest = free.iter().copied().max().unwrap_or(0);
+        1.0 - largest as f64 / total as f64
+    }
+
+    /// Number of partitions (diagnostic).
+    pub fn partition_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Whether `cid` is currently resident in some partition (diagnostic,
+    /// no side effects).
+    pub fn is_resident(&self, cid: CircuitId) -> bool {
+        self.find_resident(cid).is_some()
+    }
+
+    /// Load `cid` into partition `idx` (assumed free and wide enough),
+    /// splitting in variable mode. Returns overhead, or None if routing
+    /// fails at that origin.
+    fn load_into(&mut self, idx: usize, cid: CircuitId, tid: TaskId) -> Option<SimDuration> {
+        let need_w = self.lib.get(cid).shape().0;
+        let origin = (self.parts[idx].col, 0u32);
+        let placed = &self.lib.get(cid).compiled.placed.clone();
+        let routes = match self.routing.route_circuit(placed, origin) {
+            Ok(r) => r,
+            Err(_) => return None,
+        };
+        // Split in variable mode when the partition is wider than needed.
+        if matches!(self.mode, PartitionMode::Variable) && self.parts[idx].width > need_w {
+            let leftover = Partition {
+                col: self.parts[idx].col + need_w,
+                width: self.parts[idx].width - need_w,
+                slot: Slot::Free,
+            };
+            self.parts[idx].width = need_w;
+            self.parts.insert(idx + 1, leftover);
+            self.stats.splits += 1;
+        }
+        let last_use = self.tick();
+        let frames = need_w as usize;
+        let overhead = charge_partial_download(&self.timing, frames, &mut self.stats);
+        self.parts[idx].slot = Slot::Resident {
+            cid,
+            owner: Some(tid),
+            routes,
+            last_use,
+            saved_for: None,
+        };
+        Some(overhead)
+    }
+
+    /// Evict the least-recently-used idle resident circuit wider or equal
+    /// to nothing in particular — any eviction frees columns. Returns true
+    /// if something was evicted.
+    fn evict_lru_idle(&mut self) -> bool {
+        let victim = self
+            .parts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| match &p.slot {
+                Slot::Resident { owner: None, last_use, .. } => Some((i, *last_use)),
+                _ => None,
+            })
+            .min_by_key(|&(_, lu)| lu)
+            .map(|(i, _)| i);
+        match victim {
+            Some(i) => {
+                if let Slot::Resident { routes, .. } = &self.parts[i].slot {
+                    self.routing.release(routes);
+                }
+                self.parts[i].slot = Slot::Free;
+                self.stats.evictions += 1;
+                self.merge_adjacent_free();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Merge adjacent free partitions (variable mode only).
+    fn merge_adjacent_free(&mut self) {
+        if !matches!(self.mode, PartitionMode::Variable) {
+            return;
+        }
+        let mut i = 0;
+        while i + 1 < self.parts.len() {
+            if matches!(self.parts[i].slot, Slot::Free)
+                && matches!(self.parts[i + 1].slot, Slot::Free)
+            {
+                self.parts[i].width += self.parts[i + 1].width;
+                self.parts.remove(i + 1);
+                self.stats.merges += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Garbage collection: compact resident circuits leftward so free
+    /// space coalesces at the right. Only idle residents move; a move
+    /// charges a download at the new origin (plus state save/restore when
+    /// the circuit is sequential) and is abandoned when routing fails
+    /// there. Returns the total CPU overhead of the compaction.
+    fn garbage_collect(&mut self) -> SimDuration {
+        self.stats.gc_runs += 1;
+        let mut overhead = SimDuration::ZERO;
+
+        // Extract occupied partitions in column order; frees are rebuilt.
+        let mut occupied: Vec<Partition> = Vec::new();
+        for p in self.parts.drain(..) {
+            if !matches!(p.slot, Slot::Free) {
+                occupied.push(p);
+            }
+        }
+        occupied.sort_by_key(|p| p.col);
+
+        let mut cursor = 0u32;
+        for p in &mut occupied {
+            let movable = matches!(p.slot, Slot::Resident { owner: None, .. });
+            if !movable || p.col == cursor {
+                // Busy partitions pin themselves; packing resumes after.
+                cursor = p.col.max(cursor) + p.width;
+                continue;
+            }
+            let cid = match &p.slot {
+                Slot::Resident { cid, .. } => *cid,
+                Slot::Free => unreachable!(),
+            };
+            let placed = self.lib.get(cid).compiled.placed.clone();
+            let old_routes = match &p.slot {
+                Slot::Resident { routes, .. } => routes.clone(),
+                Slot::Free => unreachable!(),
+            };
+            self.routing.release(&old_routes);
+            match self.routing.route_circuit(&placed, (cursor, 0)) {
+                Ok(new_routes) => {
+                    let frames = p.width as usize;
+                    overhead += charge_partial_download(&self.timing, frames, &mut self.stats);
+                    if self.lib.get(cid).is_sequential() {
+                        overhead += charge_state_move(&self.timing, frames, true, &mut self.stats);
+                        overhead +=
+                            charge_state_move(&self.timing, frames, false, &mut self.stats);
+                    }
+                    self.stats.relocations += 1;
+                    p.col = cursor;
+                    if let Slot::Resident { routes, .. } = &mut p.slot {
+                        *routes = new_routes;
+                    }
+                }
+                Err(_) => {
+                    // Keep the circuit where it was; restore its routes.
+                    let restored = self
+                        .routing
+                        .route_circuit(&placed, (p.col, 0))
+                        .expect("re-routing at the original origin must succeed");
+                    if let Slot::Resident { routes, .. } = &mut p.slot {
+                        *routes = restored;
+                    }
+                    self.stats.failed_relocations += 1;
+                }
+            }
+            cursor = p.col + p.width;
+        }
+
+        // Rebuild the partition list: occupied at final positions plus the
+        // free gaps between them.
+        let cols = self.timing.spec.cols;
+        let mut new_parts: Vec<Partition> = Vec::with_capacity(occupied.len() * 2 + 1);
+        let mut at = 0u32;
+        for p in occupied {
+            if p.col > at {
+                self.stats.merges += 1;
+                new_parts.push(Partition { col: at, width: p.col - at, slot: Slot::Free });
+            }
+            at = p.col + p.width;
+            new_parts.push(p);
+        }
+        if at < cols {
+            new_parts.push(Partition { col: at, width: cols - at, slot: Slot::Free });
+        }
+        self.parts = new_parts;
+        overhead
+    }
+}
+
+impl FpgaManager for PartitionManager {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            PartitionMode::Fixed(_) => "partition-fixed",
+            PartitionMode::Variable => "partition-variable",
+        }
+    }
+
+    fn activate(&mut self, tid: TaskId, cid: CircuitId) -> Activation {
+        // 1. Already resident?
+        if let Some(i) = self.find_resident(cid) {
+            let stamp = self.tick();
+            if let Slot::Resident { owner, last_use, saved_for, .. } = &mut self.parts[i].slot {
+                match owner {
+                    Some(o) if *o != tid => {
+                        self.stats.blocks += 1;
+                        self.waiters.push_back((tid, cid));
+                        return Activation::Blocked;
+                    }
+                    _ => {
+                        *owner = Some(tid);
+                        *last_use = stamp;
+                        self.stats.hits += 1;
+                        let mut overhead = SimDuration::ZERO;
+                        if *saved_for == Some(tid) {
+                            *saved_for = None;
+                            let frames = self.parts[i].width as usize;
+                            overhead +=
+                                charge_state_move(&self.timing, frames, false, &mut self.stats);
+                        }
+                        return Activation::Ready { overhead };
+                    }
+                }
+            }
+            unreachable!("find_resident returned a free slot");
+        }
+
+        // 2. Find a free partition wide enough (first-fit).
+        self.stats.misses += 1;
+        let need_w = self.lib.get(cid).shape().0;
+        loop {
+            let candidate = self
+                .parts
+                .iter()
+                .position(|p| matches!(p.slot, Slot::Free) && p.width >= need_w);
+            if let Some(i) = candidate {
+                if let Some(overhead) = self.load_into(i, cid, tid) {
+                    return Activation::Ready { overhead };
+                }
+                // Routing failed at this origin — treat like fragmentation:
+                // fall through to GC/eviction below rather than looping on
+                // the same partition forever.
+            }
+            // 3. Try GC (variable mode) to coalesce free columns.
+            if self.gc_enabled && matches!(self.mode, PartitionMode::Variable) {
+                let free_total: u32 = self
+                    .parts
+                    .iter()
+                    .filter(|p| matches!(p.slot, Slot::Free))
+                    .map(|p| p.width)
+                    .sum();
+                let largest_free = self
+                    .parts
+                    .iter()
+                    .filter(|p| matches!(p.slot, Slot::Free))
+                    .map(|p| p.width)
+                    .max()
+                    .unwrap_or(0);
+                if free_total >= need_w && largest_free < need_w {
+                    let gc_overhead = self.garbage_collect();
+                    let retry = self
+                        .parts
+                        .iter()
+                        .position(|p| matches!(p.slot, Slot::Free) && p.width >= need_w);
+                    if let Some(i) = retry {
+                        if let Some(overhead) = self.load_into(i, cid, tid) {
+                            return Activation::Ready { overhead: overhead + gc_overhead };
+                        }
+                    }
+                }
+            }
+            // 4. Evict an idle resident and retry once per eviction.
+            if !self.evict_lru_idle() {
+                self.stats.blocks += 1;
+                self.waiters.push_back((tid, cid));
+                return Activation::Blocked;
+            }
+        }
+    }
+
+    fn preempt(&mut self, tid: TaskId, cid: CircuitId) -> PreemptCost {
+        match self.policy {
+            PreemptAction::WaitCompletion => {
+                unreachable!("system must not call preempt under WaitCompletion")
+            }
+            PreemptAction::Rollback => PreemptCost {
+                overhead: SimDuration::ZERO,
+                lose_progress: true,
+            },
+            PreemptAction::SaveRestore => {
+                // The circuit stays in its partition; state survives in the
+                // fabric. No readback is needed *unless* the partition gets
+                // reassigned, which this manager never does while the op is
+                // unfinished (owner stays set). So preemption is free.
+                let i = self.find_resident(cid).expect("preempted circuit is resident");
+                if let Slot::Resident { owner, .. } = &mut self.parts[i].slot {
+                    debug_assert_eq!(*owner, Some(tid));
+                }
+                PreemptCost { overhead: SimDuration::ZERO, lose_progress: false }
+            }
+        }
+    }
+
+    fn op_done(&mut self, tid: TaskId, cid: CircuitId) -> (SimDuration, Vec<TaskId>) {
+        if let Some(i) = self.find_resident(cid) {
+            let stamp = self.tick();
+            if let Slot::Resident { owner, last_use, .. } = &mut self.parts[i].slot {
+                if *owner == Some(tid) {
+                    *owner = None;
+                    *last_use = stamp;
+                }
+            }
+        }
+        let wake: Vec<TaskId> = self.waiters.drain(..).map(|(t, _)| t).collect();
+        (SimDuration::ZERO, wake)
+    }
+
+    fn task_exit(&mut self, tid: TaskId) -> Vec<TaskId> {
+        for p in &mut self.parts {
+            if let Slot::Resident { owner, saved_for, .. } = &mut p.slot {
+                if *owner == Some(tid) {
+                    *owner = None;
+                }
+                if *saved_for == Some(tid) {
+                    *saved_for = None;
+                }
+            }
+        }
+        self.waiters.retain(|(t, _)| *t != tid);
+        self.waiters.drain(..).map(|(t, _)| t).collect()
+    }
+
+    fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga::ConfigPort;
+    use pnr::{compile, CompileOptions};
+
+    /// Circuits compiled to full device height so they fit column partitions.
+    fn lib_for(spec: fpga::DeviceSpec, widths: &[(usize, &str)]) -> (Arc<CircuitLib>, Vec<CircuitId>) {
+        let mut lib = CircuitLib::new();
+        let ids = widths
+            .iter()
+            .map(|&(w, name)| {
+                let net = netlist::library::arith::array_multiplier(name, w);
+                let opts = CompileOptions {
+                    max_height: spec.rows,
+                    full_height: true,
+                    ..Default::default()
+                };
+                lib.register_compiled(compile(&net, opts).unwrap())
+            })
+            .collect();
+        (Arc::new(lib), ids)
+    }
+
+    fn mgr(mode: PartitionMode) -> (PartitionManager, Vec<CircuitId>) {
+        let spec = fpga::device::part("VF400");
+        let (lib, ids) = lib_for(spec, &[(4, "a"), (4, "b"), (5, "c"), (6, "d")]);
+        let m = PartitionManager::new(
+            lib,
+            ConfigTiming { spec, port: ConfigPort::SerialFast },
+            mode,
+            PreemptAction::SaveRestore,
+        );
+        (m, ids)
+    }
+
+    #[test]
+    fn variable_mode_splits_and_coexists() {
+        let (mut m, ids) = mgr(PartitionMode::Variable);
+        let o1 = m.activate(TaskId(0), ids[0]);
+        let o2 = m.activate(TaskId(1), ids[1]);
+        assert!(matches!(o1, Activation::Ready { .. }));
+        assert!(matches!(o2, Activation::Ready { .. }));
+        assert!(m.stats().splits >= 2);
+        assert!(m.partition_count() >= 3, "two circuits + free tail");
+    }
+
+    #[test]
+    fn resident_reactivation_is_free() {
+        let (mut m, ids) = mgr(PartitionMode::Variable);
+        m.activate(TaskId(0), ids[0]);
+        m.op_done(TaskId(0), ids[0]);
+        match m.activate(TaskId(1), ids[0]) {
+            Activation::Ready { overhead } => assert_eq!(overhead, SimDuration::ZERO),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(m.stats().hits, 1);
+        assert_eq!(m.stats().downloads, 1);
+    }
+
+    #[test]
+    fn busy_partition_blocks_second_task() {
+        let (mut m, ids) = mgr(PartitionMode::Variable);
+        m.activate(TaskId(0), ids[0]);
+        assert_eq!(m.activate(TaskId(1), ids[0]), Activation::Blocked);
+        let (_, wake) = m.op_done(TaskId(0), ids[0]);
+        assert_eq!(wake, vec![TaskId(1)]);
+    }
+
+    #[test]
+    fn eviction_makes_room() {
+        let spec = fpga::device::part("VF100"); // 10 cols only
+        let (lib, ids) = lib_for(spec, &[(4, "a"), (4, "b"), (4, "c")]);
+        let mut m = PartitionManager::new(
+            lib.clone(),
+            ConfigTiming { spec, port: ConfigPort::SerialFast },
+            PartitionMode::Variable,
+            PreemptAction::SaveRestore,
+        );
+        // Widths of the three circuits:
+        let w: Vec<u32> = ids.iter().map(|&i| lib.get(i).shape().0).collect();
+        assert!(w.iter().sum::<u32>() > 10, "must not all fit at once");
+        m.activate(TaskId(0), ids[0]);
+        m.op_done(TaskId(0), ids[0]);
+        m.activate(TaskId(1), ids[1]);
+        m.op_done(TaskId(1), ids[1]);
+        // Third circuit forces eviction of the LRU idle (circuit a).
+        match m.activate(TaskId(2), ids[2]) {
+            Activation::Ready { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(m.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn fixed_mode_respects_boundaries() {
+        let spec = fpga::device::part("VF400"); // 20 cols
+        let (lib, ids) = lib_for(spec, &[(4, "a"), (6, "d")]);
+        let mut m = PartitionManager::new(
+            lib.clone(),
+            ConfigTiming { spec, port: ConfigPort::SerialFast },
+            PartitionMode::Fixed(vec![10, 10]),
+            PreemptAction::SaveRestore,
+        );
+        assert_eq!(m.partition_count(), 2);
+        m.activate(TaskId(0), ids[0]);
+        m.activate(TaskId(1), ids[1]);
+        // No splits in fixed mode.
+        assert_eq!(m.stats().splits, 0);
+        assert_eq!(m.partition_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile the device")]
+    fn fixed_widths_must_tile() {
+        let spec = fpga::device::part("VF400");
+        let (lib, _) = lib_for(spec, &[(4, "a")]);
+        PartitionManager::new(
+            lib,
+            ConfigTiming { spec, port: ConfigPort::SerialFast },
+            PartitionMode::Fixed(vec![5, 5]),
+            PreemptAction::SaveRestore,
+        );
+    }
+
+    #[test]
+    fn gc_coalesces_fragmented_free_space() {
+        let spec = fpga::device::part("VF400"); // 20 cols
+        // Circuits: a(w≈5) b(w≈5) c(w≈5) then wide d needing ~9.
+        let (lib, ids) = lib_for(spec, &[(5, "a"), (5, "b"), (5, "c"), (8, "d")]);
+        let widths: Vec<u32> = ids.iter().map(|&i| lib.get(i).shape().0).collect();
+        let mut m = PartitionManager::new(
+            lib,
+            ConfigTiming { spec, port: ConfigPort::SerialFast },
+            PartitionMode::Variable,
+            PreemptAction::SaveRestore,
+        );
+        // Load a, b, c side by side; then release a and c (idle residents),
+        // evict a and c... Instead: directly create fragmentation by
+        // loading a,b,c then evicting a and c via direct slot clears.
+        m.activate(TaskId(0), ids[0]);
+        m.op_done(TaskId(0), ids[0]);
+        m.activate(TaskId(1), ids[1]);
+        // b stays BUSY (op not done) so GC must work around it... except a
+        // busy partition blocks compaction to its left. Release b too for
+        // the clean-path test.
+        m.op_done(TaskId(1), ids[1]);
+        m.activate(TaskId(2), ids[2]);
+        m.op_done(TaskId(2), ids[2]);
+        // Evict a and c to fragment: free [0,wa) and [wa+wb, wa+wb+wc).
+        // Do it through the public path: loading d (too wide for any hole)
+        // triggers eviction+GC automatically.
+        let used: u32 = widths[..3].iter().sum();
+        assert!(used <= spec.cols, "a,b,c must fit side by side, widths {widths:?}");
+        let free_before = spec.cols - used;
+        assert!(free_before < widths[3], "d must not fit without coalescing, widths {widths:?}");
+        match m.activate(TaskId(3), ids[3]) {
+            Activation::Ready { .. } => {}
+            other => panic!("d should load after eviction/GC: {other:?}"),
+        }
+        assert!(
+            m.stats().evictions >= 1 || m.stats().gc_runs >= 1,
+            "making room must have evicted or compacted"
+        );
+    }
+
+    #[test]
+    fn preemption_in_partition_is_free_and_keeps_progress() {
+        let (mut m, ids) = mgr(PartitionMode::Variable);
+        m.activate(TaskId(0), ids[2]);
+        let pc = m.preempt(TaskId(0), ids[2]);
+        assert_eq!(pc.overhead, SimDuration::ZERO);
+        assert!(!pc.lose_progress, "state stays in the partition fabric");
+    }
+
+    #[test]
+    fn fragmentation_metric() {
+        let (mut m, ids) = mgr(PartitionMode::Variable);
+        assert_eq!(m.fragmentation(), 0.0, "one free run at boot");
+        m.activate(TaskId(0), ids[0]);
+        assert_eq!(m.fragmentation(), 0.0, "free space still contiguous");
+    }
+}

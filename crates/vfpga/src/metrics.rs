@@ -1,0 +1,169 @@
+//! Accounting.
+//!
+//! The experiments report wait time, turnaround, overhead fraction, and
+//! device utilization; this module accumulates them per task and
+//! aggregates a [`Report`] per run.
+
+use crate::manager::ManagerStats;
+use fsim::{SimDuration, SimTime, Summary};
+
+/// Per-task accounting.
+#[derive(Debug, Clone, Default)]
+pub struct TaskMetrics {
+    /// Task name.
+    pub name: String,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Completion time.
+    pub completion: SimTime,
+    /// CPU time spent on useful CPU bursts.
+    pub cpu_time: SimDuration,
+    /// Time spent executing on the FPGA.
+    pub fpga_time: SimDuration,
+    /// CPU time lost to configuration/state overhead on this task's behalf.
+    pub overhead_time: SimDuration,
+    /// FPGA work discarded by rollbacks.
+    pub lost_time: SimDuration,
+    /// Number of times the task blocked on an FPGA resource.
+    pub blocked_count: u64,
+}
+
+impl TaskMetrics {
+    /// Turnaround: completion − arrival.
+    pub fn turnaround(&self) -> SimDuration {
+        self.completion - self.arrival
+    }
+
+    /// Time neither computing nor charged overhead: queueing/blocked time.
+    pub fn waiting(&self) -> SimDuration {
+        self.turnaround()
+            .saturating_sub(self.cpu_time)
+            .saturating_sub(self.fpga_time)
+            .saturating_sub(self.overhead_time)
+            .saturating_sub(self.lost_time)
+    }
+}
+
+/// One simulation run's results.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Manager policy name.
+    pub manager: &'static str,
+    /// Scheduler policy name.
+    pub scheduler: &'static str,
+    /// Per-task metrics, task order.
+    pub tasks: Vec<TaskMetrics>,
+    /// Completion time of the last task.
+    pub makespan: SimDuration,
+    /// Manager counters.
+    pub manager_stats: ManagerStats,
+}
+
+impl Report {
+    /// Mean turnaround across tasks (seconds).
+    pub fn mean_turnaround_s(&self) -> f64 {
+        let mut s = Summary::new();
+        for t in &self.tasks {
+            s.add(t.turnaround().as_secs_f64());
+        }
+        s.mean()
+    }
+
+    /// Mean waiting time across tasks (seconds).
+    pub fn mean_waiting_s(&self) -> f64 {
+        let mut s = Summary::new();
+        for t in &self.tasks {
+            s.add(t.waiting().as_secs_f64());
+        }
+        s.mean()
+    }
+
+    /// Total useful time (CPU + FPGA) across tasks.
+    pub fn useful_time(&self) -> SimDuration {
+        self.tasks
+            .iter()
+            .fold(SimDuration::ZERO, |a, t| a + t.cpu_time + t.fpga_time)
+    }
+
+    /// Total overhead (config + state + rollback losses).
+    pub fn overhead_time(&self) -> SimDuration {
+        self.tasks
+            .iter()
+            .fold(SimDuration::ZERO, |a, t| a + t.overhead_time + t.lost_time)
+    }
+
+    /// Overhead as a fraction of useful + overhead time.
+    pub fn overhead_fraction(&self) -> f64 {
+        let o = self.overhead_time().as_secs_f64();
+        let u = self.useful_time().as_secs_f64();
+        if o + u == 0.0 {
+            0.0
+        } else {
+            o / (o + u)
+        }
+    }
+
+    /// CPU busy fraction over the makespan (useful + overhead)/makespan.
+    pub fn cpu_utilization(&self) -> f64 {
+        let m = self.makespan.as_secs_f64();
+        if m == 0.0 {
+            0.0
+        } else {
+            (self.useful_time().as_secs_f64() + self.overhead_time().as_secs_f64()) / m
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tm(name: &str, arr_ms: u64, done_ms: u64, cpu_ms: u64, ovh_ms: u64) -> TaskMetrics {
+        TaskMetrics {
+            name: name.into(),
+            arrival: SimTime::ZERO + SimDuration::from_millis(arr_ms),
+            completion: SimTime::ZERO + SimDuration::from_millis(done_ms),
+            cpu_time: SimDuration::from_millis(cpu_ms),
+            overhead_time: SimDuration::from_millis(ovh_ms),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn turnaround_and_waiting() {
+        let t = tm("t", 10, 100, 50, 20);
+        assert_eq!(t.turnaround(), SimDuration::from_millis(90));
+        assert_eq!(t.waiting(), SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let r = Report {
+            manager: "x",
+            scheduler: "y",
+            tasks: vec![tm("a", 0, 100, 60, 20), tm("b", 0, 200, 100, 0)],
+            makespan: SimDuration::from_millis(200),
+            manager_stats: ManagerStats::default(),
+        };
+        assert!((r.mean_turnaround_s() - 0.150).abs() < 1e-9);
+        assert_eq!(r.useful_time(), SimDuration::from_millis(160));
+        assert_eq!(r.overhead_time(), SimDuration::from_millis(20));
+        let f = r.overhead_fraction();
+        assert!((f - 20.0 / 180.0).abs() < 1e-9);
+        assert!((r.cpu_utilization() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_zeroes() {
+        let r = Report {
+            manager: "x",
+            scheduler: "y",
+            tasks: vec![],
+            makespan: SimDuration::ZERO,
+            manager_stats: ManagerStats::default(),
+        };
+        assert_eq!(r.mean_turnaround_s(), 0.0);
+        assert_eq!(r.overhead_fraction(), 0.0);
+        assert_eq!(r.cpu_utilization(), 0.0);
+    }
+}

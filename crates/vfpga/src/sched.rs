@@ -1,0 +1,193 @@
+//! CPU schedulers.
+//!
+//! The paper assumes a general-purpose multitasking, possibly time-shared
+//! host (§1). Three policies are provided: FIFO (run-to-completion),
+//! round-robin with a time slice (the time-shared case whose slice length
+//! experiment E2 sweeps against configuration time), and preemptive
+//! priority.
+
+use crate::task::TaskId;
+use fsim::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// A CPU scheduling policy.
+pub trait Scheduler {
+    /// A task became ready.
+    fn on_ready(&mut self, tid: TaskId, priority: u8, now: SimTime);
+    /// Pick the next task to run (removing it from the ready set).
+    fn pick(&mut self, now: SimTime) -> Option<TaskId>;
+    /// Time slice, if the policy preempts on a timer.
+    fn slice(&self) -> Option<SimDuration>;
+    /// Whether the ready set is empty (the system skips slice preemption
+    /// when nobody else could run).
+    fn is_empty(&self) -> bool;
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// First-in first-out, run to completion (no slicing).
+#[derive(Debug, Default)]
+pub struct FifoScheduler {
+    queue: VecDeque<TaskId>,
+}
+
+impl FifoScheduler {
+    /// New empty FIFO scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for FifoScheduler {
+    fn on_ready(&mut self, tid: TaskId, _priority: u8, _now: SimTime) {
+        self.queue.push_back(tid);
+    }
+
+    fn pick(&mut self, _now: SimTime) -> Option<TaskId> {
+        self.queue.pop_front()
+    }
+
+    fn slice(&self) -> Option<SimDuration> {
+        None
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+/// Round-robin with a fixed time slice.
+#[derive(Debug)]
+pub struct RoundRobinScheduler {
+    queue: VecDeque<TaskId>,
+    slice: SimDuration,
+}
+
+impl RoundRobinScheduler {
+    /// Round-robin with the given slice.
+    pub fn new(slice: SimDuration) -> Self {
+        assert!(slice > SimDuration::ZERO, "zero slice would livelock");
+        RoundRobinScheduler { queue: VecDeque::new(), slice }
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn on_ready(&mut self, tid: TaskId, _priority: u8, _now: SimTime) {
+        self.queue.push_back(tid);
+    }
+
+    fn pick(&mut self, _now: SimTime) -> Option<TaskId> {
+        self.queue.pop_front()
+    }
+
+    fn slice(&self) -> Option<SimDuration> {
+        Some(self.slice)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Preemptive priority with round-robin among equal priorities.
+#[derive(Debug)]
+pub struct PriorityScheduler {
+    /// `(priority, insertion seq, tid)`; highest priority first, FIFO ties.
+    ready: Vec<(u8, u64, TaskId)>,
+    seq: u64,
+    slice: Option<SimDuration>,
+}
+
+impl PriorityScheduler {
+    /// Priority scheduling; `slice` enables time-sharing within a level.
+    pub fn new(slice: Option<SimDuration>) -> Self {
+        PriorityScheduler { ready: Vec::new(), seq: 0, slice }
+    }
+}
+
+impl Scheduler for PriorityScheduler {
+    fn on_ready(&mut self, tid: TaskId, priority: u8, _now: SimTime) {
+        self.ready.push((priority, self.seq, tid));
+        self.seq += 1;
+    }
+
+    fn pick(&mut self, _now: SimTime) -> Option<TaskId> {
+        if self.ready.is_empty() {
+            return None;
+        }
+        // Highest priority; FIFO within a level.
+        let best = self
+            .ready
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.0.cmp(&b.0).then(b.1.cmp(&a.1)))
+            .map(|(i, _)| i)
+            .expect("nonempty");
+        Some(self.ready.remove(best).2)
+    }
+
+    fn slice(&self) -> Option<SimDuration> {
+        self.slice
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ready.is_empty()
+    }
+
+    fn name(&self) -> &'static str {
+        "priority"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TaskId {
+        TaskId(i)
+    }
+
+    #[test]
+    fn fifo_orders_by_arrival() {
+        let mut s = FifoScheduler::new();
+        s.on_ready(t(2), 0, SimTime::ZERO);
+        s.on_ready(t(1), 9, SimTime::ZERO);
+        assert_eq!(s.pick(SimTime::ZERO), Some(t(2)));
+        assert_eq!(s.pick(SimTime::ZERO), Some(t(1)));
+        assert_eq!(s.pick(SimTime::ZERO), None);
+        assert_eq!(s.slice(), None);
+    }
+
+    #[test]
+    fn round_robin_has_slice() {
+        let s = RoundRobinScheduler::new(SimDuration::from_millis(10));
+        assert_eq!(s.slice(), Some(SimDuration::from_millis(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero slice")]
+    fn zero_slice_rejected() {
+        RoundRobinScheduler::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn priority_picks_highest_then_fifo() {
+        let mut s = PriorityScheduler::new(None);
+        s.on_ready(t(1), 1, SimTime::ZERO);
+        s.on_ready(t(2), 5, SimTime::ZERO);
+        s.on_ready(t(3), 5, SimTime::ZERO);
+        s.on_ready(t(4), 3, SimTime::ZERO);
+        assert_eq!(s.pick(SimTime::ZERO), Some(t(2)));
+        assert_eq!(s.pick(SimTime::ZERO), Some(t(3)), "FIFO within level 5");
+        assert_eq!(s.pick(SimTime::ZERO), Some(t(4)));
+        assert_eq!(s.pick(SimTime::ZERO), Some(t(1)));
+    }
+}

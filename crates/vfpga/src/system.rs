@@ -1,0 +1,657 @@
+//! The host-system simulator.
+//!
+//! A deterministic discrete-event model of the paper's execution
+//! environment: one CPU, one FPGA board, a scheduler, and an
+//! [`FpgaManager`] policy. Tasks alternate CPU bursts and FPGA operations
+//! (co-processor model: the task holds the CPU while its circuit runs).
+//! Configuration downloads, state readback/restore, and completion
+//! detection are charged as CPU-time overhead on the dispatch path,
+//! exactly where the paper places them ("the operating system downloads
+//! the desired FPGA configuration … then the operating system can put
+//! running the task", §3).
+
+use crate::circuit::CircuitLib;
+use crate::manager::{Activation, FpgaManager, PreemptAction};
+use crate::metrics::{Report, TaskMetrics};
+use crate::sched::Scheduler;
+use crate::task::{Op, TaskId, TaskRun, TaskSpec, TaskState};
+use fsim::{EventQueue, SimDuration, SimTime, Trace};
+use std::sync::Arc;
+
+/// How the OS learns an FPGA operation has finished (§3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CompletionDetect {
+    /// Idealized: the OS knows the exact completion instant.
+    Exact,
+    /// A-priori estimate from the configuration compiler; the OS waits
+    /// `factor × actual` (factor ≥ 1), wasting the difference.
+    Estimate {
+        /// Overestimation factor (1.0 = perfect estimate).
+        factor: f64,
+    },
+    /// A service circuit raises a done signal; the OS polls it every
+    /// `poll`, detecting completion at the next poll boundary and paying
+    /// a small CPU cost per poll.
+    DoneSignal {
+        /// Polling period.
+        poll: SimDuration,
+    },
+}
+
+/// CPU cost of one done-signal poll (status register read + branch).
+pub const POLL_CPU_COST: SimDuration = SimDuration::from_micros(2);
+
+/// System-level policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemConfig {
+    /// Preemption policy for tasks interrupted mid-FPGA-op. Must agree
+    /// with the policy the manager was built with.
+    pub preempt: PreemptAction,
+    /// Completion-detection mechanism.
+    pub completion: CompletionDetect,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            preempt: PreemptAction::WaitCompletion,
+            completion: CompletionDetect::Exact,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Arrive(TaskId),
+    /// The running segment of `tid` ends.
+    Timer(TaskId),
+    /// Re-attempt dispatch (after preemption overhead).
+    Dispatch,
+}
+
+#[derive(Debug, Clone)]
+struct Running {
+    tid: TaskId,
+    /// Executed op time in this segment (excludes overhead and slack).
+    dur: SimDuration,
+    /// FPGA context when the op is an FPGA run.
+    fpga: Option<FpgaSeg>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FpgaSeg {
+    cid: crate::circuit::CircuitId,
+    /// Whether the op completes at the end of this segment.
+    completes: bool,
+    /// Detection slack charged after completion.
+    slack: SimDuration,
+    /// Poll CPU cost folded into overhead.
+    poll_cost: SimDuration,
+}
+
+/// The simulator.
+pub struct System<M: FpgaManager, S: Scheduler> {
+    lib: Arc<CircuitLib>,
+    manager: M,
+    sched: S,
+    config: SystemConfig,
+    tasks: Vec<TaskRun>,
+    metrics: Vec<TaskMetrics>,
+    /// Full duration of the task's current FPGA op (for rollback).
+    op_full: Vec<SimDuration>,
+    /// Executed time of the current op so far (for rollback loss account).
+    op_done_so_far: Vec<SimDuration>,
+    /// Consecutive rollbacks of the current op (livelock guard).
+    rollbacks: Vec<u64>,
+    queue: EventQueue<Ev>,
+    running: Option<Running>,
+    trace: Trace,
+}
+
+impl<M: FpgaManager, S: Scheduler> System<M, S> {
+    /// Build a system over a task set.
+    pub fn new(
+        lib: Arc<CircuitLib>,
+        manager: M,
+        sched: S,
+        config: SystemConfig,
+        specs: Vec<TaskSpec>,
+    ) -> Self {
+        let mut queue = EventQueue::new();
+        let mut tasks = Vec::with_capacity(specs.len());
+        let mut metrics = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.into_iter().enumerate() {
+            queue.schedule_at(spec.arrival, Ev::Arrive(TaskId(i as u32)));
+            metrics.push(TaskMetrics {
+                name: spec.name.clone(),
+                arrival: spec.arrival,
+                ..Default::default()
+            });
+            tasks.push(TaskRun::new(spec));
+        }
+        let n = tasks.len();
+        System {
+            lib,
+            manager,
+            sched,
+            config,
+            tasks,
+            metrics,
+            op_full: vec![SimDuration::ZERO; n],
+            op_done_so_far: vec![SimDuration::ZERO; n],
+            rollbacks: vec![0; n],
+            queue,
+            running: None,
+            trace: Trace::disabled(),
+        }
+    }
+
+    /// Enable event tracing (task state changes, activations, preemptions).
+    /// Tracing is off by default; experiments leave it off for speed.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = Trace::enabled();
+        self
+    }
+
+    /// Run to completion, returning the report *and* the recorded trace.
+    pub fn run_traced(self) -> (Report, Trace) {
+        assert!(self.trace.is_enabled(), "call with_trace() first");
+        self.run_inner()
+    }
+
+    /// Run to completion and report.
+    pub fn run(self) -> Report {
+        self.run_inner().0
+    }
+
+    fn run_inner(mut self) -> (Report, Trace) {
+        while let Some(ev) = self.queue.pop() {
+            let now = ev.at;
+            match ev.event {
+                Ev::Arrive(tid) => {
+                    let t = &mut self.tasks[tid.0 as usize];
+                    debug_assert_eq!(t.state, TaskState::Future);
+                    t.state = TaskState::Ready;
+                    let prio = t.spec.priority;
+                    let name = t.spec.name.clone();
+                    self.trace.emit(now, "arrive", || format!("task '{name}' arrives"));
+                    self.sched.on_ready(tid, prio, now);
+                    self.dispatch(now);
+                }
+                Ev::Dispatch => self.dispatch(now),
+                Ev::Timer(tid) => self.on_timer(tid, now),
+            }
+        }
+        // All tasks must have finished; anything else is a deadlock bug.
+        for (i, t) in self.tasks.iter().enumerate() {
+            assert_eq!(
+                t.state,
+                TaskState::Done,
+                "task {} ('{}') did not finish — manager/scheduler deadlock",
+                i,
+                t.spec.name
+            );
+        }
+        let makespan = self
+            .metrics
+            .iter()
+            .map(|m| m.completion)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            - SimTime::ZERO;
+        (
+            Report {
+                manager: self.manager.name(),
+                scheduler: self.sched.name(),
+                tasks: self.metrics,
+                makespan,
+                manager_stats: self.manager.stats(),
+            },
+            self.trace,
+        )
+    }
+
+    fn wake(&mut self, wake: Vec<TaskId>, now: SimTime) {
+        for w in wake {
+            let t = &mut self.tasks[w.0 as usize];
+            if t.state == TaskState::Blocked {
+                t.state = TaskState::Ready;
+                let prio = t.spec.priority;
+                self.sched.on_ready(w, prio, now);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime) {
+        if self.running.is_some() {
+            return;
+        }
+        loop {
+            let Some(tid) = self.sched.pick(now) else { return };
+            let ti = tid.0 as usize;
+            if self.tasks[ti].state != TaskState::Ready {
+                continue; // stale queue entry
+            }
+            let Some(op) = self.tasks[ti].current_op() else {
+                unreachable!("ready task with no ops");
+            };
+
+            let mut overhead = SimDuration::ZERO;
+            let mut fpga_ctx: Option<FpgaSeg> = None;
+
+            if let Op::FpgaRun { circuit, cycles } = op {
+                // Resolve the op duration on first activation.
+                if self.op_full[ti] == SimDuration::ZERO {
+                    let d = self.lib.get(circuit).run_time(cycles);
+                    self.op_full[ti] = d;
+                    self.tasks[ti].op_remaining = d;
+                    self.op_done_so_far[ti] = SimDuration::ZERO;
+                }
+                match self.manager.activate(tid, circuit) {
+                    Activation::Blocked => {
+                        self.tasks[ti].state = TaskState::Blocked;
+                        self.metrics[ti].blocked_count += 1;
+                        let name = self.tasks[ti].spec.name.clone();
+                        self.trace
+                            .emit(now, "block", || format!("task '{name}' blocks on circuit {}", circuit.0));
+                        continue;
+                    }
+                    Activation::Ready { overhead: o } => {
+                        overhead = o;
+                        fpga_ctx = Some(FpgaSeg {
+                            cid: circuit,
+                            completes: false,
+                            slack: SimDuration::ZERO,
+                            poll_cost: SimDuration::ZERO,
+                        });
+                    }
+                }
+            }
+
+            // Segment length: slice for CPU ops; FPGA ops are sliced only
+            // when the preemption policy permits interruption.
+            let remaining = self.tasks[ti].op_remaining;
+            let slice = self.sched.slice();
+            let slicable = match op {
+                Op::Cpu(_) => true,
+                Op::FpgaRun { .. } => self.config.preempt != PreemptAction::WaitCompletion,
+            };
+            let mut dur = remaining;
+            if slicable {
+                if let Some(s) = slice {
+                    dur = dur.min(s);
+                }
+            }
+            let completes = dur == remaining;
+
+            // Completion-detection slack for FPGA ops finishing here.
+            if let Some(ctx) = &mut fpga_ctx {
+                ctx.completes = completes;
+                if completes {
+                    match self.config.completion {
+                        CompletionDetect::Exact => {}
+                        CompletionDetect::Estimate { factor } => {
+                            debug_assert!(factor >= 1.0, "underestimates lose results");
+                            let full = self.op_full[ti];
+                            let slack_ns =
+                                ((factor - 1.0) * full.as_nanos() as f64).round() as u64;
+                            ctx.slack = SimDuration::from_nanos(slack_ns);
+                        }
+                        CompletionDetect::DoneSignal { poll } => {
+                            let p = poll.as_nanos().max(1);
+                            let d = dur.as_nanos();
+                            let rounded = d.div_ceil(p) * p;
+                            ctx.slack = SimDuration::from_nanos(rounded - d);
+                            let polls = rounded / p;
+                            ctx.poll_cost = POLL_CPU_COST * polls;
+                        }
+                    }
+                }
+            }
+
+            let slack_total = fpga_ctx
+                .map(|c| c.slack + c.poll_cost)
+                .unwrap_or(SimDuration::ZERO);
+            if self.trace.is_enabled() {
+                let name = self.tasks[ti].spec.name.clone();
+                self.trace.emit(now, "dispatch", || {
+                    format!("task '{name}' runs for {dur} (+{overhead} overhead)")
+                });
+            }
+            self.metrics[ti].overhead_time += overhead;
+            self.tasks[ti].state = TaskState::Running;
+            self.running = Some(Running { tid, dur, fpga: fpga_ctx });
+            self.queue
+                .schedule_at(now + overhead + dur + slack_total, Ev::Timer(tid));
+            return;
+        }
+    }
+
+    fn on_timer(&mut self, tid: TaskId, now: SimTime) {
+        let run = self.running.take().expect("timer without a running task");
+        debug_assert_eq!(run.tid, tid);
+        let ti = tid.0 as usize;
+
+        // Account executed time.
+        match self.tasks[ti].current_op() {
+            Some(Op::Cpu(_)) => self.metrics[ti].cpu_time += run.dur,
+            Some(Op::FpgaRun { .. }) => {
+                self.metrics[ti].fpga_time += run.dur;
+                if let Some(f) = run.fpga {
+                    self.metrics[ti].overhead_time += f.slack + f.poll_cost;
+                }
+            }
+            None => unreachable!("running task with no op"),
+        }
+        self.tasks[ti].op_remaining -= run.dur;
+        self.op_done_so_far[ti] += run.dur;
+
+        if self.tasks[ti].op_remaining == SimDuration::ZERO {
+            // Op complete.
+            if let Some(f) = run.fpga {
+                let (ovh, wake) = self.manager.op_done(tid, f.cid);
+                self.metrics[ti].overhead_time += ovh;
+                self.wake(wake, now);
+            }
+            self.op_full[ti] = SimDuration::ZERO;
+            self.op_done_so_far[ti] = SimDuration::ZERO;
+            self.rollbacks[ti] = 0;
+            if self.tasks[ti].advance_op() {
+                self.tasks[ti].state = TaskState::Ready;
+                let prio = self.tasks[ti].spec.priority;
+                self.sched.on_ready(tid, prio, now);
+                self.dispatch(now);
+            } else {
+                self.tasks[ti].state = TaskState::Done;
+                self.tasks[ti].completed_at = now;
+                self.metrics[ti].completion = now;
+                if self.trace.is_enabled() {
+                    let name = self.tasks[ti].spec.name.clone();
+                    self.trace.emit(now, "done", || format!("task '{name}' completes"));
+                }
+                let wake = self.manager.task_exit(tid);
+                self.wake(wake, now);
+                self.dispatch(now);
+            }
+        } else {
+            // Slice expiry mid-op. If nobody else is ready, switching
+            // would be pointless (and under rollback actively harmful:
+            // an op longer than the slice would restart forever), so the
+            // OS lets the task continue — preemption exists only to give
+            // the CPU to someone else.
+            if self.sched.is_empty() {
+                self.tasks[ti].state = TaskState::Ready;
+                let prio = self.tasks[ti].spec.priority;
+                self.sched.on_ready(tid, prio, now);
+                self.dispatch(now);
+                return;
+            }
+            let mut post_overhead = SimDuration::ZERO;
+            if let Some(f) = run.fpga {
+                let pc = self.manager.preempt(tid, f.cid);
+                post_overhead = pc.overhead;
+                self.metrics[ti].overhead_time += pc.overhead;
+                if pc.lose_progress {
+                    // Everything executed on this op so far is discarded.
+                    self.metrics[ti].lost_time += self.op_done_so_far[ti];
+                    self.metrics[ti].fpga_time -= self.op_done_so_far[ti];
+                    self.tasks[ti].op_remaining = self.op_full[ti];
+                    self.op_done_so_far[ti] = SimDuration::ZERO;
+                    self.rollbacks[ti] += 1;
+                    assert!(
+                        self.rollbacks[ti] < 100_000,
+                        "task {} is rolling back forever: its FPGA op ({}) never \
+                         fits inside the time slice — use SaveRestore or WaitCompletion",
+                        self.tasks[ti].spec.name,
+                        self.op_full[ti]
+                    );
+                }
+            }
+            self.tasks[ti].state = TaskState::Ready;
+            let prio = self.tasks[ti].spec.priority;
+            self.sched.on_ready(tid, prio, now);
+            if post_overhead > SimDuration::ZERO {
+                self.queue.schedule_at(now + post_overhead, Ev::Dispatch);
+            } else {
+                self.dispatch(now);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::dynload::DynLoadManager;
+    use crate::manager::exclusive::ExclusiveManager;
+    use crate::sched::{FifoScheduler, RoundRobinScheduler};
+    use fpga::{ConfigPort, ConfigTiming};
+    use pnr::{compile, CompileOptions};
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn lib2() -> (Arc<CircuitLib>, Vec<crate::circuit::CircuitId>) {
+        let mut lib = CircuitLib::new();
+        let ids = vec![
+            lib.register_compiled(
+                compile(&netlist::library::arith::ripple_adder("add", 8), CompileOptions::default())
+                    .unwrap(),
+            ),
+            lib.register_compiled(
+                compile(
+                    &netlist::library::seq::lfsr("lfsr", 16, 0b1101_0000_0000_1000),
+                    CompileOptions::default(),
+                )
+                .unwrap(),
+            ),
+        ];
+        (Arc::new(lib), ids)
+    }
+
+    fn timing() -> ConfigTiming {
+        ConfigTiming { spec: fpga::device::part("VF400"), port: ConfigPort::SerialFast }
+    }
+
+    #[test]
+    fn cpu_only_tasks_fifo() {
+        let (lib, _) = lib2();
+        let specs = vec![
+            TaskSpec::new("a", SimTime::ZERO, vec![Op::Cpu(ms(10))]),
+            TaskSpec::new("b", SimTime::ZERO, vec![Op::Cpu(ms(20))]),
+        ];
+        let mgr = DynLoadManager::new(lib.clone(), timing(), PreemptAction::WaitCompletion);
+        let sys = System::new(lib, mgr, FifoScheduler::new(), SystemConfig::default(), specs);
+        let r = sys.run();
+        assert_eq!(r.tasks[0].completion, SimTime::ZERO + ms(10));
+        assert_eq!(r.tasks[1].completion, SimTime::ZERO + ms(30));
+        assert_eq!(r.makespan, ms(30));
+        assert_eq!(r.overhead_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn round_robin_interleaves() {
+        let (lib, _) = lib2();
+        let specs = vec![
+            TaskSpec::new("a", SimTime::ZERO, vec![Op::Cpu(ms(20))]),
+            TaskSpec::new("b", SimTime::ZERO, vec![Op::Cpu(ms(20))]),
+        ];
+        let mgr = DynLoadManager::new(lib.clone(), timing(), PreemptAction::WaitCompletion);
+        let sys = System::new(
+            lib,
+            mgr,
+            RoundRobinScheduler::new(ms(5)),
+            SystemConfig::default(),
+            specs,
+        );
+        let r = sys.run();
+        // Interleaved: both finish near the end, not one at 20ms.
+        assert_eq!(r.makespan, ms(40));
+        assert!(r.tasks[0].completion > SimTime::ZERO + ms(30));
+    }
+
+    #[test]
+    fn fpga_op_charges_config_overhead() {
+        let (lib, ids) = lib2();
+        let specs = vec![TaskSpec::new(
+            "t",
+            SimTime::ZERO,
+            vec![Op::FpgaRun { circuit: ids[0], cycles: 1000 }],
+        )];
+        let mgr = DynLoadManager::new(lib.clone(), timing(), PreemptAction::WaitCompletion);
+        let sys = System::new(lib.clone(), mgr, FifoScheduler::new(), SystemConfig::default(), specs);
+        let r = sys.run();
+        assert_eq!(r.manager_stats.downloads, 1);
+        assert!(r.tasks[0].overhead_time > SimDuration::ZERO);
+        assert_eq!(r.tasks[0].fpga_time, lib.get(ids[0]).run_time(1000));
+    }
+
+    #[test]
+    fn alternating_circuits_thrash_two_tasks() {
+        // Two tasks ping-pong different circuits on a whole-device dynload:
+        // every FPGA op re-downloads.
+        let (lib, ids) = lib2();
+        let op_a = Op::FpgaRun { circuit: ids[0], cycles: 100 };
+        let op_b = Op::FpgaRun { circuit: ids[1], cycles: 100 };
+        let specs = vec![
+            TaskSpec::new("a", SimTime::ZERO, vec![op_a, Op::Cpu(ms(1)), op_a]),
+            TaskSpec::new("b", SimTime::ZERO, vec![op_b, Op::Cpu(ms(1)), op_b]),
+        ];
+        let mgr = DynLoadManager::new(lib.clone(), timing(), PreemptAction::WaitCompletion);
+        let sys = System::new(
+            lib,
+            mgr,
+            RoundRobinScheduler::new(ms(2)),
+            SystemConfig::default(),
+            specs,
+        );
+        let r = sys.run();
+        assert_eq!(r.manager_stats.downloads, 4, "every switch re-configures");
+    }
+
+    #[test]
+    fn exclusive_serializes_fpga_sections() {
+        let (lib, ids) = lib2();
+        // Task a holds the device across a CPU burst (non-preemptable
+        // discipline: released only at task exit), so b must block.
+        let specs = vec![
+            TaskSpec::new(
+                "a",
+                SimTime::ZERO,
+                vec![
+                    Op::FpgaRun { circuit: ids[0], cycles: 50_000 },
+                    Op::Cpu(ms(20)),
+                    Op::FpgaRun { circuit: ids[0], cycles: 50_000 },
+                ],
+            ),
+            TaskSpec::new("b", SimTime::ZERO, vec![Op::FpgaRun { circuit: ids[1], cycles: 50_000 }]),
+        ];
+        let mgr = ExclusiveManager::new(lib.clone(), ConfigTiming {
+            spec: fpga::device::part("VF400"),
+            port: ConfigPort::SerialSlow,
+        });
+        let sys = System::new(
+            lib,
+            mgr,
+            RoundRobinScheduler::new(ms(1)),
+            SystemConfig::default(),
+            specs,
+        );
+        let r = sys.run();
+        assert!(r.tasks.iter().any(|t| t.blocked_count > 0), "second task must wait");
+        assert_eq!(r.manager_stats.downloads, 2);
+    }
+
+    #[test]
+    fn rollback_preemption_loses_progress() {
+        let (lib, ids) = lib2();
+        // One long FPGA op + one CPU task forcing slicing.
+        let long = Op::FpgaRun { circuit: ids[1], cycles: 2_000_000 };
+        let specs = vec![
+            TaskSpec::new("fpga", SimTime::ZERO, vec![long]),
+            TaskSpec::new("cpu", SimTime::ZERO, vec![Op::Cpu(ms(30))]),
+        ];
+        let mgr = DynLoadManager::new(lib.clone(), timing(), PreemptAction::Rollback);
+        let cfg = SystemConfig { preempt: PreemptAction::Rollback, ..Default::default() };
+        let sys = System::new(lib, mgr, RoundRobinScheduler::new(ms(5)), cfg, specs);
+        let r = sys.run();
+        assert!(
+            r.tasks[0].lost_time > SimDuration::ZERO,
+            "rollback must discard work"
+        );
+    }
+
+    #[test]
+    fn save_restore_preserves_progress_at_a_cost() {
+        let (lib, ids) = lib2();
+        let long = Op::FpgaRun { circuit: ids[1], cycles: 2_000_000 };
+        let specs = vec![
+            TaskSpec::new("fpga", SimTime::ZERO, vec![long]),
+            TaskSpec::new("cpu", SimTime::ZERO, vec![Op::Cpu(ms(30))]),
+        ];
+        let mgr = DynLoadManager::new(lib.clone(), timing(), PreemptAction::SaveRestore);
+        let cfg = SystemConfig { preempt: PreemptAction::SaveRestore, ..Default::default() };
+        let sys = System::new(lib, mgr, RoundRobinScheduler::new(ms(5)), cfg, specs);
+        let r = sys.run();
+        assert_eq!(r.tasks[0].lost_time, SimDuration::ZERO);
+        assert!(r.manager_stats.state_saves > 0);
+    }
+
+    #[test]
+    fn estimate_completion_wastes_time() {
+        let (lib, ids) = lib2();
+        let specs = vec![TaskSpec::new(
+            "t",
+            SimTime::ZERO,
+            vec![Op::FpgaRun { circuit: ids[0], cycles: 100_000 }],
+        )];
+        let mgr = DynLoadManager::new(lib.clone(), timing(), PreemptAction::WaitCompletion);
+        let cfg = SystemConfig {
+            completion: CompletionDetect::Estimate { factor: 1.5 },
+            ..Default::default()
+        };
+        let sys = System::new(lib.clone(), mgr, FifoScheduler::new(), cfg, specs);
+        let r = sys.run();
+        let actual = lib.get(ids[0]).run_time(100_000);
+        let slack = SimDuration::from_nanos(actual.as_nanos() / 2);
+        assert!(
+            r.tasks[0].overhead_time >= slack,
+            "50% overestimate must waste half the run time"
+        );
+    }
+
+    #[test]
+    fn done_signal_rounds_to_poll_boundary() {
+        let (lib, ids) = lib2();
+        let specs = vec![TaskSpec::new(
+            "t",
+            SimTime::ZERO,
+            vec![Op::FpgaRun { circuit: ids[0], cycles: 100_000 }],
+        )];
+        let mgr = DynLoadManager::new(lib.clone(), timing(), PreemptAction::WaitCompletion);
+        let cfg = SystemConfig {
+            completion: CompletionDetect::DoneSignal { poll: ms(1) },
+            ..Default::default()
+        };
+        let sys = System::new(lib, mgr, FifoScheduler::new(), cfg, specs);
+        let r = sys.run();
+        assert!(r.tasks[0].overhead_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn arrivals_are_respected() {
+        let (lib, _) = lib2();
+        let specs = vec![
+            TaskSpec::new("late", SimTime::ZERO + ms(100), vec![Op::Cpu(ms(5))]),
+            TaskSpec::new("early", SimTime::ZERO, vec![Op::Cpu(ms(5))]),
+        ];
+        let mgr = DynLoadManager::new(lib.clone(), timing(), PreemptAction::WaitCompletion);
+        let sys = System::new(lib, mgr, FifoScheduler::new(), SystemConfig::default(), specs);
+        let r = sys.run();
+        assert_eq!(r.tasks[1].completion, SimTime::ZERO + ms(5));
+        assert_eq!(r.tasks[0].completion, SimTime::ZERO + ms(105));
+        // CPU idle between 5ms and 100ms shows up in utilization < 1.
+        assert!(r.cpu_utilization() < 0.2);
+    }
+}

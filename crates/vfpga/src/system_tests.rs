@@ -1,0 +1,282 @@
+//! Additional whole-system scenario tests: every manager driven through
+//! the discrete-event engine, scheduler interplay, and invariant checks
+//! on the reports.
+
+
+
+use crate::circuit::{CircuitId, CircuitLib};
+use crate::manager::dynload::DynLoadManager;
+use crate::manager::exclusive::ExclusiveManager;
+use crate::manager::merged::MergedManager;
+use crate::manager::overlay::{OverlayManager, Replacement};
+use crate::manager::partition::{PartitionManager, PartitionMode};
+use crate::manager::PreemptAction;
+use crate::sched::{FifoScheduler, PriorityScheduler, RoundRobinScheduler};
+use crate::system::{System, SystemConfig};
+use crate::task::{Op, TaskSpec};
+use fpga::{ConfigPort, ConfigTiming};
+use fsim::{SimDuration, SimTime};
+use pnr::{compile, CompileOptions};
+use std::sync::Arc;
+
+fn ms(v: u64) -> SimDuration {
+    SimDuration::from_millis(v)
+}
+
+fn lib_n(n: usize) -> (Arc<CircuitLib>, Vec<CircuitId>) {
+    let spec = fpga::device::part("VF400");
+    let mut lib = CircuitLib::new();
+    let ids = (0..n)
+        .map(|i| {
+            let net = netlist::library::arith::array_multiplier(&format!("c{i}"), 4 + (i % 2));
+            let opts = CompileOptions {
+                max_height: spec.rows,
+                full_height: true,
+                seed: 0x5EED + i as u64,
+                ..Default::default()
+            };
+            lib.register_compiled(compile(&net, opts).unwrap())
+        })
+        .collect();
+    (Arc::new(lib), ids)
+}
+
+fn timing() -> ConfigTiming {
+    ConfigTiming { spec: fpga::device::part("VF400"), port: ConfigPort::SerialFast }
+}
+
+fn fpga_task(name: &str, at_ms: u64, cid: CircuitId, cycles: u64) -> TaskSpec {
+    TaskSpec::new(name, SimTime::ZERO + ms(at_ms), vec![Op::FpgaRun { circuit: cid, cycles }])
+}
+
+/// Report-level invariant: useful + overhead + waiting == turnaround per
+/// task, and makespan covers every completion.
+fn check_invariants(r: &crate::metrics::Report) {
+    for t in &r.tasks {
+        let sum = t.cpu_time + t.fpga_time + t.overhead_time + t.lost_time + t.waiting();
+        assert_eq!(
+            sum,
+            t.turnaround(),
+            "accounting leak for '{}': parts {sum:?} vs turnaround {:?}",
+            t.name,
+            t.turnaround()
+        );
+        assert!(t.completion - SimTime::ZERO <= r.makespan, "completion beyond makespan");
+    }
+}
+
+#[test]
+fn partition_system_reaches_steady_state_hits() {
+    let (lib, ids) = lib_n(3);
+    // 9 tasks reusing 3 circuits: after 3 cold loads everything hits.
+    let specs: Vec<TaskSpec> = (0..9)
+        .map(|i| fpga_task(&format!("t{i}"), i, ids[i as usize % 3], 20_000))
+        .collect();
+    let mgr = PartitionManager::new(lib.clone(), timing(), PartitionMode::Variable, PreemptAction::SaveRestore);
+    let r = System::new(
+        lib,
+        mgr,
+        RoundRobinScheduler::new(ms(5)),
+        SystemConfig { preempt: PreemptAction::SaveRestore, ..Default::default() },
+        specs,
+    )
+    .run();
+    check_invariants(&r);
+    assert_eq!(r.manager_stats.downloads, 3, "exactly the cold loads");
+    assert_eq!(r.manager_stats.hits, 6);
+}
+
+#[test]
+fn overlay_system_runs_clean() {
+    let (lib, ids) = lib_n(4);
+    let widest = ids.iter().map(|&i| lib.get(i).shape().0).max().unwrap();
+    let specs: Vec<TaskSpec> = (0..8)
+        .map(|i| fpga_task(&format!("t{i}"), i, ids[i as usize % 4], 10_000))
+        .collect();
+    let mgr = OverlayManager::new(lib.clone(), timing(), vec![ids[0]], widest, Replacement::Lru);
+    let r = System::new(
+        lib,
+        mgr,
+        RoundRobinScheduler::new(ms(5)),
+        SystemConfig { preempt: PreemptAction::SaveRestore, ..Default::default() },
+        specs,
+    )
+    .run();
+    check_invariants(&r);
+    // The common circuit never downloads on use; others fault at least once.
+    assert!(r.manager_stats.hits >= 2);
+    assert!(r.manager_stats.misses >= 3);
+}
+
+#[test]
+fn merged_system_has_only_boot_download() {
+    let (lib, ids) = lib_n(3);
+    let specs: Vec<TaskSpec> = (0..6)
+        .map(|i| fpga_task(&format!("t{i}"), i, ids[i as usize % 3], 10_000))
+        .collect();
+    let mgr = MergedManager::new(lib.clone(), timing()).expect("three small circuits fit");
+    let r = System::new(
+        lib,
+        mgr,
+        RoundRobinScheduler::new(ms(5)),
+        SystemConfig::default(),
+        specs,
+    )
+    .run();
+    check_invariants(&r);
+    assert_eq!(r.manager_stats.downloads, 1);
+}
+
+#[test]
+fn priority_scheduler_orders_completions() {
+    let (lib, ids) = lib_n(1);
+    // Same arrival, different priorities; FIFO within the system otherwise.
+    let mk = |name: &str, prio: u8| {
+        TaskSpec::new(name, SimTime::ZERO, vec![Op::Cpu(ms(10)), Op::FpgaRun { circuit: ids[0], cycles: 10_000 }])
+            .with_priority(prio)
+    };
+    let specs = vec![mk("low", 1), mk("high", 9), mk("mid", 5)];
+    let mgr = DynLoadManager::new(lib.clone(), timing(), PreemptAction::WaitCompletion);
+    let r = System::new(lib, mgr, PriorityScheduler::new(None), SystemConfig::default(), specs)
+        .run();
+    check_invariants(&r);
+    let done = |name: &str| r.tasks.iter().find(|t| t.name == name).unwrap().completion;
+    assert!(done("high") < done("mid"));
+    assert!(done("mid") < done("low"));
+}
+
+#[test]
+fn exclusive_under_fifo_behaves_like_serial_execution() {
+    let (lib, ids) = lib_n(2);
+    let specs = vec![
+        fpga_task("a", 0, ids[0], 50_000),
+        fpga_task("b", 0, ids[1], 50_000),
+    ];
+    let mgr = ExclusiveManager::new(lib.clone(), timing());
+    let r = System::new(lib.clone(), mgr, FifoScheduler::new(), SystemConfig::default(), specs)
+        .run();
+    check_invariants(&r);
+    // Serial: b's completion is at least a's completion + b's own work.
+    let a_done = r.tasks[0].completion;
+    let b_done = r.tasks[1].completion;
+    assert!(b_done > a_done);
+    assert_eq!(r.manager_stats.downloads, 2);
+}
+
+#[test]
+fn blocked_tasks_do_not_deadlock_with_many_waiters() {
+    // Many tasks demand the same busy partition circuit; all must finish.
+    let (lib, ids) = lib_n(1);
+    let specs: Vec<TaskSpec> = (0..12)
+        .map(|i| fpga_task(&format!("t{i}"), 0, ids[0], 30_000))
+        .collect();
+    let mgr = PartitionManager::new(lib.clone(), timing(), PartitionMode::Variable, PreemptAction::SaveRestore);
+    let r = System::new(
+        lib,
+        mgr,
+        RoundRobinScheduler::new(ms(1)),
+        SystemConfig { preempt: PreemptAction::SaveRestore, ..Default::default() },
+        specs,
+    )
+    .run();
+    check_invariants(&r);
+    assert_eq!(r.tasks.len(), 12);
+    assert_eq!(r.manager_stats.downloads, 1, "one circuit, one load");
+}
+
+#[test]
+fn zero_cycle_fpga_op_completes_immediately() {
+    let (lib, ids) = lib_n(1);
+    let specs = vec![TaskSpec::new(
+        "z",
+        SimTime::ZERO,
+        vec![Op::FpgaRun { circuit: ids[0], cycles: 0 }, Op::Cpu(ms(1))],
+    )];
+    let mgr = DynLoadManager::new(lib.clone(), timing(), PreemptAction::WaitCompletion);
+    let r = System::new(lib, mgr, FifoScheduler::new(), SystemConfig::default(), specs).run();
+    check_invariants(&r);
+    assert_eq!(r.tasks[0].fpga_time, SimDuration::ZERO);
+    assert_eq!(r.tasks[0].cpu_time, ms(1));
+}
+
+#[test]
+fn staggered_arrivals_with_partitions_and_estimates() {
+    let (lib, ids) = lib_n(3);
+    let specs: Vec<TaskSpec> = (0..6)
+        .map(|i| {
+            TaskSpec::new(
+                format!("t{i}"),
+                SimTime::ZERO + ms(i * 3),
+                vec![
+                    Op::Cpu(ms(1)),
+                    Op::FpgaRun { circuit: ids[i as usize % 3], cycles: 40_000 },
+                    Op::Cpu(ms(1)),
+                ],
+            )
+        })
+        .collect();
+    let mgr = PartitionManager::new(lib.clone(), timing(), PartitionMode::Variable, PreemptAction::SaveRestore);
+    let r = System::new(
+        lib,
+        mgr,
+        RoundRobinScheduler::new(ms(4)),
+        SystemConfig {
+            preempt: PreemptAction::SaveRestore,
+            completion: crate::system::CompletionDetect::Estimate { factor: 1.2 },
+        },
+        specs,
+    )
+    .run();
+    check_invariants(&r);
+    // The 20% estimate slack must appear as overhead on every FPGA task.
+    for t in &r.tasks {
+        assert!(t.overhead_time > SimDuration::ZERO, "{} missing estimate slack", t.name);
+    }
+}
+
+#[test]
+fn traced_run_records_lifecycle_events() {
+    let (lib, ids) = lib_n(2);
+    // Long ops + a small slice: a gets preempted mid-op while still owning
+    // its partition, so b's activation of the same circuit must block.
+    let specs = vec![
+        fpga_task("a", 0, ids[0], 500_000),
+        fpga_task("b", 0, ids[0], 500_000),
+    ];
+    let mgr = PartitionManager::new(
+        lib.clone(),
+        timing(),
+        PartitionMode::Variable,
+        PreemptAction::SaveRestore,
+    );
+    let (r, trace) = System::new(
+        lib,
+        mgr,
+        RoundRobinScheduler::new(ms(2)),
+        SystemConfig { preempt: PreemptAction::SaveRestore, ..Default::default() },
+        specs,
+    )
+    .with_trace()
+    .run_traced();
+    check_invariants(&r);
+    assert_eq!(trace.with_tag("arrive").count(), 2);
+    assert_eq!(trace.with_tag("done").count(), 2);
+    assert!(trace.with_tag("dispatch").count() >= 2);
+    assert!(trace.with_tag("block").count() >= 1, "b must block on a's circuit");
+    // Timestamps are nondecreasing in emission order.
+    for w in trace.entries().windows(2) {
+        assert!(w[0].at <= w[1].at);
+    }
+}
+
+#[test]
+fn untraced_run_records_nothing() {
+    let (lib, ids) = lib_n(1);
+    let specs = vec![fpga_task("a", 0, ids[0], 10_000)];
+    let mgr = DynLoadManager::new(lib.clone(), timing(), PreemptAction::WaitCompletion);
+    let r = System::new(lib, mgr, FifoScheduler::new(), SystemConfig::default(), specs).run();
+    check_invariants(&r);
+    // run() drops the (disabled, empty) trace internally; nothing to assert
+    // beyond the system still completing — this guards the plumbing.
+    assert_eq!(r.tasks.len(), 1);
+}

@@ -1,0 +1,193 @@
+//! The task model.
+//!
+//! A task is a program alternating CPU bursts and FPGA operations, the
+//! workload shape the paper assumes: "an application may benefit from the
+//! speed-up granted by the FPGA execution of different independent
+//! algorithms at different points of the task itself" (§3).
+
+use crate::circuit::CircuitId;
+use fsim::{SimDuration, SimTime};
+
+/// Task identifier (index into the system's task table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+/// One program step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Compute on the host CPU for the given time.
+    Cpu(SimDuration),
+    /// Run `cycles` clock cycles of the given circuit on the FPGA.
+    /// The task must hold the CPU (co-processor model) and the circuit
+    /// must be configured on the device.
+    FpgaRun {
+        /// Which registered circuit.
+        circuit: CircuitId,
+        /// Synchronous cycles to run.
+        cycles: u64,
+    },
+}
+
+/// Static description of a task.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// Name for reports.
+    pub name: String,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Scheduling priority (higher runs first under the priority policy).
+    pub priority: u8,
+    /// The program.
+    pub ops: Vec<Op>,
+}
+
+impl TaskSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, arrival: SimTime, ops: Vec<Op>) -> Self {
+        TaskSpec { name: name.into(), arrival, priority: 0, ops }
+    }
+
+    /// With a priority.
+    pub fn with_priority(mut self, p: u8) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Total CPU demand (excluding FPGA ops).
+    pub fn cpu_demand(&self) -> SimDuration {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Cpu(d) => Some(*d),
+                _ => None,
+            })
+            .fold(SimDuration::ZERO, |a, b| a + b)
+    }
+
+    /// Circuits this task references, deduplicated, in first-use order.
+    pub fn circuits_used(&self) -> Vec<CircuitId> {
+        let mut out = Vec::new();
+        for op in &self.ops {
+            if let Op::FpgaRun { circuit, .. } = op {
+                if !out.contains(circuit) {
+                    out.push(*circuit);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Runtime lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Not yet arrived.
+    Future,
+    /// Ready to run.
+    Ready,
+    /// Holding the CPU.
+    Running,
+    /// Waiting for an FPGA resource (partition, device, overlay slot).
+    Blocked,
+    /// Finished all ops.
+    Done,
+}
+
+/// Runtime bookkeeping for one task (used by [`crate::system::System`]).
+#[derive(Debug, Clone)]
+pub struct TaskRun {
+    /// Static spec.
+    pub spec: TaskSpec,
+    /// Lifecycle state.
+    pub state: TaskState,
+    /// Index of the current op.
+    pub op_idx: usize,
+    /// Remaining time of the current op.
+    pub op_remaining: SimDuration,
+    /// Completion time (valid once Done).
+    pub completed_at: SimTime,
+}
+
+impl TaskRun {
+    /// Wrap a spec in its initial runtime state.
+    pub fn new(spec: TaskSpec) -> Self {
+        let first = spec.ops.first().copied();
+        let mut tr = TaskRun {
+            spec,
+            state: TaskState::Future,
+            op_idx: 0,
+            op_remaining: SimDuration::ZERO,
+            completed_at: SimTime::ZERO,
+        };
+        if let Some(op) = first {
+            tr.op_remaining = tr.op_full_duration(op);
+        }
+        tr
+    }
+
+    /// Full duration of an op; FPGA run durations are resolved later by
+    /// the system (they depend on the circuit clock), so this returns zero
+    /// for them and the system overwrites `op_remaining` at activation.
+    fn op_full_duration(&self, op: Op) -> SimDuration {
+        match op {
+            Op::Cpu(d) => d,
+            Op::FpgaRun { .. } => SimDuration::ZERO,
+        }
+    }
+
+    /// The current op, if any remain.
+    pub fn current_op(&self) -> Option<Op> {
+        self.spec.ops.get(self.op_idx).copied()
+    }
+
+    /// Advance to the next op; returns false when the program is finished.
+    pub fn advance_op(&mut self) -> bool {
+        self.op_idx += 1;
+        match self.spec.ops.get(self.op_idx) {
+            Some(&op) => {
+                self.op_remaining = self.op_full_duration(op);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn spec_accessors() {
+        let spec = TaskSpec::new(
+            "t",
+            SimTime::ZERO,
+            vec![
+                Op::Cpu(ms(5)),
+                Op::FpgaRun { circuit: CircuitId(1), cycles: 100 },
+                Op::Cpu(ms(3)),
+                Op::FpgaRun { circuit: CircuitId(1), cycles: 50 },
+                Op::FpgaRun { circuit: CircuitId(2), cycles: 10 },
+            ],
+        )
+        .with_priority(3);
+        assert_eq!(spec.cpu_demand(), ms(8));
+        assert_eq!(spec.circuits_used(), vec![CircuitId(1), CircuitId(2)]);
+        assert_eq!(spec.priority, 3);
+    }
+
+    #[test]
+    fn run_advances_through_ops() {
+        let spec = TaskSpec::new("t", SimTime::ZERO, vec![Op::Cpu(ms(1)), Op::Cpu(ms(2))]);
+        let mut run = TaskRun::new(spec);
+        assert_eq!(run.op_remaining, ms(1));
+        assert!(run.advance_op());
+        assert_eq!(run.op_remaining, ms(2));
+        assert!(!run.advance_op());
+        assert_eq!(run.current_op(), None);
+    }
+}

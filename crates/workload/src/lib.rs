@@ -1,0 +1,18 @@
+//! # workload — application suites and task-mix generators
+//!
+//! The paper motivates VFPGAs with concrete application domains (§5):
+//! multimedia codec banks, telecom modems/encoders, network interfaces,
+//! storage arrays, and embedded control. This crate turns those into
+//! runnable material for the experiments:
+//!
+//! * [`apps`] — named circuit suites per domain, compiled through the full
+//!   `pnr` flow, with software-execution time models for the co-processor
+//!   comparison (E12),
+//! * [`mix`] — task-set generators: Poisson arrivals, periodic real-time
+//!   tasks, and parameterized CPU/FPGA burst mixes.
+
+pub mod apps;
+pub mod mix;
+
+pub use apps::{suite, App, Domain, Suite};
+pub use mix::{poisson_tasks, periodic_tasks, MixParams};

@@ -1,0 +1,162 @@
+//! Task-mix generators.
+//!
+//! Builds [`vfpga::TaskSpec`] sets over a compiled circuit library:
+//! Poisson arrivals with alternating CPU/FPGA bursts (the time-shared
+//! scenario) and periodic task sets (the real-time scenario the abstract
+//! mentions).
+
+use fsim::{SimDuration, SimRng, SimTime};
+use vfpga::{CircuitId, Op, TaskSpec};
+
+/// Parameters for the Poisson mix.
+#[derive(Debug, Clone, Copy)]
+pub struct MixParams {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Mean inter-arrival time.
+    pub mean_interarrival: SimDuration,
+    /// CPU burst mean (exponential).
+    pub mean_cpu_burst: SimDuration,
+    /// FPGA bursts per task.
+    pub fpga_ops_per_task: usize,
+    /// Cycles per FPGA burst (uniform in `[lo, hi]`).
+    pub cycles: (u64, u64),
+}
+
+impl Default for MixParams {
+    fn default() -> Self {
+        MixParams {
+            tasks: 8,
+            mean_interarrival: SimDuration::from_millis(5),
+            mean_cpu_burst: SimDuration::from_millis(2),
+            fpga_ops_per_task: 3,
+            cycles: (10_000, 100_000),
+        }
+    }
+}
+
+/// Poisson-arrival tasks, each alternating CPU bursts with FPGA runs of a
+/// circuit drawn (uniformly) from `circuits`.
+pub fn poisson_tasks(params: &MixParams, circuits: &[CircuitId], rng: &mut SimRng) -> Vec<TaskSpec> {
+    assert!(!circuits.is_empty(), "need at least one circuit");
+    let mut specs = Vec::with_capacity(params.tasks);
+    let mut at = SimTime::ZERO;
+    for i in 0..params.tasks {
+        at += SimDuration::from_secs_f64(rng.exp(params.mean_interarrival.as_secs_f64()));
+        let mut ops = Vec::new();
+        for k in 0..params.fpga_ops_per_task {
+            ops.push(Op::Cpu(SimDuration::from_secs_f64(
+                rng.exp(params.mean_cpu_burst.as_secs_f64()).max(1e-6),
+            )));
+            let cid = *rng.choose(circuits);
+            let cycles = rng.range_u64(params.cycles.0, params.cycles.1);
+            ops.push(Op::FpgaRun { circuit: cid, cycles });
+            if k + 1 == params.fpga_ops_per_task {
+                ops.push(Op::Cpu(SimDuration::from_secs_f64(
+                    rng.exp(params.mean_cpu_burst.as_secs_f64()).max(1e-6),
+                )));
+            }
+        }
+        specs.push(TaskSpec::new(format!("task{i}"), at, ops));
+    }
+    specs
+}
+
+/// Periodic task set: `jobs` releases of each task at its period, each job
+/// one CPU burst plus one FPGA run of the task's dedicated circuit
+/// (modeled as separate TaskSpecs per job, arrival = release time).
+pub fn periodic_tasks(
+    periods: &[(CircuitId, SimDuration)],
+    jobs: usize,
+    cpu_burst: SimDuration,
+    cycles: u64,
+) -> Vec<TaskSpec> {
+    let mut specs = Vec::new();
+    for (ti, &(cid, period)) in periods.iter().enumerate() {
+        for j in 0..jobs {
+            let arrival = SimTime::ZERO + period * j as u64;
+            specs.push(
+                TaskSpec::new(
+                    format!("p{ti}-job{j}"),
+                    arrival,
+                    vec![Op::Cpu(cpu_burst), Op::FpgaRun { circuit: cid, cycles }],
+                )
+                .with_priority((periods.len() - ti) as u8),
+            );
+        }
+    }
+    specs.sort_by_key(|s| s.arrival);
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cids(n: u32) -> Vec<CircuitId> {
+        (0..n).map(CircuitId).collect()
+    }
+
+    #[test]
+    fn poisson_mix_shape() {
+        let mut rng = SimRng::new(1);
+        let specs = poisson_tasks(&MixParams::default(), &cids(3), &mut rng);
+        assert_eq!(specs.len(), 8);
+        // Arrivals are nondecreasing.
+        for w in specs.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+        for s in &specs {
+            let fpga_ops = s
+                .ops
+                .iter()
+                .filter(|o| matches!(o, Op::FpgaRun { .. }))
+                .count();
+            assert_eq!(fpga_ops, 3);
+            assert!(s.cpu_demand() > SimDuration::ZERO);
+            for op in &s.ops {
+                if let Op::FpgaRun { circuit, cycles } = op {
+                    assert!(circuit.0 < 3);
+                    assert!((10_000..=100_000).contains(cycles));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let a = poisson_tasks(&MixParams::default(), &cids(3), &mut SimRng::new(7));
+        let b = poisson_tasks(&MixParams::default(), &cids(3), &mut SimRng::new(7));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.ops, y.ops);
+        }
+    }
+
+    #[test]
+    fn periodic_releases() {
+        let periods = vec![
+            (CircuitId(0), SimDuration::from_millis(10)),
+            (CircuitId(1), SimDuration::from_millis(25)),
+        ];
+        let specs = periodic_tasks(&periods, 3, SimDuration::from_micros(100), 1000);
+        assert_eq!(specs.len(), 6);
+        let t0_arrivals: Vec<_> = specs
+            .iter()
+            .filter(|s| s.name.starts_with("p0"))
+            .map(|s| s.arrival)
+            .collect();
+        assert_eq!(
+            t0_arrivals,
+            vec![
+                SimTime::ZERO,
+                SimTime::ZERO + SimDuration::from_millis(10),
+                SimTime::ZERO + SimDuration::from_millis(20)
+            ]
+        );
+        // Shorter period = higher priority (rate monotonic).
+        let p0 = specs.iter().find(|s| s.name.starts_with("p0")).unwrap();
+        let p1 = specs.iter().find(|s| s.name.starts_with("p1")).unwrap();
+        assert!(p0.priority > p1.priority);
+    }
+}

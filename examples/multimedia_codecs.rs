@@ -1,0 +1,85 @@
+//! Multimedia scenario (paper §5): "multimedia systems can benefit from
+//! the use of VFPGA implementing different voice and image
+//! compression/decompression algorithms in order to accommodate different
+//! standards efficiently on a limited-size FPGA."
+//!
+//! A stream of codec jobs — most using the dominant standard, some using
+//! rare ones — runs on a small device under the overlay manager: the
+//! dominant codec is permanently resident, rare ones share the overlay
+//! area.
+//!
+//! ```sh
+//! cargo run --example multimedia_codecs
+//! ```
+
+use fpga::{ConfigPort, ConfigTiming};
+use fsim::rng::Zipf;
+use fsim::{SimDuration, SimRng, SimTime};
+use std::sync::Arc;
+use vfpga::manager::overlay::{OverlayManager, Replacement};
+use vfpga::{
+    CircuitLib, Op, PreemptAction, RoundRobinScheduler, System, SystemConfig, TaskSpec,
+};
+use workload::{suite, Domain};
+
+fn main() {
+    let spec = fpga::device::part("VF400");
+    let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+
+    // Register the codec bank.
+    let mut lib = CircuitLib::new();
+    let mut ids = Vec::new();
+    for app in suite(Domain::Multimedia, spec.rows).apps {
+        println!(
+            "codec '{}': {} CLBs, shape {:?}",
+            app.name,
+            app.compiled.blocks(),
+            app.compiled.shape()
+        );
+        ids.push(lib.register_compiled(app.compiled));
+    }
+    let lib = Arc::new(lib);
+
+    // 40 codec jobs, standard drawn Zipf (rank 0 = dominant standard).
+    let zipf = Zipf::new(ids.len(), 1.5);
+    let mut rng = SimRng::new(42);
+    let mut specs = Vec::new();
+    let mut at = SimTime::ZERO;
+    for i in 0..40 {
+        at += SimDuration::from_micros(rng.range_u64(200, 3_000));
+        let cid = ids[zipf.sample(&mut rng)];
+        specs.push(TaskSpec::new(
+            format!("frame{i}"),
+            at,
+            vec![
+                Op::Cpu(SimDuration::from_micros(300)),
+                Op::FpgaRun { circuit: cid, cycles: rng.range_u64(30_000, 120_000) },
+            ],
+        ));
+    }
+
+    // Dominant codec resident; others overlaid (slots sized for the widest
+    // of the *swappable* codecs), LRU replacement.
+    let widest = ids[1..].iter().map(|&i| lib.get(i).shape().0).max().unwrap();
+    let mgr = OverlayManager::new(lib.clone(), timing, vec![ids[0]], widest, Replacement::Lru);
+    println!("\noverlay slots: {}", mgr.slot_count());
+
+    let r = System::new(
+        lib,
+        mgr,
+        RoundRobinScheduler::new(SimDuration::from_millis(5)),
+        SystemConfig { preempt: PreemptAction::SaveRestore, ..Default::default() },
+        specs,
+    )
+    .run();
+
+    let s = r.manager_stats;
+    println!(
+        "\n40 codec jobs done in {:.1} ms; hit rate {:.0}%, {} downloads, {} evictions, overhead {:.1}%",
+        r.makespan.as_millis_f64(),
+        100.0 * s.hits as f64 / (s.hits + s.misses) as f64,
+        s.downloads,
+        s.evictions,
+        100.0 * r.overhead_fraction()
+    );
+}

@@ -1,0 +1,97 @@
+//! Telecom scenario (paper §5): "modems, faxes, switching systems … can
+//! adapt their operating mode changing the compression and encoding
+//! algorithms according to the partners involved in the communication."
+//!
+//! Each incoming call negotiates an encoding chain; the modem's VFPGA
+//! swaps the matching scrambler/CRC/mapper in. Compares whole-device
+//! dynamic loading against column partitioning for the same call log.
+//!
+//! ```sh
+//! cargo run --example telecom_modem
+//! ```
+
+use fpga::{ConfigPort, ConfigTiming};
+use fsim::{SimDuration, SimRng, SimTime};
+use std::sync::Arc;
+use vfpga::manager::dynload::DynLoadManager;
+use vfpga::manager::partition::{PartitionManager, PartitionMode};
+use vfpga::{
+    CircuitLib, Op, PreemptAction, Report, RoundRobinScheduler, System, SystemConfig, TaskSpec,
+};
+use workload::{suite, Domain};
+
+fn call_log(lib: &CircuitLib, ids: &[vfpga::CircuitId], seed: u64) -> Vec<TaskSpec> {
+    let _ = lib;
+    let mut rng = SimRng::new(seed);
+    let mut specs = Vec::new();
+    let mut at = SimTime::ZERO;
+    for call in 0..25 {
+        at += SimDuration::from_millis(rng.range_u64(1, 12));
+        // Each call picks a partner-dependent encoding chain: one or two
+        // kernels from the telecom suite.
+        let a = *rng.choose(ids);
+        let mut ops = vec![
+            Op::Cpu(SimDuration::from_micros(500)), // call setup
+            Op::FpgaRun { circuit: a, cycles: rng.range_u64(50_000, 300_000) },
+        ];
+        if rng.chance(0.5) {
+            let b = *rng.choose(ids);
+            ops.push(Op::Cpu(SimDuration::from_micros(200)));
+            ops.push(Op::FpgaRun { circuit: b, cycles: rng.range_u64(20_000, 100_000) });
+        }
+        specs.push(TaskSpec::new(format!("call{call}"), at, ops));
+    }
+    specs
+}
+
+fn describe(label: &str, r: &Report) {
+    println!(
+        "{label:<22} makespan {:>8.1} ms | mean wait {:>7.2} ms | downloads {:>3} | overhead {:>5.1}%",
+        r.makespan.as_millis_f64(),
+        r.mean_waiting_s() * 1e3,
+        r.manager_stats.downloads,
+        100.0 * r.overhead_fraction()
+    );
+}
+
+fn main() {
+    let spec = fpga::device::part("VF400");
+    let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+
+    let mut lib = CircuitLib::new();
+    let mut ids = Vec::new();
+    for app in suite(Domain::Telecom, spec.rows).apps {
+        println!("kernel '{}': {} CLBs", app.name, app.compiled.blocks());
+        ids.push(lib.register_compiled(app.compiled));
+    }
+    let lib = Arc::new(lib);
+    let specs = call_log(&lib, &ids, 0xCA11);
+    println!("\n25 calls, encoding chains drawn per partner:\n");
+
+    let dynload = System::new(
+        lib.clone(),
+        DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion),
+        RoundRobinScheduler::new(SimDuration::from_millis(5)),
+        SystemConfig::default(),
+        specs.clone(),
+    )
+    .run();
+    describe("whole-device dynload", &dynload);
+
+    let partition = System::new(
+        lib.clone(),
+        PartitionManager::new(lib.clone(), timing, PartitionMode::Variable, PreemptAction::SaveRestore),
+        RoundRobinScheduler::new(SimDuration::from_millis(5)),
+        SystemConfig { preempt: PreemptAction::SaveRestore, ..Default::default() },
+        specs,
+    )
+    .run();
+    describe("column partitions", &partition);
+
+    println!(
+        "\npartitioning removed {} of {} downloads ({}x fewer).",
+        dynload.manager_stats.downloads - partition.manager_stats.downloads,
+        dynload.manager_stats.downloads,
+        dynload.manager_stats.downloads / partition.manager_stats.downloads.max(1)
+    );
+}

@@ -1,0 +1,200 @@
+//! Cross-crate integration tests: the full pipeline from gate netlist to
+//! executing fabric, and OS-level scenarios spanning every crate.
+
+use pnr::{compile, emit_bitstream, CompileOptions, PinAssignment};
+use std::collections::HashMap;
+
+/// Compile → emit → download → execute, checking functional equivalence
+/// against the gate-level golden simulation for a mix of circuits.
+#[test]
+fn full_flow_preserves_function_for_library_circuits() {
+    let circuits = vec![
+        netlist::library::arith::ripple_adder("add5", 5),
+        netlist::library::logic::comparator("cmp4", 4),
+        netlist::library::codes::hamming74_encode("h74"),
+        netlist::library::logic::barrel_shifter("bs8", 8),
+    ];
+    for net in &circuits {
+        let compiled = compile(net, CompileOptions::default()).unwrap();
+        let pins = PinAssignment::contiguous(net.num_inputs(), net.outputs().len());
+        let bs = emit_bitstream(&compiled.placed, (1, 1), &pins, false);
+        let mut dev = fpga::Device::new(fpga::device::part("VF400"), fpga::ConfigPort::SerialFast);
+        dev.apply(&bs).unwrap();
+        let mut view = fpga::FabricView::resolve(&dev, dev.spec().full_rect()).unwrap();
+
+        // 64 random vectors per circuit, evaluated in one bit-parallel pass.
+        let mut rng = fsim::SimRng::new(0xF10);
+        let in_words: Vec<u64> = (0..net.num_inputs()).map(|_| rng.next_u64()).collect();
+        let mut gsim = netlist::Simulator::new(net);
+        gsim.eval(&in_words);
+        let pinvals: HashMap<u32, u64> = pins
+            .inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, in_words[i]))
+            .collect();
+        view.eval(&dev, &pinvals);
+        for (o, &p) in pins.outputs.iter().enumerate() {
+            assert_eq!(
+                view.output(&dev, p),
+                gsim.output(o),
+                "{}: output {o} mismatch",
+                net.name()
+            );
+        }
+    }
+}
+
+/// The fabric executes exactly what configuration RAM holds: after the OS
+/// clears a region, the circuit is gone and the view reports errors.
+#[test]
+fn clearing_a_region_really_unloads_the_circuit() {
+    let net = netlist::library::logic::parity("p4", 4);
+    let compiled = compile(&net, CompileOptions::default()).unwrap();
+    let pins = PinAssignment::contiguous(4, 1);
+    let bs = emit_bitstream(&compiled.placed, (0, 0), &pins, false);
+    let mut dev = fpga::Device::new(fpga::device::part("VF100"), fpga::ConfigPort::SerialFast);
+    dev.apply(&bs).unwrap();
+    assert!(fpga::FabricView::resolve(&dev, dev.spec().full_rect()).is_ok());
+
+    dev.clear_region(&fpga::Rect::new(0, 0, compiled.placed.width, compiled.placed.height));
+    // The region is empty and its output IOB unbound: nothing executes.
+    let view = fpga::FabricView::resolve(&dev, dev.spec().full_rect()).unwrap();
+    assert_eq!(view.cell_count(), 0);
+    assert!(view.output_pins().is_empty());
+}
+
+/// Paper §3 end-to-end: preempt a sequential circuit mid-run via device
+/// readback, let another circuit use the fabric, restore, and verify the
+/// computation continues exactly where it left off.
+#[test]
+fn preemption_save_restore_on_real_fabric() {
+    let lfsr = netlist::library::seq::lfsr("lfsr8", 8, 0b1011_1000);
+    let compiled = compile(&lfsr, CompileOptions::default()).unwrap();
+    let pins = PinAssignment::contiguous(0, 8);
+    let region = fpga::Rect::new(0, 0, compiled.placed.width, compiled.placed.height);
+    let bs = emit_bitstream(&compiled.placed, (0, 0), &pins, false);
+
+    let mut dev = fpga::Device::new(fpga::device::part("VF200"), fpga::ConfigPort::SerialFast);
+    dev.apply(&bs).unwrap();
+    let mut view = fpga::FabricView::resolve(&dev, region).unwrap();
+    let no_pins = HashMap::new();
+
+    // Run 7 cycles, save state.
+    for _ in 0..7 {
+        view.step(&mut dev, &no_pins);
+    }
+    let (saved, _) = dev.readback_region(&region);
+
+    // Reference trajectory: 5 more cycles.
+    let mut reference = Vec::new();
+    for _ in 0..5 {
+        view.step(&mut dev, &no_pins);
+        reference.push(dev.readback_region(&region).0);
+    }
+
+    // "Evict": another circuit overwrites the region, then the LFSR is
+    // reloaded and its state written back.
+    let intruder = netlist::library::seq::counter("cnt", 6);
+    let ic = compile(&intruder, CompileOptions::default()).unwrap();
+    let ipins = PinAssignment { inputs: vec![20], outputs: (21..27).collect() };
+    dev.apply(&emit_bitstream(&ic.placed, (0, 0), &ipins, false)).unwrap();
+
+    // The OS clears the intruder's partition before restoring the LFSR
+    // (the intruder's region may be larger than the LFSR's own frames).
+    dev.clear_region(&fpga::Rect::new(0, 0, ic.placed.width, ic.placed.height));
+    dev.apply(&bs).unwrap();
+    dev.write_state_region(&region, &saved);
+    let mut view2 = fpga::FabricView::resolve(&dev, region).unwrap();
+    for expect in &reference {
+        view2.step(&mut dev, &no_pins);
+        assert_eq!(&dev.readback_region(&region).0, expect, "trajectory diverged after restore");
+    }
+}
+
+/// Two tasks with different circuits on one device under the OS: the whole
+/// stack (workload → vfpga → pnr → fpga timing) agrees on overheads.
+#[test]
+fn os_layer_charges_download_times_consistent_with_device_timing() {
+    use fsim::{SimDuration, SimTime};
+    use std::sync::Arc;
+    use vfpga::manager::dynload::DynLoadManager;
+    use vfpga::{FifoScheduler, Op, PreemptAction, System, SystemConfig, TaskSpec};
+
+    let spec = fpga::device::part("VF400");
+    let timing = fpga::ConfigTiming { spec, port: fpga::ConfigPort::SerialFast };
+    let mut lib = vfpga::CircuitLib::new();
+    let suite = workload::suite(workload::Domain::Storage, spec.rows);
+    let mut ids = Vec::new();
+    for app in suite.apps {
+        ids.push(lib.register_compiled(app.compiled));
+    }
+    let lib = Arc::new(lib);
+
+    let specs = vec![
+        TaskSpec::new("t0", SimTime::ZERO, vec![Op::FpgaRun { circuit: ids[0], cycles: 1000 }]),
+        TaskSpec::new("t1", SimTime::ZERO, vec![Op::FpgaRun { circuit: ids[1], cycles: 1000 }]),
+    ];
+    let mgr = DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion);
+    let r = System::new(lib.clone(), mgr, FifoScheduler::new(), SystemConfig::default(), specs)
+        .run();
+
+    // The manager's accumulated config time must match per-circuit frame
+    // arithmetic from the fpga crate.
+    let expect: u64 = ids[..2]
+        .iter()
+        .map(|&cid| {
+            use fpga::config::{FRAME_ADDR_BITS, HEADER_BITS};
+            let frames = lib.get(cid).frames() as u64;
+            let bits = HEADER_BITS + frames * (FRAME_ADDR_BITS + timing.frame_bits());
+            bits * 1_000_000_000 / timing.port.bits_per_sec()
+        })
+        .sum();
+    assert_eq!(r.manager_stats.config_time, SimDuration::from_nanos(expect));
+    assert_eq!(r.manager_stats.downloads, 2);
+}
+
+/// Determinism across the whole stack: identical seeds give identical
+/// reports, different seeds differ.
+#[test]
+fn whole_stack_is_deterministic() {
+    use fsim::{SimDuration, SimRng};
+    use std::sync::Arc;
+    use vfpga::manager::partition::{PartitionManager, PartitionMode};
+    use vfpga::{PreemptAction, RoundRobinScheduler, System, SystemConfig};
+    use workload::{poisson_tasks, MixParams};
+
+    let spec = fpga::device::part("VF400");
+    let timing = fpga::ConfigTiming { spec, port: fpga::ConfigPort::SerialFast };
+    let mut lib = vfpga::CircuitLib::new();
+    let mut ids = Vec::new();
+    for app in workload::suite(workload::Domain::Telecom, spec.rows).apps {
+        ids.push(lib.register_compiled(app.compiled));
+    }
+    let lib = Arc::new(lib);
+
+    let run = |seed: u64| {
+        let mut rng = SimRng::new(seed);
+        let specs = poisson_tasks(&MixParams::default(), &ids, &mut rng);
+        let mgr = PartitionManager::new(
+            lib.clone(),
+            timing,
+            PartitionMode::Variable,
+            PreemptAction::SaveRestore,
+        );
+        System::new(
+            lib.clone(),
+            mgr,
+            RoundRobinScheduler::new(SimDuration::from_millis(5)),
+            SystemConfig { preempt: PreemptAction::SaveRestore, ..Default::default() },
+            specs,
+        )
+        .run()
+    };
+    let a = run(11);
+    let b = run(11);
+    let c = run(12);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.manager_stats, b.manager_stats);
+    assert_ne!(a.makespan, c.makespan, "different seeds should differ");
+}

@@ -1,0 +1,171 @@
+//! Property-based tests over the core invariants, spanning crates:
+//! random netlists must survive the full map→pack→place flow functionally
+//! intact; region algebra must behave like interval arithmetic; the
+//! virtual-memory simulators must obey classic paging laws.
+
+use proptest::prelude::*;
+
+/// Build a random combinational netlist from a recipe of gate choices.
+fn random_netlist(ops: &[u8], n_inputs: usize) -> netlist::Netlist {
+    let mut b = netlist::Builder::new("rand");
+    let inputs = b.inputs(n_inputs);
+    let mut nodes = inputs.clone();
+    for (k, &op) in ops.iter().enumerate() {
+        let a = nodes[(op as usize * 7 + k) % nodes.len()];
+        let c = nodes[(op as usize * 13 + k * 3 + 1) % nodes.len()];
+        let s = nodes[(op as usize * 29 + k * 5 + 2) % nodes.len()];
+        let id = match op % 7 {
+            0 => b.and(a, c),
+            1 => b.or(a, c),
+            2 => b.xor(a, c),
+            3 => b.nand(a, c),
+            4 => b.nor(a, c),
+            5 => b.not(a),
+            _ => b.mux(s, a, c),
+        };
+        nodes.push(id);
+    }
+    // Make the last few nodes observable.
+    let n = nodes.len();
+    for (i, &id) in nodes[n.saturating_sub(4)..].iter().enumerate() {
+        b.output(format!("o{i}"), id);
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// LUT mapping preserves the function of arbitrary combinational
+    /// netlists (checked on 64 random input vectors in one pass).
+    #[test]
+    fn mapping_preserves_function(
+        ops in proptest::collection::vec(0u8..=255, 1..120),
+        n_inputs in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        let net = random_netlist(&ops, n_inputs);
+        let mapped = netlist::map_to_luts(&net, netlist::MapOptions::default());
+        prop_assert_eq!(mapped.validate(), Ok(()));
+
+        let mut rng = fsim::SimRng::new(seed);
+        let words: Vec<u64> = (0..n_inputs).map(|_| rng.next_u64()).collect();
+        let mut gsim = netlist::Simulator::new(&net);
+        gsim.eval(&words);
+        let mut lsim = netlist::lutnet::LutSimulator::new(&mapped);
+        lsim.eval(&words);
+        let golden: Vec<u64> = gsim.outputs();
+        let got: Vec<u64> = lsim.outputs(&words);
+        prop_assert_eq!(golden, got);
+    }
+
+    /// Packing/placement keep every block on a distinct cell inside the
+    /// region, for arbitrary netlists and shapes.
+    #[test]
+    fn placement_is_a_valid_injection(
+        ops in proptest::collection::vec(0u8..=255, 1..80),
+        n_inputs in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let net = random_netlist(&ops, n_inputs);
+        let compiled = pnr::compile(
+            &net,
+            pnr::CompileOptions { seed, ..Default::default() },
+        ).unwrap();
+        let p = &compiled.placed;
+        let mut seen = std::collections::HashSet::new();
+        for &(c, r) in &p.coords {
+            prop_assert!(c < p.width && r < p.height);
+            prop_assert!(seen.insert((c, r)), "cell double-booked");
+        }
+    }
+
+    /// Rect splitting then merging is the identity; split parts never
+    /// intersect and tile the original area.
+    #[test]
+    fn rect_split_merge_roundtrip(
+        col in 0u32..50, row in 0u32..50,
+        w in 2u32..40, h in 2u32..40,
+        at_frac in 1u32..100,
+    ) {
+        let r = fpga::Rect::new(col, row, w, h);
+        let at_col = col + 1 + (at_frac % (w - 1));
+        let (a, b) = r.split_at_col(at_col);
+        prop_assert!(!a.intersects(&b));
+        prop_assert_eq!(a.area() + b.area(), r.area());
+        prop_assert_eq!(a.merge(&b), Some(r));
+
+        let at_row = row + 1 + (at_frac % (h - 1));
+        let (t, bt) = r.split_at_row(at_row);
+        prop_assert!(!t.intersects(&bt));
+        prop_assert_eq!(t.merge(&bt), Some(r));
+    }
+
+    /// LRU paging obeys the stack property: more slots never cause more
+    /// faults (no Belady anomaly), for arbitrary traces.
+    #[test]
+    fn lru_paging_has_no_belady_anomaly(
+        trace in proptest::collection::vec(0usize..6, 1..300),
+        small in 2u32..5,
+    ) {
+        let func = vfpga::vmem::SegmentedFunction {
+            segment_widths: vec![2, 3, 1, 2, 4, 2],
+        };
+        let timing = fpga::ConfigTiming {
+            spec: fpga::device::part("VF400"),
+            port: fpga::ConfigPort::SerialFast,
+        };
+        let faults = |budget: u32| {
+            let mut p = vfpga::vmem::PagingSim::new(
+                &func, timing, budget, 2, vfpga::vmem::Replacement::Lru,
+            );
+            p.run_trace(&trace).faults
+        };
+        let small_budget = small * 2;
+        let big_budget = small_budget + 4;
+        prop_assert!(faults(small_budget) >= faults(big_budget));
+    }
+
+    /// Bitstream CRC detects any single-field tampering of a frame write.
+    #[test]
+    fn bitstream_crc_detects_tampering(
+        col in 0u32..30, row0 in 0u32..30, table in any::<u16>(),
+        flip in any::<u16>(),
+    ) {
+        prop_assume!(flip != 0);
+        let cell = fpga::ClbCell::comb(table, [fpga::ClbSource::None; 4]);
+        let bs = fpga::Bitstream::new(
+            "t",
+            vec![fpga::FrameWrite { col, row0, cells: vec![Some(cell)] }],
+            vec![],
+            false,
+        );
+        prop_assert!(bs.crc_ok());
+        let mut bad = bs.clone();
+        if let Some(Some(c)) = bad.frames[0].cells.first_mut().map(|c| c.as_mut()) {
+            c.lut_table ^= flip;
+        }
+        prop_assert!(!bad.crc_ok());
+    }
+
+    /// Summary::merge is associative-enough: merging partitions of a sample
+    /// set matches the sequential summary.
+    #[test]
+    fn summary_merge_matches_sequential(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        cut in 0usize..200,
+    ) {
+        let cut = cut % xs.len();
+        let mut whole = fsim::Summary::new();
+        for &x in &xs { whole.add(x); }
+        let mut left = fsim::Summary::new();
+        let mut right = fsim::Summary::new();
+        for &x in &xs[..cut] { left.add(x); }
+        for &x in &xs[cut..] { right.add(x); }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((left.variance() - whole.variance()).abs()
+            < 1e-5 * (1.0 + whole.variance().abs()));
+    }
+}
