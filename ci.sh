@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI — the same gates .github/workflows/ci.yml runs.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test (tier 1)"
+cargo test -q --workspace
+
+echo "CI green."

@@ -1,7 +1,8 @@
-//! Criterion microbenchmarks for the OS layer: partition allocation
-//! churn, page-replacement stepping, and a full system simulation run.
+//! Microbenchmarks for the OS layer: partition allocation churn,
+//! page-replacement stepping, and a full system simulation run. Run with
+//! `cargo bench --bench oslayer` (hand-rolled harness, no Criterion).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use bench::microbench::Suite;
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::{SimDuration, SimRng};
 use std::sync::Arc;
@@ -22,82 +23,61 @@ fn setup() -> (Arc<vfpga::CircuitLib>, Vec<vfpga::CircuitId>, ConfigTiming) {
     (
         Arc::new(lib),
         ids,
-        ConfigTiming { spec, port: ConfigPort::SerialFast },
+        ConfigTiming {
+            spec,
+            port: ConfigPort::SerialFast,
+        },
     )
 }
 
-fn bench_partition_churn(c: &mut Criterion) {
+fn main() {
     let (lib, ids, timing) = setup();
-    c.bench_function("partition_activate_release_churn", |b| {
-        b.iter_batched(
-            || {
-                PartitionManager::new(
-                    lib.clone(),
-                    timing,
-                    PartitionMode::Variable,
-                    PreemptAction::SaveRestore,
-                )
-            },
-            |mut m| {
-                for round in 0..50u32 {
-                    for (k, &cid) in ids.iter().enumerate() {
-                        let t = TaskId(round * 16 + k as u32);
-                        if let Activation::Ready { .. } = m.activate(t, cid) {
-                            m.op_done(t, cid);
-                        }
-                        m.task_exit(t);
-                    }
-                }
-                m.stats().downloads
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
+    let mut suite = Suite::new("OS-layer microbenchmarks");
 
-fn bench_paging_step(c: &mut Criterion) {
-    let func = SegmentedFunction { segment_widths: vec![3, 5, 2, 4, 6, 8, 2, 3] };
-    let timing = ConfigTiming {
-        spec: fpga::device::part("VF400"),
-        port: ConfigPort::SerialFast,
+    suite.case("partition_activate_release_churn", 10, || {
+        let mut m = PartitionManager::new(
+            lib.clone(),
+            timing,
+            PartitionMode::Variable,
+            PreemptAction::SaveRestore,
+        );
+        for round in 0..50u32 {
+            for (k, &cid) in ids.iter().enumerate() {
+                let t = TaskId(round * 16 + k as u32);
+                if let Activation::Ready { .. } = m.activate(t, cid) {
+                    m.op_done(t, cid);
+                }
+                m.task_exit(t);
+            }
+        }
+        m.stats().downloads
+    });
+
+    let func = SegmentedFunction {
+        segment_widths: vec![3, 5, 2, 4, 6, 8, 2, 3],
     };
     let trace: Vec<usize> = {
         let mut rng = SimRng::new(9);
         (0..10_000).map(|_| rng.below(8) as usize).collect()
     };
-    c.bench_function("paging_10k_refs_lru", |b| {
-        b.iter_batched(
-            || PagingSim::new(&func, timing, 16, 4, Replacement::Lru),
-            |mut p| p.run_trace(&trace).faults,
-            BatchSize::SmallInput,
-        )
+    suite.case("paging_10k_refs_lru", 20, || {
+        let mut p = PagingSim::new(&func, timing, 16, 4, Replacement::Lru);
+        p.run_trace(&trace).faults
     });
-}
 
-fn bench_full_system(c: &mut Criterion) {
-    let (lib, ids, timing) = setup();
-    let mut g = c.benchmark_group("system");
-    g.sample_size(10);
-    g.bench_function("poisson_mix_8tasks_dynload", |b| {
-        b.iter_batched(
-            || {
-                let mut rng = SimRng::new(7);
-                let specs = poisson_tasks(&MixParams::default(), &ids, &mut rng);
-                let mgr = DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion);
-                System::new(
-                    lib.clone(),
-                    mgr,
-                    RoundRobinScheduler::new(SimDuration::from_millis(5)),
-                    SystemConfig::default(),
-                    specs,
-                )
-            },
-            |sys| sys.run().makespan,
-            BatchSize::SmallInput,
-        )
+    suite.case("poisson_mix_8tasks_dynload", 10, || {
+        let mut rng = SimRng::new(7);
+        let specs = poisson_tasks(&MixParams::default(), &ids, &mut rng);
+        let mgr = DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion);
+        let sys = System::new(
+            lib.clone(),
+            mgr,
+            RoundRobinScheduler::new(SimDuration::from_millis(5)),
+            SystemConfig::default(),
+            specs,
+        );
+        sys.run().makespan
     });
-    g.finish();
-}
 
-criterion_group!(benches, bench_partition_churn, bench_paging_step, bench_full_system);
-criterion_main!(benches);
+    suite.print();
+}

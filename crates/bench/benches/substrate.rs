@@ -1,76 +1,51 @@
-//! Criterion microbenchmarks for the substrate hot paths: LUT mapping,
-//! placement, routing, netlist simulation, and the event queue.
+//! Microbenchmarks for the substrate hot paths: LUT mapping, placement,
+//! routing, netlist simulation, and the event queue. Run with
+//! `cargo bench --bench substrate` (hand-rolled harness, no Criterion).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use bench::microbench::Suite;
 use fsim::{EventQueue, SimRng, SimTime};
 use netlist::{map_to_luts, MapOptions};
 use pnr::route::RoutingFabric;
 use pnr::{compile, CompileOptions};
 
-fn bench_mapper(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mapper");
+fn main() {
+    let mut suite = Suite::new("substrate microbenchmarks");
+
     for w in [4usize, 6, 8] {
         let net = netlist::library::arith::array_multiplier(&format!("m{w}"), w);
-        g.bench_function(format!("map_mult_{w}x{w}"), |b| {
-            b.iter(|| map_to_luts(&net, MapOptions::default()))
+        suite.case(&format!("map_mult_{w}x{w}"), 30, || {
+            map_to_luts(&net, MapOptions::default())
         });
     }
-    g.finish();
-}
 
-fn bench_place_route(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pnr");
-    g.sample_size(10);
     let net = netlist::library::arith::array_multiplier("m6", 6);
-    g.bench_function("compile_mult_6x6", |b| {
-        b.iter(|| compile(&net, CompileOptions::default()).unwrap())
+    suite.case("compile_mult_6x6", 10, || {
+        compile(&net, CompileOptions::default()).unwrap()
     });
+
     let compiled = compile(&net, CompileOptions::default()).unwrap();
-    g.bench_function("route_mult_6x6", |b| {
-        b.iter_batched(
-            || RoutingFabric::new(32, 32, 12),
-            |mut f| f.route_circuit(&compiled.placed, (0, 0)).unwrap(),
-            BatchSize::SmallInput,
-        )
+    suite.case("route_mult_6x6", 20, || {
+        let mut f = RoutingFabric::new(32, 32, 12);
+        f.route_circuit(&compiled.placed, (0, 0)).unwrap()
     });
-    g.finish();
-}
 
-fn bench_netlist_sim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("netlist-sim");
-    let net = netlist::library::dsp::fir("fir", 8, &[1, 3, 5, 3, 1]);
-    let inputs = vec![0xDEAD_BEEF_u64; net.num_inputs()];
-    g.bench_function("fir_step_64lanes", |b| {
-        let mut sim = netlist::Simulator::new(&net);
-        b.iter(|| sim.step(&inputs))
+    let fir = netlist::library::dsp::fir("fir", 8, &[1, 3, 5, 3, 1]);
+    let inputs = vec![0xDEAD_BEEF_u64; fir.num_inputs()];
+    let mut sim = netlist::Simulator::new(&fir);
+    suite.case("fir_step_64lanes", 200, || sim.step(&inputs));
+
+    let mut rng = SimRng::new(1);
+    suite.case("eventq_schedule_pop_1k", 100, || {
+        let mut q = EventQueue::new();
+        for _ in 0..1000 {
+            q.schedule_at(SimTime(rng.below(1_000_000)), 0u32);
+        }
+        let mut popped = 0u32;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        popped
     });
-    g.finish();
-}
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fsim");
-    g.bench_function("eventq_schedule_pop_1k", |b| {
-        let mut rng = SimRng::new(1);
-        b.iter_batched(
-            || {
-                let mut q = EventQueue::new();
-                for _ in 0..1000 {
-                    q.schedule_at(SimTime(rng.below(1_000_000)), 0u32);
-                }
-                q
-            },
-            |mut q| while q.pop().is_some() {},
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    suite.print();
 }
-
-criterion_group!(
-    benches,
-    bench_mapper,
-    bench_place_route,
-    bench_netlist_sim,
-    bench_event_queue
-);
-criterion_main!(benches);

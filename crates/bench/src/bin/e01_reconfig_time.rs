@@ -11,9 +11,15 @@
 //! frames.
 
 use bench::report::{ms, Table};
+use bench::Exporter;
 use fpga::{ConfigPort, ConfigTiming, PARTS};
+use fsim::{SimTime, Timeline};
 
 fn main() {
+    let mut ex = Exporter::new("e01", "configuration & readback time by device and port");
+    ex.seed(0)
+        .param("parts", PARTS.len())
+        .param("ports", 3usize);
     let ports = [
         ("serial-slow", ConfigPort::SerialSlow),
         ("serial-fast", ConfigPort::SerialFast),
@@ -22,10 +28,34 @@ fn main() {
     let mut t = Table::new(
         "E1: configuration & readback time by device and port",
         &[
-            "part", "clbs", "pins", "port", "full", "partial 10%", "partial 25%",
-            "partial 50%", "readback 25%",
+            "part",
+            "clbs",
+            "pins",
+            "port",
+            "full",
+            "partial 10%",
+            "partial 25%",
+            "partial 50%",
+            "readback 25%",
         ],
     );
+    // No simulation here: export a synthetic timeline of cumulative
+    // serial-slow full-configuration time as the catalog grows, so the
+    // document still demonstrates the timeline schema.
+    let mut growth = Timeline::new();
+    let mut at = SimTime::ZERO;
+    growth.sample(at, 0.0);
+    for (i, spec) in PARTS.iter().enumerate() {
+        at += ConfigTiming {
+            spec: *spec,
+            port: ConfigPort::SerialSlow,
+        }
+        .full_config_time();
+        growth.sample(at, (i + 1) as f64);
+        ex.metrics().inc("parts_timed", 1);
+    }
+    ex.timeline("parts_configured_vs_cumulative_full_config", &growth);
+
     for spec in PARTS {
         for (pname, port) in ports {
             let timing = ConfigTiming { spec: *spec, port };
@@ -60,11 +90,16 @@ fn main() {
         }
     }
     t.print();
+    ex.table(&t);
+    ex.write_if_requested();
 
     println!(
         "\nAnchor check: VF800 full serial-slow = {} (paper: \"no more than 200 ms\")",
-        ms(ConfigTiming { spec: fpga::device::part("VF800"), port: ConfigPort::SerialSlow }
-            .full_config_time()
-            .as_millis_f64())
+        ms(ConfigTiming {
+            spec: fpga::device::part("VF800"),
+            port: ConfigPort::SerialSlow
+        }
+        .full_config_time()
+        .as_millis_f64())
     );
 }

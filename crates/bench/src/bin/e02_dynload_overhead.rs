@@ -13,6 +13,7 @@
 
 use bench::report::{f3, pct, Table};
 use bench::setup::compile_suite_lib;
+use bench::{Exporter, Json};
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::{SimDuration, SimRng};
 use vfpga::manager::dynload::DynLoadManager;
@@ -24,15 +25,31 @@ fn main() {
     let (lib, ids) = compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec);
 
     let slices_ms = [1u64, 2, 5, 10, 20, 50, 100, 200, 500, 1000];
+    let mut ex = Exporter::new("e02", "dynamic loading overhead vs round-robin slice");
+    ex.seed(0xE02)
+        .param("device", spec.name)
+        .param("tasks", 6u64)
+        .param(
+            "slices_ms",
+            Json::Arr(slices_ms.iter().map(|&s| Json::UInt(s)).collect()),
+        );
     let mut t = Table::new(
         "E2: dynamic loading — overhead fraction vs round-robin slice",
         &[
-            "slice", "port", "downloads", "overhead frac", "cpu util", "makespan (s)",
+            "slice",
+            "port",
+            "downloads",
+            "overhead frac",
+            "cpu util",
+            "makespan (s)",
             "mean turnaround (s)",
         ],
     );
 
-    for (pname, port) in [("serial-slow", ConfigPort::SerialSlow), ("serial-fast", ConfigPort::SerialFast)] {
+    for (pname, port) in [
+        ("serial-slow", ConfigPort::SerialSlow),
+        ("serial-fast", ConfigPort::SerialFast),
+    ] {
         for &slice in &slices_ms {
             let timing = ConfigTiming { spec, port };
             let mut rng = SimRng::new(0xE02);
@@ -53,10 +70,15 @@ fn main() {
                 lib.clone(),
                 mgr,
                 RoundRobinScheduler::new(SimDuration::from_millis(slice)),
-                SystemConfig { preempt: PreemptAction::SaveRestore, ..Default::default() },
+                SystemConfig {
+                    preempt: PreemptAction::SaveRestore,
+                    ..Default::default()
+                },
                 specs,
-            );
+            )
+            .with_trace_capacity(4096);
             let r = sys.run();
+            ex.report(&format!("{pname}/slice-{slice}ms"), &r);
             t.row(vec![
                 format!("{slice} ms"),
                 pname.into(),
@@ -69,10 +91,15 @@ fn main() {
         }
     }
     t.print();
+    ex.table(&t);
+    ex.write_if_requested();
     println!(
         "\nReference: full serial-slow download = {:.1} ms, partial (per circuit) ≈ a few ms.",
-        ConfigTiming { spec, port: ConfigPort::SerialSlow }
-            .full_config_time()
-            .as_millis_f64()
+        ConfigTiming {
+            spec,
+            port: ConfigPort::SerialSlow
+        }
+        .full_config_time()
+        .as_millis_f64()
     );
 }

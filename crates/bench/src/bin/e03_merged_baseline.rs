@@ -11,6 +11,7 @@
 
 use bench::report::{f3, Table};
 use bench::setup::compile_suite_lib;
+use bench::Exporter;
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::{SimDuration, SimRng};
 use std::sync::Arc;
@@ -26,11 +27,20 @@ fn main() {
         spec,
     );
 
+    let mut ex = Exporter::new("e03", "merged circuit vs dynamic loading");
+    ex.seed(0xE03)
+        .param("device", spec.name)
+        .param("max_circuits", all_ids.len());
     let mut t = Table::new(
         "E3: merged circuit vs dynamic loading on VF400",
         &[
-            "circuits", "total cols", "merge fits?", "merged makespan (s)",
-            "dynload makespan (s)", "dynload downloads", "merged speedup",
+            "circuits",
+            "total cols",
+            "merge fits?",
+            "merged makespan (s)",
+            "dynload makespan (s)",
+            "dynload downloads",
+            "merged speedup",
         ],
     );
 
@@ -39,7 +49,10 @@ fn main() {
         let lib = Arc::new(full_lib.subset(&all_ids[..n]));
         let ids: Vec<CircuitId> = (0..n as u32).map(CircuitId).collect();
         let total_cols: u32 = ids.iter().map(|&i| lib.get(i).shape().0).sum();
-        let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+        let timing = ConfigTiming {
+            spec,
+            port: ConfigPort::SerialFast,
+        };
 
         let mut rng = SimRng::new(0xE03);
         let params = MixParams {
@@ -60,8 +73,10 @@ fn main() {
                 SystemConfig::default(),
                 specs.clone(),
             )
+            .with_trace_capacity(4096)
             .run()
         };
+        ex.report(&format!("dynload/{n}-circuits"), &dyn_r);
 
         match MergedManager::new(lib.clone(), timing) {
             Ok(mgr) => {
@@ -72,7 +87,9 @@ fn main() {
                     SystemConfig::default(),
                     specs,
                 )
+                .with_trace_capacity(4096)
                 .run();
+                ex.report(&format!("merged/{n}-circuits"), &merged_r);
                 t.row(vec![
                     n.to_string(),
                     total_cols.to_string(),
@@ -100,4 +117,6 @@ fn main() {
         }
     }
     t.print();
+    ex.table(&t);
+    ex.write_if_requested();
 }

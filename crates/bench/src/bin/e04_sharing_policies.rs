@@ -12,6 +12,7 @@
 
 use bench::report::{f3, pct, Table};
 use bench::setup::compile_suite_lib;
+use bench::Exporter;
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::{SimDuration, SimRng};
 use vfpga::manager::dynload::DynLoadManager;
@@ -20,7 +21,8 @@ use vfpga::manager::partition::{PartitionManager, PartitionMode};
 use vfpga::{PreemptAction, Report, RoundRobinScheduler, System, SystemConfig, TaskSpec};
 use workload::{poisson_tasks, Domain, MixParams};
 
-fn run(r: Report, t: &mut Table) {
+fn run(r: Report, t: &mut Table, ex: &mut Exporter) {
+    ex.report(r.manager, &r);
     let blocked: u64 = r.tasks.iter().map(|x| x.blocked_count).sum();
     t.row(vec![
         r.manager.into(),
@@ -36,7 +38,10 @@ fn run(r: Report, t: &mut Table) {
 fn main() {
     let spec = fpga::device::part("VF800");
     let (lib, ids) = compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec);
-    let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+    let timing = ConfigTiming {
+        spec,
+        port: ConfigPort::SerialFast,
+    };
     let slice = SimDuration::from_millis(10);
 
     let specs: Vec<TaskSpec> = {
@@ -54,11 +59,21 @@ fn main() {
         )
     };
 
+    let mut ex = Exporter::new("e04", "FPGA sharing policies under one Poisson mix");
+    ex.seed(0xE04)
+        .param("device", spec.name)
+        .param("tasks", 12u64)
+        .param("slice_ms", 10u64);
     let mut t = Table::new(
         "E4: FPGA sharing policies under one Poisson mix (VF800, fast serial port)",
         &[
-            "manager", "makespan (s)", "mean wait (s)", "mean turnaround (s)",
-            "downloads", "blocks", "overhead frac",
+            "manager",
+            "makespan (s)",
+            "mean wait (s)",
+            "mean turnaround (s)",
+            "downloads",
+            "blocks",
+            "overhead frac",
         ],
     );
 
@@ -70,8 +85,10 @@ fn main() {
             SystemConfig::default(),
             specs.clone(),
         )
+        .with_trace_capacity(4096)
         .run(),
         &mut t,
+        &mut ex,
     );
     run(
         System::new(
@@ -81,8 +98,10 @@ fn main() {
             SystemConfig::default(),
             specs.clone(),
         )
+        .with_trace_capacity(4096)
         .run(),
         &mut t,
+        &mut ex,
     );
     run(
         System::new(
@@ -100,8 +119,12 @@ fn main() {
             },
             specs,
         )
+        .with_trace_capacity(4096)
         .run(),
         &mut t,
+        &mut ex,
     );
     t.print();
+    ex.table(&t);
+    ex.write_if_requested();
 }

@@ -11,6 +11,7 @@
 
 use bench::report::{f3, pct, Table};
 use bench::setup::compile_suite_lib;
+use bench::Exporter;
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::{SimDuration, SimRng};
 use vfpga::manager::partition::{PartitionManager, PartitionMode};
@@ -27,18 +28,36 @@ fn main() {
 
     let modes: Vec<(String, PartitionMode)> = vec![
         // One slot wide enough for the widest circuit plus smaller ones.
-        (format!("fixed [{wmax},5,3]"), PartitionMode::Fixed(vec![wmax, 20 - wmax - 3, 3])),
-        (format!("fixed [{wmax},{}]", 20 - wmax), PartitionMode::Fixed(vec![wmax, 20 - wmax])),
+        (
+            format!("fixed [{wmax},5,3]"),
+            PartitionMode::Fixed(vec![wmax, 20 - wmax - 3, 3]),
+        ),
+        (
+            format!("fixed [{wmax},{}]", 20 - wmax),
+            PartitionMode::Fixed(vec![wmax, 20 - wmax]),
+        ),
         // Uniform slots too narrow for the widest circuit: infeasible.
         ("fixed 10x2".into(), PartitionMode::Fixed(vec![10, 10])),
         ("variable".into(), PartitionMode::Variable),
     ];
 
+    let mut ex = Exporter::new("e05", "fixed vs variable partitioning");
+    ex.seed(0xE05)
+        .param("device", spec.name)
+        .param("tasks", 10u64)
+        .param("max_circuit_width", wmax);
     let mut t = Table::new(
         "E5: fixed vs variable partitioning (VF400, circuit widths up to given max)",
         &[
-            "mode", "makespan (s)", "mean wait (s)", "downloads", "blocks",
-            "evictions", "splits", "gc runs", "internal frag",
+            "mode",
+            "makespan (s)",
+            "mean wait (s)",
+            "downloads",
+            "blocks",
+            "evictions",
+            "splits",
+            "gc runs",
+            "internal frag",
         ],
     );
     println!("circuit widths: {widths:?} (max {wmax})");
@@ -95,7 +114,10 @@ fn main() {
         );
         let mgr = PartitionManager::new(
             lib.clone(),
-            ConfigTiming { spec, port: ConfigPort::SerialFast },
+            ConfigTiming {
+                spec,
+                port: ConfigPort::SerialFast,
+            },
             mode,
             PreemptAction::SaveRestore,
         );
@@ -103,10 +125,15 @@ fn main() {
             lib.clone(),
             mgr,
             RoundRobinScheduler::new(SimDuration::from_millis(10)),
-            SystemConfig { preempt: PreemptAction::SaveRestore, ..Default::default() },
+            SystemConfig {
+                preempt: PreemptAction::SaveRestore,
+                ..Default::default()
+            },
             specs,
         )
+        .with_trace_capacity(4096)
         .run();
+        ex.report(&name, &r);
         let blocked: u64 = r.tasks.iter().map(|x| x.blocked_count).sum();
         t.row(vec![
             name,
@@ -121,4 +148,6 @@ fn main() {
         ]);
     }
     t.print();
+    ex.table(&t);
+    ex.write_if_requested();
 }

@@ -14,6 +14,7 @@
 //! them. Part B is a stochastic churn workload on the full system.
 
 use bench::report::{f3, pct, Table};
+use bench::Exporter;
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::{SimDuration, SimRng, SimTime};
 use pnr::{compile, CompileOptions};
@@ -21,15 +22,19 @@ use std::sync::Arc;
 use vfpga::manager::partition::{PartitionManager, PartitionMode};
 use vfpga::manager::{Activation, FpgaManager};
 use vfpga::{
-    CircuitId, CircuitLib, Op, PreemptAction, RoundRobinScheduler, System, SystemConfig,
-    TaskId, TaskSpec,
+    CircuitId, CircuitLib, Op, PreemptAction, RoundRobinScheduler, System, SystemConfig, TaskId,
+    TaskSpec,
 };
 
 fn build_lib(spec: fpga::DeviceSpec) -> (Arc<CircuitLib>, Vec<CircuitId>, Vec<CircuitId>) {
     let mut lib = CircuitLib::new();
     let mut narrow = Vec::new();
     let mut wide = Vec::new();
-    let opts = CompileOptions { max_height: spec.rows, full_height: true, ..Default::default() };
+    let opts = CompileOptions {
+        max_height: spec.rows,
+        full_height: true,
+        ..Default::default()
+    };
     for (i, w) in [4usize, 4, 5, 5].iter().enumerate() {
         let net = netlist::library::arith::array_multiplier(&format!("narrow{i}"), *w);
         narrow.push(lib.register_compiled(compile(&net, opts).unwrap()));
@@ -42,13 +47,27 @@ fn build_lib(spec: fpga::DeviceSpec) -> (Arc<CircuitLib>, Vec<CircuitId>, Vec<Ci
 }
 
 /// Part A: the paper's fragmentation scenario, step by step.
-fn micro_trace(spec: fpga::DeviceSpec, lib: &Arc<CircuitLib>, narrow: &[CircuitId], wide: &[CircuitId]) {
-    let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+fn micro_trace(
+    spec: fpga::DeviceSpec,
+    lib: &Arc<CircuitLib>,
+    narrow: &[CircuitId],
+    wide: &[CircuitId],
+    ex: &mut Exporter,
+) {
+    let timing = ConfigTiming {
+        spec,
+        port: ConfigPort::SerialFast,
+    };
     let mut t = Table::new(
         "E6a: micro-trace — wide circuit arrives into fragmented free space",
         &[
-            "gc", "wide loads?", "evictions", "gc runs", "relocations",
-            "residents destroyed", "gc overhead",
+            "gc",
+            "wide loads?",
+            "evictions",
+            "gc runs",
+            "relocations",
+            "residents destroyed",
+            "gc overhead",
         ],
     );
     for gc in [true, false] {
@@ -86,14 +105,27 @@ fn micro_trace(spec: fpga::DeviceSpec, lib: &Arc<CircuitLib>, narrow: &[CircuitI
             (after.gc_runs - before.gc_runs).to_string(),
             (after.relocations - before.relocations).to_string(),
             (narrow.len() - survivors).to_string(),
-            format!("{}", after.config_time - before.config_time),
+            format!(
+                "{}",
+                (after.config_time - before.config_time) + (after.gc_time - before.gc_time)
+            ),
         ]);
     }
     t.print();
+    ex.table(&t);
 }
 
-fn churn(spec: fpga::DeviceSpec, lib: &Arc<CircuitLib>, narrow: &[CircuitId], wide: &[CircuitId]) {
-    let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+fn churn(
+    spec: fpga::DeviceSpec,
+    lib: &Arc<CircuitLib>,
+    narrow: &[CircuitId],
+    wide: &[CircuitId],
+    ex: &mut Exporter,
+) {
+    let timing = ConfigTiming {
+        spec,
+        port: ConfigPort::SerialFast,
+    };
     let build_specs = |seed: u64| -> Vec<TaskSpec> {
         let mut rng = SimRng::new(seed);
         let mut specs = Vec::new();
@@ -106,7 +138,10 @@ fn churn(spec: fpga::DeviceSpec, lib: &Arc<CircuitLib>, narrow: &[CircuitId], wi
                     at,
                     vec![
                         Op::Cpu(SimDuration::from_micros(rng.range_u64(100, 500))),
-                        Op::FpgaRun { circuit: cid, cycles: rng.range_u64(20_000, 80_000) },
+                        Op::FpgaRun {
+                            circuit: cid,
+                            cycles: rng.range_u64(20_000, 80_000),
+                        },
                     ],
                 ));
             }
@@ -115,7 +150,10 @@ fn churn(spec: fpga::DeviceSpec, lib: &Arc<CircuitLib>, narrow: &[CircuitId], wi
             specs.push(TaskSpec::new(
                 format!("wide{round}"),
                 at,
-                vec![Op::FpgaRun { circuit: cid, cycles: 50_000 }],
+                vec![Op::FpgaRun {
+                    circuit: cid,
+                    cycles: 50_000,
+                }],
             ));
         }
         specs
@@ -124,8 +162,16 @@ fn churn(spec: fpga::DeviceSpec, lib: &Arc<CircuitLib>, narrow: &[CircuitId], wi
     let mut t = Table::new(
         "E6b: garbage collection on/off under churn (VF400, variable partitions)",
         &[
-            "gc", "makespan (s)", "mean wait (s)", "downloads", "hits", "evictions",
-            "gc runs", "relocations", "failed reloc", "overhead frac",
+            "gc",
+            "makespan (s)",
+            "mean wait (s)",
+            "downloads",
+            "hits",
+            "evictions",
+            "gc runs",
+            "relocations",
+            "failed reloc",
+            "overhead frac",
         ],
     );
     for gc in [true, false] {
@@ -140,10 +186,15 @@ fn churn(spec: fpga::DeviceSpec, lib: &Arc<CircuitLib>, narrow: &[CircuitId], wi
             lib.clone(),
             mgr,
             RoundRobinScheduler::new(SimDuration::from_millis(5)),
-            SystemConfig { preempt: PreemptAction::SaveRestore, ..Default::default() },
+            SystemConfig {
+                preempt: PreemptAction::SaveRestore,
+                ..Default::default()
+            },
             build_specs(0xE06),
         )
+        .with_trace_capacity(8192)
         .run();
+        ex.report(if gc { "churn/gc-on" } else { "churn/gc-off" }, &r);
         t.row(vec![
             if gc { "on" } else { "off" }.into(),
             f3(r.makespan.as_secs_f64()),
@@ -158,17 +209,29 @@ fn churn(spec: fpga::DeviceSpec, lib: &Arc<CircuitLib>, narrow: &[CircuitId], wi
         ]);
     }
     t.print();
+    ex.table(&t);
 }
 
 fn main() {
     let spec = fpga::device::part("VF400"); // 20 cols
     let (lib, narrow, wide) = build_lib(spec);
+    let mut ex = Exporter::new("e06", "fragmentation and garbage collection");
+    ex.seed(0xE06)
+        .param("device", spec.name)
+        .param("narrow_circuits", narrow.len())
+        .param("wide_circuits", wide.len());
     println!(
         "narrow widths: {:?}, wide widths: {:?}, device: {} cols",
-        narrow.iter().map(|&i| lib.get(i).shape().0).collect::<Vec<_>>(),
-        wide.iter().map(|&i| lib.get(i).shape().0).collect::<Vec<_>>(),
+        narrow
+            .iter()
+            .map(|&i| lib.get(i).shape().0)
+            .collect::<Vec<_>>(),
+        wide.iter()
+            .map(|&i| lib.get(i).shape().0)
+            .collect::<Vec<_>>(),
         spec.cols
     );
-    micro_trace(spec, &lib, &narrow, &wide);
-    churn(spec, &lib, &narrow, &wide);
+    micro_trace(spec, &lib, &narrow, &wide, &mut ex);
+    churn(spec, &lib, &narrow, &wide, &mut ex);
+    ex.write_if_requested();
 }

@@ -12,6 +12,7 @@
 
 use bench::report::{f3, pct, Table};
 use bench::setup::compile_suite_lib;
+use bench::Exporter;
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::rng::Zipf;
 use fsim::{SimDuration, SimRng, SimTime};
@@ -22,7 +23,10 @@ use workload::Domain;
 fn main() {
     let spec = fpga::device::part("VF800"); // 32 cols
     let (lib, ids) = compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec);
-    let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+    let timing = ConfigTiming {
+        spec,
+        port: ConfigPort::SerialFast,
+    };
 
     // Popularity: rank 0 = most popular (Zipf s=1.2).
     let zipf = Zipf::new(ids.len(), 1.2);
@@ -38,7 +42,10 @@ fn main() {
                 at,
                 vec![
                     Op::Cpu(SimDuration::from_micros(rng.range_u64(100, 1_000))),
-                    Op::FpgaRun { circuit: cid, cycles: rng.range_u64(20_000, 100_000) },
+                    Op::FpgaRun {
+                        circuit: cid,
+                        cycles: rng.range_u64(20_000, 100_000),
+                    },
                 ],
             ));
         }
@@ -48,11 +55,23 @@ fn main() {
     // Scarce overlay area: slots sized so only ~3 specific circuits fit at
     // once (an overlay with more slots than circuits never replaces).
     let widest = ids.iter().map(|&i| lib.get(i).shape().0).max().unwrap();
+    let mut ex = Exporter::new("e07", "overlay resident share and replacement policy");
+    ex.seed(0xE07)
+        .param("device", spec.name)
+        .param("tasks", 60u64)
+        .param("zipf_s", 1.2f64)
+        .param("circuits", ids.len());
     let mut t = Table::new(
         "E7: overlay — resident share and replacement policy (Zipf s=1.2)",
         &[
-            "resident top-k", "policy", "slots", "hit rate", "downloads",
-            "evictions", "overhead frac", "makespan (s)",
+            "resident top-k",
+            "policy",
+            "slots",
+            "hit rate",
+            "downloads",
+            "evictions",
+            "overhead frac",
+            "makespan (s)",
         ],
     );
     for k in 0..=2usize {
@@ -60,22 +79,21 @@ fn main() {
             let common: Vec<_> = ids[..k].to_vec();
             let common_w: u32 = common.iter().map(|&i| lib.get(i).shape().0).sum();
             let slot_w = widest.max((timing.spec.cols - common_w) / 3);
-            let mgr = OverlayManager::new(
-                lib.clone(),
-                timing,
-                common,
-                slot_w,
-                policy,
-            );
+            let mgr = OverlayManager::new(lib.clone(), timing, common, slot_w, policy);
             let slots = mgr.slot_count();
             let r = System::new(
                 lib.clone(),
                 mgr,
                 RoundRobinScheduler::new(SimDuration::from_millis(5)),
-                SystemConfig { preempt: PreemptAction::SaveRestore, ..Default::default() },
+                SystemConfig {
+                    preempt: PreemptAction::SaveRestore,
+                    ..Default::default()
+                },
                 build_specs(0xE07),
             )
+            .with_trace_capacity(4096)
             .run();
+            ex.report(&format!("top{k}/{policy:?}"), &r);
             let s = r.manager_stats;
             let hit_rate = s.hits as f64 / (s.hits + s.misses).max(1) as f64;
             t.row(vec![
@@ -91,4 +109,6 @@ fn main() {
         }
     }
     t.print();
+    ex.table(&t);
+    ex.write_if_requested();
 }

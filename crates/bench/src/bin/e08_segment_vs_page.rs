@@ -12,15 +12,19 @@
 //! segmentation pays external fragmentation (flushes).
 
 use bench::report::{f3, pct, Table};
+use bench::Exporter;
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::rng::Zipf;
-use fsim::SimRng;
+use fsim::{SimRng, Timeline};
 use vfpga::vmem::{PagingSim, Replacement, SegmentSim, SegmentedFunction};
 use workload::{suite, Domain};
 
 fn main() {
     let spec = fpga::device::part("VF400");
-    let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+    let timing = ConfigTiming {
+        spec,
+        port: ConfigPort::SerialFast,
+    };
 
     // Segment widths from real compiled kernels across two domains.
     let mut widths = Vec::new();
@@ -29,9 +33,16 @@ fn main() {
             widths.push(app.compiled.shape().0);
         }
     }
-    let func = SegmentedFunction { segment_widths: widths.clone() };
+    let func = SegmentedFunction {
+        segment_widths: widths.clone(),
+    };
     let total = func.total_columns();
-    println!("function: {} segments, {} total columns, widths {:?}", widths.len(), total, widths);
+    println!(
+        "function: {} segments, {} total columns, widths {:?}",
+        widths.len(),
+        total,
+        widths
+    );
 
     // Zipf reference trace over segments.
     let trace: Vec<usize> = {
@@ -40,17 +51,43 @@ fn main() {
         (0..2_000).map(|_| z.sample(&mut rng)).collect()
     };
 
+    let mut ex = Exporter::new("e08", "segmentation vs pagination under a Zipf trace");
+    ex.seed(0xE08)
+        .param("device", spec.name)
+        .param("segments", widths.len())
+        .param("total_columns", total)
+        .param("references", 2000u64);
     let mut t = Table::new(
         "E8: segmentation vs pagination under a Zipf trace (2000 references)",
         &[
-            "scheme", "budget", "fault rate", "load time (ms)", "padding cols",
-            "evictions", "flushes",
+            "scheme",
+            "budget",
+            "fault rate",
+            "load time (ms)",
+            "padding cols",
+            "evictions",
+            "flushes",
         ],
     );
     for budget_pct in [100u32, 75, 50, 35] {
         let budget = (total * budget_pct / 100).max(*widths.iter().max().unwrap());
-        // Segmentation.
-        let st = SegmentSim::new(func.clone(), timing, budget).run_trace(&trace);
+        // Segmentation. At the 50% budget point, record the typed
+        // PageFault events and export cumulative faults over (load-time)
+        // time — the document's timeline for this sim-less experiment.
+        let mut seg = SegmentSim::new(func.clone(), timing, budget);
+        if budget_pct == 50 {
+            seg.set_recording(true);
+        }
+        let st = seg.run_trace(&trace);
+        if budget_pct == 50 {
+            let mut tl = Timeline::new();
+            for (i, e) in seg.drain_events().iter().enumerate() {
+                tl.sample(e.at, (i + 1) as f64);
+            }
+            ex.timeline("segment_faults_cumulative_at_50pct_budget", &tl);
+            ex.metrics()
+                .inc("segment_faults_at_50pct_budget", st.faults);
+        }
         t.row(vec![
             "segmentation (LRU)".into(),
             format!("{budget} ({budget_pct}%)"),
@@ -63,7 +100,21 @@ fn main() {
         // Pagination at several page widths.
         for page in [2u32, 4, 8] {
             for policy in [Replacement::Lru, Replacement::Fifo, Replacement::Clock] {
-                let st = PagingSim::new(&func, timing, budget, page, policy).run_trace(&trace);
+                let mut pg = PagingSim::new(&func, timing, budget, page, policy);
+                let record = budget_pct == 50 && page == 4 && policy == Replacement::Lru;
+                if record {
+                    pg.set_recording(true);
+                }
+                let st = pg.run_trace(&trace);
+                if record {
+                    let mut tl = Timeline::new();
+                    for (i, e) in pg.drain_events().iter().enumerate() {
+                        tl.sample(e.at, (i + 1) as f64);
+                    }
+                    ex.timeline("paging_w4_lru_faults_cumulative_at_50pct_budget", &tl);
+                    ex.metrics()
+                        .inc("paging_w4_lru_faults_at_50pct_budget", st.faults);
+                }
                 t.row(vec![
                     format!("paging w={page} ({policy:?})"),
                     format!("{budget} ({budget_pct}%)"),
@@ -77,4 +128,6 @@ fn main() {
         }
     }
     t.print();
+    ex.table(&t);
+    ex.write_if_requested();
 }

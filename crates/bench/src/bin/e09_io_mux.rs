@@ -11,15 +11,22 @@
 
 use bench::report::{f3, pct, Table};
 use bench::setup::compile_suite_lib;
+use bench::Exporter;
+use fsim::{SimDuration, SimTime, Timeline};
 use vfpga::iomux::{mux_plan, transfer_time, PinTable};
 use workload::Domain;
 
 fn main() {
+    let mut ex = Exporter::new("e09", "input/output multiplexing and pin-table packing");
+    ex.seed(0).param("physical_pins", 64u64);
     // Part 1: widening.
     let mut t = Table::new(
         "E9a: time-division multiplexing of virtual pins (64 physical pins)",
         &[
-            "virtual pins", "frames", "throughput", "service CLBs",
+            "virtual pins",
+            "frames",
+            "throughput",
+            "service CLBs",
             "10k transfers @10ns clk",
         ],
     );
@@ -34,18 +41,36 @@ fn main() {
         ]);
     }
     t.print();
+    ex.table(&t);
 
     // Part 2: pin assignment across concurrent circuits.
     let spec = fpga::device::part("VF400"); // 128 pins
-    let (lib, ids) = compile_suite_lib(&[Domain::Telecom, Domain::Storage, Domain::Networking], spec);
+    let (lib, ids) = compile_suite_lib(
+        &[Domain::Telecom, Domain::Storage, Domain::Networking],
+        spec,
+    );
     let mut t2 = Table::new(
-        format!("E9b: pin-table packing on {} ({} pins)", spec.name, spec.io_pins),
+        format!(
+            "E9b: pin-table packing on {} ({} pins)",
+            spec.name, spec.io_pins
+        ),
         &["circuit", "io pins", "bound?", "free pins after"],
     );
     let mut table = PinTable::new(spec.io_pins);
+    table.set_recording(true);
+    // No simulated clock here: the timeline's axis is the bind sequence
+    // number, one nanosecond per attempt.
+    let mut free_tl = Timeline::new();
+    free_tl.sample(SimTime::ZERO, f64::from(table.free_pins()));
     for (k, &cid) in ids.iter().enumerate() {
         let io = lib.get(cid).io_count() as u32;
         let ok = table.bind(k as u32, io).is_some();
+        ex.metrics()
+            .inc(if ok { "binds_ok" } else { "binds_exhausted" }, 1);
+        free_tl.sample(
+            SimTime::ZERO + SimDuration::from_nanos(k as u64 + 1),
+            f64::from(table.free_pins()),
+        );
         t2.row(vec![
             lib.get(cid).name().into(),
             io.to_string(),
@@ -53,5 +78,10 @@ fn main() {
             table.free_pins().to_string(),
         ]);
     }
+    ex.metrics()
+        .inc("iomux_grants", table.drain_events().len() as u64);
+    ex.timeline("free_pins_by_bind_attempt", &free_tl);
     t2.print();
+    ex.table(&t2);
+    ex.write_if_requested();
 }

@@ -14,27 +14,39 @@
 
 use bench::report::{f3, pct, Table};
 use bench::setup::compile_suite_lib;
+use bench::Exporter;
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::{SimDuration, SimTime};
 use vfpga::manager::dynload::DynLoadManager;
-use vfpga::{
-    Op, PreemptAction, RoundRobinScheduler, System, SystemConfig, TaskSpec,
-};
+use vfpga::{Op, PreemptAction, RoundRobinScheduler, System, SystemConfig, TaskSpec};
 use workload::Domain;
 
 fn main() {
     let spec = fpga::device::part("VF800");
     let (lib, ids) = compile_suite_lib(&[Domain::Telecom], spec);
     let scrambler = ids[0]; // LFSR: sequential
-    let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+    let timing = ConfigTiming {
+        spec,
+        port: ConfigPort::SerialFast,
+    };
     let slice = SimDuration::from_millis(10);
     let per_cycle = lib.get(scrambler).run_time(1).as_nanos().max(1);
 
+    let mut ex = Exporter::new("e10", "preemption policy vs FPGA-op length");
+    ex.seed(0)
+        .param("device", spec.name)
+        .param("slice_ms", 10u64)
+        .param("state_bits", lib.get(scrambler).state_bits());
     let mut t = Table::new(
         "E10: preemption policy vs FPGA-op length (slice = 10 ms)",
         &[
-            "op length", "policy", "completes?", "fpga turnaround (s)",
-            "lost time (s)", "state saves", "overhead frac",
+            "op length",
+            "policy",
+            "completes?",
+            "fpga turnaround (s)",
+            "lost time (s)",
+            "state saves",
+            "overhead frac",
         ],
     );
 
@@ -53,20 +65,36 @@ fn main() {
                 TaskSpec::new(
                     "fpga-task",
                     SimTime::ZERO,
-                    vec![Op::FpgaRun { circuit: scrambler, cycles }],
+                    vec![Op::FpgaRun {
+                        circuit: scrambler,
+                        cycles,
+                    }],
                 ),
-                TaskSpec::new("cpu-a", SimTime::ZERO, vec![Op::Cpu(SimDuration::from_millis(40))]),
-                TaskSpec::new("cpu-b", SimTime::ZERO, vec![Op::Cpu(SimDuration::from_millis(40))]),
+                TaskSpec::new(
+                    "cpu-a",
+                    SimTime::ZERO,
+                    vec![Op::Cpu(SimDuration::from_millis(40))],
+                ),
+                TaskSpec::new(
+                    "cpu-b",
+                    SimTime::ZERO,
+                    vec![Op::Cpu(SimDuration::from_millis(40))],
+                ),
             ];
             let mgr = DynLoadManager::new(lib.clone(), timing, policy);
             let r = System::new(
                 lib.clone(),
                 mgr,
                 RoundRobinScheduler::new(slice),
-                SystemConfig { preempt: policy, ..Default::default() },
+                SystemConfig {
+                    preempt: policy,
+                    ..Default::default()
+                },
                 specs,
             )
+            .with_trace_capacity(4096)
             .run();
+            ex.report(&format!("{op_ms}ms/{policy:?}"), &r);
             t.row(vec![
                 format!("{op_ms} ms"),
                 format!("{policy:?}"),
@@ -83,10 +111,14 @@ fn main() {
         }
     }
     t.print();
+    ex.table(&t);
+    ex.write_if_requested();
     println!(
         "\nState footprint of the scrambler: {} flip-flops over {} frames; one readback = {:.3} ms",
         lib.get(scrambler).state_bits(),
         lib.get(scrambler).frames(),
-        timing.readback_time(lib.get(scrambler).frames()).as_millis_f64()
+        timing
+            .readback_time(lib.get(scrambler).frames())
+            .as_millis_f64()
     );
 }

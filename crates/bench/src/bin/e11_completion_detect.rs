@@ -11,25 +11,26 @@
 
 use bench::report::{f3, pct, Table};
 use bench::setup::compile_suite_lib;
+use bench::Exporter;
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::{SimDuration, SimTime};
 use vfpga::manager::dynload::DynLoadManager;
-use vfpga::{
-    CompletionDetect, FifoScheduler, Op, PreemptAction, System, SystemConfig, TaskSpec,
-};
+use vfpga::{CompletionDetect, FifoScheduler, Op, PreemptAction, System, SystemConfig, TaskSpec};
 use workload::Domain;
 
 fn main() {
     let spec = fpga::device::part("VF800");
     let (lib, ids) = compile_suite_lib(&[Domain::Networking], spec);
     let cid = ids[0];
-    let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+    let timing = ConfigTiming {
+        spec,
+        port: ConfigPort::SerialFast,
+    };
     let cycles = 200_000u64;
     let op_ms = lib.get(cid).run_time(cycles).as_millis_f64();
 
-    let mut detect_modes: Vec<(String, CompletionDetect)> = vec![
-        ("exact (ideal)".into(), CompletionDetect::Exact),
-    ];
+    let mut detect_modes: Vec<(String, CompletionDetect)> =
+        vec![("exact (ideal)".into(), CompletionDetect::Exact)];
     for factor in [1.05, 1.1, 1.25, 1.5, 2.0] {
         detect_modes.push((
             format!("estimate x{factor}"),
@@ -39,19 +40,34 @@ fn main() {
     for poll_us in [10u64, 100, 1_000, 10_000] {
         detect_modes.push((
             format!("done-signal poll {poll_us}us"),
-            CompletionDetect::DoneSignal { poll: SimDuration::from_micros(poll_us) },
+            CompletionDetect::DoneSignal {
+                poll: SimDuration::from_micros(poll_us),
+            },
         ));
     }
 
+    let mut ex = Exporter::new("e11", "completion detection mechanisms");
+    ex.seed(0)
+        .param("device", spec.name)
+        .param("ops", 20u64)
+        .param("op_ms", op_ms);
     let mut t = Table::new(
         format!("E11: completion detection over 20 ops of {op_ms:.2} ms each"),
-        &["mechanism", "makespan (s)", "overhead frac", "wasted per op (ms)"],
+        &[
+            "mechanism",
+            "makespan (s)",
+            "overhead frac",
+            "wasted per op (ms)",
+        ],
     );
     for (name, completion) in detect_modes {
         let ops: Vec<Op> = (0..20)
             .flat_map(|_| {
                 vec![
-                    Op::FpgaRun { circuit: cid, cycles },
+                    Op::FpgaRun {
+                        circuit: cid,
+                        cycles,
+                    },
                     Op::Cpu(SimDuration::from_micros(200)),
                 ]
             })
@@ -62,10 +78,15 @@ fn main() {
             lib.clone(),
             mgr,
             FifoScheduler::new(),
-            SystemConfig { completion, ..Default::default() },
+            SystemConfig {
+                completion,
+                ..Default::default()
+            },
             specs,
         )
+        .with_trace_capacity(4096)
         .run();
+        ex.report(&name, &r);
         // Wasted time = overhead beyond the single configuration download.
         let config = r.manager_stats.config_time;
         let wasted = r.tasks[0].overhead_time.saturating_sub(config);
@@ -77,4 +98,6 @@ fn main() {
         ]);
     }
     t.print();
+    ex.table(&t);
+    ex.write_if_requested();
 }

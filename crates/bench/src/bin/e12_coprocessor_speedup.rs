@@ -10,18 +10,41 @@
 //! 1 / 100 / 10k / 1M items once the configuration download is charged.
 
 use bench::report::{f3, Table};
+use bench::Exporter;
 use fpga::{ConfigPort, ConfigTiming};
+use fsim::{SimDuration, SimTime, Timeline};
 use workload::{suite, Domain};
 
 fn main() {
     let spec = fpga::device::part("VF800");
-    let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+    let timing = ConfigTiming {
+        spec,
+        port: ConfigPort::SerialFast,
+    };
+
+    let mut ex = Exporter::new("e12", "software vs FPGA co-processor speedup");
+    ex.seed(0)
+        .param("device", spec.name)
+        .param("port", "serial-fast");
+    // Per-batch-size mean effective speedup across all kernels; the
+    // timeline axis encodes the batch size as nanoseconds (1 ns = 1 item).
+    let batches = [1u64, 10, 100, 1_000, 10_000, 100_000, 1_000_000];
+    let mut eff_sums = vec![0.0f64; batches.len()];
+    let mut kernels = 0u64;
 
     let mut t = Table::new(
         "E12: software vs FPGA co-processor (fast serial port, per-kernel)",
         &[
-            "domain", "kernel", "sw ns/item", "hw ns/item", "raw speedup",
-            "config (ms)", "batch 1", "batch 100", "batch 10k", "batch 1M",
+            "domain",
+            "kernel",
+            "sw ns/item",
+            "hw ns/item",
+            "raw speedup",
+            "config (ms)",
+            "batch 1",
+            "batch 100",
+            "batch 10k",
+            "batch 1M",
             "break-even batch",
         ],
     );
@@ -32,8 +55,7 @@ fn main() {
             let frames = app.compiled.shape().0 as usize;
             let config_ns = {
                 use fpga::config::{FRAME_ADDR_BITS, HEADER_BITS};
-                let bits =
-                    HEADER_BITS + frames as u64 * (FRAME_ADDR_BITS + timing.frame_bits());
+                let bits = HEADER_BITS + frames as u64 * (FRAME_ADDR_BITS + timing.frame_bits());
                 bits.saturating_mul(1_000_000_000) / timing.port.bits_per_sec()
             };
             let sw = app.sw_ns_per_item;
@@ -43,6 +65,10 @@ fn main() {
                 let hw_total = (config_ns + hw.saturating_mul(batch)) as f64;
                 sw_total / hw_total
             };
+            kernels += 1;
+            for (i, &b) in batches.iter().enumerate() {
+                eff_sums[i] += eff(b);
+            }
             // Break-even batch: config / (sw - hw) when hardware is faster.
             let breakeven = if sw > hw {
                 (config_ns as f64 / (sw - hw) as f64).ceil() as u64
@@ -60,9 +86,24 @@ fn main() {
                 format!("{:.2}x", eff(100)),
                 format!("{:.1}x", eff(10_000)),
                 format!("{:.1}x", eff(1_000_000)),
-                if breakeven == u64::MAX { "never".into() } else { breakeven.to_string() },
+                if breakeven == u64::MAX {
+                    "never".into()
+                } else {
+                    breakeven.to_string()
+                },
             ]);
         }
     }
     t.print();
+    ex.param("kernels", kernels);
+    let mut tl = Timeline::new();
+    for (i, &b) in batches.iter().enumerate() {
+        tl.sample(
+            SimTime::ZERO + SimDuration::from_nanos(b),
+            eff_sums[i] / kernels as f64,
+        );
+    }
+    ex.timeline("mean_effective_speedup_by_batch", &tl);
+    ex.table(&t);
+    ex.write_if_requested();
 }

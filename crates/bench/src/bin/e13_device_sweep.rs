@@ -11,6 +11,7 @@
 //! infeasible.
 
 use bench::report::{f3, pct, Table};
+use bench::Exporter;
 use fpga::{ConfigPort, ConfigTiming, PARTS};
 use fsim::{SimDuration, SimRng};
 use std::sync::Arc;
@@ -19,11 +20,22 @@ use vfpga::{CircuitLib, PreemptAction, RoundRobinScheduler, System, SystemConfig
 use workload::{poisson_tasks, suite, Domain, MixParams};
 
 fn main() {
+    let mut ex = Exporter::new("e13", "one workload across the part catalog");
+    ex.seed(0xE13)
+        .param("parts", PARTS.len())
+        .param("tasks", 10u64);
     let mut t = Table::new(
         "E13: one workload across the part catalog (variable partitions)",
         &[
-            "part", "cols", "gates", "fits?", "makespan (s)", "mean wait (s)",
-            "downloads", "evictions", "overhead frac",
+            "part",
+            "cols",
+            "gates",
+            "fits?",
+            "makespan (s)",
+            "mean wait (s)",
+            "downloads",
+            "evictions",
+            "overhead frac",
         ],
     );
 
@@ -54,7 +66,10 @@ fn main() {
             continue;
         }
 
-        let timing = ConfigTiming { spec: *spec, port: ConfigPort::SerialFast };
+        let timing = ConfigTiming {
+            spec: *spec,
+            port: ConfigPort::SerialFast,
+        };
         let mut rng = SimRng::new(0xE13);
         let specs = poisson_tasks(
             &MixParams {
@@ -77,10 +92,15 @@ fn main() {
             lib.clone(),
             mgr,
             RoundRobinScheduler::new(SimDuration::from_millis(10)),
-            SystemConfig { preempt: PreemptAction::SaveRestore, ..Default::default() },
+            SystemConfig {
+                preempt: PreemptAction::SaveRestore,
+                ..Default::default()
+            },
             specs,
         )
+        .with_trace_capacity(4096)
         .run();
+        ex.report(spec.name, &r);
         t.row(vec![
             spec.name.into(),
             spec.cols.to_string(),
@@ -94,5 +114,7 @@ fn main() {
         ]);
     }
     t.print();
+    ex.table(&t);
+    ex.write_if_requested();
     println!("\nThe cheapest part with acceptable makespan is the right buy — §1's cost argument.");
 }

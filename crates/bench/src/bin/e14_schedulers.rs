@@ -12,6 +12,7 @@
 
 use bench::report::{f3, pct, Table};
 use bench::setup::compile_suite_lib;
+use bench::Exporter;
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::{SimDuration, SimRng};
 use vfpga::manager::dynload::DynLoadManager;
@@ -47,18 +48,32 @@ fn specs(ids: &[vfpga::CircuitId]) -> Vec<TaskSpec> {
 fn main() {
     let spec = fpga::device::part("VF800");
     let (lib, ids) = compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec);
-    let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+    let timing = ConfigTiming {
+        spec,
+        port: ConfigPort::SerialFast,
+    };
     let slice = SimDuration::from_millis(8);
 
+    let mut ex = Exporter::new("e14", "scheduler x manager matrix");
+    ex.seed(0xE14)
+        .param("device", spec.name)
+        .param("tasks", 10u64)
+        .param("slice_ms", 8u64);
     let mut t = Table::new(
         "E14: scheduler x manager matrix (same Poisson mix)",
         &[
-            "manager", "scheduler", "makespan (s)", "mean wait (s)",
-            "hi-prio mean turnaround (s)", "downloads", "overhead frac",
+            "manager",
+            "scheduler",
+            "makespan (s)",
+            "mean wait (s)",
+            "hi-prio mean turnaround (s)",
+            "downloads",
+            "overhead frac",
         ],
     );
 
     let mut record = |r: Report| {
+        ex.report(&format!("{}/{}", r.manager, r.scheduler), &r);
         let hi: Vec<f64> = r
             .tasks
             .iter()
@@ -89,26 +104,66 @@ fn main() {
             lib.clone(),
             mgr,
             sched,
-            SystemConfig { preempt, ..Default::default() },
+            SystemConfig {
+                preempt,
+                ..Default::default()
+            },
             specs,
         )
+        .with_trace_capacity(4096)
         .run()
     }
 
     for sched_kind in ["fifo", "rr", "priority"] {
         // Exclusive manager (non-preemptable device).
         let r = match sched_kind {
-            "fifo" => run(&lib, ExclusiveManager::new(lib.clone(), timing), FifoScheduler::new(), PreemptAction::WaitCompletion, specs(&ids)),
-            "rr" => run(&lib, ExclusiveManager::new(lib.clone(), timing), RoundRobinScheduler::new(slice), PreemptAction::WaitCompletion, specs(&ids)),
-            _ => run(&lib, ExclusiveManager::new(lib.clone(), timing), PriorityScheduler::new(Some(slice)), PreemptAction::WaitCompletion, specs(&ids)),
+            "fifo" => run(
+                &lib,
+                ExclusiveManager::new(lib.clone(), timing),
+                FifoScheduler::new(),
+                PreemptAction::WaitCompletion,
+                specs(&ids),
+            ),
+            "rr" => run(
+                &lib,
+                ExclusiveManager::new(lib.clone(), timing),
+                RoundRobinScheduler::new(slice),
+                PreemptAction::WaitCompletion,
+                specs(&ids),
+            ),
+            _ => run(
+                &lib,
+                ExclusiveManager::new(lib.clone(), timing),
+                PriorityScheduler::new(Some(slice)),
+                PreemptAction::WaitCompletion,
+                specs(&ids),
+            ),
         };
         record(r);
     }
     for sched_kind in ["fifo", "rr", "priority"] {
         let r = match sched_kind {
-            "fifo" => run(&lib, DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion), FifoScheduler::new(), PreemptAction::WaitCompletion, specs(&ids)),
-            "rr" => run(&lib, DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion), RoundRobinScheduler::new(slice), PreemptAction::WaitCompletion, specs(&ids)),
-            _ => run(&lib, DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion), PriorityScheduler::new(Some(slice)), PreemptAction::WaitCompletion, specs(&ids)),
+            "fifo" => run(
+                &lib,
+                DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion),
+                FifoScheduler::new(),
+                PreemptAction::WaitCompletion,
+                specs(&ids),
+            ),
+            "rr" => run(
+                &lib,
+                DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion),
+                RoundRobinScheduler::new(slice),
+                PreemptAction::WaitCompletion,
+                specs(&ids),
+            ),
+            _ => run(
+                &lib,
+                DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion),
+                PriorityScheduler::new(Some(slice)),
+                PreemptAction::WaitCompletion,
+                specs(&ids),
+            ),
         };
         record(r);
     }
@@ -122,13 +177,33 @@ fn main() {
             )
         };
         let r = match sched_kind {
-            "fifo" => run(&lib, mgr(), FifoScheduler::new(), PreemptAction::SaveRestore, specs(&ids)),
-            "rr" => run(&lib, mgr(), RoundRobinScheduler::new(slice), PreemptAction::SaveRestore, specs(&ids)),
-            _ => run(&lib, mgr(), PriorityScheduler::new(Some(slice)), PreemptAction::SaveRestore, specs(&ids)),
+            "fifo" => run(
+                &lib,
+                mgr(),
+                FifoScheduler::new(),
+                PreemptAction::SaveRestore,
+                specs(&ids),
+            ),
+            "rr" => run(
+                &lib,
+                mgr(),
+                RoundRobinScheduler::new(slice),
+                PreemptAction::SaveRestore,
+                specs(&ids),
+            ),
+            _ => run(
+                &lib,
+                mgr(),
+                PriorityScheduler::new(Some(slice)),
+                PreemptAction::SaveRestore,
+                specs(&ids),
+            ),
         };
         record(r);
     }
     t.print();
+    ex.table(&t);
+    ex.write_if_requested();
     println!("\nUnder the exclusive manager the scheduler rows collapse toward each other");
     println!("(the device serializes everything — §4's 'implicitly forcing FIFO');");
     println!("under partitioning the priority scheduler actually buys latency for hi-prio tasks.");

@@ -1,0 +1,155 @@
+//! `trace_dump` — run a representative traced simulation and dump the
+//! typed event stream.
+//!
+//! The workload is the E4 mix (12 Poisson tasks on a VF800 under variable
+//! partitioning with save/restore preemption) — it exercises every event
+//! kind the managers emit: task lifecycle, dispatches, downloads,
+//! preemptions, and GC.
+//!
+//! Usage: `trace_dump [--tag TAG]... [--limit N] [--seed S] [--summary]`
+//!
+//! * `--tag TAG` — print only events whose tag matches (repeatable;
+//!   tags: arrive/ready/run/block/done/dispatch/config/preempt/gc/
+//!   fault/overlay/iomux/custom).
+//! * `--limit N` — print at most N events (default 200; `0` = unlimited).
+//! * `--seed S`  — workload seed (default 0xE04).
+//! * `--summary` — skip the event listing, print only the per-tag counts.
+
+use fpga::{ConfigPort, ConfigTiming};
+use fsim::{SimDuration, SimRng};
+use std::collections::BTreeMap;
+use vfpga::manager::partition::{PartitionManager, PartitionMode};
+use vfpga::{PreemptAction, RoundRobinScheduler, System, SystemConfig};
+use workload::{poisson_tasks, Domain, MixParams};
+
+struct Args {
+    tags: Vec<String>,
+    limit: usize,
+    seed: u64,
+    summary_only: bool,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        tags: Vec::new(),
+        limit: 200,
+        seed: 0xE04,
+        summary_only: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--tag" => {
+                let t = value("--tag");
+                out.tags.push(t);
+            }
+            "--limit" => {
+                out.limit = value("--limit").parse().unwrap_or_else(|e| {
+                    eprintln!("--limit: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                out.seed = value("--seed").parse().unwrap_or_else(|e| {
+                    eprintln!("--seed: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--summary" => out.summary_only = true,
+            "--help" | "-h" => {
+                println!("usage: trace_dump [--tag TAG]... [--limit N] [--seed S] [--summary]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other} (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+
+    let spec = fpga::device::part("VF800");
+    let (lib, ids) = bench::setup::compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec);
+    let timing = ConfigTiming {
+        spec,
+        port: ConfigPort::SerialFast,
+    };
+    let specs = {
+        let mut rng = SimRng::new(args.seed);
+        poisson_tasks(
+            &MixParams {
+                tasks: 12,
+                mean_interarrival: SimDuration::from_millis(2),
+                mean_cpu_burst: SimDuration::from_millis(3),
+                fpga_ops_per_task: 6,
+                cycles: (100_000, 500_000),
+            },
+            &ids,
+            &mut rng,
+        )
+    };
+    let mgr = PartitionManager::new(
+        lib.clone(),
+        timing,
+        PartitionMode::Variable,
+        PreemptAction::SaveRestore,
+    );
+    let (report, trace) = System::new(
+        lib,
+        mgr,
+        RoundRobinScheduler::new(SimDuration::from_millis(10)),
+        SystemConfig {
+            preempt: PreemptAction::SaveRestore,
+            ..Default::default()
+        },
+        specs,
+    )
+    .with_trace()
+    .run_traced();
+
+    let mut by_tag: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut printed = 0usize;
+    let mut matched = 0usize;
+    for e in trace.entries() {
+        *by_tag.entry(e.tag()).or_insert(0) += 1;
+        if !args.tags.is_empty() && !args.tags.iter().any(|t| t == e.tag()) {
+            continue;
+        }
+        matched += 1;
+        if !args.summary_only && (args.limit == 0 || printed < args.limit) {
+            println!("{e}");
+            printed += 1;
+        }
+    }
+    if !args.summary_only && matched > printed {
+        println!(
+            "... {} more matching events (raise --limit)",
+            matched - printed
+        );
+    }
+
+    println!(
+        "\nevents by tag ({} total, {} dropped by ring buffer):",
+        trace.len(),
+        trace.dropped()
+    );
+    for (tag, n) in &by_tag {
+        println!("  {tag:<10} {n}");
+    }
+    println!(
+        "\nrun: makespan {:.3} s, {} tasks, overhead fraction {:.1}%",
+        report.makespan.as_secs_f64(),
+        report.tasks.len(),
+        report.overhead_fraction() * 100.0
+    );
+}

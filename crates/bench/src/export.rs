@@ -1,0 +1,328 @@
+//! Machine-readable experiment export.
+//!
+//! Every experiment binary accepts `--json <path>` and writes a
+//! `vfpga-bench/1` document there: run parameters, seed, a metrics
+//! snapshot, rendered tables, and per-run reports with utilization
+//! timelines and the per-phase overhead breakdown. The format is stable
+//! across runs (insertion-ordered objects, deterministic metric names), so
+//! downstream tooling can diff two exports byte-for-byte.
+
+use crate::json::{Json, Obj};
+use crate::report::Table;
+use fsim::{Metrics, Timeline, TimelineSet};
+use std::path::PathBuf;
+use vfpga::Report;
+
+/// Schema identifier written into every export.
+pub const SCHEMA: &str = "vfpga-bench/1";
+
+/// Scan the command line for `--json <path>` (or `--json=<path>`).
+pub fn json_arg() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            match args.next() {
+                Some(p) => return Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(p) = a.strip_prefix("--json=") {
+            return Some(PathBuf::from(p));
+        }
+    }
+    None
+}
+
+fn summary_json(s: &fsim::Summary) -> Json {
+    Obj::new()
+        .set("count", s.count())
+        .set("mean", s.mean())
+        .set("min", s.min())
+        .set("max", s.max())
+        .set("stddev", s.stddev())
+        .build()
+}
+
+fn metrics_json(m: &Metrics) -> Json {
+    let mut counters = Obj::new();
+    for (k, v) in m.counters() {
+        counters = counters.set(k, v);
+    }
+    let mut gauges = Obj::new();
+    for (k, v) in m.gauges() {
+        gauges = gauges.set(k, v);
+    }
+    let mut summaries = Obj::new();
+    for (k, s) in m.summaries() {
+        summaries = summaries.set(k, summary_json(s));
+    }
+    Obj::new()
+        .set("counters", counters)
+        .set("gauges", gauges)
+        .set("summaries", summaries)
+        .build()
+}
+
+fn timeline_json(t: &Timeline) -> Json {
+    Json::Arr(
+        t.points()
+            .iter()
+            .map(|&(at, v)| Json::Arr(vec![Json::Num(at.as_secs_f64()), Json::Num(v)]))
+            .collect(),
+    )
+}
+
+fn timelines_json(set: &TimelineSet) -> Json {
+    let mut obj = Obj::new();
+    for (name, tl) in set.iter() {
+        obj = obj.set(name, timeline_json(tl));
+    }
+    obj.build()
+}
+
+fn table_json(t: &Table) -> Json {
+    Obj::new()
+        .set("title", t.title())
+        .set(
+            "header",
+            Json::Arr(t.header().iter().map(|h| Json::Str(h.clone())).collect()),
+        )
+        .set(
+            "rows",
+            Json::Arr(
+                t.rows()
+                    .iter()
+                    .map(|r| Json::Arr(r.iter().map(|c| Json::Str(c.clone())).collect()))
+                    .collect(),
+            ),
+        )
+        .build()
+}
+
+fn report_json(label: &str, r: &Report) -> Json {
+    let ms = r.manager_stats;
+    let b = r.overhead_breakdown();
+    let tasks = Json::Arr(
+        r.tasks
+            .iter()
+            .map(|t| {
+                Obj::new()
+                    .set("name", t.name.as_str())
+                    .set("arrival_s", t.arrival.as_secs_f64())
+                    .set("completion_s", t.completion.as_secs_f64())
+                    .set("cpu_s", t.cpu_time.as_secs_f64())
+                    .set("fpga_s", t.fpga_time.as_secs_f64())
+                    .set("overhead_s", t.overhead_time.as_secs_f64())
+                    .set("lost_s", t.lost_time.as_secs_f64())
+                    .set("blocked", t.blocked_count)
+                    .set(
+                        "waiting_s",
+                        t.waiting_checked()
+                            .map(|w| Json::Num(w.as_secs_f64()))
+                            .unwrap_or(Json::Null),
+                    )
+                    .build()
+            })
+            .collect(),
+    );
+    Obj::new()
+        .set("label", label)
+        .set("manager", r.manager)
+        .set("scheduler", r.scheduler)
+        .set("makespan_s", r.makespan.as_secs_f64())
+        .set("mean_turnaround_s", r.mean_turnaround_s())
+        .set("mean_waiting_s", r.mean_waiting_s())
+        .set("overhead_fraction", r.overhead_fraction())
+        .set("cpu_utilization", r.cpu_utilization())
+        .set(
+            "manager_stats",
+            Obj::new()
+                .set("downloads", ms.downloads)
+                .set("frames_written", ms.frames_written)
+                .set("config_time_s", ms.config_time.as_secs_f64())
+                .set("state_saves", ms.state_saves)
+                .set("state_restores", ms.state_restores)
+                .set("state_time_s", ms.state_time.as_secs_f64())
+                .set("hits", ms.hits)
+                .set("misses", ms.misses)
+                .set("blocks", ms.blocks)
+                .set("gc_runs", ms.gc_runs)
+                .set("relocations", ms.relocations)
+                .set("failed_relocations", ms.failed_relocations)
+                .set("evictions", ms.evictions)
+                .set("splits", ms.splits)
+                .set("merges", ms.merges)
+                .set("gc_time_s", ms.gc_time.as_secs_f64()),
+        )
+        .set(
+            "overhead_breakdown",
+            Obj::new()
+                .set("config_s", b.config.as_secs_f64())
+                .set("state_s", b.state.as_secs_f64())
+                .set("gc_s", b.gc.as_secs_f64())
+                .set("rollback_loss_s", b.rollback_loss.as_secs_f64())
+                .set("other_s", b.other.as_secs_f64())
+                .set("total_s", b.total().as_secs_f64()),
+        )
+        .set("metrics", metrics_json(&r.metrics))
+        .set("timelines", timelines_json(&r.timelines))
+        .set("tasks", tasks)
+        .build()
+}
+
+/// Collects one experiment's artifacts and writes the JSON document.
+pub struct Exporter {
+    experiment: String,
+    title: String,
+    seed: u64,
+    params: Vec<(String, Json)>,
+    metrics: Metrics,
+    timelines: Vec<(String, Json)>,
+    tables: Vec<Json>,
+    reports: Vec<Json>,
+}
+
+impl Exporter {
+    /// Start an export for experiment `experiment` (e.g. `"e01"`).
+    pub fn new(experiment: &str, title: &str) -> Self {
+        Exporter {
+            experiment: experiment.to_string(),
+            title: title.to_string(),
+            seed: 0,
+            params: Vec::new(),
+            metrics: Metrics::new(),
+            timelines: Vec::new(),
+            tables: Vec::new(),
+            reports: Vec::new(),
+        }
+    }
+
+    /// Record the run's base RNG seed (0 when the experiment is seedless).
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Record a run parameter.
+    pub fn param(&mut self, name: &str, value: impl Into<Json>) -> &mut Self {
+        self.params.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// The export-level metrics snapshot (counters the experiment itself
+    /// maintains; report metrics are absorbed here too).
+    pub fn metrics(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Attach a rendered table.
+    pub fn table(&mut self, t: &Table) -> &mut Self {
+        self.tables.push(table_json(t));
+        self
+    }
+
+    /// Attach a top-level timeline (for experiments without a System run).
+    pub fn timeline(&mut self, name: &str, t: &Timeline) -> &mut Self {
+        self.timelines.push((name.to_string(), timeline_json(t)));
+        self
+    }
+
+    /// Attach a labelled simulation report; its registry folds into the
+    /// export-level metrics snapshot and its timelines ride along.
+    pub fn report(&mut self, label: &str, r: &Report) -> &mut Self {
+        self.metrics.absorb(&r.metrics);
+        self.reports.push(report_json(label, r));
+        self
+    }
+
+    /// Build the full document.
+    pub fn to_json(&self) -> Json {
+        let mut params = Obj::new();
+        for (k, v) in &self.params {
+            params = params.set(k, v.clone());
+        }
+        let mut timelines = Obj::new();
+        for (k, v) in &self.timelines {
+            timelines = timelines.set(k, v.clone());
+        }
+        Obj::new()
+            .set("schema", SCHEMA)
+            .set("experiment", self.experiment.as_str())
+            .set("title", self.title.as_str())
+            .set("seed", self.seed)
+            .set("params", params)
+            .set("metrics", metrics_json(&self.metrics))
+            .set("timelines", timelines)
+            .set("tables", Json::Arr(self.tables.clone()))
+            .set("reports", Json::Arr(self.reports.clone()))
+            .build()
+    }
+
+    /// Write the document to `path`.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().render())?;
+        eprintln!("wrote {}", path.display());
+        Ok(())
+    }
+
+    /// Write to the `--json <path>` argument if one was given; exits the
+    /// process with an error message on I/O failure.
+    pub fn write_if_requested(&self) {
+        if let Some(path) = json_arg() {
+            if let Err(e) = self.write(&path) {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsim::SimTime;
+
+    #[test]
+    fn document_has_schema_and_sections() {
+        let mut ex = Exporter::new("e99", "test export");
+        ex.seed(42).param("width", 8u64);
+        ex.metrics().inc("runs", 1);
+        let mut tl = Timeline::new();
+        tl.sample(SimTime::ZERO, 0.0);
+        tl.sample(SimTime::ZERO + fsim::SimDuration::from_millis(10), 3.0);
+        ex.timeline("occupancy", &tl);
+        let mut t = Table::new("T", &["a"]);
+        t.row(vec!["1".into()]);
+        ex.table(&t);
+        let r = ex.to_json().render();
+        for needle in [
+            "\"schema\": \"vfpga-bench/1\"",
+            "\"experiment\": \"e99\"",
+            "\"seed\": 42",
+            "\"width\": 8",
+            "\"runs\": 1",
+            "\"occupancy\"",
+            "\"tables\"",
+            "\"reports\": []",
+        ] {
+            assert!(r.contains(needle), "missing {needle} in:\n{r}");
+        }
+    }
+
+    #[test]
+    fn report_json_includes_breakdown_and_timelines() {
+        let r = Report::default();
+        let j = report_json("base", &r).render();
+        for needle in [
+            "\"label\": \"base\"",
+            "\"overhead_breakdown\"",
+            "\"config_s\"",
+            "\"manager_stats\"",
+            "\"timelines\"",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in:\n{j}");
+        }
+    }
+}

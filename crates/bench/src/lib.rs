@@ -1,11 +1,17 @@
 //! # bench — the experiment harness
 //!
-//! One binary per experiment (`e01`…`e12`, see DESIGN.md §4 and
-//! EXPERIMENTS.md) plus Criterion microbenches for the substrate hot
-//! paths. This library holds the shared table-printing and setup helpers.
+//! One binary per experiment (`e01`…`e14`, see DESIGN.md §4 and
+//! EXPERIMENTS.md) plus hand-rolled microbenches for the substrate hot
+//! paths. This library holds the shared table-printing, JSON-export, and
+//! setup helpers.
 
+pub mod export;
+pub mod json;
+pub mod microbench;
 pub mod report;
 pub mod setup;
 
+pub use export::{json_arg, Exporter};
+pub use json::{Json, Obj};
 pub use report::Table;
 pub use setup::{compile_suite_lib, std_timing};

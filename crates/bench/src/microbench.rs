@@ -1,0 +1,98 @@
+//! A tiny wall-clock microbenchmark harness.
+//!
+//! The build image carries no third-party crates, so the Criterion benches
+//! were replaced with this hand-rolled runner: each case is timed over a
+//! fixed number of iterations after a warm-up, and the per-iteration
+//! mean/min/max are printed in a table. It is deliberately simple — no
+//! outlier rejection, no statistical tests — but stable enough to compare
+//! hot paths release-to-release.
+
+use crate::report::Table;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmark suite: a named collection of timed cases.
+pub struct Suite {
+    table: Table,
+}
+
+impl Suite {
+    /// New suite with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Suite {
+            table: Table::new(
+                title,
+                &["case", "iters", "mean/iter", "min/iter", "max/iter"],
+            ),
+        }
+    }
+
+    /// Time `f` over `iters` iterations (plus `iters / 10 + 1` warm-up
+    /// runs). The closure's return value is black-boxed so the work is not
+    /// optimized away.
+    pub fn case<R>(&mut self, name: &str, iters: u32, mut f: impl FnMut() -> R) -> &mut Self {
+        assert!(iters > 0, "need at least one iteration");
+        for _ in 0..iters / 10 + 1 {
+            black_box(f());
+        }
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        let mut total = 0.0f64;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed().as_secs_f64();
+            min = min.min(dt);
+            max = max.max(dt);
+            total += dt;
+        }
+        self.table.row(vec![
+            name.into(),
+            iters.to_string(),
+            fmt_secs(total / iters as f64),
+            fmt_secs(min),
+            fmt_secs(max),
+        ]);
+        self
+    }
+
+    /// Print the results table.
+    pub fn print(&self) {
+        self.table.print();
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.0} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_rows() {
+        let mut s = Suite::new("t");
+        s.case("noop", 3, || 1 + 1).case("other", 2, || 2 * 2);
+        assert_eq!(s.table.len(), 2);
+        assert_eq!(s.table.rows()[0][0], "noop");
+        assert_eq!(s.table.rows()[0][1], "3");
+        assert_eq!(s.table.rows()[1][0], "other");
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert!(fmt_secs(2.0).ends_with(" s"));
+        assert!(fmt_secs(2e-3).ends_with(" ms"));
+        assert!(fmt_secs(2e-6).ends_with(" us"));
+        assert!(fmt_secs(2e-9).ends_with(" ns"));
+    }
+}

@@ -7,12 +7,18 @@ use workload::{suite, Domain};
 
 /// Standard timing model: the given part on the given port.
 pub fn std_timing(part: &str, port: ConfigPort) -> ConfigTiming {
-    ConfigTiming { spec: fpga::device::part(part), port }
+    ConfigTiming {
+        spec: fpga::device::part(part),
+        port,
+    }
 }
 
 /// Compile every app of the given domains into one circuit library sized
 /// for `spec`; returns the library and circuit ids in suite order.
-pub fn compile_suite_lib(domains: &[Domain], spec: DeviceSpec) -> (Arc<CircuitLib>, Vec<CircuitId>) {
+pub fn compile_suite_lib(
+    domains: &[Domain],
+    spec: DeviceSpec,
+) -> (Arc<CircuitLib>, Vec<CircuitId>) {
     let mut lib = CircuitLib::new();
     let mut ids = Vec::new();
     for &d in domains {

@@ -142,7 +142,8 @@ impl Bitstream {
                         for s in cell.inputs {
                             eat(source_code(s));
                         }
-                        eat(cell.has_ff as u64 | ((cell.ff_init as u64) << 1)
+                        eat(cell.has_ff as u64
+                            | ((cell.ff_init as u64) << 1)
                             | ((cell.out_from_ff as u64) << 2));
                     }
                 }
@@ -195,7 +196,12 @@ impl Bitstream {
         if min_c == u32::MAX {
             None
         } else {
-            Some(Rect::new(min_c, min_r, max_c - min_c + 1, max_r - min_r + 1))
+            Some(Rect::new(
+                min_c,
+                min_r,
+                max_c - min_c + 1,
+                max_r - min_r + 1,
+            ))
         }
     }
 
@@ -220,11 +226,27 @@ mod tests {
     use super::*;
 
     fn sample() -> Bitstream {
-        let cell = ClbCell::comb(0b0110, [ClbSource::Pin(0), ClbSource::Pin(1), ClbSource::None, ClbSource::None]);
+        let cell = ClbCell::comb(
+            0b0110,
+            [
+                ClbSource::Pin(0),
+                ClbSource::Pin(1),
+                ClbSource::None,
+                ClbSource::None,
+            ],
+        );
         Bitstream::new(
             "xor",
-            vec![FrameWrite { col: 3, row0: 2, cells: vec![Some(cell), None] }],
-            vec![(0, IobConfig::Input), (1, IobConfig::Input), (2, IobConfig::Output(3, 2))],
+            vec![FrameWrite {
+                col: 3,
+                row0: 2,
+                cells: vec![Some(cell), None],
+            }],
+            vec![
+                (0, IobConfig::Input),
+                (1, IobConfig::Input),
+                (2, IobConfig::Output(3, 2)),
+            ],
             false,
         )
     }
@@ -247,9 +269,21 @@ mod tests {
         let bs = Bitstream::new(
             "x",
             vec![
-                FrameWrite { col: 1, row0: 0, cells: vec![Some(cell)] },
-                FrameWrite { col: 1, row0: 4, cells: vec![Some(cell)] },
-                FrameWrite { col: 2, row0: 0, cells: vec![Some(cell)] },
+                FrameWrite {
+                    col: 1,
+                    row0: 0,
+                    cells: vec![Some(cell)],
+                },
+                FrameWrite {
+                    col: 1,
+                    row0: 4,
+                    cells: vec![Some(cell)],
+                },
+                FrameWrite {
+                    col: 2,
+                    row0: 0,
+                    cells: vec![Some(cell)],
+                },
             ],
             vec![],
             false,
@@ -264,7 +298,11 @@ mod tests {
         let cell = ClbCell::comb(0, [ClbSource::None; 4]);
         let full_col = Bitstream::new(
             "f",
-            vec![FrameWrite { col: 0, row0: 0, cells: vec![Some(cell); 10] }],
+            vec![FrameWrite {
+                col: 0,
+                row0: 0,
+                cells: vec![Some(cell); 10],
+            }],
             vec![],
             false,
         );

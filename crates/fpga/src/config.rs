@@ -69,7 +69,9 @@ impl ConfigTiming {
 
     /// Total bits of a full-device configuration.
     pub fn full_bits(&self) -> u64 {
-        HEADER_BITS + self.spec.cols as u64 * self.frame_bits() + self.spec.io_pins as u64 * BITS_PER_IOB
+        HEADER_BITS
+            + self.spec.cols as u64 * self.frame_bits()
+            + self.spec.io_pins as u64 * BITS_PER_IOB
     }
 
     fn dur_for_bits(&self, bits: u64) -> SimDuration {
@@ -133,7 +135,10 @@ mod tests {
     fn flagship_full_serial_config_is_about_200ms() {
         // The paper's anchor: the largest X4000 takes "no more than 200 ms"
         // over the slow serial port.
-        let t = ConfigTiming { spec: part("VF800"), port: ConfigPort::SerialSlow };
+        let t = ConfigTiming {
+            spec: part("VF800"),
+            port: ConfigPort::SerialSlow,
+        };
         let ms = t.full_config_time().as_millis_f64();
         assert!(
             (160.0..240.0).contains(&ms),
@@ -143,19 +148,32 @@ mod tests {
 
     #[test]
     fn small_part_configures_much_faster() {
-        let small = ConfigTiming { spec: part("VF100"), port: ConfigPort::SerialSlow };
-        let big = ConfigTiming { spec: part("VF800"), port: ConfigPort::SerialSlow };
+        let small = ConfigTiming {
+            spec: part("VF100"),
+            port: ConfigPort::SerialSlow,
+        };
+        let big = ConfigTiming {
+            spec: part("VF800"),
+            port: ConfigPort::SerialSlow,
+        };
         assert!(small.full_config_time().as_nanos() * 5 < big.full_config_time().as_nanos());
     }
 
     #[test]
     fn partial_beats_full_when_touching_few_frames() {
         let spec = part("VF800");
-        let t = ConfigTiming { spec, port: ConfigPort::SerialFast };
+        let t = ConfigTiming {
+            spec,
+            port: ConfigPort::SerialFast,
+        };
         let cell = ClbCell::comb(0, [ClbSource::None; 4]);
         // 4 full-column frames out of 32.
         let frames = (0..4)
-            .map(|c| FrameWrite { col: c, row0: 0, cells: vec![Some(cell); spec.rows as usize] })
+            .map(|c| FrameWrite {
+                col: c,
+                row0: 0,
+                cells: vec![Some(cell); spec.rows as usize],
+            })
             .collect();
         let partial = Bitstream::new("p", frames, vec![], false);
         let dl = t.download_time(&partial);
@@ -171,17 +189,28 @@ mod tests {
     #[test]
     fn partial_column_pays_read_modify_write() {
         let spec = part("VF800");
-        let t = ConfigTiming { spec, port: ConfigPort::SerialFast };
+        let t = ConfigTiming {
+            spec,
+            port: ConfigPort::SerialFast,
+        };
         let cell = ClbCell::comb(0, [ClbSource::None; 4]);
         let full_col = Bitstream::new(
             "f",
-            vec![FrameWrite { col: 0, row0: 0, cells: vec![Some(cell); spec.rows as usize] }],
+            vec![FrameWrite {
+                col: 0,
+                row0: 0,
+                cells: vec![Some(cell); spec.rows as usize],
+            }],
             vec![],
             false,
         );
         let half_col = Bitstream::new(
             "h",
-            vec![FrameWrite { col: 0, row0: 0, cells: vec![Some(cell); spec.rows as usize / 2] }],
+            vec![FrameWrite {
+                col: 0,
+                row0: 0,
+                cells: vec![Some(cell); spec.rows as usize / 2],
+            }],
             vec![],
             false,
         );
@@ -194,7 +223,10 @@ mod tests {
     #[test]
     fn full_streams_cost_full_time_regardless_of_content() {
         let spec = part("VF400");
-        let t = ConfigTiming { spec, port: ConfigPort::SerialSlow };
+        let t = ConfigTiming {
+            spec,
+            port: ConfigPort::SerialSlow,
+        };
         let empty_full = Bitstream::new("e", vec![], vec![], true);
         assert_eq!(t.download_time(&empty_full), t.full_config_time());
     }
@@ -209,7 +241,10 @@ mod tests {
 
     #[test]
     fn readback_scales_with_frames() {
-        let t = ConfigTiming { spec: part("VF400"), port: ConfigPort::SerialFast };
+        let t = ConfigTiming {
+            spec: part("VF400"),
+            port: ConfigPort::SerialFast,
+        };
         let one = t.readback_time(1).as_nanos();
         let ten = t.readback_time(10).as_nanos();
         assert!(ten > 8 * one && ten < 11 * one);

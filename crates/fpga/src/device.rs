@@ -41,14 +41,62 @@ impl DeviceSpec {
 /// range. Geometry follows the XC4000 progression (square arrays, pin
 /// count growing with the perimeter).
 pub const PARTS: &[DeviceSpec] = &[
-    DeviceSpec { name: "VF100", cols: 10, rows: 10, io_pins: 64, gates: 10_000 },
-    DeviceSpec { name: "VF200", cols: 14, rows: 14, io_pins: 96, gates: 20_000 },
-    DeviceSpec { name: "VF400", cols: 20, rows: 20, io_pins: 128, gates: 40_000 },
-    DeviceSpec { name: "VF600", cols: 24, rows: 24, io_pins: 160, gates: 60_000 },
-    DeviceSpec { name: "VF800", cols: 32, rows: 32, io_pins: 224, gates: 100_000 },
-    DeviceSpec { name: "VF1000", cols: 40, rows: 40, io_pins: 288, gates: 150_000 },
-    DeviceSpec { name: "VF1500", cols: 48, rows: 48, io_pins: 352, gates: 200_000 },
-    DeviceSpec { name: "VF2000", cols: 56, rows: 56, io_pins: 448, gates: 250_000 },
+    DeviceSpec {
+        name: "VF100",
+        cols: 10,
+        rows: 10,
+        io_pins: 64,
+        gates: 10_000,
+    },
+    DeviceSpec {
+        name: "VF200",
+        cols: 14,
+        rows: 14,
+        io_pins: 96,
+        gates: 20_000,
+    },
+    DeviceSpec {
+        name: "VF400",
+        cols: 20,
+        rows: 20,
+        io_pins: 128,
+        gates: 40_000,
+    },
+    DeviceSpec {
+        name: "VF600",
+        cols: 24,
+        rows: 24,
+        io_pins: 160,
+        gates: 60_000,
+    },
+    DeviceSpec {
+        name: "VF800",
+        cols: 32,
+        rows: 32,
+        io_pins: 224,
+        gates: 100_000,
+    },
+    DeviceSpec {
+        name: "VF1000",
+        cols: 40,
+        rows: 40,
+        io_pins: 288,
+        gates: 150_000,
+    },
+    DeviceSpec {
+        name: "VF1500",
+        cols: 48,
+        rows: 48,
+        io_pins: 352,
+        gates: 200_000,
+    },
+    DeviceSpec {
+        name: "VF2000",
+        cols: 56,
+        rows: 56,
+        io_pins: 448,
+        gates: 250_000,
+    },
 ];
 
 /// Look up a part by name.
@@ -81,9 +129,13 @@ impl std::fmt::Display for DeviceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DeviceError::CrcMismatch => write!(f, "bitstream CRC mismatch"),
-            DeviceError::OutOfRange { col, row } => write!(f, "frame write outside device at ({col},{row})"),
+            DeviceError::OutOfRange { col, row } => {
+                write!(f, "frame write outside device at ({col},{row})")
+            }
             DeviceError::BadPin(p) => write!(f, "no such pin {p}"),
-            DeviceError::PartialUnsupported => write!(f, "configuration port cannot do partial writes"),
+            DeviceError::PartialUnsupported => {
+                write!(f, "configuration port cannot do partial writes")
+            }
         }
     }
 }
@@ -128,7 +180,10 @@ impl Device {
 
     /// The timing calculator for this device+port.
     pub fn timing(&self) -> ConfigTiming {
-        ConfigTiming { spec: self.spec, port: self.port }
+        ConfigTiming {
+            spec: self.spec,
+            port: self.port,
+        }
     }
 
     #[inline]
@@ -174,7 +229,10 @@ impl Device {
             }
             let end_row = f.row0 as usize + f.cells.len();
             if end_row > self.spec.rows as usize {
-                return Err(DeviceError::OutOfRange { col: f.col, row: end_row as u32 - 1 });
+                return Err(DeviceError::OutOfRange {
+                    col: f.col,
+                    row: end_row as u32 - 1,
+                });
             }
         }
         for &(pin, _) in &bs.iobs {
@@ -213,7 +271,10 @@ impl Device {
     /// bookkeeping, not a device operation: the OS simply forgets the
     /// contents; no download time is charged.
     pub fn clear_region(&mut self, r: &Rect) {
-        assert!(self.spec.full_rect().contains_rect(r), "region outside device");
+        assert!(
+            self.spec.full_rect().contains_rect(r),
+            "region outside device"
+        );
         for (c, row) in r.cells() {
             let i = self.idx(c, row);
             self.cells[i] = None;
@@ -231,8 +292,14 @@ impl Device {
     /// **Readback**: snapshot flip-flop words of every CLB in the region
     /// (row-major order), with the time the readback occupies the port.
     pub fn readback_region(&self, r: &Rect) -> (Vec<u64>, SimDuration) {
-        assert!(self.spec.full_rect().contains_rect(r), "region outside device");
-        let state = r.cells().map(|(c, row)| self.ff[self.idx(c, row)]).collect();
+        assert!(
+            self.spec.full_rect().contains_rect(r),
+            "region outside device"
+        );
+        let state = r
+            .cells()
+            .map(|(c, row)| self.ff[self.idx(c, row)])
+            .collect();
         let t = self.timing().readback_time(r.w as usize);
         (state, t)
     }
@@ -240,7 +307,10 @@ impl Device {
     /// **State write**: restore flip-flop words captured by
     /// [`Device::readback_region`] over the same region shape.
     pub fn write_state_region(&mut self, r: &Rect, state: &[u64]) -> SimDuration {
-        assert!(self.spec.full_rect().contains_rect(r), "region outside device");
+        assert!(
+            self.spec.full_rect().contains_rect(r),
+            "region outside device"
+        );
         assert_eq!(state.len(), r.area() as usize, "state length mismatch");
         for ((c, row), &v) in r.cells().zip(state) {
             let i = self.idx(c, row);
@@ -269,12 +339,25 @@ mod tests {
     fn xor_stream(spec: &DeviceSpec) -> Bitstream {
         let cell = ClbCell::comb(
             0b0110,
-            [ClbSource::Pin(0), ClbSource::Pin(1), ClbSource::None, ClbSource::None],
+            [
+                ClbSource::Pin(0),
+                ClbSource::Pin(1),
+                ClbSource::None,
+                ClbSource::None,
+            ],
         );
         Bitstream::new(
             "xor",
-            vec![FrameWrite { col: 0, row0: 0, cells: vec![Some(cell); spec.rows as usize] }],
-            vec![(0, IobConfig::Input), (1, IobConfig::Input), (2, IobConfig::Output(0, 0))],
+            vec![FrameWrite {
+                col: 0,
+                row0: 0,
+                cells: vec![Some(cell); spec.rows as usize],
+            }],
+            vec![
+                (0, IobConfig::Input),
+                (1, IobConfig::Input),
+                (2, IobConfig::Output(0, 0)),
+            ],
             false,
         )
     }
@@ -306,7 +389,10 @@ mod tests {
     fn slow_serial_port_rejects_partial() {
         let spec = part("VF100");
         let mut d = Device::new(spec, ConfigPort::SerialSlow);
-        assert_eq!(d.apply(&xor_stream(&spec)), Err(DeviceError::PartialUnsupported));
+        assert_eq!(
+            d.apply(&xor_stream(&spec)),
+            Err(DeviceError::PartialUnsupported)
+        );
         let mut full = xor_stream(&spec);
         full.full = true;
         let full = Bitstream::new(full.label, full.frames, full.iobs, true);
@@ -320,7 +406,11 @@ mod tests {
         let cell = ClbCell::comb(0, [ClbSource::None; 4]);
         let bs = Bitstream::new(
             "oob",
-            vec![FrameWrite { col: spec.cols, row0: 0, cells: vec![Some(cell)] }],
+            vec![FrameWrite {
+                col: spec.cols,
+                row0: 0,
+                cells: vec![Some(cell)],
+            }],
             vec![],
             false,
         );
@@ -328,11 +418,18 @@ mod tests {
 
         let tall = Bitstream::new(
             "tall",
-            vec![FrameWrite { col: 0, row0: spec.rows - 1, cells: vec![Some(cell); 2] }],
+            vec![FrameWrite {
+                col: 0,
+                row0: spec.rows - 1,
+                cells: vec![Some(cell); 2],
+            }],
             vec![],
             false,
         );
-        assert!(matches!(d.apply(&tall), Err(DeviceError::OutOfRange { .. })));
+        assert!(matches!(
+            d.apply(&tall),
+            Err(DeviceError::OutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -393,10 +490,23 @@ mod tests {
     fn reconfiguring_a_clb_resets_its_ff_to_init() {
         let spec = part("VF100");
         let mut d = Device::new(spec, ConfigPort::SerialFast);
-        let cell = ClbCell::registered(0b01, [ClbSource::Pin(0), ClbSource::None, ClbSource::None, ClbSource::None], true);
+        let cell = ClbCell::registered(
+            0b01,
+            [
+                ClbSource::Pin(0),
+                ClbSource::None,
+                ClbSource::None,
+                ClbSource::None,
+            ],
+            true,
+        );
         let bs = Bitstream::new(
             "r",
-            vec![FrameWrite { col: 1, row0: 1, cells: vec![Some(cell)] }],
+            vec![FrameWrite {
+                col: 1,
+                row0: 1,
+                cells: vec![Some(cell)],
+            }],
             vec![(0, IobConfig::Input)],
             false,
         );

@@ -47,7 +47,9 @@ impl std::fmt::Display for FabricError {
             FabricError::DanglingSource { col, row } => {
                 write!(f, "CLB ({col},{row}) reads an unconfigured source")
             }
-            FabricError::BadPinSource(p) => write!(f, "CLB reads pin {p} which is not an input IOB"),
+            FabricError::BadPinSource(p) => {
+                write!(f, "CLB reads pin {p} which is not an input IOB")
+            }
             FabricError::DeadOutput(p) => write!(f, "output pin {p} driven by unconfigured CLB"),
         }
     }
@@ -112,8 +114,7 @@ impl FabricView {
                         }
                     }
                     ClbSource::Pin(p) => {
-                        if p >= device.spec().io_pins
-                            || !matches!(device.iob(p), IobConfig::Input)
+                        if p >= device.spec().io_pins || !matches!(device.iob(p), IobConfig::Input)
                         {
                             return Err(FabricError::BadPinSource(p));
                         }
@@ -191,12 +192,7 @@ impl FabricView {
         self.order.len()
     }
 
-    fn source_value(
-        &self,
-        device: &Device,
-        src: ClbSource,
-        pins: &HashMap<u32, u64>,
-    ) -> u64 {
+    fn source_value(&self, device: &Device, src: ClbSource, pins: &HashMap<u32, u64>) -> u64 {
         match src {
             ClbSource::None => 0,
             ClbSource::Const(b) => {
@@ -300,12 +296,25 @@ mod tests {
         let mut d = device();
         let cell = ClbCell::comb(
             0b0110,
-            [ClbSource::Pin(0), ClbSource::Pin(1), ClbSource::None, ClbSource::None],
+            [
+                ClbSource::Pin(0),
+                ClbSource::Pin(1),
+                ClbSource::None,
+                ClbSource::None,
+            ],
         );
         let bs = Bitstream::new(
             "xor",
-            vec![FrameWrite { col: 2, row0: 2, cells: vec![Some(cell)] }],
-            vec![(0, IobConfig::Input), (1, IobConfig::Input), (5, IobConfig::Output(2, 2))],
+            vec![FrameWrite {
+                col: 2,
+                row0: 2,
+                cells: vec![Some(cell)],
+            }],
+            vec![
+                (0, IobConfig::Input),
+                (1, IobConfig::Input),
+                (5, IobConfig::Output(2, 2)),
+            ],
             false,
         );
         d.apply(&bs).unwrap();
@@ -320,11 +329,21 @@ mod tests {
         // CLB(0,0) = AND(pin0, pin1); CLB(1,0) = NOT(CLB(0,0)).
         let and = ClbCell::comb(
             0b1000,
-            [ClbSource::Pin(0), ClbSource::Pin(1), ClbSource::None, ClbSource::None],
+            [
+                ClbSource::Pin(0),
+                ClbSource::Pin(1),
+                ClbSource::None,
+                ClbSource::None,
+            ],
         );
         let not = ClbCell::comb(
             0b01,
-            [ClbSource::Clb(0, 0), ClbSource::None, ClbSource::None, ClbSource::None],
+            [
+                ClbSource::Clb(0, 0),
+                ClbSource::None,
+                ClbSource::None,
+                ClbSource::None,
+            ],
         );
         let bs = Bitstream::new(
             "nand2",
@@ -332,10 +351,22 @@ mod tests {
                 // Deliberately download the downstream CLB first; execution
                 // order must come from the dependency analysis, not the
                 // download order.
-                FrameWrite { col: 1, row0: 0, cells: vec![Some(not)] },
-                FrameWrite { col: 0, row0: 0, cells: vec![Some(and)] },
+                FrameWrite {
+                    col: 1,
+                    row0: 0,
+                    cells: vec![Some(not)],
+                },
+                FrameWrite {
+                    col: 0,
+                    row0: 0,
+                    cells: vec![Some(and)],
+                },
             ],
-            vec![(0, IobConfig::Input), (1, IobConfig::Input), (2, IobConfig::Output(1, 0))],
+            vec![
+                (0, IobConfig::Input),
+                (1, IobConfig::Input),
+                (2, IobConfig::Output(1, 0)),
+            ],
             false,
         );
         d.apply(&bs).unwrap();
@@ -352,12 +383,21 @@ mod tests {
         // CLB(3,3): LUT = NOT(self FF), registered, out from FF -> toggle.
         let toggle = ClbCell::registered(
             0b01,
-            [ClbSource::Clb(3, 3), ClbSource::None, ClbSource::None, ClbSource::None],
+            [
+                ClbSource::Clb(3, 3),
+                ClbSource::None,
+                ClbSource::None,
+                ClbSource::None,
+            ],
             false,
         );
         let bs = Bitstream::new(
             "toggle",
-            vec![FrameWrite { col: 3, row0: 3, cells: vec![Some(toggle)] }],
+            vec![FrameWrite {
+                col: 3,
+                row0: 3,
+                cells: vec![Some(toggle)],
+            }],
             vec![(0, IobConfig::Output(3, 3))],
             false,
         );
@@ -389,17 +429,35 @@ mod tests {
         let mut d = device();
         let a = ClbCell::comb(
             0b01,
-            [ClbSource::Clb(1, 0), ClbSource::None, ClbSource::None, ClbSource::None],
+            [
+                ClbSource::Clb(1, 0),
+                ClbSource::None,
+                ClbSource::None,
+                ClbSource::None,
+            ],
         );
         let b = ClbCell::comb(
             0b01,
-            [ClbSource::Clb(0, 0), ClbSource::None, ClbSource::None, ClbSource::None],
+            [
+                ClbSource::Clb(0, 0),
+                ClbSource::None,
+                ClbSource::None,
+                ClbSource::None,
+            ],
         );
         let bs = Bitstream::new(
             "loop",
             vec![
-                FrameWrite { col: 0, row0: 0, cells: vec![Some(a)] },
-                FrameWrite { col: 1, row0: 0, cells: vec![Some(b)] },
+                FrameWrite {
+                    col: 0,
+                    row0: 0,
+                    cells: vec![Some(a)],
+                },
+                FrameWrite {
+                    col: 1,
+                    row0: 0,
+                    cells: vec![Some(b)],
+                },
             ],
             vec![],
             false,
@@ -416,11 +474,20 @@ mod tests {
         let mut d = device();
         let a = ClbCell::comb(
             0b01,
-            [ClbSource::Clb(5, 5), ClbSource::None, ClbSource::None, ClbSource::None],
+            [
+                ClbSource::Clb(5, 5),
+                ClbSource::None,
+                ClbSource::None,
+                ClbSource::None,
+            ],
         );
         let bs = Bitstream::new(
             "dangle",
-            vec![FrameWrite { col: 0, row0: 0, cells: vec![Some(a)] }],
+            vec![FrameWrite {
+                col: 0,
+                row0: 0,
+                cells: vec![Some(a)],
+            }],
             vec![],
             false,
         );
@@ -436,11 +503,20 @@ mod tests {
         let mut d = device();
         let a = ClbCell::comb(
             0b10,
-            [ClbSource::Pin(7), ClbSource::None, ClbSource::None, ClbSource::None],
+            [
+                ClbSource::Pin(7),
+                ClbSource::None,
+                ClbSource::None,
+                ClbSource::None,
+            ],
         );
         let bs = Bitstream::new(
             "badpin",
-            vec![FrameWrite { col: 0, row0: 0, cells: vec![Some(a)] }],
+            vec![FrameWrite {
+                col: 0,
+                row0: 0,
+                cells: vec![Some(a)],
+            }],
             vec![], // pin 7 never configured as input
             false,
         );
@@ -457,19 +533,37 @@ mod tests {
         let mut d = device();
         let a = ClbCell::registered(
             0b01,
-            [ClbSource::Clb(1, 0), ClbSource::None, ClbSource::None, ClbSource::None],
+            [
+                ClbSource::Clb(1, 0),
+                ClbSource::None,
+                ClbSource::None,
+                ClbSource::None,
+            ],
             false,
         );
         let b = ClbCell::registered(
             0b10,
-            [ClbSource::Clb(0, 0), ClbSource::None, ClbSource::None, ClbSource::None],
+            [
+                ClbSource::Clb(0, 0),
+                ClbSource::None,
+                ClbSource::None,
+                ClbSource::None,
+            ],
             true,
         );
         let bs = Bitstream::new(
             "pair",
             vec![
-                FrameWrite { col: 0, row0: 0, cells: vec![Some(a)] },
-                FrameWrite { col: 1, row0: 0, cells: vec![Some(b)] },
+                FrameWrite {
+                    col: 0,
+                    row0: 0,
+                    cells: vec![Some(a)],
+                },
+                FrameWrite {
+                    col: 1,
+                    row0: 0,
+                    cells: vec![Some(b)],
+                },
             ],
             vec![],
             false,

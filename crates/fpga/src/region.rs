@@ -83,7 +83,10 @@ impl Rect {
     /// Split vertically at absolute column `at` (must be strictly inside),
     /// returning `(left, right)`.
     pub fn split_at_col(&self, at: u32) -> (Rect, Rect) {
-        assert!(at > self.col && at < self.col_end(), "split column outside region");
+        assert!(
+            at > self.col && at < self.col_end(),
+            "split column outside region"
+        );
         (
             Rect::new(self.col, self.row, at - self.col, self.h),
             Rect::new(at, self.row, self.col_end() - at, self.h),
@@ -93,7 +96,10 @@ impl Rect {
     /// Split horizontally at absolute row `at` (must be strictly inside),
     /// returning `(top, bottom)`.
     pub fn split_at_row(&self, at: u32) -> (Rect, Rect) {
-        assert!(at > self.row && at < self.row_end(), "split row outside region");
+        assert!(
+            at > self.row && at < self.row_end(),
+            "split row outside region"
+        );
         (
             Rect::new(self.col, self.row, self.w, at - self.row),
             Rect::new(self.col, at, self.w, self.row_end() - at),
@@ -139,7 +145,14 @@ impl Rect {
 
 impl std::fmt::Display for Rect {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "[{}..{})x[{}..{})", self.col, self.col_end(), self.row, self.row_end())
+        write!(
+            f,
+            "[{}..{})x[{}..{})",
+            self.col,
+            self.col_end(),
+            self.row,
+            self.row_end()
+        )
     }
 }
 
@@ -163,7 +176,10 @@ mod tests {
     fn intersection_cases() {
         let a = Rect::new(0, 0, 4, 4);
         assert!(a.intersects(&Rect::new(3, 3, 2, 2)));
-        assert!(!a.intersects(&Rect::new(4, 0, 2, 2)), "edge-adjacent is disjoint");
+        assert!(
+            !a.intersects(&Rect::new(4, 0, 2, 2)),
+            "edge-adjacent is disjoint"
+        );
         assert!(!a.intersects(&Rect::new(0, 4, 2, 2)));
         assert!(a.intersects(&a));
     }

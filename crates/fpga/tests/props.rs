@@ -1,49 +1,63 @@
-//! Property-based tests for the device model: configuration round-trips,
+//! Property-style tests for the device model: configuration round-trips,
 //! readback/write-state inverses, and timing monotonicity.
+//!
+//! Inputs are generated from a deterministic seed sweep ([`fsim::SimRng`])
+//! instead of `proptest` (no third-party crates in the build image).
 
 use fpga::{Bitstream, ClbCell, ClbSource, ConfigPort, ConfigTiming, Device, FrameWrite, Rect};
-use proptest::prelude::*;
+use fsim::SimRng;
+
+const SEEDS: u64 = 48;
 
 fn part() -> fpga::DeviceSpec {
     fpga::device::part("VF200") // 14x14
 }
 
-proptest! {
-    /// Applying a frame write then reading cells back returns exactly the
-    /// written configuration.
-    #[test]
-    fn config_write_read_roundtrip(
-        col in 0u32..14,
-        row0 in 0u32..10,
-        tables in proptest::collection::vec(any::<u16>(), 1..4),
-    ) {
-        let cells: Vec<Option<ClbCell>> = tables
-            .iter()
-            .map(|&t| Some(ClbCell::comb(t, [ClbSource::None; 4])))
+/// Applying a frame write then reading cells back returns exactly the
+/// written configuration.
+#[test]
+fn config_write_read_roundtrip() {
+    for seed in 0..SEEDS {
+        let mut rng = SimRng::new(seed);
+        let col = rng.below(14) as u32;
+        let row0 = rng.below(10) as u32;
+        let n = 1 + rng.below(3) as usize;
+        let cells: Vec<Option<ClbCell>> = (0..n)
+            .map(|_| Some(ClbCell::comb(rng.next_u64() as u16, [ClbSource::None; 4])))
             .collect();
         let bs = Bitstream::new(
             "p",
-            vec![FrameWrite { col, row0, cells: cells.clone() }],
+            vec![FrameWrite {
+                col,
+                row0,
+                cells: cells.clone(),
+            }],
             vec![],
             false,
         );
         let mut d = Device::new(part(), ConfigPort::SerialFast);
         d.apply(&bs).unwrap();
         for (k, c) in cells.iter().enumerate() {
-            prop_assert_eq!(d.cell(col, row0 + k as u32), *c);
+            assert_eq!(d.cell(col, row0 + k as u32), *c, "seed {seed}");
         }
-        prop_assert_eq!(d.used_clbs(), cells.len());
+        assert_eq!(d.used_clbs(), cells.len(), "seed {seed}");
     }
+}
 
-    /// readback_region / write_state_region are inverses for any region
-    /// and any state pattern.
-    #[test]
-    fn state_roundtrip(
-        col in 0u32..10, row in 0u32..10,
-        w in 1u32..5, h in 1u32..5,
-        pattern in any::<u64>(),
-    ) {
-        prop_assume!(col + w <= 14 && row + h <= 14);
+/// readback_region / write_state_region are inverses for any region and
+/// any state pattern.
+#[test]
+fn state_roundtrip() {
+    for seed in 0..SEEDS {
+        let mut rng = SimRng::new(seed);
+        let col = rng.below(10) as u32;
+        let row = rng.below(10) as u32;
+        let w = 1 + rng.below(4) as u32;
+        let h = 1 + rng.below(4) as u32;
+        if col + w > 14 || row + h > 14 {
+            continue;
+        }
+        let pattern = rng.next_u64();
         let r = Rect::new(col, row, w, h);
         let mut d = Device::new(part(), ConfigPort::SerialFast);
         // Scatter a deterministic pattern.
@@ -52,56 +66,83 @@ proptest! {
             .collect();
         d.write_state_region(&r, &state);
         let (read, _) = d.readback_region(&r);
-        prop_assert_eq!(read, state);
+        assert_eq!(read, state, "seed {seed}");
     }
+}
 
-    /// Download time is monotone in the number of frames written.
-    #[test]
-    fn download_time_monotone_in_frames(n in 1usize..14) {
-        let spec = part();
-        let t = ConfigTiming { spec, port: ConfigPort::SerialFast };
-        let cell = ClbCell::comb(0, [ClbSource::None; 4]);
-        let mk = |frames: usize| {
-            let fw: Vec<FrameWrite> = (0..frames as u32)
-                .map(|c| FrameWrite { col: c, row0: 0, cells: vec![Some(cell); spec.rows as usize] })
-                .collect();
-            Bitstream::new("x", fw, vec![], false)
-        };
+/// Download time is strictly monotone in the number of frames written.
+#[test]
+fn download_time_monotone_in_frames() {
+    let spec = part();
+    let t = ConfigTiming {
+        spec,
+        port: ConfigPort::SerialFast,
+    };
+    let cell = ClbCell::comb(0, [ClbSource::None; 4]);
+    let mk = |frames: usize| {
+        let fw: Vec<FrameWrite> = (0..frames as u32)
+            .map(|c| FrameWrite {
+                col: c,
+                row0: 0,
+                cells: vec![Some(cell); spec.rows as usize],
+            })
+            .collect();
+        Bitstream::new("x", fw, vec![], false)
+    };
+    for n in 1..14usize {
         let a = t.download_time(&mk(n));
-        let b = t.download_time(&mk(n + 0)); // identical
-        prop_assert_eq!(a, b);
+        assert_eq!(
+            a,
+            t.download_time(&mk(n)),
+            "identical bitstreams must cost the same"
+        );
         if n < 13 {
-            prop_assert!(t.download_time(&mk(n + 1)) > a);
+            assert!(t.download_time(&mk(n + 1)) > a, "n={n}");
         }
     }
+}
 
-    /// Corrupting any frame's column invalidates the CRC.
-    #[test]
-    fn crc_catches_column_shift(col in 0u32..13, table in any::<u16>()) {
+/// Corrupting any frame's column invalidates the CRC.
+#[test]
+fn crc_catches_column_shift() {
+    for seed in 0..SEEDS {
+        let mut rng = SimRng::new(seed);
+        let col = rng.below(13) as u32;
+        let table = rng.next_u64() as u16;
         let cell = ClbCell::comb(table, [ClbSource::None; 4]);
         let bs = Bitstream::new(
             "p",
-            vec![FrameWrite { col, row0: 0, cells: vec![Some(cell)] }],
+            vec![FrameWrite {
+                col,
+                row0: 0,
+                cells: vec![Some(cell)],
+            }],
             vec![],
             false,
         );
         let mut bad = bs.clone();
         bad.frames[0].col += 1;
-        prop_assert!(!bad.crc_ok());
+        assert!(!bad.crc_ok(), "seed {seed}");
     }
+}
 
-    /// Region cells() yields exactly area() distinct in-bounds cells.
-    #[test]
-    fn region_cells_enumerate_area(
-        col in 0u32..20, row in 0u32..20, w in 1u32..10, h in 1u32..10,
-    ) {
-        let r = Rect::new(col, row, w, h);
+/// Region cells() yields exactly area() distinct in-bounds cells.
+#[test]
+fn region_cells_enumerate_area() {
+    for seed in 0..SEEDS {
+        let mut rng = SimRng::new(seed);
+        let r = Rect::new(
+            rng.below(20) as u32,
+            rng.below(20) as u32,
+            1 + rng.below(9) as u32,
+            1 + rng.below(9) as u32,
+        );
         let cells: Vec<(u32, u32)> = r.cells().collect();
-        prop_assert_eq!(cells.len() as u32, r.area());
+        assert_eq!(cells.len() as u32, r.area(), "seed {seed}");
         let set: std::collections::HashSet<_> = cells.iter().collect();
-        prop_assert_eq!(set.len() as u32, r.area());
+        assert_eq!(set.len() as u32, r.area(), "seed {seed}");
         for &(c, rr) in &cells {
-            prop_assert!(r.contains(c, rr));
+            assert!(r.contains(c, rr), "seed {seed}");
         }
     }
 }

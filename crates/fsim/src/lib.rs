@@ -9,20 +9,23 @@
 //! * [`rng`] — a small deterministic PRNG plus the distributions the
 //!   workload generators need (uniform, exponential, Zipf, bounded Pareto),
 //! * [`stats`] — streaming summary statistics and fixed-bin histograms,
-//! * [`trace`] — a lightweight event trace for debugging and assertions.
+//! * [`trace`] — typed, optionally ring-buffered event tracing,
+//! * [`obs`] — a metrics registry and time-weighted utilization timelines.
 //!
 //! Everything in this crate is deterministic: the same seed and the same
 //! sequence of calls produce bit-identical results on every platform, which
 //! is what makes the experiment tables in `EXPERIMENTS.md` reproducible.
 
 pub mod event;
+pub mod obs;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use event::{EventQueue, ScheduledEvent};
+pub use obs::{Metrics, Timeline, TimelineSet};
 pub use rng::SimRng;
 pub use stats::{Histogram, Summary};
 pub use time::{SimDuration, SimTime};
-pub use trace::{Trace, TraceEntry};
+pub use trace::{TaskState, Trace, TraceEntry, TraceEvent};

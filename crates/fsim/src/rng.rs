@@ -53,10 +53,7 @@ impl SimRng {
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -155,7 +152,10 @@ impl Zipf {
     /// larger `s` concentrates mass on low ranks).
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf over zero items");
-        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "Zipf exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 1..=n {

@@ -53,9 +53,7 @@ impl Summary {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -185,7 +183,11 @@ impl Histogram {
         for (i, &c) in self.bins.iter().enumerate() {
             let next = acc + c as f64;
             if next >= target && c > 0 {
-                let frac = if c == 0 { 0.0 } else { (target - acc) / c as f64 };
+                let frac = if c == 0 {
+                    0.0
+                } else {
+                    (target - acc) / c as f64
+                };
                 return self.lo + (i as f64 + frac.clamp(0.0, 1.0)) * w;
             }
             acc = next;

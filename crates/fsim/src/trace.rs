@@ -1,54 +1,342 @@
-//! Lightweight event tracing.
+//! Structured event tracing.
 //!
-//! The OS simulator emits a [`TraceEntry`] for every externally observable
-//! action (task state change, configuration download, preemption, …).
+//! The OS simulator emits a typed [`TraceEvent`] for every externally
+//! observable action: task state changes, configuration downloads,
+//! preemptions, garbage-collection runs, page faults, overlay swaps,
+//! I/O-mux grants, and scheduler dispatches. Each event carries its
+//! payload as typed fields, so tools (`trace_dump`, the JSON exporter)
+//! can aggregate without parsing strings; the rendered message is derived
+//! from the fields on demand.
+//!
 //! Integration tests assert on the trace; experiments usually run with the
-//! trace disabled for speed.
+//! trace disabled for speed. A [`Trace`] can also be capacity-bounded, in
+//! which case it behaves as a ring buffer keeping the most recent events.
 
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
 use std::fmt;
 
-/// One trace record: a timestamped, categorized message.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The lifecycle states a simulated task moves through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskState {
+    /// Task entered the system.
+    Arrive,
+    /// Task became runnable (circuit resident, waiting for dispatch).
+    Ready,
+    /// Task's circuit is active on the device.
+    Run,
+    /// Task blocked waiting for device resources.
+    Block,
+    /// Task finished all its operations.
+    Done,
+}
+
+impl TaskState {
+    /// Short tag for filtering, e.g. `"arrive"` or `"done"`.
+    pub fn tag(self) -> &'static str {
+        match self {
+            TaskState::Arrive => "arrive",
+            TaskState::Ready => "ready",
+            TaskState::Run => "run",
+            TaskState::Block => "block",
+            TaskState::Done => "done",
+        }
+    }
+
+    /// Counter name a metrics registry uses for this transition.
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            TaskState::Arrive => "tasks_arrived",
+            TaskState::Ready => "tasks_ready",
+            TaskState::Run => "task_runs",
+            TaskState::Block => "task_blocks",
+            TaskState::Done => "tasks_completed",
+        }
+    }
+}
+
+/// One typed, structured trace event.
+///
+/// Task identifiers are plain `u32`s here (the kernel does not know the OS
+/// layer's newtypes); the emitting layer documents the mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A task changed lifecycle state.
+    TaskState {
+        /// Task identifier.
+        task: u32,
+        /// The state entered.
+        state: TaskState,
+        /// Free-form context, e.g. the task name or blocking reason.
+        info: String,
+    },
+    /// The scheduler granted the device to a task.
+    SchedulerDispatch {
+        /// Task identifier.
+        task: u32,
+        /// Scheduler policy name.
+        scheduler: &'static str,
+        /// Ready-queue depth *after* removing the dispatched task.
+        queue_depth: usize,
+    },
+    /// A (partial or full) configuration download to the device.
+    ConfigDownload {
+        /// Task the download served.
+        task: u32,
+        /// Frames written.
+        frames: u32,
+        /// Bytes shipped over the configuration port.
+        bytes: u64,
+        /// Simulated port time.
+        duration: SimDuration,
+        /// Whole-chip download (true) vs partial reconfiguration (false).
+        full: bool,
+    },
+    /// A running task was preempted.
+    Preemption {
+        /// Task identifier.
+        task: u32,
+        /// Preemption policy name (`"wait"`, `"rollback"`, `"save-restore"`).
+        policy: &'static str,
+        /// State save/readback cost paid (zero for rollback/wait).
+        saved: SimDuration,
+        /// Computation discarded by rollback (zero otherwise).
+        rolled_back: SimDuration,
+    },
+    /// A free-space garbage-collection (compaction) run.
+    GcRun {
+        /// Free fragments merged away.
+        merged: u32,
+        /// Resident circuits moved.
+        relocations: u32,
+        /// Relocation attempts that failed.
+        failures: u32,
+        /// Simulated cost of the run.
+        duration: SimDuration,
+    },
+    /// A virtual-memory page fault (and the eviction it forced, if any).
+    PageFault {
+        /// The page (circuit segment) faulted in.
+        page: u32,
+        /// Replacement policy name (`"lru"`, `"fifo"`, …).
+        policy: &'static str,
+        /// The page evicted to make room, if the device was full.
+        victim: Option<u32>,
+        /// Configuration time charged for the fault.
+        duration: SimDuration,
+    },
+    /// An overlay (time-multiplexed context) swap.
+    OverlaySwap {
+        /// Task identifier.
+        task: u32,
+        /// Context switched out.
+        from_overlay: u32,
+        /// Context switched in.
+        to_overlay: u32,
+        /// Swap cost.
+        duration: SimDuration,
+    },
+    /// The I/O multiplexer granted pins to a task.
+    IoMuxGrant {
+        /// Task identifier.
+        task: u32,
+        /// Slot index granted.
+        slot: u32,
+        /// Pins in the slot.
+        pins: u32,
+    },
+    /// Escape hatch for one-off annotations.
+    Custom {
+        /// Category tag.
+        tag: &'static str,
+        /// Free-form details.
+        message: String,
+    },
+}
+
+impl TraceEvent {
+    /// The event's category tag, used by [`Trace::with_tag`] and
+    /// `trace_dump` filtering. Task-state events use the state name
+    /// (`"arrive"`, `"block"`, `"done"`, …) so lifecycle assertions can
+    /// filter directly on the transition.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceEvent::TaskState { state, .. } => state.tag(),
+            TraceEvent::SchedulerDispatch { .. } => "dispatch",
+            TraceEvent::ConfigDownload { .. } => "config",
+            TraceEvent::Preemption { .. } => "preempt",
+            TraceEvent::GcRun { .. } => "gc",
+            TraceEvent::PageFault { .. } => "fault",
+            TraceEvent::OverlaySwap { .. } => "overlay",
+            TraceEvent::IoMuxGrant { .. } => "iomux",
+            TraceEvent::Custom { tag, .. } => tag,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::TaskState { task, state, info } => {
+                write!(f, "task {task} -> {}", state.tag())?;
+                if !info.is_empty() {
+                    write!(f, " ({info})")?;
+                }
+                Ok(())
+            }
+            TraceEvent::SchedulerDispatch {
+                task,
+                scheduler,
+                queue_depth,
+            } => {
+                write!(
+                    f,
+                    "dispatch task {task} via {scheduler}, {queue_depth} still queued"
+                )
+            }
+            TraceEvent::ConfigDownload {
+                task,
+                frames,
+                bytes,
+                duration,
+                full,
+            } => write!(
+                f,
+                "{} download for task {task}: {frames} frames, {bytes} B, {:.3} ms",
+                if *full { "full" } else { "partial" },
+                duration.as_millis_f64()
+            ),
+            TraceEvent::Preemption {
+                task,
+                policy,
+                saved,
+                rolled_back,
+            } => write!(
+                f,
+                "preempt task {task} [{policy}]: saved {:.3} ms, rolled back {:.3} ms",
+                saved.as_millis_f64(),
+                rolled_back.as_millis_f64()
+            ),
+            TraceEvent::GcRun {
+                merged,
+                relocations,
+                failures,
+                duration,
+            } => write!(
+                f,
+                "gc: merged {merged} fragments, {relocations} relocations \
+                 ({failures} failed), {:.3} ms",
+                duration.as_millis_f64()
+            ),
+            TraceEvent::PageFault {
+                page,
+                policy,
+                victim,
+                duration,
+            } => {
+                write!(f, "fault page {page} [{policy}]")?;
+                if let Some(v) = victim {
+                    write!(f, ", evict page {v}")?;
+                }
+                write!(f, ", {:.3} ms", duration.as_millis_f64())
+            }
+            TraceEvent::OverlaySwap {
+                task,
+                from_overlay,
+                to_overlay,
+                duration,
+            } => write!(
+                f,
+                "overlay swap task {task}: {from_overlay} -> {to_overlay}, {:.3} ms",
+                duration.as_millis_f64()
+            ),
+            TraceEvent::IoMuxGrant { task, slot, pins } => {
+                write!(f, "iomux grant slot {slot} ({pins} pins) to task {task}")
+            }
+            TraceEvent::Custom { message, .. } => f.write_str(message),
+        }
+    }
+}
+
+/// One trace record: a timestamped typed event.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEntry {
     /// When the action happened.
     pub at: SimTime,
-    /// Category tag, e.g. `"sched"`, `"config"`, `"gc"`.
-    pub tag: &'static str,
-    /// Human-readable details.
-    pub message: String,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+impl TraceEntry {
+    /// The event's category tag.
+    pub fn tag(&self) -> &'static str {
+        self.event.tag()
+    }
+
+    /// Rendered human-readable details (derived from the typed fields).
+    pub fn message(&self) -> String {
+        self.event.to_string()
+    }
 }
 
 impl fmt::Display for TraceEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>14}] {:<8} {}", self.at.to_string(), self.tag, self.message)
+        write!(
+            f,
+            "[{:>14}] {:<8} {}",
+            self.at.to_string(),
+            self.tag(),
+            self.event
+        )
     }
 }
 
-/// An append-only trace buffer that can be globally enabled or disabled.
+/// An event buffer that can be globally enabled or disabled, and
+/// optionally capacity-bounded.
 ///
-/// When disabled (the default for benchmark runs), [`Trace::emit`] is a
-/// no-op so tracing costs one branch.
+/// When disabled (the default for benchmark runs), [`Trace::record`] and
+/// [`Trace::emit`] are no-ops, so tracing costs one branch.
+///
+/// With a capacity set ([`Trace::enabled_with_capacity`]) the buffer is a
+/// ring: once full, recording a new event silently discards the *oldest*
+/// retained event and increments [`Trace::dropped`]. Consequently:
+///
+/// * [`Trace::len`] is the number of events currently *retained*
+///   (at most the capacity), **not** the number ever recorded — use
+///   [`Trace::total_recorded`] for that;
+/// * [`Trace::entries`] yields only the retained suffix of the stream, in
+///   emission order.
 #[derive(Debug, Default)]
 pub struct Trace {
     enabled: bool,
-    entries: Vec<TraceEntry>,
+    capacity: Option<usize>,
+    entries: VecDeque<TraceEntry>,
+    dropped: u64,
 }
 
 impl Trace {
     /// A disabled trace (records nothing).
     pub fn disabled() -> Self {
-        Trace {
-            enabled: false,
-            entries: Vec::new(),
-        }
+        Trace::default()
     }
 
-    /// An enabled trace.
+    /// An enabled, unbounded trace.
     pub fn enabled() -> Self {
         Trace {
             enabled: true,
-            entries: Vec::new(),
+            ..Trace::default()
+        }
+    }
+
+    /// An enabled trace retaining at most `capacity` events (ring buffer,
+    /// oldest dropped first). `capacity` must be nonzero.
+    pub fn enabled_with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be nonzero");
+        Trace {
+            enabled: true,
+            capacity: Some(capacity),
+            entries: VecDeque::with_capacity(capacity),
+            dropped: 0,
         }
     }
 
@@ -57,41 +345,76 @@ impl Trace {
         self.enabled
     }
 
-    /// Record an entry if enabled. The message closure is only evaluated
-    /// when the trace is on.
+    /// The retention bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Record a typed event if enabled.
+    pub fn record(&mut self, at: SimTime, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(cap) = self.capacity {
+            if self.entries.len() == cap {
+                self.entries.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.entries.push_back(TraceEntry { at, event });
+    }
+
+    /// Record a [`TraceEvent::Custom`] entry if enabled. The message
+    /// closure is only evaluated when the trace is on.
     pub fn emit(&mut self, at: SimTime, tag: &'static str, message: impl FnOnce() -> String) {
         if self.enabled {
-            self.entries.push(TraceEntry {
+            self.record(
                 at,
-                tag,
-                message: message(),
-            });
+                TraceEvent::Custom {
+                    tag,
+                    message: message(),
+                },
+            );
         }
     }
 
-    /// All recorded entries in emission order.
-    pub fn entries(&self) -> &[TraceEntry] {
-        &self.entries
+    /// Retained entries in emission order. With a capacity set this is the
+    /// most recent suffix of the event stream; earlier events have been
+    /// dropped (see [`Trace::dropped`]).
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> + '_ {
+        self.entries.iter()
     }
 
-    /// Entries with the given tag.
+    /// Retained entries with the given tag, in emission order.
     pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceEntry> + 'a {
-        self.entries.iter().filter(move |e| e.tag == tag)
+        self.entries.iter().filter(move |e| e.tag() == tag)
     }
 
-    /// Number of recorded entries.
+    /// Number of *retained* entries (bounded by the capacity, if set).
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// Whether no entries are recorded.
+    /// Whether no entries are retained.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
-    /// Drop all recorded entries.
+    /// Events discarded by the ring buffer since the last [`Trace::clear`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever recorded (retained + dropped) since the last
+    /// [`Trace::clear`].
+    pub fn total_recorded(&self) -> u64 {
+        self.entries.len() as u64 + self.dropped
+    }
+
+    /// Drop all retained entries and reset the dropped counter.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.dropped = 0;
     }
 }
 
@@ -108,46 +431,115 @@ mod tests {
             "boom".into()
         });
         assert!(!evaluated, "message closure must not run when disabled");
+        t.record(
+            SimTime(2),
+            TraceEvent::TaskState {
+                task: 0,
+                state: TaskState::Arrive,
+                info: String::new(),
+            },
+        );
         assert!(t.is_empty());
+        assert_eq!(t.total_recorded(), 0);
     }
 
     #[test]
     fn enabled_trace_records_in_order() {
         let mut t = Trace::enabled();
         t.emit(SimTime(1), "a", || "first".into());
-        t.emit(SimTime(2), "b", || "second".into());
+        t.record(
+            SimTime(2),
+            TraceEvent::TaskState {
+                task: 7,
+                state: TaskState::Done,
+                info: "t7".into(),
+            },
+        );
         assert_eq!(t.len(), 2);
-        assert_eq!(t.entries()[0].message, "first");
-        assert_eq!(t.entries()[1].at, SimTime(2));
+        let entries: Vec<_> = t.entries().collect();
+        assert_eq!(entries[0].message(), "first");
+        assert_eq!(entries[1].at, SimTime(2));
+        assert_eq!(entries[1].tag(), "done");
     }
 
     #[test]
-    fn tag_filter() {
+    fn tag_filter_spans_typed_and_custom() {
         let mut t = Trace::enabled();
         t.emit(SimTime(1), "sched", || "s1".into());
-        t.emit(SimTime(2), "config", || "c1".into());
+        t.record(
+            SimTime(2),
+            TraceEvent::ConfigDownload {
+                task: 1,
+                frames: 4,
+                bytes: 512,
+                duration: SimDuration::from_micros(30),
+                full: false,
+            },
+        );
         t.emit(SimTime(3), "sched", || "s2".into());
-        let scheds: Vec<_> = t.with_tag("sched").map(|e| e.message.as_str()).collect();
+        let scheds: Vec<_> = t.with_tag("sched").map(|e| e.message()).collect();
         assert_eq!(scheds, vec!["s1", "s2"]);
+        assert_eq!(t.with_tag("config").count(), 1);
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let mut t = Trace::enabled_with_capacity(3);
+        for i in 0..5u64 {
+            t.emit(SimTime(i), "x", || format!("m{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.total_recorded(), 5);
+        let kept: Vec<_> = t.entries().map(|e| e.at.0).collect();
+        assert_eq!(kept, vec![2, 3, 4], "oldest entries must go first");
+        t.clear();
+        assert_eq!(t.dropped(), 0);
+        assert!(t.is_empty());
     }
 
     #[test]
     fn display_contains_fields() {
         let e = TraceEntry {
             at: SimTime(1_500_000),
-            tag: "gc",
-            message: "merged 2 partitions".into(),
+            event: TraceEvent::GcRun {
+                merged: 2,
+                relocations: 1,
+                failures: 0,
+                duration: SimDuration::from_micros(250),
+            },
         };
         let s = e.to_string();
         assert!(s.contains("gc"));
-        assert!(s.contains("merged 2 partitions"));
+        assert!(s.contains("merged 2 fragments"));
+
+        let f = TraceEvent::PageFault {
+            page: 3,
+            policy: "lru",
+            victim: Some(1),
+            duration: SimDuration::from_micros(10),
+        };
+        let fs = f.to_string();
+        assert!(fs.contains("fault page 3"));
+        assert!(fs.contains("evict page 1"));
+        assert_eq!(f.tag(), "fault");
     }
 
     #[test]
-    fn clear_empties() {
-        let mut t = Trace::enabled();
-        t.emit(SimTime(1), "a", || "x".into());
-        t.clear();
-        assert!(t.is_empty());
+    fn task_state_tags_match_lifecycle_names() {
+        for (state, tag) in [
+            (TaskState::Arrive, "arrive"),
+            (TaskState::Ready, "ready"),
+            (TaskState::Run, "run"),
+            (TaskState::Block, "block"),
+            (TaskState::Done, "done"),
+        ] {
+            let ev = TraceEvent::TaskState {
+                task: 0,
+                state,
+                info: String::new(),
+            };
+            assert_eq!(ev.tag(), tag);
+        }
     }
 }

@@ -170,7 +170,16 @@ mod tests {
         assert_eq!(Gate::Dff { d: a, init: false }.comb_fanin().len(), 0);
         assert_eq!(Gate::Not(a).comb_fanin().len(), 1);
         assert_eq!(Gate::And(a, b).comb_fanin().len(), 2);
-        assert_eq!(Gate::Mux { sel: a, lo: b, hi: c }.comb_fanin().len(), 3);
+        assert_eq!(
+            Gate::Mux {
+                sel: a,
+                lo: b,
+                hi: c
+            }
+            .comb_fanin()
+            .len(),
+            3
+        );
     }
 
     #[test]
@@ -183,7 +192,14 @@ mod tests {
     #[test]
     fn kind_strings() {
         assert_eq!(Gate::Xor(NodeId(0), NodeId(1)).kind(), "xor");
-        assert_eq!(Gate::Dff { d: NodeId(0), init: true }.kind(), "dff");
+        assert_eq!(
+            Gate::Dff {
+                d: NodeId(0),
+                init: true
+            }
+            .kind(),
+            "dff"
+        );
     }
 
     #[test]

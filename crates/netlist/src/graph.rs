@@ -57,10 +57,15 @@ impl std::fmt::Display for NetlistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NetlistError::ForwardReference { node, refers } => {
-                write!(f, "node {node} references {refers} which is not strictly earlier")
+                write!(
+                    f,
+                    "node {node} references {refers} which is not strictly earlier"
+                )
             }
             NetlistError::BadInputNumbering => write!(f, "primary input bits are not dense 0..n"),
-            NetlistError::DanglingOutput(name) => write!(f, "output '{name}' references missing node"),
+            NetlistError::DanglingOutput(name) => {
+                write!(f, "output '{name}' references missing node")
+            }
             NetlistError::NoOutputs => write!(f, "netlist has no primary outputs"),
         }
     }
@@ -273,7 +278,11 @@ impl Builder {
 
     /// Constant node.
     pub fn constant(&mut self, v: bool) -> NodeId {
-        let slot = if v { &mut self.const_true } else { &mut self.const_false };
+        let slot = if v {
+            &mut self.const_true
+        } else {
+            &mut self.const_false
+        };
         if let Some(id) = *slot {
             return id;
         }

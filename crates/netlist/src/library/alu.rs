@@ -60,7 +60,11 @@ pub fn alu(name: &str, width: usize) -> Netlist {
 
 /// Golden model for [`alu`]: `(y, zero)`.
 pub fn golden_alu(op: AluOp, a: u64, b: u64, width: usize) -> (u64, bool) {
-    let mask = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+    let mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    };
     let a = a & mask;
     let b = b & mask;
     let y = match op {
@@ -93,7 +97,14 @@ mod tests {
     fn all_ops_match_golden() {
         let w = 4;
         let n = alu("alu4", w);
-        let ops = [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Slt];
+        let ops = [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Slt,
+        ];
         for &op in &ops {
             for a in 0..16u64 {
                 for b in (0..16u64).step_by(3) {

@@ -20,7 +20,11 @@ pub fn ripple_adder(name: &str, width: usize) -> Netlist {
 
 /// Golden model for [`ripple_adder`]: returns `(sum mod 2^w, carry)`.
 pub fn golden_add(a: u64, b: u64, width: usize) -> (u64, bool) {
-    let mask = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+    let mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    };
     let full = (a & mask) + (b & mask);
     (full & mask, full > mask)
 }
@@ -41,7 +45,11 @@ pub fn subtractor(name: &str, width: usize) -> Netlist {
 
 /// Golden model for [`subtractor`].
 pub fn golden_sub(a: u64, b: u64, width: usize) -> (u64, bool) {
-    let mask = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+    let mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    };
     ((a.wrapping_sub(b)) & mask, (a & mask) >= (b & mask))
 }
 
@@ -86,7 +94,11 @@ pub fn array_multiplier(name: &str, width: usize) -> Netlist {
 
 /// Golden model for [`array_multiplier`].
 pub fn golden_mul(a: u64, b: u64, width: usize) -> u64 {
-    let mask = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+    let mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    };
     (a & mask).wrapping_mul(b & mask)
 }
 

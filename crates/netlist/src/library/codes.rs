@@ -42,7 +42,11 @@ pub fn crc_comb(name: &str, poly: u64, crc_width: usize, data_width: usize) -> N
 /// Golden model for [`crc_comb`] (and the serial CRC in `seq`): processes
 /// `data` LSB-first through the shift register.
 pub fn golden_crc(poly: u64, crc_width: usize, data: u64, data_width: usize) -> u64 {
-    let mask = if crc_width >= 64 { u64::MAX } else { (1 << crc_width) - 1 };
+    let mask = if crc_width >= 64 {
+        u64::MAX
+    } else {
+        (1 << crc_width) - 1
+    };
     let mut reg = 0u64;
     for i in 0..data_width {
         let d = (data >> i) & 1;

@@ -55,7 +55,11 @@ pub fn fir(name: &str, width: usize, coeffs: &[u64]) -> Netlist {
 /// Golden model for [`fir`]: one output sample given the current input and
 /// the delay-line history (`history[0]` = newest past input).
 pub fn golden_fir_sample(x: u64, history: &[u64], coeffs: &[u64], width: usize) -> u64 {
-    let mask = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+    let mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    };
     let sum: u64 = coeffs.iter().sum();
     let headroom = 64 - sum.leading_zeros() as usize;
     let out_mask = if width + headroom >= 64 {

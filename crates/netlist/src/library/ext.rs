@@ -41,7 +41,7 @@ pub fn restoring_divider(name: &str, width: usize) -> Netlist {
         q[width - 1 - step] = no_borrow;
     }
     b.output_bus("q", &q);
-    b.output_bus("r", &rem[width..2 * width].to_vec());
+    b.output_bus("r", &rem[width..2 * width]);
     b.finish()
 }
 
@@ -110,7 +110,10 @@ pub fn golden_booth(a: u64, b: u64, width: usize) -> u64 {
 ///
 /// Inputs: `x0[width]`, `x1[width]`, …; outputs: `y0[width]` ≤ `y1[width]` ≤ ….
 pub fn bitonic_sorter(name: &str, n: usize, width: usize) -> Netlist {
-    assert!(n.is_power_of_two() && n >= 2, "n must be a power of two >= 2");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "n must be a power of two >= 2"
+    );
     let mut b = Builder::new(name);
     let mut lanes: Vec<Vec<NodeId>> = (0..n).map(|_| b.inputs(width)).collect();
 
@@ -345,7 +348,9 @@ mod tests {
             let mut words = Vec::new();
             let mut x = 0x1234_5678_9ABC_DEF0u64;
             for _ in 0..net.num_inputs() {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 words.push(x);
             }
             let mut gsim = crate::Simulator::new(&net);

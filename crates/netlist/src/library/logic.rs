@@ -138,7 +138,11 @@ pub fn barrel_shifter(name: &str, width: usize) -> Netlist {
 
 /// Golden model for [`barrel_shifter`].
 pub fn golden_shl(a: u64, sh: u64, width: usize) -> u64 {
-    let mask = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+    let mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    };
     ((a & mask) << sh) & mask
 }
 
@@ -260,7 +264,11 @@ mod tests {
     fn majority_exhaustive() {
         let n = majority("m5", 5);
         for v in 0..32u64 {
-            assert_eq!(eval_comb(&n, &bits(v, 5))[0], golden_majority(v, 5), "v={v:#b}");
+            assert_eq!(
+                eval_comb(&n, &bits(v, 5))[0],
+                golden_majority(v, 5),
+                "v={v:#b}"
+            );
         }
     }
 }

@@ -27,7 +27,11 @@ pub fn counter(name: &str, width: usize) -> Netlist {
 
 /// Golden model for [`counter`]: state update.
 pub fn golden_counter_step(q: u64, en: bool, width: usize) -> u64 {
-    let mask = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+    let mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    };
     if en {
         (q + 1) & mask
     } else {
@@ -44,7 +48,10 @@ pub fn lfsr(name: &str, width: usize, taps: u64) -> Netlist {
     assert!(taps & 1 != 0 || taps != 0, "need at least one tap");
     let mut b = Builder::new(name);
     let q: Vec<NodeId> = (0..width).map(|i| b.dff_placeholder(i == 0)).collect();
-    let tapped: Vec<NodeId> = (0..width).filter(|i| (taps >> i) & 1 == 1).map(|i| q[i]).collect();
+    let tapped: Vec<NodeId> = (0..width)
+        .filter(|i| (taps >> i) & 1 == 1)
+        .map(|i| q[i])
+        .collect();
     let fb = b.xor_tree(&tapped);
     // Shift left: q[i+1] <= q[i]; q[0] <= feedback.
     b.connect_dff(q[0], fb);
@@ -97,7 +104,11 @@ pub fn accumulator(name: &str, width: usize) -> Netlist {
 
 /// Golden model for [`accumulator`]: state update.
 pub fn golden_accumulate_step(acc: u64, x: u64, width: usize) -> u64 {
-    let mask = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+    let mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    };
     (acc + (x & mask)) & mask
 }
 
@@ -241,7 +252,12 @@ mod tests {
             // q[i] should equal the input from i cycles ago.
             for i in 0..4.min(hist.len()) {
                 let expect = hist[hist.len() - 1 - i];
-                assert_eq!(sim.output(i) & 1 == 1, expect, "tap {i} after {} bits", hist.len());
+                assert_eq!(
+                    sim.output(i) & 1 == 1,
+                    expect,
+                    "tap {i} after {} bits",
+                    hist.len()
+                );
             }
         }
     }
@@ -252,7 +268,9 @@ mod tests {
         let mut sim = Simulator::new(&n);
         let mut acc = 0u64;
         for x in [3u64, 250, 7, 99, 1] {
-            let words: Vec<u64> = (0..8).map(|i| if (x >> i) & 1 == 1 { 1 } else { 0 }).collect();
+            let words: Vec<u64> = (0..8)
+                .map(|i| if (x >> i) & 1 == 1 { 1 } else { 0 })
+                .collect();
             sim.eval(&words);
             assert_eq!(out_u64(&sim, 8) & 1, acc & 1); // lane 0 check
             sim.clock();
@@ -272,7 +290,10 @@ mod tests {
         }
         sim.eval(&[0]);
         let got = out_u64(&sim, 8);
-        assert_eq!(got, super::super::codes::golden_crc(super::super::codes::CRC8, 8, msg, 8));
+        assert_eq!(
+            got,
+            super::super::codes::golden_crc(super::super::codes::CRC8, 8, msg, 8)
+        );
     }
 
     #[test]
@@ -364,7 +385,13 @@ pub fn bcd_counter(name: &str) -> Netlist {
 /// Golden model for [`bcd_counter`]: `(next_q, tc_now)`.
 pub fn golden_bcd_step(q: u64, en: bool) -> (u64, bool) {
     let tc = q == 9;
-    let next = if !en { q } else if tc { 0 } else { q + 1 };
+    let next = if !en {
+        q
+    } else if tc {
+        0
+    } else {
+        q + 1
+    };
     (next, tc)
 }
 
@@ -414,7 +441,13 @@ pub fn golden_traffic_step(state: u8, hold: bool) -> (u8, (bool, bool, bool)) {
         2 => (false, true, false),
         _ => (false, false, true),
     };
-    let next = if hold { state } else if state >= 4 { 0 } else { state + 1 };
+    let next = if hold {
+        state
+    } else if state >= 4 {
+        0
+    } else {
+        state + 1
+    };
     (next, lights)
 }
 
@@ -488,7 +521,11 @@ mod ext_seq_tests {
 
     #[test]
     fn new_sequential_circuits_map_and_match() {
-        for net in [johnson_counter("j", 5), bcd_counter("b"), traffic_light("t")] {
+        for net in [
+            johnson_counter("j", 5),
+            bcd_counter("b"),
+            traffic_light("t"),
+        ] {
             let mapped = crate::map_to_luts(&net, crate::MapOptions::default());
             assert_eq!(mapped.validate(), Ok(()));
             let mut gsim = Simulator::new(&net);
@@ -498,7 +535,12 @@ mod ext_seq_tests {
                 let inputs: Vec<u64> = (0..w).map(|i| step.wrapping_mul(0x9E3779B9) >> i).collect();
                 gsim.eval(&inputs);
                 lsim.eval(&inputs);
-                assert_eq!(gsim.outputs(), lsim.outputs(&inputs), "{} step {step}", net.name());
+                assert_eq!(
+                    gsim.outputs(),
+                    lsim.outputs(&inputs),
+                    "{} step {step}",
+                    net.name()
+                );
                 gsim.clock();
                 lsim.clock(&inputs);
             }

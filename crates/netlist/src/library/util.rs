@@ -11,7 +11,9 @@ use crate::graph::Builder;
 
 /// A constant bus holding `value`, LSB-first, `width` bits.
 pub fn const_bus(b: &mut Builder, value: u64, width: usize) -> Vec<NodeId> {
-    (0..width).map(|i| b.constant((value >> i) & 1 == 1)).collect()
+    (0..width)
+        .map(|i| b.constant((value >> i) & 1 == 1))
+        .collect()
 }
 
 /// Bitwise NOT of a bus.
@@ -34,10 +36,7 @@ pub fn xor_bus(b: &mut Builder, xs: &[NodeId], ys: &[NodeId]) -> Vec<NodeId> {
 /// Bus-wide 2:1 mux: `sel ? hi : lo`, element-wise.
 pub fn mux_bus(b: &mut Builder, sel: NodeId, lo: &[NodeId], hi: &[NodeId]) -> Vec<NodeId> {
     assert_eq!(lo.len(), hi.len());
-    lo.iter()
-        .zip(hi)
-        .map(|(&l, &h)| b.mux(sel, l, h))
-        .collect()
+    lo.iter().zip(hi).map(|(&l, &h)| b.mux(sel, l, h)).collect()
 }
 
 /// Full adder: returns `(sum, carry_out)`.

@@ -104,7 +104,11 @@ impl LutNetwork {
     pub fn validate(&self) -> Result<(), String> {
         for (i, lut) in self.luts.iter().enumerate() {
             if lut.inputs.len() > self.k {
-                return Err(format!("LUT {i} has {} inputs > K={}", lut.inputs.len(), self.k));
+                return Err(format!(
+                    "LUT {i} has {} inputs > K={}",
+                    lut.inputs.len(),
+                    self.k
+                ));
             }
             let mask = crate::truth::table_mask(lut.inputs.len());
             if lut.table & !mask != 0 {
@@ -311,7 +315,10 @@ mod tests {
                 inputs: vec![LutIn::Input(0)],
                 table: 0b01, // NOT
             }],
-            ffs: vec![FlipFlop { d: LutIn::Lut(0), init: false }],
+            ffs: vec![FlipFlop {
+                d: LutIn::Lut(0),
+                init: false,
+            }],
             outputs: vec![("q".into(), LutIn::Ff(0))],
         };
         n.validate().unwrap();
@@ -329,7 +336,10 @@ mod tests {
             k: 4,
             num_inputs: 1,
             luts: vec![],
-            ffs: vec![FlipFlop { d: LutIn::Input(0), init: false }],
+            ffs: vec![FlipFlop {
+                d: LutIn::Input(0),
+                init: false,
+            }],
             outputs: vec![("q".into(), LutIn::Ff(0))],
         };
         assert_eq!(n.block_count(), 1);
@@ -342,7 +352,10 @@ mod tests {
             name: "bad".into(),
             k: 4,
             num_inputs: 0,
-            luts: vec![Lut { inputs: vec![LutIn::Lut(0)], table: 0b01 }],
+            luts: vec![Lut {
+                inputs: vec![LutIn::Lut(0)],
+                table: 0b01,
+            }],
             ffs: vec![],
             outputs: vec![("o".into(), LutIn::Lut(0))],
         };
@@ -372,7 +385,10 @@ mod tests {
             k: 4,
             num_inputs: 1,
             luts: vec![],
-            ffs: vec![FlipFlop { d: LutIn::Input(0), init: false }],
+            ffs: vec![FlipFlop {
+                d: LutIn::Input(0),
+                init: false,
+            }],
             outputs: vec![("q".into(), LutIn::Ff(0))],
         };
         let mut sim = LutSimulator::new(&n);

@@ -75,10 +75,16 @@ pub fn map_to_luts(net: &Netlist, opts: MapOptions) -> LutNetwork {
         let node_cuts = match g {
             // Constants fold into cones: expose an *empty* cut so they
             // never consume a LUT input.
-            Gate::Const(_) => vec![Cut { leaves: vec![], depth: 0 }],
+            Gate::Const(_) => vec![Cut {
+                leaves: vec![],
+                depth: 0,
+            }],
             // Pure leaves: only the trivial cut.
             Gate::Input { .. } | Gate::Dff { .. } => {
-                vec![Cut { leaves: vec![id], depth: 0 }]
+                vec![Cut {
+                    leaves: vec![id],
+                    depth: 0,
+                }]
             }
             _ => {
                 let fanin: Vec<NodeId> = g.comb_fanin().iter().collect();
@@ -107,10 +113,9 @@ pub fn map_to_luts(net: &Netlist, opts: MapOptions) -> LutNetwork {
                         for ca in &cuts[fanin[0].index()] {
                             for cb in &cuts[fanin[1].index()] {
                                 for cc in &cuts[fanin[2].index()] {
-                                    if let Some(leaves) = merge_leaves(
-                                        opts.k,
-                                        &[&ca.leaves, &cb.leaves, &cc.leaves],
-                                    ) {
+                                    if let Some(leaves) =
+                                        merge_leaves(opts.k, &[&ca.leaves, &cb.leaves, &cc.leaves])
+                                    {
                                         cands.push(Cut { leaves, depth: 0 });
                                     }
                                 }
@@ -121,7 +126,12 @@ pub fn map_to_luts(net: &Netlist, opts: MapOptions) -> LutNetwork {
                 }
                 // Depth of each candidate = 1 + max leaf arrival.
                 for c in &mut cands {
-                    let worst = c.leaves.iter().map(|l| arrival[l.index()]).max().unwrap_or(0);
+                    let worst = c
+                        .leaves
+                        .iter()
+                        .map(|l| arrival[l.index()])
+                        .max()
+                        .unwrap_or(0);
                     c.depth = worst + 1;
                 }
                 // Sort by (depth, size), dedupe identical leaf sets, prune.
@@ -140,7 +150,10 @@ pub fn map_to_luts(net: &Netlist, opts: MapOptions) -> LutNetwork {
                 );
                 arrival[i] = cands[0].depth;
                 // Append the trivial cut so parents can stop here.
-                cands.push(Cut { leaves: vec![id], depth: arrival[i] });
+                cands.push(Cut {
+                    leaves: vec![id],
+                    depth: arrival[i],
+                });
                 cands
             }
         };
@@ -173,8 +186,7 @@ pub fn map_to_luts(net: &Netlist, opts: MapOptions) -> LutNetwork {
                         .find(|c| !(c.leaves.len() == 1 && c.leaves[0] == id))
                         .expect("gate node always has a non-trivial cut")
                         .clone();
-                    let ins: Vec<LutIn> =
-                        cut.leaves.iter().map(|&l| self.materialize(l)).collect();
+                    let ins: Vec<LutIn> = cut.leaves.iter().map(|&l| self.materialize(l)).collect();
                     let table = cone_truth_table(self.net, id, &cut.leaves)
                         .expect("enumerated cut must cover its cone");
                     let idx = self.luts.len() as u32;
@@ -212,7 +224,10 @@ pub fn map_to_luts(net: &Netlist, opts: MapOptions) -> LutNetwork {
     let ffs: Vec<FlipFlop> = dff_nodes
         .iter()
         .map(|&id| match net.gate(id) {
-            Gate::Dff { d, init } => FlipFlop { d: cover.materialize(d), init },
+            Gate::Dff { d, init } => FlipFlop {
+                d: cover.materialize(d),
+                init,
+            },
             _ => unreachable!(),
         })
         .collect();
@@ -288,7 +303,11 @@ mod tests {
         let net = b.finish();
         let mapped = map_to_luts(&net, MapOptions::default());
         assert_eq!(mapped.luts.len(), 1);
-        assert_eq!(mapped.luts[0].inputs.len(), 1, "constant must not use a LUT pin");
+        assert_eq!(
+            mapped.luts[0].inputs.len(),
+            1,
+            "constant must not use a LUT pin"
+        );
         assert_comb_equiv(&net, &mapped);
     }
 

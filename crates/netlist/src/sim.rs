@@ -159,7 +159,10 @@ impl<'a> Simulator<'a> {
 /// Evaluate a purely combinational netlist on single scalar inputs,
 /// returning scalar outputs. Convenience wrapper used heavily in tests.
 pub fn eval_comb(net: &Netlist, inputs: &[bool]) -> Vec<bool> {
-    let words: Vec<u64> = inputs.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+    let words: Vec<u64> = inputs
+        .iter()
+        .map(|&b| if b { u64::MAX } else { 0 })
+        .collect();
     let mut sim = Simulator::new(net);
     sim.eval(&words);
     sim.outputs().iter().map(|&w| w & 1 == 1).collect()

@@ -42,8 +42,16 @@ pub fn emit_bitstream(
     pins: &PinAssignment,
     full: bool,
 ) -> Bitstream {
-    assert_eq!(pins.inputs.len(), placed.circuit.num_inputs, "input pin count mismatch");
-    assert_eq!(pins.outputs.len(), placed.circuit.outputs.len(), "output pin count mismatch");
+    assert_eq!(
+        pins.inputs.len(),
+        placed.circuit.num_inputs,
+        "input pin count mismatch"
+    );
+    assert_eq!(
+        pins.outputs.len(),
+        placed.circuit.outputs.len(),
+        "output pin count mismatch"
+    );
 
     let abs = |rel: (u32, u32)| (rel.0 + origin.0, rel.1 + origin.1);
 
@@ -80,7 +88,11 @@ pub fn emit_bitstream(
             Some(f) if f.col == c && f.row0 + f.cells.len() as u32 == r => {
                 f.cells.push(Some(cell));
             }
-            _ => frames.push(FrameWrite { col: c, row0: r, cells: vec![Some(cell)] }),
+            _ => frames.push(FrameWrite {
+                col: c,
+                row0: r,
+                cells: vec![Some(cell)],
+            }),
         }
     }
 
@@ -192,7 +204,11 @@ mod tests {
                 for (i, &p) in pins.outputs.iter().enumerate() {
                     g |= (view.output(&dev, p) & 1) << i;
                 }
-                assert_eq!(g, netlist::library::codes::golden_gray_encode(v), "origin {origin:?} v={v}");
+                assert_eq!(
+                    g,
+                    netlist::library::codes::golden_gray_encode(v),
+                    "origin {origin:?} v={v}"
+                );
             }
         }
     }
@@ -205,12 +221,20 @@ mod tests {
         let n2 = netlist::library::codes::gray_encode("g3", 3);
         let p1 = compile(&n1, 1);
         let p2 = compile(&n2, 2);
-        let pins1 = PinAssignment { inputs: vec![0, 1, 2, 3], outputs: vec![4] };
-        let pins2 = PinAssignment { inputs: vec![10, 11, 12], outputs: vec![13, 14, 15] };
+        let pins1 = PinAssignment {
+            inputs: vec![0, 1, 2, 3],
+            outputs: vec![4],
+        };
+        let pins2 = PinAssignment {
+            inputs: vec![10, 11, 12],
+            outputs: vec![13, 14, 15],
+        };
 
         let mut dev = Device::new(fpga::device::part("VF400"), ConfigPort::SerialFast);
-        dev.apply(&emit_bitstream(&p1, (0, 0), &pins1, false)).unwrap();
-        dev.apply(&emit_bitstream(&p2, (10, 0), &pins2, false)).unwrap();
+        dev.apply(&emit_bitstream(&p1, (0, 0), &pins1, false))
+            .unwrap();
+        dev.apply(&emit_bitstream(&p2, (10, 0), &pins2, false))
+            .unwrap();
 
         let r1 = Rect::new(0, 0, p1.width, p1.height);
         let r2 = Rect::new(10, 0, p2.width, p2.height);
@@ -221,7 +245,9 @@ mod tests {
         v1.eval(&dev, &pv1);
         assert_eq!(v1.output(&dev, 4) & 1, 1, "parity of 0b1011");
 
-        let pv2: HashMap<u32, u64> = (0..3).map(|i| (10 + i as u32, ((0b101u64) >> i) & 1)).collect();
+        let pv2: HashMap<u32, u64> = (0..3)
+            .map(|i| (10 + i as u32, ((0b101u64) >> i) & 1))
+            .collect();
         v2.eval(&dev, &pv2);
         let mut g = 0u64;
         for (i, p) in [13u32, 14, 15].iter().enumerate() {

@@ -8,6 +8,7 @@
 
 use crate::pack::{pack, PackedCircuit};
 use crate::place::{auto_shape, place, PlaceError, PlacedCircuit};
+use crate::profile::FlowProfile;
 use crate::timing::{clock_period_ns, critical_path_ns};
 use fsim::SimRng;
 use netlist::{map_to_luts, MapOptions, Netlist};
@@ -52,6 +53,8 @@ pub struct CompiledCircuit {
     pub crit_path_ns: f64,
     /// Derived clock period in nanoseconds (with margin).
     pub clock_ns: f64,
+    /// Host wall-clock time per flow phase (map/pack/place/timing).
+    pub profile: FlowProfile,
 }
 
 impl CompiledCircuit {
@@ -95,8 +98,9 @@ impl CompiledCircuit {
 
 /// Compile a gate netlist down to a relocatable placed circuit.
 pub fn compile(net: &Netlist, opts: CompileOptions) -> Result<CompiledCircuit, PlaceError> {
-    let mapped = map_to_luts(net, opts.map);
-    let packed: PackedCircuit = pack(&mapped);
+    let mut profile = FlowProfile::new();
+    let mapped = profile.time("map", || map_to_luts(net, opts.map));
+    let packed: PackedCircuit = profile.time("pack", || pack(&mapped));
     let (w, h) = opts.shape.unwrap_or_else(|| {
         let blocks = packed.blocks.len().max(1);
         if opts.full_height {
@@ -107,10 +111,16 @@ pub fn compile(net: &Netlist, opts: CompileOptions) -> Result<CompiledCircuit, P
         }
     });
     let mut rng = SimRng::new(opts.seed);
-    let placed = place(&packed, w, h, &mut rng)?;
-    let crit = critical_path_ns(&placed);
-    let clock = clock_period_ns(&placed);
-    Ok(CompiledCircuit { placed, crit_path_ns: crit, clock_ns: clock })
+    let placed = profile.time("place", || place(&packed, w, h, &mut rng))?;
+    let (crit, clock) = profile.time("timing", || {
+        (critical_path_ns(&placed), clock_period_ns(&placed))
+    });
+    Ok(CompiledCircuit {
+        placed,
+        crit_path_ns: crit,
+        clock_ns: clock,
+        profile,
+    })
 }
 
 #[cfg(test)]
@@ -140,15 +150,27 @@ mod tests {
     #[test]
     fn fixed_shape_is_respected() {
         let net = netlist::library::logic::parity("p8", 8);
-        let c = compile(&net, CompileOptions { shape: Some((4, 2)), ..Default::default() })
-            .unwrap();
+        let c = compile(
+            &net,
+            CompileOptions {
+                shape: Some((4, 2)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(c.shape(), (4, 2));
     }
 
     #[test]
     fn too_small_fixed_shape_errors() {
         let net = netlist::library::arith::array_multiplier("m8", 8);
-        let r = compile(&net, CompileOptions { shape: Some((2, 2)), ..Default::default() });
+        let r = compile(
+            &net,
+            CompileOptions {
+                shape: Some((2, 2)),
+                ..Default::default()
+            },
+        );
         assert!(r.is_err());
     }
 

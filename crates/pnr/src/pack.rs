@@ -134,7 +134,12 @@ pub fn pack(net: &LutNetwork) -> PackedCircuit {
             let idx = blocks.len() as u32;
             blocks.push(PackedBlock {
                 lut_table: IDENTITY_LUT,
-                inputs: [resolve_placeholder(&ff.d), BlockSource::None, BlockSource::None, BlockSource::None],
+                inputs: [
+                    resolve_placeholder(&ff.d),
+                    BlockSource::None,
+                    BlockSource::None,
+                    BlockSource::None,
+                ],
                 ff: Some(ff.init),
                 out_from_ff: true,
             });
@@ -174,7 +179,12 @@ pub fn pack(net: &LutNetwork) -> PackedCircuit {
                 let idx = blocks.len() as u32;
                 blocks.push(PackedBlock {
                     lut_table: IDENTITY_LUT,
-                    inputs: [final_source(src), BlockSource::None, BlockSource::None, BlockSource::None],
+                    inputs: [
+                        final_source(src),
+                        BlockSource::None,
+                        BlockSource::None,
+                        BlockSource::None,
+                    ],
                     ff: None,
                     out_from_ff: false,
                 });

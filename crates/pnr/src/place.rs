@@ -88,11 +88,19 @@ fn hpwl_of(edges: &[(u32, u32)], coords: &[(u32, u32)]) -> u64 {
 /// Place `pc` into a `w × h` region.
 ///
 /// Deterministic for a given `(circuit, shape, rng seed)`.
-pub fn place(pc: &PackedCircuit, w: u32, h: u32, rng: &mut SimRng) -> Result<PlacedCircuit, PlaceError> {
+pub fn place(
+    pc: &PackedCircuit,
+    w: u32,
+    h: u32,
+    rng: &mut SimRng,
+) -> Result<PlacedCircuit, PlaceError> {
     let n = pc.blocks.len();
     let cap = (w * h) as usize;
     if n > cap {
-        return Err(PlaceError::RegionTooSmall { blocks: n, capacity: cap });
+        return Err(PlaceError::RegionTooSmall {
+            blocks: n,
+            capacity: cap,
+        });
     }
     let es = edges(pc);
 
@@ -153,7 +161,13 @@ pub fn place(pc: &PackedCircuit, w: u32, h: u32, rng: &mut SimRng) -> Result<Pla
             }
             let pair_cost = |coords: &[(u32, u32)]| {
                 touches(&es, coords, bi as u32)
-                    + other.map_or(0, |o| if o as usize != bi { touches(&es, coords, o) } else { 0 })
+                    + other.map_or(0, |o| {
+                        if o as usize != bi {
+                            touches(&es, coords, o)
+                        } else {
+                            0
+                        }
+                    })
             };
             let before = pair_cost(&coords);
             // Apply tentatively.
@@ -249,7 +263,11 @@ mod tests {
         // Seed coords = snake order (same construction as place()).
         let mut seed_coords = Vec::with_capacity(n);
         'outer: for r in 0..h {
-            let cols: Vec<u32> = if r % 2 == 0 { (0..w).collect() } else { (0..w).rev().collect() };
+            let cols: Vec<u32> = if r % 2 == 0 {
+                (0..w).collect()
+            } else {
+                (0..w).rev().collect()
+            };
             for c in cols {
                 seed_coords.push((c, r));
                 if seed_coords.len() == n {

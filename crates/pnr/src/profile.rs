@@ -1,0 +1,91 @@
+//! Span-style phase timing for the compilation flow.
+//!
+//! [`FlowProfile`] records how much *host* wall-clock time each phase of
+//! the flow (map, pack, place, route, emit, …) consumed. It answers the
+//! question "where does compile time go?" for the bench harness; it has
+//! nothing to do with simulated time, and the simulated results never
+//! depend on it.
+
+use std::time::{Duration, Instant};
+
+/// Accumulated wall-clock time per named flow phase, in execution order.
+///
+/// Phase names are `&'static str` so recording is allocation-free; timing
+/// the same phase twice accumulates into one span.
+#[derive(Debug, Clone, Default)]
+pub struct FlowProfile {
+    spans: Vec<(&'static str, Duration)>,
+}
+
+impl FlowProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        FlowProfile::default()
+    }
+
+    /// Run `f`, attributing its wall-clock time to `phase`.
+    pub fn time<R>(&mut self, phase: &'static str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let result = f();
+        self.record(phase, start.elapsed());
+        result
+    }
+
+    /// Add `dur` to the named span (created at the end on first use).
+    pub fn record(&mut self, phase: &'static str, dur: Duration) {
+        match self.spans.iter_mut().find(|(p, _)| *p == phase) {
+            Some((_, d)) => *d += dur,
+            None => self.spans.push((phase, dur)),
+        }
+    }
+
+    /// Time of the named span, if recorded.
+    pub fn get(&self, phase: &str) -> Option<Duration> {
+        self.spans
+            .iter()
+            .find(|(p, _)| *p == phase)
+            .map(|&(_, d)| d)
+    }
+
+    /// All spans in first-recorded order.
+    pub fn spans(&self) -> &[(&'static str, Duration)] {
+        &self.spans
+    }
+
+    /// Sum of all spans.
+    pub fn total(&self) -> Duration {
+        self.spans.iter().map(|&(_, d)| d).sum()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_records_and_returns() {
+        let mut p = FlowProfile::new();
+        let v = p.time("map", || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(p.get("map").is_some());
+        assert_eq!(p.get("route"), None);
+        assert_eq!(p.spans().len(), 1);
+    }
+
+    #[test]
+    fn repeat_phases_accumulate_in_place() {
+        let mut p = FlowProfile::new();
+        p.record("place", Duration::from_micros(5));
+        p.record("route", Duration::from_micros(1));
+        p.record("place", Duration::from_micros(7));
+        assert_eq!(p.get("place"), Some(Duration::from_micros(12)));
+        assert_eq!(p.spans().len(), 2, "no duplicate span rows");
+        assert_eq!(p.spans()[0].0, "place", "order is first-recorded");
+        assert_eq!(p.total(), Duration::from_micros(13));
+    }
+}

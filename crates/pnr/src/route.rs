@@ -101,7 +101,12 @@ impl RoutingFabric {
 
     /// Fraction of total channel capacity currently in use.
     pub fn utilization(&self) -> f64 {
-        let used: u64 = self.h_used.iter().chain(&self.v_used).map(|&u| u as u64).sum();
+        let used: u64 = self
+            .h_used
+            .iter()
+            .chain(&self.v_used)
+            .map(|&u| u as u64)
+            .sum();
         let total = (self.h_used.len() + self.v_used.len()) as u64 * self.cap as u64;
         if total == 0 {
             0.0
@@ -238,7 +243,10 @@ impl RoutingFabric {
                 }
             }
         }
-        Ok(CircuitRoutes { segs: committed, wirelength })
+        Ok(CircuitRoutes {
+            segs: committed,
+            wirelength,
+        })
     }
 
     /// Release the segments of a previously routed circuit.
@@ -325,7 +333,10 @@ mod tests {
             failed || loaded == 4,
             "with cap=2 either everything squeezes in or congestion appears"
         );
-        assert!(failed, "capacity 2 should congest a 5x5 multiplier tiling, loaded {loaded}");
+        assert!(
+            failed,
+            "capacity 2 should congest a 5x5 multiplier tiling, loaded {loaded}"
+        );
     }
 
     #[test]

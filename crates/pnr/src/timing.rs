@@ -139,7 +139,11 @@ mod tests {
         let mut sparse = place(&pc, 20, 20, &mut SimRng::new(1)).unwrap();
         // Force worst case: spread blocks to corners deterministically.
         for (i, c) in sparse.coords.iter_mut().enumerate() {
-            *c = if i % 2 == 0 { (0, (i as u32) % 20) } else { (19, (i as u32) % 20) };
+            *c = if i % 2 == 0 {
+                (0, (i as u32) % 20)
+            } else {
+                (19, (i as u32) % 20)
+            };
         }
         assert!(critical_path_ns(&sparse) > critical_path_ns(&tight));
     }

@@ -25,7 +25,9 @@ pub struct CircuitImage {
 impl CircuitImage {
     /// Wrap a compiled circuit.
     pub fn new(compiled: CompiledCircuit) -> Self {
-        CircuitImage { compiled: Arc::new(compiled) }
+        CircuitImage {
+            compiled: Arc::new(compiled),
+        }
     }
 
     /// Circuit name.
@@ -78,7 +80,9 @@ pub struct CircuitLib {
 impl CircuitLib {
     /// An empty table.
     pub fn new() -> Self {
-        CircuitLib { circuits: Vec::new() }
+        CircuitLib {
+            circuits: Vec::new(),
+        }
     }
 
     /// Register a circuit, returning its id.
@@ -162,6 +166,9 @@ mod tests {
         assert!(img.frames() > 0);
         assert!(img.run_time(100).as_nanos() > 0);
         // 10x the cycles = 10x the time.
-        assert_eq!(img.run_time(100).as_nanos() * 10, img.run_time(1000).as_nanos());
+        assert_eq!(
+            img.run_time(100).as_nanos() * 10,
+            img.run_time(1000).as_nanos()
+        );
     }
 }

@@ -16,7 +16,7 @@
 //!   a serialization factor plus service-logic area (the mux/demux
 //!   registers consume CLBs).
 
-use fsim::SimDuration;
+use fsim::{SimDuration, TraceEvent};
 use std::collections::HashMap;
 
 /// Physical-pin allocation table.
@@ -27,6 +27,8 @@ pub struct PinTable {
     owner: Vec<Option<(u32, u32)>>,
     /// Virtual→physical map per task.
     maps: HashMap<u32, Vec<u32>>,
+    recording: bool,
+    events: Vec<TraceEvent>,
 }
 
 impl PinTable {
@@ -36,7 +38,24 @@ impl PinTable {
             total,
             owner: vec![None; total as usize],
             maps: HashMap::new(),
+            recording: false,
+            events: Vec::new(),
         }
+    }
+
+    /// Record a typed [`TraceEvent::IoMuxGrant`] per successful bind, for
+    /// later [`drain_events`](Self::drain_events). Off by default.
+    pub fn set_recording(&mut self, on: bool) {
+        self.recording = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// Take the recorded grant events. The table keeps no clock; the
+    /// caller stamps them with its own time.
+    pub fn drain_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
     }
 
     /// Free pins remaining.
@@ -63,6 +82,15 @@ impl PinTable {
                 assigned.push(p);
             }
         }
+        if self.recording {
+            // `slot` is the first physical pin granted (the mux slot the
+            // task's virtual bus is switched onto).
+            self.events.push(TraceEvent::IoMuxGrant {
+                task,
+                slot: assigned.first().copied().unwrap_or(0),
+                pins: virtual_pins,
+            });
+        }
         self.maps.insert(task, assigned.clone());
         Some(assigned)
     }
@@ -80,7 +108,10 @@ impl PinTable {
 
     /// Physical pin backing `(task, virtual pin)`, if bound.
     pub fn lookup(&self, task: u32, vpin: u32) -> Option<u32> {
-        self.maps.get(&task).and_then(|m| m.get(vpin as usize)).copied()
+        self.maps
+            .get(&task)
+            .and_then(|m| m.get(vpin as usize))
+            .copied()
     }
 }
 
@@ -121,7 +152,12 @@ pub fn mux_plan(virtual_pins: u32, physical_pins: u32) -> MuxPlan {
     } else {
         virtual_pins + physical_pins * frames.div_ceil(4)
     };
-    MuxPlan { virtual_pins, physical_pins, frames, service_clbs }
+    MuxPlan {
+        virtual_pins,
+        physical_pins,
+        frames,
+        service_clbs,
+    }
 }
 
 /// Wall time to move `transfers` logical I/O transfers of a circuit whose

@@ -41,8 +41,8 @@ pub mod task;
 pub mod vmem;
 
 pub use circuit::{CircuitId, CircuitImage, CircuitLib};
-pub use manager::{Activation, FpgaManager, ManagerStats, PreemptAction, PreemptCost};
-pub use metrics::{Report, TaskMetrics};
+pub use manager::{Activation, DeviceUsage, FpgaManager, ManagerStats, PreemptAction, PreemptCost};
+pub use metrics::{OverheadBreakdown, Report, TaskMetrics};
 pub use sched::{FifoScheduler, PriorityScheduler, RoundRobinScheduler, Scheduler};
 pub use syscall::{FpgaHandle, OpenError, OsInterface};
 pub use system::{CompletionDetect, System, SystemConfig};

@@ -12,14 +12,14 @@
 //! pay readback on the way out and state-write on the way back in.
 
 use super::{
-    charge_full_download, charge_partial_download, charge_state_move, Activation, FpgaManager,
-    ManagerStats, PreemptCost,
+    charge_full_download, charge_partial_download, charge_state_move, Activation, DeviceUsage,
+    EventBuf, FpgaManager, ManagerStats, PreemptCost,
 };
 use crate::circuit::{CircuitId, CircuitLib};
 use crate::manager::PreemptAction;
 use crate::task::TaskId;
 use fpga::ConfigTiming;
-use fsim::SimDuration;
+use fsim::{SimDuration, TraceEvent};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -34,6 +34,7 @@ pub struct DynLoadManager {
     /// Saved state per (task, circuit) awaiting restore.
     saved_state: HashMap<(TaskId, CircuitId), ()>,
     stats: ManagerStats,
+    obs: EventBuf,
 }
 
 impl DynLoadManager {
@@ -46,6 +47,7 @@ impl DynLoadManager {
             loaded: None,
             saved_state: HashMap::new(),
             stats: ManagerStats::default(),
+            obs: EventBuf::default(),
         }
     }
 
@@ -54,14 +56,14 @@ impl DynLoadManager {
         self.policy
     }
 
-    fn download(&mut self, cid: CircuitId) -> SimDuration {
+    fn download(&mut self, tid: TaskId, cid: CircuitId) -> SimDuration {
         self.loaded = Some(cid);
         if self.timing.port.supports_partial() {
             // Clear-and-load only the circuit's frames.
             let frames = self.lib.get(cid).frames();
-            charge_partial_download(&self.timing, frames, &mut self.stats)
+            charge_partial_download(&self.timing, frames, &mut self.stats, &mut self.obs, tid)
         } else {
-            charge_full_download(&self.timing, &mut self.stats)
+            charge_full_download(&self.timing, &mut self.stats, &mut self.obs, tid)
         }
     }
 }
@@ -75,7 +77,7 @@ impl FpgaManager for DynLoadManager {
         let mut overhead = SimDuration::ZERO;
         if self.loaded != Some(cid) {
             self.stats.misses += 1;
-            overhead += self.download(cid);
+            overhead += self.download(tid, cid);
         } else {
             self.stats.hits += 1;
         }
@@ -94,7 +96,10 @@ impl FpgaManager for DynLoadManager {
         // readback — the paper's "simply … wait the complete propagation"
         // applies per item, not per burst.
         if !img.is_sequential() {
-            return PreemptCost { overhead: SimDuration::ZERO, lose_progress: false };
+            return PreemptCost {
+                overhead: SimDuration::ZERO,
+                lose_progress: false,
+            };
         }
         match self.policy {
             PreemptAction::WaitCompletion => {
@@ -111,7 +116,10 @@ impl FpgaManager for DynLoadManager {
                 let frames = img.frames();
                 let overhead = charge_state_move(&self.timing, frames, true, &mut self.stats);
                 self.saved_state.insert((tid, cid), ());
-                PreemptCost { overhead, lose_progress: false }
+                PreemptCost {
+                    overhead,
+                    lose_progress: false,
+                }
             }
         }
     }
@@ -129,6 +137,29 @@ impl FpgaManager for DynLoadManager {
     fn stats(&self) -> ManagerStats {
         self.stats
     }
+
+    fn set_recording(&mut self, on: bool) {
+        self.obs.set_recording(on);
+    }
+
+    fn drain_events(&mut self) -> Vec<TraceEvent> {
+        self.obs.drain()
+    }
+
+    fn usage(&self) -> DeviceUsage {
+        let total = self.timing.spec.clbs() as u64;
+        let used = self
+            .loaded
+            .map(|cid| self.lib.get(cid).blocks() as u64)
+            .unwrap_or(0);
+        DeviceUsage {
+            used_clbs: used,
+            total_clbs: total,
+            // Whole-device multiplexing: the free space is one contiguous
+            // remainder (or none when a circuit covers the chip).
+            free_fragments: u32::from(used < total),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -141,8 +172,11 @@ mod tests {
         let mut lib = CircuitLib::new();
         let ids = vec![
             lib.register_compiled(
-                compile(&netlist::library::arith::ripple_adder("add", 8), CompileOptions::default())
-                    .unwrap(),
+                compile(
+                    &netlist::library::arith::ripple_adder("add", 8),
+                    CompileOptions::default(),
+                )
+                .unwrap(),
             ),
             lib.register_compiled(
                 compile(
@@ -152,8 +186,11 @@ mod tests {
                 .unwrap(),
             ),
             lib.register_compiled(
-                compile(&netlist::library::logic::parity("par", 12), CompileOptions::default())
-                    .unwrap(),
+                compile(
+                    &netlist::library::logic::parity("par", 12),
+                    CompileOptions::default(),
+                )
+                .unwrap(),
             ),
         ];
         (Arc::new(lib), ids)
@@ -161,7 +198,10 @@ mod tests {
 
     fn manager(port: ConfigPort, policy: PreemptAction) -> (DynLoadManager, Vec<CircuitId>) {
         let (lib, ids) = lib3();
-        let timing = ConfigTiming { spec: fpga::device::part("VF400"), port };
+        let timing = ConfigTiming {
+            spec: fpga::device::part("VF400"),
+            port,
+        };
         (DynLoadManager::new(lib, timing, policy), ids)
     }
 
@@ -170,7 +210,9 @@ mod tests {
         let (mut m, ids) = manager(ConfigPort::SerialFast, PreemptAction::Rollback);
         let t0 = TaskId(0);
         let t1 = TaskId(1);
-        assert!(matches!(m.activate(t0, ids[0]), Activation::Ready { overhead } if overhead > SimDuration::ZERO));
+        assert!(
+            matches!(m.activate(t0, ids[0]), Activation::Ready { overhead } if overhead > SimDuration::ZERO)
+        );
         m.op_done(t0, ids[0]);
         // Same circuit again (other task): hit.
         match m.activate(t1, ids[0]) {
@@ -178,7 +220,9 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // Different circuit: miss.
-        assert!(matches!(m.activate(t0, ids[2]), Activation::Ready { overhead } if overhead > SimDuration::ZERO));
+        assert!(
+            matches!(m.activate(t0, ids[2]), Activation::Ready { overhead } if overhead > SimDuration::ZERO)
+        );
         assert_eq!(m.stats().downloads, 2);
         assert_eq!(m.stats().hits, 1);
         assert_eq!(m.stats().misses, 2);

@@ -11,12 +11,12 @@
 //! resource discipline). Waiters queue FIFO.
 
 use super::{
-    charge_full_download, Activation, FpgaManager, ManagerStats, PreemptCost,
+    charge_full_download, Activation, DeviceUsage, EventBuf, FpgaManager, ManagerStats, PreemptCost,
 };
 use crate::circuit::{CircuitId, CircuitLib};
 use crate::task::TaskId;
 use fpga::ConfigTiming;
-use fsim::SimDuration;
+use fsim::{SimDuration, TraceEvent};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -32,6 +32,7 @@ pub struct ExclusiveManager {
     loaded: Option<CircuitId>,
     waiters: VecDeque<(TaskId, CircuitId)>,
     stats: ManagerStats,
+    obs: EventBuf,
 }
 
 impl ExclusiveManager {
@@ -44,6 +45,7 @@ impl ExclusiveManager {
             loaded: None,
             waiters: VecDeque::new(),
             stats: ManagerStats::default(),
+            obs: EventBuf::default(),
         }
     }
 
@@ -57,7 +59,7 @@ impl ExclusiveManager {
             self.loaded = Some(cid);
             // Exclusive mode models the paper's "only serially and
             // completely" devices: every load is a full reconfiguration.
-            charge_full_download(&self.timing, &mut self.stats)
+            charge_full_download(&self.timing, &mut self.stats, &mut self.obs, tid)
         }
     }
 }
@@ -70,13 +72,17 @@ impl FpgaManager for ExclusiveManager {
     fn activate(&mut self, tid: TaskId, cid: CircuitId) -> Activation {
         debug_assert!(cid.0 < self.lib.len() as u32, "unregistered circuit");
         match self.holder {
-            Some((h, _)) if h == tid => Activation::Ready { overhead: SimDuration::ZERO },
+            Some((h, _)) if h == tid => Activation::Ready {
+                overhead: SimDuration::ZERO,
+            },
             Some(_) => {
                 self.stats.blocks += 1;
                 self.waiters.push_back((tid, cid));
                 Activation::Blocked
             }
-            None => Activation::Ready { overhead: self.grant(tid, cid) },
+            None => Activation::Ready {
+                overhead: self.grant(tid, cid),
+            },
         }
     }
 
@@ -104,6 +110,29 @@ impl FpgaManager for ExclusiveManager {
     fn stats(&self) -> ManagerStats {
         self.stats
     }
+
+    fn set_recording(&mut self, on: bool) {
+        self.obs.set_recording(on);
+    }
+
+    fn drain_events(&mut self) -> Vec<TraceEvent> {
+        self.obs.drain()
+    }
+
+    fn usage(&self) -> DeviceUsage {
+        // The whole chip is granted as one unit; usage reflects the
+        // holder's circuit footprint.
+        let total = self.timing.spec.clbs() as u64;
+        let used = match self.holder {
+            Some((_, cid)) => self.lib.get(cid).blocks() as u64,
+            None => 0,
+        };
+        DeviceUsage {
+            used_clbs: used,
+            total_clbs: total,
+            free_fragments: u32::from(used < total),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -115,16 +144,26 @@ mod tests {
     fn setup() -> (ExclusiveManager, CircuitId, CircuitId) {
         let mut lib = CircuitLib::new();
         let a = lib.register_compiled(
-            compile(&netlist::library::arith::ripple_adder("a", 4), CompileOptions::default())
-                .unwrap(),
+            compile(
+                &netlist::library::arith::ripple_adder("a", 4),
+                CompileOptions::default(),
+            )
+            .unwrap(),
         );
         let b = lib.register_compiled(
-            compile(&netlist::library::logic::parity("b", 8), CompileOptions::default()).unwrap(),
+            compile(
+                &netlist::library::logic::parity("b", 8),
+                CompileOptions::default(),
+            )
+            .unwrap(),
         );
         let spec: DeviceSpec = fpga::device::part("VF400");
         let m = ExclusiveManager::new(
             Arc::new(lib),
-            ConfigTiming { spec, port: ConfigPort::SerialSlow },
+            ConfigTiming {
+                spec,
+                port: ConfigPort::SerialSlow,
+            },
         );
         (m, a, b)
     }

@@ -10,11 +10,14 @@
 //! constructor *fails* when the circuits don't all fit — the condition
 //! that motivates the whole VFPGA machinery.
 
-use super::{charge_partial_download, Activation, FpgaManager, ManagerStats, PreemptCost};
+use super::{
+    charge_partial_download, Activation, DeviceUsage, EventBuf, FpgaManager, ManagerStats,
+    PreemptCost,
+};
 use crate::circuit::{CircuitId, CircuitLib};
 use crate::task::TaskId;
 use fpga::ConfigTiming;
-use fsim::SimDuration;
+use fsim::{SimDuration, TraceEvent};
 use std::sync::Arc;
 
 /// Why the merged solution is unavailable.
@@ -40,10 +43,16 @@ impl std::fmt::Display for MergeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MergeError::AreaExceeded { needed, available } => {
-                write!(f, "merged circuit needs {needed} columns, device has {available}")
+                write!(
+                    f,
+                    "merged circuit needs {needed} columns, device has {available}"
+                )
             }
             MergeError::PinsExceeded { needed, available } => {
-                write!(f, "merged circuit needs {needed} pins, package has {available}")
+                write!(
+                    f,
+                    "merged circuit needs {needed} pins, package has {available}"
+                )
             }
         }
     }
@@ -57,6 +66,9 @@ pub struct MergedManager {
     stats: ManagerStats,
     busy: Vec<Option<TaskId>>,
     waiters: Vec<TaskId>,
+    obs: EventBuf,
+    /// Constant occupancy: the merged image never changes after boot.
+    usage: DeviceUsage,
 }
 
 impl MergedManager {
@@ -64,7 +76,10 @@ impl MergedManager {
     pub fn new(lib: Arc<CircuitLib>, timing: ConfigTiming) -> Result<Self, MergeError> {
         let needed: u32 = lib.iter().map(|(_, c)| c.shape().0).sum();
         if needed > timing.spec.cols {
-            return Err(MergeError::AreaExceeded { needed, available: timing.spec.cols });
+            return Err(MergeError::AreaExceeded {
+                needed,
+                available: timing.spec.cols,
+            });
         }
         let pins: usize = lib.iter().map(|(_, c)| c.io_count()).sum();
         if pins > timing.spec.io_pins as usize {
@@ -74,12 +89,28 @@ impl MergedManager {
             });
         }
         let mut stats = ManagerStats::default();
-        // One boot-time download covering every circuit's frames.
-        charge_partial_download(&timing, needed as usize, &mut stats);
+        let mut obs = EventBuf::default();
+        // One boot-time download covering every circuit's frames (recording
+        // is off at construction; the sentinel task id is never observed).
+        charge_partial_download(
+            &timing,
+            needed as usize,
+            &mut stats,
+            &mut obs,
+            TaskId(u32::MAX),
+        );
+        let used: u64 = lib.iter().map(|(_, c)| c.blocks() as u64).sum();
+        let total = timing.spec.clbs() as u64;
         Ok(MergedManager {
             stats,
             busy: vec![None; lib.len()],
             waiters: Vec::new(),
+            obs,
+            usage: DeviceUsage {
+                used_clbs: used,
+                total_clbs: total,
+                free_fragments: u32::from(used < total),
+            },
         })
     }
 
@@ -106,14 +137,19 @@ impl FpgaManager for MergedManager {
             _ => {
                 self.busy[cid.0 as usize] = Some(tid);
                 self.stats.hits += 1;
-                Activation::Ready { overhead: SimDuration::ZERO }
+                Activation::Ready {
+                    overhead: SimDuration::ZERO,
+                }
             }
         }
     }
 
     fn preempt(&mut self, _tid: TaskId, _cid: CircuitId) -> PreemptCost {
         // Nothing is ever evicted: state survives in place.
-        PreemptCost { overhead: SimDuration::ZERO, lose_progress: false }
+        PreemptCost {
+            overhead: SimDuration::ZERO,
+            lose_progress: false,
+        }
     }
 
     fn op_done(&mut self, tid: TaskId, cid: CircuitId) -> (SimDuration, Vec<TaskId>) {
@@ -136,6 +172,18 @@ impl FpgaManager for MergedManager {
     fn stats(&self) -> ManagerStats {
         self.stats
     }
+
+    fn set_recording(&mut self, on: bool) {
+        self.obs.set_recording(on);
+    }
+
+    fn drain_events(&mut self) -> Vec<TraceEvent> {
+        self.obs.drain()
+    }
+
+    fn usage(&self) -> DeviceUsage {
+        self.usage
+    }
 }
 
 #[cfg(test)]
@@ -148,7 +196,10 @@ mod tests {
         let mut lib = CircuitLib::new();
         for (i, &w) in widths.iter().enumerate() {
             let net = netlist::library::arith::ripple_adder(&format!("c{i}"), w);
-            let opts = CompileOptions { max_height: spec.rows, ..Default::default() };
+            let opts = CompileOptions {
+                max_height: spec.rows,
+                ..Default::default()
+            };
             lib.register_compiled(compile(&net, opts).unwrap());
         }
         Arc::new(lib)
@@ -158,7 +209,10 @@ mod tests {
     fn small_set_merges_and_activations_are_free() {
         let spec = fpga::device::part("VF400");
         let lib = lib_of(&[4, 4, 4], spec);
-        let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+        let timing = ConfigTiming {
+            spec,
+            port: ConfigPort::SerialFast,
+        };
         let mut m = MergedManager::new(lib, timing).unwrap();
         assert!(m.boot_config_time() > SimDuration::ZERO);
         for t in 0..3u32 {
@@ -174,7 +228,10 @@ mod tests {
     fn oversized_set_fails_with_area() {
         let spec = fpga::device::part("VF100"); // 10 cols
         let lib = lib_of(&[8, 8, 8, 8], spec);
-        let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+        let timing = ConfigTiming {
+            spec,
+            port: ConfigPort::SerialFast,
+        };
         match MergedManager::new(lib, timing) {
             Err(MergeError::AreaExceeded { needed, available }) => {
                 assert!(needed > available);
@@ -187,12 +244,18 @@ mod tests {
     fn same_subcircuit_serializes() {
         let spec = fpga::device::part("VF400");
         let lib = lib_of(&[4, 4], spec);
-        let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+        let timing = ConfigTiming {
+            spec,
+            port: ConfigPort::SerialFast,
+        };
         let mut m = MergedManager::new(lib, timing).unwrap();
         m.activate(TaskId(0), CircuitId(0));
         assert_eq!(m.activate(TaskId(1), CircuitId(0)), Activation::Blocked);
         // A different sub-circuit is free though.
-        assert!(matches!(m.activate(TaskId(2), CircuitId(1)), Activation::Ready { .. }));
+        assert!(matches!(
+            m.activate(TaskId(2), CircuitId(1)),
+            Activation::Ready { .. }
+        ));
         let (_, wake) = m.op_done(TaskId(0), CircuitId(0));
         assert!(wake.contains(&TaskId(1)));
     }

@@ -14,7 +14,7 @@ pub mod partition;
 
 use crate::circuit::CircuitId;
 use crate::task::TaskId;
-use fsim::SimDuration;
+use fsim::{SimDuration, TraceEvent};
 
 /// Result of asking the manager to make a circuit runnable for a task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +87,56 @@ pub struct ManagerStats {
     pub splits: u64,
     /// Partition merges (garbage collection).
     pub merges: u64,
+    /// Total time spent in garbage-collection runs (relocation downloads
+    /// and state moves triggered by GC).
+    pub gc_time: SimDuration,
+}
+
+/// A point-in-time snapshot of device occupancy, for utilization
+/// timelines. Managers that do not track spatial allocation (e.g. the
+/// exclusive baseline) report the whole device as one unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceUsage {
+    /// CLBs occupied by resident circuits.
+    pub used_clbs: u64,
+    /// CLBs on the device.
+    pub total_clbs: u64,
+    /// Free-space fragments (1 for whole-device managers with free space,
+    /// 0 when full).
+    pub free_fragments: u32,
+}
+
+/// A small buffer managers use to collect typed trace events.
+///
+/// Recording is off by default so event construction costs nothing in
+/// benchmark runs; [`crate::System`] turns it on when tracing is enabled
+/// and drains the buffer (stamping timestamps) after every manager call.
+#[derive(Debug, Default)]
+pub(crate) struct EventBuf {
+    recording: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl EventBuf {
+    /// Enable or disable recording. Disabling discards pending events.
+    pub fn set_recording(&mut self, on: bool) {
+        self.recording = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// Buffer an event if recording. The closure only runs when on.
+    pub fn push(&mut self, event: impl FnOnce() -> TraceEvent) {
+        if self.recording {
+            self.events.push(event());
+        }
+    }
+
+    /// Take all buffered events.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
 }
 
 /// An FPGA management policy.
@@ -109,14 +159,33 @@ pub trait FpgaManager {
 
     /// Counters.
     fn stats(&self) -> ManagerStats;
+
+    /// Turn typed-event collection on or off. Off by default; when off,
+    /// [`FpgaManager::drain_events`] returns nothing and event
+    /// construction must cost nothing.
+    fn set_recording(&mut self, _on: bool) {}
+
+    /// Take the typed events buffered since the last drain. The system
+    /// stamps them with the current simulated time; managers only supply
+    /// the payload.
+    fn drain_events(&mut self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
+    /// Current device occupancy, for utilization timelines.
+    fn usage(&self) -> DeviceUsage {
+        DeviceUsage::default()
+    }
 }
 
 /// Shared helper: charge a download of `frames` full-column frames on the
-/// given timing model, updating stats.
+/// given timing model, updating stats and buffering a typed event.
 pub(crate) fn charge_partial_download(
     timing: &fpga::ConfigTiming,
     frames: usize,
     stats: &mut ManagerStats,
+    obs: &mut EventBuf,
+    task: TaskId,
 ) -> SimDuration {
     use fpga::config::{FRAME_ADDR_BITS, HEADER_BITS};
     let bits = HEADER_BITS + frames as u64 * (FRAME_ADDR_BITS + timing.frame_bits());
@@ -125,6 +194,13 @@ pub(crate) fn charge_partial_download(
     stats.downloads += 1;
     stats.frames_written += frames as u64;
     stats.config_time += d;
+    obs.push(|| TraceEvent::ConfigDownload {
+        task: task.0,
+        frames: frames as u32,
+        bytes: bits.div_ceil(8),
+        duration: d,
+        full: false,
+    });
     d
 }
 
@@ -132,11 +208,20 @@ pub(crate) fn charge_partial_download(
 pub(crate) fn charge_full_download(
     timing: &fpga::ConfigTiming,
     stats: &mut ManagerStats,
+    obs: &mut EventBuf,
+    task: TaskId,
 ) -> SimDuration {
     let d = timing.full_config_time();
     stats.downloads += 1;
     stats.frames_written += timing.spec.cols as u64;
     stats.config_time += d;
+    obs.push(|| TraceEvent::ConfigDownload {
+        task: task.0,
+        frames: timing.spec.cols,
+        bytes: timing.full_bits().div_ceil(8),
+        duration: d,
+        full: true,
+    });
     d
 }
 

@@ -12,12 +12,13 @@
 //! chosen by the configured replacement policy.
 
 use super::{
-    charge_partial_download, Activation, FpgaManager, ManagerStats, PreemptCost,
+    charge_partial_download, Activation, DeviceUsage, EventBuf, FpgaManager, ManagerStats,
+    PreemptCost,
 };
 use crate::circuit::{CircuitId, CircuitLib};
 use crate::task::TaskId;
 use fpga::ConfigTiming;
-use fsim::SimDuration;
+use fsim::{SimDuration, TraceEvent};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -56,6 +57,7 @@ pub struct OverlayManager {
     waiters: VecDeque<TaskId>,
     clock: u64,
     stats: ManagerStats,
+    obs: EventBuf,
 }
 
 impl OverlayManager {
@@ -73,9 +75,11 @@ impl OverlayManager {
         policy: Replacement,
     ) -> Self {
         let common_width: u32 = common.iter().map(|&c| lib.get(c).shape().0).sum();
-        let remaining = timing.spec.cols.checked_sub(common_width).unwrap_or_else(|| {
-            panic!("common circuits ({common_width} cols) exceed the device")
-        });
+        let remaining = timing
+            .spec
+            .cols
+            .checked_sub(common_width)
+            .unwrap_or_else(|| panic!("common circuits ({common_width} cols) exceed the device"));
         let n_slots = (remaining / slot_width) as usize;
         assert!(n_slots >= 1, "no room for any overlay slot");
         let mut stats = ManagerStats::default();
@@ -87,7 +91,13 @@ impl OverlayManager {
             common_owner: vec![None; common.len()],
             common,
             slots: vec![
-                OverlaySlot { resident: None, owner: None, last_use: 0, loaded_at: 0, uses: 0 };
+                OverlaySlot {
+                    resident: None,
+                    owner: None,
+                    last_use: 0,
+                    loaded_at: 0,
+                    uses: 0
+                };
                 n_slots
             ],
             slot_width,
@@ -95,9 +105,18 @@ impl OverlayManager {
             waiters: VecDeque::new(),
             clock: 0,
             stats: ManagerStats::default(),
+            obs: EventBuf::default(),
         };
         if common_width > 0 {
-            charge_partial_download(&m.timing, common_width as usize, &mut stats);
+            // Boot download: recording is necessarily off here, and no
+            // task exists yet — the sentinel id is never observed.
+            charge_partial_download(
+                &m.timing,
+                common_width as usize,
+                &mut stats,
+                &mut m.obs,
+                TaskId(u32::MAX),
+            );
             m.stats = stats;
         }
         m
@@ -159,7 +178,9 @@ impl FpgaManager for OverlayManager {
                 _ => {
                     self.common_owner[ci] = Some(tid);
                     self.stats.hits += 1;
-                    return Activation::Ready { overhead: SimDuration::ZERO };
+                    return Activation::Ready {
+                        overhead: SimDuration::ZERO,
+                    };
                 }
             }
         }
@@ -177,7 +198,9 @@ impl FpgaManager for OverlayManager {
                     s.last_use = stamp;
                     s.uses += 1;
                     self.stats.hits += 1;
-                    return Activation::Ready { overhead: SimDuration::ZERO };
+                    return Activation::Ready {
+                        overhead: SimDuration::ZERO,
+                    };
                 }
             }
         }
@@ -192,11 +215,22 @@ impl FpgaManager for OverlayManager {
         match self.pick_victim() {
             Some(i) => {
                 self.stats.misses += 1;
-                if self.slots[i].resident.is_some() {
+                if let Some(old) = self.slots[i].resident {
                     self.stats.evictions += 1;
+                    self.obs.push(|| TraceEvent::OverlaySwap {
+                        task: tid.0,
+                        from_overlay: old.0,
+                        to_overlay: cid.0,
+                        duration: SimDuration::ZERO, // download charged below
+                    });
                 }
-                let overhead =
-                    charge_partial_download(&self.timing, width as usize, &mut self.stats);
+                let overhead = charge_partial_download(
+                    &self.timing,
+                    width as usize,
+                    &mut self.stats,
+                    &mut self.obs,
+                    tid,
+                );
                 let s = &mut self.slots[i];
                 s.resident = Some(cid);
                 s.owner = Some(tid);
@@ -215,7 +249,10 @@ impl FpgaManager for OverlayManager {
 
     fn preempt(&mut self, _tid: TaskId, _cid: CircuitId) -> PreemptCost {
         // Slots are not reassigned while owned, so state survives in place.
-        PreemptCost { overhead: SimDuration::ZERO, lose_progress: false }
+        PreemptCost {
+            overhead: SimDuration::ZERO,
+            lose_progress: false,
+        }
     }
 
     fn op_done(&mut self, tid: TaskId, cid: CircuitId) -> (SimDuration, Vec<TaskId>) {
@@ -250,6 +287,34 @@ impl FpgaManager for OverlayManager {
     fn stats(&self) -> ManagerStats {
         self.stats
     }
+
+    fn set_recording(&mut self, on: bool) {
+        self.obs.set_recording(on);
+    }
+
+    fn drain_events(&mut self) -> Vec<TraceEvent> {
+        self.obs.drain()
+    }
+
+    fn usage(&self) -> DeviceUsage {
+        let common: u64 = self
+            .common
+            .iter()
+            .map(|&c| self.lib.get(c).blocks() as u64)
+            .sum();
+        let overlays: u64 = self
+            .slots
+            .iter()
+            .filter_map(|s| s.resident)
+            .map(|c| self.lib.get(c).blocks() as u64)
+            .sum();
+        DeviceUsage {
+            used_clbs: common + overlays,
+            total_clbs: self.timing.spec.clbs() as u64,
+            // Each empty overlay slot is one independently fillable hole.
+            free_fragments: self.slots.iter().filter(|s| s.resident.is_none()).count() as u32,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -280,7 +345,10 @@ mod tests {
         let slot_w = widest.max((spec.cols - common_w) / 3);
         let m = OverlayManager::new(
             lib,
-            ConfigTiming { spec, port: ConfigPort::SerialFast },
+            ConfigTiming {
+                spec,
+                port: ConfigPort::SerialFast,
+            },
             vec![ids[0]],
             slot_w,
             policy,
@@ -306,9 +374,13 @@ mod tests {
     #[test]
     fn specific_circuit_faults_then_hits() {
         let (mut m, ids) = setup(Replacement::Lru);
-        assert!(matches!(m.activate(TaskId(0), ids[1]), Activation::Ready { overhead } if overhead > SimDuration::ZERO));
+        assert!(
+            matches!(m.activate(TaskId(0), ids[1]), Activation::Ready { overhead } if overhead > SimDuration::ZERO)
+        );
         m.op_done(TaskId(0), ids[1]);
-        assert!(matches!(m.activate(TaskId(1), ids[1]), Activation::Ready { overhead } if overhead == SimDuration::ZERO));
+        assert!(
+            matches!(m.activate(TaskId(1), ids[1]), Activation::Ready { overhead } if overhead == SimDuration::ZERO)
+        );
         assert_eq!(m.stats().misses, 1);
         assert_eq!(m.stats().hits, 1);
     }
@@ -331,7 +403,9 @@ mod tests {
         m.activate(TaskId(10), extra);
         m.op_done(TaskId(10), extra);
         assert_eq!(m.stats().evictions, before + 1);
-        assert!(matches!(m.activate(TaskId(11), ids[1]), Activation::Ready { overhead } if overhead == SimDuration::ZERO));
+        assert!(
+            matches!(m.activate(TaskId(11), ids[1]), Activation::Ready { overhead } if overhead == SimDuration::ZERO)
+        );
     }
 
     #[test]
@@ -347,7 +421,10 @@ mod tests {
         // Release one: the blocked task can now be woken and retried.
         let (_, wake) = m.op_done(TaskId(0), ids[1]);
         assert!(wake.contains(&TaskId(8)));
-        assert!(matches!(m.activate(TaskId(8), extra), Activation::Ready { .. }));
+        assert!(matches!(
+            m.activate(TaskId(8), extra),
+            Activation::Ready { .. }
+        ));
     }
 
     #[test]
@@ -386,13 +463,19 @@ mod tests {
         let big = lib.register_compiled(
             compile(
                 &netlist::library::arith::array_multiplier("big", 8),
-                CompileOptions { max_height: spec.rows, ..Default::default() },
+                CompileOptions {
+                    max_height: spec.rows,
+                    ..Default::default()
+                },
             )
             .unwrap(),
         );
         let mut m = OverlayManager::new(
             Arc::new(lib),
-            ConfigTiming { spec, port: ConfigPort::SerialFast },
+            ConfigTiming {
+                spec,
+                port: ConfigPort::SerialFast,
+            },
             vec![],
             2,
             Replacement::Lru,

@@ -20,14 +20,14 @@
 //!   to merge - when necessary - the idle existing partitions").
 
 use super::{
-    charge_partial_download, charge_state_move, Activation, FpgaManager, ManagerStats,
-    PreemptCost,
+    charge_partial_download, charge_state_move, Activation, DeviceUsage, EventBuf, FpgaManager,
+    ManagerStats, PreemptCost,
 };
 use crate::circuit::{CircuitId, CircuitLib};
 use crate::manager::PreemptAction;
 use crate::task::TaskId;
 use fpga::ConfigTiming;
-use fsim::SimDuration;
+use fsim::{SimDuration, TraceEvent};
 use pnr::route::CircuitRoutes;
 use pnr::RoutingFabric;
 use std::collections::VecDeque;
@@ -78,6 +78,7 @@ pub struct PartitionManager {
     waiters: VecDeque<(TaskId, CircuitId)>,
     clock: u64,
     stats: ManagerStats,
+    obs: EventBuf,
     /// Enable the garbage collector (ablation knob for E6).
     pub gc_enabled: bool,
 }
@@ -103,14 +104,22 @@ impl PartitionManager {
                     .iter()
                     .map(|&w| {
                         assert!(w > 0, "zero-width partition");
-                        let p = Partition { col: c, width: w, slot: Slot::Free };
+                        let p = Partition {
+                            col: c,
+                            width: w,
+                            slot: Slot::Free,
+                        };
                         c += w;
                         p
                     })
                     .collect()
             }
             PartitionMode::Variable => {
-                vec![Partition { col: 0, width: cols, slot: Slot::Free }]
+                vec![Partition {
+                    col: 0,
+                    width: cols,
+                    slot: Slot::Free,
+                }]
             }
         };
         PartitionManager {
@@ -123,6 +132,7 @@ impl PartitionManager {
             waiters: VecDeque::new(),
             clock: 0,
             stats: ManagerStats::default(),
+            obs: EventBuf::default(),
             gc_enabled: true,
         }
     }
@@ -134,9 +144,9 @@ impl PartitionManager {
 
     /// Index of the partition resident with `cid`, if any.
     fn find_resident(&self, cid: CircuitId) -> Option<usize> {
-        self.parts.iter().position(
-            |p| matches!(p.slot, Slot::Resident { cid: c, .. } if c == cid),
-        )
+        self.parts
+            .iter()
+            .position(|p| matches!(p.slot, Slot::Resident { cid: c, .. } if c == cid))
     }
 
     /// CLBs currently occupied by resident circuits.
@@ -206,7 +216,8 @@ impl PartitionManager {
         }
         let last_use = self.tick();
         let frames = need_w as usize;
-        let overhead = charge_partial_download(&self.timing, frames, &mut self.stats);
+        let overhead =
+            charge_partial_download(&self.timing, frames, &mut self.stats, &mut self.obs, tid);
         self.parts[idx].slot = Slot::Resident {
             cid,
             owner: Some(tid),
@@ -226,15 +237,29 @@ impl PartitionManager {
             .iter()
             .enumerate()
             .filter_map(|(i, p)| match &p.slot {
-                Slot::Resident { owner: None, last_use, .. } => Some((i, *last_use)),
+                Slot::Resident {
+                    owner: None,
+                    last_use,
+                    ..
+                } => Some((i, *last_use)),
                 _ => None,
             })
             .min_by_key(|&(_, lu)| lu)
             .map(|(i, _)| i);
         match victim {
             Some(i) => {
-                if let Slot::Resident { routes, .. } = &self.parts[i].slot {
+                let (col, width) = (self.parts[i].col, self.parts[i].width);
+                if let Slot::Resident { cid, routes, .. } = &self.parts[i].slot {
                     self.routing.release(routes);
+                    let cid = *cid;
+                    self.obs.push(|| TraceEvent::Custom {
+                        tag: "evict",
+                        message: format!(
+                            "evict idle circuit {} from cols [{col}, {})",
+                            cid.0,
+                            col + width
+                        ),
+                    });
                 }
                 self.parts[i].slot = Slot::Free;
                 self.stats.evictions += 1;
@@ -268,9 +293,11 @@ impl PartitionManager {
     /// space coalesces at the right. Only idle residents move; a move
     /// charges a download at the new origin (plus state save/restore when
     /// the circuit is sequential) and is abandoned when routing fails
-    /// there. Returns the total CPU overhead of the compaction.
-    fn garbage_collect(&mut self) -> SimDuration {
+    /// there. Returns the total CPU overhead of the compaction. The
+    /// requesting task `tid` is charged for relocation downloads.
+    fn garbage_collect(&mut self, tid: TaskId) -> SimDuration {
         self.stats.gc_runs += 1;
+        let before = self.stats;
         let mut overhead = SimDuration::ZERO;
 
         // Extract occupied partitions in column order; frees are rebuilt.
@@ -303,11 +330,16 @@ impl PartitionManager {
             match self.routing.route_circuit(&placed, (cursor, 0)) {
                 Ok(new_routes) => {
                     let frames = p.width as usize;
-                    overhead += charge_partial_download(&self.timing, frames, &mut self.stats);
+                    overhead += charge_partial_download(
+                        &self.timing,
+                        frames,
+                        &mut self.stats,
+                        &mut self.obs,
+                        tid,
+                    );
                     if self.lib.get(cid).is_sequential() {
                         overhead += charge_state_move(&self.timing, frames, true, &mut self.stats);
-                        overhead +=
-                            charge_state_move(&self.timing, frames, false, &mut self.stats);
+                        overhead += charge_state_move(&self.timing, frames, false, &mut self.stats);
                     }
                     self.stats.relocations += 1;
                     p.col = cursor;
@@ -338,15 +370,37 @@ impl PartitionManager {
         for p in occupied {
             if p.col > at {
                 self.stats.merges += 1;
-                new_parts.push(Partition { col: at, width: p.col - at, slot: Slot::Free });
+                new_parts.push(Partition {
+                    col: at,
+                    width: p.col - at,
+                    slot: Slot::Free,
+                });
             }
             at = p.col + p.width;
             new_parts.push(p);
         }
         if at < cols {
-            new_parts.push(Partition { col: at, width: cols - at, slot: Slot::Free });
+            new_parts.push(Partition {
+                col: at,
+                width: cols - at,
+                slot: Slot::Free,
+            });
         }
         self.parts = new_parts;
+        // Relocation downloads and state moves were charged into
+        // config_time/state_time above; reattribute them to the GC phase so
+        // an overhead breakdown has disjoint slices. Event counters
+        // (downloads, frames, saves/restores) keep counting relocations.
+        self.stats.config_time = before.config_time;
+        self.stats.state_time = before.state_time;
+        self.stats.gc_time += overhead;
+        let after = self.stats;
+        self.obs.push(|| TraceEvent::GcRun {
+            merged: (after.merges - before.merges) as u32,
+            relocations: (after.relocations - before.relocations) as u32,
+            failures: (after.failed_relocations - before.failed_relocations) as u32,
+            duration: overhead,
+        });
         overhead
     }
 }
@@ -363,7 +417,13 @@ impl FpgaManager for PartitionManager {
         // 1. Already resident?
         if let Some(i) = self.find_resident(cid) {
             let stamp = self.tick();
-            if let Slot::Resident { owner, last_use, saved_for, .. } = &mut self.parts[i].slot {
+            if let Slot::Resident {
+                owner,
+                last_use,
+                saved_for,
+                ..
+            } = &mut self.parts[i].slot
+            {
                 match owner {
                     Some(o) if *o != tid => {
                         self.stats.blocks += 1;
@@ -420,14 +480,16 @@ impl FpgaManager for PartitionManager {
                     .max()
                     .unwrap_or(0);
                 if free_total >= need_w && largest_free < need_w {
-                    let gc_overhead = self.garbage_collect();
+                    let gc_overhead = self.garbage_collect(tid);
                     let retry = self
                         .parts
                         .iter()
                         .position(|p| matches!(p.slot, Slot::Free) && p.width >= need_w);
                     if let Some(i) = retry {
                         if let Some(overhead) = self.load_into(i, cid, tid) {
-                            return Activation::Ready { overhead: overhead + gc_overhead };
+                            return Activation::Ready {
+                                overhead: overhead + gc_overhead,
+                            };
                         }
                     }
                 }
@@ -455,11 +517,16 @@ impl FpgaManager for PartitionManager {
                 // fabric. No readback is needed *unless* the partition gets
                 // reassigned, which this manager never does while the op is
                 // unfinished (owner stays set). So preemption is free.
-                let i = self.find_resident(cid).expect("preempted circuit is resident");
+                let i = self
+                    .find_resident(cid)
+                    .expect("preempted circuit is resident");
                 if let Slot::Resident { owner, .. } = &mut self.parts[i].slot {
                     debug_assert_eq!(*owner, Some(tid));
                 }
-                PreemptCost { overhead: SimDuration::ZERO, lose_progress: false }
+                PreemptCost {
+                    overhead: SimDuration::ZERO,
+                    lose_progress: false,
+                }
             }
         }
     }
@@ -467,7 +534,10 @@ impl FpgaManager for PartitionManager {
     fn op_done(&mut self, tid: TaskId, cid: CircuitId) -> (SimDuration, Vec<TaskId>) {
         if let Some(i) = self.find_resident(cid) {
             let stamp = self.tick();
-            if let Slot::Resident { owner, last_use, .. } = &mut self.parts[i].slot {
+            if let Slot::Resident {
+                owner, last_use, ..
+            } = &mut self.parts[i].slot
+            {
                 if *owner == Some(tid) {
                     *owner = None;
                     *last_use = stamp;
@@ -480,7 +550,10 @@ impl FpgaManager for PartitionManager {
 
     fn task_exit(&mut self, tid: TaskId) -> Vec<TaskId> {
         for p in &mut self.parts {
-            if let Slot::Resident { owner, saved_for, .. } = &mut p.slot {
+            if let Slot::Resident {
+                owner, saved_for, ..
+            } = &mut p.slot
+            {
                 if *owner == Some(tid) {
                     *owner = None;
                 }
@@ -496,6 +569,26 @@ impl FpgaManager for PartitionManager {
     fn stats(&self) -> ManagerStats {
         self.stats
     }
+
+    fn set_recording(&mut self, on: bool) {
+        self.obs.set_recording(on);
+    }
+
+    fn drain_events(&mut self) -> Vec<TraceEvent> {
+        self.obs.drain()
+    }
+
+    fn usage(&self) -> DeviceUsage {
+        DeviceUsage {
+            used_clbs: self.resident_clbs() as u64,
+            total_clbs: self.timing.spec.clbs() as u64,
+            free_fragments: self
+                .parts
+                .iter()
+                .filter(|p| matches!(p.slot, Slot::Free))
+                .count() as u32,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -505,7 +598,10 @@ mod tests {
     use pnr::{compile, CompileOptions};
 
     /// Circuits compiled to full device height so they fit column partitions.
-    fn lib_for(spec: fpga::DeviceSpec, widths: &[(usize, &str)]) -> (Arc<CircuitLib>, Vec<CircuitId>) {
+    fn lib_for(
+        spec: fpga::DeviceSpec,
+        widths: &[(usize, &str)],
+    ) -> (Arc<CircuitLib>, Vec<CircuitId>) {
         let mut lib = CircuitLib::new();
         let ids = widths
             .iter()
@@ -527,7 +623,10 @@ mod tests {
         let (lib, ids) = lib_for(spec, &[(4, "a"), (4, "b"), (5, "c"), (6, "d")]);
         let m = PartitionManager::new(
             lib,
-            ConfigTiming { spec, port: ConfigPort::SerialFast },
+            ConfigTiming {
+                spec,
+                port: ConfigPort::SerialFast,
+            },
             mode,
             PreemptAction::SaveRestore,
         );
@@ -573,7 +672,10 @@ mod tests {
         let (lib, ids) = lib_for(spec, &[(4, "a"), (4, "b"), (4, "c")]);
         let mut m = PartitionManager::new(
             lib.clone(),
-            ConfigTiming { spec, port: ConfigPort::SerialFast },
+            ConfigTiming {
+                spec,
+                port: ConfigPort::SerialFast,
+            },
             PartitionMode::Variable,
             PreemptAction::SaveRestore,
         );
@@ -598,7 +700,10 @@ mod tests {
         let (lib, ids) = lib_for(spec, &[(4, "a"), (6, "d")]);
         let mut m = PartitionManager::new(
             lib.clone(),
-            ConfigTiming { spec, port: ConfigPort::SerialFast },
+            ConfigTiming {
+                spec,
+                port: ConfigPort::SerialFast,
+            },
             PartitionMode::Fixed(vec![10, 10]),
             PreemptAction::SaveRestore,
         );
@@ -617,7 +722,10 @@ mod tests {
         let (lib, _) = lib_for(spec, &[(4, "a")]);
         PartitionManager::new(
             lib,
-            ConfigTiming { spec, port: ConfigPort::SerialFast },
+            ConfigTiming {
+                spec,
+                port: ConfigPort::SerialFast,
+            },
             PartitionMode::Fixed(vec![5, 5]),
             PreemptAction::SaveRestore,
         );
@@ -626,12 +734,15 @@ mod tests {
     #[test]
     fn gc_coalesces_fragmented_free_space() {
         let spec = fpga::device::part("VF400"); // 20 cols
-        // Circuits: a(w≈5) b(w≈5) c(w≈5) then wide d needing ~9.
+                                                // Circuits: a(w≈5) b(w≈5) c(w≈5) then wide d needing ~9.
         let (lib, ids) = lib_for(spec, &[(5, "a"), (5, "b"), (5, "c"), (8, "d")]);
         let widths: Vec<u32> = ids.iter().map(|&i| lib.get(i).shape().0).collect();
         let mut m = PartitionManager::new(
             lib,
-            ConfigTiming { spec, port: ConfigPort::SerialFast },
+            ConfigTiming {
+                spec,
+                port: ConfigPort::SerialFast,
+            },
             PartitionMode::Variable,
             PreemptAction::SaveRestore,
         );
@@ -651,9 +762,15 @@ mod tests {
         // Do it through the public path: loading d (too wide for any hole)
         // triggers eviction+GC automatically.
         let used: u32 = widths[..3].iter().sum();
-        assert!(used <= spec.cols, "a,b,c must fit side by side, widths {widths:?}");
+        assert!(
+            used <= spec.cols,
+            "a,b,c must fit side by side, widths {widths:?}"
+        );
         let free_before = spec.cols - used;
-        assert!(free_before < widths[3], "d must not fit without coalescing, widths {widths:?}");
+        assert!(
+            free_before < widths[3],
+            "d must not fit without coalescing, widths {widths:?}"
+        );
         match m.activate(TaskId(3), ids[3]) {
             Activation::Ready { .. } => {}
             other => panic!("d should load after eviction/GC: {other:?}"),

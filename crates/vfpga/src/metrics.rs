@@ -5,7 +5,7 @@
 //! aggregates a [`Report`] per run.
 
 use crate::manager::ManagerStats;
-use fsim::{SimDuration, SimTime, Summary};
+use fsim::{Metrics, SimDuration, SimTime, Summary, TimelineSet};
 
 /// Per-task accounting.
 #[derive(Debug, Clone, Default)]
@@ -34,18 +34,61 @@ impl TaskMetrics {
         self.completion - self.arrival
     }
 
+    /// Sum of all accounted activity: CPU + FPGA + overhead + rollback loss.
+    pub fn accounted(&self) -> SimDuration {
+        self.cpu_time + self.fpga_time + self.overhead_time + self.lost_time
+    }
+
     /// Time neither computing nor charged overhead: queueing/blocked time.
+    ///
+    /// In debug builds this asserts that the accounted activity does not
+    /// exceed the turnaround — a violation means double-charged time, which
+    /// the old `saturating_sub` chain silently truncated to zero.
     pub fn waiting(&self) -> SimDuration {
-        self.turnaround()
-            .saturating_sub(self.cpu_time)
-            .saturating_sub(self.fpga_time)
-            .saturating_sub(self.overhead_time)
-            .saturating_sub(self.lost_time)
+        debug_assert!(
+            self.accounted() <= self.turnaround(),
+            "task {:?}: accounted {:?} exceeds turnaround {:?} (double-charged time?)",
+            self.name,
+            self.accounted(),
+            self.turnaround(),
+        );
+        self.turnaround().saturating_sub(self.accounted())
+    }
+
+    /// Checked variant of [`waiting`](Self::waiting): `None` when the
+    /// accounted activity exceeds the turnaround (an accounting bug) instead
+    /// of silently truncating to zero.
+    pub fn waiting_checked(&self) -> Option<SimDuration> {
+        let acc = self.accounted();
+        let turn = self.turnaround();
+        (acc <= turn).then(|| turn - acc)
+    }
+}
+
+/// Per-phase breakdown of where the overhead went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverheadBreakdown {
+    /// Configuration downloads (partial and full).
+    pub config: SimDuration,
+    /// State save/restore traffic (readback + state writes).
+    pub state: SimDuration,
+    /// Garbage collection: compaction relocations.
+    pub gc: SimDuration,
+    /// FPGA progress discarded by rollbacks.
+    pub rollback_loss: SimDuration,
+    /// Remaining charged overhead not attributed to a phase above.
+    pub other: SimDuration,
+}
+
+impl OverheadBreakdown {
+    /// Sum of all phases.
+    pub fn total(&self) -> SimDuration {
+        self.config + self.state + self.gc + self.rollback_loss + self.other
     }
 }
 
 /// One simulation run's results.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Report {
     /// Manager policy name.
     pub manager: &'static str,
@@ -57,6 +100,13 @@ pub struct Report {
     pub makespan: SimDuration,
     /// Manager counters.
     pub manager_stats: ManagerStats,
+    /// Counter/gauge snapshot taken at the end of the run (empty unless the
+    /// system ran with observability enabled).
+    pub metrics: Metrics,
+    /// Time-weighted series sampled during the run: `clb_used`,
+    /// `free_fragments`, `ready_queue_depth` (empty unless observability
+    /// was enabled).
+    pub timelines: TimelineSet,
 }
 
 impl Report {
@@ -103,6 +153,35 @@ impl Report {
         }
     }
 
+    /// Where the overhead went, by phase. `config`, `state` and `gc` come
+    /// from the manager's counters (disjoint: GC relocation traffic is
+    /// attributed to `gc`, not `config`/`state`); `rollback_loss` is the
+    /// discarded FPGA progress summed over tasks; `other` is whatever
+    /// task-charged overhead remains (zero when boot-time downloads, which
+    /// no task pays for, exceed the task-charged total).
+    pub fn overhead_breakdown(&self) -> OverheadBreakdown {
+        let rollback_loss = self
+            .tasks
+            .iter()
+            .fold(SimDuration::ZERO, |a, t| a + t.lost_time);
+        let config = self.manager_stats.config_time;
+        let state = self.manager_stats.state_time;
+        let gc = self.manager_stats.gc_time;
+        let other = self
+            .overhead_time()
+            .saturating_sub(config)
+            .saturating_sub(state)
+            .saturating_sub(gc)
+            .saturating_sub(rollback_loss);
+        OverheadBreakdown {
+            config,
+            state,
+            gc,
+            rollback_loss,
+            other,
+        }
+    }
+
     /// CPU busy fraction over the makespan (useful + overhead)/makespan.
     pub fn cpu_utilization(&self) -> f64 {
         let m = self.makespan.as_secs_f64();
@@ -143,7 +222,7 @@ mod tests {
             scheduler: "y",
             tasks: vec![tm("a", 0, 100, 60, 20), tm("b", 0, 200, 100, 0)],
             makespan: SimDuration::from_millis(200),
-            manager_stats: ManagerStats::default(),
+            ..Default::default()
         };
         assert!((r.mean_turnaround_s() - 0.150).abs() < 1e-9);
         assert_eq!(r.useful_time(), SimDuration::from_millis(160));
@@ -160,10 +239,47 @@ mod tests {
             scheduler: "y",
             tasks: vec![],
             makespan: SimDuration::ZERO,
-            manager_stats: ManagerStats::default(),
+            ..Default::default()
         };
         assert_eq!(r.mean_turnaround_s(), 0.0);
         assert_eq!(r.overhead_fraction(), 0.0);
         assert_eq!(r.cpu_utilization(), 0.0);
+    }
+
+    #[test]
+    fn waiting_checked_flags_overaccounting() {
+        let ok = tm("ok", 0, 100, 40, 10);
+        assert_eq!(ok.waiting_checked(), Some(SimDuration::from_millis(50)));
+        // Accounted time exceeding turnaround is an accounting bug: the
+        // checked variant reports it instead of truncating to zero.
+        let bad = tm("bad", 0, 50, 40, 30);
+        assert_eq!(bad.waiting_checked(), None);
+    }
+
+    #[test]
+    fn overhead_breakdown_phases_sum() {
+        let mut a = tm("a", 0, 400, 100, 120);
+        a.lost_time = SimDuration::from_millis(30);
+        let r = Report {
+            manager: "x",
+            scheduler: "y",
+            tasks: vec![a],
+            makespan: SimDuration::from_millis(400),
+            manager_stats: ManagerStats {
+                config_time: SimDuration::from_millis(70),
+                state_time: SimDuration::from_millis(20),
+                gc_time: SimDuration::from_millis(10),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let b = r.overhead_breakdown();
+        assert_eq!(b.config, SimDuration::from_millis(70));
+        assert_eq!(b.state, SimDuration::from_millis(20));
+        assert_eq!(b.gc, SimDuration::from_millis(10));
+        assert_eq!(b.rollback_loss, SimDuration::from_millis(30));
+        // overhead_time = 120 + 30 = 150; other = 150 − 70 − 20 − 10 − 30.
+        assert_eq!(b.other, SimDuration::from_millis(20));
+        assert_eq!(b.total(), r.overhead_time());
     }
 }

@@ -21,6 +21,9 @@ pub trait Scheduler {
     /// Whether the ready set is empty (the system skips slice preemption
     /// when nobody else could run).
     fn is_empty(&self) -> bool;
+    /// Ready-queue depth (for dispatch events and queue timelines). May
+    /// count stale entries for tasks that changed state since enqueue.
+    fn len(&self) -> usize;
     /// Policy name for reports.
     fn name(&self) -> &'static str;
 }
@@ -55,6 +58,10 @@ impl Scheduler for FifoScheduler {
         self.queue.is_empty()
     }
 
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
     fn name(&self) -> &'static str {
         "fifo"
     }
@@ -71,7 +78,10 @@ impl RoundRobinScheduler {
     /// Round-robin with the given slice.
     pub fn new(slice: SimDuration) -> Self {
         assert!(slice > SimDuration::ZERO, "zero slice would livelock");
-        RoundRobinScheduler { queue: VecDeque::new(), slice }
+        RoundRobinScheduler {
+            queue: VecDeque::new(),
+            slice,
+        }
     }
 }
 
@@ -92,6 +102,10 @@ impl Scheduler for RoundRobinScheduler {
         self.queue.is_empty()
     }
 
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
     fn name(&self) -> &'static str {
         "round-robin"
     }
@@ -109,7 +123,11 @@ pub struct PriorityScheduler {
 impl PriorityScheduler {
     /// Priority scheduling; `slice` enables time-sharing within a level.
     pub fn new(slice: Option<SimDuration>) -> Self {
-        PriorityScheduler { ready: Vec::new(), seq: 0, slice }
+        PriorityScheduler {
+            ready: Vec::new(),
+            seq: 0,
+            slice,
+        }
     }
 }
 
@@ -142,6 +160,10 @@ impl Scheduler for PriorityScheduler {
         self.ready.is_empty()
     }
 
+    fn len(&self) -> usize {
+        self.ready.len()
+    }
+
     fn name(&self) -> &'static str {
         "priority"
     }
@@ -160,6 +182,7 @@ mod tests {
         let mut s = FifoScheduler::new();
         s.on_ready(t(2), 0, SimTime::ZERO);
         s.on_ready(t(1), 9, SimTime::ZERO);
+        assert_eq!(s.len(), 2);
         assert_eq!(s.pick(SimTime::ZERO), Some(t(2)));
         assert_eq!(s.pick(SimTime::ZERO), Some(t(1)));
         assert_eq!(s.pick(SimTime::ZERO), None);

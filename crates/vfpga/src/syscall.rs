@@ -67,7 +67,10 @@ pub struct OsInterface {
 impl OsInterface {
     /// An interface for one device.
     pub fn new(device: fpga::DeviceSpec) -> Self {
-        OsInterface { device, lib: CircuitLib::new() }
+        OsInterface {
+            device,
+            lib: CircuitLib::new(),
+        }
     }
 
     /// `fpga_open`: declare a compiled circuit; the OS validates it
@@ -123,7 +126,10 @@ impl ProgramBuilder {
 
     /// Append an FPGA run on an opened circuit (`fpga_select` + execute).
     pub fn fpga(mut self, h: FpgaHandle, cycles: u64) -> Self {
-        self.spec.ops.push(Op::FpgaRun { circuit: h.0, cycles });
+        self.spec.ops.push(Op::FpgaRun {
+            circuit: h.0,
+            cycles,
+        });
         self
     }
 
@@ -167,12 +173,18 @@ mod tests {
         let mut os = OsInterface::new(fpga::device::part("VF100"));
         let big = compile(
             &netlist::library::arith::array_multiplier("m12", 12),
-            CompileOptions { max_height: 10, ..Default::default() },
+            CompileOptions {
+                max_height: 10,
+                ..Default::default()
+            },
         );
         match big {
             Ok(c) => {
                 let err = os.open(c).unwrap_err();
-                assert!(matches!(err, OpenError::TooLarge { .. } | OpenError::TooManyPins { .. }));
+                assert!(matches!(
+                    err,
+                    OpenError::TooLarge { .. } | OpenError::TooManyPins { .. }
+                ));
             }
             Err(_) => {
                 // The placer itself refused (region capped at the device):
@@ -188,7 +200,10 @@ mod tests {
         let mut os = OsInterface::new(fpga::device::part("VF100"));
         let c = compile(
             &netlist::library::logic::parity("wide", 70),
-            CompileOptions { max_height: 10, ..Default::default() },
+            CompileOptions {
+                max_height: 10,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(matches!(os.open(c), Err(OpenError::TooManyPins { .. })));
@@ -237,10 +252,19 @@ mod tests {
             .build();
         let t2 = os.program("t2", SimTime::ZERO).fpga(h2, 1000).build();
         let lib = Arc::new(os.into_lib());
-        let timing = fpga::ConfigTiming { spec, port: fpga::ConfigPort::SerialFast };
+        let timing = fpga::ConfigTiming {
+            spec,
+            port: fpga::ConfigPort::SerialFast,
+        };
         let mgr = DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion);
-        let r = System::new(lib, mgr, FifoScheduler::new(), SystemConfig::default(), vec![t1, t2])
-            .run();
+        let r = System::new(
+            lib,
+            mgr,
+            FifoScheduler::new(),
+            SystemConfig::default(),
+            vec![t1, t2],
+        )
+        .run();
         assert_eq!(r.tasks.len(), 2);
         assert_eq!(r.manager_stats.downloads, 2);
     }

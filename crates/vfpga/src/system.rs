@@ -15,7 +15,7 @@ use crate::manager::{Activation, FpgaManager, PreemptAction};
 use crate::metrics::{Report, TaskMetrics};
 use crate::sched::Scheduler;
 use crate::task::{Op, TaskId, TaskRun, TaskSpec, TaskState};
-use fsim::{EventQueue, SimDuration, SimTime, Trace};
+use fsim::{EventQueue, Metrics, SimDuration, SimTime, TimelineSet, Trace, TraceEvent};
 use std::sync::Arc;
 
 /// How the OS learns an FPGA operation has finished (§3).
@@ -106,6 +106,11 @@ pub struct System<M: FpgaManager, S: Scheduler> {
     queue: EventQueue<Ev>,
     running: Option<Running>,
     trace: Trace,
+    /// Whether observability (trace + registry + timelines + manager event
+    /// recording) is on. Off by default: the hot path then skips all of it.
+    obs_on: bool,
+    reg: Metrics,
+    timelines: TimelineSet,
 }
 
 impl<M: FpgaManager, S: Scheduler> System<M, S> {
@@ -143,13 +148,31 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             queue,
             running: None,
             trace: Trace::disabled(),
+            obs_on: false,
+            reg: Metrics::new(),
+            timelines: TimelineSet::new(),
         }
     }
 
-    /// Enable event tracing (task state changes, activations, preemptions).
-    /// Tracing is off by default; experiments leave it off for speed.
+    /// Enable observability: typed event tracing (task state changes,
+    /// downloads, preemptions, GC), the metrics registry, and utilization
+    /// timelines. Off by default; experiments leave it off for speed.
+    /// Observability never changes simulated results — only records them.
     pub fn with_trace(mut self) -> Self {
         self.trace = Trace::enabled();
+        self.obs_on = true;
+        self.manager.set_recording(true);
+        self
+    }
+
+    /// Like [`with_trace`](Self::with_trace), but the trace keeps only the
+    /// most recent `capacity` events (a ring buffer; older events are
+    /// counted in [`Trace::dropped`] and discarded). Metrics and timelines
+    /// are unaffected by the cap.
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace = Trace::enabled_with_capacity(capacity);
+        self.obs_on = true;
+        self.manager.set_recording(true);
         self
     }
 
@@ -164,6 +187,49 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         self.run_inner().0
     }
 
+    /// Record one typed event: bump the matching registry counters, then
+    /// append it to the trace.
+    fn record(&mut self, at: SimTime, event: TraceEvent) {
+        match &event {
+            TraceEvent::TaskState { state, .. } => {
+                self.reg.inc(state.counter_name(), 1);
+            }
+            TraceEvent::SchedulerDispatch { .. } => self.reg.inc("dispatches", 1),
+            TraceEvent::ConfigDownload { frames, bytes, .. } => {
+                self.reg.inc("config_downloads", 1);
+                self.reg.inc("config_frames", u64::from(*frames));
+                self.reg.inc("config_bytes", *bytes);
+            }
+            TraceEvent::Preemption { .. } => self.reg.inc("preemptions", 1),
+            TraceEvent::GcRun { relocations, .. } => {
+                self.reg.inc("gc_runs", 1);
+                self.reg.inc("gc_relocations", u64::from(*relocations));
+            }
+            TraceEvent::PageFault { .. } => self.reg.inc("page_faults", 1),
+            TraceEvent::OverlaySwap { .. } => self.reg.inc("overlay_swaps", 1),
+            TraceEvent::IoMuxGrant { .. } => self.reg.inc("iomux_grants", 1),
+            TraceEvent::Custom { .. } => self.reg.inc("custom_events", 1),
+        }
+        self.trace.record(at, event);
+    }
+
+    /// Pull buffered typed events out of the manager, stamping them with
+    /// the current simulated time, and sample the utilization timelines.
+    fn observe(&mut self, now: SimTime) {
+        if !self.obs_on {
+            return;
+        }
+        for ev in self.manager.drain_events() {
+            self.record(now, ev);
+        }
+        let u = self.manager.usage();
+        self.timelines.sample("clb_used", now, u.used_clbs as f64);
+        self.timelines
+            .sample("free_fragments", now, f64::from(u.free_fragments));
+        self.timelines
+            .sample("ready_queue_depth", now, self.sched.len() as f64);
+    }
+
     fn run_inner(mut self) -> (Report, Trace) {
         while let Some(ev) = self.queue.pop() {
             let now = ev.at;
@@ -173,14 +239,24 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                     debug_assert_eq!(t.state, TaskState::Future);
                     t.state = TaskState::Ready;
                     let prio = t.spec.priority;
-                    let name = t.spec.name.clone();
-                    self.trace.emit(now, "arrive", || format!("task '{name}' arrives"));
+                    if self.trace.is_enabled() {
+                        let info = t.spec.name.clone();
+                        self.record(
+                            now,
+                            TraceEvent::TaskState {
+                                task: tid.0,
+                                state: fsim::TaskState::Arrive,
+                                info,
+                            },
+                        );
+                    }
                     self.sched.on_ready(tid, prio, now);
                     self.dispatch(now);
                 }
                 Ev::Dispatch => self.dispatch(now),
                 Ev::Timer(tid) => self.on_timer(tid, now),
             }
+            self.observe(now);
         }
         // All tasks must have finished; anything else is a deadlock bug.
         for (i, t) in self.tasks.iter().enumerate() {
@@ -199,6 +275,14 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             .max()
             .unwrap_or(SimTime::ZERO)
             - SimTime::ZERO;
+        if self.obs_on {
+            self.reg.set_gauge("makespan_s", makespan.as_secs_f64());
+            for m in &self.metrics {
+                self.reg
+                    .observe("turnaround_s", m.turnaround().as_secs_f64());
+                self.reg.observe("waiting_s", m.waiting().as_secs_f64());
+            }
+        }
         (
             Report {
                 manager: self.manager.name(),
@@ -206,6 +290,8 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 tasks: self.metrics,
                 makespan,
                 manager_stats: self.manager.stats(),
+                metrics: self.reg,
+                timelines: self.timelines,
             },
             self.trace,
         )
@@ -227,7 +313,9 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             return;
         }
         loop {
-            let Some(tid) = self.sched.pick(now) else { return };
+            let Some(tid) = self.sched.pick(now) else {
+                return;
+            };
             let ti = tid.0 as usize;
             if self.tasks[ti].state != TaskState::Ready {
                 continue; // stale queue entry
@@ -251,9 +339,16 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                     Activation::Blocked => {
                         self.tasks[ti].state = TaskState::Blocked;
                         self.metrics[ti].blocked_count += 1;
-                        let name = self.tasks[ti].spec.name.clone();
-                        self.trace
-                            .emit(now, "block", || format!("task '{name}' blocks on circuit {}", circuit.0));
+                        if self.trace.is_enabled() {
+                            self.record(
+                                now,
+                                TraceEvent::TaskState {
+                                    task: tid.0,
+                                    state: fsim::TaskState::Block,
+                                    info: format!("blocks on circuit {}", circuit.0),
+                                },
+                            );
+                        }
                         continue;
                     }
                     Activation::Ready { overhead: o } => {
@@ -293,8 +388,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                         CompletionDetect::Estimate { factor } => {
                             debug_assert!(factor >= 1.0, "underestimates lose results");
                             let full = self.op_full[ti];
-                            let slack_ns =
-                                ((factor - 1.0) * full.as_nanos() as f64).round() as u64;
+                            let slack_ns = ((factor - 1.0) * full.as_nanos() as f64).round() as u64;
                             ctx.slack = SimDuration::from_nanos(slack_ns);
                         }
                         CompletionDetect::DoneSignal { poll } => {
@@ -313,14 +407,22 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 .map(|c| c.slack + c.poll_cost)
                 .unwrap_or(SimDuration::ZERO);
             if self.trace.is_enabled() {
-                let name = self.tasks[ti].spec.name.clone();
-                self.trace.emit(now, "dispatch", || {
-                    format!("task '{name}' runs for {dur} (+{overhead} overhead)")
-                });
+                self.record(
+                    now,
+                    TraceEvent::SchedulerDispatch {
+                        task: tid.0,
+                        scheduler: self.sched.name(),
+                        queue_depth: self.sched.len(),
+                    },
+                );
             }
             self.metrics[ti].overhead_time += overhead;
             self.tasks[ti].state = TaskState::Running;
-            self.running = Some(Running { tid, dur, fpga: fpga_ctx });
+            self.running = Some(Running {
+                tid,
+                dur,
+                fpga: fpga_ctx,
+            });
             self.queue
                 .schedule_at(now + overhead + dur + slack_total, Ev::Timer(tid));
             return;
@@ -366,8 +468,15 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 self.tasks[ti].completed_at = now;
                 self.metrics[ti].completion = now;
                 if self.trace.is_enabled() {
-                    let name = self.tasks[ti].spec.name.clone();
-                    self.trace.emit(now, "done", || format!("task '{name}' completes"));
+                    let info = self.tasks[ti].spec.name.clone();
+                    self.record(
+                        now,
+                        TraceEvent::TaskState {
+                            task: tid.0,
+                            state: fsim::TaskState::Done,
+                            info,
+                        },
+                    );
                 }
                 let wake = self.manager.task_exit(tid);
                 self.wake(wake, now);
@@ -391,6 +500,27 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 let pc = self.manager.preempt(tid, f.cid);
                 post_overhead = pc.overhead;
                 self.metrics[ti].overhead_time += pc.overhead;
+                if self.trace.is_enabled() {
+                    let policy = match self.config.preempt {
+                        PreemptAction::WaitCompletion => "wait-completion",
+                        PreemptAction::Rollback => "rollback",
+                        PreemptAction::SaveRestore => "save-restore",
+                    };
+                    let rolled_back = if pc.lose_progress {
+                        self.op_done_so_far[ti]
+                    } else {
+                        SimDuration::ZERO
+                    };
+                    self.record(
+                        now,
+                        TraceEvent::Preemption {
+                            task: tid.0,
+                            policy,
+                            saved: pc.overhead,
+                            rolled_back,
+                        },
+                    );
+                }
                 if pc.lose_progress {
                     // Everything executed on this op so far is discarded.
                     self.metrics[ti].lost_time += self.op_done_so_far[ti];
@@ -436,8 +566,11 @@ mod tests {
         let mut lib = CircuitLib::new();
         let ids = vec![
             lib.register_compiled(
-                compile(&netlist::library::arith::ripple_adder("add", 8), CompileOptions::default())
-                    .unwrap(),
+                compile(
+                    &netlist::library::arith::ripple_adder("add", 8),
+                    CompileOptions::default(),
+                )
+                .unwrap(),
             ),
             lib.register_compiled(
                 compile(
@@ -451,7 +584,10 @@ mod tests {
     }
 
     fn timing() -> ConfigTiming {
-        ConfigTiming { spec: fpga::device::part("VF400"), port: ConfigPort::SerialFast }
+        ConfigTiming {
+            spec: fpga::device::part("VF400"),
+            port: ConfigPort::SerialFast,
+        }
     }
 
     #[test]
@@ -462,7 +598,13 @@ mod tests {
             TaskSpec::new("b", SimTime::ZERO, vec![Op::Cpu(ms(20))]),
         ];
         let mgr = DynLoadManager::new(lib.clone(), timing(), PreemptAction::WaitCompletion);
-        let sys = System::new(lib, mgr, FifoScheduler::new(), SystemConfig::default(), specs);
+        let sys = System::new(
+            lib,
+            mgr,
+            FifoScheduler::new(),
+            SystemConfig::default(),
+            specs,
+        );
         let r = sys.run();
         assert_eq!(r.tasks[0].completion, SimTime::ZERO + ms(10));
         assert_eq!(r.tasks[1].completion, SimTime::ZERO + ms(30));
@@ -497,10 +639,19 @@ mod tests {
         let specs = vec![TaskSpec::new(
             "t",
             SimTime::ZERO,
-            vec![Op::FpgaRun { circuit: ids[0], cycles: 1000 }],
+            vec![Op::FpgaRun {
+                circuit: ids[0],
+                cycles: 1000,
+            }],
         )];
         let mgr = DynLoadManager::new(lib.clone(), timing(), PreemptAction::WaitCompletion);
-        let sys = System::new(lib.clone(), mgr, FifoScheduler::new(), SystemConfig::default(), specs);
+        let sys = System::new(
+            lib.clone(),
+            mgr,
+            FifoScheduler::new(),
+            SystemConfig::default(),
+            specs,
+        );
         let r = sys.run();
         assert_eq!(r.manager_stats.downloads, 1);
         assert!(r.tasks[0].overhead_time > SimDuration::ZERO);
@@ -512,8 +663,14 @@ mod tests {
         // Two tasks ping-pong different circuits on a whole-device dynload:
         // every FPGA op re-downloads.
         let (lib, ids) = lib2();
-        let op_a = Op::FpgaRun { circuit: ids[0], cycles: 100 };
-        let op_b = Op::FpgaRun { circuit: ids[1], cycles: 100 };
+        let op_a = Op::FpgaRun {
+            circuit: ids[0],
+            cycles: 100,
+        };
+        let op_b = Op::FpgaRun {
+            circuit: ids[1],
+            cycles: 100,
+        };
         let specs = vec![
             TaskSpec::new("a", SimTime::ZERO, vec![op_a, Op::Cpu(ms(1)), op_a]),
             TaskSpec::new("b", SimTime::ZERO, vec![op_b, Op::Cpu(ms(1)), op_b]),
@@ -540,17 +697,33 @@ mod tests {
                 "a",
                 SimTime::ZERO,
                 vec![
-                    Op::FpgaRun { circuit: ids[0], cycles: 50_000 },
+                    Op::FpgaRun {
+                        circuit: ids[0],
+                        cycles: 50_000,
+                    },
                     Op::Cpu(ms(20)),
-                    Op::FpgaRun { circuit: ids[0], cycles: 50_000 },
+                    Op::FpgaRun {
+                        circuit: ids[0],
+                        cycles: 50_000,
+                    },
                 ],
             ),
-            TaskSpec::new("b", SimTime::ZERO, vec![Op::FpgaRun { circuit: ids[1], cycles: 50_000 }]),
+            TaskSpec::new(
+                "b",
+                SimTime::ZERO,
+                vec![Op::FpgaRun {
+                    circuit: ids[1],
+                    cycles: 50_000,
+                }],
+            ),
         ];
-        let mgr = ExclusiveManager::new(lib.clone(), ConfigTiming {
-            spec: fpga::device::part("VF400"),
-            port: ConfigPort::SerialSlow,
-        });
+        let mgr = ExclusiveManager::new(
+            lib.clone(),
+            ConfigTiming {
+                spec: fpga::device::part("VF400"),
+                port: ConfigPort::SerialSlow,
+            },
+        );
         let sys = System::new(
             lib,
             mgr,
@@ -559,7 +732,10 @@ mod tests {
             specs,
         );
         let r = sys.run();
-        assert!(r.tasks.iter().any(|t| t.blocked_count > 0), "second task must wait");
+        assert!(
+            r.tasks.iter().any(|t| t.blocked_count > 0),
+            "second task must wait"
+        );
         assert_eq!(r.manager_stats.downloads, 2);
     }
 
@@ -567,13 +743,19 @@ mod tests {
     fn rollback_preemption_loses_progress() {
         let (lib, ids) = lib2();
         // One long FPGA op + one CPU task forcing slicing.
-        let long = Op::FpgaRun { circuit: ids[1], cycles: 2_000_000 };
+        let long = Op::FpgaRun {
+            circuit: ids[1],
+            cycles: 2_000_000,
+        };
         let specs = vec![
             TaskSpec::new("fpga", SimTime::ZERO, vec![long]),
             TaskSpec::new("cpu", SimTime::ZERO, vec![Op::Cpu(ms(30))]),
         ];
         let mgr = DynLoadManager::new(lib.clone(), timing(), PreemptAction::Rollback);
-        let cfg = SystemConfig { preempt: PreemptAction::Rollback, ..Default::default() };
+        let cfg = SystemConfig {
+            preempt: PreemptAction::Rollback,
+            ..Default::default()
+        };
         let sys = System::new(lib, mgr, RoundRobinScheduler::new(ms(5)), cfg, specs);
         let r = sys.run();
         assert!(
@@ -585,13 +767,19 @@ mod tests {
     #[test]
     fn save_restore_preserves_progress_at_a_cost() {
         let (lib, ids) = lib2();
-        let long = Op::FpgaRun { circuit: ids[1], cycles: 2_000_000 };
+        let long = Op::FpgaRun {
+            circuit: ids[1],
+            cycles: 2_000_000,
+        };
         let specs = vec![
             TaskSpec::new("fpga", SimTime::ZERO, vec![long]),
             TaskSpec::new("cpu", SimTime::ZERO, vec![Op::Cpu(ms(30))]),
         ];
         let mgr = DynLoadManager::new(lib.clone(), timing(), PreemptAction::SaveRestore);
-        let cfg = SystemConfig { preempt: PreemptAction::SaveRestore, ..Default::default() };
+        let cfg = SystemConfig {
+            preempt: PreemptAction::SaveRestore,
+            ..Default::default()
+        };
         let sys = System::new(lib, mgr, RoundRobinScheduler::new(ms(5)), cfg, specs);
         let r = sys.run();
         assert_eq!(r.tasks[0].lost_time, SimDuration::ZERO);
@@ -604,7 +792,10 @@ mod tests {
         let specs = vec![TaskSpec::new(
             "t",
             SimTime::ZERO,
-            vec![Op::FpgaRun { circuit: ids[0], cycles: 100_000 }],
+            vec![Op::FpgaRun {
+                circuit: ids[0],
+                cycles: 100_000,
+            }],
         )];
         let mgr = DynLoadManager::new(lib.clone(), timing(), PreemptAction::WaitCompletion);
         let cfg = SystemConfig {
@@ -627,7 +818,10 @@ mod tests {
         let specs = vec![TaskSpec::new(
             "t",
             SimTime::ZERO,
-            vec![Op::FpgaRun { circuit: ids[0], cycles: 100_000 }],
+            vec![Op::FpgaRun {
+                circuit: ids[0],
+                cycles: 100_000,
+            }],
         )];
         let mgr = DynLoadManager::new(lib.clone(), timing(), PreemptAction::WaitCompletion);
         let cfg = SystemConfig {
@@ -647,7 +841,13 @@ mod tests {
             TaskSpec::new("early", SimTime::ZERO, vec![Op::Cpu(ms(5))]),
         ];
         let mgr = DynLoadManager::new(lib.clone(), timing(), PreemptAction::WaitCompletion);
-        let sys = System::new(lib, mgr, FifoScheduler::new(), SystemConfig::default(), specs);
+        let sys = System::new(
+            lib,
+            mgr,
+            FifoScheduler::new(),
+            SystemConfig::default(),
+            specs,
+        );
         let r = sys.run();
         assert_eq!(r.tasks[1].completion, SimTime::ZERO + ms(5));
         assert_eq!(r.tasks[0].completion, SimTime::ZERO + ms(105));

@@ -44,7 +44,12 @@ pub struct TaskSpec {
 impl TaskSpec {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, arrival: SimTime, ops: Vec<Op>) -> Self {
-        TaskSpec { name: name.into(), arrival, priority: 0, ops }
+        TaskSpec {
+            name: name.into(),
+            arrival,
+            priority: 0,
+            ops,
+        }
     }
 
     /// With a priority.
@@ -168,10 +173,19 @@ mod tests {
             SimTime::ZERO,
             vec![
                 Op::Cpu(ms(5)),
-                Op::FpgaRun { circuit: CircuitId(1), cycles: 100 },
+                Op::FpgaRun {
+                    circuit: CircuitId(1),
+                    cycles: 100,
+                },
                 Op::Cpu(ms(3)),
-                Op::FpgaRun { circuit: CircuitId(1), cycles: 50 },
-                Op::FpgaRun { circuit: CircuitId(2), cycles: 10 },
+                Op::FpgaRun {
+                    circuit: CircuitId(1),
+                    cycles: 50,
+                },
+                Op::FpgaRun {
+                    circuit: CircuitId(2),
+                    cycles: 10,
+                },
             ],
         )
         .with_priority(3);

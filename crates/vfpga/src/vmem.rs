@@ -17,7 +17,7 @@
 //! externally and must fit variable-size holes.
 
 use fpga::ConfigTiming;
-use fsim::SimDuration;
+use fsim::{SimDuration, SimTime, TraceEntry, TraceEvent};
 
 /// Page-replacement policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +88,8 @@ pub struct SegmentSim {
     stamps: Vec<u64>,
     clock: u64,
     stats: VmemStats,
+    recording: bool,
+    events: Vec<TraceEntry>,
 }
 
 impl SegmentSim {
@@ -107,14 +109,33 @@ impl SegmentSim {
             stamps: vec![0; n],
             clock: 0,
             stats: VmemStats::default(),
+            recording: false,
+            events: Vec::new(),
         }
     }
 
-    fn charge_load(&mut self, width: u32) {
+    /// Record typed [`TraceEvent::PageFault`] events for later
+    /// [`drain_events`](Self::drain_events). Off by default.
+    pub fn set_recording(&mut self, on: bool) {
+        self.recording = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// Take the recorded fault events. Timestamps are the cumulative load
+    /// time at the fault (the sim has no external clock of its own).
+    pub fn drain_events(&mut self) -> Vec<TraceEntry> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn charge_load(&mut self, width: u32) -> SimDuration {
         use fpga::config::{FRAME_ADDR_BITS, HEADER_BITS};
         let bits = HEADER_BITS + width as u64 * (FRAME_ADDR_BITS + self.timing.frame_bits());
         let ns = bits.saturating_mul(1_000_000_000) / self.timing.port.bits_per_sec();
-        self.stats.load_time += SimDuration::from_nanos(ns);
+        let d = SimDuration::from_nanos(ns);
+        self.stats.load_time += d;
+        d
     }
 
     /// Find a hole of at least `w` columns among loaded segments.
@@ -149,11 +170,23 @@ impl SegmentSim {
         }
         self.stats.faults += 1;
         let w = self.func.segment_widths[s];
+        let mut last_victim: Option<u32> = None;
         // Evict LRU segments until a hole fits.
         loop {
             if let Some(col) = self.find_hole(w) {
                 self.loaded.push((s, col));
-                self.charge_load(w);
+                let d = self.charge_load(w);
+                if self.recording {
+                    self.events.push(TraceEntry {
+                        at: SimTime::ZERO + self.stats.load_time,
+                        event: TraceEvent::PageFault {
+                            page: s as u32,
+                            policy: "segment-lru",
+                            victim: last_victim,
+                            duration: d,
+                        },
+                    });
+                }
                 return;
             }
             if self.loaded.is_empty() {
@@ -169,6 +202,7 @@ impl SegmentSim {
                 .min_by_key(|(_, &(seg, _))| self.stamps[seg])
                 .map(|(i, _)| i)
                 .expect("nonempty");
+            last_victim = Some(self.loaded[victim_pos].0 as u32);
             self.loaded.remove(victim_pos);
             self.stats.evictions += 1;
             if self.loaded.is_empty() {
@@ -209,6 +243,10 @@ pub struct PagingSim {
     policy: Replacement,
     clock: u64,
     stats: VmemStats,
+    /// First flat page id of each segment (for fault events).
+    page_base: Vec<u32>,
+    recording: bool,
+    events: Vec<TraceEntry>,
 }
 
 impl PagingSim {
@@ -224,7 +262,7 @@ impl PagingSim {
         assert!(page_width >= 1);
         let n_slots = (budget / page_width) as usize;
         assert!(n_slots >= 1, "budget below one page");
-        let seg_pages = func
+        let seg_pages: Vec<(u32, u32)> = func
             .segment_widths
             .iter()
             .map(|&w| {
@@ -233,6 +271,12 @@ impl PagingSim {
                 (pages, padding)
             })
             .collect();
+        let mut page_base = Vec::with_capacity(seg_pages.len());
+        let mut base = 0u32;
+        for &(pages, _) in &seg_pages {
+            page_base.push(base);
+            base += pages;
+        }
         PagingSim {
             seg_pages,
             timing,
@@ -245,6 +289,9 @@ impl PagingSim {
             policy,
             clock: 0,
             stats: VmemStats::default(),
+            page_base,
+            recording: false,
+            events: Vec::new(),
         }
     }
 
@@ -253,12 +300,37 @@ impl PagingSim {
         self.slots.len()
     }
 
-    fn charge_load(&mut self) {
+    /// Record typed [`TraceEvent::PageFault`] events for later
+    /// [`drain_events`](Self::drain_events). Off by default.
+    pub fn set_recording(&mut self, on: bool) {
+        self.recording = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// Take the recorded fault events. Timestamps are the cumulative load
+    /// time at the fault (the sim has no external clock of its own).
+    pub fn drain_events(&mut self) -> Vec<TraceEntry> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn policy_name(&self) -> &'static str {
+        match self.policy {
+            Replacement::Fifo => "fifo",
+            Replacement::Lru => "lru",
+            Replacement::Clock => "clock",
+        }
+    }
+
+    fn charge_load(&mut self) -> SimDuration {
         use fpga::config::{FRAME_ADDR_BITS, HEADER_BITS};
-        let bits = HEADER_BITS
-            + self.page_width as u64 * (FRAME_ADDR_BITS + self.timing.frame_bits());
+        let bits =
+            HEADER_BITS + self.page_width as u64 * (FRAME_ADDR_BITS + self.timing.frame_bits());
         let ns = bits.saturating_mul(1_000_000_000) / self.timing.port.bits_per_sec();
-        self.stats.load_time += SimDuration::from_nanos(ns);
+        let d = SimDuration::from_nanos(ns);
+        self.stats.load_time += d;
+        d
     }
 
     fn pick_victim(&mut self) -> usize {
@@ -266,27 +338,21 @@ impl PagingSim {
             return i;
         }
         match self.policy {
-            Replacement::Fifo => {
-                (0..self.slots.len())
-                    .min_by_key(|&i| self.loaded_at[i])
-                    .expect("nonempty")
-            }
-            Replacement::Lru => {
-                (0..self.slots.len())
-                    .min_by_key(|&i| self.stamps[i])
-                    .expect("nonempty")
-            }
-            Replacement::Clock => {
-                loop {
-                    let i = self.hand;
-                    self.hand = (self.hand + 1) % self.slots.len();
-                    if self.ref_bits[i] {
-                        self.ref_bits[i] = false;
-                    } else {
-                        return i;
-                    }
+            Replacement::Fifo => (0..self.slots.len())
+                .min_by_key(|&i| self.loaded_at[i])
+                .expect("nonempty"),
+            Replacement::Lru => (0..self.slots.len())
+                .min_by_key(|&i| self.stamps[i])
+                .expect("nonempty"),
+            Replacement::Clock => loop {
+                let i = self.hand;
+                self.hand = (self.hand + 1) % self.slots.len();
+                if self.ref_bits[i] {
+                    self.ref_bits[i] = false;
+                } else {
+                    return i;
                 }
-            }
+            },
         }
     }
 
@@ -305,6 +371,7 @@ impl PagingSim {
             }
             self.stats.faults += 1;
             let v = self.pick_victim();
+            let victim = self.slots[v].map(|(s, vp)| self.page_base[s] + vp);
             if self.slots[v].is_some() {
                 self.stats.evictions += 1;
             }
@@ -312,7 +379,18 @@ impl PagingSim {
             self.stamps[v] = self.clock;
             self.loaded_at[v] = self.clock;
             self.ref_bits[v] = true;
-            self.charge_load();
+            let d = self.charge_load();
+            if self.recording {
+                self.events.push(TraceEntry {
+                    at: SimTime::ZERO + self.stats.load_time,
+                    event: TraceEvent::PageFault {
+                        page: self.page_base[seg] + p,
+                        policy: self.policy_name(),
+                        victim,
+                        duration: d,
+                    },
+                });
+            }
             // Internal fragmentation: the padded tail travels with the
             // last page of the segment.
             if p == pages - 1 {
@@ -341,11 +419,16 @@ mod tests {
     use fpga::ConfigPort;
 
     fn timing() -> ConfigTiming {
-        ConfigTiming { spec: fpga::device::part("VF400"), port: ConfigPort::SerialFast }
+        ConfigTiming {
+            spec: fpga::device::part("VF400"),
+            port: ConfigPort::SerialFast,
+        }
     }
 
     fn func() -> SegmentedFunction {
-        SegmentedFunction { segment_widths: vec![3, 5, 2, 4, 6] }
+        SegmentedFunction {
+            segment_widths: vec![3, 5, 2, 4, 6],
+        }
     }
 
     #[test]
@@ -406,7 +489,9 @@ mod tests {
     #[test]
     fn lru_beats_fifo_on_looping_trace_with_reuse() {
         // A trace with strong reuse of segment 0.
-        let trace: Vec<usize> = (0..60).map(|i| if i % 2 == 0 { 0 } else { 1 + (i / 2) % 4 }).collect();
+        let trace: Vec<usize> = (0..60)
+            .map(|i| if i % 2 == 0 { 0 } else { 1 + (i / 2) % 4 })
+            .collect();
         let fault = |policy| {
             let mut p = PagingSim::new(&func(), timing(), 12, 4, policy);
             p.run_trace(&trace).faults
@@ -426,7 +511,10 @@ mod tests {
         let lru = fault(Replacement::Lru);
         let clock = fault(Replacement::Clock);
         let fifo = fault(Replacement::Fifo);
-        assert!(clock <= fifo + 2, "clock should not be much worse than FIFO");
+        assert!(
+            clock <= fifo + 2,
+            "clock should not be much worse than FIFO"
+        );
         assert!(lru <= clock + 2);
     }
 

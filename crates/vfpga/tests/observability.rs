@@ -1,0 +1,220 @@
+//! Property-style tests for the observability layer.
+//!
+//! The container has no third-party crates, so instead of `proptest` these
+//! tests drive the invariants with a deterministic seed sweep: every case
+//! derives its workload from [`SimRng`], so failures are reproducible by
+//! seed.
+//!
+//! Two families:
+//! * report invariants — waiting time is never negative (the checked
+//!   accounting always balances), overhead fraction stays in [0, 1], and
+//!   every exported timeline is monotone in time with finite values;
+//! * the determinism guard — enabling tracing must not change any
+//!   simulated result, only record it.
+
+use fpga::{ConfigPort, ConfigTiming};
+use fsim::{SimDuration, SimRng, SimTime};
+use pnr::{compile, CompileOptions};
+use std::sync::Arc;
+use vfpga::manager::partition::{PartitionManager, PartitionMode};
+use vfpga::{
+    CircuitId, CircuitLib, Op, PreemptAction, Report, RoundRobinScheduler, System, SystemConfig,
+    TaskSpec,
+};
+
+const SEEDS: u64 = 24;
+
+fn build_lib(n: usize) -> (Arc<CircuitLib>, Vec<CircuitId>) {
+    let spec = fpga::device::part("VF400");
+    let mut lib = CircuitLib::new();
+    let ids = (0..n)
+        .map(|i| {
+            let net = netlist::library::arith::array_multiplier(&format!("c{i}"), 4 + (i % 3));
+            let opts = CompileOptions {
+                max_height: spec.rows,
+                full_height: true,
+                seed: 0x0B5 + i as u64,
+                ..Default::default()
+            };
+            lib.register_compiled(compile(&net, opts).unwrap())
+        })
+        .collect();
+    (Arc::new(lib), ids)
+}
+
+fn random_specs(seed: u64, ids: &[CircuitId]) -> Vec<TaskSpec> {
+    let mut rng = SimRng::new(seed);
+    let tasks = 3 + rng.below(8) as usize;
+    let mut at = SimTime::ZERO;
+    (0..tasks)
+        .map(|i| {
+            at += SimDuration::from_micros(rng.range_u64(100, 5_000));
+            let mut ops = Vec::new();
+            for _ in 0..(1 + rng.below(4)) {
+                if rng.below(3) == 0 {
+                    ops.push(Op::Cpu(SimDuration::from_micros(rng.range_u64(50, 3_000))));
+                } else {
+                    ops.push(Op::FpgaRun {
+                        circuit: ids[rng.below(ids.len() as u64) as usize],
+                        cycles: rng.range_u64(10_000, 200_000),
+                    });
+                }
+            }
+            TaskSpec::new(format!("t{i}"), at, ops)
+        })
+        .collect()
+}
+
+fn build_system(
+    seed: u64,
+    lib: &Arc<CircuitLib>,
+    ids: &[CircuitId],
+    traced: bool,
+) -> System<PartitionManager, RoundRobinScheduler> {
+    let timing = ConfigTiming {
+        spec: fpga::device::part("VF400"),
+        port: ConfigPort::SerialFast,
+    };
+    let mgr = PartitionManager::new(
+        lib.clone(),
+        timing,
+        PartitionMode::Variable,
+        PreemptAction::SaveRestore,
+    );
+    let sys = System::new(
+        lib.clone(),
+        mgr,
+        RoundRobinScheduler::new(SimDuration::from_millis(2 + seed % 9)),
+        SystemConfig {
+            preempt: PreemptAction::SaveRestore,
+            ..Default::default()
+        },
+        random_specs(seed, ids),
+    );
+    if traced {
+        sys.with_trace()
+    } else {
+        sys
+    }
+}
+
+fn check_report_invariants(seed: u64, r: &Report) {
+    for t in &r.tasks {
+        let w = t
+            .waiting_checked()
+            .unwrap_or_else(|| panic!("seed {seed}: task '{}' over-accounted", t.name));
+        assert!(
+            t.accounted() + w == t.turnaround(),
+            "seed {seed}: waiting doesn't balance"
+        );
+    }
+    let of = r.overhead_fraction();
+    assert!(
+        (0.0..=1.0).contains(&of),
+        "seed {seed}: overhead fraction {of} outside [0,1]"
+    );
+    let b = r.overhead_breakdown();
+    assert!(
+        b.total() >= b.config + b.state + b.gc + b.rollback_loss,
+        "seed {seed}: breakdown slices exceed their total"
+    );
+    for (name, tl) in r.timelines.iter() {
+        let pts = tl.points();
+        for w in pts.windows(2) {
+            assert!(
+                w[0].0 < w[1].0,
+                "seed {seed}: timeline '{name}' not strictly monotone"
+            );
+        }
+        for &(_, v) in pts {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "seed {seed}: timeline '{name}' has bad value {v}"
+            );
+        }
+    }
+}
+
+/// Waiting time never goes negative, the overhead fraction stays a
+/// fraction, and the exported timelines are monotone — across random
+/// workloads.
+#[test]
+fn report_invariants_hold_on_random_runs() {
+    let (lib, ids) = build_lib(5);
+    for seed in 0..SEEDS {
+        let r = build_system(seed, &lib, &ids, true).run();
+        assert!(
+            r.timelines.iter().next().is_some(),
+            "seed {seed}: no timelines recorded"
+        );
+        check_report_invariants(seed, &r);
+    }
+}
+
+/// Observability is read-only: the same seed produces bit-identical
+/// simulated results with tracing enabled and disabled.
+#[test]
+fn tracing_never_changes_results() {
+    let (lib, ids) = build_lib(5);
+    for seed in 0..SEEDS {
+        let plain = build_system(seed, &lib, &ids, false).run();
+        let traced = build_system(seed, &lib, &ids, true).run();
+        assert_eq!(
+            plain.makespan, traced.makespan,
+            "seed {seed}: makespan diverged"
+        );
+        assert_eq!(
+            plain.manager_stats, traced.manager_stats,
+            "seed {seed}: stats diverged"
+        );
+        assert_eq!(plain.tasks.len(), traced.tasks.len(), "seed {seed}");
+        for (a, b) in plain.tasks.iter().zip(&traced.tasks) {
+            assert_eq!(a.name, b.name, "seed {seed}");
+            assert_eq!(a.arrival, b.arrival, "seed {seed}: {} arrival", a.name);
+            assert_eq!(
+                a.completion, b.completion,
+                "seed {seed}: {} completion",
+                a.name
+            );
+            assert_eq!(a.cpu_time, b.cpu_time, "seed {seed}: {} cpu", a.name);
+            assert_eq!(a.fpga_time, b.fpga_time, "seed {seed}: {} fpga", a.name);
+            assert_eq!(
+                a.overhead_time, b.overhead_time,
+                "seed {seed}: {} overhead",
+                a.name
+            );
+            assert_eq!(a.lost_time, b.lost_time, "seed {seed}: {} lost", a.name);
+            assert_eq!(
+                a.blocked_count, b.blocked_count,
+                "seed {seed}: {} blocks",
+                a.name
+            );
+        }
+        // The plain run records nothing; the traced one records without
+        // perturbing any of the numbers compared above.
+        assert!(
+            plain.metrics.counters().next().is_none(),
+            "untraced run must record nothing"
+        );
+        assert!(
+            traced.metrics.counters().next().is_some(),
+            "traced run must record counters"
+        );
+    }
+}
+
+/// Identical seeds give identical traces too (the event stream itself is
+/// deterministic, not just the aggregate report).
+#[test]
+fn traces_are_deterministic() {
+    let (lib, ids) = build_lib(4);
+    for seed in 0..8 {
+        let (_, ta) = build_system(seed, &lib, &ids, true).run_traced();
+        let (_, tb) = build_system(seed, &lib, &ids, true).run_traced();
+        assert_eq!(ta.len(), tb.len(), "seed {seed}: trace lengths diverged");
+        for (a, b) in ta.entries().zip(tb.entries()) {
+            assert_eq!(a.at, b.at, "seed {seed}: event times diverged");
+            assert_eq!(a.to_string(), b.to_string(), "seed {seed}: events diverged");
+        }
+    }
+}

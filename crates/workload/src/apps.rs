@@ -94,12 +94,7 @@ fn sw_model(net: &Netlist) -> u64 {
     (s.gates + s.dffs) as u64
 }
 
-fn mk_app(
-    domain: Domain,
-    net: Netlist,
-    hw_cycles_per_item: u64,
-    opts: CompileOptions,
-) -> App {
+fn mk_app(domain: Domain, net: Netlist, hw_cycles_per_item: u64, opts: CompileOptions) -> App {
     let sw = sw_model(&net);
     let compiled = compile(&net, opts).expect("suite circuit must compile");
     App {
@@ -115,7 +110,11 @@ fn mk_app(
 /// device's row count so circuits fit column partitions.
 pub fn suite(domain: Domain, max_height: u32) -> Suite {
     use netlist::library::*;
-    let o = CompileOptions { max_height, full_height: true, ..Default::default() };
+    let o = CompileOptions {
+        max_height,
+        full_height: true,
+        ..Default::default()
+    };
     let apps = match domain {
         // Codec bank: filters and transforms; each standard = one kernel.
         Domain::Multimedia => vec![
@@ -126,8 +125,18 @@ pub fn suite(domain: Domain, max_height: u32) -> Suite {
         ],
         // Modem/fax chains: scramblers, CRC, constellation mapping.
         Domain::Telecom => vec![
-            mk_app(domain, seq::lfsr("scrambler", 16, 0b1101_0000_0000_1000), 1, o),
-            mk_app(domain, codes::crc_comb("crc16", codes::CRC16_CCITT, 16, 16), 1, o),
+            mk_app(
+                domain,
+                seq::lfsr("scrambler", 16, 0b1101_0000_0000_1000),
+                1,
+                o,
+            ),
+            mk_app(
+                domain,
+                codes::crc_comb("crc16", codes::CRC16_CCITT, 16, 16),
+                1,
+                o,
+            ),
             mk_app(domain, codes::gray_encode("qam-map", 6), 1, o),
             mk_app(domain, codes::hamming74_encode("fec-enc"), 1, o),
         ],
@@ -143,7 +152,12 @@ pub fn suite(domain: Domain, max_height: u32) -> Suite {
             mk_app(domain, logic::parity("stripe-parity", 16), 1, o),
             mk_app(domain, codes::hamming74_decode("ecc-dec"), 1, o),
             mk_app(domain, logic::majority("vote3", 5), 1, o),
-            mk_app(domain, codes::crc_comb("sector-crc", codes::CRC8, 8, 16), 1, o),
+            mk_app(
+                domain,
+                codes::crc_comb("sector-crc", codes::CRC8, 8, 16),
+                1,
+                o,
+            ),
         ],
         // Embedded control: diagnosis and tuning kernels.
         Domain::EmbeddedControl => vec![
@@ -182,8 +196,7 @@ mod tests {
         // the "crossover" experiment E12 demonstrates.
         for d in Domain::ALL {
             let s = suite(d, 24);
-            let mean: f64 =
-                s.apps.iter().map(App::raw_speedup).sum::<f64>() / s.apps.len() as f64;
+            let mean: f64 = s.apps.iter().map(App::raw_speedup).sum::<f64>() / s.apps.len() as f64;
             assert!(mean > 1.0, "{}: mean raw speedup {mean}", d.name());
             let best = s.apps.iter().map(App::raw_speedup).fold(0.0, f64::max);
             assert!(best > 1.5, "{}: best raw speedup {best}", d.name());
@@ -197,7 +210,13 @@ mod tests {
             let s = suite(d, spec.rows);
             for a in &s.apps {
                 let (w, h) = a.compiled.shape();
-                assert!(w <= spec.cols && h <= spec.rows, "{} is {}x{}", a.name, w, h);
+                assert!(
+                    w <= spec.cols && h <= spec.rows,
+                    "{} is {}x{}",
+                    a.name,
+                    w,
+                    h
+                );
             }
         }
     }

@@ -37,7 +37,11 @@ impl Default for MixParams {
 
 /// Poisson-arrival tasks, each alternating CPU bursts with FPGA runs of a
 /// circuit drawn (uniformly) from `circuits`.
-pub fn poisson_tasks(params: &MixParams, circuits: &[CircuitId], rng: &mut SimRng) -> Vec<TaskSpec> {
+pub fn poisson_tasks(
+    params: &MixParams,
+    circuits: &[CircuitId],
+    rng: &mut SimRng,
+) -> Vec<TaskSpec> {
     assert!(!circuits.is_empty(), "need at least one circuit");
     let mut specs = Vec::with_capacity(params.tasks);
     let mut at = SimTime::ZERO;
@@ -50,7 +54,10 @@ pub fn poisson_tasks(params: &MixParams, circuits: &[CircuitId], rng: &mut SimRn
             )));
             let cid = *rng.choose(circuits);
             let cycles = rng.range_u64(params.cycles.0, params.cycles.1);
-            ops.push(Op::FpgaRun { circuit: cid, cycles });
+            ops.push(Op::FpgaRun {
+                circuit: cid,
+                cycles,
+            });
             if k + 1 == params.fpga_ops_per_task {
                 ops.push(Op::Cpu(SimDuration::from_secs_f64(
                     rng.exp(params.mean_cpu_burst.as_secs_f64()).max(1e-6),
@@ -79,7 +86,13 @@ pub fn periodic_tasks(
                 TaskSpec::new(
                     format!("p{ti}-job{j}"),
                     arrival,
-                    vec![Op::Cpu(cpu_burst), Op::FpgaRun { circuit: cid, cycles }],
+                    vec![
+                        Op::Cpu(cpu_burst),
+                        Op::FpgaRun {
+                            circuit: cid,
+                            cycles,
+                        },
+                    ],
                 )
                 .with_priority((periods.len() - ti) as u8),
             );

@@ -15,14 +15,15 @@ use fpga::{ConfigPort, ConfigTiming};
 use fsim::SimDuration;
 use std::sync::Arc;
 use vfpga::manager::partition::{PartitionManager, PartitionMode};
-use vfpga::{
-    CircuitLib, PreemptAction, PriorityScheduler, System, SystemConfig,
-};
+use vfpga::{CircuitLib, PreemptAction, PriorityScheduler, System, SystemConfig};
 use workload::{periodic_tasks, suite, Domain};
 
 fn main() {
     let spec = fpga::device::part("VF200");
-    let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+    let timing = ConfigTiming {
+        spec,
+        port: ConfigPort::SerialFast,
+    };
 
     let mut lib = CircuitLib::new();
     let mut ids = Vec::new();
@@ -39,19 +40,31 @@ fn main() {
 
     // Rate-monotonic periods: control fastest, diagnosis slowest.
     let periods = vec![
-        (ids[0], SimDuration::from_millis(5)),   // tuner ALU
-        (ids[1], SimDuration::from_millis(10)),  // threshold comparator
-        (ids[2], SimDuration::from_millis(20)),  // watchdog counter
-        (ids[3], SimDuration::from_millis(40)),  // integrator/diagnosis
+        (ids[0], SimDuration::from_millis(5)),  // tuner ALU
+        (ids[1], SimDuration::from_millis(10)), // threshold comparator
+        (ids[2], SimDuration::from_millis(20)), // watchdog counter
+        (ids[3], SimDuration::from_millis(40)), // integrator/diagnosis
     ];
     let specs = periodic_tasks(&periods, 8, SimDuration::from_micros(200), 20_000);
-    println!("\n{} periodic jobs released over {} hyperperiods\n", specs.len(), 8);
+    println!(
+        "\n{} periodic jobs released over {} hyperperiods\n",
+        specs.len(),
+        8
+    );
 
     let r = System::new(
         lib.clone(),
-        PartitionManager::new(lib.clone(), timing, PartitionMode::Variable, PreemptAction::SaveRestore),
+        PartitionManager::new(
+            lib.clone(),
+            timing,
+            PartitionMode::Variable,
+            PreemptAction::SaveRestore,
+        ),
         PriorityScheduler::new(Some(SimDuration::from_millis(1))),
-        SystemConfig { preempt: PreemptAction::SaveRestore, ..Default::default() },
+        SystemConfig {
+            preempt: PreemptAction::SaveRestore,
+            ..Default::default()
+        },
         specs,
     )
     .run();
@@ -59,7 +72,11 @@ fn main() {
     // Deadline check: each job should finish before its period elapses.
     let mut missed = 0;
     for (ti, &(_, period)) in periods.iter().enumerate() {
-        for job in r.tasks.iter().filter(|t| t.name.starts_with(&format!("p{ti}-"))) {
+        for job in r
+            .tasks
+            .iter()
+            .filter(|t| t.name.starts_with(&format!("p{ti}-")))
+        {
             if job.turnaround() > period {
                 missed += 1;
                 println!(

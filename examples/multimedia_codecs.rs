@@ -17,14 +17,15 @@ use fsim::rng::Zipf;
 use fsim::{SimDuration, SimRng, SimTime};
 use std::sync::Arc;
 use vfpga::manager::overlay::{OverlayManager, Replacement};
-use vfpga::{
-    CircuitLib, Op, PreemptAction, RoundRobinScheduler, System, SystemConfig, TaskSpec,
-};
+use vfpga::{CircuitLib, Op, PreemptAction, RoundRobinScheduler, System, SystemConfig, TaskSpec};
 use workload::{suite, Domain};
 
 fn main() {
     let spec = fpga::device::part("VF400");
-    let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+    let timing = ConfigTiming {
+        spec,
+        port: ConfigPort::SerialFast,
+    };
 
     // Register the codec bank.
     let mut lib = CircuitLib::new();
@@ -53,14 +54,21 @@ fn main() {
             at,
             vec![
                 Op::Cpu(SimDuration::from_micros(300)),
-                Op::FpgaRun { circuit: cid, cycles: rng.range_u64(30_000, 120_000) },
+                Op::FpgaRun {
+                    circuit: cid,
+                    cycles: rng.range_u64(30_000, 120_000),
+                },
             ],
         ));
     }
 
     // Dominant codec resident; others overlaid (slots sized for the widest
     // of the *swappable* codecs), LRU replacement.
-    let widest = ids[1..].iter().map(|&i| lib.get(i).shape().0).max().unwrap();
+    let widest = ids[1..]
+        .iter()
+        .map(|&i| lib.get(i).shape().0)
+        .max()
+        .unwrap();
     let mgr = OverlayManager::new(lib.clone(), timing, vec![ids[0]], widest, Replacement::Lru);
     println!("\noverlay slots: {}", mgr.slot_count());
 
@@ -68,7 +76,10 @@ fn main() {
         lib,
         mgr,
         RoundRobinScheduler::new(SimDuration::from_millis(5)),
-        SystemConfig { preempt: PreemptAction::SaveRestore, ..Default::default() },
+        SystemConfig {
+            preempt: PreemptAction::SaveRestore,
+            ..Default::default()
+        },
         specs,
     )
     .run();

@@ -28,7 +28,10 @@ fn main() {
     for app in suite(Domain::Networking, spec.rows).apps {
         let io = app.compiled.io_count();
         let h = os.open(app.compiled).expect("engine fits the device");
-        println!("opened engine '{}' as handle {:?} ({io} pins)", app.name, h.0);
+        println!(
+            "opened engine '{}' as handle {:?} ({io} pins)",
+            app.name, h.0
+        );
         handles.push(h);
     }
 
@@ -66,16 +69,30 @@ fn main() {
         }
     }
     if all_bound {
-        println!("\nall engines hold their pins concurrently ({} spare)", pins.free_pins());
+        println!(
+            "\nall engines hold their pins concurrently ({} spare)",
+            pins.free_pins()
+        );
     }
 
     // Run the flows under column partitioning.
-    let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+    let timing = ConfigTiming {
+        spec,
+        port: ConfigPort::SerialFast,
+    };
     let r = System::new(
         lib.clone(),
-        PartitionManager::new(lib, timing, PartitionMode::Variable, PreemptAction::SaveRestore),
+        PartitionManager::new(
+            lib,
+            timing,
+            PartitionMode::Variable,
+            PreemptAction::SaveRestore,
+        ),
         RoundRobinScheduler::new(SimDuration::from_millis(2)),
-        SystemConfig { preempt: PreemptAction::SaveRestore, ..Default::default() },
+        SystemConfig {
+            preempt: PreemptAction::SaveRestore,
+            ..Default::default()
+        },
         specs,
     )
     .run();

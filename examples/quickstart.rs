@@ -26,7 +26,11 @@ fn main() {
     // 3. Emit a partial bitstream at origin (2, 2) with contiguous pins.
     let pins = PinAssignment::contiguous(net.num_inputs(), net.outputs().len());
     let bs = emit_bitstream(&compiled.placed, (2, 2), &pins, false);
-    println!("bitstream: {} frames, crc ok = {}", bs.frame_count(), bs.crc_ok());
+    println!(
+        "bitstream: {} frames, crc ok = {}",
+        bs.frame_count(),
+        bs.crc_ok()
+    );
 
     // 4. Download into a VF400 over the fast serial port.
     let mut dev = fpga::Device::new(fpga::device::part("VF400"), fpga::ConfigPort::SerialFast);
@@ -63,5 +67,8 @@ fn main() {
     }
     let (state, t) = dev.readback_region(&region);
     let live: usize = state.iter().filter(|&&w| w & 1 == 1).count();
-    println!("after 5 cycles: readback of {} CLBs in {t}, {live} flip-flops set", state.len());
+    println!(
+        "after 5 cycles: readback of {} CLBs in {t}, {live} flip-flops set",
+        state.len()
+    );
 }

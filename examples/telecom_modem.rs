@@ -32,12 +32,18 @@ fn call_log(lib: &CircuitLib, ids: &[vfpga::CircuitId], seed: u64) -> Vec<TaskSp
         let a = *rng.choose(ids);
         let mut ops = vec![
             Op::Cpu(SimDuration::from_micros(500)), // call setup
-            Op::FpgaRun { circuit: a, cycles: rng.range_u64(50_000, 300_000) },
+            Op::FpgaRun {
+                circuit: a,
+                cycles: rng.range_u64(50_000, 300_000),
+            },
         ];
         if rng.chance(0.5) {
             let b = *rng.choose(ids);
             ops.push(Op::Cpu(SimDuration::from_micros(200)));
-            ops.push(Op::FpgaRun { circuit: b, cycles: rng.range_u64(20_000, 100_000) });
+            ops.push(Op::FpgaRun {
+                circuit: b,
+                cycles: rng.range_u64(20_000, 100_000),
+            });
         }
         specs.push(TaskSpec::new(format!("call{call}"), at, ops));
     }
@@ -56,7 +62,10 @@ fn describe(label: &str, r: &Report) {
 
 fn main() {
     let spec = fpga::device::part("VF400");
-    let timing = ConfigTiming { spec, port: ConfigPort::SerialFast };
+    let timing = ConfigTiming {
+        spec,
+        port: ConfigPort::SerialFast,
+    };
 
     let mut lib = CircuitLib::new();
     let mut ids = Vec::new();
@@ -80,9 +89,17 @@ fn main() {
 
     let partition = System::new(
         lib.clone(),
-        PartitionManager::new(lib.clone(), timing, PartitionMode::Variable, PreemptAction::SaveRestore),
+        PartitionManager::new(
+            lib.clone(),
+            timing,
+            PartitionMode::Variable,
+            PreemptAction::SaveRestore,
+        ),
         RoundRobinScheduler::new(SimDuration::from_millis(5)),
-        SystemConfig { preempt: PreemptAction::SaveRestore, ..Default::default() },
+        SystemConfig {
+            preempt: PreemptAction::SaveRestore,
+            ..Default::default()
+        },
         specs,
     )
     .run();

@@ -57,7 +57,12 @@ fn clearing_a_region_really_unloads_the_circuit() {
     dev.apply(&bs).unwrap();
     assert!(fpga::FabricView::resolve(&dev, dev.spec().full_rect()).is_ok());
 
-    dev.clear_region(&fpga::Rect::new(0, 0, compiled.placed.width, compiled.placed.height));
+    dev.clear_region(&fpga::Rect::new(
+        0,
+        0,
+        compiled.placed.width,
+        compiled.placed.height,
+    ));
     // The region is empty and its output IOB unbound: nothing executes.
     let view = fpga::FabricView::resolve(&dev, dev.spec().full_rect()).unwrap();
     assert_eq!(view.cell_count(), 0);
@@ -97,8 +102,12 @@ fn preemption_save_restore_on_real_fabric() {
     // reloaded and its state written back.
     let intruder = netlist::library::seq::counter("cnt", 6);
     let ic = compile(&intruder, CompileOptions::default()).unwrap();
-    let ipins = PinAssignment { inputs: vec![20], outputs: (21..27).collect() };
-    dev.apply(&emit_bitstream(&ic.placed, (0, 0), &ipins, false)).unwrap();
+    let ipins = PinAssignment {
+        inputs: vec![20],
+        outputs: (21..27).collect(),
+    };
+    dev.apply(&emit_bitstream(&ic.placed, (0, 0), &ipins, false))
+        .unwrap();
 
     // The OS clears the intruder's partition before restoring the LFSR
     // (the intruder's region may be larger than the LFSR's own frames).
@@ -108,7 +117,11 @@ fn preemption_save_restore_on_real_fabric() {
     let mut view2 = fpga::FabricView::resolve(&dev, region).unwrap();
     for expect in &reference {
         view2.step(&mut dev, &no_pins);
-        assert_eq!(&dev.readback_region(&region).0, expect, "trajectory diverged after restore");
+        assert_eq!(
+            &dev.readback_region(&region).0,
+            expect,
+            "trajectory diverged after restore"
+        );
     }
 }
 
@@ -122,7 +135,10 @@ fn os_layer_charges_download_times_consistent_with_device_timing() {
     use vfpga::{FifoScheduler, Op, PreemptAction, System, SystemConfig, TaskSpec};
 
     let spec = fpga::device::part("VF400");
-    let timing = fpga::ConfigTiming { spec, port: fpga::ConfigPort::SerialFast };
+    let timing = fpga::ConfigTiming {
+        spec,
+        port: fpga::ConfigPort::SerialFast,
+    };
     let mut lib = vfpga::CircuitLib::new();
     let suite = workload::suite(workload::Domain::Storage, spec.rows);
     let mut ids = Vec::new();
@@ -132,12 +148,32 @@ fn os_layer_charges_download_times_consistent_with_device_timing() {
     let lib = Arc::new(lib);
 
     let specs = vec![
-        TaskSpec::new("t0", SimTime::ZERO, vec![Op::FpgaRun { circuit: ids[0], cycles: 1000 }]),
-        TaskSpec::new("t1", SimTime::ZERO, vec![Op::FpgaRun { circuit: ids[1], cycles: 1000 }]),
+        TaskSpec::new(
+            "t0",
+            SimTime::ZERO,
+            vec![Op::FpgaRun {
+                circuit: ids[0],
+                cycles: 1000,
+            }],
+        ),
+        TaskSpec::new(
+            "t1",
+            SimTime::ZERO,
+            vec![Op::FpgaRun {
+                circuit: ids[1],
+                cycles: 1000,
+            }],
+        ),
     ];
     let mgr = DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion);
-    let r = System::new(lib.clone(), mgr, FifoScheduler::new(), SystemConfig::default(), specs)
-        .run();
+    let r = System::new(
+        lib.clone(),
+        mgr,
+        FifoScheduler::new(),
+        SystemConfig::default(),
+        specs,
+    )
+    .run();
 
     // The manager's accumulated config time must match per-circuit frame
     // arithmetic from the fpga crate.
@@ -165,7 +201,10 @@ fn whole_stack_is_deterministic() {
     use workload::{poisson_tasks, MixParams};
 
     let spec = fpga::device::part("VF400");
-    let timing = fpga::ConfigTiming { spec, port: fpga::ConfigPort::SerialFast };
+    let timing = fpga::ConfigTiming {
+        spec,
+        port: fpga::ConfigPort::SerialFast,
+    };
     let mut lib = vfpga::CircuitLib::new();
     let mut ids = Vec::new();
     for app in workload::suite(workload::Domain::Telecom, spec.rows).apps {
@@ -186,7 +225,10 @@ fn whole_stack_is_deterministic() {
             lib.clone(),
             mgr,
             RoundRobinScheduler::new(SimDuration::from_millis(5)),
-            SystemConfig { preempt: PreemptAction::SaveRestore, ..Default::default() },
+            SystemConfig {
+                preempt: PreemptAction::SaveRestore,
+                ..Default::default()
+            },
             specs,
         )
         .run()

@@ -1,9 +1,13 @@
-//! Property-based tests over the core invariants, spanning crates:
-//! random netlists must survive the full map→pack→place flow functionally
-//! intact; region algebra must behave like interval arithmetic; the
-//! virtual-memory simulators must obey classic paging laws.
+//! Property-style tests over the core invariants, spanning crates: random
+//! netlists must survive the full map→pack→place flow functionally intact;
+//! region algebra must behave like interval arithmetic; the virtual-memory
+//! simulators must obey classic paging laws.
+//!
+//! Cases are generated from a deterministic seed sweep ([`fsim::SimRng`])
+//! instead of `proptest` (no third-party crates in the build image); every
+//! failure message names the seed that reproduces it.
 
-use proptest::prelude::*;
+use fsim::SimRng;
 
 /// Build a random combinational netlist from a recipe of gate choices.
 fn random_netlist(ops: &[u8], n_inputs: usize) -> netlist::Netlist {
@@ -33,22 +37,23 @@ fn random_netlist(ops: &[u8], n_inputs: usize) -> netlist::Netlist {
     b.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn random_ops(rng: &mut SimRng, max_len: u64) -> Vec<u8> {
+    let n = 1 + rng.below(max_len) as usize;
+    (0..n).map(|_| rng.next_u64() as u8).collect()
+}
 
-    /// LUT mapping preserves the function of arbitrary combinational
-    /// netlists (checked on 64 random input vectors in one pass).
-    #[test]
-    fn mapping_preserves_function(
-        ops in proptest::collection::vec(0u8..=255, 1..120),
-        n_inputs in 2usize..10,
-        seed in any::<u64>(),
-    ) {
+/// LUT mapping preserves the function of arbitrary combinational netlists
+/// (checked on 64 random input vectors in one pass).
+#[test]
+fn mapping_preserves_function() {
+    for seed in 0..48u64 {
+        let mut rng = SimRng::new(seed);
+        let ops = random_ops(&mut rng, 119);
+        let n_inputs = 2 + rng.below(8) as usize;
         let net = random_netlist(&ops, n_inputs);
         let mapped = netlist::map_to_luts(&net, netlist::MapOptions::default());
-        prop_assert_eq!(mapped.validate(), Ok(()));
+        assert_eq!(mapped.validate(), Ok(()), "seed {seed}");
 
-        let mut rng = fsim::SimRng::new(seed);
         let words: Vec<u64> = (0..n_inputs).map(|_| rng.next_u64()).collect();
         let mut gsim = netlist::Simulator::new(&net);
         gsim.eval(&words);
@@ -56,58 +61,70 @@ proptest! {
         lsim.eval(&words);
         let golden: Vec<u64> = gsim.outputs();
         let got: Vec<u64> = lsim.outputs(&words);
-        prop_assert_eq!(golden, got);
+        assert_eq!(golden, got, "seed {seed}");
     }
+}
 
-    /// Packing/placement keep every block on a distinct cell inside the
-    /// region, for arbitrary netlists and shapes.
-    #[test]
-    fn placement_is_a_valid_injection(
-        ops in proptest::collection::vec(0u8..=255, 1..80),
-        n_inputs in 2usize..8,
-        seed in any::<u64>(),
-    ) {
+/// Packing/placement keep every block on a distinct cell inside the
+/// region, for arbitrary netlists and shapes.
+#[test]
+fn placement_is_a_valid_injection() {
+    for seed in 0..32u64 {
+        let mut rng = SimRng::new(seed ^ 0x9_1ACE);
+        let ops = random_ops(&mut rng, 79);
+        let n_inputs = 2 + rng.below(6) as usize;
         let net = random_netlist(&ops, n_inputs);
         let compiled = pnr::compile(
             &net,
-            pnr::CompileOptions { seed, ..Default::default() },
-        ).unwrap();
+            pnr::CompileOptions {
+                seed: rng.next_u64(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let p = &compiled.placed;
         let mut seen = std::collections::HashSet::new();
         for &(c, r) in &p.coords {
-            prop_assert!(c < p.width && r < p.height);
-            prop_assert!(seen.insert((c, r)), "cell double-booked");
+            assert!(c < p.width && r < p.height, "seed {seed}");
+            assert!(seen.insert((c, r)), "seed {seed}: cell double-booked");
         }
     }
+}
 
-    /// Rect splitting then merging is the identity; split parts never
-    /// intersect and tile the original area.
-    #[test]
-    fn rect_split_merge_roundtrip(
-        col in 0u32..50, row in 0u32..50,
-        w in 2u32..40, h in 2u32..40,
-        at_frac in 1u32..100,
-    ) {
+/// Rect splitting then merging is the identity; split parts never
+/// intersect and tile the original area.
+#[test]
+fn rect_split_merge_roundtrip() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::new(seed);
+        let col = rng.below(50) as u32;
+        let row = rng.below(50) as u32;
+        let w = 2 + rng.below(38) as u32;
+        let h = 2 + rng.below(38) as u32;
+        let at_frac = 1 + rng.below(99) as u32;
         let r = fpga::Rect::new(col, row, w, h);
         let at_col = col + 1 + (at_frac % (w - 1));
         let (a, b) = r.split_at_col(at_col);
-        prop_assert!(!a.intersects(&b));
-        prop_assert_eq!(a.area() + b.area(), r.area());
-        prop_assert_eq!(a.merge(&b), Some(r));
+        assert!(!a.intersects(&b), "seed {seed}");
+        assert_eq!(a.area() + b.area(), r.area(), "seed {seed}");
+        assert_eq!(a.merge(&b), Some(r), "seed {seed}");
 
         let at_row = row + 1 + (at_frac % (h - 1));
         let (t, bt) = r.split_at_row(at_row);
-        prop_assert!(!t.intersects(&bt));
-        prop_assert_eq!(t.merge(&bt), Some(r));
+        assert!(!t.intersects(&bt), "seed {seed}");
+        assert_eq!(t.merge(&bt), Some(r), "seed {seed}");
     }
+}
 
-    /// LRU paging obeys the stack property: more slots never cause more
-    /// faults (no Belady anomaly), for arbitrary traces.
-    #[test]
-    fn lru_paging_has_no_belady_anomaly(
-        trace in proptest::collection::vec(0usize..6, 1..300),
-        small in 2u32..5,
-    ) {
+/// LRU paging obeys the stack property: more slots never cause more
+/// faults (no Belady anomaly), for arbitrary traces.
+#[test]
+fn lru_paging_has_no_belady_anomaly() {
+    for seed in 0..32u64 {
+        let mut rng = SimRng::new(seed);
+        let n = 1 + rng.below(300) as usize;
+        let trace: Vec<usize> = (0..n).map(|_| rng.below(6) as usize).collect();
+        let small = 2 + rng.below(3) as u32;
         let func = vfpga::vmem::SegmentedFunction {
             segment_widths: vec![2, 3, 1, 2, 4, 2],
         };
@@ -117,55 +134,81 @@ proptest! {
         };
         let faults = |budget: u32| {
             let mut p = vfpga::vmem::PagingSim::new(
-                &func, timing, budget, 2, vfpga::vmem::Replacement::Lru,
+                &func,
+                timing,
+                budget,
+                2,
+                vfpga::vmem::Replacement::Lru,
             );
             p.run_trace(&trace).faults
         };
         let small_budget = small * 2;
         let big_budget = small_budget + 4;
-        prop_assert!(faults(small_budget) >= faults(big_budget));
+        assert!(faults(small_budget) >= faults(big_budget), "seed {seed}");
     }
+}
 
-    /// Bitstream CRC detects any single-field tampering of a frame write.
-    #[test]
-    fn bitstream_crc_detects_tampering(
-        col in 0u32..30, row0 in 0u32..30, table in any::<u16>(),
-        flip in any::<u16>(),
-    ) {
-        prop_assume!(flip != 0);
+/// Bitstream CRC detects any single-field tampering of a frame write.
+#[test]
+fn bitstream_crc_detects_tampering() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::new(seed);
+        let col = rng.below(30) as u32;
+        let row0 = rng.below(30) as u32;
+        let table = rng.next_u64() as u16;
+        let flip = (rng.next_u64() as u16).max(1);
         let cell = fpga::ClbCell::comb(table, [fpga::ClbSource::None; 4]);
         let bs = fpga::Bitstream::new(
             "t",
-            vec![fpga::FrameWrite { col, row0, cells: vec![Some(cell)] }],
+            vec![fpga::FrameWrite {
+                col,
+                row0,
+                cells: vec![Some(cell)],
+            }],
             vec![],
             false,
         );
-        prop_assert!(bs.crc_ok());
+        assert!(bs.crc_ok(), "seed {seed}");
         let mut bad = bs.clone();
         if let Some(Some(c)) = bad.frames[0].cells.first_mut().map(|c| c.as_mut()) {
             c.lut_table ^= flip;
         }
-        prop_assert!(!bad.crc_ok());
+        assert!(!bad.crc_ok(), "seed {seed}");
     }
+}
 
-    /// Summary::merge is associative-enough: merging partitions of a sample
-    /// set matches the sequential summary.
-    #[test]
-    fn summary_merge_matches_sequential(
-        xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
-        cut in 0usize..200,
-    ) {
-        let cut = cut % xs.len();
+/// Summary::merge is associative-enough: merging partitions of a sample
+/// set matches the sequential summary.
+#[test]
+fn summary_merge_matches_sequential() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::new(seed);
+        let n = 1 + rng.below(200) as usize;
+        let xs: Vec<f64> = (0..n)
+            .map(|_| (rng.next_u64() as f64 / u64::MAX as f64 - 0.5) * 2e6)
+            .collect();
+        let cut = rng.below(n as u64) as usize;
         let mut whole = fsim::Summary::new();
-        for &x in &xs { whole.add(x); }
+        for &x in &xs {
+            whole.add(x);
+        }
         let mut left = fsim::Summary::new();
         let mut right = fsim::Summary::new();
-        for &x in &xs[..cut] { left.add(x); }
-        for &x in &xs[cut..] { right.add(x); }
+        for &x in &xs[..cut] {
+            left.add(x);
+        }
+        for &x in &xs[cut..] {
+            right.add(x);
+        }
         left.merge(&right);
-        prop_assert_eq!(left.count(), whole.count());
-        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
-        prop_assert!((left.variance() - whole.variance()).abs()
-            < 1e-5 * (1.0 + whole.variance().abs()));
+        assert_eq!(left.count(), whole.count(), "seed {seed}");
+        assert!(
+            (left.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()),
+            "seed {seed}"
+        );
+        assert!(
+            (left.variance() - whole.variance()).abs() < 1e-5 * (1.0 + whole.variance().abs()),
+            "seed {seed}"
+        );
     }
 }
