@@ -15,4 +15,14 @@ cargo build --release --workspace
 echo "==> cargo test (tier 1)"
 cargo test -q --workspace
 
+echo "==> e15 fault-recovery smoke (JSON parse-back + bit reproducibility)"
+E15_TMP="$(mktemp -d)"
+trap 'rm -rf "$E15_TMP"' EXIT
+# The binary itself re-reads and re-parses the export through the bench
+# JSON reader and exits nonzero if it does not round-trip.
+./target/release/e15_fault_recovery --smoke --seed 3605 --json "$E15_TMP/a.json" >/dev/null
+./target/release/e15_fault_recovery --smoke --seed 3605 --json "$E15_TMP/b.json" >/dev/null
+cmp "$E15_TMP/a.json" "$E15_TMP/b.json" \
+  || { echo "e15 smoke: same-seed runs are not byte-identical"; exit 1; }
+
 echo "CI green."

@@ -40,7 +40,8 @@ fn main() {
             timing,
             PartitionMode::Variable,
             PreemptAction::SaveRestore,
-        );
+        )
+        .unwrap();
         for round in 0..50u32 {
             for (k, &cid) in ids.iter().enumerate() {
                 let t = TaskId(round * 16 + k as u32);
@@ -76,7 +77,7 @@ fn main() {
             SystemConfig::default(),
             specs,
         );
-        sys.run().makespan
+        sys.run().unwrap().makespan
     });
 
     suite.print();

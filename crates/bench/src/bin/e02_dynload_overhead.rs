@@ -77,7 +77,7 @@ fn main() {
                 specs,
             )
             .with_trace_capacity(4096);
-            let r = sys.run();
+            let r = sys.run().unwrap();
             ex.report(&format!("{pname}/slice-{slice}ms"), &r);
             t.row(vec![
                 format!("{slice} ms"),

@@ -75,6 +75,7 @@ fn main() {
             )
             .with_trace_capacity(4096)
             .run()
+            .expect("deadlock")
         };
         ex.report(&format!("dynload/{n}-circuits"), &dyn_r);
 
@@ -88,7 +89,8 @@ fn main() {
                     specs,
                 )
                 .with_trace_capacity(4096)
-                .run();
+                .run()
+                .unwrap();
                 ex.report(&format!("merged/{n}-circuits"), &merged_r);
                 t.row(vec![
                     n.to_string(),

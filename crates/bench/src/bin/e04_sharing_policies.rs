@@ -86,7 +86,8 @@ fn main() {
             specs.clone(),
         )
         .with_trace_capacity(4096)
-        .run(),
+        .run()
+        .unwrap(),
         &mut t,
         &mut ex,
     );
@@ -99,7 +100,8 @@ fn main() {
             specs.clone(),
         )
         .with_trace_capacity(4096)
-        .run(),
+        .run()
+        .unwrap(),
         &mut t,
         &mut ex,
     );
@@ -111,7 +113,8 @@ fn main() {
                 timing,
                 PartitionMode::Variable,
                 PreemptAction::SaveRestore,
-            ),
+            )
+            .unwrap(),
             RoundRobinScheduler::new(slice),
             SystemConfig {
                 preempt: PreemptAction::SaveRestore,
@@ -120,7 +123,8 @@ fn main() {
             specs,
         )
         .with_trace_capacity(4096)
-        .run(),
+        .run()
+        .unwrap(),
         &mut t,
         &mut ex,
     );

@@ -120,7 +120,8 @@ fn main() {
             },
             mode,
             PreemptAction::SaveRestore,
-        );
+        )
+        .unwrap();
         let r = System::new(
             lib.clone(),
             mgr,
@@ -132,7 +133,8 @@ fn main() {
             specs,
         )
         .with_trace_capacity(4096)
-        .run();
+        .run()
+        .unwrap();
         ex.report(&name, &r);
         let blocked: u64 = r.tasks.iter().map(|x| x.blocked_count).sum();
         t.row(vec![

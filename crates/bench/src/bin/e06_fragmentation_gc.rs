@@ -76,7 +76,8 @@ fn micro_trace(
             timing,
             PartitionMode::Variable,
             PreemptAction::SaveRestore,
-        );
+        )
+        .unwrap();
         m.gc_enabled = gc;
         // Fill the device left-to-right with the four narrow circuits,
         // finishing each op so they become idle residents. LRU order is
@@ -180,7 +181,8 @@ fn churn(
             timing,
             PartitionMode::Variable,
             PreemptAction::SaveRestore,
-        );
+        )
+        .unwrap();
         mgr.gc_enabled = gc;
         let r = System::new(
             lib.clone(),
@@ -193,7 +195,8 @@ fn churn(
             build_specs(0xE06),
         )
         .with_trace_capacity(8192)
-        .run();
+        .run()
+        .unwrap();
         ex.report(if gc { "churn/gc-on" } else { "churn/gc-off" }, &r);
         t.row(vec![
             if gc { "on" } else { "off" }.into(),

@@ -79,7 +79,7 @@ fn main() {
             let common: Vec<_> = ids[..k].to_vec();
             let common_w: u32 = common.iter().map(|&i| lib.get(i).shape().0).sum();
             let slot_w = widest.max((timing.spec.cols - common_w) / 3);
-            let mgr = OverlayManager::new(lib.clone(), timing, common, slot_w, policy);
+            let mgr = OverlayManager::new(lib.clone(), timing, common, slot_w, policy).unwrap();
             let slots = mgr.slot_count();
             let r = System::new(
                 lib.clone(),
@@ -92,7 +92,8 @@ fn main() {
                 build_specs(0xE07),
             )
             .with_trace_capacity(4096)
-            .run();
+            .run()
+            .unwrap();
             ex.report(&format!("top{k}/{policy:?}"), &r);
             let s = r.manager_stats;
             let hit_rate = s.hits as f64 / (s.hits + s.misses).max(1) as f64;

@@ -31,7 +31,7 @@ fn main() {
         ],
     );
     for v in [32u32, 64, 96, 128, 192, 256, 512] {
-        let plan = mux_plan(v, 64);
+        let plan = mux_plan(v, 64).expect("nonzero pins");
         t.row(vec![
             v.to_string(),
             plan.frames.to_string(),

@@ -93,7 +93,8 @@ fn main() {
                 specs,
             )
             .with_trace_capacity(4096)
-            .run();
+            .run()
+            .unwrap();
             ex.report(&format!("{op_ms}ms/{policy:?}"), &r);
             t.row(vec![
                 format!("{op_ms} ms"),

@@ -85,7 +85,8 @@ fn main() {
             specs,
         )
         .with_trace_capacity(4096)
-        .run();
+        .run()
+        .unwrap();
         ex.report(&name, &r);
         // Wasted time = overhead beyond the single configuration download.
         let config = r.manager_stats.config_time;

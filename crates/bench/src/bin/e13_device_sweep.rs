@@ -87,7 +87,8 @@ fn main() {
             timing,
             PartitionMode::Variable,
             PreemptAction::SaveRestore,
-        );
+        )
+        .unwrap();
         let r = System::new(
             lib.clone(),
             mgr,
@@ -99,7 +100,8 @@ fn main() {
             specs,
         )
         .with_trace_capacity(4096)
-        .run();
+        .run()
+        .unwrap();
         ex.report(spec.name, &r);
         t.row(vec![
             spec.name.into(),

@@ -112,6 +112,7 @@ fn main() {
         )
         .with_trace_capacity(4096)
         .run()
+        .expect("deadlock")
     }
 
     for sched_kind in ["fifo", "rr", "priority"] {
@@ -175,6 +176,7 @@ fn main() {
                 PartitionMode::Variable,
                 PreemptAction::SaveRestore,
             )
+            .unwrap()
         };
         let r = match sched_kind {
             "fifo" => run(

@@ -6,20 +6,25 @@
 //! kind the managers emit: task lifecycle, dispatches, downloads,
 //! preemptions, and GC.
 //!
-//! Usage: `trace_dump [--tag TAG]... [--limit N] [--seed S] [--summary]`
+//! Usage: `trace_dump [--tag TAG]... [--limit N] [--seed S] [--summary]
+//! [--faults]`
 //!
 //! * `--tag TAG` — print only events whose tag matches (repeatable;
-//!   tags: arrive/ready/run/block/done/dispatch/config/preempt/gc/
-//!   fault/overlay/iomux/custom).
+//!   tags: arrive/ready/run/block/fail/done/dispatch/config/preempt/gc/
+//!   fault/overlay/iomux/custom, plus with `--faults` the
+//!   injection/recovery tags fault-inj/crc/scrub/retry/task-fail/
+//!   col-retire/recover).
 //! * `--limit N` — print at most N events (default 200; `0` = unlimited).
 //! * `--seed S`  — workload seed (default 0xE04).
 //! * `--summary` — skip the event listing, print only the per-tag counts.
+//! * `--faults`  — attach a deterministic fault injector (download
+//!   corruption + SEUs + 2ms scrubbing) so the recovery events appear.
 
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::{SimDuration, SimRng};
 use std::collections::BTreeMap;
 use vfpga::manager::partition::{PartitionManager, PartitionMode};
-use vfpga::{PreemptAction, RoundRobinScheduler, System, SystemConfig};
+use vfpga::{FaultPlan, PreemptAction, RecoveryPolicy, RoundRobinScheduler, System, SystemConfig};
 use workload::{poisson_tasks, Domain, MixParams};
 
 struct Args {
@@ -27,6 +32,7 @@ struct Args {
     limit: usize,
     seed: u64,
     summary_only: bool,
+    faults: bool,
 }
 
 fn parse_args() -> Args {
@@ -35,6 +41,7 @@ fn parse_args() -> Args {
         limit: 200,
         seed: 0xE04,
         summary_only: false,
+        faults: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -62,8 +69,11 @@ fn parse_args() -> Args {
                 });
             }
             "--summary" => out.summary_only = true,
+            "--faults" => out.faults = true,
             "--help" | "-h" => {
-                println!("usage: trace_dump [--tag TAG]... [--limit N] [--seed S] [--summary]");
+                println!(
+                    "usage: trace_dump [--tag TAG]... [--limit N] [--seed S] [--summary] [--faults]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -103,8 +113,9 @@ fn main() {
         timing,
         PartitionMode::Variable,
         PreemptAction::SaveRestore,
-    );
-    let (report, trace) = System::new(
+    )
+    .unwrap();
+    let mut sys = System::new(
         lib,
         mgr,
         RoundRobinScheduler::new(SimDuration::from_millis(10)),
@@ -113,9 +124,21 @@ fn main() {
             ..Default::default()
         },
         specs,
-    )
-    .with_trace()
-    .run_traced();
+    );
+    if args.faults {
+        let plan = FaultPlan {
+            seed: args.seed,
+            download_corruption: 0.1,
+            seu_rate_per_s: 200.0,
+            column_failure_rate_per_s: 2.0,
+        };
+        let policy = RecoveryPolicy {
+            scrub_interval: Some(SimDuration::from_millis(2)),
+            ..RecoveryPolicy::default()
+        };
+        sys = sys.with_faults(plan, policy);
+    }
+    let (report, trace) = sys.with_trace().run_traced().expect("deadlock");
 
     let mut by_tag: BTreeMap<&'static str, u64> = BTreeMap::new();
     let mut printed = 0usize;

@@ -116,7 +116,9 @@ fn report_json(label: &str, r: &Report) -> Json {
                     .set("fpga_s", t.fpga_time.as_secs_f64())
                     .set("overhead_s", t.overhead_time.as_secs_f64())
                     .set("lost_s", t.lost_time.as_secs_f64())
+                    .set("fault_lost_s", t.fault_lost_time.as_secs_f64())
                     .set("blocked", t.blocked_count)
+                    .set("failed", t.failed)
                     .set(
                         "waiting_s",
                         t.waiting_checked()
@@ -163,8 +165,36 @@ fn report_json(label: &str, r: &Report) -> Json {
                 .set("state_s", b.state.as_secs_f64())
                 .set("gc_s", b.gc.as_secs_f64())
                 .set("rollback_loss_s", b.rollback_loss.as_secs_f64())
+                .set("fault_retry_s", b.fault_retry.as_secs_f64())
                 .set("other_s", b.other.as_secs_f64())
                 .set("total_s", b.total().as_secs_f64()),
+        )
+        .set(
+            "fault",
+            Obj::new()
+                .set("download_faults", r.fault.download_faults)
+                .set("seu_faults", r.fault.seu_faults)
+                .set("seu_benign", r.fault.seu_benign)
+                .set("column_faults", r.fault.column_faults)
+                .set("crc_mismatches", r.fault.crc_mismatches)
+                .set("retries", r.fault.retries)
+                .set("retry_time_s", r.fault.retry_time.as_secs_f64())
+                .set("tasks_failed", r.fault.tasks_failed)
+                .set("scrub_passes", r.fault.scrub_passes)
+                .set("scrub_time_s", r.fault.scrub_time.as_secs_f64())
+                .set("repairs", r.fault.repairs)
+                .set("repair_time_s", r.fault.repair_time.as_secs_f64())
+                .set("work_lost_s", r.fault.work_lost.as_secs_f64())
+                .set("columns_retired", r.fault.columns_retired)
+                .set("retire_time_s", r.fault.retire_time.as_secs_f64())
+                .set(
+                    "mttr_s",
+                    r.fault
+                        .mttr()
+                        .map(|m| Json::Num(m.as_secs_f64()))
+                        .unwrap_or(Json::Null),
+                )
+                .set("background_time_s", r.fault.background_time().as_secs_f64()),
         )
         .set("metrics", metrics_json(&r.metrics))
         .set("timelines", timelines_json(&r.timelines))

@@ -440,6 +440,104 @@ mod tests {
         assert_eq!(d.apply(&bs), Err(DeviceError::BadPin(spec.io_pins)));
     }
 
+    /// Every rejection path must leave the device byte-identical: cells,
+    /// flip-flops, IOBs, and the download counter. A full-stream rejection
+    /// is the sharpest case — validation must come before the wipe.
+    #[test]
+    fn apply_is_side_effect_free_on_every_error_path() {
+        let spec = part("VF100");
+        let mut d = Device::new(spec, ConfigPort::SerialFast);
+        d.apply(&xor_stream(&spec)).unwrap();
+        // Distinctive flip-flop state so a stray wipe shows up.
+        d.set_ff_word(0, 0, 0xDEAD_BEEF);
+        d.set_ff_word(0, 3, 0x1234_5678);
+        let before = format!("{d:?}");
+
+        let cell = ClbCell::comb(0, [ClbSource::None; 4]);
+        let corrupt = xor_stream(&spec).corrupted();
+        let oob_col = Bitstream::new(
+            "oob-col",
+            vec![FrameWrite {
+                col: spec.cols,
+                row0: 0,
+                cells: vec![Some(cell)],
+            }],
+            vec![],
+            false,
+        );
+        let oob_row = Bitstream::new(
+            "oob-row",
+            vec![FrameWrite {
+                col: 0,
+                row0: spec.rows - 1,
+                cells: vec![Some(cell); 2],
+            }],
+            vec![],
+            false,
+        );
+        let bad_pin = Bitstream::new("pin", vec![], vec![(spec.io_pins, IobConfig::Input)], false);
+        // A *full* stream with an invalid frame: rejection must precede
+        // the wipe a full download normally performs.
+        let full_oob = Bitstream::new(
+            "full-oob",
+            vec![FrameWrite {
+                col: spec.cols,
+                row0: 0,
+                cells: vec![Some(cell)],
+            }],
+            vec![],
+            true,
+        );
+        for (bs, err) in [
+            (&corrupt, DeviceError::CrcMismatch),
+            (
+                &oob_col,
+                DeviceError::OutOfRange {
+                    col: spec.cols,
+                    row: 0,
+                },
+            ),
+            (
+                &oob_row,
+                DeviceError::OutOfRange {
+                    col: 0,
+                    row: spec.rows,
+                },
+            ),
+            (&bad_pin, DeviceError::BadPin(spec.io_pins)),
+            (
+                &full_oob,
+                DeviceError::OutOfRange {
+                    col: spec.cols,
+                    row: 0,
+                },
+            ),
+        ] {
+            assert_eq!(d.apply(bs), Err(err));
+            assert_eq!(
+                format!("{d:?}"),
+                before,
+                "rejected {:?} mutated state",
+                bs.label
+            );
+        }
+
+        // PartialUnsupported on a slow-port device configured via a full
+        // download.
+        let mut slow = Device::new(spec, ConfigPort::SerialSlow);
+        let f = xor_stream(&spec);
+        let full = Bitstream::new(f.label, f.frames, f.iobs, true);
+        slow.apply(&full).unwrap();
+        slow.set_ff_word(0, 1, 0xCAFE);
+        let before_slow = format!("{slow:?}");
+        assert_eq!(
+            slow.apply(&xor_stream(&spec)),
+            Err(DeviceError::PartialUnsupported)
+        );
+        assert_eq!(format!("{slow:?}"), before_slow);
+        assert_eq!(slow.download_count(), 1);
+    }
+
     #[test]
     fn full_download_wipes_previous_contents() {
         let spec = part("VF100");

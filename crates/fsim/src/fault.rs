@@ -1,0 +1,217 @@
+//! Deterministic fault injection.
+//!
+//! RAM-based FPGAs fail in ways an OS layer must survive: a configuration
+//! download can be corrupted in transit (detected by the bitstream CRC), a
+//! configuration-memory cell can be upset while a circuit runs (an SEU,
+//! detected only by scrubbing readback), and fabric columns can fail
+//! permanently, retiring capacity mid-run. A [`FaultPlan`] describes the
+//! rates of those three processes; a [`FaultInjector`] turns the plan into
+//! a reproducible stream of faults, one independent [`SimRng`] sub-stream
+//! per fault class so enabling one class never perturbs another.
+//!
+//! Everything here is deterministic: the same plan (including its seed)
+//! yields bit-identical fault sequences, so a fault-injected run is as
+//! reproducible as a fault-free one.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// Rates for the three modeled fault classes. All rates default to zero:
+/// `FaultPlan::default()` (or [`FaultPlan::none`]) injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the injector's random streams.
+    pub seed: u64,
+    /// Probability that any single configuration download arrives
+    /// corrupted (caught by the bitstream CRC on the device).
+    pub download_corruption: f64,
+    /// Poisson rate (events per simulated second) of configuration-memory
+    /// upsets striking a uniformly random fabric column.
+    pub seu_rate_per_s: f64,
+    /// Poisson rate (events per simulated second) of permanent column
+    /// failures.
+    pub column_failure_rate_per_s: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (all rates zero).
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            download_corruption: 0.0,
+            seu_rate_per_s: 0.0,
+            column_failure_rate_per_s: 0.0,
+        }
+    }
+
+    /// Whether every fault class is disabled.
+    pub fn is_zero(&self) -> bool {
+        self.download_corruption <= 0.0
+            && self.seu_rate_per_s <= 0.0
+            && self.column_failure_rate_per_s <= 0.0
+    }
+}
+
+/// Turns a [`FaultPlan`] into reproducible fault streams.
+///
+/// Each fault class draws from its own derived RNG stream, so consuming
+/// (say) download-corruption randomness never shifts the SEU sequence.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    cols: u32,
+    dl_rng: SimRng,
+    seu_rng: SimRng,
+    col_rng: SimRng,
+}
+
+impl FaultInjector {
+    /// An injector over a device with `cols` fabric columns.
+    pub fn new(plan: FaultPlan, cols: u32) -> Self {
+        let root = SimRng::new(plan.seed);
+        FaultInjector {
+            plan,
+            cols: cols.max(1),
+            dl_rng: root.derive(1),
+            seu_rng: root.derive(2),
+            col_rng: root.derive(3),
+        }
+    }
+
+    /// The plan this injector was built from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decide whether the download that just happened was corrupted.
+    /// Consumes randomness only when the corruption probability is
+    /// nonzero, so a zero-rate plan is bit-identical to no injector.
+    pub fn corrupt_download(&mut self) -> bool {
+        self.plan.download_corruption > 0.0 && self.dl_rng.chance(self.plan.download_corruption)
+    }
+
+    /// Time until the next configuration-memory upset (exponential
+    /// interarrival), or `None` when SEUs are disabled.
+    pub fn next_seu(&mut self) -> Option<SimDuration> {
+        Self::interarrival(&mut self.seu_rng, self.plan.seu_rate_per_s)
+    }
+
+    /// The column struck by an upset (uniform over the fabric).
+    pub fn seu_column(&mut self) -> u32 {
+        self.seu_rng.below(u64::from(self.cols)) as u32
+    }
+
+    /// Time until the next permanent column failure, or `None` when
+    /// column failures are disabled.
+    pub fn next_column_failure(&mut self) -> Option<SimDuration> {
+        Self::interarrival(&mut self.col_rng, self.plan.column_failure_rate_per_s)
+    }
+
+    /// The column that fails permanently (uniform over the fabric).
+    pub fn failed_column(&mut self) -> u32 {
+        self.col_rng.below(u64::from(self.cols)) as u32
+    }
+
+    fn interarrival(rng: &mut SimRng, rate_per_s: f64) -> Option<SimDuration> {
+        if rate_per_s <= 0.0 {
+            return None;
+        }
+        let mean_ns = 1e9 / rate_per_s;
+        let ns = rng.exp(mean_ns).ceil() as u64;
+        Some(SimDuration::from_nanos(ns.max(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            download_corruption: 0.2,
+            seu_rate_per_s: 50.0,
+            column_failure_rate_per_s: 2.0,
+        }
+    }
+
+    #[test]
+    fn zero_plan_injects_nothing() {
+        let mut inj = FaultInjector::new(FaultPlan::none(), 20);
+        assert!(FaultPlan::none().is_zero());
+        for _ in 0..100 {
+            assert!(!inj.corrupt_download());
+        }
+        assert_eq!(inj.next_seu(), None);
+        assert_eq!(inj.next_column_failure(), None);
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let mut a = FaultInjector::new(plan(42), 20);
+        let mut b = FaultInjector::new(plan(42), 20);
+        for _ in 0..200 {
+            assert_eq!(a.corrupt_download(), b.corrupt_download());
+            assert_eq!(a.next_seu(), b.next_seu());
+            assert_eq!(a.seu_column(), b.seu_column());
+            assert_eq!(a.next_column_failure(), b.next_column_failure());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultInjector::new(plan(1), 20);
+        let mut b = FaultInjector::new(plan(2), 20);
+        let sa: Vec<_> = (0..50).map(|_| a.next_seu()).collect();
+        let sb: Vec<_> = (0..50).map(|_| b.next_seu()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        // Draining download randomness must not shift the SEU stream.
+        let mut a = FaultInjector::new(plan(7), 20);
+        let mut b = FaultInjector::new(plan(7), 20);
+        for _ in 0..100 {
+            a.corrupt_download();
+        }
+        for _ in 0..20 {
+            assert_eq!(a.next_seu(), b.next_seu());
+        }
+    }
+
+    #[test]
+    fn seu_interarrival_mean_tracks_rate() {
+        // 1000 draws at 100 events/s: mean should be ~10 ms (loose bound).
+        let mut inj = FaultInjector::new(
+            FaultPlan {
+                seed: 3,
+                seu_rate_per_s: 100.0,
+                ..FaultPlan::none()
+            },
+            20,
+        );
+        let n = 1000;
+        let total: u64 = (0..n).map(|_| inj.next_seu().unwrap().as_nanos()).sum();
+        let mean_ms = total as f64 / n as f64 / 1e6;
+        assert!(
+            (5.0..20.0).contains(&mean_ms),
+            "mean interarrival {mean_ms} ms implausible for 100/s"
+        );
+    }
+
+    #[test]
+    fn columns_stay_in_range() {
+        let mut inj = FaultInjector::new(plan(9), 13);
+        for _ in 0..500 {
+            assert!(inj.seu_column() < 13);
+            assert!(inj.failed_column() < 13);
+        }
+    }
+}

@@ -10,6 +10,8 @@
 //!   workload generators need (uniform, exponential, Zipf, bounded Pareto),
 //! * [`stats`] — streaming summary statistics and fixed-bin histograms,
 //! * [`trace`] — typed, optionally ring-buffered event tracing,
+//! * [`fault`] — seeded fault-injection plans (download corruption,
+//!   configuration upsets, permanent column failures),
 //! * [`obs`] — a metrics registry and time-weighted utilization timelines.
 //!
 //! Everything in this crate is deterministic: the same seed and the same
@@ -17,6 +19,7 @@
 //! is what makes the experiment tables in `EXPERIMENTS.md` reproducible.
 
 pub mod event;
+pub mod fault;
 pub mod obs;
 pub mod rng;
 pub mod stats;
@@ -24,6 +27,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::{EventQueue, ScheduledEvent};
+pub use fault::{FaultInjector, FaultPlan};
 pub use obs::{Metrics, Timeline, TimelineSet};
 pub use rng::SimRng;
 pub use stats::{Histogram, Summary};

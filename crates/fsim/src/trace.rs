@@ -145,6 +145,69 @@ pub enum TraceEvent {
         /// Pins in the slot.
         pins: u32,
     },
+    /// A fault was injected into the device.
+    FaultInjected {
+        /// Fault class: `"download"`, `"seu"`, or `"column"`.
+        kind: &'static str,
+        /// Circuit whose configuration the fault struck, if any.
+        circuit: Option<u32>,
+        /// Fabric column struck, when the fault has a location.
+        col: Option<u32>,
+    },
+    /// A CRC check caught corrupted configuration data.
+    CrcMismatch {
+        /// Circuit whose configuration failed the check.
+        circuit: u32,
+        /// Task affected, if the corruption was caught on its download.
+        task: Option<u32>,
+        /// Where the check ran: `"download"` or `"scrub"`.
+        context: &'static str,
+    },
+    /// One periodic scrubbing pass (readback + CRC compare).
+    ScrubPass {
+        /// Configuration frames read back.
+        frames: u32,
+        /// Latent upsets detected this pass.
+        found: u32,
+        /// Readback port time charged.
+        duration: SimDuration,
+    },
+    /// A corrupted download will be retried after a backoff.
+    RetryScheduled {
+        /// Task whose download failed.
+        task: u32,
+        /// Attempt number (1 = first retry).
+        attempt: u32,
+        /// Backoff delay before the retry.
+        backoff: SimDuration,
+    },
+    /// A task was declared failed (recovery gave up on it).
+    TaskFailed {
+        /// Task identifier.
+        task: u32,
+        /// Why recovery gave up.
+        reason: &'static str,
+    },
+    /// A fabric column was permanently retired.
+    ColumnRetired {
+        /// The failed column.
+        col: u32,
+        /// Resident circuits relocated off the column.
+        relocations: u32,
+        /// Relocation/eviction cost of the retirement.
+        duration: SimDuration,
+    },
+    /// A detected upset was repaired (re-download, possibly state moves).
+    Recovered {
+        /// Circuit repaired.
+        circuit: u32,
+        /// Task whose in-flight work the repair adjusted, if any.
+        task: Option<u32>,
+        /// FPGA progress discarded by the recovery.
+        lost: SimDuration,
+        /// Repair cost (re-download + state traffic).
+        duration: SimDuration,
+    },
     /// Escape hatch for one-off annotations.
     Custom {
         /// Category tag.
@@ -169,6 +232,13 @@ impl TraceEvent {
             TraceEvent::PageFault { .. } => "fault",
             TraceEvent::OverlaySwap { .. } => "overlay",
             TraceEvent::IoMuxGrant { .. } => "iomux",
+            TraceEvent::FaultInjected { .. } => "fault-inj",
+            TraceEvent::CrcMismatch { .. } => "crc",
+            TraceEvent::ScrubPass { .. } => "scrub",
+            TraceEvent::RetryScheduled { .. } => "retry",
+            TraceEvent::TaskFailed { .. } => "task-fail",
+            TraceEvent::ColumnRetired { .. } => "col-retire",
+            TraceEvent::Recovered { .. } => "recover",
             TraceEvent::Custom { tag, .. } => tag,
         }
     }
@@ -252,6 +322,74 @@ impl fmt::Display for TraceEvent {
             ),
             TraceEvent::IoMuxGrant { task, slot, pins } => {
                 write!(f, "iomux grant slot {slot} ({pins} pins) to task {task}")
+            }
+            TraceEvent::FaultInjected { kind, circuit, col } => {
+                write!(f, "inject {kind} fault")?;
+                if let Some(c) = col {
+                    write!(f, " at col {c}")?;
+                }
+                match circuit {
+                    Some(cid) => write!(f, " hitting circuit {cid}"),
+                    None => write!(f, " (benign: no circuit hit)"),
+                }
+            }
+            TraceEvent::CrcMismatch {
+                circuit,
+                task,
+                context,
+            } => {
+                write!(f, "crc mismatch on circuit {circuit} [{context}]")?;
+                if let Some(t) = task {
+                    write!(f, " for task {t}")?;
+                }
+                Ok(())
+            }
+            TraceEvent::ScrubPass {
+                frames,
+                found,
+                duration,
+            } => write!(
+                f,
+                "scrub {frames} frames, {found} upsets found, {:.3} ms",
+                duration.as_millis_f64()
+            ),
+            TraceEvent::RetryScheduled {
+                task,
+                attempt,
+                backoff,
+            } => write!(
+                f,
+                "retry #{attempt} for task {task} after {:.3} ms backoff",
+                backoff.as_millis_f64()
+            ),
+            TraceEvent::TaskFailed { task, reason } => {
+                write!(f, "task {task} failed: {reason}")
+            }
+            TraceEvent::ColumnRetired {
+                col,
+                relocations,
+                duration,
+            } => write!(
+                f,
+                "retire col {col}: {relocations} relocations, {:.3} ms",
+                duration.as_millis_f64()
+            ),
+            TraceEvent::Recovered {
+                circuit,
+                task,
+                lost,
+                duration,
+            } => {
+                write!(f, "recovered circuit {circuit}")?;
+                if let Some(t) = task {
+                    write!(f, " (task {t})")?;
+                }
+                write!(
+                    f,
+                    ": lost {:.3} ms, repair {:.3} ms",
+                    lost.as_millis_f64(),
+                    duration.as_millis_f64()
+                )
             }
             TraceEvent::Custom { message, .. } => f.write_str(message),
         }
@@ -523,6 +661,80 @@ mod tests {
         assert!(fs.contains("fault page 3"));
         assert!(fs.contains("evict page 1"));
         assert_eq!(f.tag(), "fault");
+    }
+
+    #[test]
+    fn fault_event_tags_and_display() {
+        let cases: Vec<(TraceEvent, &str, &str)> = vec![
+            (
+                TraceEvent::FaultInjected {
+                    kind: "seu",
+                    circuit: Some(2),
+                    col: Some(7),
+                },
+                "fault-inj",
+                "inject seu fault at col 7 hitting circuit 2",
+            ),
+            (
+                TraceEvent::CrcMismatch {
+                    circuit: 3,
+                    task: Some(1),
+                    context: "download",
+                },
+                "crc",
+                "crc mismatch on circuit 3 [download] for task 1",
+            ),
+            (
+                TraceEvent::ScrubPass {
+                    frames: 12,
+                    found: 1,
+                    duration: SimDuration::from_micros(80),
+                },
+                "scrub",
+                "scrub 12 frames, 1 upsets found",
+            ),
+            (
+                TraceEvent::RetryScheduled {
+                    task: 4,
+                    attempt: 2,
+                    backoff: SimDuration::from_millis(1),
+                },
+                "retry",
+                "retry #2 for task 4",
+            ),
+            (
+                TraceEvent::TaskFailed {
+                    task: 5,
+                    reason: "download retries exhausted",
+                },
+                "task-fail",
+                "task 5 failed: download retries exhausted",
+            ),
+            (
+                TraceEvent::ColumnRetired {
+                    col: 9,
+                    relocations: 1,
+                    duration: SimDuration::from_micros(40),
+                },
+                "col-retire",
+                "retire col 9: 1 relocations",
+            ),
+            (
+                TraceEvent::Recovered {
+                    circuit: 6,
+                    task: None,
+                    lost: SimDuration::ZERO,
+                    duration: SimDuration::from_micros(25),
+                },
+                "recover",
+                "recovered circuit 6",
+            ),
+        ];
+        for (ev, tag, fragment) in cases {
+            assert_eq!(ev.tag(), tag);
+            let s = ev.to_string();
+            assert!(s.contains(fragment), "{s:?} missing {fragment:?}");
+        }
     }
 
     #[test]

@@ -137,12 +137,17 @@ impl MuxPlan {
     }
 }
 
-/// Compute the multiplexing plan.
+/// Compute the multiplexing plan. Fails with [`VfpgaError::ZeroPins`]
+/// when no physical pins are granted — there is nothing to multiplex over.
 ///
-/// # Panics
-/// Panics when no physical pins are granted.
-pub fn mux_plan(virtual_pins: u32, physical_pins: u32) -> MuxPlan {
-    assert!(physical_pins > 0, "cannot multiplex over zero pins");
+/// [`VfpgaError::ZeroPins`]: crate::error::VfpgaError::ZeroPins
+pub fn mux_plan(
+    virtual_pins: u32,
+    physical_pins: u32,
+) -> Result<MuxPlan, crate::error::VfpgaError> {
+    if physical_pins == 0 {
+        return Err(crate::error::VfpgaError::ZeroPins);
+    }
     let frames = virtual_pins.div_ceil(physical_pins).max(1);
     // Service logic: each virtual pin needs a holding flip-flop (1 CLB per
     // 1 bit in our fabric packing) when frames > 1, plus a selector tree of
@@ -152,12 +157,12 @@ pub fn mux_plan(virtual_pins: u32, physical_pins: u32) -> MuxPlan {
     } else {
         virtual_pins + physical_pins * frames.div_ceil(4)
     };
-    MuxPlan {
+    Ok(MuxPlan {
         virtual_pins,
         physical_pins,
         frames,
         service_clbs,
-    }
+    })
 }
 
 /// Wall time to move `transfers` logical I/O transfers of a circuit whose
@@ -212,33 +217,33 @@ mod tests {
 
     #[test]
     fn mux_plan_frames_and_area() {
-        let exact = mux_plan(16, 16);
+        let exact = mux_plan(16, 16).unwrap();
         assert_eq!(exact.frames, 1);
         assert_eq!(exact.service_clbs, 0);
         assert_eq!(exact.throughput_factor(), 1.0);
 
-        let double = mux_plan(32, 16);
+        let double = mux_plan(32, 16).unwrap();
         assert_eq!(double.frames, 2);
         assert!(double.service_clbs >= 32, "holding registers for 32 vpins");
         assert_eq!(double.throughput_factor(), 0.5);
 
-        let heavy = mux_plan(64, 4);
+        let heavy = mux_plan(64, 4).unwrap();
         assert_eq!(heavy.frames, 16);
         assert!(heavy.throughput_factor() < 0.07);
     }
 
     #[test]
     fn transfer_time_scales_with_frames() {
-        let p1 = mux_plan(8, 8);
-        let p4 = mux_plan(32, 8);
+        let p1 = mux_plan(8, 8).unwrap();
+        let p4 = mux_plan(32, 8).unwrap();
         let t1 = transfer_time(&p1, 1000, 10.0);
         let t4 = transfer_time(&p4, 1000, 10.0);
         assert_eq!(t4.as_nanos(), 4 * t1.as_nanos());
     }
 
     #[test]
-    #[should_panic(expected = "zero pins")]
-    fn zero_physical_pins_panics() {
-        mux_plan(8, 0);
+    fn zero_physical_pins_is_an_error() {
+        let err = mux_plan(8, 0).unwrap_err();
+        assert!(matches!(err, crate::error::VfpgaError::ZeroPins));
     }
 }

@@ -28,12 +28,17 @@
 //!   physical ones by time-division multiplexing,
 //! * [`syscall`] — the §3 declaration-time API (`fpga_open`-style) that
 //!   fills the OS circuit tables,
-//! * [`metrics`] — the accounting every experiment reports.
+//! * [`metrics`] — the accounting every experiment reports,
+//! * [`recovery`] / [`error`] — fault detection and recovery: retry of
+//!   CRC-rejected downloads, configuration scrubbing with upset repair,
+//!   permanent column retirement, and the typed error surface.
 
 pub mod circuit;
+pub mod error;
 pub mod iomux;
 pub mod manager;
 pub mod metrics;
+pub mod recovery;
 pub mod sched;
 pub mod syscall;
 pub mod system;
@@ -41,8 +46,11 @@ pub mod task;
 pub mod vmem;
 
 pub use circuit::{CircuitId, CircuitImage, CircuitLib};
+pub use error::VfpgaError;
+pub use fsim::{FaultInjector, FaultPlan};
 pub use manager::{Activation, DeviceUsage, FpgaManager, ManagerStats, PreemptAction, PreemptCost};
 pub use metrics::{OverheadBreakdown, Report, TaskMetrics};
+pub use recovery::{FaultStats, RecoveryPolicy, UpsetRecovery};
 pub use sched::{FifoScheduler, PriorityScheduler, RoundRobinScheduler, Scheduler};
 pub use syscall::{FpgaHandle, OpenError, OsInterface};
 pub use system::{CompletionDetect, System, SystemConfig};

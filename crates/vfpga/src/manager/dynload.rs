@@ -13,7 +13,7 @@
 
 use super::{
     charge_full_download, charge_partial_download, charge_state_move, Activation, DeviceUsage,
-    EventBuf, FpgaManager, ManagerStats, PreemptCost,
+    EventBuf, FpgaManager, ManagerStats, PreemptCost, ResidentRegion,
 };
 use crate::circuit::{CircuitId, CircuitLib};
 use crate::manager::PreemptAction;
@@ -158,6 +158,31 @@ impl FpgaManager for DynLoadManager {
             // Whole-device multiplexing: the free space is one contiguous
             // remainder (or none when a circuit covers the chip).
             free_fragments: u32::from(used < total),
+        }
+    }
+
+    fn timing(&self) -> &ConfigTiming {
+        &self.timing
+    }
+
+    fn resident_regions(&self) -> Vec<ResidentRegion> {
+        // Downloads always place the circuit from column 0.
+        self.loaded
+            .map(|cid| ResidentRegion {
+                cid,
+                col0: 0,
+                width: self.lib.get(cid).shape().0,
+            })
+            .into_iter()
+            .collect()
+    }
+
+    fn discard_resident(&mut self, cid: CircuitId) -> bool {
+        if self.loaded == Some(cid) {
+            self.loaded = None;
+            true
+        } else {
+            false
         }
     }
 }

@@ -11,7 +11,8 @@
 //! resource discipline). Waiters queue FIFO.
 
 use super::{
-    charge_full_download, Activation, DeviceUsage, EventBuf, FpgaManager, ManagerStats, PreemptCost,
+    charge_full_download, Activation, DeviceUsage, EventBuf, FpgaManager, ManagerStats,
+    PreemptCost, ResidentRegion,
 };
 use crate::circuit::{CircuitId, CircuitLib};
 use crate::task::TaskId;
@@ -131,6 +132,35 @@ impl FpgaManager for ExclusiveManager {
             used_clbs: used,
             total_clbs: total,
             free_fragments: u32::from(used < total),
+        }
+    }
+
+    fn timing(&self) -> &ConfigTiming {
+        &self.timing
+    }
+
+    fn preemptable(&self) -> bool {
+        false
+    }
+
+    fn resident_regions(&self) -> Vec<ResidentRegion> {
+        // Full reconfigurations start at column 0.
+        self.loaded
+            .map(|cid| ResidentRegion {
+                cid,
+                col0: 0,
+                width: self.lib.get(cid).shape().0,
+            })
+            .into_iter()
+            .collect()
+    }
+
+    fn discard_resident(&mut self, cid: CircuitId) -> bool {
+        if self.loaded == Some(cid) {
+            self.loaded = None;
+            true
+        } else {
+            false
         }
     }
 }

@@ -12,7 +12,7 @@
 
 use super::{
     charge_partial_download, Activation, DeviceUsage, EventBuf, FpgaManager, ManagerStats,
-    PreemptCost,
+    PreemptCost, ResidentRegion,
 };
 use crate::circuit::{CircuitId, CircuitLib};
 use crate::task::TaskId;
@@ -63,12 +63,16 @@ impl std::error::Error for MergeError {}
 /// All circuits resident simultaneously.
 #[derive(Debug)]
 pub struct MergedManager {
+    timing: ConfigTiming,
     stats: ManagerStats,
     busy: Vec<Option<TaskId>>,
     waiters: Vec<TaskId>,
     obs: EventBuf,
     /// Constant occupancy: the merged image never changes after boot.
     usage: DeviceUsage,
+    /// Fixed placement: circuits packed left-to-right in registration
+    /// order, never moved after the boot download.
+    regions: Vec<ResidentRegion>,
 }
 
 impl MergedManager {
@@ -101,7 +105,15 @@ impl MergedManager {
         );
         let used: u64 = lib.iter().map(|(_, c)| c.blocks() as u64).sum();
         let total = timing.spec.clbs() as u64;
+        let mut regions = Vec::with_capacity(lib.len());
+        let mut col0 = 0u32;
+        for (cid, c) in lib.iter() {
+            let width = c.shape().0;
+            regions.push(ResidentRegion { cid, col0, width });
+            col0 += width;
+        }
         Ok(MergedManager {
+            timing,
             stats,
             busy: vec![None; lib.len()],
             waiters: Vec::new(),
@@ -111,6 +123,7 @@ impl MergedManager {
                 total_clbs: total,
                 free_fragments: u32::from(used < total),
             },
+            regions,
         })
     }
 
@@ -183,6 +196,14 @@ impl FpgaManager for MergedManager {
 
     fn usage(&self) -> DeviceUsage {
         self.usage
+    }
+
+    fn timing(&self) -> &ConfigTiming {
+        &self.timing
+    }
+
+    fn resident_regions(&self) -> Vec<ResidentRegion> {
+        self.regions.clone()
     }
 }
 

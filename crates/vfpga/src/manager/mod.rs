@@ -28,6 +28,48 @@ pub enum Activation {
     /// The resource is held by others; the task must wait. The manager
     /// has queued it and will return it from a later wake list.
     Blocked,
+    /// The manager can never serve this request (circuit wider than any
+    /// slot/partition, or capacity permanently retired below the need).
+    /// The system fails the task instead of deadlocking on it.
+    Unservable,
+}
+
+/// A resident circuit's physical placement, reported by
+/// [`FpgaManager::resident_regions`] so fault injection can decide which
+/// circuit a configuration upset strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidentRegion {
+    /// The resident circuit.
+    pub cid: CircuitId,
+    /// First device column it occupies.
+    pub col0: u32,
+    /// Columns it spans.
+    pub width: u32,
+}
+
+impl ResidentRegion {
+    /// Whether the region covers device column `col`.
+    pub fn covers(&self, col: u32) -> bool {
+        col >= self.col0 && col < self.col0 + self.width
+    }
+}
+
+/// Result of asking the manager to permanently retire a device column
+/// ([`FpgaManager::retire_column`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetireOutcome {
+    /// The column is now retired. False when the manager does not track
+    /// spatial allocation (nothing to retire) — the fault is then absorbed.
+    pub applied: bool,
+    /// A task is mid-op on the column; the caller must retry later.
+    pub busy: bool,
+    /// Idle resident circuits relocated off the column.
+    pub relocations: u32,
+    /// Idle resident circuits evicted (no relocation target routed).
+    pub evicted: u32,
+    /// Port time the relocations/evictions cost (background recovery
+    /// time; accounted in [`crate::FaultStats`], not task-charged).
+    pub overhead: SimDuration,
 }
 
 /// What preempting a task mid-FPGA-op costs and loses.
@@ -176,6 +218,61 @@ pub trait FpgaManager {
     fn usage(&self) -> DeviceUsage {
         DeviceUsage::default()
     }
+
+    /// The configuration timing model the manager charges against. Fault
+    /// recovery uses it to price scrubbing readbacks and repair downloads
+    /// consistently with the manager's own accounting.
+    fn timing(&self) -> &fpga::ConfigTiming;
+
+    /// Whether [`FpgaManager::preempt`] is meaningful. The exclusive
+    /// baseline returns false ("any other task needing an already assigned
+    /// FPGA will enter the waiting state") and the system never slices its
+    /// FPGA ops.
+    fn preemptable(&self) -> bool {
+        true
+    }
+
+    /// Where resident circuits physically sit, for fault targeting.
+    /// Managers without spatial bookkeeping report nothing (an upset then
+    /// counts as benign — there is nothing mapped to corrupt).
+    fn resident_regions(&self) -> Vec<ResidentRegion> {
+        Vec::new()
+    }
+
+    /// Forget a resident circuit whose configuration was rejected by the
+    /// download CRC, so the next activation re-downloads it. Returns true
+    /// if the circuit was resident. Default: nothing tracked, nothing to
+    /// discard.
+    fn discard_resident(&mut self, _cid: CircuitId) -> bool {
+        false
+    }
+
+    /// Permanently retire device column `col` after a fabric failure,
+    /// relocating or evicting idle residents off it. The default (managers
+    /// without column bookkeeping) reports the fault absorbed but not
+    /// applied.
+    fn retire_column(&mut self, _col: u32) -> RetireOutcome {
+        RetireOutcome::default()
+    }
+}
+
+/// Pure cost of a partial download of `frames` full-column frames: header
+/// plus addressed frames over the port.
+pub(crate) fn partial_download_cost(timing: &fpga::ConfigTiming, frames: usize) -> SimDuration {
+    use fpga::config::{FRAME_ADDR_BITS, HEADER_BITS};
+    let bits = HEADER_BITS + frames as u64 * (FRAME_ADDR_BITS + timing.frame_bits());
+    let ns = bits.saturating_mul(1_000_000_000) / timing.port.bits_per_sec();
+    SimDuration::from_nanos(ns)
+}
+
+/// Pure cost of re-downloading `frames` frames to repair an upset: partial
+/// if the port supports addressing, otherwise a full reconfiguration.
+pub(crate) fn redownload_cost(timing: &fpga::ConfigTiming, frames: usize) -> SimDuration {
+    if timing.port.supports_partial() {
+        partial_download_cost(timing, frames)
+    } else {
+        timing.full_config_time()
+    }
 }
 
 /// Shared helper: charge a download of `frames` full-column frames on the
@@ -189,8 +286,7 @@ pub(crate) fn charge_partial_download(
 ) -> SimDuration {
     use fpga::config::{FRAME_ADDR_BITS, HEADER_BITS};
     let bits = HEADER_BITS + frames as u64 * (FRAME_ADDR_BITS + timing.frame_bits());
-    let ns = bits.saturating_mul(1_000_000_000) / timing.port.bits_per_sec();
-    let d = SimDuration::from_nanos(ns);
+    let d = partial_download_cost(timing, frames);
     stats.downloads += 1;
     stats.frames_written += frames as u64;
     stats.config_time += d;

@@ -13,9 +13,10 @@
 
 use super::{
     charge_partial_download, Activation, DeviceUsage, EventBuf, FpgaManager, ManagerStats,
-    PreemptCost,
+    PreemptCost, ResidentRegion,
 };
 use crate::circuit::{CircuitId, CircuitLib};
+use crate::error::VfpgaError;
 use crate::task::TaskId;
 use fpga::ConfigTiming;
 use fsim::{SimDuration, TraceEvent};
@@ -65,23 +66,32 @@ impl OverlayManager {
     /// (their total width is carved off the device); the remaining columns
     /// are divided into `slot_width`-wide overlay slots.
     ///
-    /// # Panics
-    /// Panics if the common circuits plus one slot don't fit the device.
+    /// Fails when the common circuits exceed the device or no overlay slot
+    /// fits beside them.
     pub fn new(
         lib: Arc<CircuitLib>,
         timing: ConfigTiming,
         common: Vec<CircuitId>,
         slot_width: u32,
         policy: Replacement,
-    ) -> Self {
+    ) -> Result<Self, VfpgaError> {
         let common_width: u32 = common.iter().map(|&c| lib.get(c).shape().0).sum();
-        let remaining = timing
-            .spec
-            .cols
-            .checked_sub(common_width)
-            .unwrap_or_else(|| panic!("common circuits ({common_width} cols) exceed the device"));
+        let remaining =
+            timing
+                .spec
+                .cols
+                .checked_sub(common_width)
+                .ok_or(VfpgaError::CommonTooWide {
+                    common: common_width,
+                    device: timing.spec.cols,
+                })?;
+        if slot_width == 0 {
+            return Err(VfpgaError::NoOverlaySlot);
+        }
         let n_slots = (remaining / slot_width) as usize;
-        assert!(n_slots >= 1, "no room for any overlay slot");
+        if n_slots == 0 {
+            return Err(VfpgaError::NoOverlaySlot);
+        }
         let mut stats = ManagerStats::default();
         // Boot-time download of the resident region: one download covering
         // the common circuits' frames.
@@ -119,7 +129,7 @@ impl OverlayManager {
             );
             m.stats = stats;
         }
-        m
+        Ok(m)
     }
 
     /// Number of overlay slots.
@@ -206,12 +216,10 @@ impl FpgaManager for OverlayManager {
         }
         // Fault: load into a victim slot.
         let width = self.lib.get(cid).shape().0;
-        assert!(
-            width <= self.slot_width,
-            "circuit '{}' ({width} cols) exceeds overlay slot width {}",
-            self.lib.get(cid).name(),
-            self.slot_width
-        );
+        if width > self.slot_width {
+            // No slot will ever fit it; blocking would deadlock the task.
+            return Activation::Unservable;
+        }
         match self.pick_victim() {
             Some(i) => {
                 self.stats.misses += 1;
@@ -296,6 +304,48 @@ impl FpgaManager for OverlayManager {
         self.obs.drain()
     }
 
+    fn timing(&self) -> &ConfigTiming {
+        &self.timing
+    }
+
+    fn resident_regions(&self) -> Vec<ResidentRegion> {
+        // Common circuits are packed from column 0 in declaration order;
+        // overlay slots follow at fixed offsets.
+        let mut out = Vec::new();
+        let mut col0 = 0u32;
+        for &cid in &self.common {
+            let width = self.lib.get(cid).shape().0;
+            out.push(ResidentRegion { cid, col0, width });
+            col0 += width;
+        }
+        let common_width: u32 = self.common.iter().map(|&c| self.lib.get(c).shape().0).sum();
+        for (i, s) in self.slots.iter().enumerate() {
+            if let Some(cid) = s.resident {
+                out.push(ResidentRegion {
+                    cid,
+                    col0: common_width + i as u32 * self.slot_width,
+                    width: self.lib.get(cid).shape().0,
+                });
+            }
+        }
+        out
+    }
+
+    fn discard_resident(&mut self, cid: CircuitId) -> bool {
+        let mut any = false;
+        for s in &mut self.slots {
+            if s.resident == Some(cid) {
+                // The download was rejected: the slot holds garbage, the
+                // would-be owner gets nothing.
+                s.resident = None;
+                s.owner = None;
+                s.uses = 0;
+                any = true;
+            }
+        }
+        any
+    }
+
     fn usage(&self) -> DeviceUsage {
         let common: u64 = self
             .common
@@ -352,7 +402,8 @@ mod tests {
             vec![ids[0]],
             slot_w,
             policy,
-        );
+        )
+        .unwrap();
         assert_eq!(m.slot_count(), 3, "tests assume exactly 3 slots");
         (m, ids)
     }
@@ -456,8 +507,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds overlay slot width")]
-    fn oversized_circuit_panics() {
+    fn oversized_circuit_is_unservable() {
         let spec = fpga::device::part("VF400");
         let mut lib = CircuitLib::new();
         let big = lib.register_compiled(
@@ -479,7 +529,42 @@ mod tests {
             vec![],
             2,
             Replacement::Lru,
-        );
-        m.activate(TaskId(0), big);
+        )
+        .unwrap();
+        assert_eq!(m.activate(TaskId(0), big), Activation::Unservable);
+    }
+
+    #[test]
+    fn impossible_layouts_are_errors_not_panics() {
+        let spec = fpga::device::part("VF100"); // 10 cols
+        let mut lib = CircuitLib::new();
+        for i in 0..2 {
+            let net = netlist::library::arith::ripple_adder(&format!("w{i}"), 16);
+            let opts = CompileOptions {
+                max_height: spec.rows,
+                full_height: true,
+                ..Default::default()
+            };
+            lib.register_compiled(compile(&net, opts).unwrap());
+        }
+        let lib = Arc::new(lib);
+        let timing = ConfigTiming {
+            spec,
+            port: ConfigPort::SerialFast,
+        };
+        // Both wide circuits resident: the common region overflows.
+        let err = OverlayManager::new(
+            lib.clone(),
+            timing,
+            vec![CircuitId(0), CircuitId(1)],
+            2,
+            Replacement::Lru,
+        )
+        .unwrap_err();
+        assert!(matches!(err, VfpgaError::CommonTooWide { .. }), "{err}");
+        // One resident, slots wider than the leftover: no slot fits.
+        let err =
+            OverlayManager::new(lib, timing, vec![CircuitId(0)], 64, Replacement::Lru).unwrap_err();
+        assert!(matches!(err, VfpgaError::NoOverlaySlot), "{err}");
     }
 }

@@ -20,10 +20,11 @@
 //!   to merge - when necessary - the idle existing partitions").
 
 use super::{
-    charge_partial_download, charge_state_move, Activation, DeviceUsage, EventBuf, FpgaManager,
-    ManagerStats, PreemptCost,
+    charge_partial_download, charge_state_move, partial_download_cost, Activation, DeviceUsage,
+    EventBuf, FpgaManager, ManagerStats, PreemptCost, ResidentRegion, RetireOutcome,
 };
 use crate::circuit::{CircuitId, CircuitLib};
+use crate::error::VfpgaError;
 use crate::manager::PreemptAction;
 use crate::task::TaskId;
 use fpga::ConfigTiming;
@@ -46,6 +47,8 @@ pub enum PartitionMode {
 #[derive(Debug)]
 enum Slot {
     Free,
+    /// Fabric permanently lost to a column failure; never allocated again.
+    Retired,
     /// Holds a resident circuit; `owner` is the task currently executing
     /// on it (None = idle resident).
     Resident {
@@ -90,20 +93,21 @@ impl PartitionManager {
         timing: ConfigTiming,
         mode: PartitionMode,
         policy: PreemptAction,
-    ) -> Self {
+    ) -> Result<Self, VfpgaError> {
         let cols = timing.spec.cols;
         let parts = match &mode {
             PartitionMode::Fixed(widths) => {
-                assert_eq!(
-                    widths.iter().sum::<u32>(),
-                    cols,
-                    "fixed widths must tile the device"
-                );
+                let sum = widths.iter().sum::<u32>();
+                if sum != cols {
+                    return Err(VfpgaError::BadPartitionWidths { sum, device: cols });
+                }
+                if widths.contains(&0) {
+                    return Err(VfpgaError::ZeroWidthPartition);
+                }
                 let mut c = 0;
                 widths
                     .iter()
                     .map(|&w| {
-                        assert!(w > 0, "zero-width partition");
                         let p = Partition {
                             col: c,
                             width: w,
@@ -122,7 +126,7 @@ impl PartitionManager {
                 }]
             }
         };
-        PartitionManager {
+        Ok(PartitionManager {
             lib,
             timing,
             mode,
@@ -134,7 +138,7 @@ impl PartitionManager {
             stats: ManagerStats::default(),
             obs: EventBuf::default(),
             gc_enabled: true,
-        }
+        })
     }
 
     fn tick(&mut self) -> u64 {
@@ -158,9 +162,40 @@ impl PartitionManager {
                     let (w, h) = self.lib.get(cid).shape();
                     w * h.min(self.timing.spec.rows)
                 }
-                Slot::Free => 0,
+                Slot::Free | Slot::Retired => 0,
             })
             .sum()
+    }
+
+    /// The widest circuit this manager could still place under ideal
+    /// conditions (everything idle, GC done). Requests beyond this are
+    /// unservable forever.
+    fn max_servable_width(&self) -> u32 {
+        match self.mode {
+            // Fixed boundaries never move: the widest live partition.
+            PartitionMode::Fixed(_) => self
+                .parts
+                .iter()
+                .filter(|p| !matches!(p.slot, Slot::Retired))
+                .map(|p| p.width)
+                .max()
+                .unwrap_or(0),
+            // Variable mode can compact everything movable, so the limit
+            // is the widest contiguous run of non-retired columns.
+            PartitionMode::Variable => {
+                let mut best = 0u32;
+                let mut run = 0u32;
+                for p in &self.parts {
+                    if matches!(p.slot, Slot::Retired) {
+                        run = 0;
+                    } else {
+                        run += p.width;
+                        best = best.max(run);
+                    }
+                }
+                best
+            }
+        }
     }
 
     /// External fragmentation: the widest circuit width that can NOT be
@@ -270,6 +305,94 @@ impl PartitionManager {
         }
     }
 
+    /// Move the idle resident out of partition `idx` (to any free
+    /// partition where it routes) or evict it; the partition ends up Free.
+    /// Returns `(relocated, cost)`. The cost is returned to the caller
+    /// (background fault accounting) — manager time counters are not
+    /// touched, only the relocation/eviction event counters.
+    fn relocate_off(&mut self, idx: usize) -> (bool, SimDuration) {
+        let (cid, routes, last_use, saved_for) = match &self.parts[idx].slot {
+            Slot::Resident {
+                cid,
+                owner: None,
+                routes,
+                last_use,
+                saved_for,
+            } => (*cid, routes.clone(), *last_use, *saved_for),
+            other => unreachable!("relocate_off on non-idle slot {other:?}"),
+        };
+        self.routing.release(&routes);
+        self.parts[idx].slot = Slot::Free;
+        let need_w = self.lib.get(cid).shape().0;
+        let placed = self.lib.get(cid).compiled.placed.clone();
+        // Candidate destinations: free partitions wide enough, tried in
+        // column order. No split — the survivor may sit loosely until the
+        // next GC tightens things up.
+        let candidates: Vec<usize> = self
+            .parts
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| *i != idx && matches!(p.slot, Slot::Free) && p.width >= need_w)
+            .map(|(i, _)| i)
+            .collect();
+        for i in candidates {
+            let origin = (self.parts[i].col, 0u32);
+            if let Ok(new_routes) = self.routing.route_circuit(&placed, origin) {
+                let mut cost = partial_download_cost(&self.timing, need_w as usize);
+                if self.lib.get(cid).is_sequential() {
+                    // State survives the move via readback + write-back.
+                    cost += self.timing.readback_time(need_w as usize);
+                    cost += self.timing.readback_time(need_w as usize);
+                }
+                self.parts[i].slot = Slot::Resident {
+                    cid,
+                    owner: None,
+                    routes: new_routes,
+                    last_use,
+                    saved_for,
+                };
+                self.stats.relocations += 1;
+                return (true, cost);
+            }
+        }
+        self.stats.evictions += 1;
+        (false, SimDuration::ZERO)
+    }
+
+    /// Replace partition `idx` (already Free) with retired fabric covering
+    /// `col`: the whole partition in fixed mode (boundaries are immutable),
+    /// a single carved-out column in variable mode.
+    fn carve_retired(&mut self, idx: usize, col: u32) {
+        match self.mode {
+            PartitionMode::Fixed(_) => self.parts[idx].slot = Slot::Retired,
+            PartitionMode::Variable => {
+                let (p_col, p_w) = (self.parts[idx].col, self.parts[idx].width);
+                let mut pieces = Vec::with_capacity(3);
+                if col > p_col {
+                    pieces.push(Partition {
+                        col: p_col,
+                        width: col - p_col,
+                        slot: Slot::Free,
+                    });
+                }
+                pieces.push(Partition {
+                    col,
+                    width: 1,
+                    slot: Slot::Retired,
+                });
+                if col + 1 < p_col + p_w {
+                    pieces.push(Partition {
+                        col: col + 1,
+                        width: p_col + p_w - col - 1,
+                        slot: Slot::Free,
+                    });
+                }
+                self.parts.splice(idx..idx + 1, pieces);
+                self.merge_adjacent_free();
+            }
+        }
+    }
+
     /// Merge adjacent free partitions (variable mode only).
     fn merge_adjacent_free(&mut self) {
         if !matches!(self.mode, PartitionMode::Variable) {
@@ -319,12 +442,12 @@ impl PartitionManager {
             }
             let cid = match &p.slot {
                 Slot::Resident { cid, .. } => *cid,
-                Slot::Free => unreachable!(),
+                Slot::Free | Slot::Retired => unreachable!(),
             };
             let placed = self.lib.get(cid).compiled.placed.clone();
             let old_routes = match &p.slot {
                 Slot::Resident { routes, .. } => routes.clone(),
-                Slot::Free => unreachable!(),
+                Slot::Free | Slot::Retired => unreachable!(),
             };
             self.routing.release(&old_routes);
             match self.routing.route_circuit(&placed, (cursor, 0)) {
@@ -451,6 +574,11 @@ impl FpgaManager for PartitionManager {
         // 2. Find a free partition wide enough (first-fit).
         self.stats.misses += 1;
         let need_w = self.lib.get(cid).shape().0;
+        if need_w > self.max_servable_width() {
+            // Wider than anything this manager can ever assemble (fixed
+            // boundaries or retired fabric): blocking would hang forever.
+            return Activation::Unservable;
+        }
         loop {
             let candidate = self
                 .parts
@@ -589,6 +717,74 @@ impl FpgaManager for PartitionManager {
                 .count() as u32,
         }
     }
+
+    fn timing(&self) -> &ConfigTiming {
+        &self.timing
+    }
+
+    fn resident_regions(&self) -> Vec<ResidentRegion> {
+        self.parts
+            .iter()
+            .filter_map(|p| match p.slot {
+                Slot::Resident { cid, .. } => Some(ResidentRegion {
+                    cid,
+                    col0: p.col,
+                    width: p.width,
+                }),
+                Slot::Free | Slot::Retired => None,
+            })
+            .collect()
+    }
+
+    fn discard_resident(&mut self, cid: CircuitId) -> bool {
+        let Some(i) = self.find_resident(cid) else {
+            return false;
+        };
+        if let Slot::Resident { routes, .. } = &self.parts[i].slot {
+            self.routing.release(routes);
+        }
+        self.parts[i].slot = Slot::Free;
+        self.merge_adjacent_free();
+        true
+    }
+
+    fn retire_column(&mut self, col: u32) -> RetireOutcome {
+        let Some(idx) = self
+            .parts
+            .iter()
+            .position(|p| col >= p.col && col < p.col + p.width)
+        else {
+            return RetireOutcome::default();
+        };
+        let mut out = RetireOutcome {
+            applied: true,
+            ..Default::default()
+        };
+        match &self.parts[idx].slot {
+            // A second strike on dead fabric changes nothing.
+            Slot::Retired => return out,
+            Slot::Free => {}
+            Slot::Resident { owner: Some(_), .. } => {
+                // Mid-op on the dying column: the caller retries after the
+                // op drains (we never yank fabric under a running task).
+                return RetireOutcome {
+                    busy: true,
+                    ..Default::default()
+                };
+            }
+            Slot::Resident { owner: None, .. } => {
+                let (relocated, cost) = self.relocate_off(idx);
+                out.overhead += cost;
+                if relocated {
+                    out.relocations += 1;
+                } else {
+                    out.evicted += 1;
+                }
+            }
+        }
+        self.carve_retired(idx, col);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -629,7 +825,8 @@ mod tests {
             },
             mode,
             PreemptAction::SaveRestore,
-        );
+        )
+        .unwrap();
         (m, ids)
     }
 
@@ -678,7 +875,8 @@ mod tests {
             },
             PartitionMode::Variable,
             PreemptAction::SaveRestore,
-        );
+        )
+        .unwrap();
         // Widths of the three circuits:
         let w: Vec<u32> = ids.iter().map(|&i| lib.get(i).shape().0).collect();
         assert!(w.iter().sum::<u32>() > 10, "must not all fit at once");
@@ -706,7 +904,8 @@ mod tests {
             },
             PartitionMode::Fixed(vec![10, 10]),
             PreemptAction::SaveRestore,
-        );
+        )
+        .unwrap();
         assert_eq!(m.partition_count(), 2);
         m.activate(TaskId(0), ids[0]);
         m.activate(TaskId(1), ids[1]);
@@ -716,19 +915,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "tile the device")]
     fn fixed_widths_must_tile() {
         let spec = fpga::device::part("VF400");
         let (lib, _) = lib_for(spec, &[(4, "a")]);
-        PartitionManager::new(
-            lib,
-            ConfigTiming {
-                spec,
-                port: ConfigPort::SerialFast,
-            },
+        let timing = ConfigTiming {
+            spec,
+            port: ConfigPort::SerialFast,
+        };
+        let err = PartitionManager::new(
+            lib.clone(),
+            timing,
             PartitionMode::Fixed(vec![5, 5]),
             PreemptAction::SaveRestore,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                VfpgaError::BadPartitionWidths {
+                    sum: 10,
+                    device: 20
+                }
+            ),
+            "{err}"
         );
+        let err = PartitionManager::new(
+            lib,
+            timing,
+            PartitionMode::Fixed(vec![0, 20]),
+            PreemptAction::SaveRestore,
+        )
+        .unwrap_err();
+        assert!(matches!(err, VfpgaError::ZeroWidthPartition), "{err}");
     }
 
     #[test]
@@ -745,7 +963,8 @@ mod tests {
             },
             PartitionMode::Variable,
             PreemptAction::SaveRestore,
-        );
+        )
+        .unwrap();
         // Load a, b, c side by side; then release a and c (idle residents),
         // evict a and c... Instead: directly create fragmentation by
         // loading a,b,c then evicting a and c via direct slot clears.
@@ -796,5 +1015,126 @@ mod tests {
         assert_eq!(m.fragmentation(), 0.0, "one free run at boot");
         m.activate(TaskId(0), ids[0]);
         assert_eq!(m.fragmentation(), 0.0, "free space still contiguous");
+    }
+
+    #[test]
+    fn discard_resident_frees_the_partition() {
+        let (mut m, ids) = mgr(PartitionMode::Variable);
+        m.activate(TaskId(0), ids[0]);
+        m.op_done(TaskId(0), ids[0]);
+        assert!(m.is_resident(ids[0]));
+        assert!(m.discard_resident(ids[0]));
+        assert!(!m.is_resident(ids[0]));
+        assert!(!m.discard_resident(ids[0]), "second discard finds nothing");
+        // The circuit can be reloaded (a fresh download) afterwards.
+        match m.activate(TaskId(1), ids[0]) {
+            Activation::Ready { overhead } => assert!(overhead > SimDuration::ZERO),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn resident_regions_report_placement() {
+        let (mut m, ids) = mgr(PartitionMode::Variable);
+        assert!(m.resident_regions().is_empty());
+        m.activate(TaskId(0), ids[0]);
+        m.op_done(TaskId(0), ids[0]);
+        let regions = m.resident_regions();
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].cid, ids[0]);
+        assert!(regions[0].covers(regions[0].col0));
+        assert!(!regions[0].covers(regions[0].col0 + regions[0].width));
+    }
+
+    #[test]
+    fn retire_column_on_free_fabric_carves_it_out() {
+        let (mut m, _) = mgr(PartitionMode::Variable);
+        let before = m.max_servable_width();
+        let out = m.retire_column(7);
+        assert!(out.applied);
+        assert!(!out.busy);
+        assert_eq!(out.relocations + out.evicted, 0);
+        assert!(m.max_servable_width() < before, "capacity shrank");
+        // Striking the same column again is a no-op.
+        let again = m.retire_column(7);
+        assert!(again.applied);
+        assert_eq!(again.overhead, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn retire_column_relocates_idle_resident() {
+        let (mut m, ids) = mgr(PartitionMode::Variable);
+        m.activate(TaskId(0), ids[0]);
+        m.op_done(TaskId(0), ids[0]);
+        let region = m.resident_regions()[0];
+        let out = m.retire_column(region.col0);
+        assert!(out.applied);
+        assert_eq!(
+            out.relocations + out.evicted,
+            1,
+            "the resident moved or was dropped: {out:?}"
+        );
+        if out.relocations == 1 {
+            let now = m.resident_regions();
+            assert_eq!(now.len(), 1);
+            assert!(!now[0].covers(region.col0), "moved off the dead column");
+        }
+    }
+
+    #[test]
+    fn retire_column_under_running_task_reports_busy() {
+        let (mut m, ids) = mgr(PartitionMode::Variable);
+        m.activate(TaskId(0), ids[0]);
+        // No op_done: the task is mid-op on the partition.
+        let region = m.resident_regions()[0];
+        let out = m.retire_column(region.col0);
+        assert!(out.busy);
+        assert!(!out.applied);
+        // After the op drains the retry lands.
+        m.op_done(TaskId(0), ids[0]);
+        let out = m.retire_column(region.col0);
+        assert!(out.applied);
+    }
+
+    #[test]
+    fn oversized_request_is_unservable_not_blocked() {
+        let spec = fpga::device::part("VF100"); // 10 cols
+        let (lib, ids) = lib_for(spec, &[(4, "a")]);
+        let mut m = PartitionManager::new(
+            lib.clone(),
+            ConfigTiming {
+                spec,
+                port: ConfigPort::SerialFast,
+            },
+            PartitionMode::Fixed(vec![2, 8]),
+            PreemptAction::SaveRestore,
+        )
+        .unwrap();
+        let w = lib.get(ids[0]).shape().0;
+        assert!(w > 2, "test circuit must exceed the narrow partition");
+        if w > 8 {
+            assert_eq!(m.activate(TaskId(0), ids[0]), Activation::Unservable);
+        } else {
+            assert!(matches!(
+                m.activate(TaskId(0), ids[0]),
+                Activation::Ready { .. }
+            ));
+        }
+        // Retiring enough columns makes a once-servable circuit unservable.
+        let mut v = PartitionManager::new(
+            lib.clone(),
+            ConfigTiming {
+                spec,
+                port: ConfigPort::SerialFast,
+            },
+            PartitionMode::Variable,
+            PreemptAction::SaveRestore,
+        )
+        .unwrap();
+        // Kill every w-th column so no contiguous run of width w survives.
+        for col in (0..spec.cols).step_by(w as usize) {
+            assert!(v.retire_column(col).applied);
+        }
+        assert_eq!(v.activate(TaskId(0), ids[0]), Activation::Unservable);
     }
 }

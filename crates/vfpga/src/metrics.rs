@@ -5,6 +5,7 @@
 //! aggregates a [`Report`] per run.
 
 use crate::manager::ManagerStats;
+use crate::recovery::FaultStats;
 use fsim::{Metrics, SimDuration, SimTime, Summary, TimelineSet};
 
 /// Per-task accounting.
@@ -24,8 +25,13 @@ pub struct TaskMetrics {
     pub overhead_time: SimDuration,
     /// FPGA work discarded by rollbacks.
     pub lost_time: SimDuration,
+    /// FPGA work discarded by fault recovery (garbage computed on a
+    /// corrupted circuit between the strike and its repair).
+    pub fault_lost_time: SimDuration,
     /// Number of times the task blocked on an FPGA resource.
     pub blocked_count: u64,
+    /// Terminated by fault recovery instead of completing.
+    pub failed: bool,
 }
 
 impl TaskMetrics {
@@ -34,9 +40,10 @@ impl TaskMetrics {
         self.completion - self.arrival
     }
 
-    /// Sum of all accounted activity: CPU + FPGA + overhead + rollback loss.
+    /// Sum of all accounted activity: CPU + FPGA + overhead + rollback
+    /// loss + fault-recovery loss.
     pub fn accounted(&self) -> SimDuration {
-        self.cpu_time + self.fpga_time + self.overhead_time + self.lost_time
+        self.cpu_time + self.fpga_time + self.overhead_time + self.lost_time + self.fault_lost_time
     }
 
     /// Time neither computing nor charged overhead: queueing/blocked time.
@@ -76,6 +83,10 @@ pub struct OverheadBreakdown {
     pub gc: SimDuration,
     /// FPGA progress discarded by rollbacks.
     pub rollback_loss: SimDuration,
+    /// Download time wasted on corrupt configuration attempts (the CRC
+    /// failed and the stream was sent again). Carved out of `config` so
+    /// the two stay disjoint.
+    pub fault_retry: SimDuration,
     /// Remaining charged overhead not attributed to a phase above.
     pub other: SimDuration,
 }
@@ -83,7 +94,7 @@ pub struct OverheadBreakdown {
 impl OverheadBreakdown {
     /// Sum of all phases.
     pub fn total(&self) -> SimDuration {
-        self.config + self.state + self.gc + self.rollback_loss + self.other
+        self.config + self.state + self.gc + self.rollback_loss + self.fault_retry + self.other
     }
 }
 
@@ -100,6 +111,13 @@ pub struct Report {
     pub makespan: SimDuration,
     /// Manager counters.
     pub manager_stats: ManagerStats,
+    /// Fault-injection and recovery accounting (all zero on fault-free
+    /// runs). Background recovery time (scrubbing, repairs, retirement)
+    /// lives only here — it is never charged to any task, so it is
+    /// disjoint from [`overhead_breakdown`](Self::overhead_breakdown)
+    /// except for the `fault_retry` slice both sides carve out of
+    /// download time.
+    pub fault: FaultStats,
     /// Counter/gauge snapshot taken at the end of the run (empty unless the
     /// system ran with observability enabled).
     pub metrics: Metrics,
@@ -158,13 +176,16 @@ impl Report {
     /// attributed to `gc`, not `config`/`state`); `rollback_loss` is the
     /// discarded FPGA progress summed over tasks; `other` is whatever
     /// task-charged overhead remains (zero when boot-time downloads, which
-    /// no task pays for, exceed the task-charged total).
+    /// no task pays for, exceed the task-charged total). Wasted corrupt
+    /// downloads (which the manager's `config_time` necessarily includes)
+    /// are split out into `fault_retry`.
     pub fn overhead_breakdown(&self) -> OverheadBreakdown {
         let rollback_loss = self
             .tasks
             .iter()
             .fold(SimDuration::ZERO, |a, t| a + t.lost_time);
-        let config = self.manager_stats.config_time;
+        let fault_retry = self.fault.retry_time;
+        let config = self.manager_stats.config_time.saturating_sub(fault_retry);
         let state = self.manager_stats.state_time;
         let gc = self.manager_stats.gc_time;
         let other = self
@@ -172,12 +193,14 @@ impl Report {
             .saturating_sub(config)
             .saturating_sub(state)
             .saturating_sub(gc)
-            .saturating_sub(rollback_loss);
+            .saturating_sub(rollback_loss)
+            .saturating_sub(fault_retry);
         OverheadBreakdown {
             config,
             state,
             gc,
             rollback_loss,
+            fault_retry,
             other,
         }
     }
@@ -271,14 +294,20 @@ mod tests {
                 gc_time: SimDuration::from_millis(10),
                 ..Default::default()
             },
+            fault: FaultStats {
+                retry_time: SimDuration::from_millis(15),
+                ..Default::default()
+            },
             ..Default::default()
         };
         let b = r.overhead_breakdown();
-        assert_eq!(b.config, SimDuration::from_millis(70));
+        // Wasted corrupt downloads are split out of config: 70 − 15.
+        assert_eq!(b.config, SimDuration::from_millis(55));
         assert_eq!(b.state, SimDuration::from_millis(20));
         assert_eq!(b.gc, SimDuration::from_millis(10));
         assert_eq!(b.rollback_loss, SimDuration::from_millis(30));
-        // overhead_time = 120 + 30 = 150; other = 150 − 70 − 20 − 10 − 30.
+        assert_eq!(b.fault_retry, SimDuration::from_millis(15));
+        // overhead_time = 120 + 30 = 150; other = 150 − 55 − 20 − 10 − 30 − 15.
         assert_eq!(b.other, SimDuration::from_millis(20));
         assert_eq!(b.total(), r.overhead_time());
     }

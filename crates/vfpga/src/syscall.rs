@@ -139,10 +139,13 @@ impl ProgramBuilder {
         self
     }
 
-    /// Finish the program.
-    pub fn build(self) -> TaskSpec {
-        assert!(!self.spec.ops.is_empty(), "empty program");
-        self.spec
+    /// Finish the program. A program with no operations is a declaration
+    /// bug, reported as [`VfpgaError::EmptyProgram`] rather than a panic.
+    pub fn build(self) -> Result<TaskSpec, crate::error::VfpgaError> {
+        if self.spec.ops.is_empty() {
+            return Err(crate::error::VfpgaError::EmptyProgram);
+        }
+        Ok(self.spec)
     }
 }
 
@@ -219,17 +222,18 @@ mod tests {
             .fpga(h, 500)
             .compute(SimDuration::from_millis(2))
             .priority(3)
-            .build();
+            .build()
+            .unwrap();
         assert_eq!(spec.ops.len(), 3);
         assert_eq!(spec.priority, 3);
         assert_eq!(spec.circuits_used(), vec![h.0]);
     }
 
     #[test]
-    #[should_panic(expected = "empty program")]
     fn empty_program_rejected() {
         let os = OsInterface::new(fpga::device::part("VF400"));
-        os.program("t", SimTime::ZERO).build();
+        let err = os.program("t", SimTime::ZERO).build().unwrap_err();
+        assert!(matches!(err, crate::error::VfpgaError::EmptyProgram));
     }
 
     /// The veneer end-to-end: open circuits, build programs, run a system.
@@ -249,8 +253,13 @@ mod tests {
             .program("t1", SimTime::ZERO)
             .fpga(h1, 1000)
             .compute(SimDuration::from_millis(1))
-            .build();
-        let t2 = os.program("t2", SimTime::ZERO).fpga(h2, 1000).build();
+            .build()
+            .unwrap();
+        let t2 = os
+            .program("t2", SimTime::ZERO)
+            .fpga(h2, 1000)
+            .build()
+            .unwrap();
         let lib = Arc::new(os.into_lib());
         let timing = fpga::ConfigTiming {
             spec,
@@ -264,7 +273,8 @@ mod tests {
             SystemConfig::default(),
             vec![t1, t2],
         )
-        .run();
+        .run()
+        .unwrap();
         assert_eq!(r.tasks.len(), 2);
         assert_eq!(r.manager_stats.downloads, 2);
     }

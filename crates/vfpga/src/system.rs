@@ -10,12 +10,18 @@
 //! the desired FPGA configuration … then the operating system can put
 //! running the task", §3).
 
-use crate::circuit::CircuitLib;
-use crate::manager::{Activation, FpgaManager, PreemptAction};
+use crate::circuit::{CircuitId, CircuitLib};
+use crate::error::VfpgaError;
+use crate::manager::{redownload_cost, Activation, FpgaManager, PreemptAction};
 use crate::metrics::{Report, TaskMetrics};
+use crate::recovery::{FaultStats, RecoveryPolicy, UpsetRecovery};
 use crate::sched::Scheduler;
 use crate::task::{Op, TaskId, TaskRun, TaskSpec, TaskState};
-use fsim::{EventQueue, Metrics, SimDuration, SimTime, TimelineSet, Trace, TraceEvent};
+use fsim::{
+    EventQueue, FaultInjector, FaultPlan, Metrics, SimDuration, SimTime, TimelineSet, Trace,
+    TraceEvent,
+};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// How the OS learns an FPGA operation has finished (§3).
@@ -67,6 +73,17 @@ enum Ev {
     Timer(TaskId),
     /// Re-attempt dispatch (after preemption overhead).
     Dispatch,
+    /// A configuration upset strikes a random device column.
+    Seu,
+    /// Periodic configuration scrubbing pass (readback + CRC compare).
+    Scrub,
+    /// A permanent column failure: `None` picks a fresh random column,
+    /// `Some(col)` retries retiring a column that was busy.
+    ColumnFail(Option<u32>),
+    /// The wasted time of a corrupt download attempt has elapsed.
+    RetryDone(TaskId),
+    /// Backoff elapsed: the task may re-attempt its download.
+    Retry(TaskId),
 }
 
 #[derive(Debug, Clone)]
@@ -74,8 +91,21 @@ struct Running {
     tid: TaskId,
     /// Executed op time in this segment (excludes overhead and slack).
     dur: SimDuration,
+    /// When the executed portion starts (after dispatch overhead), so an
+    /// upset mid-segment can split valid from garbage progress.
+    exec_start: SimTime,
     /// FPGA context when the op is an FPGA run.
     fpga: Option<FpgaSeg>,
+}
+
+/// An injected configuration upset that has not been repaired yet.
+#[derive(Debug, Clone, Copy)]
+struct Latent {
+    /// When the (earliest) strike happened, for MTTR.
+    struck_at: SimTime,
+    /// Whether a scrub pass has found it (repair may still be deferred
+    /// until the victim circuit's current op drains).
+    detected: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -111,6 +141,22 @@ pub struct System<M: FpgaManager, S: Scheduler> {
     obs_on: bool,
     reg: Metrics,
     timelines: TimelineSet,
+    /// Deterministic fault source; `None` runs fault-free.
+    injector: Option<FaultInjector>,
+    recovery: RecoveryPolicy,
+    fault: FaultStats,
+    /// Corrupt download attempts for the task's current request streak.
+    dl_attempts: Vec<u32>,
+    /// Fault-recovery restarts of the task's current op (cap guard).
+    fault_restarts: Vec<u32>,
+    /// Valid progress at the moment an upset poisoned the task's current
+    /// op (`None` = unpoisoned). Everything executed past this point is
+    /// garbage and is discarded when the upset is repaired.
+    poisoned: Vec<Option<SimDuration>>,
+    /// Unrepaired upsets by struck circuit id.
+    latent: BTreeMap<u32, Latent>,
+    /// Tasks neither Done nor Failed; fault events stop rescheduling at 0.
+    unfinished: usize,
 }
 
 impl<M: FpgaManager, S: Scheduler> System<M, S> {
@@ -151,7 +197,25 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             obs_on: false,
             reg: Metrics::new(),
             timelines: TimelineSet::new(),
+            injector: None,
+            recovery: RecoveryPolicy::default(),
+            fault: FaultStats::default(),
+            dl_attempts: vec![0; n],
+            fault_restarts: vec![0; n],
+            poisoned: vec![None; n],
+            latent: BTreeMap::new(),
+            unfinished: n,
         }
+    }
+
+    /// Attach a deterministic fault injector and the recovery policy that
+    /// answers it. A zero-rate plan with the default policy is exactly
+    /// equivalent to no injector at all (bit-identical reports).
+    pub fn with_faults(mut self, plan: FaultPlan, policy: RecoveryPolicy) -> Self {
+        let cols = self.manager.timing().spec.cols;
+        self.injector = Some(FaultInjector::new(plan, cols));
+        self.recovery = policy;
+        self
     }
 
     /// Enable observability: typed event tracing (task state changes,
@@ -177,14 +241,21 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
     }
 
     /// Run to completion, returning the report *and* the recorded trace.
-    pub fn run_traced(self) -> (Report, Trace) {
-        assert!(self.trace.is_enabled(), "call with_trace() first");
+    /// Fails with [`VfpgaError::TraceDisabled`] when
+    /// [`with_trace`](Self::with_trace) was not called first, or
+    /// [`VfpgaError::Deadlock`] when a task ends neither completed nor
+    /// failed.
+    pub fn run_traced(self) -> Result<(Report, Trace), VfpgaError> {
+        if !self.trace.is_enabled() {
+            return Err(VfpgaError::TraceDisabled);
+        }
         self.run_inner()
     }
 
-    /// Run to completion and report.
-    pub fn run(self) -> Report {
-        self.run_inner().0
+    /// Run to completion and report. Fails with [`VfpgaError::Deadlock`]
+    /// when the manager/scheduler combination strands a task.
+    pub fn run(self) -> Result<Report, VfpgaError> {
+        self.run_inner().map(|(r, _)| r)
     }
 
     /// Record one typed event: bump the matching registry counters, then
@@ -208,6 +279,13 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             TraceEvent::PageFault { .. } => self.reg.inc("page_faults", 1),
             TraceEvent::OverlaySwap { .. } => self.reg.inc("overlay_swaps", 1),
             TraceEvent::IoMuxGrant { .. } => self.reg.inc("iomux_grants", 1),
+            TraceEvent::FaultInjected { .. } => self.reg.inc("faults_injected", 1),
+            TraceEvent::CrcMismatch { .. } => self.reg.inc("crc_mismatches", 1),
+            TraceEvent::ScrubPass { .. } => self.reg.inc("scrub_passes", 1),
+            TraceEvent::RetryScheduled { .. } => self.reg.inc("retries_scheduled", 1),
+            TraceEvent::TaskFailed { .. } => self.reg.inc("tasks_failed", 1),
+            TraceEvent::ColumnRetired { .. } => self.reg.inc("columns_retired", 1),
+            TraceEvent::Recovered { .. } => self.reg.inc("recoveries", 1),
             TraceEvent::Custom { .. } => self.reg.inc("custom_events", 1),
         }
         self.trace.record(at, event);
@@ -230,7 +308,23 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             .sample("ready_queue_depth", now, self.sched.len() as f64);
     }
 
-    fn run_inner(mut self) -> (Report, Trace) {
+    fn run_inner(mut self) -> Result<(Report, Trace), VfpgaError> {
+        // Seed the fault timeline. A zero-rate plan schedules nothing, so
+        // attaching it cannot perturb a fault-free run.
+        if self.unfinished > 0 {
+            if let Some(inj) = self.injector.as_mut() {
+                if let Some(d) = inj.next_seu() {
+                    self.queue.schedule_at(SimTime::ZERO + d, Ev::Seu);
+                }
+                if let Some(d) = inj.next_column_failure() {
+                    self.queue
+                        .schedule_at(SimTime::ZERO + d, Ev::ColumnFail(None));
+                }
+                if let Some(iv) = self.recovery.scrub_interval {
+                    self.queue.schedule_at(SimTime::ZERO + iv, Ev::Scrub);
+                }
+            }
+        }
         while let Some(ev) = self.queue.pop() {
             let now = ev.at;
             match ev.event {
@@ -255,18 +349,32 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 }
                 Ev::Dispatch => self.dispatch(now),
                 Ev::Timer(tid) => self.on_timer(tid, now),
+                Ev::Seu => self.on_seu(now),
+                Ev::Scrub => self.on_scrub(now),
+                Ev::ColumnFail(pending) => self.on_column_fail(pending, now),
+                Ev::RetryDone(tid) => self.on_retry_done(tid, now),
+                Ev::Retry(tid) => {
+                    // Backoff elapsed; the task may probe the manager
+                    // again (a manager wake may already have freed it).
+                    let t = &mut self.tasks[tid.0 as usize];
+                    if t.state == TaskState::Blocked {
+                        t.state = TaskState::Ready;
+                        let prio = t.spec.priority;
+                        self.sched.on_ready(tid, prio, now);
+                        self.dispatch(now);
+                    }
+                }
             }
             self.observe(now);
         }
-        // All tasks must have finished; anything else is a deadlock bug.
-        for (i, t) in self.tasks.iter().enumerate() {
-            assert_eq!(
-                t.state,
-                TaskState::Done,
-                "task {} ('{}') did not finish — manager/scheduler deadlock",
-                i,
-                t.spec.name
-            );
+        // Every task must have left the system — completed or explicitly
+        // failed by recovery; anything else is a deadlock.
+        for t in &self.tasks {
+            if !t.state.is_terminal() {
+                return Err(VfpgaError::Deadlock {
+                    task: t.spec.name.clone(),
+                });
+            }
         }
         let makespan = self
             .metrics
@@ -283,18 +391,19 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 self.reg.observe("waiting_s", m.waiting().as_secs_f64());
             }
         }
-        (
+        Ok((
             Report {
                 manager: self.manager.name(),
                 scheduler: self.sched.name(),
                 tasks: self.metrics,
                 makespan,
                 manager_stats: self.manager.stats(),
+                fault: self.fault,
                 metrics: self.reg,
                 timelines: self.timelines,
             },
             self.trace,
-        )
+        ))
     }
 
     fn wake(&mut self, wake: Vec<TaskId>, now: SimTime) {
@@ -306,6 +415,325 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 self.sched.on_ready(w, prio, now);
             }
         }
+    }
+
+    /// Declare a task failed (graceful degradation, not a crash): it
+    /// leaves the system, frees its resources, and the rest keeps running.
+    fn fail_task(&mut self, tid: TaskId, now: SimTime, reason: &'static str) {
+        let ti = tid.0 as usize;
+        debug_assert!(!self.tasks[ti].state.is_terminal());
+        self.tasks[ti].state = TaskState::Failed;
+        self.tasks[ti].completed_at = now;
+        self.metrics[ti].completion = now;
+        self.metrics[ti].failed = true;
+        self.fault.tasks_failed += 1;
+        self.unfinished -= 1;
+        self.poisoned[ti] = None;
+        if self.trace.is_enabled() {
+            self.record(
+                now,
+                TraceEvent::TaskFailed {
+                    task: tid.0,
+                    reason,
+                },
+            );
+        }
+        let wake = self.manager.task_exit(tid);
+        self.wake(wake, now);
+    }
+
+    /// A configuration upset strikes column `col` at `now`.
+    fn on_seu(&mut self, now: SimTime) {
+        let inj = self.injector.as_mut().expect("SEU event without injector");
+        let col = inj.seu_column();
+        let next = inj.next_seu();
+        if self.unfinished > 0 {
+            if let Some(d) = next {
+                self.queue.schedule_at(now + d, Ev::Seu);
+            }
+        }
+        let hit = self
+            .manager
+            .resident_regions()
+            .into_iter()
+            .find(|r| r.covers(col));
+        match hit {
+            Some(r) => {
+                self.fault.seu_faults += 1;
+                if self.trace.is_enabled() {
+                    self.record(
+                        now,
+                        TraceEvent::FaultInjected {
+                            kind: "seu",
+                            circuit: Some(r.cid.0),
+                            col: Some(col),
+                        },
+                    );
+                }
+                // Earliest unrepaired strike wins (MTTR measures from it).
+                self.latent.entry(r.cid.0).or_insert(Latent {
+                    struck_at: now,
+                    detected: false,
+                });
+                // The task executing on the struck circuit right now keeps
+                // only the progress made before the strike.
+                if let Some(run) = &self.running {
+                    if let Some(f) = run.fpga {
+                        if f.cid == r.cid {
+                            let ti = run.tid.0 as usize;
+                            if self.poisoned[ti].is_none() {
+                                let elapsed = (now - run.exec_start).min(run.dur);
+                                self.poisoned[ti] = Some(self.op_done_so_far[ti] + elapsed);
+                            }
+                        }
+                    }
+                }
+            }
+            None => {
+                // Landed on unmapped fabric: harmless.
+                self.fault.seu_benign += 1;
+                if self.trace.is_enabled() {
+                    self.record(
+                        now,
+                        TraceEvent::FaultInjected {
+                            kind: "seu",
+                            circuit: None,
+                            col: Some(col),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Periodic scrubbing: read the configuration back, compare CRCs, and
+    /// repair what was hit. Charged at real readback cost — background
+    /// device-port time, never billed to any task.
+    fn on_scrub(&mut self, now: SimTime) {
+        let regions = self.manager.resident_regions();
+        let frames: u32 = regions.iter().map(|r| r.width).sum();
+        let cost = self.manager.timing().readback_time(frames as usize);
+        self.fault.scrub_passes += 1;
+        self.fault.scrub_time += cost;
+        // Upsets on circuits that were discarded or evicted left the
+        // device with them.
+        self.latent
+            .retain(|cid, _| regions.iter().any(|r| r.cid.0 == *cid));
+        let mut newly: Vec<u32> = Vec::new();
+        for (cid, l) in self.latent.iter_mut() {
+            if !l.detected {
+                l.detected = true;
+                newly.push(*cid);
+            }
+        }
+        self.fault.crc_mismatches += newly.len() as u64;
+        if self.trace.is_enabled() {
+            self.record(
+                now,
+                TraceEvent::ScrubPass {
+                    frames,
+                    found: newly.len() as u32,
+                    duration: cost,
+                },
+            );
+            for &cid in &newly {
+                self.record(
+                    now,
+                    TraceEvent::CrcMismatch {
+                        circuit: cid,
+                        task: None,
+                        context: "scrub",
+                    },
+                );
+            }
+        }
+        // Repair immediately unless a task is mid-segment on the circuit;
+        // then the repair waits for that segment's timer.
+        let busy_cid = self.running.as_ref().and_then(|r| r.fpga.map(|f| f.cid.0));
+        let detected: Vec<u32> = self
+            .latent
+            .iter()
+            .filter(|(_, l)| l.detected)
+            .map(|(c, _)| *c)
+            .collect();
+        for cid in detected {
+            if Some(cid) != busy_cid {
+                self.repair_circuit(CircuitId(cid), now);
+            }
+        }
+        if self.unfinished > 0 {
+            if let Some(iv) = self.recovery.scrub_interval {
+                self.queue.schedule_at(now + iv, Ev::Scrub);
+            }
+        }
+    }
+
+    /// Repair a detected upset on `cid`: re-download its frames (partial
+    /// when the port allows) and apply the policy's state choice; garbage
+    /// computed since the strike is discarded from every victim task.
+    fn repair_circuit(&mut self, cid: CircuitId, now: SimTime) {
+        let Some(l) = self.latent.remove(&cid.0) else {
+            return;
+        };
+        let Some(region) = self
+            .manager
+            .resident_regions()
+            .into_iter()
+            .find(|r| r.cid == cid)
+        else {
+            return; // evicted since detection; corruption left with it
+        };
+        let timing = *self.manager.timing();
+        let frames = region.width as usize;
+        let sequential = self.lib.get(cid).is_sequential();
+        let mut cost = redownload_cost(&timing, frames);
+        if sequential && self.recovery.upset_recovery == UpsetRecovery::SaveRestore {
+            // Read back the flip-flop state (valid bits survive an upset in
+            // the *configuration* plane) and write it back after repair —
+            // possible because library circuits are observable and
+            // controllable (§3).
+            cost += timing.readback_time(frames);
+            cost += timing.readback_time(frames);
+        }
+        self.fault.repairs += 1;
+        self.fault.repair_time += cost;
+        self.fault.mttr_total += now - l.struck_at;
+        let mut lost_total = SimDuration::ZERO;
+        for ti in 0..self.tasks.len() {
+            let on_this = matches!(
+                self.tasks[ti].current_op(),
+                Some(Op::FpgaRun { circuit, .. }) if circuit == cid
+            );
+            if !on_this || self.tasks[ti].state.is_terminal() {
+                continue;
+            }
+            if let Some(valid) = self.poisoned[ti].take() {
+                // Combinational circuits lose only post-strike items; a
+                // sequential circuit under Rollback restarts from its
+                // initial inputs.
+                let preserved =
+                    if !sequential || self.recovery.upset_recovery == UpsetRecovery::SaveRestore {
+                        valid
+                    } else {
+                        SimDuration::ZERO
+                    };
+                let lost = self.op_done_so_far[ti] - preserved;
+                if lost > SimDuration::ZERO {
+                    self.metrics[ti].fpga_time -= lost;
+                    self.metrics[ti].fault_lost_time += lost;
+                    self.fault.work_lost += lost;
+                    lost_total += lost;
+                }
+                self.op_done_so_far[ti] = preserved;
+                self.tasks[ti].op_remaining = self.op_full[ti] - preserved;
+            }
+        }
+        if self.trace.is_enabled() {
+            self.record(
+                now,
+                TraceEvent::Recovered {
+                    circuit: cid.0,
+                    task: None,
+                    lost: lost_total,
+                    duration: cost,
+                },
+            );
+        }
+    }
+
+    /// A permanent column failure at `now`; `pending` retries a column a
+    /// running task was pinning.
+    fn on_column_fail(&mut self, pending: Option<u32>, now: SimTime) {
+        let col = match pending {
+            Some(c) => c,
+            None => {
+                let inj = self.injector.as_mut().expect("column event w/o injector");
+                let col = inj.failed_column();
+                let next = inj.next_column_failure();
+                if self.unfinished > 0 {
+                    if let Some(d) = next {
+                        self.queue.schedule_at(now + d, Ev::ColumnFail(None));
+                    }
+                }
+                self.fault.column_faults += 1;
+                if self.trace.is_enabled() {
+                    self.record(
+                        now,
+                        TraceEvent::FaultInjected {
+                            kind: "column",
+                            circuit: None,
+                            col: Some(col),
+                        },
+                    );
+                }
+                col
+            }
+        };
+        let out = self.manager.retire_column(col);
+        if out.busy {
+            // A task is mid-op on the dying fabric; retry shortly after.
+            if self.unfinished > 0 {
+                self.queue
+                    .schedule_at(now + SimDuration::from_millis(1), Ev::ColumnFail(Some(col)));
+            }
+            return;
+        }
+        if out.applied {
+            self.fault.columns_retired += 1;
+            self.fault.retire_time += out.overhead;
+            if self.trace.is_enabled() {
+                self.record(
+                    now,
+                    TraceEvent::ColumnRetired {
+                        col,
+                        relocations: out.relocations,
+                        duration: out.overhead,
+                    },
+                );
+            }
+            // Capacity shrank: every blocked task re-probes the manager so
+            // requests that became unservable fail instead of hanging.
+            let blocked: Vec<TaskId> = self
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.state == TaskState::Blocked)
+                .map(|(i, _)| TaskId(i as u32))
+                .collect();
+            self.wake(blocked, now);
+            self.dispatch(now);
+        }
+        // Neither busy nor applied: a manager without column bookkeeping
+        // absorbed the fault.
+    }
+
+    /// The wasted attempt of a corrupt download has elapsed; decide
+    /// between another retry (with backoff) and declaring the task failed.
+    fn on_retry_done(&mut self, tid: TaskId, now: SimTime) {
+        let run = self.running.take().expect("retry-done without runner");
+        debug_assert_eq!(run.tid, tid);
+        let ti = tid.0 as usize;
+        if self.dl_attempts[ti] > self.recovery.max_download_retries {
+            self.fail_task(tid, now, "download retries exhausted");
+            self.dispatch(now);
+            return;
+        }
+        let attempt = self.dl_attempts[ti];
+        let backoff = self.recovery.backoff_for(attempt);
+        self.fault.retries += 1;
+        if self.trace.is_enabled() {
+            self.record(
+                now,
+                TraceEvent::RetryScheduled {
+                    task: tid.0,
+                    attempt,
+                    backoff,
+                },
+            );
+        }
+        self.tasks[ti].state = TaskState::Blocked;
+        self.queue.schedule_at(now + backoff, Ev::Retry(tid));
+        self.dispatch(now);
     }
 
     fn dispatch(&mut self, now: SimTime) {
@@ -335,6 +763,11 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                     self.tasks[ti].op_remaining = d;
                     self.op_done_so_far[ti] = SimDuration::ZERO;
                 }
+                let dl_before = if self.injector.is_some() {
+                    Some(self.manager.stats())
+                } else {
+                    None
+                };
                 match self.manager.activate(tid, circuit) {
                     Activation::Blocked => {
                         self.tasks[ti].state = TaskState::Blocked;
@@ -351,7 +784,72 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                         }
                         continue;
                     }
+                    Activation::Unservable => {
+                        // No configuration of the device can ever serve
+                        // this request (e.g. capacity retired below the
+                        // circuit's width): fail, don't hang.
+                        self.fail_task(tid, now, "unservable request");
+                        continue;
+                    }
                     Activation::Ready { overhead: o } => {
+                        // Transient download corruption: the per-download
+                        // CRC catches it; the wasted attempt still costs
+                        // the full download time on the CPU.
+                        let corrupted = match (&dl_before, self.injector.as_mut()) {
+                            (Some(before), Some(inj)) => {
+                                self.manager.stats().downloads > before.downloads
+                                    && inj.corrupt_download()
+                            }
+                            _ => false,
+                        };
+                        if corrupted {
+                            let before = dl_before.unwrap();
+                            self.manager.discard_resident(circuit);
+                            self.fault.download_faults += 1;
+                            self.fault.crc_mismatches += 1;
+                            self.fault.retry_time +=
+                                self.manager.stats().config_time - before.config_time;
+                            self.dl_attempts[ti] += 1;
+                            self.metrics[ti].overhead_time += o;
+                            if self.trace.is_enabled() {
+                                self.record(
+                                    now,
+                                    TraceEvent::FaultInjected {
+                                        kind: "download",
+                                        circuit: Some(circuit.0),
+                                        col: None,
+                                    },
+                                );
+                                self.record(
+                                    now,
+                                    TraceEvent::CrcMismatch {
+                                        circuit: circuit.0,
+                                        task: Some(tid.0),
+                                        context: "download",
+                                    },
+                                );
+                            }
+                            // The CPU is held for the wasted attempt; the
+                            // retry decision happens when it elapses.
+                            self.tasks[ti].state = TaskState::Running;
+                            self.running = Some(Running {
+                                tid,
+                                dur: SimDuration::ZERO,
+                                exec_start: now + o,
+                                fpga: None,
+                            });
+                            self.queue.schedule_at(now + o, Ev::RetryDone(tid));
+                            return;
+                        }
+                        self.dl_attempts[ti] = 0;
+                        // Dispatching onto fabric a prior upset corrupted:
+                        // nothing computed from here on is trustworthy.
+                        if self.injector.is_some()
+                            && self.latent.contains_key(&circuit.0)
+                            && self.poisoned[ti].is_none()
+                        {
+                            self.poisoned[ti] = Some(self.op_done_so_far[ti]);
+                        }
                         overhead = o;
                         fpga_ctx = Some(FpgaSeg {
                             cid: circuit,
@@ -369,7 +867,10 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             let slice = self.sched.slice();
             let slicable = match op {
                 Op::Cpu(_) => true,
-                Op::FpgaRun { .. } => self.config.preempt != PreemptAction::WaitCompletion,
+                Op::FpgaRun { .. } => {
+                    self.config.preempt != PreemptAction::WaitCompletion
+                        && self.manager.preemptable()
+                }
             };
             let mut dur = remaining;
             if slicable {
@@ -421,6 +922,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             self.running = Some(Running {
                 tid,
                 dur,
+                exec_start: now + overhead,
                 fpga: fpga_ctx,
             });
             self.queue
@@ -448,6 +950,36 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         self.tasks[ti].op_remaining -= run.dur;
         self.op_done_so_far[ti] += run.dur;
 
+        // A scrub pass detected an upset on this task's circuit while the
+        // segment was in flight: repair now that the segment drained. The
+        // repair resets the task's progress per policy, so the op restarts
+        // (or resumes) from whatever survived.
+        if let Some(f) = run.fpga {
+            let detected = self.latent.get(&f.cid.0).is_some_and(|l| l.detected);
+            if detected {
+                self.repair_circuit(f.cid, now);
+                if self.tasks[ti].op_remaining > SimDuration::ZERO {
+                    // The op did not complete cleanly; release the device
+                    // slot and go around again (a fault restart, not a
+                    // preemption — the manager's preempt path never runs).
+                    let (ovh, wake) = self.manager.op_done(tid, f.cid);
+                    self.metrics[ti].overhead_time += ovh;
+                    self.wake(wake, now);
+                    self.fault_restarts[ti] += 1;
+                    if self.fault_restarts[ti] > self.recovery.max_op_recoveries {
+                        self.fail_task(tid, now, "upset recovery limit");
+                        self.dispatch(now);
+                        return;
+                    }
+                    self.tasks[ti].state = TaskState::Ready;
+                    let prio = self.tasks[ti].spec.priority;
+                    self.sched.on_ready(tid, prio, now);
+                    self.dispatch(now);
+                    return;
+                }
+            }
+        }
+
         if self.tasks[ti].op_remaining == SimDuration::ZERO {
             // Op complete.
             if let Some(f) = run.fpga {
@@ -458,6 +990,12 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             self.op_full[ti] = SimDuration::ZERO;
             self.op_done_so_far[ti] = SimDuration::ZERO;
             self.rollbacks[ti] = 0;
+            self.fault_restarts[ti] = 0;
+            self.dl_attempts[ti] = 0;
+            // An undetected upset at op completion (no scrub configured, or
+            // the pass hasn't come round yet) is *silent* corruption: the
+            // simulator, like the real system, delivers the result anyway.
+            self.poisoned[ti] = None;
             if self.tasks[ti].advance_op() {
                 self.tasks[ti].state = TaskState::Ready;
                 let prio = self.tasks[ti].spec.priority;
@@ -467,6 +1005,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 self.tasks[ti].state = TaskState::Done;
                 self.tasks[ti].completed_at = now;
                 self.metrics[ti].completion = now;
+                self.unfinished -= 1;
                 if self.trace.is_enabled() {
                     let info = self.tasks[ti].spec.name.clone();
                     self.record(
@@ -605,7 +1144,7 @@ mod tests {
             SystemConfig::default(),
             specs,
         );
-        let r = sys.run();
+        let r = sys.run().unwrap();
         assert_eq!(r.tasks[0].completion, SimTime::ZERO + ms(10));
         assert_eq!(r.tasks[1].completion, SimTime::ZERO + ms(30));
         assert_eq!(r.makespan, ms(30));
@@ -627,7 +1166,7 @@ mod tests {
             SystemConfig::default(),
             specs,
         );
-        let r = sys.run();
+        let r = sys.run().unwrap();
         // Interleaved: both finish near the end, not one at 20ms.
         assert_eq!(r.makespan, ms(40));
         assert!(r.tasks[0].completion > SimTime::ZERO + ms(30));
@@ -652,7 +1191,7 @@ mod tests {
             SystemConfig::default(),
             specs,
         );
-        let r = sys.run();
+        let r = sys.run().unwrap();
         assert_eq!(r.manager_stats.downloads, 1);
         assert!(r.tasks[0].overhead_time > SimDuration::ZERO);
         assert_eq!(r.tasks[0].fpga_time, lib.get(ids[0]).run_time(1000));
@@ -683,7 +1222,7 @@ mod tests {
             SystemConfig::default(),
             specs,
         );
-        let r = sys.run();
+        let r = sys.run().unwrap();
         assert_eq!(r.manager_stats.downloads, 4, "every switch re-configures");
     }
 
@@ -731,7 +1270,7 @@ mod tests {
             SystemConfig::default(),
             specs,
         );
-        let r = sys.run();
+        let r = sys.run().unwrap();
         assert!(
             r.tasks.iter().any(|t| t.blocked_count > 0),
             "second task must wait"
@@ -757,7 +1296,7 @@ mod tests {
             ..Default::default()
         };
         let sys = System::new(lib, mgr, RoundRobinScheduler::new(ms(5)), cfg, specs);
-        let r = sys.run();
+        let r = sys.run().unwrap();
         assert!(
             r.tasks[0].lost_time > SimDuration::ZERO,
             "rollback must discard work"
@@ -781,7 +1320,7 @@ mod tests {
             ..Default::default()
         };
         let sys = System::new(lib, mgr, RoundRobinScheduler::new(ms(5)), cfg, specs);
-        let r = sys.run();
+        let r = sys.run().unwrap();
         assert_eq!(r.tasks[0].lost_time, SimDuration::ZERO);
         assert!(r.manager_stats.state_saves > 0);
     }
@@ -803,7 +1342,7 @@ mod tests {
             ..Default::default()
         };
         let sys = System::new(lib.clone(), mgr, FifoScheduler::new(), cfg, specs);
-        let r = sys.run();
+        let r = sys.run().unwrap();
         let actual = lib.get(ids[0]).run_time(100_000);
         let slack = SimDuration::from_nanos(actual.as_nanos() / 2);
         assert!(
@@ -829,7 +1368,7 @@ mod tests {
             ..Default::default()
         };
         let sys = System::new(lib, mgr, FifoScheduler::new(), cfg, specs);
-        let r = sys.run();
+        let r = sys.run().unwrap();
         assert!(r.tasks[0].overhead_time > SimDuration::ZERO);
     }
 
@@ -848,7 +1387,7 @@ mod tests {
             SystemConfig::default(),
             specs,
         );
-        let r = sys.run();
+        let r = sys.run().unwrap();
         assert_eq!(r.tasks[1].completion, SimTime::ZERO + ms(5));
         assert_eq!(r.tasks[0].completion, SimTime::ZERO + ms(105));
         // CPU idle between 5ms and 100ms shows up in utilization < 1.

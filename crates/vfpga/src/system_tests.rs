@@ -88,7 +88,8 @@ fn partition_system_reaches_steady_state_hits() {
         timing(),
         PartitionMode::Variable,
         PreemptAction::SaveRestore,
-    );
+    )
+    .unwrap();
     let r = System::new(
         lib,
         mgr,
@@ -99,7 +100,8 @@ fn partition_system_reaches_steady_state_hits() {
         },
         specs,
     )
-    .run();
+    .run()
+    .unwrap();
     check_invariants(&r);
     assert_eq!(r.manager_stats.downloads, 3, "exactly the cold loads");
     assert_eq!(r.manager_stats.hits, 6);
@@ -118,7 +120,8 @@ fn overlay_system_runs_clean() {
         vec![ids[0]],
         widest,
         Replacement::Lru,
-    );
+    )
+    .unwrap();
     let r = System::new(
         lib,
         mgr,
@@ -129,7 +132,8 @@ fn overlay_system_runs_clean() {
         },
         specs,
     )
-    .run();
+    .run()
+    .unwrap();
     check_invariants(&r);
     // The common circuit never downloads on use; others fault at least once.
     assert!(r.manager_stats.hits >= 2);
@@ -150,7 +154,8 @@ fn merged_system_has_only_boot_download() {
         SystemConfig::default(),
         specs,
     )
-    .run();
+    .run()
+    .unwrap();
     check_invariants(&r);
     assert_eq!(r.manager_stats.downloads, 1);
 }
@@ -182,7 +187,8 @@ fn priority_scheduler_orders_completions() {
         SystemConfig::default(),
         specs,
     )
-    .run();
+    .run()
+    .unwrap();
     check_invariants(&r);
     let done = |name: &str| r.tasks.iter().find(|t| t.name == name).unwrap().completion;
     assert!(done("high") < done("mid"));
@@ -204,7 +210,8 @@ fn exclusive_under_fifo_behaves_like_serial_execution() {
         SystemConfig::default(),
         specs,
     )
-    .run();
+    .run()
+    .unwrap();
     check_invariants(&r);
     // Serial: b's completion is at least a's completion + b's own work.
     let a_done = r.tasks[0].completion;
@@ -225,7 +232,8 @@ fn blocked_tasks_do_not_deadlock_with_many_waiters() {
         timing(),
         PartitionMode::Variable,
         PreemptAction::SaveRestore,
-    );
+    )
+    .unwrap();
     let r = System::new(
         lib,
         mgr,
@@ -236,7 +244,8 @@ fn blocked_tasks_do_not_deadlock_with_many_waiters() {
         },
         specs,
     )
-    .run();
+    .run()
+    .unwrap();
     check_invariants(&r);
     assert_eq!(r.tasks.len(), 12);
     assert_eq!(r.manager_stats.downloads, 1, "one circuit, one load");
@@ -264,7 +273,8 @@ fn zero_cycle_fpga_op_completes_immediately() {
         SystemConfig::default(),
         specs,
     )
-    .run();
+    .run()
+    .unwrap();
     check_invariants(&r);
     assert_eq!(r.tasks[0].fpga_time, SimDuration::ZERO);
     assert_eq!(r.tasks[0].cpu_time, ms(1));
@@ -294,7 +304,8 @@ fn staggered_arrivals_with_partitions_and_estimates() {
         timing(),
         PartitionMode::Variable,
         PreemptAction::SaveRestore,
-    );
+    )
+    .unwrap();
     let r = System::new(
         lib,
         mgr,
@@ -305,7 +316,8 @@ fn staggered_arrivals_with_partitions_and_estimates() {
         },
         specs,
     )
-    .run();
+    .run()
+    .unwrap();
     check_invariants(&r);
     // The 20% estimate slack must appear as overhead on every FPGA task.
     for t in &r.tasks {
@@ -331,7 +343,8 @@ fn traced_run_records_lifecycle_events() {
         timing(),
         PartitionMode::Variable,
         PreemptAction::SaveRestore,
-    );
+    )
+    .unwrap();
     let (r, trace) = System::new(
         lib,
         mgr,
@@ -343,7 +356,8 @@ fn traced_run_records_lifecycle_events() {
         specs,
     )
     .with_trace()
-    .run_traced();
+    .run_traced()
+    .unwrap();
     check_invariants(&r);
     assert_eq!(trace.with_tag("arrive").count(), 2);
     assert_eq!(trace.with_tag("done").count(), 2);
@@ -371,7 +385,8 @@ fn untraced_run_records_nothing() {
         SystemConfig::default(),
         specs,
     )
-    .run();
+    .run()
+    .unwrap();
     check_invariants(&r);
     // run() drops the (disabled, empty) trace internally; nothing to assert
     // beyond the system still completing — this guards the plumbing.

@@ -96,6 +96,16 @@ pub enum TaskState {
     Blocked,
     /// Finished all ops.
     Done,
+    /// Terminated by fault recovery (retries exhausted or the request can
+    /// never be served); the rest of the system keeps running.
+    Failed,
+}
+
+impl TaskState {
+    /// Whether the task has left the system (completed or failed).
+    pub fn is_terminal(self) -> bool {
+        matches!(self, TaskState::Done | TaskState::Failed)
+    }
 }
 
 /// Runtime bookkeeping for one task (used by [`crate::system::System`]).

@@ -80,7 +80,8 @@ fn build_system(
         timing,
         PartitionMode::Variable,
         PreemptAction::SaveRestore,
-    );
+    )
+    .unwrap();
     let sys = System::new(
         lib.clone(),
         mgr,
@@ -142,7 +143,7 @@ fn check_report_invariants(seed: u64, r: &Report) {
 fn report_invariants_hold_on_random_runs() {
     let (lib, ids) = build_lib(5);
     for seed in 0..SEEDS {
-        let r = build_system(seed, &lib, &ids, true).run();
+        let r = build_system(seed, &lib, &ids, true).run().unwrap();
         assert!(
             r.timelines.iter().next().is_some(),
             "seed {seed}: no timelines recorded"
@@ -157,8 +158,8 @@ fn report_invariants_hold_on_random_runs() {
 fn tracing_never_changes_results() {
     let (lib, ids) = build_lib(5);
     for seed in 0..SEEDS {
-        let plain = build_system(seed, &lib, &ids, false).run();
-        let traced = build_system(seed, &lib, &ids, true).run();
+        let plain = build_system(seed, &lib, &ids, false).run().unwrap();
+        let traced = build_system(seed, &lib, &ids, true).run().unwrap();
         assert_eq!(
             plain.makespan, traced.makespan,
             "seed {seed}: makespan diverged"
@@ -209,8 +210,8 @@ fn tracing_never_changes_results() {
 fn traces_are_deterministic() {
     let (lib, ids) = build_lib(4);
     for seed in 0..8 {
-        let (_, ta) = build_system(seed, &lib, &ids, true).run_traced();
-        let (_, tb) = build_system(seed, &lib, &ids, true).run_traced();
+        let (_, ta) = build_system(seed, &lib, &ids, true).run_traced().unwrap();
+        let (_, tb) = build_system(seed, &lib, &ids, true).run_traced().unwrap();
         assert_eq!(ta.len(), tb.len(), "seed {seed}: trace lengths diverged");
         for (a, b) in ta.entries().zip(tb.entries()) {
             assert_eq!(a.at, b.at, "seed {seed}: event times diverged");

@@ -59,7 +59,8 @@ fn main() {
             timing,
             PartitionMode::Variable,
             PreemptAction::SaveRestore,
-        ),
+        )
+        .unwrap(),
         PriorityScheduler::new(Some(SimDuration::from_millis(1))),
         SystemConfig {
             preempt: PreemptAction::SaveRestore,
@@ -67,7 +68,8 @@ fn main() {
         },
         specs,
     )
-    .run();
+    .run()
+    .unwrap();
 
     // Deadline check: each job should finish before its period elapses.
     let mut missed = 0;

@@ -69,7 +69,8 @@ fn main() {
         .map(|&i| lib.get(i).shape().0)
         .max()
         .unwrap();
-    let mgr = OverlayManager::new(lib.clone(), timing, vec![ids[0]], widest, Replacement::Lru);
+    let mgr =
+        OverlayManager::new(lib.clone(), timing, vec![ids[0]], widest, Replacement::Lru).unwrap();
     println!("\noverlay slots: {}", mgr.slot_count());
 
     let r = System::new(
@@ -82,7 +83,8 @@ fn main() {
         },
         specs,
     )
-    .run();
+    .run()
+    .unwrap();
 
     let s = r.manager_stats;
     println!(

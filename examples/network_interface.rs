@@ -47,7 +47,8 @@ fn main() {
                 .compute(SimDuration::from_micros(150)) // header parse
                 .fpga(h, rng.range_u64(10_000, 60_000)) // payload processing
                 .compute(SimDuration::from_micros(50)) // hand-off
-                .build(),
+                .build()
+                .expect("non-empty program"),
         );
     }
 
@@ -59,7 +60,7 @@ fn main() {
         let need = lib.get(h.0).io_count() as u32;
         if pins.bind(k as u32, need).is_none() {
             all_bound = false;
-            let plan = mux_plan(need, pins.free_pins().max(1));
+            let plan = mux_plan(need, pins.free_pins().max(1)).expect("nonzero pins");
             println!(
                 "engine {k}: {need} pins won't bind ({} free) — TDM fallback: {} frames, {:.0}% throughput",
                 pins.free_pins(),
@@ -87,7 +88,8 @@ fn main() {
             timing,
             PartitionMode::Variable,
             PreemptAction::SaveRestore,
-        ),
+        )
+        .unwrap(),
         RoundRobinScheduler::new(SimDuration::from_millis(2)),
         SystemConfig {
             preempt: PreemptAction::SaveRestore,
@@ -95,7 +97,8 @@ fn main() {
         },
         specs,
     )
-    .run();
+    .run()
+    .unwrap();
     println!(
         "\n30 flows in {:.1} ms; {} engine downloads, hit rate {:.0}%, overhead {:.1}%",
         r.makespan.as_millis_f64(),

@@ -84,7 +84,8 @@ fn main() {
         SystemConfig::default(),
         specs.clone(),
     )
-    .run();
+    .run()
+    .unwrap();
     describe("whole-device dynload", &dynload);
 
     let partition = System::new(
@@ -94,7 +95,8 @@ fn main() {
             timing,
             PartitionMode::Variable,
             PreemptAction::SaveRestore,
-        ),
+        )
+        .unwrap(),
         RoundRobinScheduler::new(SimDuration::from_millis(5)),
         SystemConfig {
             preempt: PreemptAction::SaveRestore,
@@ -102,7 +104,8 @@ fn main() {
         },
         specs,
     )
-    .run();
+    .run()
+    .unwrap();
     describe("column partitions", &partition);
 
     println!(

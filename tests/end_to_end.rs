@@ -173,7 +173,8 @@ fn os_layer_charges_download_times_consistent_with_device_timing() {
         SystemConfig::default(),
         specs,
     )
-    .run();
+    .run()
+    .unwrap();
 
     // The manager's accumulated config time must match per-circuit frame
     // arithmetic from the fpga crate.
@@ -220,7 +221,8 @@ fn whole_stack_is_deterministic() {
             timing,
             PartitionMode::Variable,
             PreemptAction::SaveRestore,
-        );
+        )
+        .unwrap();
         System::new(
             lib.clone(),
             mgr,
@@ -232,6 +234,7 @@ fn whole_stack_is_deterministic() {
             specs,
         )
         .run()
+        .unwrap()
     };
     let a = run(11);
     let b = run(11);
