@@ -25,4 +25,25 @@ trap 'rm -rf "$E15_TMP"' EXIT
 cmp "$E15_TMP/a.json" "$E15_TMP/b.json" \
   || { echo "e15 smoke: same-seed runs are not byte-identical"; exit 1; }
 
+echo "==> e16 crash-restore smoke (differential verifier + journal ablation)"
+# The binary aborts in-process if any journaled cell diverges from the
+# uninterrupted same-seed baseline. The JSON gate re-checks the exported
+# counters and additionally proves the ablation bites: with the journal
+# off the smoke cell must record silent corruption and divergence, or the
+# journal has stopped being load-bearing.
+./target/release/e16_crash_restore --smoke --json "$E15_TMP/e16a.json" >/dev/null
+./target/release/e16_crash_restore --smoke --json "$E15_TMP/e16b.json" >/dev/null
+cmp "$E15_TMP/e16a.json" "$E15_TMP/e16b.json" \
+  || { echo "e16 smoke: same-seed runs are not byte-identical"; exit 1; }
+python3 - "$E15_TMP/e16a.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+counters = doc["metrics"]["counters"]
+assert counters["journal_on_divergences"] == 0, "journaled restore diverged"
+assert counters["journal_off_divergences"] > 0, "journal-off ablation did not diverge"
+assert doc["params"]["journal_off_corruptions"] > 0, "no silent corruption recorded"
+print("e16 gate: journal on = 0 divergences, journal off = "
+      f"{counters['journal_off_divergences']} (ablation bites)")
+PY
+
 echo "CI green."

@@ -7,24 +7,33 @@
 //! preemptions, and GC.
 //!
 //! Usage: `trace_dump [--tag TAG]... [--limit N] [--seed S] [--summary]
-//! [--faults]`
+//! [--faults] [--checkpoints]`
 //!
 //! * `--tag TAG` — print only events whose tag matches (repeatable;
 //!   tags: arrive/ready/run/block/fail/done/dispatch/config/preempt/gc/
 //!   fault/overlay/iomux/custom, plus with `--faults` the
 //!   injection/recovery tags fault-inj/crc/scrub/retry/task-fail/
-//!   col-retire/recover).
+//!   col-retire/recover, and with `--checkpoints` the crash-consistency
+//!   tags ckpt/crash/replay).
 //! * `--limit N` — print at most N events (default 200; `0` = unlimited).
 //! * `--seed S`  — workload seed (default 0xE04).
 //! * `--summary` — skip the event listing, print only the per-tag counts.
 //! * `--faults`  — attach a deterministic fault injector (download
 //!   corruption + SEUs + 2ms scrubbing) so the recovery events appear.
+//! * `--checkpoints` — run under periodic checkpoints with seeded host
+//!   crashes and journaled restore, and (unless `--tag` is given) filter
+//!   the listing to the checkpoint/crash/journal-replay events. The
+//!   printed trace covers the final segment — earlier segments died with
+//!   their crashed host.
 
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::{SimDuration, SimRng};
 use std::collections::BTreeMap;
 use vfpga::manager::partition::{PartitionManager, PartitionMode};
-use vfpga::{FaultPlan, PreemptAction, RecoveryPolicy, RoundRobinScheduler, System, SystemConfig};
+use vfpga::{
+    run_with_crashes_traced, CheckpointConfig, CrashPlan, FaultPlan, PreemptAction, RecoveryPolicy,
+    RoundRobinScheduler, System, SystemConfig,
+};
 use workload::{poisson_tasks, Domain, MixParams};
 
 struct Args {
@@ -33,6 +42,7 @@ struct Args {
     seed: u64,
     summary_only: bool,
     faults: bool,
+    checkpoints: bool,
 }
 
 fn parse_args() -> Args {
@@ -42,6 +52,7 @@ fn parse_args() -> Args {
         seed: 0xE04,
         summary_only: false,
         faults: false,
+        checkpoints: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -70,9 +81,11 @@ fn parse_args() -> Args {
             }
             "--summary" => out.summary_only = true,
             "--faults" => out.faults = true,
+            "--checkpoints" => out.checkpoints = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: trace_dump [--tag TAG]... [--limit N] [--seed S] [--summary] [--faults]"
+                    "usage: trace_dump [--tag TAG]... [--limit N] [--seed S] [--summary] \
+                     [--faults] [--checkpoints]"
                 );
                 std::process::exit(0);
             }
@@ -108,44 +121,62 @@ fn main() {
             &mut rng,
         )
     };
-    let mgr = PartitionManager::new(
-        lib.clone(),
-        timing,
-        PartitionMode::Variable,
-        PreemptAction::SaveRestore,
-    )
-    .unwrap();
-    let mut sys = System::new(
-        lib,
-        mgr,
-        RoundRobinScheduler::new(SimDuration::from_millis(10)),
-        SystemConfig {
-            preempt: PreemptAction::SaveRestore,
-            ..Default::default()
-        },
-        specs,
-    );
-    if args.faults {
-        let plan = FaultPlan {
+    let build = || {
+        let mgr = PartitionManager::new(
+            lib.clone(),
+            timing,
+            PartitionMode::Variable,
+            PreemptAction::SaveRestore,
+        )
+        .unwrap();
+        let mut sys = System::new(
+            lib.clone(),
+            mgr,
+            RoundRobinScheduler::new(SimDuration::from_millis(10)),
+            SystemConfig {
+                preempt: PreemptAction::SaveRestore,
+                ..Default::default()
+            },
+            specs.clone(),
+        );
+        if args.faults {
+            let plan = FaultPlan {
+                seed: args.seed,
+                download_corruption: 0.1,
+                seu_rate_per_s: 200.0,
+                column_failure_rate_per_s: 2.0,
+            };
+            let policy = RecoveryPolicy {
+                scrub_interval: Some(SimDuration::from_millis(2)),
+                ..RecoveryPolicy::default()
+            };
+            sys = sys.with_faults(plan, policy);
+        }
+        sys
+    };
+    let mut tags = args.tags.clone();
+    let (report, trace) = if args.checkpoints {
+        if tags.is_empty() {
+            // The advertised filter: only the crash-consistency stream.
+            tags = vec!["ckpt".into(), "crash".into(), "replay".into()];
+        }
+        let cfg = CheckpointConfig::new(SimDuration::from_millis(5));
+        let plan = CrashPlan {
             seed: args.seed,
-            download_corruption: 0.1,
-            seu_rate_per_s: 200.0,
-            column_failure_rate_per_s: 2.0,
+            crash_rate_per_s: 25.0,
+            max_crashes: 3,
         };
-        let policy = RecoveryPolicy {
-            scrub_interval: Some(SimDuration::from_millis(2)),
-            ..RecoveryPolicy::default()
-        };
-        sys = sys.with_faults(plan, policy);
-    }
-    let (report, trace) = sys.with_trace().run_traced().expect("deadlock");
+        run_with_crashes_traced(build, cfg, plan).expect("deadlock")
+    } else {
+        build().with_trace().run_traced().expect("deadlock")
+    };
 
     let mut by_tag: BTreeMap<&'static str, u64> = BTreeMap::new();
     let mut printed = 0usize;
     let mut matched = 0usize;
     for e in trace.entries() {
         *by_tag.entry(e.tag()).or_insert(0) += 1;
-        if !args.tags.is_empty() && !args.tags.iter().any(|t| t == e.tag()) {
+        if !tags.is_empty() && !tags.iter().any(|t| t == e.tag()) {
             continue;
         }
         matched += 1;
@@ -175,4 +206,19 @@ fn main() {
         report.tasks.len(),
         report.overhead_fraction() * 100.0
     );
+    if args.checkpoints {
+        let c = &report.crash;
+        println!(
+            "crash consistency: {} checkpoints ({:.3} s readback), {} crashes, \
+             {} torn, {} redone / {} undone ({:.3} s replay), {} stale discards",
+            c.checkpoints,
+            c.checkpoint_time.as_secs_f64(),
+            c.crashes,
+            c.torn_downloads,
+            c.records_redone,
+            c.records_undone,
+            c.replay_time.as_secs_f64(),
+            c.stale_discards,
+        );
+    }
 }

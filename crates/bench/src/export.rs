@@ -119,6 +119,7 @@ fn report_json(label: &str, r: &Report) -> Json {
                     .set("fault_lost_s", t.fault_lost_time.as_secs_f64())
                     .set("blocked", t.blocked_count)
                     .set("failed", t.failed)
+                    .set("corrupted", t.corrupted)
                     .set(
                         "waiting_s",
                         t.waiting_checked()
@@ -166,6 +167,8 @@ fn report_json(label: &str, r: &Report) -> Json {
                 .set("gc_s", b.gc.as_secs_f64())
                 .set("rollback_loss_s", b.rollback_loss.as_secs_f64())
                 .set("fault_retry_s", b.fault_retry.as_secs_f64())
+                .set("checkpoint_s", b.checkpoint.as_secs_f64())
+                .set("journal_replay_s", b.journal_replay.as_secs_f64())
                 .set("other_s", b.other.as_secs_f64())
                 .set("total_s", b.total().as_secs_f64()),
         )
@@ -195,6 +198,19 @@ fn report_json(label: &str, r: &Report) -> Json {
                         .unwrap_or(Json::Null),
                 )
                 .set("background_time_s", r.fault.background_time().as_secs_f64()),
+        )
+        .set(
+            "crash",
+            Obj::new()
+                .set("checkpoints", r.crash.checkpoints)
+                .set("checkpoint_time_s", r.crash.checkpoint_time.as_secs_f64())
+                .set("crashes", r.crash.crashes)
+                .set("torn_downloads", r.crash.torn_downloads)
+                .set("records_redone", r.crash.records_redone)
+                .set("records_undone", r.crash.records_undone)
+                .set("replay_time_s", r.crash.replay_time.as_secs_f64())
+                .set("stale_discards", r.crash.stale_discards)
+                .set("silent_corruptions", r.crash.silent_corruptions),
         )
         .set("metrics", metrics_json(&r.metrics))
         .set("timelines", timelines_json(&r.timelines))

@@ -1,582 +1,7 @@
-//! A minimal hand-rolled JSON writer and reader.
+//! Re-export of the shared JSON value tree.
 //!
-//! The container has no serde; a small value tree with a pretty-printer
-//! and a recursive-descent [`Json::parse`] is enough. Object keys keep
-//! insertion order — exports are byte-stable for identical runs — and the
-//! parser exists so CI can verify that what a bench emitted actually reads
-//! back (a malformed export otherwise goes unnoticed until someone's
-//! plotting script chokes on it).
+//! The writer/reader moved to [`fsim::json`] so the OS layer can use the
+//! same format for checkpoint serialization; this shim keeps the
+//! historical `bench::json::Json` paths working.
 
-use std::fmt::Write as _;
-
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true`/`false`.
-    Bool(bool),
-    /// An unsigned integer (kept exact — counters can exceed 2^53).
-    UInt(u64),
-    /// A signed integer.
-    Int(i64),
-    /// A float; non-finite values render as `null`.
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, in insertion order.
-    Obj(Vec<(String, Json)>),
-}
-
-impl From<bool> for Json {
-    fn from(v: bool) -> Json {
-        Json::Bool(v)
-    }
-}
-impl From<u64> for Json {
-    fn from(v: u64) -> Json {
-        Json::UInt(v)
-    }
-}
-impl From<u32> for Json {
-    fn from(v: u32) -> Json {
-        Json::UInt(v.into())
-    }
-}
-impl From<usize> for Json {
-    fn from(v: usize) -> Json {
-        Json::UInt(v as u64)
-    }
-}
-impl From<i64> for Json {
-    fn from(v: i64) -> Json {
-        Json::Int(v)
-    }
-}
-impl From<f64> for Json {
-    fn from(v: f64) -> Json {
-        Json::Num(v)
-    }
-}
-impl From<&str> for Json {
-    fn from(v: &str) -> Json {
-        Json::Str(v.to_string())
-    }
-}
-impl From<String> for Json {
-    fn from(v: String) -> Json {
-        Json::Str(v)
-    }
-}
-impl From<Vec<Json>> for Json {
-    fn from(v: Vec<Json>) -> Json {
-        Json::Arr(v)
-    }
-}
-
-/// An object under construction (fluent, insertion-ordered).
-#[derive(Debug, Clone, Default)]
-pub struct Obj {
-    fields: Vec<(String, Json)>,
-}
-
-impl Obj {
-    /// An empty object.
-    pub fn new() -> Self {
-        Obj::default()
-    }
-
-    /// Add (or append — duplicate keys are the caller's bug) a field.
-    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Self {
-        self.fields.push((key.to_string(), value.into()));
-        self
-    }
-
-    /// Finish into a [`Json::Obj`].
-    pub fn build(self) -> Json {
-        Json::Obj(self.fields)
-    }
-}
-
-impl From<Obj> for Json {
-    fn from(o: Obj) -> Json {
-        o.build()
-    }
-}
-
-fn escape_into(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-impl Json {
-    fn write_into(&self, out: &mut String, indent: usize) {
-        const PAD: &str = "  ";
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::UInt(v) => {
-                let _ = write!(out, "{v}");
-            }
-            Json::Int(v) => {
-                let _ = write!(out, "{v}");
-            }
-            Json::Num(v) => {
-                if v.is_finite() {
-                    // Display for f64 is the shortest round-trip form, but
-                    // bare "1" would re-read as an integer; keep it a float.
-                    if *v == v.trunc() && v.abs() < 1e15 {
-                        let _ = write!(out, "{v:.1}");
-                    } else {
-                        let _ = write!(out, "{v}");
-                    }
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => escape_into(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                // Arrays of scalars stay on one line; nested ones break.
-                let scalar = items
-                    .iter()
-                    .all(|i| !matches!(i, Json::Arr(_) | Json::Obj(_)));
-                if scalar {
-                    out.push('[');
-                    for (i, item) in items.iter().enumerate() {
-                        if i > 0 {
-                            out.push_str(", ");
-                        }
-                        item.write_into(out, indent);
-                    }
-                    out.push(']');
-                } else {
-                    out.push_str("[\n");
-                    for (i, item) in items.iter().enumerate() {
-                        out.push_str(&PAD.repeat(indent + 1));
-                        item.write_into(out, indent + 1);
-                        if i + 1 < items.len() {
-                            out.push(',');
-                        }
-                        out.push('\n');
-                    }
-                    out.push_str(&PAD.repeat(indent));
-                    out.push(']');
-                }
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push_str("{\n");
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    out.push_str(&PAD.repeat(indent + 1));
-                    escape_into(out, k);
-                    out.push_str(": ");
-                    v.write_into(out, indent + 1);
-                    if i + 1 < fields.len() {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                }
-                out.push_str(&PAD.repeat(indent));
-                out.push('}');
-            }
-        }
-    }
-
-    /// Pretty-print with two-space indentation and a trailing newline.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write_into(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    /// Parse a JSON document. Integers without a fraction or exponent come
-    /// back as [`Json::UInt`]/[`Json::Int`], everything else numeric as
-    /// [`Json::Num`], so `parse(render(x))` round-trips the value tree.
-    pub fn parse(input: &str) -> Result<Json, ParseError> {
-        let mut p = Parser {
-            bytes: input.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(p.err("trailing characters after document"));
-        }
-        Ok(v)
-    }
-
-    /// Field lookup on an object (first match), `None` otherwise.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The array items, when this is an array.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-}
-
-/// Where and why a parse failed.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseError {
-    /// Byte offset of the failure.
-    pub at: usize,
-    /// Human-readable reason.
-    pub reason: String,
-}
-
-impl std::fmt::Display for ParseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.at, self.reason)
-    }
-}
-
-impl std::error::Error for ParseError {}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn err(&self, reason: &str) -> ParseError {
-        ParseError {
-            at: self.pos,
-            reason: reason.to_string(),
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected '{}'", b as char)))
-        }
-    }
-
-    fn literal(&mut self, word: &str, v: Json) -> Result<Json, ParseError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(v)
-        } else {
-            Err(self.err(&format!("expected '{word}'")))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, ParseError> {
-        match self.peek() {
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'"') => self.string().map(Json::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => Err(self.err("expected a value")),
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let v = self.value()?;
-            fields.push((key, v));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(self.err("expected ',' or '}'")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
-        let mut s = String::new();
-        loop {
-            let Some(b) = self.peek() else {
-                return Err(self.err("unterminated string"));
-            };
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(s),
-                b'\\' => {
-                    let Some(e) = self.peek() else {
-                        return Err(self.err("unterminated escape"));
-                    };
-                    self.pos += 1;
-                    match e {
-                        b'"' => s.push('"'),
-                        b'\\' => s.push('\\'),
-                        b'/' => s.push('/'),
-                        b'n' => s.push('\n'),
-                        b'r' => s.push('\r'),
-                        b't' => s.push('\t'),
-                        b'b' => s.push('\u{8}'),
-                        b'f' => s.push('\u{c}'),
-                        b'u' => {
-                            if self.pos + 4 > self.bytes.len() {
-                                return Err(self.err("truncated \\u escape"));
-                            }
-                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                .map_err(|_| self.err("non-ascii \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            self.pos += 4;
-                            // Surrogates would need pairing; benches never
-                            // emit them, so reject instead of mis-decoding.
-                            let c = char::from_u32(code)
-                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
-                            s.push(c);
-                        }
-                        _ => return Err(self.err("unknown escape")),
-                    }
-                }
-                _ => {
-                    // Re-decode UTF-8 from this byte.
-                    let start = self.pos - 1;
-                    let len = utf8_len(b).ok_or_else(|| self.err("invalid utf-8"))?;
-                    if start + len > self.bytes.len() {
-                        return Err(self.err("truncated utf-8"));
-                    }
-                    let chunk = std::str::from_utf8(&self.bytes[start..start + len])
-                        .map_err(|_| self.err("invalid utf-8"))?;
-                    s.push_str(chunk);
-                    self.pos = start + len;
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, ParseError> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(self.peek(), Some(b'0'..=b'9')) {
-            self.pos += 1;
-        }
-        let mut float = false;
-        if self.peek() == Some(b'.') {
-            float = true;
-            self.pos += 1;
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
-            }
-        }
-        if matches!(self.peek(), Some(b'e' | b'E')) {
-            float = true;
-            self.pos += 1;
-            if matches!(self.peek(), Some(b'+' | b'-')) {
-                self.pos += 1;
-            }
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        if float {
-            text.parse::<f64>()
-                .map(Json::Num)
-                .map_err(|_| self.err("bad number"))
-        } else if text.starts_with('-') {
-            text.parse::<i64>()
-                .map(Json::Int)
-                .map_err(|_| self.err("integer out of range"))
-        } else {
-            text.parse::<u64>()
-                .map(Json::UInt)
-                .map_err(|_| self.err("integer out of range"))
-        }
-    }
-}
-
-fn utf8_len(b: u8) -> Option<usize> {
-    match b {
-        0x00..=0x7f => Some(1),
-        0xc0..=0xdf => Some(2),
-        0xe0..=0xef => Some(3),
-        0xf0..=0xf7 => Some(4),
-        _ => None,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scalars_render() {
-        assert_eq!(Json::Null.render(), "null\n");
-        assert_eq!(Json::Bool(true).render(), "true\n");
-        assert_eq!(Json::UInt(7).render(), "7\n");
-        assert_eq!(Json::Int(-3).render(), "-3\n");
-        assert_eq!(Json::Num(1.5).render(), "1.5\n");
-        assert_eq!(Json::Num(2.0).render(), "2.0\n", "floats keep a decimal");
-        assert_eq!(Json::Num(f64::NAN).render(), "null\n");
-    }
-
-    #[test]
-    fn strings_escape() {
-        let s = Json::Str("a\"b\\c\nd\u{1}".into());
-        assert_eq!(s.render(), "\"a\\\"b\\\\c\\nd\\u0001\"\n");
-    }
-
-    #[test]
-    fn objects_keep_insertion_order() {
-        let j = Obj::new().set("z", 1u64).set("a", "x").build();
-        let r = j.render();
-        assert!(r.find("\"z\"").unwrap() < r.find("\"a\"").unwrap());
-    }
-
-    #[test]
-    fn scalar_arrays_inline_nested_break() {
-        let flat = Json::Arr(vec![Json::UInt(1), Json::UInt(2)]);
-        assert_eq!(flat.render(), "[1, 2]\n");
-        let nested = Json::Arr(vec![flat.clone()]);
-        assert!(nested.render().contains('\n'));
-    }
-
-    #[test]
-    fn parse_round_trips_render() {
-        let j = Obj::new()
-            .set("schema", "vfpga-bench/1")
-            .set("count", 42u64)
-            .set("neg", -7i64)
-            .set("frac", 0.25)
-            .set("whole", 2.0)
-            .set("flag", true)
-            .set("nothing", Json::Null)
-            .set("text", "a\"b\\c\nd\ttab")
-            .set("empty_arr", Json::Arr(vec![]))
-            .set("empty_obj", Obj::new())
-            .set(
-                "rows",
-                Json::Arr(vec![
-                    Obj::new().set("x", 1u64).set("y", 1.5).build(),
-                    Obj::new().set("x", 2u64).set("y", 2.5).build(),
-                ]),
-            )
-            .build();
-        let back = Json::parse(&j.render()).unwrap();
-        assert_eq!(back, j);
-        // And a second trip is byte-stable.
-        assert_eq!(back.render(), j.render());
-    }
-
-    #[test]
-    fn parse_rejects_malformed_documents() {
-        for bad in [
-            "",
-            "{",
-            "[1,]",
-            "{\"a\":}",
-            "{\"a\":1} extra",
-            "\"unterminated",
-            "nulll",
-            "{'single': 1}",
-        ] {
-            assert!(Json::parse(bad).is_err(), "accepted malformed: {bad:?}");
-        }
-    }
-
-    #[test]
-    fn parse_accessors_navigate() {
-        let j = Json::parse("{\"rows\": [{\"x\": 3}], \"n\": 1}").unwrap();
-        let rows = j.get("rows").unwrap().as_arr().unwrap();
-        assert_eq!(rows[0].get("x"), Some(&Json::UInt(3)));
-        assert_eq!(j.get("missing"), None);
-    }
-
-    #[test]
-    fn render_is_valid_enough_to_eyeball() {
-        let j = Obj::new()
-            .set("schema", "vfpga-bench/1")
-            .set("values", Json::Arr(vec![Json::Num(0.25), Json::UInt(4)]))
-            .set("nested", Obj::new().set("empty", Json::Arr(vec![])))
-            .build();
-        let r = j.render();
-        assert!(r.starts_with("{\n"));
-        assert!(r.contains("\"schema\": \"vfpga-bench/1\""));
-        assert!(r.contains("\"empty\": []"));
-        assert!(r.ends_with("}\n"));
-    }
-}
+pub use fsim::json::*;

@@ -211,18 +211,16 @@ impl Device {
         self.downloads
     }
 
-    /// Validate and apply a bitstream, returning the download time.
-    ///
-    /// A rejected stream (bad CRC, out-of-range write, unsupported partial)
-    /// leaves the device untouched.
-    pub fn apply(&mut self, bs: &Bitstream) -> Result<SimDuration, DeviceError> {
+    /// Validate a bitstream against this device without mutating anything
+    /// (the shared front half of [`Device::apply`] and
+    /// [`Device::apply_torn`]).
+    fn validate(&self, bs: &Bitstream) -> Result<(), DeviceError> {
         if !bs.crc_ok() {
             return Err(DeviceError::CrcMismatch);
         }
         if !bs.full && !self.port.supports_partial() {
             return Err(DeviceError::PartialUnsupported);
         }
-        // Validate before mutating.
         for f in &bs.frames {
             if f.col >= self.spec.cols {
                 return Err(DeviceError::OutOfRange { col: f.col, row: 0 });
@@ -240,6 +238,15 @@ impl Device {
                 return Err(DeviceError::BadPin(pin));
             }
         }
+        Ok(())
+    }
+
+    /// Validate and apply a bitstream, returning the download time.
+    ///
+    /// A rejected stream (bad CRC, out-of-range write, unsupported partial)
+    /// leaves the device untouched.
+    pub fn apply(&mut self, bs: &Bitstream) -> Result<SimDuration, DeviceError> {
+        self.validate(bs)?;
 
         if bs.full {
             // A full download wipes the device first.
@@ -264,6 +271,47 @@ impl Device {
         }
         self.downloads += 1;
         Ok(self.timing().download_time(bs))
+    }
+
+    /// Apply only the first `frames_applied` frames of a bitstream — what
+    /// a host crash mid-download leaves behind. The stream itself is
+    /// valid (it was cut short, not corrupted), so validation is the same
+    /// as [`Device::apply`]; but no IOB writes land (they follow the
+    /// frames in the stream), the download counter does not advance (the
+    /// download never completed), and a torn *full* stream leaves the
+    /// device wiped with only a prefix written — the worst case the
+    /// journal's undo path must handle.
+    pub fn apply_torn(&mut self, bs: &Bitstream, frames_applied: usize) -> Result<(), DeviceError> {
+        self.validate(bs)?;
+        let n = frames_applied.min(bs.frames.len());
+        if bs.full {
+            self.cells.fill(None);
+            self.iobs.fill(IobConfig::Unused);
+            self.ff.fill(0);
+        }
+        for f in &bs.frames[..n] {
+            for (k, cell) in f.cells.iter().enumerate() {
+                let row = f.row0 + k as u32;
+                let i = self.idx(f.col, row);
+                self.cells[i] = *cell;
+                self.ff[i] = match cell {
+                    Some(c) if c.has_ff && c.ff_init => u64::MAX,
+                    _ => 0,
+                };
+            }
+        }
+        Ok(())
+    }
+
+    /// Raw cell write for the journal's undo path (pre-image restore).
+    pub(crate) fn set_cell(&mut self, col: u32, row: u32, cell: Option<ClbCell>) {
+        let i = self.idx(col, row);
+        self.cells[i] = cell;
+    }
+
+    /// Raw IOB write for the journal's undo path.
+    pub(crate) fn set_iob(&mut self, pin: u32, cfg: IobConfig) {
+        self.iobs[pin as usize] = cfg;
     }
 
     /// Clear a region's CLBs (used when a partition is released), and

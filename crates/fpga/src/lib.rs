@@ -16,16 +16,21 @@
 //!   serially, the paper's quantitative anchor,
 //! * [`fabric`] — an *executable* configuration state: what is loaded in
 //!   the CLB array is exactly what runs; flip-flop state is readable
-//!   (observability) and writable (controllability).
+//!   (observability) and writable (controllability),
+//! * [`journal`] — a write-ahead journal making downloads crash-atomic:
+//!   pre-images for undoing torn writes, after-images for redoing
+//!   committed ones.
 
 pub mod bitstream;
 pub mod config;
 pub mod device;
 pub mod fabric;
+pub mod journal;
 pub mod region;
 
 pub use bitstream::{Bitstream, ClbCell, ClbSource, FrameWrite, IobConfig};
 pub use config::{ConfigPort, ConfigTiming};
 pub use device::{Device, DeviceSpec, PARTS};
 pub use fabric::{FabricError, FabricView};
+pub use journal::{Journal, RecoveryOutcome, TxnId};
 pub use region::Rect;

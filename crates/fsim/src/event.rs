@@ -133,6 +133,22 @@ impl<E> EventQueue<E> {
     }
 }
 
+impl<E: Clone> EventQueue<E> {
+    /// Snapshot the pending events in firing order *without* disturbing
+    /// the queue — neither the clock nor the pending set changes. Used by
+    /// checkpointing, which must serialize the pending set and then keep
+    /// running; a destructive drain would advance `now` and turn later
+    /// `schedule_at` calls into causality panics.
+    pub fn pending_in_order(&self) -> Vec<ScheduledEvent<E>> {
+        let mut copy = self.heap.clone();
+        let mut out = Vec::with_capacity(copy.len());
+        while let Some(ev) = copy.pop() {
+            out.push(ev);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +207,23 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.pop().map(|e| e.at), None);
+    }
+
+    #[test]
+    fn pending_in_order_is_nondestructive_and_sorted() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(30), "c");
+        q.schedule_at(SimTime(10), "a");
+        q.schedule_at(SimTime(10), "b");
+        let snap = q.pending_in_order();
+        assert_eq!(
+            snap.iter().map(|e| e.event).collect::<Vec<_>>(),
+            vec!["a", "b", "c"],
+            "sorted by time then FIFO"
+        );
+        assert_eq!(q.len(), 3, "queue untouched");
+        assert_eq!(q.now(), SimTime::ZERO, "clock untouched");
+        assert_eq!(q.pop().unwrap().event, "a");
     }
 
     #[test]

@@ -126,6 +126,122 @@ impl FaultInjector {
         let ns = rng.exp(mean_ns).ceil() as u64;
         Some(SimDuration::from_nanos(ns.max(1)))
     }
+
+    /// Snapshot the three stream states (download, SEU, column) for
+    /// checkpointing. Restoring via
+    /// [`FaultInjector::restore_stream_states`] resumes every fault
+    /// stream exactly where it was, so a checkpoint-restored run draws
+    /// the same fault sequence the uninterrupted run would have.
+    pub fn stream_states(&self) -> [[u64; 4]; 3] {
+        [
+            self.dl_rng.state(),
+            self.seu_rng.state(),
+            self.col_rng.state(),
+        ]
+    }
+
+    /// Rebuild the three fault streams from a
+    /// [`FaultInjector::stream_states`] snapshot.
+    pub fn restore_stream_states(&mut self, s: [[u64; 4]; 3]) {
+        self.dl_rng = SimRng::from_state(s[0]);
+        self.seu_rng = SimRng::from_state(s[1]);
+        self.col_rng = SimRng::from_state(s[2]);
+    }
+}
+
+/// The fourth fault class: host crashes. The host process dies at a
+/// seeded random simulation time, losing all volatile OS state; whatever
+/// configuration download was in flight at that instant is *torn* — a
+/// prefix of its frames reached the device, the rest did not.
+///
+/// Kept separate from [`FaultPlan`] because a crash is not survived by
+/// the event loop: it terminates the run, and a harness restarts the
+/// system from its last checkpoint (see `vfpga::checkpoint`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashPlan {
+    /// Seed for the crash stream (independent of [`FaultPlan::seed`]'s
+    /// derived streams — crash times use their own derivation tag).
+    pub seed: u64,
+    /// Poisson rate (crashes per simulated second). Zero disables
+    /// crashes entirely.
+    pub crash_rate_per_s: f64,
+    /// Hard cap on injected crashes, so a run always finishes.
+    pub max_crashes: u32,
+}
+
+impl CrashPlan {
+    /// A plan that never crashes.
+    pub fn none() -> Self {
+        CrashPlan {
+            seed: 0,
+            crash_rate_per_s: 0.0,
+            max_crashes: 0,
+        }
+    }
+}
+
+impl Default for CrashPlan {
+    fn default() -> Self {
+        CrashPlan::none()
+    }
+}
+
+/// Turns a [`CrashPlan`] into a reproducible sequence of absolute crash
+/// times. The injector lives in the restart *harness*, outside the
+/// simulated system, so its stream survives the crash it injects — each
+/// draw advances past the previous crash time, and a restored run is
+/// never re-killed at an instant that already fired.
+#[derive(Debug)]
+pub struct CrashInjector {
+    plan: CrashPlan,
+    rng: SimRng,
+    fired: u32,
+    last: u64,
+}
+
+impl CrashInjector {
+    /// Derivation tag of the crash stream (tags 1–3 are the
+    /// [`FaultInjector`] streams).
+    pub const STREAM_TAG: u64 = 4;
+
+    /// An injector drawing from derivation stream 4 of `plan.seed`.
+    pub fn new(plan: CrashPlan) -> Self {
+        CrashInjector {
+            plan,
+            rng: SimRng::new(plan.seed).derive(Self::STREAM_TAG),
+            fired: 0,
+            last: 0,
+        }
+    }
+
+    /// The plan this injector was built from.
+    pub fn plan(&self) -> &CrashPlan {
+        &self.plan
+    }
+
+    /// Crashes drawn so far.
+    pub fn fired(&self) -> u32 {
+        self.fired
+    }
+
+    /// Absolute simulation time of the next crash, or `None` when the
+    /// rate is zero or the crash budget is spent. Consumes randomness
+    /// only when a crash is actually drawn.
+    pub fn next_crash_at(&mut self) -> Option<crate::SimTime> {
+        if self.plan.crash_rate_per_s <= 0.0 || self.fired >= self.plan.max_crashes {
+            return None;
+        }
+        let gap = FaultInjector::interarrival(&mut self.rng, self.plan.crash_rate_per_s)?;
+        self.fired += 1;
+        self.last = self.last.saturating_add(gap.as_nanos());
+        Some(crate::SimTime(self.last))
+    }
+
+    /// Fraction of the in-flight download's frames that reached the
+    /// device before the crash cut the stream (uniform in `[0, 1)`).
+    pub fn torn_fraction(&mut self) -> f64 {
+        self.rng.f64()
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +320,59 @@ mod tests {
             (5.0..20.0).contains(&mean_ms),
             "mean interarrival {mean_ms} ms implausible for 100/s"
         );
+    }
+
+    #[test]
+    fn crash_injector_is_seeded_monotone_and_bounded() {
+        let plan = CrashPlan {
+            seed: 11,
+            crash_rate_per_s: 5.0,
+            max_crashes: 3,
+        };
+        let mut a = CrashInjector::new(plan);
+        let mut b = CrashInjector::new(plan);
+        let ta: Vec<_> = std::iter::from_fn(|| a.next_crash_at()).collect();
+        let tb: Vec<_> = std::iter::from_fn(|| b.next_crash_at()).collect();
+        assert_eq!(ta, tb, "same seed, same crash times");
+        assert_eq!(ta.len(), 3, "budget caps the sequence");
+        assert!(ta.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        assert_eq!(a.fired(), 3);
+
+        let mut none = CrashInjector::new(CrashPlan::none());
+        assert_eq!(none.next_crash_at(), None);
+    }
+
+    #[test]
+    fn torn_fraction_is_a_unit_fraction() {
+        let mut inj = CrashInjector::new(CrashPlan {
+            seed: 5,
+            crash_rate_per_s: 1.0,
+            max_crashes: 10,
+        });
+        for _ in 0..100 {
+            let f = inj.torn_fraction();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn fault_stream_states_round_trip() {
+        let mut a = FaultInjector::new(plan(42), 20);
+        // Advance all three streams, snapshot, advance further, restore.
+        for _ in 0..10 {
+            a.corrupt_download();
+            a.next_seu();
+            a.next_column_failure();
+        }
+        let snap = a.stream_states();
+        let expect: Vec<_> = (0..20)
+            .map(|_| (a.corrupt_download(), a.next_seu(), a.next_column_failure()))
+            .collect();
+        a.restore_stream_states(snap);
+        let replay: Vec<_> = (0..20)
+            .map(|_| (a.corrupt_download(), a.next_seu(), a.next_column_failure()))
+            .collect();
+        assert_eq!(expect, replay);
     }
 
     #[test]

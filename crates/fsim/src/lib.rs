@@ -11,8 +11,10 @@
 //! * [`stats`] — streaming summary statistics and fixed-bin histograms,
 //! * [`trace`] — typed, optionally ring-buffered event tracing,
 //! * [`fault`] — seeded fault-injection plans (download corruption,
-//!   configuration upsets, permanent column failures),
-//! * [`obs`] — a metrics registry and time-weighted utilization timelines.
+//!   configuration upsets, permanent column failures, host crashes),
+//! * [`obs`] — a metrics registry and time-weighted utilization timelines,
+//! * [`json`] — the hand-rolled JSON value tree shared by checkpoint
+//!   serialization (crate `vfpga`) and the bench exporter.
 //!
 //! Everything in this crate is deterministic: the same seed and the same
 //! sequence of calls produce bit-identical results on every platform, which
@@ -20,6 +22,7 @@
 
 pub mod event;
 pub mod fault;
+pub mod json;
 pub mod obs;
 pub mod rng;
 pub mod stats;
@@ -27,7 +30,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::{EventQueue, ScheduledEvent};
-pub use fault::{FaultInjector, FaultPlan};
+pub use fault::{CrashInjector, CrashPlan, FaultInjector, FaultPlan};
 pub use obs::{Metrics, Timeline, TimelineSet};
 pub use rng::SimRng;
 pub use stats::{Histogram, Summary};

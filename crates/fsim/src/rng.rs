@@ -50,6 +50,17 @@ impl SimRng {
         SimRng { s }
     }
 
+    /// The raw generator state, for checkpointing. Restoring with
+    /// [`SimRng::from_state`] resumes the stream exactly where it was.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a [`SimRng::state`] snapshot.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SimRng { s }
+    }
+
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

@@ -208,6 +208,34 @@ pub enum TraceEvent {
         /// Repair cost (re-download + state traffic).
         duration: SimDuration,
     },
+    /// A system checkpoint was captured.
+    CheckpointTaken {
+        /// Checkpoint sequence number (monotone within a run).
+        seq: u64,
+        /// Resident frames read back to capture device-visible state.
+        frames: u32,
+        /// Readback cost of the capture (background, like scrubbing).
+        duration: SimDuration,
+    },
+    /// The host crashed: volatile OS state is gone, and any in-flight
+    /// download was torn.
+    Crash {
+        /// Downloads whose WAL records were past the last checkpoint
+        /// (committed after it, or torn by the crash itself).
+        downloads_at_risk: u32,
+        /// Whether a download was in flight (and therefore torn).
+        torn: bool,
+    },
+    /// Journal replay after a restart: committed downloads redone, torn
+    /// ones rolled back.
+    JournalReplay {
+        /// Committed records re-applied.
+        redone: u32,
+        /// Torn records rolled back.
+        undone: u32,
+        /// Port time the replay cost.
+        duration: SimDuration,
+    },
     /// Escape hatch for one-off annotations.
     Custom {
         /// Category tag.
@@ -239,6 +267,9 @@ impl TraceEvent {
             TraceEvent::TaskFailed { .. } => "task-fail",
             TraceEvent::ColumnRetired { .. } => "col-retire",
             TraceEvent::Recovered { .. } => "recover",
+            TraceEvent::CheckpointTaken { .. } => "ckpt",
+            TraceEvent::Crash { .. } => "crash",
+            TraceEvent::JournalReplay { .. } => "replay",
             TraceEvent::Custom { tag, .. } => tag,
         }
     }
@@ -391,6 +422,32 @@ impl fmt::Display for TraceEvent {
                     duration.as_millis_f64()
                 )
             }
+            TraceEvent::CheckpointTaken {
+                seq,
+                frames,
+                duration,
+            } => write!(
+                f,
+                "checkpoint #{seq}: {frames} frames read back, {:.3} ms",
+                duration.as_millis_f64()
+            ),
+            TraceEvent::Crash {
+                downloads_at_risk,
+                torn,
+            } => write!(
+                f,
+                "host crash: {downloads_at_risk} downloads past last checkpoint{}",
+                if *torn { ", one torn mid-flight" } else { "" }
+            ),
+            TraceEvent::JournalReplay {
+                redone,
+                undone,
+                duration,
+            } => write!(
+                f,
+                "journal replay: {redone} redone, {undone} undone, {:.3} ms",
+                duration.as_millis_f64()
+            ),
             TraceEvent::Custom { message, .. } => f.write_str(message),
         }
     }

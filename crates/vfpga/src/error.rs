@@ -37,6 +37,18 @@ pub enum VfpgaError {
     NoOverlaySlot,
     /// `run_traced` called without enabling the trace.
     TraceDisabled,
+    /// Checkpointing requested on a manager or scheduler whose state
+    /// cannot be snapshotted (its `snapshot()` returns `None`).
+    CheckpointUnsupported {
+        /// Name of the component that refused.
+        component: &'static str,
+    },
+    /// A checkpoint image failed to round-trip or restore: the saved
+    /// state no longer matches the system it is being restored into.
+    CheckpointCorrupt {
+        /// What went wrong.
+        reason: String,
+    },
     /// The run ended with a task neither completed nor failed: the
     /// manager/scheduler combination deadlocked.
     Deadlock {
@@ -65,6 +77,12 @@ impl std::fmt::Display for VfpgaError {
             }
             VfpgaError::TraceDisabled => {
                 write!(f, "run_traced requires with_trace() first")
+            }
+            VfpgaError::CheckpointUnsupported { component } => {
+                write!(f, "'{component}' does not support state snapshots")
+            }
+            VfpgaError::CheckpointCorrupt { reason } => {
+                write!(f, "checkpoint image corrupt: {reason}")
             }
             VfpgaError::Deadlock { task } => {
                 write!(f, "task '{task}' neither completed nor failed: deadlock")

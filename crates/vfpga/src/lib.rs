@@ -31,8 +31,13 @@
 //! * [`metrics`] — the accounting every experiment reports,
 //! * [`recovery`] / [`error`] — fault detection and recovery: retry of
 //!   CRC-rejected downloads, configuration scrubbing with upset repair,
-//!   permanent column retirement, and the typed error surface.
+//!   permanent column retirement, and the typed error surface,
+//! * [`checkpoint`] — crash consistency: periodic whole-system
+//!   checkpoints, a configuration write-ahead log, seeded host-crash
+//!   injection with restore, and the differential verifier proving a
+//!   crashed-and-restored run matches the uninterrupted one.
 
+pub mod checkpoint;
 pub mod circuit;
 pub mod error;
 pub mod iomux;
@@ -45,9 +50,13 @@ pub mod system;
 pub mod task;
 pub mod vmem;
 
+pub use checkpoint::{
+    diff_reports, run_with_crashes, run_with_crashes_traced, CheckpointConfig, CheckpointImage,
+    CrashState, CrashStats, Divergence, RunOutcome, WalRecord,
+};
 pub use circuit::{CircuitId, CircuitImage, CircuitLib};
 pub use error::VfpgaError;
-pub use fsim::{FaultInjector, FaultPlan};
+pub use fsim::{CrashInjector, CrashPlan, FaultInjector, FaultPlan};
 pub use manager::{Activation, DeviceUsage, FpgaManager, ManagerStats, PreemptAction, PreemptCost};
 pub use metrics::{OverheadBreakdown, Report, TaskMetrics};
 pub use recovery::{FaultStats, RecoveryPolicy, UpsetRecovery};

@@ -12,8 +12,9 @@
 //! pay readback on the way out and state-write on the way back in.
 
 use super::{
-    charge_full_download, charge_partial_download, charge_state_move, Activation, DeviceUsage,
-    EventBuf, FpgaManager, ManagerStats, PreemptCost, ResidentRegion,
+    charge_full_download, charge_partial_download, charge_state_move, stats_from_json,
+    stats_to_json, Activation, DeviceUsage, EventBuf, FpgaManager, ManagerStats, PreemptCost,
+    ResidentRegion,
 };
 use crate::circuit::{CircuitId, CircuitLib};
 use crate::manager::PreemptAction;
@@ -184,6 +185,57 @@ impl FpgaManager for DynLoadManager {
         } else {
             false
         }
+    }
+
+    fn snapshot(&self) -> Option<fsim::json::Json> {
+        use fsim::json::{Json, Obj};
+        // Sort for a deterministic image (HashMap order is not).
+        let mut keys: Vec<_> = self.saved_state.keys().copied().collect();
+        keys.sort();
+        let saves: Vec<Json> = keys
+            .into_iter()
+            .map(|(t, c)| Json::Arr(vec![u64::from(t.0).into(), u64::from(c.0).into()]))
+            .collect();
+        Some(
+            Obj::new()
+                .set(
+                    "loaded",
+                    self.loaded
+                        .map(|c| Json::from(u64::from(c.0)))
+                        .unwrap_or(Json::Null),
+                )
+                .set("saved", saves)
+                .set("stats", stats_to_json(&self.stats))
+                .build(),
+        )
+    }
+
+    fn restore(&mut self, snap: &fsim::json::Json) -> Result<(), String> {
+        use fsim::json::Json;
+        self.loaded = match snap.get("loaded") {
+            Some(Json::Null) => None,
+            Some(Json::UInt(c)) => Some(CircuitId(*c as u32)),
+            other => return Err(format!("dynload snapshot 'loaded': {other:?}")),
+        };
+        self.saved_state.clear();
+        for v in snap
+            .get("saved")
+            .and_then(Json::as_arr)
+            .ok_or("dynload snapshot missing 'saved'")?
+        {
+            match v.as_arr() {
+                Some([Json::UInt(t), Json::UInt(c)]) => {
+                    self.saved_state
+                        .insert((TaskId(*t as u32), CircuitId(*c as u32)), ());
+                }
+                _ => return Err(format!("bad dynload saved-state entry: {v:?}")),
+            }
+        }
+        self.stats = stats_from_json(
+            snap.get("stats")
+                .ok_or("dynload snapshot missing 'stats'")?,
+        )?;
+        Ok(())
     }
 }
 

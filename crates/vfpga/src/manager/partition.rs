@@ -785,6 +785,133 @@ impl FpgaManager for PartitionManager {
         self.carve_retired(idx, col);
         out
     }
+
+    fn snapshot(&self) -> Option<fsim::json::Json> {
+        use fsim::json::{Json, Obj};
+        let opt = |t: Option<TaskId>| t.map(|t| Json::from(u64::from(t.0))).unwrap_or(Json::Null);
+        let parts: Vec<Json> = self
+            .parts
+            .iter()
+            .map(|p| {
+                let mut o = Obj::new().set("col", p.col).set("width", p.width);
+                o = match &p.slot {
+                    Slot::Free => o.set("kind", "free"),
+                    Slot::Retired => o.set("kind", "retired"),
+                    // Routes are NOT serialized: they are derived state,
+                    // rebuilt deterministically by re-routing the placed
+                    // circuit at the same origin on restore.
+                    Slot::Resident {
+                        cid,
+                        owner,
+                        last_use,
+                        saved_for,
+                        ..
+                    } => o
+                        .set("kind", "resident")
+                        .set("cid", u64::from(cid.0))
+                        .set("owner", opt(*owner))
+                        .set("last_use", *last_use)
+                        .set("saved_for", opt(*saved_for)),
+                };
+                o.build()
+            })
+            .collect();
+        let waiters: Vec<Json> = self
+            .waiters
+            .iter()
+            .map(|&(t, c)| Json::Arr(vec![u64::from(t.0).into(), u64::from(c.0).into()]))
+            .collect();
+        Some(
+            Obj::new()
+                .set("parts", parts)
+                .set("waiters", waiters)
+                .set("clock", self.clock)
+                .set("gc_enabled", self.gc_enabled)
+                .set("stats", super::stats_to_json(&self.stats))
+                .build(),
+        )
+    }
+
+    fn restore(&mut self, snap: &fsim::json::Json) -> Result<(), String> {
+        use fsim::json::Json;
+        let u32_of = |v: Option<&Json>, what: &str| -> Result<u32, String> {
+            match v {
+                Some(Json::UInt(x)) => Ok(*x as u32),
+                other => Err(format!("partition snapshot '{what}': {other:?}")),
+            }
+        };
+        let opt_tid = |v: Option<&Json>, what: &str| -> Result<Option<TaskId>, String> {
+            match v {
+                Some(Json::Null) => Ok(None),
+                Some(Json::UInt(x)) => Ok(Some(TaskId(*x as u32))),
+                other => Err(format!("partition snapshot '{what}': {other:?}")),
+            }
+        };
+        let mut routing = pnr::RoutingFabric::for_device(&self.timing.spec);
+        let mut parts = Vec::new();
+        for p in snap
+            .get("parts")
+            .and_then(Json::as_arr)
+            .ok_or("partition snapshot missing 'parts'")?
+        {
+            let col = u32_of(p.get("col"), "col")?;
+            let width = u32_of(p.get("width"), "width")?;
+            let slot = match p.get("kind") {
+                Some(Json::Str(k)) if k == "free" => Slot::Free,
+                Some(Json::Str(k)) if k == "retired" => Slot::Retired,
+                Some(Json::Str(k)) if k == "resident" => {
+                    let cid = CircuitId(u32_of(p.get("cid"), "cid")?);
+                    let placed = self.lib.get(cid).compiled.placed.clone();
+                    // Re-route at the original origin; partitions are
+                    // disjoint column ranges, so routing each resident in
+                    // image order reproduces a valid fabric state.
+                    let routes = routing
+                        .route_circuit(&placed, (col, 0))
+                        .map_err(|e| format!("re-routing circuit {} at col {col}: {e:?}", cid.0))?;
+                    Slot::Resident {
+                        cid,
+                        owner: opt_tid(p.get("owner"), "owner")?,
+                        routes,
+                        last_use: match p.get("last_use") {
+                            Some(Json::UInt(v)) => *v,
+                            other => {
+                                return Err(format!("partition snapshot 'last_use': {other:?}"))
+                            }
+                        },
+                        saved_for: opt_tid(p.get("saved_for"), "saved_for")?,
+                    }
+                }
+                other => return Err(format!("partition snapshot 'kind': {other:?}")),
+            };
+            parts.push(Partition { col, width, slot });
+        }
+        let mut waiters = VecDeque::new();
+        for v in snap
+            .get("waiters")
+            .and_then(Json::as_arr)
+            .ok_or("partition snapshot missing 'waiters'")?
+        {
+            match v.as_arr() {
+                Some([Json::UInt(t), Json::UInt(c)]) => {
+                    waiters.push_back((TaskId(*t as u32), CircuitId(*c as u32)));
+                }
+                _ => return Err(format!("bad partition waiter entry: {v:?}")),
+            }
+        }
+        self.parts = parts;
+        self.routing = routing;
+        self.waiters = waiters;
+        self.clock = match snap.get("clock") {
+            Some(Json::UInt(v)) => *v,
+            other => return Err(format!("partition snapshot 'clock': {other:?}")),
+        };
+        self.gc_enabled = matches!(snap.get("gc_enabled"), Some(Json::Bool(true)));
+        self.stats = super::stats_from_json(
+            snap.get("stats")
+                .ok_or("partition snapshot missing 'stats'")?,
+        )?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

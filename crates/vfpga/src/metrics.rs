@@ -4,6 +4,7 @@
 //! device utilization; this module accumulates them per task and
 //! aggregates a [`Report`] per run.
 
+use crate::checkpoint::CrashStats;
 use crate::manager::ManagerStats;
 use crate::recovery::FaultStats;
 use fsim::{Metrics, SimDuration, SimTime, Summary, TimelineSet};
@@ -32,6 +33,11 @@ pub struct TaskMetrics {
     pub blocked_count: u64,
     /// Terminated by fault recovery instead of completing.
     pub failed: bool,
+    /// The task "completed" but at least one of its FPGA ops ran on a
+    /// stale residency claim after a crash-restore without journal
+    /// replay: the result is garbage the system never noticed (silent
+    /// corruption). Always false when the configuration journal is on.
+    pub corrupted: bool,
 }
 
 impl TaskMetrics {
@@ -87,14 +93,30 @@ pub struct OverheadBreakdown {
     /// failed and the stream was sent again). Carved out of `config` so
     /// the two stay disjoint.
     pub fault_retry: SimDuration,
+    /// Background readback traffic spent capturing system checkpoints
+    /// (zero unless checkpointing is enabled). Like scrubbing, this is
+    /// port time no task is charged for.
+    pub checkpoint: SimDuration,
+    /// Background port traffic spent replaying the configuration journal
+    /// after a crash (undo of torn downloads, redo verification).
+    pub journal_replay: SimDuration,
     /// Remaining charged overhead not attributed to a phase above.
     pub other: SimDuration,
 }
 
 impl OverheadBreakdown {
-    /// Sum of all phases.
+    /// Sum of all phases. On runs without checkpointing this equals the
+    /// task-charged [`Report::overhead_time`]; with checkpointing it adds
+    /// the background `checkpoint` and `journal_replay` slices on top.
     pub fn total(&self) -> SimDuration {
-        self.config + self.state + self.gc + self.rollback_loss + self.fault_retry + self.other
+        self.config
+            + self.state
+            + self.gc
+            + self.rollback_loss
+            + self.fault_retry
+            + self.checkpoint
+            + self.journal_replay
+            + self.other
     }
 }
 
@@ -118,6 +140,10 @@ pub struct Report {
     /// except for the `fault_retry` slice both sides carve out of
     /// download time.
     pub fault: FaultStats,
+    /// Checkpoint/crash-recovery accounting (all zero unless the run had
+    /// checkpointing enabled). Checkpoint readbacks and journal replay
+    /// run in the background like scrubbing — never task-charged.
+    pub crash: CrashStats,
     /// Counter/gauge snapshot taken at the end of the run (empty unless the
     /// system ran with observability enabled).
     pub metrics: Metrics,
@@ -158,6 +184,19 @@ impl Report {
         self.tasks
             .iter()
             .fold(SimDuration::ZERO, |a, t| a + t.overhead_time + t.lost_time)
+    }
+
+    /// Everything the run spent on non-useful work: task-charged overhead
+    /// plus all background recovery traffic (scrubbing/repair/retirement
+    /// from [`FaultStats`], checkpoint capture and journal replay from
+    /// [`CrashStats`]). This is the grand total the breakdown and the
+    /// fault stats must tile exactly:
+    /// `overhead_breakdown().total() + fault.background_time() == total_overhead()`.
+    pub fn total_overhead(&self) -> SimDuration {
+        self.overhead_time()
+            + self.fault.background_time()
+            + self.crash.checkpoint_time
+            + self.crash.replay_time
     }
 
     /// Overhead as a fraction of useful + overhead time.
@@ -201,6 +240,11 @@ impl Report {
             gc,
             rollback_loss,
             fault_retry,
+            // Background slices ride on top of the task-charged total:
+            // they are never part of overhead_time(), so they are not
+            // subtracted when computing `other`.
+            checkpoint: self.crash.checkpoint_time,
+            journal_replay: self.crash.replay_time,
             other,
         }
     }

@@ -72,11 +72,20 @@ impl Default for RecoveryPolicy {
 }
 
 impl RecoveryPolicy {
+    /// Exponential-backoff doubling cap: the multiplier never exceeds
+    /// 2^[`MAX_BACKOFF_SHIFT`](Self::MAX_BACKOFF_SHIFT) = 1024× the base.
+    pub const MAX_BACKOFF_SHIFT: u32 = 10;
+
     /// Backoff before retry number `attempt` (1-based): exponential,
-    /// capped at 1024× the base so the delay stays finite.
+    /// capped at 2^[`MAX_BACKOFF_SHIFT`](Self::MAX_BACKOFF_SHIFT)× the
+    /// base so the delay stays finite. `attempt == 0` (a caller asking
+    /// for a delay before any attempt happened) gets the base backoff,
+    /// same as attempt 1 — never a spurious extra doubling. The final
+    /// multiply saturates: a pathological base near `SimDuration::MAX`
+    /// clamps instead of wrapping.
     pub fn backoff_for(&self, attempt: u32) -> SimDuration {
-        let shift = attempt.saturating_sub(1).min(10);
-        self.retry_backoff * (1u64 << shift)
+        let shift = attempt.saturating_sub(1).min(Self::MAX_BACKOFF_SHIFT);
+        SimDuration::from_nanos(self.retry_backoff.as_nanos().saturating_mul(1u64 << shift))
     }
 }
 
@@ -156,6 +165,45 @@ mod tests {
         assert_eq!(p.backoff_for(2), SimDuration::from_micros(200));
         assert_eq!(p.backoff_for(4), SimDuration::from_micros(800));
         assert_eq!(p.backoff_for(11), p.backoff_for(20), "cap at 1024×");
+    }
+
+    #[test]
+    fn backoff_attempt_zero_is_the_base_not_a_doubling() {
+        // A defensive caller passing attempt 0 (no attempt happened yet)
+        // must get the plain base delay, identical to attempt 1 — the
+        // `saturating_sub` must not wrap to a huge shift.
+        let p = RecoveryPolicy {
+            retry_backoff: SimDuration::from_micros(100),
+            ..Default::default()
+        };
+        assert_eq!(p.backoff_for(0), p.backoff_for(1));
+        assert_eq!(p.backoff_for(0), SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn backoff_saturates_at_extreme_attempts_and_bases() {
+        let p = RecoveryPolicy {
+            retry_backoff: SimDuration::from_micros(100),
+            ..Default::default()
+        };
+        // Any attempt count, including u32::MAX, stays at the 1024× cap:
+        // the shift is clamped, never overflowing the u64 shift width.
+        assert_eq!(p.backoff_for(u32::MAX), p.backoff_for(11));
+        assert_eq!(
+            p.backoff_for(u32::MAX),
+            SimDuration::from_micros(100 * 1024)
+        );
+        // A base near the representable maximum clamps instead of
+        // wrapping around to a tiny (or panicking) delay.
+        let huge = RecoveryPolicy {
+            retry_backoff: SimDuration::from_nanos(u64::MAX / 2),
+            ..Default::default()
+        };
+        assert_eq!(
+            huge.backoff_for(u32::MAX),
+            SimDuration::from_nanos(u64::MAX)
+        );
+        assert!(huge.backoff_for(5) >= huge.backoff_for(4), "still monotone");
     }
 
     #[test]

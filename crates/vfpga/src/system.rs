@@ -10,6 +10,9 @@
 //! the desired FPGA configuration … then the operating system can put
 //! running the task", §3).
 
+use crate::checkpoint::{
+    CheckpointConfig, CheckpointImage, CrashState, CrashStats, RunOutcome, WalRecord,
+};
 use crate::circuit::{CircuitId, CircuitLib};
 use crate::error::VfpgaError;
 use crate::manager::{redownload_cost, Activation, FpgaManager, PreemptAction};
@@ -17,11 +20,12 @@ use crate::metrics::{Report, TaskMetrics};
 use crate::recovery::{FaultStats, RecoveryPolicy, UpsetRecovery};
 use crate::sched::Scheduler;
 use crate::task::{Op, TaskId, TaskRun, TaskSpec, TaskState};
+use fsim::json::{Json, Obj};
 use fsim::{
     EventQueue, FaultInjector, FaultPlan, Metrics, SimDuration, SimTime, TimelineSet, Trace,
     TraceEvent,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// How the OS learns an FPGA operation has finished (§3).
@@ -84,6 +88,11 @@ enum Ev {
     RetryDone(TaskId),
     /// Backoff elapsed: the task may re-attempt its download.
     Retry(TaskId),
+    /// Capture a periodic system checkpoint.
+    Checkpoint,
+    /// The host dies here (scheduled by [`System::run_until`]; never
+    /// serialized into a checkpoint image).
+    Crash,
 }
 
 #[derive(Debug, Clone)]
@@ -106,6 +115,30 @@ struct Latent {
     /// Whether a scrub pass has found it (repair may still be deferred
     /// until the victim circuit's current op drains).
     detected: bool,
+}
+
+/// Stable names for [`TaskState`] inside checkpoint images.
+fn state_str(s: TaskState) -> &'static str {
+    match s {
+        TaskState::Future => "future",
+        TaskState::Ready => "ready",
+        TaskState::Running => "running",
+        TaskState::Blocked => "blocked",
+        TaskState::Done => "done",
+        TaskState::Failed => "failed",
+    }
+}
+
+fn state_from_str(s: &str) -> Result<TaskState, String> {
+    Ok(match s {
+        "future" => TaskState::Future,
+        "ready" => TaskState::Ready,
+        "running" => TaskState::Running,
+        "blocked" => TaskState::Blocked,
+        "done" => TaskState::Done,
+        "failed" => TaskState::Failed,
+        other => return Err(format!("unknown task state '{other}'")),
+    })
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -157,6 +190,21 @@ pub struct System<M: FpgaManager, S: Scheduler> {
     latent: BTreeMap<u32, Latent>,
     /// Tasks neither Done nor Failed; fault events stop rescheduling at 0.
     unfinished: usize,
+    /// Checkpoint cadence + journal switch; `None` = no checkpointing.
+    ckpt: Option<CheckpointConfig>,
+    /// Monotone checkpoint number.
+    ckpt_seq: u64,
+    /// Most recent captured image (the durable restore point).
+    last_ckpt: Option<CheckpointImage>,
+    /// OS-level write-ahead log of configuration downloads (empty unless
+    /// checkpointing is on).
+    wal: Vec<WalRecord>,
+    /// Checkpoint/crash accounting (carried across restarts).
+    crash: CrashStats,
+    /// Circuits whose restored residency claim points at device regions a
+    /// post-checkpoint download overwrote, discovered only because the
+    /// journal was OFF — the next "hit" on one computes garbage.
+    stale: BTreeSet<u32>,
 }
 
 impl<M: FpgaManager, S: Scheduler> System<M, S> {
@@ -205,6 +253,12 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             poisoned: vec![None; n],
             latent: BTreeMap::new(),
             unfinished: n,
+            ckpt: None,
+            ckpt_seq: 0,
+            last_ckpt: None,
+            wal: Vec::new(),
+            crash: CrashStats::default(),
+            stale: BTreeSet::new(),
         }
     }
 
@@ -240,6 +294,31 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         self
     }
 
+    /// Enable periodic whole-system checkpoints. Fails with
+    /// [`VfpgaError::CheckpointUnsupported`] when the manager or the
+    /// scheduler cannot snapshot its state — refusing up front beats
+    /// silently losing state at the first crash.
+    pub fn with_checkpoints(mut self, cfg: CheckpointConfig) -> Result<Self, VfpgaError> {
+        assert!(
+            cfg.interval > SimDuration::ZERO,
+            "zero checkpoint interval would livelock the event loop"
+        );
+        if self.manager.snapshot().is_none() {
+            return Err(VfpgaError::CheckpointUnsupported {
+                component: self.manager.name(),
+            });
+        }
+        if self.sched.snapshot().is_none() {
+            return Err(VfpgaError::CheckpointUnsupported {
+                component: self.sched.name(),
+            });
+        }
+        self.queue
+            .schedule_at(SimTime::ZERO + cfg.interval, Ev::Checkpoint);
+        self.ckpt = Some(cfg);
+        Ok(self)
+    }
+
     /// Run to completion, returning the report *and* the recorded trace.
     /// Fails with [`VfpgaError::TraceDisabled`] when
     /// [`with_trace`](Self::with_trace) was not called first, or
@@ -256,6 +335,24 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
     /// when the manager/scheduler combination strands a task.
     pub fn run(self) -> Result<Report, VfpgaError> {
         self.run_inner().map(|(r, _)| r)
+    }
+
+    /// Run until completion *or* a host crash at `crash_at`. A crash that
+    /// lands after the last task finishes is ignored (the run completed
+    /// first). Used by [`crate::checkpoint::run_with_crashes`]; plain runs
+    /// go through [`run`](Self::run).
+    pub fn run_until(mut self, crash_at: Option<SimTime>) -> Result<RunOutcome, VfpgaError> {
+        if let Some(t) = crash_at {
+            self.queue.schedule_at(t, Ev::Crash);
+        }
+        self.run_core()
+    }
+
+    fn run_inner(self) -> Result<(Report, Trace), VfpgaError> {
+        match self.run_core()? {
+            RunOutcome::Completed(report, trace) => Ok((*report, trace)),
+            RunOutcome::Crashed(_) => unreachable!("run_inner never schedules Ev::Crash"),
+        }
     }
 
     /// Record one typed event: bump the matching registry counters, then
@@ -286,6 +383,9 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             TraceEvent::TaskFailed { .. } => self.reg.inc("tasks_failed", 1),
             TraceEvent::ColumnRetired { .. } => self.reg.inc("columns_retired", 1),
             TraceEvent::Recovered { .. } => self.reg.inc("recoveries", 1),
+            TraceEvent::CheckpointTaken { .. } => self.reg.inc("checkpoints", 1),
+            TraceEvent::Crash { .. } => self.reg.inc("crashes", 1),
+            TraceEvent::JournalReplay { .. } => self.reg.inc("journal_replays", 1),
             TraceEvent::Custom { .. } => self.reg.inc("custom_events", 1),
         }
         self.trace.record(at, event);
@@ -308,7 +408,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             .sample("ready_queue_depth", now, self.sched.len() as f64);
     }
 
-    fn run_inner(mut self) -> Result<(Report, Trace), VfpgaError> {
+    fn run_core(mut self) -> Result<RunOutcome, VfpgaError> {
         // Seed the fault timeline. A zero-rate plan schedules nothing, so
         // attaching it cannot perturb a fault-free run.
         if self.unfinished > 0 {
@@ -364,6 +464,15 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                         self.dispatch(now);
                     }
                 }
+                Ev::Checkpoint => self.on_checkpoint(now),
+                Ev::Crash => {
+                    // A crash after the last task finished changes nothing
+                    // observable: the run completed first.
+                    if self.unfinished > 0 {
+                        let state = self.crash_now(now);
+                        return Ok(RunOutcome::Crashed(Box::new(state)));
+                    }
+                }
             }
             self.observe(now);
         }
@@ -391,19 +500,580 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 self.reg.observe("waiting_s", m.waiting().as_secs_f64());
             }
         }
-        Ok((
-            Report {
+        Ok(RunOutcome::Completed(
+            Box::new(Report {
                 manager: self.manager.name(),
                 scheduler: self.sched.name(),
                 tasks: self.metrics,
                 makespan,
                 manager_stats: self.manager.stats(),
                 fault: self.fault,
+                crash: self.crash,
                 metrics: self.reg,
                 timelines: self.timelines,
-            },
+            }),
             self.trace,
         ))
+    }
+
+    /// Capture a periodic checkpoint: serialize the full mutable state,
+    /// prove it round-trips through the JSON parser, and charge the
+    /// readback cost of the resident frames as background port traffic
+    /// (like scrubbing — never billed to a task).
+    fn on_checkpoint(&mut self, now: SimTime) {
+        let Some(cfg) = self.ckpt else { return };
+        if self.unfinished == 0 {
+            return; // nothing left to protect; stop the cadence
+        }
+        // Schedule the next capture FIRST so it is part of the pending
+        // events this image records — a restored run keeps the cadence.
+        self.queue.schedule_at(now + cfg.interval, Ev::Checkpoint);
+        let frames: u32 = self
+            .manager
+            .resident_regions()
+            .iter()
+            .map(|r| r.width)
+            .sum();
+        let cost = self.manager.timing().readback_time(frames as usize);
+        self.ckpt_seq += 1;
+        self.crash.checkpoints += 1;
+        self.crash.checkpoint_time += cost;
+        let state = self.snapshot_json(now);
+        // The round trip is the point: an image that does not survive the
+        // writer/parser pair could never be restored after a real crash.
+        let state = Json::parse(&state.render())
+            .expect("checkpoint image must survive a render/parse round trip");
+        if self.trace.is_enabled() {
+            self.record(
+                now,
+                TraceEvent::CheckpointTaken {
+                    seq: self.ckpt_seq,
+                    frames,
+                    duration: cost,
+                },
+            );
+        }
+        self.last_ckpt = Some(CheckpointImage {
+            seq: self.ckpt_seq,
+            at: now,
+            wal_len: self.wal.len(),
+            state,
+        });
+    }
+
+    /// The host dies at `now`: bundle up everything that survives on
+    /// durable storage (last checkpoint + journal + accounting).
+    fn crash_now(&mut self, now: SimTime) -> CrashState {
+        self.crash.crashes += 1;
+        let base = self.last_ckpt.as_ref().map(|i| i.wal_len).unwrap_or(0);
+        let at_risk = (self.wal.len() - base) as u32;
+        // Only post-checkpoint records can tear: anything older has its
+        // table effects inside the image already.
+        let torn = self.wal[base..]
+            .iter()
+            .filter(|r| r.in_flight_at(now))
+            .count() as u64;
+        self.crash.torn_downloads += torn;
+        if self.trace.is_enabled() {
+            self.record(
+                now,
+                TraceEvent::Crash {
+                    downloads_at_risk: at_risk,
+                    torn: torn > 0,
+                },
+            );
+        }
+        CrashState {
+            at: now,
+            image: self.last_ckpt.clone(),
+            wal: std::mem::take(&mut self.wal),
+            stats: self.crash,
+        }
+    }
+
+    /// Restore a freshly built system from what survived a crash: apply
+    /// the checkpoint image (if one was ever captured), then reconcile the
+    /// restored residency tables against the write-ahead log. With the
+    /// journal on, post-checkpoint downloads invalidate overlapping
+    /// claims (clean re-downloads later); with it off, those claims stay
+    /// and are marked stale — the next "hit" computes garbage.
+    pub fn restore_from(&mut self, state: &CrashState) -> Result<(), VfpgaError> {
+        let Some(cfg) = self.ckpt else {
+            return Err(VfpgaError::CheckpointCorrupt {
+                reason: "restore_from requires with_checkpoints".into(),
+            });
+        };
+        self.crash = state.stats;
+        self.wal = state.wal.clone();
+        let base = state.image.as_ref().map(|i| i.wal_len).unwrap_or(0);
+        if let Some(image) = &state.image {
+            self.apply_image(image)
+                .map_err(|reason| VfpgaError::CheckpointCorrupt { reason })?;
+            self.ckpt_seq = image.seq;
+            self.last_ckpt = Some(image.clone());
+        }
+        // Cold restart (no image): the fresh construction state IS the
+        // restart state — arrivals and the first checkpoint are already
+        // scheduled; only the journal below needs attention.
+        let crash_at = state.at;
+        let post: Vec<WalRecord> = self.wal[base..].to_vec();
+        if post.is_empty() {
+            return Ok(());
+        }
+        let timing = *self.manager.timing();
+        if cfg.journal {
+            // Journal replay: torn records are undone from their
+            // pre-images, committed ones redo-verified by readback; both
+            // cost port traffic. The restored tables are older than the
+            // device, so every claim overlapping a post-checkpoint write
+            // is discarded (conservatively including torn regions — an
+            // extra re-download is safe, a stale claim is not).
+            let mut redone = 0u32;
+            let mut undone = 0u32;
+            let mut cost = SimDuration::ZERO;
+            for r in &post {
+                if r.in_flight_at(crash_at) {
+                    undone += 1;
+                } else {
+                    redone += 1;
+                }
+                cost += timing.readback_time(r.width as usize);
+            }
+            for claim in self.manager.resident_regions() {
+                if post.iter().any(|r| r.overlaps(claim.col0, claim.width))
+                    && self.manager.discard_resident(claim.cid)
+                {
+                    self.crash.stale_discards += 1;
+                }
+            }
+            // Undone records leave the journal (and the device), exactly
+            // like fpga::Journal::recover retaining only committed ones.
+            self.wal.retain(|r| !r.in_flight_at(crash_at));
+            self.crash.records_redone += u64::from(redone);
+            self.crash.records_undone += u64::from(undone);
+            self.crash.replay_time += cost;
+            if self.trace.is_enabled() {
+                self.record(
+                    crash_at,
+                    TraceEvent::JournalReplay {
+                        redone,
+                        undone,
+                        duration: cost,
+                    },
+                );
+            }
+        } else {
+            // No journal: nothing reconciles the device with the restored
+            // tables. A claim whose region's LAST post-checkpoint write
+            // was a different circuit (or tore) now points at garbage.
+            for claim in self.manager.resident_regions() {
+                let clobbered = post
+                    .iter()
+                    .rev()
+                    .find(|r| r.overlaps(claim.col0, claim.width))
+                    .is_some_and(|r| r.cid != claim.cid || r.in_flight_at(crash_at));
+                if clobbered {
+                    self.stale.insert(claim.cid.0);
+                }
+            }
+            // The most direct victim: an FPGA segment that was mid-flight
+            // at the checkpoint resumes WITHOUT re-activating, so the
+            // dispatch-path staleness check never sees it. If its circuit
+            // claim is stale, the resumed computation runs on whatever the
+            // post-checkpoint downloads left in those columns.
+            if let Some(run) = &self.running {
+                if let Some(f) = &run.fpga {
+                    if self.stale.contains(&f.cid.0) {
+                        let ti = run.tid.0 as usize;
+                        self.metrics[ti].corrupted = true;
+                        self.crash.silent_corruptions += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize the full mutable system state. Observability state
+    /// (trace buffer, registry, timelines) is deliberately excluded: it
+    /// never influences simulated behaviour, and a real in-memory trace
+    /// dies with its host anyway.
+    fn snapshot_json(&self, now: SimTime) -> Json {
+        let dur = |d: SimDuration| Json::from(d.as_nanos());
+        let time = |t: SimTime| Json::from((t - SimTime::ZERO).as_nanos());
+        let tasks: Vec<Json> = self
+            .tasks
+            .iter()
+            .map(|t| {
+                Obj::new()
+                    .set("state", state_str(t.state))
+                    .set("op_idx", t.op_idx as u64)
+                    .set("op_remaining", dur(t.op_remaining))
+                    .set("completed_at", time(t.completed_at))
+                    .build()
+            })
+            .collect();
+        let metrics: Vec<Json> = self
+            .metrics
+            .iter()
+            .map(|m| {
+                Obj::new()
+                    .set("arrival", time(m.arrival))
+                    .set("completion", time(m.completion))
+                    .set("cpu", dur(m.cpu_time))
+                    .set("fpga", dur(m.fpga_time))
+                    .set("overhead", dur(m.overhead_time))
+                    .set("lost", dur(m.lost_time))
+                    .set("fault_lost", dur(m.fault_lost_time))
+                    .set("blocked", m.blocked_count)
+                    .set("failed", m.failed)
+                    .set("corrupted", m.corrupted)
+                    .build()
+            })
+            .collect();
+        let latent: Vec<Json> = self
+            .latent
+            .iter()
+            .map(|(cid, l)| {
+                Json::Arr(vec![
+                    Json::from(u64::from(*cid)),
+                    time(l.struck_at),
+                    Json::from(l.detected),
+                ])
+            })
+            .collect();
+        let running = match &self.running {
+            None => Json::Null,
+            Some(r) => Obj::new()
+                .set("tid", u64::from(r.tid.0))
+                .set("dur", dur(r.dur))
+                .set("exec_start", time(r.exec_start))
+                .set(
+                    "fpga",
+                    match &r.fpga {
+                        None => Json::Null,
+                        Some(f) => Obj::new()
+                            .set("cid", u64::from(f.cid.0))
+                            .set("completes", f.completes)
+                            .set("slack", dur(f.slack))
+                            .set("poll", dur(f.poll_cost))
+                            .build(),
+                    },
+                )
+                .build(),
+        };
+        let pending: Vec<Json> = self
+            .queue
+            .pending_in_order()
+            .into_iter()
+            .filter_map(|e| {
+                let (kind, arg) = match e.event {
+                    Ev::Arrive(t) => ("arrive", Json::from(u64::from(t.0))),
+                    Ev::Timer(t) => ("timer", Json::from(u64::from(t.0))),
+                    Ev::Dispatch => ("dispatch", Json::Null),
+                    Ev::Seu => ("seu", Json::Null),
+                    Ev::Scrub => ("scrub", Json::Null),
+                    Ev::ColumnFail(None) => ("colfail", Json::Null),
+                    Ev::ColumnFail(Some(c)) => ("colfail_at", Json::from(u64::from(c))),
+                    Ev::RetryDone(t) => ("retry_done", Json::from(u64::from(t.0))),
+                    Ev::Retry(t) => ("retry", Json::from(u64::from(t.0))),
+                    Ev::Checkpoint => ("ckpt", Json::Null),
+                    // The crash is the one event that must NOT survive:
+                    // the next segment gets its own crash time.
+                    Ev::Crash => return None,
+                };
+                Some(Json::Arr(vec![time(e.at), Json::from(kind), arg]))
+            })
+            .collect();
+        let f = &self.fault;
+        let fault = Obj::new()
+            .set("download_faults", f.download_faults)
+            .set("seu_faults", f.seu_faults)
+            .set("seu_benign", f.seu_benign)
+            .set("column_faults", f.column_faults)
+            .set("crc_mismatches", f.crc_mismatches)
+            .set("retries", f.retries)
+            .set("retry_time", dur(f.retry_time))
+            .set("tasks_failed", f.tasks_failed)
+            .set("scrub_passes", f.scrub_passes)
+            .set("scrub_time", dur(f.scrub_time))
+            .set("repairs", f.repairs)
+            .set("repair_time", dur(f.repair_time))
+            .set("work_lost", dur(f.work_lost))
+            .set("columns_retired", f.columns_retired)
+            .set("retire_time", dur(f.retire_time))
+            .set("mttr_total", dur(f.mttr_total))
+            .build();
+        let rng = match &self.injector {
+            None => Json::Null,
+            Some(inj) => Json::Arr(
+                inj.stream_states()
+                    .iter()
+                    .map(|s| Json::Arr(s.iter().map(|&w| Json::from(w)).collect()))
+                    .collect(),
+            ),
+        };
+        Obj::new()
+            .set("schema", "vfpga-ckpt/1")
+            .set("at", time(now))
+            .set("tasks", tasks)
+            .set("metrics", metrics)
+            .set(
+                "op_full",
+                self.op_full.iter().map(|&d| dur(d)).collect::<Vec<_>>(),
+            )
+            .set(
+                "op_done",
+                self.op_done_so_far
+                    .iter()
+                    .map(|&d| dur(d))
+                    .collect::<Vec<_>>(),
+            )
+            .set("rollbacks", self.rollbacks.clone())
+            .set(
+                "dl_attempts",
+                self.dl_attempts
+                    .iter()
+                    .map(|&v| u64::from(v))
+                    .collect::<Vec<_>>(),
+            )
+            .set(
+                "fault_restarts",
+                self.fault_restarts
+                    .iter()
+                    .map(|&v| u64::from(v))
+                    .collect::<Vec<_>>(),
+            )
+            .set(
+                "poisoned",
+                self.poisoned
+                    .iter()
+                    .map(|p| p.map(dur).unwrap_or(Json::Null))
+                    .collect::<Vec<_>>(),
+            )
+            .set("latent", latent)
+            .set("unfinished", self.unfinished as u64)
+            .set(
+                "stale",
+                self.stale.iter().map(|&c| u64::from(c)).collect::<Vec<_>>(),
+            )
+            .set("running", running)
+            .set("pending", pending)
+            .set("fault", fault)
+            .set("rng", rng)
+            .set("sched", self.sched.snapshot().expect("validated at enable"))
+            .set(
+                "manager",
+                self.manager.snapshot().expect("validated at enable"),
+            )
+            .build()
+    }
+
+    /// Restore the state [`snapshot_json`](Self::snapshot_json) captured
+    /// into this freshly built system.
+    fn apply_image(&mut self, image: &CheckpointImage) -> Result<(), String> {
+        let s = &image.state;
+        let n = self.tasks.len();
+        let get = |key: &str| -> Result<&Json, String> {
+            s.get(key).ok_or_else(|| format!("missing '{key}'"))
+        };
+        let u64_of = |v: &Json, what: &str| -> Result<u64, String> {
+            match v {
+                Json::UInt(x) => Ok(*x),
+                other => Err(format!("'{what}' not a u64: {other:?}")),
+            }
+        };
+        let field = |v: &Json, key: &str| -> Result<u64, String> {
+            u64_of(v.get(key).ok_or_else(|| format!("missing '{key}'"))?, key)
+        };
+        let fdur = |v: &Json, key: &str| field(v, key).map(SimDuration::from_nanos);
+        let ftime = |v: &Json, key: &str| {
+            field(v, key).map(|ns| SimTime::ZERO + SimDuration::from_nanos(ns))
+        };
+        let fbool = |v: &Json, key: &str| -> Result<bool, String> {
+            match v.get(key) {
+                Some(Json::Bool(b)) => Ok(*b),
+                other => Err(format!("'{key}' not a bool: {other:?}")),
+            }
+        };
+        fn arr_of<'a>(v: &'a Json, what: &str) -> Result<&'a [Json], String> {
+            v.as_arr().ok_or_else(|| format!("'{what}' not an array"))
+        }
+        fn fixed<'a>(v: &'a Json, what: &str, n: usize) -> Result<&'a [Json], String> {
+            let a = arr_of(v, what)?;
+            if a.len() != n {
+                return Err(format!("'{what}' has {} entries, want {n}", a.len()));
+            }
+            Ok(a)
+        }
+
+        for (i, t) in fixed(get("tasks")?, "tasks", n)?.iter().enumerate() {
+            let st = match t.get("state") {
+                Some(Json::Str(v)) => state_from_str(v)?,
+                other => return Err(format!("task state: {other:?}")),
+            };
+            let run = &mut self.tasks[i];
+            run.state = st;
+            run.op_idx = field(t, "op_idx")? as usize;
+            run.op_remaining = fdur(t, "op_remaining")?;
+            run.completed_at = ftime(t, "completed_at")?;
+        }
+        for (i, m) in fixed(get("metrics")?, "metrics", n)?.iter().enumerate() {
+            let mm = &mut self.metrics[i];
+            mm.arrival = ftime(m, "arrival")?;
+            mm.completion = ftime(m, "completion")?;
+            mm.cpu_time = fdur(m, "cpu")?;
+            mm.fpga_time = fdur(m, "fpga")?;
+            mm.overhead_time = fdur(m, "overhead")?;
+            mm.lost_time = fdur(m, "lost")?;
+            mm.fault_lost_time = fdur(m, "fault_lost")?;
+            mm.blocked_count = field(m, "blocked")?;
+            mm.failed = fbool(m, "failed")?;
+            mm.corrupted = fbool(m, "corrupted")?;
+        }
+        let vec_u64 = |key: &'static str| -> Result<Vec<u64>, String> {
+            fixed(get(key)?, key, n)?
+                .iter()
+                .map(|v| u64_of(v, key))
+                .collect()
+        };
+        self.op_full = vec_u64("op_full")?
+            .into_iter()
+            .map(SimDuration::from_nanos)
+            .collect();
+        self.op_done_so_far = vec_u64("op_done")?
+            .into_iter()
+            .map(SimDuration::from_nanos)
+            .collect();
+        self.rollbacks = vec_u64("rollbacks")?;
+        self.dl_attempts = vec_u64("dl_attempts")?
+            .into_iter()
+            .map(|v| v as u32)
+            .collect();
+        self.fault_restarts = vec_u64("fault_restarts")?
+            .into_iter()
+            .map(|v| v as u32)
+            .collect();
+        self.poisoned = fixed(get("poisoned")?, "poisoned", n)?
+            .iter()
+            .map(|v| match v {
+                Json::Null => Ok(None),
+                Json::UInt(ns) => Ok(Some(SimDuration::from_nanos(*ns))),
+                other => Err(format!("poisoned entry: {other:?}")),
+            })
+            .collect::<Result<_, String>>()?;
+        self.latent.clear();
+        for v in arr_of(get("latent")?, "latent")? {
+            match v.as_arr() {
+                Some([Json::UInt(cid), Json::UInt(struck), Json::Bool(detected)]) => {
+                    self.latent.insert(
+                        *cid as u32,
+                        Latent {
+                            struck_at: SimTime::ZERO + SimDuration::from_nanos(*struck),
+                            detected: *detected,
+                        },
+                    );
+                }
+                _ => return Err(format!("latent entry: {v:?}")),
+            }
+        }
+        self.unfinished = u64_of(get("unfinished")?, "unfinished")? as usize;
+        self.stale = arr_of(get("stale")?, "stale")?
+            .iter()
+            .map(|v| u64_of(v, "stale").map(|c| c as u32))
+            .collect::<Result<_, String>>()?;
+        self.running = match get("running")? {
+            Json::Null => None,
+            r => Some(Running {
+                tid: TaskId(field(r, "tid")? as u32),
+                dur: fdur(r, "dur")?,
+                exec_start: ftime(r, "exec_start")?,
+                fpga: match r.get("fpga") {
+                    Some(Json::Null) => None,
+                    Some(f) => Some(FpgaSeg {
+                        cid: CircuitId(field(f, "cid")? as u32),
+                        completes: fbool(f, "completes")?,
+                        slack: fdur(f, "slack")?,
+                        poll_cost: fdur(f, "poll")?,
+                    }),
+                    None => return Err("running missing 'fpga'".into()),
+                },
+            }),
+        };
+        let f = get("fault")?;
+        self.fault = FaultStats {
+            download_faults: field(f, "download_faults")?,
+            seu_faults: field(f, "seu_faults")?,
+            seu_benign: field(f, "seu_benign")?,
+            column_faults: field(f, "column_faults")?,
+            crc_mismatches: field(f, "crc_mismatches")?,
+            retries: field(f, "retries")?,
+            retry_time: fdur(f, "retry_time")?,
+            tasks_failed: field(f, "tasks_failed")?,
+            scrub_passes: field(f, "scrub_passes")?,
+            scrub_time: fdur(f, "scrub_time")?,
+            repairs: field(f, "repairs")?,
+            repair_time: fdur(f, "repair_time")?,
+            work_lost: fdur(f, "work_lost")?,
+            columns_retired: field(f, "columns_retired")?,
+            retire_time: fdur(f, "retire_time")?,
+            mttr_total: fdur(f, "mttr_total")?,
+        };
+        match (get("rng")?, self.injector.as_mut()) {
+            (Json::Null, None) => {}
+            (Json::Arr(streams), Some(inj)) => {
+                let mut states = [[0u64; 4]; 3];
+                if streams.len() != 3 {
+                    return Err("rng wants 3 streams".into());
+                }
+                for (i, st) in streams.iter().enumerate() {
+                    let words = arr_of(st, "rng stream")?;
+                    if words.len() != 4 {
+                        return Err("rng stream wants 4 words".into());
+                    }
+                    for (j, w) in words.iter().enumerate() {
+                        states[i][j] = u64_of(w, "rng word")?;
+                    }
+                }
+                inj.restore_stream_states(states);
+            }
+            _ => {
+                return Err("fault injector presence differs from the image".into());
+            }
+        }
+        self.sched
+            .restore(get("sched")?)
+            .map_err(|e| format!("scheduler: {e}"))?;
+        self.manager
+            .restore(get("manager")?)
+            .map_err(|e| format!("manager: {e}"))?;
+        // Pending events last: the fresh queue (clock still at zero)
+        // re-learns every in-flight timer at its absolute time.
+        self.queue.clear();
+        for v in arr_of(get("pending")?, "pending")? {
+            let Some([at, Json::Str(kind), arg]) = v.as_arr() else {
+                return Err(format!("pending entry: {v:?}"));
+            };
+            let at = SimTime::ZERO + SimDuration::from_nanos(u64_of(at, "pending at")?);
+            let tid = || -> Result<TaskId, String> {
+                u64_of(arg, "pending arg").map(|t| TaskId(t as u32))
+            };
+            let ev = match kind.as_str() {
+                "arrive" => Ev::Arrive(tid()?),
+                "timer" => Ev::Timer(tid()?),
+                "dispatch" => Ev::Dispatch,
+                "seu" => Ev::Seu,
+                "scrub" => Ev::Scrub,
+                "colfail" => Ev::ColumnFail(None),
+                "colfail_at" => Ev::ColumnFail(Some(u64_of(arg, "pending arg")? as u32)),
+                "retry_done" => Ev::RetryDone(tid()?),
+                "retry" => Ev::Retry(tid()?),
+                "ckpt" => Ev::Checkpoint,
+                other => return Err(format!("unknown pending event '{other}'")),
+            };
+            self.queue.schedule_at(at, ev);
+        }
+        Ok(())
     }
 
     fn wake(&mut self, wake: Vec<TaskId>, now: SimTime) {
@@ -763,7 +1433,10 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                     self.tasks[ti].op_remaining = d;
                     self.op_done_so_far[ti] = SimDuration::ZERO;
                 }
-                let dl_before = if self.injector.is_some() {
+                // A stats snapshot lets us detect whether this activation
+                // downloaded: fault injection corrupts downloads, and the
+                // checkpoint machinery journals them.
+                let dl_before = if self.injector.is_some() || self.ckpt.is_some() {
                     Some(self.manager.stats())
                 } else {
                     None
@@ -842,6 +1515,37 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                             return;
                         }
                         self.dl_attempts[ti] = 0;
+                        if self.ckpt.is_some() {
+                            let before = dl_before.as_ref().expect("snapshot taken above");
+                            let after = self.manager.stats();
+                            if after.downloads > before.downloads {
+                                // A download overwrote the device: journal
+                                // it. Whatever stale claim covered that
+                                // region is also refreshed for this circuit.
+                                let (col0, width) = self
+                                    .manager
+                                    .resident_regions()
+                                    .into_iter()
+                                    .find(|r| r.cid == circuit)
+                                    .map(|r| (r.col0, r.width))
+                                    .unwrap_or((0, self.manager.timing().spec.cols));
+                                self.wal.push(WalRecord {
+                                    seq: self.wal.len() as u64,
+                                    cid: circuit,
+                                    col0,
+                                    width,
+                                    at: now,
+                                    duration: after.config_time - before.config_time,
+                                });
+                                self.stale.remove(&circuit.0);
+                            } else if self.stale.contains(&circuit.0) {
+                                // Residency "hit" on a claim a crash
+                                // invalidated (journal off): the op runs on
+                                // garbage and nothing detects it.
+                                self.metrics[ti].corrupted = true;
+                                self.crash.silent_corruptions += 1;
+                            }
+                        }
                         // Dispatching onto fabric a prior upset corrupted:
                         // nothing computed from here on is trustworthy.
                         if self.injector.is_some()

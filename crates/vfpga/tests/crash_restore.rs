@@ -1,0 +1,335 @@
+//! Crash-consistency properties of the checkpoint/journal subsystem.
+//!
+//! The contract under test, end to end:
+//!
+//! 1. checkpointing alone never perturbs outcomes — a checkpointed run
+//!    that happens not to crash matches the plain run on every
+//!    timing-invariant field;
+//! 2. a crashed-and-restored run (journal on) reaches the *same* per-task
+//!    outcomes as the uninterrupted same-seed run, for every crash seed;
+//! 3. with the journal off the restore keeps stale residency claims and
+//!    silently corrupts results — the ablation proving the journal is
+//!    load-bearing, not decorative;
+//! 4. the overhead breakdown (now including checkpoint and journal-replay
+//!    slices) still tiles the grand total exactly, across a random policy
+//!    sweep;
+//! 5. a zero retry budget fails a corrupt download immediately, without a
+//!    spurious retry (recovery-policy edge case).
+
+use fsim::{SimDuration, SimTime};
+use std::sync::Arc;
+use vfpga::circuit::CircuitLib;
+use vfpga::manager::dynload::DynLoadManager;
+use vfpga::manager::partition::{PartitionManager, PartitionMode};
+use vfpga::manager::PreemptAction;
+use vfpga::sched::RoundRobinScheduler;
+use vfpga::system::{System, SystemConfig};
+use vfpga::task::{Op, TaskSpec};
+use vfpga::{
+    diff_reports, run_with_crashes, CheckpointConfig, CrashPlan, FaultPlan, FpgaManager,
+    RecoveryPolicy, Report, RunOutcome, Scheduler,
+};
+
+fn lib4() -> (Arc<CircuitLib>, Vec<vfpga::circuit::CircuitId>) {
+    use pnr::{compile, CompileOptions};
+    let mut lib = CircuitLib::new();
+    let ids = vec![
+        lib.register_compiled(
+            compile(
+                &netlist::library::arith::ripple_adder("add", 8),
+                CompileOptions::default(),
+            )
+            .unwrap(),
+        ),
+        lib.register_compiled(
+            compile(
+                &netlist::library::seq::lfsr("lfsr", 16, 0b1101_0000_0000_1000),
+                CompileOptions::default(),
+            )
+            .unwrap(),
+        ),
+        lib.register_compiled(
+            compile(
+                &netlist::library::logic::parity("par", 12),
+                CompileOptions::default(),
+            )
+            .unwrap(),
+        ),
+        lib.register_compiled(
+            compile(
+                &netlist::library::seq::counter("ctr", 12),
+                CompileOptions::default(),
+            )
+            .unwrap(),
+        ),
+    ];
+    (Arc::new(lib), ids)
+}
+
+/// Tasks alternating between circuits so residency claims churn: exactly
+/// the workload where a stale claim after a bad restore would bite.
+fn workload(ids: &[vfpga::circuit::CircuitId], n: usize) -> Vec<TaskSpec> {
+    (0..n)
+        .map(|i| {
+            let cid = ids[i % ids.len()];
+            TaskSpec::new(
+                format!("t{i}"),
+                SimTime::ZERO + SimDuration::from_micros(i as u64 * 40),
+                vec![
+                    Op::Cpu(SimDuration::from_micros(100)),
+                    Op::FpgaRun {
+                        circuit: cid,
+                        cycles: 60_000,
+                    },
+                    Op::Cpu(SimDuration::from_micros(50)),
+                    Op::FpgaRun {
+                        circuit: cid,
+                        cycles: 30_000,
+                    },
+                ],
+            )
+        })
+        .collect()
+}
+
+fn timing() -> fpga::ConfigTiming {
+    fpga::ConfigTiming {
+        spec: fpga::device::part("VF400"),
+        port: fpga::ConfigPort::SerialFast,
+    }
+}
+
+/// A dynamically loaded single-tenant device: every circuit swap rewrites
+/// the same columns, so post-checkpoint downloads always clobber the
+/// claims an old checkpoint image still holds.
+fn build_dynload() -> System<DynLoadManager, RoundRobinScheduler> {
+    let (lib, ids) = lib4();
+    let mgr = DynLoadManager::new(lib.clone(), timing(), PreemptAction::SaveRestore);
+    System::new(
+        lib,
+        mgr,
+        RoundRobinScheduler::new(SimDuration::from_millis(2)),
+        SystemConfig {
+            preempt: PreemptAction::SaveRestore,
+            ..Default::default()
+        },
+        workload(&ids, 8),
+    )
+}
+
+fn build_partition() -> System<PartitionManager, RoundRobinScheduler> {
+    let (lib, ids) = lib4();
+    let mgr = PartitionManager::new(
+        lib.clone(),
+        timing(),
+        PartitionMode::Variable,
+        PreemptAction::SaveRestore,
+    )
+    .unwrap();
+    System::new(
+        lib,
+        mgr,
+        RoundRobinScheduler::new(SimDuration::from_millis(2)),
+        SystemConfig {
+            preempt: PreemptAction::SaveRestore,
+            ..Default::default()
+        },
+        workload(&ids, 8),
+    )
+}
+
+fn finish<M: FpgaManager, S: Scheduler>(sys: System<M, S>) -> Report {
+    match sys.run_until(None).unwrap() {
+        RunOutcome::Completed(r, _) => *r,
+        RunOutcome::Crashed(_) => unreachable!("no crash scheduled"),
+    }
+}
+
+#[test]
+fn checkpointing_alone_never_perturbs_outcomes() {
+    let baseline = build_dynload().run().unwrap();
+    for interval_us in [300u64, 1_000, 5_000] {
+        let cfg = CheckpointConfig::new(SimDuration::from_micros(interval_us));
+        let r = finish(build_dynload().with_checkpoints(cfg).unwrap());
+        let d = diff_reports(&baseline, &r);
+        assert!(
+            d.is_empty(),
+            "checkpoints every {interval_us}us changed outcomes: {d:?}"
+        );
+        assert!(r.crash.checkpoints > 0, "cadence never fired");
+        assert!(
+            r.crash.checkpoint_time > SimDuration::ZERO,
+            "checkpoint readback must cost port time"
+        );
+        assert_eq!(r.crash.crashes, 0);
+    }
+}
+
+fn assert_restores_match<M: FpgaManager, S: Scheduler>(name: &str, build: fn() -> System<M, S>) {
+    let baseline = build().run().unwrap();
+    let mut crashed_somewhere = false;
+    // High rate clusters crashes before the first checkpoint (cold
+    // restarts); low rate spreads them mid-run (rich images). Both must
+    // restore to identical outcomes.
+    for (seed, rate) in (0..6u64).flat_map(|s| [(s, 400.0), (s, 60.0)]) {
+        let plan = CrashPlan {
+            seed,
+            crash_rate_per_s: rate,
+            max_crashes: 4,
+        };
+        let cfg = CheckpointConfig::new(SimDuration::from_micros(2_500));
+        let r = run_with_crashes(build, cfg, plan).unwrap();
+        crashed_somewhere |= r.crash.crashes > 0;
+        let d = diff_reports(&baseline, &r);
+        assert!(
+            d.is_empty(),
+            "{name} seed {seed}: restored run diverged: {d:?}"
+        );
+        assert_eq!(
+            r.crash.silent_corruptions, 0,
+            "{name} seed {seed}: journaled restore corrupted state"
+        );
+        assert!(r.tasks.iter().all(|t| !t.corrupted));
+    }
+    assert!(
+        crashed_somewhere,
+        "{name}: no seed ever crashed — dead test"
+    );
+}
+
+#[test]
+fn crashed_and_restored_runs_match_the_uninterrupted_baseline() {
+    assert_restores_match("dynload", build_dynload);
+    assert_restores_match("partition", build_partition);
+}
+
+#[test]
+fn crash_restore_is_bit_reproducible() {
+    let plan = CrashPlan {
+        seed: 99,
+        crash_rate_per_s: 500.0,
+        max_crashes: 3,
+    };
+    let cfg = CheckpointConfig::new(SimDuration::from_micros(600));
+    let a = run_with_crashes(build_dynload, cfg, plan).unwrap();
+    let b = run_with_crashes(build_dynload, cfg, plan).unwrap();
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+#[test]
+fn journal_off_restores_corrupt_silently() {
+    // The ablation: identical crash schedules, journal replay disabled.
+    // At least one seed must reach a stale residency claim and compute
+    // garbage — otherwise the journal would be dead weight. And whenever
+    // corruption happens, the differential verifier must see it.
+    let baseline = build_dynload().run().unwrap();
+    let mut corrupted_somewhere = false;
+    for seed in 0..12u64 {
+        let plan = CrashPlan {
+            seed,
+            crash_rate_per_s: 60.0,
+            max_crashes: 4,
+        };
+        let cfg = CheckpointConfig::new(SimDuration::from_micros(2_500)).without_journal();
+        let r = run_with_crashes(build_dynload, cfg, plan).unwrap();
+        let d = diff_reports(&baseline, &r);
+        if r.crash.silent_corruptions > 0 {
+            corrupted_somewhere = true;
+            assert!(
+                d.iter().any(|x| x.field == "corrupted"),
+                "seed {seed}: corruption not visible to the verifier"
+            );
+            assert!(r.tasks.iter().any(|t| t.corrupted));
+        }
+        // No journal means no replay accounting, ever.
+        assert_eq!(r.crash.records_redone, 0);
+        assert_eq!(r.crash.records_undone, 0);
+        assert_eq!(r.crash.replay_time, SimDuration::ZERO);
+    }
+    assert!(
+        corrupted_somewhere,
+        "no seed produced silent corruption — the journal ablation proves nothing"
+    );
+}
+
+#[test]
+fn overhead_breakdown_tiles_total_overhead_under_crashes() {
+    // Satellite regression: FaultStats + OverheadBreakdown (including the
+    // new checkpoint and journal-replay slices) must sum *exactly* to the
+    // grand total, across a random sweep of fault and crash policies.
+    let mut lcg = 0xE16_u64;
+    let mut next = move || {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        lcg >> 33
+    };
+    for case in 0..10u64 {
+        let fault_plan = FaultPlan {
+            seed: next(),
+            download_corruption: (next() % 3) as f64 * 0.05,
+            seu_rate_per_s: (next() % 4) as f64 * 50.0,
+            column_failure_rate_per_s: 0.0,
+        };
+        let policy = RecoveryPolicy {
+            scrub_interval: Some(SimDuration::from_millis(1 + next() % 3)),
+            ..RecoveryPolicy::default()
+        };
+        let crash_plan = CrashPlan {
+            seed: next(),
+            crash_rate_per_s: 200.0 + (next() % 4) as f64 * 100.0,
+            max_crashes: 1 + (next() % 3) as u32,
+        };
+        let cfg = CheckpointConfig::new(SimDuration::from_micros(400 + next() % 2000));
+        let r = run_with_crashes(
+            || build_partition().with_faults(fault_plan, policy),
+            cfg,
+            crash_plan,
+        )
+        .unwrap();
+        let b = r.overhead_breakdown();
+        assert_eq!(b.checkpoint, r.crash.checkpoint_time, "case {case}");
+        assert_eq!(b.journal_replay, r.crash.replay_time, "case {case}");
+        assert_eq!(
+            b.total() + r.fault.background_time(),
+            r.total_overhead(),
+            "case {case}: breakdown does not tile the total ({fault_plan:?}, {crash_plan:?})"
+        );
+    }
+}
+
+#[test]
+fn zero_retry_budget_fails_immediately_without_spurious_retry() {
+    // max_download_retries = 0 with certain corruption: the first corrupt
+    // attempt exhausts the budget. The task fails at once and the retry
+    // counter must stay at zero — a spurious "retry 0" would both lie in
+    // the stats and burn backoff time.
+    let (lib, ids) = lib4();
+    let mgr = DynLoadManager::new(lib.clone(), timing(), PreemptAction::WaitCompletion);
+    let plan = FaultPlan {
+        seed: 5,
+        download_corruption: 1.0,
+        ..FaultPlan::none()
+    };
+    let policy = RecoveryPolicy {
+        max_download_retries: 0,
+        ..RecoveryPolicy::default()
+    };
+    let r = System::new(
+        lib,
+        mgr,
+        RoundRobinScheduler::new(SimDuration::from_millis(2)),
+        SystemConfig::default(),
+        workload(&ids, 4),
+    )
+    .with_faults(plan, policy)
+    .run()
+    .unwrap();
+    assert!(r.tasks.iter().all(|t| t.failed));
+    assert_eq!(r.fault.tasks_failed, 4);
+    assert_eq!(r.fault.retries, 0, "budget 0 must not schedule any retry");
+    // The first (and only) wasted attempt per task is still real download
+    // waste, and the breakdown must still carve it out exactly.
+    assert!(r.fault.retry_time > SimDuration::ZERO);
+    assert_eq!(r.overhead_breakdown().fault_retry, r.fault.retry_time);
+}
