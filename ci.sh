@@ -15,15 +15,33 @@ cargo build --release --workspace
 echo "==> cargo test (tier 1)"
 cargo test -q --workspace
 
+echo "==> cargo bench --no-run (harness must keep compiling)"
+cargo bench --no-run --workspace >/dev/null
+
 echo "==> e15 fault-recovery smoke (JSON parse-back + bit reproducibility)"
 E15_TMP="$(mktemp -d)"
 trap 'rm -rf "$E15_TMP"' EXIT
+JDIFF=./target/release/jdiff
 # The binary itself re-reads and re-parses the export through the bench
-# JSON reader and exits nonzero if it does not round-trip.
+# JSON reader and exits nonzero if it does not round-trip. Exports carry
+# a volatile wall-clock `host` section, so the comparison goes through
+# jdiff, which strips it before demanding byte-identity.
 ./target/release/e15_fault_recovery --smoke --seed 3605 --json "$E15_TMP/a.json" >/dev/null
 ./target/release/e15_fault_recovery --smoke --seed 3605 --json "$E15_TMP/b.json" >/dev/null
-cmp "$E15_TMP/a.json" "$E15_TMP/b.json" \
-  || { echo "e15 smoke: same-seed runs are not byte-identical"; exit 1; }
+"$JDIFF" "$E15_TMP/a.json" "$E15_TMP/b.json" \
+  || { echo "e15 smoke: same-seed runs are not identical modulo host"; exit 1; }
+
+echo "==> parallel determinism smoke (--threads 4 vs --threads 1)"
+# The sweep engine must be a pure performance knob: any thread count has
+# to reproduce the serial export exactly, modulo the host section.
+./target/release/e15_fault_recovery --smoke --threads 1 --json "$E15_TMP/t1.json" >/dev/null
+./target/release/e15_fault_recovery --smoke --threads 4 --json "$E15_TMP/t4.json" >/dev/null
+"$JDIFF" "$E15_TMP/t1.json" "$E15_TMP/t4.json" \
+  || { echo "e15 smoke: --threads 4 diverged from --threads 1"; exit 1; }
+./target/release/e05_partitioning --threads 1 --json "$E15_TMP/e05t1.json" >/dev/null
+./target/release/e05_partitioning --threads 4 --json "$E15_TMP/e05t4.json" >/dev/null
+"$JDIFF" "$E15_TMP/e05t1.json" "$E15_TMP/e05t4.json" \
+  || { echo "e05: --threads 4 diverged from --threads 1"; exit 1; }
 
 echo "==> e16 crash-restore smoke (differential verifier + journal ablation)"
 # The binary aborts in-process if any journaled cell diverges from the
@@ -32,9 +50,9 @@ echo "==> e16 crash-restore smoke (differential verifier + journal ablation)"
 # off the smoke cell must record silent corruption and divergence, or the
 # journal has stopped being load-bearing.
 ./target/release/e16_crash_restore --smoke --json "$E15_TMP/e16a.json" >/dev/null
-./target/release/e16_crash_restore --smoke --json "$E15_TMP/e16b.json" >/dev/null
-cmp "$E15_TMP/e16a.json" "$E15_TMP/e16b.json" \
-  || { echo "e16 smoke: same-seed runs are not byte-identical"; exit 1; }
+./target/release/e16_crash_restore --smoke --threads 4 --json "$E15_TMP/e16b.json" >/dev/null
+"$JDIFF" "$E15_TMP/e16a.json" "$E15_TMP/e16b.json" \
+  || { echo "e16 smoke: parallel same-seed run diverged"; exit 1; }
 python3 - "$E15_TMP/e16a.json" <<'PY'
 import json, sys
 doc = json.load(open(sys.argv[1]))

@@ -18,7 +18,7 @@ fn setup() -> (Arc<vfpga::CircuitLib>, Vec<vfpga::CircuitId>, ConfigTiming) {
     let mut lib = vfpga::CircuitLib::new();
     let mut ids = Vec::new();
     for app in workload::suite(Domain::Telecom, spec.rows).apps {
-        ids.push(lib.register_compiled(app.compiled));
+        ids.push(lib.register_shared(app.compiled));
     }
     (
         Arc::new(lib),

@@ -1,0 +1,39 @@
+//! Shared command-line helpers for the experiment binaries.
+//!
+//! Every `eNN` binary accepts the same ambient flags — `--json <path>`
+//! (handled by [`crate::export::json_arg`]), `--seed <n>` where the sweep
+//! is seeded, `--smoke` for the CI-sized variant, and `--threads <n>` for
+//! the parallel sweep engine. These helpers keep the parsing identical
+//! across binaries instead of sixteen hand-rolled copies.
+
+/// Scan the command line for `name <value>` or `name=<value>` as a `u64`;
+/// exits with a usage error if the value is present but not an integer.
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{name} requires an integer argument");
+                std::process::exit(2);
+            });
+        }
+        if let Some(v) = a.strip_prefix(&format!("{name}=")) {
+            return v.parse().unwrap_or_else(|_| {
+                eprintln!("{name} requires an integer argument");
+                std::process::exit(2);
+            });
+        }
+    }
+    default
+}
+
+/// Whether the bare flag `name` appears on the command line.
+pub fn flag(name: &str) -> bool {
+    std::env::args().skip(1).any(|a| a == name)
+}
+
+/// The resolved `--threads` request: defaults to 1 (serial); `--threads 0`
+/// means "use every available core".
+pub fn threads_arg() -> usize {
+    crate::engine::resolve_threads(arg_u64("--threads", 1) as usize)
+}

@@ -11,11 +11,13 @@
 //! frames.
 
 use bench::report::{ms, Table};
-use bench::Exporter;
+use bench::{run_sweep, threads_arg, Exporter, HostProfile};
 use fpga::{ConfigPort, ConfigTiming, PARTS};
 use fsim::{SimTime, Timeline};
 
 fn main() {
+    let threads = threads_arg();
+    let mut host = HostProfile::new(threads);
     let mut ex = Exporter::new("e01", "configuration & readback time by device and port");
     ex.seed(0)
         .param("parts", PARTS.len())
@@ -56,8 +58,13 @@ fn main() {
     }
     ex.timeline("parts_configured_vs_cumulative_full_config", &growth);
 
-    for spec in PARTS {
-        for (pname, port) in ports {
+    // Sweep: one point per (part, port) row.
+    let points: Vec<(&fpga::DeviceSpec, &str, ConfigPort)> = PARTS
+        .iter()
+        .flat_map(|spec| ports.iter().map(move |&(pname, port)| (spec, pname, port)))
+        .collect();
+    let rows = host.phase("sweep", || {
+        run_sweep(threads, &points, |_, &(spec, pname, port)| {
             let timing = ConfigTiming { spec: *spec, port };
             let frames = |pct: f64| ((spec.cols as f64 * pct).round() as usize).max(1);
             let partial = |pct: f64| {
@@ -76,7 +83,7 @@ fn main() {
                     "n/a (full only)".into()
                 }
             };
-            t.row(vec![
+            vec![
                 spec.name.into(),
                 format!("{}x{}", spec.cols, spec.rows),
                 spec.io_pins.to_string(),
@@ -86,11 +93,16 @@ fn main() {
                 partial(0.25),
                 partial(0.50),
                 ms(timing.readback_time(frames(0.25)).as_millis_f64()),
-            ]);
-        }
+            ]
+        })
+    });
+    for row in rows {
+        t.row(row);
     }
     t.print();
     ex.table(&t);
+    host.points(points.len());
+    ex.host(&host);
     ex.write_if_requested();
 
     println!(

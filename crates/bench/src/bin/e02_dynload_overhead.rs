@@ -13,7 +13,7 @@
 
 use bench::report::{f3, pct, Table};
 use bench::setup::compile_suite_lib;
-use bench::{Exporter, Json};
+use bench::{run_sweep, threads_arg, Exporter, HostProfile, Json};
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::{SimDuration, SimRng};
 use vfpga::manager::dynload::DynLoadManager;
@@ -21,8 +21,12 @@ use vfpga::{PreemptAction, RoundRobinScheduler, System, SystemConfig};
 use workload::{poisson_tasks, Domain, MixParams};
 
 fn main() {
+    let threads = threads_arg();
+    let mut host = HostProfile::new(threads);
     let spec = fpga::device::part("VF800");
-    let (lib, ids) = compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec);
+    let (lib, ids) = host.phase("compile", || {
+        compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec)
+    });
 
     let slices_ms = [1u64, 2, 5, 10, 20, 50, 100, 200, 500, 1000];
     let mut ex = Exporter::new("e02", "dynamic loading overhead vs round-robin slice");
@@ -46,11 +50,15 @@ fn main() {
         ],
     );
 
-    for (pname, port) in [
+    let points: Vec<(&str, ConfigPort, u64)> = [
         ("serial-slow", ConfigPort::SerialSlow),
         ("serial-fast", ConfigPort::SerialFast),
-    ] {
-        for &slice in &slices_ms {
+    ]
+    .into_iter()
+    .flat_map(|(pname, port)| slices_ms.iter().map(move |&s| (pname, port, s)))
+    .collect();
+    let results = host.phase("sweep", || {
+        run_sweep(threads, &points, |_, &(pname, port, slice)| {
             let timing = ConfigTiming { spec, port };
             let mut rng = SimRng::new(0xE02);
             let params = MixParams {
@@ -78,8 +86,7 @@ fn main() {
             )
             .with_trace_capacity(4096);
             let r = sys.run().unwrap();
-            ex.report(&format!("{pname}/slice-{slice}ms"), &r);
-            t.row(vec![
+            let row = vec![
                 format!("{slice} ms"),
                 pname.into(),
                 r.manager_stats.downloads.to_string(),
@@ -87,11 +94,18 @@ fn main() {
                 pct(r.cpu_utilization()),
                 f3(r.makespan.as_secs_f64()),
                 f3(r.mean_turnaround_s()),
-            ]);
-        }
+            ];
+            (format!("{pname}/slice-{slice}ms"), r, row)
+        })
+    });
+    for (label, r, row) in &results {
+        ex.report(label, r);
+        t.row(row.clone());
     }
     t.print();
     ex.table(&t);
+    host.points(points.len());
+    ex.host(&host);
     ex.write_if_requested();
     println!(
         "\nReference: full serial-slow download = {:.1} ms, partial (per circuit) ≈ a few ms.",

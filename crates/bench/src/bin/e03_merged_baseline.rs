@@ -11,7 +11,7 @@
 
 use bench::report::{f3, Table};
 use bench::setup::compile_suite_lib;
-use bench::Exporter;
+use bench::{run_sweep, threads_arg, Exporter, HostProfile};
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::{SimDuration, SimRng};
 use std::sync::Arc;
@@ -21,11 +21,15 @@ use vfpga::{CircuitId, PreemptAction, RoundRobinScheduler, System, SystemConfig}
 use workload::{poisson_tasks, Domain, MixParams};
 
 fn main() {
+    let threads = threads_arg();
+    let mut host = HostProfile::new(threads);
     let spec = fpga::device::part("VF400");
-    let (full_lib, all_ids) = compile_suite_lib(
-        &[Domain::Telecom, Domain::Storage, Domain::Networking],
-        spec,
-    );
+    let (full_lib, all_ids) = host.phase("compile", || {
+        compile_suite_lib(
+            &[Domain::Telecom, Domain::Storage, Domain::Networking],
+            spec,
+        )
+    });
 
     let mut ex = Exporter::new("e03", "merged circuit vs dynamic loading");
     ex.seed(0xE03)
@@ -44,54 +48,68 @@ fn main() {
         ],
     );
 
-    for n in 2..=all_ids.len() {
-        // Sub-library with circuits renumbered 0..n.
-        let lib = Arc::new(full_lib.subset(&all_ids[..n]));
-        let ids: Vec<CircuitId> = (0..n as u32).map(CircuitId).collect();
-        let total_cols: u32 = ids.iter().map(|&i| lib.get(i).shape().0).sum();
-        let timing = ConfigTiming {
-            spec,
-            port: ConfigPort::SerialFast,
-        };
+    let points: Vec<usize> = (2..=all_ids.len()).collect();
+    let results = host.phase("sweep", || {
+        run_sweep(threads, &points, |_, &n| {
+            // Sub-library with circuits renumbered 0..n.
+            let lib = Arc::new(full_lib.subset(&all_ids[..n]));
+            let ids: Vec<CircuitId> = (0..n as u32).map(CircuitId).collect();
+            let total_cols: u32 = ids.iter().map(|&i| lib.get(i).shape().0).sum();
+            let timing = ConfigTiming {
+                spec,
+                port: ConfigPort::SerialFast,
+            };
 
-        let mut rng = SimRng::new(0xE03);
-        let params = MixParams {
-            tasks: n,
-            mean_interarrival: SimDuration::from_millis(1),
-            mean_cpu_burst: SimDuration::from_millis(2),
-            fpga_ops_per_task: 5,
-            cycles: (50_000, 200_000),
-        };
-        let specs = poisson_tasks(&params, &ids, &mut rng);
+            let mut rng = SimRng::new(0xE03);
+            let params = MixParams {
+                tasks: n,
+                mean_interarrival: SimDuration::from_millis(1),
+                mean_cpu_burst: SimDuration::from_millis(2),
+                fpga_ops_per_task: 5,
+                cycles: (50_000, 200_000),
+            };
+            let specs = poisson_tasks(&params, &ids, &mut rng);
 
-        let dyn_r = {
-            let mgr = DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion);
-            System::new(
-                lib.clone(),
-                mgr,
-                RoundRobinScheduler::new(SimDuration::from_millis(5)),
-                SystemConfig::default(),
-                specs.clone(),
-            )
-            .with_trace_capacity(4096)
-            .run()
-            .expect("deadlock")
-        };
-        ex.report(&format!("dynload/{n}-circuits"), &dyn_r);
-
-        match MergedManager::new(lib.clone(), timing) {
-            Ok(mgr) => {
-                let merged_r = System::new(
+            let dyn_r = {
+                let mgr = DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion);
+                System::new(
                     lib.clone(),
                     mgr,
                     RoundRobinScheduler::new(SimDuration::from_millis(5)),
                     SystemConfig::default(),
-                    specs,
+                    specs.clone(),
                 )
                 .with_trace_capacity(4096)
                 .run()
-                .unwrap();
-                ex.report(&format!("merged/{n}-circuits"), &merged_r);
+                .expect("deadlock")
+            };
+
+            let merged = match MergedManager::new(lib.clone(), timing) {
+                Ok(mgr) => Some(
+                    System::new(
+                        lib.clone(),
+                        mgr,
+                        RoundRobinScheduler::new(SimDuration::from_millis(5)),
+                        SystemConfig::default(),
+                        specs,
+                    )
+                    .with_trace_capacity(4096)
+                    .run()
+                    .unwrap(),
+                ),
+                Err(e) => {
+                    return (n, total_cols, dyn_r, Err(e.to_string()));
+                }
+            };
+            (n, total_cols, dyn_r, Ok(merged.unwrap()))
+        })
+    });
+
+    for (n, total_cols, dyn_r, merged) in &results {
+        ex.report(&format!("dynload/{n}-circuits"), dyn_r);
+        match merged {
+            Ok(merged_r) => {
+                ex.report(&format!("merged/{n}-circuits"), merged_r);
                 t.row(vec![
                     n.to_string(),
                     total_cols.to_string(),
@@ -120,5 +138,7 @@ fn main() {
     }
     t.print();
     ex.table(&t);
+    host.points(points.len());
+    ex.host(&host);
     ex.write_if_requested();
 }

@@ -12,7 +12,7 @@
 
 use bench::report::{f3, pct, Table};
 use bench::setup::compile_suite_lib;
-use bench::Exporter;
+use bench::{run_sweep, threads_arg, Exporter, HostProfile};
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::{SimDuration, SimRng};
 use vfpga::manager::dynload::DynLoadManager;
@@ -21,8 +21,8 @@ use vfpga::manager::partition::{PartitionManager, PartitionMode};
 use vfpga::{PreemptAction, Report, RoundRobinScheduler, System, SystemConfig, TaskSpec};
 use workload::{poisson_tasks, Domain, MixParams};
 
-fn run(r: Report, t: &mut Table, ex: &mut Exporter) {
-    ex.report(r.manager, &r);
+fn record(r: &Report, t: &mut Table, ex: &mut Exporter) {
+    ex.report(r.manager, r);
     let blocked: u64 = r.tasks.iter().map(|x| x.blocked_count).sum();
     t.row(vec![
         r.manager.into(),
@@ -36,8 +36,12 @@ fn run(r: Report, t: &mut Table, ex: &mut Exporter) {
 }
 
 fn main() {
+    let threads = threads_arg();
+    let mut host = HostProfile::new(threads);
     let spec = fpga::device::part("VF800");
-    let (lib, ids) = compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec);
+    let (lib, ids) = host.phase("compile", || {
+        compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec)
+    });
     let timing = ConfigTiming {
         spec,
         port: ConfigPort::SerialFast,
@@ -77,58 +81,57 @@ fn main() {
         ],
     );
 
-    run(
-        System::new(
-            lib.clone(),
-            ExclusiveManager::new(lib.clone(), timing),
-            RoundRobinScheduler::new(slice),
-            SystemConfig::default(),
-            specs.clone(),
-        )
-        .with_trace_capacity(4096)
-        .run()
-        .unwrap(),
-        &mut t,
-        &mut ex,
-    );
-    run(
-        System::new(
-            lib.clone(),
-            DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion),
-            RoundRobinScheduler::new(slice),
-            SystemConfig::default(),
-            specs.clone(),
-        )
-        .with_trace_capacity(4096)
-        .run()
-        .unwrap(),
-        &mut t,
-        &mut ex,
-    );
-    run(
-        System::new(
-            lib.clone(),
-            PartitionManager::new(
+    // One sweep point per manager.
+    let points = [0usize, 1, 2];
+    let results = host.phase("sweep", || {
+        run_sweep(threads, &points, |_, &which| match which {
+            0 => System::new(
                 lib.clone(),
-                timing,
-                PartitionMode::Variable,
-                PreemptAction::SaveRestore,
+                ExclusiveManager::new(lib.clone(), timing),
+                RoundRobinScheduler::new(slice),
+                SystemConfig::default(),
+                specs.clone(),
             )
+            .with_trace_capacity(4096)
+            .run()
             .unwrap(),
-            RoundRobinScheduler::new(slice),
-            SystemConfig {
-                preempt: PreemptAction::SaveRestore,
-                ..Default::default()
-            },
-            specs,
-        )
-        .with_trace_capacity(4096)
-        .run()
-        .unwrap(),
-        &mut t,
-        &mut ex,
-    );
+            1 => System::new(
+                lib.clone(),
+                DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion),
+                RoundRobinScheduler::new(slice),
+                SystemConfig::default(),
+                specs.clone(),
+            )
+            .with_trace_capacity(4096)
+            .run()
+            .unwrap(),
+            _ => System::new(
+                lib.clone(),
+                PartitionManager::new(
+                    lib.clone(),
+                    timing,
+                    PartitionMode::Variable,
+                    PreemptAction::SaveRestore,
+                )
+                .unwrap(),
+                RoundRobinScheduler::new(slice),
+                SystemConfig {
+                    preempt: PreemptAction::SaveRestore,
+                    ..Default::default()
+                },
+                specs.clone(),
+            )
+            .with_trace_capacity(4096)
+            .run()
+            .unwrap(),
+        })
+    });
+    for r in &results {
+        record(r, &mut t, &mut ex);
+    }
     t.print();
     ex.table(&t);
+    host.points(points.len());
+    ex.host(&host);
     ex.write_if_requested();
 }

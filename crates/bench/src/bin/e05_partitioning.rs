@@ -11,7 +11,7 @@
 
 use bench::report::{f3, pct, Table};
 use bench::setup::compile_suite_lib;
-use bench::Exporter;
+use bench::{run_sweep, threads_arg, Exporter, HostProfile};
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::{SimDuration, SimRng};
 use vfpga::manager::partition::{PartitionManager, PartitionMode};
@@ -19,8 +19,12 @@ use vfpga::{PreemptAction, RoundRobinScheduler, System, SystemConfig};
 use workload::{poisson_tasks, Domain, MixParams};
 
 fn main() {
+    let threads = threads_arg();
+    let mut host = HostProfile::new(threads);
     let spec = fpga::device::part("VF400"); // 20 columns
-    let (lib, ids) = compile_suite_lib(&[Domain::Multimedia, Domain::Telecom], spec);
+    let (lib, ids) = host.phase("compile", || {
+        compile_suite_lib(&[Domain::Multimedia, Domain::Telecom], spec)
+    });
 
     // Internal-fragmentation accounting: circuit widths.
     let widths: Vec<u32> = ids.iter().map(|&i| lib.get(i).shape().0).collect();
@@ -62,94 +66,108 @@ fn main() {
     );
     println!("circuit widths: {widths:?} (max {wmax})");
 
-    for (name, mode) in modes {
-        // Internal fragmentation estimate: mean over circuits of
-        // (slot_width - circuit_width)/slot_width for the smallest fixed
-        // slot that fits (circuits wider than every slot can never load —
-        // they would block forever, so skip mixes containing them).
-        let (feasible, int_frag) = match &mode {
-            PartitionMode::Fixed(ws) => {
-                let max_slot = *ws.iter().max().unwrap();
-                let feasible = widths.iter().all(|&w| w <= max_slot);
-                let frag = if feasible {
-                    let mut acc = 0.0;
-                    for &w in &widths {
-                        let slot = ws.iter().copied().filter(|&s| s >= w).min().unwrap();
-                        acc += (slot - w) as f64 / slot as f64;
-                    }
-                    acc / widths.len() as f64
-                } else {
-                    f64::NAN
-                };
-                (feasible, frag)
+    let results = host.phase("sweep", || {
+        run_sweep(threads, &modes, |_, (name, mode)| {
+            // Internal fragmentation estimate: mean over circuits of
+            // (slot_width - circuit_width)/slot_width for the smallest fixed
+            // slot that fits (circuits wider than every slot can never load —
+            // they would block forever, so skip mixes containing them).
+            let (feasible, int_frag) = match mode {
+                PartitionMode::Fixed(ws) => {
+                    let max_slot = *ws.iter().max().unwrap();
+                    let feasible = widths.iter().all(|&w| w <= max_slot);
+                    let frag = if feasible {
+                        let mut acc = 0.0;
+                        for &w in &widths {
+                            let slot = ws.iter().copied().filter(|&s| s >= w).min().unwrap();
+                            acc += (slot - w) as f64 / slot as f64;
+                        }
+                        acc / widths.len() as f64
+                    } else {
+                        f64::NAN
+                    };
+                    (feasible, frag)
+                }
+                PartitionMode::Variable => (true, 0.0),
+            };
+            if !feasible {
+                return None;
             }
-            PartitionMode::Variable => (true, 0.0),
-        };
-        if !feasible {
-            t.row(vec![
-                name,
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                "infeasible (circuit wider than every slot)".into(),
-            ]);
-            continue;
-        }
 
-        let mut rng = SimRng::new(0xE05);
-        let specs = poisson_tasks(
-            &MixParams {
-                tasks: 10,
-                mean_interarrival: SimDuration::from_millis(2),
-                mean_cpu_burst: SimDuration::from_millis(2),
-                fpga_ops_per_task: 5,
-                cycles: (50_000, 200_000),
-            },
-            &ids,
-            &mut rng,
-        );
-        let mgr = PartitionManager::new(
-            lib.clone(),
-            ConfigTiming {
-                spec,
-                port: ConfigPort::SerialFast,
-            },
-            mode,
-            PreemptAction::SaveRestore,
-        )
-        .unwrap();
-        let r = System::new(
-            lib.clone(),
-            mgr,
-            RoundRobinScheduler::new(SimDuration::from_millis(10)),
-            SystemConfig {
-                preempt: PreemptAction::SaveRestore,
-                ..Default::default()
-            },
-            specs,
-        )
-        .with_trace_capacity(4096)
-        .run()
-        .unwrap();
-        ex.report(&name, &r);
-        let blocked: u64 = r.tasks.iter().map(|x| x.blocked_count).sum();
-        t.row(vec![
-            name,
-            f3(r.makespan.as_secs_f64()),
-            f3(r.mean_waiting_s()),
-            r.manager_stats.downloads.to_string(),
-            blocked.to_string(),
-            r.manager_stats.evictions.to_string(),
-            r.manager_stats.splits.to_string(),
-            r.manager_stats.gc_runs.to_string(),
-            pct(int_frag),
-        ]);
+            let mut rng = SimRng::new(0xE05);
+            let specs = poisson_tasks(
+                &MixParams {
+                    tasks: 10,
+                    mean_interarrival: SimDuration::from_millis(2),
+                    mean_cpu_burst: SimDuration::from_millis(2),
+                    fpga_ops_per_task: 5,
+                    cycles: (50_000, 200_000),
+                },
+                &ids,
+                &mut rng,
+            );
+            let mgr = PartitionManager::new(
+                lib.clone(),
+                ConfigTiming {
+                    spec,
+                    port: ConfigPort::SerialFast,
+                },
+                mode.clone(),
+                PreemptAction::SaveRestore,
+            )
+            .unwrap();
+            let r = System::new(
+                lib.clone(),
+                mgr,
+                RoundRobinScheduler::new(SimDuration::from_millis(10)),
+                SystemConfig {
+                    preempt: PreemptAction::SaveRestore,
+                    ..Default::default()
+                },
+                specs,
+            )
+            .with_trace_capacity(4096)
+            .run()
+            .unwrap();
+            Some((name.clone(), r, int_frag))
+        })
+    });
+
+    for ((name, _), result) in modes.iter().zip(&results) {
+        match result {
+            None => {
+                t.row(vec![
+                    name.clone(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "infeasible (circuit wider than every slot)".into(),
+                ]);
+            }
+            Some((label, r, int_frag)) => {
+                ex.report(label, r);
+                let blocked: u64 = r.tasks.iter().map(|x| x.blocked_count).sum();
+                t.row(vec![
+                    label.clone(),
+                    f3(r.makespan.as_secs_f64()),
+                    f3(r.mean_waiting_s()),
+                    r.manager_stats.downloads.to_string(),
+                    blocked.to_string(),
+                    r.manager_stats.evictions.to_string(),
+                    r.manager_stats.splits.to_string(),
+                    r.manager_stats.gc_runs.to_string(),
+                    pct(*int_frag),
+                ]);
+            }
+        }
     }
     t.print();
     ex.table(&t);
+    host.points(modes.len());
+    ex.host(&host);
     ex.write_if_requested();
 }

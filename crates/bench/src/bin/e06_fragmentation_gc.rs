@@ -14,10 +14,10 @@
 //! them. Part B is a stochastic churn workload on the full system.
 
 use bench::report::{f3, pct, Table};
-use bench::Exporter;
+use bench::{run_sweep, threads_arg, Exporter, HostProfile};
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::{SimDuration, SimRng, SimTime};
-use pnr::{compile, CompileOptions};
+use pnr::{compile_shared, CompileOptions};
 use std::sync::Arc;
 use vfpga::manager::partition::{PartitionManager, PartitionMode};
 use vfpga::manager::{Activation, FpgaManager};
@@ -37,17 +37,18 @@ fn build_lib(spec: fpga::DeviceSpec) -> (Arc<CircuitLib>, Vec<CircuitId>, Vec<Ci
     };
     for (i, w) in [4usize, 4, 5, 5].iter().enumerate() {
         let net = netlist::library::arith::array_multiplier(&format!("narrow{i}"), *w);
-        narrow.push(lib.register_compiled(compile(&net, opts).unwrap()));
+        narrow.push(lib.register_shared(compile_shared(&net, opts).unwrap()));
     }
     for (i, w) in [6usize, 7].iter().enumerate() {
         let net = netlist::library::arith::array_multiplier(&format!("wide{i}"), *w);
-        wide.push(lib.register_compiled(compile(&net, opts).unwrap()));
+        wide.push(lib.register_shared(compile_shared(&net, opts).unwrap()));
     }
     (Arc::new(lib), narrow, wide)
 }
 
 /// Part A: the paper's fragmentation scenario, step by step.
 fn micro_trace(
+    threads: usize,
     spec: fpga::DeviceSpec,
     lib: &Arc<CircuitLib>,
     narrow: &[CircuitId],
@@ -70,7 +71,7 @@ fn micro_trace(
             "gc overhead",
         ],
     );
-    for gc in [true, false] {
+    let rows = run_sweep(threads, &[true, false], |_, &gc| {
         let mut m = PartitionManager::new(
             lib.clone(),
             timing,
@@ -99,7 +100,7 @@ fn micro_trace(
         let after = m.stats();
         // How many of the narrow residents survived?
         let survivors = narrow.iter().filter(|&&cid| m.is_resident(cid)).count();
-        t.row(vec![
+        vec![
             if gc { "on" } else { "off" }.into(),
             if loaded { "yes" } else { "NO" }.into(),
             (after.evictions - before.evictions).to_string(),
@@ -110,13 +111,17 @@ fn micro_trace(
                 "{}",
                 (after.config_time - before.config_time) + (after.gc_time - before.gc_time)
             ),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.print();
     ex.table(&t);
 }
 
 fn churn(
+    threads: usize,
     spec: fpga::DeviceSpec,
     lib: &Arc<CircuitLib>,
     narrow: &[CircuitId],
@@ -175,7 +180,7 @@ fn churn(
             "overhead frac",
         ],
     );
-    for gc in [true, false] {
+    let results = run_sweep(threads, &[true, false], |_, &gc| {
         let mut mgr = PartitionManager::new(
             lib.clone(),
             timing,
@@ -197,9 +202,12 @@ fn churn(
         .with_trace_capacity(8192)
         .run()
         .unwrap();
-        ex.report(if gc { "churn/gc-on" } else { "churn/gc-off" }, &r);
+        (gc, r)
+    });
+    for (gc, r) in &results {
+        ex.report(if *gc { "churn/gc-on" } else { "churn/gc-off" }, r);
         t.row(vec![
-            if gc { "on" } else { "off" }.into(),
+            if *gc { "on" } else { "off" }.into(),
             f3(r.makespan.as_secs_f64()),
             f3(r.mean_waiting_s()),
             r.manager_stats.downloads.to_string(),
@@ -216,8 +224,10 @@ fn churn(
 }
 
 fn main() {
+    let threads = threads_arg();
+    let mut host = HostProfile::new(threads);
     let spec = fpga::device::part("VF400"); // 20 cols
-    let (lib, narrow, wide) = build_lib(spec);
+    let (lib, narrow, wide) = host.phase("compile", || build_lib(spec));
     let mut ex = Exporter::new("e06", "fragmentation and garbage collection");
     ex.seed(0xE06)
         .param("device", spec.name)
@@ -234,7 +244,13 @@ fn main() {
             .collect::<Vec<_>>(),
         spec.cols
     );
-    micro_trace(spec, &lib, &narrow, &wide, &mut ex);
-    churn(spec, &lib, &narrow, &wide, &mut ex);
+    host.phase("micro-trace", || {
+        micro_trace(threads, spec, &lib, &narrow, &wide, &mut ex)
+    });
+    host.phase("churn", || {
+        churn(threads, spec, &lib, &narrow, &wide, &mut ex)
+    });
+    host.points(4);
+    ex.host(&host);
     ex.write_if_requested();
 }

@@ -12,7 +12,7 @@
 
 use bench::report::{f3, pct, Table};
 use bench::setup::compile_suite_lib;
-use bench::Exporter;
+use bench::{run_sweep, threads_arg, Exporter, HostProfile};
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::rng::Zipf;
 use fsim::{SimDuration, SimRng, SimTime};
@@ -21,8 +21,12 @@ use vfpga::{Op, PreemptAction, RoundRobinScheduler, System, SystemConfig, TaskSp
 use workload::Domain;
 
 fn main() {
+    let threads = threads_arg();
+    let mut host = HostProfile::new(threads);
     let spec = fpga::device::part("VF800"); // 32 cols
-    let (lib, ids) = compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec);
+    let (lib, ids) = host.phase("compile", || {
+        compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec)
+    });
     let timing = ConfigTiming {
         spec,
         port: ConfigPort::SerialFast,
@@ -74,8 +78,15 @@ fn main() {
             "makespan (s)",
         ],
     );
-    for k in 0..=2usize {
-        for policy in [Replacement::Lru, Replacement::Fifo, Replacement::Lfu] {
+    let points: Vec<(usize, Replacement)> = (0..=2usize)
+        .flat_map(|k| {
+            [Replacement::Lru, Replacement::Fifo, Replacement::Lfu]
+                .into_iter()
+                .map(move |p| (k, p))
+        })
+        .collect();
+    let results = host.phase("sweep", || {
+        run_sweep(threads, &points, |_, &(k, policy)| {
             let common: Vec<_> = ids[..k].to_vec();
             let common_w: u32 = common.iter().map(|&i| lib.get(i).shape().0).sum();
             let slot_w = widest.max((timing.spec.cols - common_w) / 3);
@@ -94,22 +105,27 @@ fn main() {
             .with_trace_capacity(4096)
             .run()
             .unwrap();
-            ex.report(&format!("top{k}/{policy:?}"), &r);
-            let s = r.manager_stats;
-            let hit_rate = s.hits as f64 / (s.hits + s.misses).max(1) as f64;
-            t.row(vec![
-                k.to_string(),
-                format!("{policy:?}"),
-                slots.to_string(),
-                pct(hit_rate),
-                s.downloads.to_string(),
-                s.evictions.to_string(),
-                pct(r.overhead_fraction()),
-                f3(r.makespan.as_secs_f64()),
-            ]);
-        }
+            (k, policy, slots, r)
+        })
+    });
+    for (k, policy, slots, r) in &results {
+        ex.report(&format!("top{k}/{policy:?}"), r);
+        let s = r.manager_stats;
+        let hit_rate = s.hits as f64 / (s.hits + s.misses).max(1) as f64;
+        t.row(vec![
+            k.to_string(),
+            format!("{policy:?}"),
+            slots.to_string(),
+            pct(hit_rate),
+            s.downloads.to_string(),
+            s.evictions.to_string(),
+            pct(r.overhead_fraction()),
+            f3(r.makespan.as_secs_f64()),
+        ]);
     }
     t.print();
     ex.table(&t);
+    host.points(points.len());
+    ex.host(&host);
     ex.write_if_requested();
 }

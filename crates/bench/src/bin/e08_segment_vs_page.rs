@@ -12,7 +12,7 @@
 //! segmentation pays external fragmentation (flushes).
 
 use bench::report::{f3, pct, Table};
-use bench::Exporter;
+use bench::{run_sweep, threads_arg, Exporter, HostProfile};
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::rng::Zipf;
 use fsim::{SimRng, Timeline};
@@ -20,6 +20,8 @@ use vfpga::vmem::{PagingSim, Replacement, SegmentSim, SegmentedFunction};
 use workload::{suite, Domain};
 
 fn main() {
+    let threads = threads_arg();
+    let mut host = HostProfile::new(threads);
     let spec = fpga::device::part("VF400");
     let timing = ConfigTiming {
         spec,
@@ -28,11 +30,13 @@ fn main() {
 
     // Segment widths from real compiled kernels across two domains.
     let mut widths = Vec::new();
-    for d in [Domain::Multimedia, Domain::Networking] {
-        for app in suite(d, spec.rows).apps {
-            widths.push(app.compiled.shape().0);
+    host.phase("compile", || {
+        for d in [Domain::Multimedia, Domain::Networking] {
+            for app in suite(d, spec.rows).apps {
+                widths.push(app.compiled.shape().0);
+            }
         }
-    }
+    });
     let func = SegmentedFunction {
         segment_widths: widths.clone(),
     };
@@ -69,65 +73,85 @@ fn main() {
             "flushes",
         ],
     );
-    for budget_pct in [100u32, 75, 50, 35] {
-        let budget = (total * budget_pct / 100).max(*widths.iter().max().unwrap());
-        // Segmentation. At the 50% budget point, record the typed
-        // PageFault events and export cumulative faults over (load-time)
-        // time — the document's timeline for this sim-less experiment.
-        let mut seg = SegmentSim::new(func.clone(), timing, budget);
-        if budget_pct == 50 {
-            seg.set_recording(true);
-        }
-        let st = seg.run_trace(&trace);
-        if budget_pct == 50 {
-            let mut tl = Timeline::new();
-            for (i, e) in seg.drain_events().iter().enumerate() {
-                tl.sample(e.at, (i + 1) as f64);
+
+    let budgets = [100u32, 75, 50, 35];
+    let results = host.phase("sweep", || {
+        run_sweep(threads, &budgets, |_, &budget_pct| {
+            let mut rows: Vec<Vec<String>> = Vec::new();
+            let mut timelines: Vec<(String, Timeline)> = Vec::new();
+            let mut counters: Vec<(&'static str, u64)> = Vec::new();
+            let budget = (total * budget_pct / 100).max(*widths.iter().max().unwrap());
+            // Segmentation. At the 50% budget point, record the typed
+            // PageFault events and export cumulative faults over (load-time)
+            // time — the document's timeline for this sim-less experiment.
+            let mut seg = SegmentSim::new(func.clone(), timing, budget);
+            if budget_pct == 50 {
+                seg.set_recording(true);
             }
-            ex.timeline("segment_faults_cumulative_at_50pct_budget", &tl);
-            ex.metrics()
-                .inc("segment_faults_at_50pct_budget", st.faults);
-        }
-        t.row(vec![
-            "segmentation (LRU)".into(),
-            format!("{budget} ({budget_pct}%)"),
-            pct(st.fault_rate()),
-            f3(st.load_time.as_millis_f64()),
-            st.padding_columns.to_string(),
-            st.evictions.to_string(),
-            st.flushes.to_string(),
-        ]);
-        // Pagination at several page widths.
-        for page in [2u32, 4, 8] {
-            for policy in [Replacement::Lru, Replacement::Fifo, Replacement::Clock] {
-                let mut pg = PagingSim::new(&func, timing, budget, page, policy);
-                let record = budget_pct == 50 && page == 4 && policy == Replacement::Lru;
-                if record {
-                    pg.set_recording(true);
+            let st = seg.run_trace(&trace);
+            if budget_pct == 50 {
+                let mut tl = Timeline::new();
+                for (i, e) in seg.drain_events().iter().enumerate() {
+                    tl.sample(e.at, (i + 1) as f64);
                 }
-                let st = pg.run_trace(&trace);
-                if record {
-                    let mut tl = Timeline::new();
-                    for (i, e) in pg.drain_events().iter().enumerate() {
-                        tl.sample(e.at, (i + 1) as f64);
+                timelines.push(("segment_faults_cumulative_at_50pct_budget".into(), tl));
+                counters.push(("segment_faults_at_50pct_budget", st.faults));
+            }
+            rows.push(vec![
+                "segmentation (LRU)".into(),
+                format!("{budget} ({budget_pct}%)"),
+                pct(st.fault_rate()),
+                f3(st.load_time.as_millis_f64()),
+                st.padding_columns.to_string(),
+                st.evictions.to_string(),
+                st.flushes.to_string(),
+            ]);
+            // Pagination at several page widths.
+            for page in [2u32, 4, 8] {
+                for policy in [Replacement::Lru, Replacement::Fifo, Replacement::Clock] {
+                    let mut pg = PagingSim::new(&func, timing, budget, page, policy);
+                    let record = budget_pct == 50 && page == 4 && policy == Replacement::Lru;
+                    if record {
+                        pg.set_recording(true);
                     }
-                    ex.timeline("paging_w4_lru_faults_cumulative_at_50pct_budget", &tl);
-                    ex.metrics()
-                        .inc("paging_w4_lru_faults_at_50pct_budget", st.faults);
+                    let st = pg.run_trace(&trace);
+                    if record {
+                        let mut tl = Timeline::new();
+                        for (i, e) in pg.drain_events().iter().enumerate() {
+                            tl.sample(e.at, (i + 1) as f64);
+                        }
+                        timelines
+                            .push(("paging_w4_lru_faults_cumulative_at_50pct_budget".into(), tl));
+                        counters.push(("paging_w4_lru_faults_at_50pct_budget", st.faults));
+                    }
+                    rows.push(vec![
+                        format!("paging w={page} ({policy:?})"),
+                        format!("{budget} ({budget_pct}%)"),
+                        pct(st.fault_rate()),
+                        f3(st.load_time.as_millis_f64()),
+                        st.padding_columns.to_string(),
+                        st.evictions.to_string(),
+                        st.flushes.to_string(),
+                    ]);
                 }
-                t.row(vec![
-                    format!("paging w={page} ({policy:?})"),
-                    format!("{budget} ({budget_pct}%)"),
-                    pct(st.fault_rate()),
-                    f3(st.load_time.as_millis_f64()),
-                    st.padding_columns.to_string(),
-                    st.evictions.to_string(),
-                    st.flushes.to_string(),
-                ]);
             }
+            (rows, timelines, counters)
+        })
+    });
+    for (rows, timelines, counters) in results {
+        for (name, tl) in &timelines {
+            ex.timeline(name, tl);
+        }
+        for (name, v) in counters {
+            ex.metrics().inc(name, v);
+        }
+        for row in rows {
+            t.row(row);
         }
     }
     t.print();
     ex.table(&t);
+    host.points(budgets.len());
+    ex.host(&host);
     ex.write_if_requested();
 }

@@ -14,7 +14,7 @@
 
 use bench::report::{f3, pct, Table};
 use bench::setup::compile_suite_lib;
-use bench::Exporter;
+use bench::{run_sweep, threads_arg, Exporter, HostProfile};
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::{SimDuration, SimTime};
 use vfpga::manager::dynload::DynLoadManager;
@@ -22,8 +22,10 @@ use vfpga::{Op, PreemptAction, RoundRobinScheduler, System, SystemConfig, TaskSp
 use workload::Domain;
 
 fn main() {
+    let threads = threads_arg();
+    let mut host = HostProfile::new(threads);
     let spec = fpga::device::part("VF800");
-    let (lib, ids) = compile_suite_lib(&[Domain::Telecom], spec);
+    let (lib, ids) = host.phase("compile", || compile_suite_lib(&[Domain::Telecom], spec));
     let scrambler = ids[0]; // LFSR: sequential
     let timing = ConfigTiming {
         spec,
@@ -50,13 +52,21 @@ fn main() {
         ],
     );
 
-    for op_ms in [2u64, 8, 25, 100] {
-        let cycles = (op_ms * 1_000_000) / per_cycle;
-        for policy in [
-            PreemptAction::WaitCompletion,
-            PreemptAction::Rollback,
-            PreemptAction::SaveRestore,
-        ] {
+    let points: Vec<(u64, PreemptAction)> = [2u64, 8, 25, 100]
+        .into_iter()
+        .flat_map(|op_ms| {
+            [
+                PreemptAction::WaitCompletion,
+                PreemptAction::Rollback,
+                PreemptAction::SaveRestore,
+            ]
+            .into_iter()
+            .map(move |p| (op_ms, p))
+        })
+        .collect();
+    let results = host.phase("sweep", || {
+        run_sweep(threads, &points, |_, &(op_ms, policy)| {
+            let cycles = (op_ms * 1_000_000) / per_cycle;
             // Rollback with op > slice makes progress only once every
             // competitor has left the ready queue (the OS skips pointless
             // preemption when nobody else can run); the lost-time column
@@ -82,7 +92,7 @@ fn main() {
                 ),
             ];
             let mgr = DynLoadManager::new(lib.clone(), timing, policy);
-            let r = System::new(
+            System::new(
                 lib.clone(),
                 mgr,
                 RoundRobinScheduler::new(slice),
@@ -94,25 +104,29 @@ fn main() {
             )
             .with_trace_capacity(4096)
             .run()
-            .unwrap();
-            ex.report(&format!("{op_ms}ms/{policy:?}"), &r);
-            t.row(vec![
-                format!("{op_ms} ms"),
-                format!("{policy:?}"),
-                if r.tasks[0].lost_time > SimDuration::ZERO {
-                    "yes (after CPU tasks idle)".into()
-                } else {
-                    "yes".into()
-                },
-                f3(r.tasks[0].turnaround().as_secs_f64()),
-                f3(r.tasks[0].lost_time.as_secs_f64()),
-                r.manager_stats.state_saves.to_string(),
-                pct(r.overhead_fraction()),
-            ]);
-        }
+            .unwrap()
+        })
+    });
+    for (&(op_ms, policy), r) in points.iter().zip(&results) {
+        ex.report(&format!("{op_ms}ms/{policy:?}"), r);
+        t.row(vec![
+            format!("{op_ms} ms"),
+            format!("{policy:?}"),
+            if r.tasks[0].lost_time > SimDuration::ZERO {
+                "yes (after CPU tasks idle)".into()
+            } else {
+                "yes".into()
+            },
+            f3(r.tasks[0].turnaround().as_secs_f64()),
+            f3(r.tasks[0].lost_time.as_secs_f64()),
+            r.manager_stats.state_saves.to_string(),
+            pct(r.overhead_fraction()),
+        ]);
     }
     t.print();
     ex.table(&t);
+    host.points(points.len());
+    ex.host(&host);
     ex.write_if_requested();
     println!(
         "\nState footprint of the scrambler: {} flip-flops over {} frames; one readback = {:.3} ms",

@@ -11,7 +11,7 @@
 
 use bench::report::{f3, pct, Table};
 use bench::setup::compile_suite_lib;
-use bench::Exporter;
+use bench::{run_sweep, threads_arg, Exporter, HostProfile};
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::{SimDuration, SimTime};
 use vfpga::manager::dynload::DynLoadManager;
@@ -19,8 +19,10 @@ use vfpga::{CompletionDetect, FifoScheduler, Op, PreemptAction, System, SystemCo
 use workload::Domain;
 
 fn main() {
+    let threads = threads_arg();
+    let mut host = HostProfile::new(threads);
     let spec = fpga::device::part("VF800");
-    let (lib, ids) = compile_suite_lib(&[Domain::Networking], spec);
+    let (lib, ids) = host.phase("compile", || compile_suite_lib(&[Domain::Networking], spec));
     let cid = ids[0];
     let timing = ConfigTiming {
         spec,
@@ -60,39 +62,43 @@ fn main() {
             "wasted per op (ms)",
         ],
     );
-    for (name, completion) in detect_modes {
-        let ops: Vec<Op> = (0..20)
-            .flat_map(|_| {
-                vec![
-                    Op::FpgaRun {
-                        circuit: cid,
-                        cycles,
-                    },
-                    Op::Cpu(SimDuration::from_micros(200)),
-                ]
-            })
-            .collect();
-        let specs = vec![TaskSpec::new("t", SimTime::ZERO, ops)];
-        let mgr = DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion);
-        let r = System::new(
-            lib.clone(),
-            mgr,
-            FifoScheduler::new(),
-            SystemConfig {
-                completion,
-                ..Default::default()
-            },
-            specs,
-        )
-        .with_trace_capacity(4096)
-        .run()
-        .unwrap();
-        ex.report(&name, &r);
+    let results = host.phase("sweep", || {
+        run_sweep(threads, &detect_modes, |_, (_, completion)| {
+            let ops: Vec<Op> = (0..20)
+                .flat_map(|_| {
+                    vec![
+                        Op::FpgaRun {
+                            circuit: cid,
+                            cycles,
+                        },
+                        Op::Cpu(SimDuration::from_micros(200)),
+                    ]
+                })
+                .collect();
+            let specs = vec![TaskSpec::new("t", SimTime::ZERO, ops)];
+            let mgr = DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion);
+            System::new(
+                lib.clone(),
+                mgr,
+                FifoScheduler::new(),
+                SystemConfig {
+                    completion: *completion,
+                    ..Default::default()
+                },
+                specs,
+            )
+            .with_trace_capacity(4096)
+            .run()
+            .unwrap()
+        })
+    });
+    for ((name, _), r) in detect_modes.iter().zip(&results) {
+        ex.report(name, r);
         // Wasted time = overhead beyond the single configuration download.
         let config = r.manager_stats.config_time;
         let wasted = r.tasks[0].overhead_time.saturating_sub(config);
         t.row(vec![
-            name,
+            name.clone(),
             f3(r.makespan.as_secs_f64()),
             pct(r.overhead_fraction()),
             f3(wasted.as_millis_f64() / 20.0),
@@ -100,5 +106,7 @@ fn main() {
     }
     t.print();
     ex.table(&t);
+    host.points(detect_modes.len());
+    ex.host(&host);
     ex.write_if_requested();
 }

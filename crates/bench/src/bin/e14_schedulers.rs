@@ -8,11 +8,11 @@
 //! *scheduler ceasing to matter* under the exclusive manager.
 //!
 //! The same Poisson mix runs under FIFO / round-robin / priority for each
-//! of the three managers.
+//! of the three managers — a 3×3 matrix of independent sweep points.
 
 use bench::report::{f3, pct, Table};
 use bench::setup::compile_suite_lib;
-use bench::Exporter;
+use bench::{run_sweep, threads_arg, Exporter, HostProfile};
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::{SimDuration, SimRng};
 use vfpga::manager::dynload::DynLoadManager;
@@ -46,8 +46,12 @@ fn specs(ids: &[vfpga::CircuitId]) -> Vec<TaskSpec> {
 }
 
 fn main() {
+    let threads = threads_arg();
+    let mut host = HostProfile::new(threads);
     let spec = fpga::device::part("VF800");
-    let (lib, ids) = compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec);
+    let (lib, ids) = host.phase("compile", || {
+        compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec)
+    });
     let timing = ConfigTiming {
         spec,
         port: ConfigPort::SerialFast,
@@ -72,27 +76,6 @@ fn main() {
         ],
     );
 
-    let mut record = |r: Report| {
-        ex.report(&format!("{}/{}", r.manager, r.scheduler), &r);
-        let hi: Vec<f64> = r
-            .tasks
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i % 3 == 0)
-            .map(|(_, m)| m.turnaround().as_secs_f64())
-            .collect();
-        let hi_mean = hi.iter().sum::<f64>() / hi.len() as f64;
-        t.row(vec![
-            r.manager.into(),
-            r.scheduler.into(),
-            f3(r.makespan.as_secs_f64()),
-            f3(r.mean_waiting_s()),
-            f3(hi_mean),
-            r.manager_stats.downloads.to_string(),
-            pct(r.overhead_fraction()),
-        ]);
-    };
-
     fn run<M: vfpga::FpgaManager, S: Scheduler>(
         lib: &std::sync::Arc<vfpga::CircuitLib>,
         mgr: M,
@@ -115,96 +98,80 @@ fn main() {
         .expect("deadlock")
     }
 
-    for sched_kind in ["fifo", "rr", "priority"] {
-        // Exclusive manager (non-preemptable device).
-        let r = match sched_kind {
-            "fifo" => run(
-                &lib,
-                ExclusiveManager::new(lib.clone(), timing),
-                FifoScheduler::new(),
-                PreemptAction::WaitCompletion,
-                specs(&ids),
-            ),
-            "rr" => run(
-                &lib,
-                ExclusiveManager::new(lib.clone(), timing),
-                RoundRobinScheduler::new(slice),
-                PreemptAction::WaitCompletion,
-                specs(&ids),
-            ),
-            _ => run(
-                &lib,
-                ExclusiveManager::new(lib.clone(), timing),
-                PriorityScheduler::new(Some(slice)),
-                PreemptAction::WaitCompletion,
-                specs(&ids),
-            ),
-        };
-        record(r);
-    }
-    for sched_kind in ["fifo", "rr", "priority"] {
-        let r = match sched_kind {
-            "fifo" => run(
-                &lib,
-                DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion),
-                FifoScheduler::new(),
-                PreemptAction::WaitCompletion,
-                specs(&ids),
-            ),
-            "rr" => run(
-                &lib,
-                DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion),
-                RoundRobinScheduler::new(slice),
-                PreemptAction::WaitCompletion,
-                specs(&ids),
-            ),
-            _ => run(
-                &lib,
-                DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion),
-                PriorityScheduler::new(Some(slice)),
-                PreemptAction::WaitCompletion,
-                specs(&ids),
-            ),
-        };
-        record(r);
-    }
-    for sched_kind in ["fifo", "rr", "priority"] {
-        let mgr = || {
-            PartitionManager::new(
-                lib.clone(),
-                timing,
-                PartitionMode::Variable,
-                PreemptAction::SaveRestore,
-            )
-            .unwrap()
-        };
-        let r = match sched_kind {
-            "fifo" => run(
-                &lib,
-                mgr(),
-                FifoScheduler::new(),
-                PreemptAction::SaveRestore,
-                specs(&ids),
-            ),
-            "rr" => run(
-                &lib,
-                mgr(),
-                RoundRobinScheduler::new(slice),
-                PreemptAction::SaveRestore,
-                specs(&ids),
-            ),
-            _ => run(
-                &lib,
-                mgr(),
-                PriorityScheduler::new(Some(slice)),
-                PreemptAction::SaveRestore,
-                specs(&ids),
-            ),
-        };
-        record(r);
+    let points: Vec<(&str, &str)> = ["exclusive", "dynload", "partition"]
+        .into_iter()
+        .flat_map(|m| ["fifo", "rr", "priority"].into_iter().map(move |s| (m, s)))
+        .collect();
+    let results = host.phase("sweep", || {
+        run_sweep(threads, &points, |_, &(mgr_kind, sched_kind)| {
+            macro_rules! with_sched {
+                ($mgr:expr, $preempt:expr) => {
+                    match sched_kind {
+                        "fifo" => run(&lib, $mgr, FifoScheduler::new(), $preempt, specs(&ids)),
+                        "rr" => run(
+                            &lib,
+                            $mgr,
+                            RoundRobinScheduler::new(slice),
+                            $preempt,
+                            specs(&ids),
+                        ),
+                        _ => run(
+                            &lib,
+                            $mgr,
+                            PriorityScheduler::new(Some(slice)),
+                            $preempt,
+                            specs(&ids),
+                        ),
+                    }
+                };
+            }
+            match mgr_kind {
+                // Exclusive manager (non-preemptable device).
+                "exclusive" => with_sched!(
+                    ExclusiveManager::new(lib.clone(), timing),
+                    PreemptAction::WaitCompletion
+                ),
+                "dynload" => with_sched!(
+                    DynLoadManager::new(lib.clone(), timing, PreemptAction::WaitCompletion),
+                    PreemptAction::WaitCompletion
+                ),
+                _ => with_sched!(
+                    PartitionManager::new(
+                        lib.clone(),
+                        timing,
+                        PartitionMode::Variable,
+                        PreemptAction::SaveRestore,
+                    )
+                    .unwrap(),
+                    PreemptAction::SaveRestore
+                ),
+            }
+        })
+    });
+    for r in &results {
+        ex.report(&format!("{}/{}", r.manager, r.scheduler), r);
+        let hi: Vec<f64> = r
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 == 0)
+            .map(|(_, m)| m.turnaround().as_secs_f64())
+            .collect();
+        let hi_mean = hi.iter().sum::<f64>() / hi.len() as f64;
+        t.row(vec![
+            r.manager.into(),
+            r.scheduler.into(),
+            f3(r.makespan.as_secs_f64()),
+            f3(r.mean_waiting_s()),
+            f3(hi_mean),
+            r.manager_stats.downloads.to_string(),
+            pct(r.overhead_fraction()),
+        ]);
     }
     t.print();
     ex.table(&t);
+    host.points(points.len());
+    ex.host(&host);
     ex.write_if_requested();
     println!("\nUnder the exclusive manager the scheduler rows collapse toward each other");
     println!("(the device serializes everything — §4's 'implicitly forcing FIFO');");

@@ -13,16 +13,18 @@
 //! all on the same seeded Poisson workload, reporting what recovery cost
 //! (retries, scrub overhead, work lost, MTTR) and what it bought (tasks
 //! completed vs explicitly failed). Everything is deterministic: the same
-//! `--seed` yields a byte-identical export.
+//! `--seed` yields a byte-identical export (modulo the volatile `host`
+//! section) at any `--threads` count.
 //!
 //! Flags: `--seed N` (default 0xE15), `--smoke` (reduced sweep for CI),
-//! `--json <path>` (machine-readable export; the file is read back and
-//! re-parsed before the process exits, so a malformed export fails loudly).
+//! `--threads N` (sweep-point parallelism), `--json <path>`
+//! (machine-readable export; the file is read back and re-parsed before
+//! the process exits, so a malformed export fails loudly).
 
 use bench::json::Json;
 use bench::report::{f3, pct, Table};
 use bench::setup::compile_suite_lib;
-use bench::Exporter;
+use bench::{arg_u64, flag, run_sweep, threads_arg, Exporter, HostProfile};
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::{SimDuration, SimRng};
 use vfpga::manager::partition::{PartitionManager, PartitionMode};
@@ -31,29 +33,6 @@ use vfpga::{
     TaskSpec, UpsetRecovery,
 };
 use workload::{poisson_tasks, Domain, MixParams};
-
-fn arg_u64(name: &str, default: u64) -> u64 {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == name {
-            return args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                eprintln!("{name} requires an integer argument");
-                std::process::exit(2);
-            });
-        }
-        if let Some(v) = a.strip_prefix(&format!("{name}=")) {
-            return v.parse().unwrap_or_else(|_| {
-                eprintln!("{name} requires an integer argument");
-                std::process::exit(2);
-            });
-        }
-    }
-    default
-}
-
-fn flag(name: &str) -> bool {
-    std::env::args().skip(1).any(|a| a == name)
-}
 
 fn specs(ids: &[vfpga::CircuitId], seed: u64) -> Vec<TaskSpec> {
     let mut rng = SimRng::new(seed);
@@ -110,8 +89,12 @@ fn run_cell(
 fn main() {
     let seed = arg_u64("--seed", 0xE15);
     let smoke = flag("--smoke");
+    let threads = threads_arg();
+    let mut host = HostProfile::new(threads);
     let spec = fpga::device::part("VF800");
-    let (lib, ids) = compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec);
+    let (lib, ids) = host.phase("compile", || {
+        compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec)
+    });
     let timing = ConfigTiming {
         spec,
         port: ConfigPort::SerialFast,
@@ -164,7 +147,8 @@ fn main() {
         ],
     );
 
-    let mut cells = Vec::new();
+    // Flatten the full cross product so every cell is one sweep point.
+    let mut points = Vec::new();
     for &(rname, dl, seu, colf) in rates {
         let plan = FaultPlan {
             seed,
@@ -182,10 +166,15 @@ fn main() {
                     ..RecoveryPolicy::default()
                 };
                 let label = format!("{rname}/{pname}/scrub-{sname}");
-                cells.push(run_cell(&lib, &ids, timing, seed, plan, policy, label));
+                points.push((plan, policy, label));
             }
         }
     }
+    let cells = host.phase("sweep", || {
+        run_sweep(threads, &points, |_, (plan, policy, label)| {
+            run_cell(&lib, &ids, timing, seed, *plan, *policy, label.clone())
+        })
+    });
 
     for c in &cells {
         let r = &c.report;
@@ -218,6 +207,8 @@ fn main() {
 
     t.print();
     ex.table(&t);
+    host.points(points.len());
+    ex.host(&host);
     ex.write_if_requested();
 
     // Re-read the export and verify it parses: a bench whose JSON cannot

@@ -15,13 +15,14 @@
 //! silently corrupt results, proving the journal is load-bearing.
 //!
 //! Flags: `--seed N` (default 0xE16), `--smoke` (reduced sweep for CI),
-//! `--json <path>` (machine-readable export; the file is read back and
-//! re-parsed before the process exits, so a malformed export fails loudly).
+//! `--threads N` (sweep-point parallelism), `--json <path>`
+//! (machine-readable export; the file is read back and re-parsed before
+//! the process exits, so a malformed export fails loudly).
 
 use bench::json::Json;
 use bench::report::{f3, Table};
 use bench::setup::compile_suite_lib;
-use bench::Exporter;
+use bench::{arg_u64, flag, run_sweep, threads_arg, Exporter, HostProfile};
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::{SimDuration, SimRng};
 use vfpga::manager::dynload::DynLoadManager;
@@ -30,29 +31,6 @@ use vfpga::{
     RoundRobinScheduler, System, SystemConfig, TaskSpec,
 };
 use workload::{poisson_tasks, Domain, MixParams};
-
-fn arg_u64(name: &str, default: u64) -> u64 {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == name {
-            return args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                eprintln!("{name} requires an integer argument");
-                std::process::exit(2);
-            });
-        }
-        if let Some(v) = a.strip_prefix(&format!("{name}=")) {
-            return v.parse().unwrap_or_else(|_| {
-                eprintln!("{name} requires an integer argument");
-                std::process::exit(2);
-            });
-        }
-    }
-    default
-}
-
-fn flag(name: &str) -> bool {
-    std::env::args().skip(1).any(|a| a == name)
-}
 
 fn specs(ids: &[vfpga::CircuitId], seed: u64) -> Vec<TaskSpec> {
     let mut rng = SimRng::new(seed);
@@ -72,15 +50,19 @@ fn specs(ids: &[vfpga::CircuitId], seed: u64) -> Vec<TaskSpec> {
 struct Cell {
     label: String,
     journal: bool,
-    divergences: usize,
+    divergences: Vec<vfpga::Divergence>,
     report: Report,
 }
 
 fn main() {
     let seed = arg_u64("--seed", 0xE16);
     let smoke = flag("--smoke");
+    let threads = threads_arg();
+    let mut host = HostProfile::new(threads);
     let spec = fpga::device::part("VF400");
-    let (lib, ids) = compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec);
+    let (lib, ids) = host.phase("compile", || {
+        compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec)
+    });
     let timing = ConfigTiming {
         spec,
         port: ConfigPort::SerialFast,
@@ -146,12 +128,20 @@ fn main() {
         ],
     );
 
-    let baseline = build(seed)().run().expect("baseline run");
-    let mut cells: Vec<Cell> = Vec::new();
-    let mut journal_off_corruptions = 0u64;
+    let baseline = host.phase("baseline", || build(seed)().run().expect("baseline run"));
+    let mut points = Vec::new();
     for &(rname, rate) in rates {
         for &(iname, interval_us) in intervals {
             for &(jname, journal) in journals {
+                points.push((rname, rate, iname, interval_us, jname, journal));
+            }
+        }
+    }
+    let cells: Vec<Cell> = host.phase("sweep", || {
+        run_sweep(
+            threads,
+            &points,
+            |_, &(rname, rate, iname, interval_us, jname, journal)| {
                 let mut cfg = CheckpointConfig::new(SimDuration::from_micros(interval_us));
                 if !journal {
                     cfg = cfg.without_journal();
@@ -164,27 +154,30 @@ fn main() {
                 let report = run_with_crashes(build(seed), cfg, plan)
                     .expect("crashed run must still terminate");
                 let divergences = diff_reports(&baseline, &report);
-                // The differential verifier IS the experiment's safety
-                // net: a journaled restore that does not reproduce the
-                // uninterrupted outcomes is a correctness bug, not a
-                // data point.
-                if journal && !divergences.is_empty() {
-                    eprintln!("E16 FAILED: journaled cell {rname}/{iname} diverged:");
-                    for d in &divergences {
-                        eprintln!("  {d}");
-                    }
-                    std::process::exit(1);
-                }
-                if !journal {
-                    journal_off_corruptions += report.crash.silent_corruptions;
-                }
-                cells.push(Cell {
+                Cell {
                     label: format!("{rname}/{iname}/journal-{jname}"),
                     journal,
-                    divergences: divergences.len(),
+                    divergences,
                     report,
-                });
+                }
+            },
+        )
+    });
+
+    let mut journal_off_corruptions = 0u64;
+    for c in &cells {
+        // The differential verifier IS the experiment's safety net: a
+        // journaled restore that does not reproduce the uninterrupted
+        // outcomes is a correctness bug, not a data point.
+        if c.journal && !c.divergences.is_empty() {
+            eprintln!("E16 FAILED: journaled cell {} diverged:", c.label);
+            for d in &c.divergences {
+                eprintln!("  {d}");
             }
+            std::process::exit(1);
+        }
+        if !c.journal {
+            journal_off_corruptions += c.report.crash.silent_corruptions;
         }
     }
 
@@ -204,7 +197,7 @@ fn main() {
             f3(k.replay_time.as_secs_f64()),
             k.stale_discards.to_string(),
             k.silent_corruptions.to_string(),
-            c.divergences.to_string(),
+            c.divergences.len().to_string(),
         ]);
         ex.report(&c.label, r);
         ex.metrics().inc(
@@ -213,13 +206,15 @@ fn main() {
             } else {
                 "journal_off_divergences"
             },
-            c.divergences as u64,
+            c.divergences.len() as u64,
         );
     }
 
     t.print();
     ex.param("journal_off_corruptions", journal_off_corruptions);
     ex.table(&t);
+    host.points(points.len());
+    ex.host(&host);
     ex.write_if_requested();
 
     // Re-read the export and verify it parses: a bench whose JSON cannot

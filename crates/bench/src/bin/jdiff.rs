@@ -1,0 +1,53 @@
+//! Compare two experiment exports, ignoring the volatile `host` section.
+//!
+//! ```sh
+//! jdiff a.json b.json
+//! ```
+//!
+//! Exit status 0 when the documents are identical after dropping the
+//! top-level `host` key from each, 1 when they differ, 2 on usage or I/O
+//! errors. This is the CI determinism gate: two runs of the same
+//! experiment with the same seed must agree byte-for-byte everywhere
+//! except host wall-clock data — regardless of `--threads`.
+
+use bench::{strip_host, Json};
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("jdiff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("jdiff: {path} is not valid JSON: {e:?}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() != 2 {
+        eprintln!("usage: jdiff <a.json> <b.json>");
+        std::process::exit(2);
+    }
+    let a = strip_host(load(&args[0])).render();
+    let b = strip_host(load(&args[1])).render();
+    if a == b {
+        println!("identical modulo host section");
+    } else {
+        // Point at the first diverging line to make CI failures actionable.
+        for (n, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+            if la != lb {
+                eprintln!("jdiff: first difference at line {}:", n + 1);
+                eprintln!("  {}: {la}", &args[0]);
+                eprintln!("  {}: {lb}", &args[1]);
+                std::process::exit(1);
+            }
+        }
+        eprintln!(
+            "jdiff: documents differ in length ({} vs {} lines)",
+            a.lines().count(),
+            b.lines().count()
+        );
+        std::process::exit(1);
+    }
+}

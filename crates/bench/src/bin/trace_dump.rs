@@ -175,8 +175,9 @@ fn main() {
     let mut printed = 0usize;
     let mut matched = 0usize;
     for e in trace.entries() {
-        *by_tag.entry(e.tag()).or_insert(0) += 1;
-        if !tags.is_empty() && !tags.iter().any(|t| t == e.tag()) {
+        let tag = e.tag();
+        *by_tag.entry(tag).or_insert(0) += 1;
+        if !tags.is_empty() && !tags.iter().any(|t| t == tag) {
             continue;
         }
         matched += 1;

@@ -228,6 +228,7 @@ pub struct Exporter {
     timelines: Vec<(String, Json)>,
     tables: Vec<Json>,
     reports: Vec<Json>,
+    host: Option<Json>,
 }
 
 impl Exporter {
@@ -242,6 +243,7 @@ impl Exporter {
             timelines: Vec::new(),
             tables: Vec::new(),
             reports: Vec::new(),
+            host: None,
         }
     }
 
@@ -283,6 +285,16 @@ impl Exporter {
         self
     }
 
+    /// Attach the **volatile** `host` section: wall-clock phase times,
+    /// thread count, throughput, compile-cache statistics. This is the
+    /// only section that may differ between two runs with identical
+    /// parameters and seed — tooling comparing exports must strip it
+    /// first (see [`strip_host`] and the `jdiff` binary).
+    pub fn host(&mut self, profile: &crate::engine::HostProfile) -> &mut Self {
+        self.host = Some(profile.to_json());
+        self
+    }
+
     /// Build the full document.
     pub fn to_json(&self) -> Json {
         let mut params = Obj::new();
@@ -293,7 +305,7 @@ impl Exporter {
         for (k, v) in &self.timelines {
             timelines = timelines.set(k, v.clone());
         }
-        Obj::new()
+        let mut doc = Obj::new()
             .set("schema", SCHEMA)
             .set("experiment", self.experiment.as_str())
             .set("title", self.title.as_str())
@@ -302,8 +314,13 @@ impl Exporter {
             .set("metrics", metrics_json(&self.metrics))
             .set("timelines", timelines)
             .set("tables", Json::Arr(self.tables.clone()))
-            .set("reports", Json::Arr(self.reports.clone()))
-            .build()
+            .set("reports", Json::Arr(self.reports.clone()));
+        // Volatile section last, so the deterministic prefix of two
+        // exports lines up even in a plain textual diff.
+        if let Some(h) = &self.host {
+            doc = doc.set("host", h.clone());
+        }
+        doc.build()
     }
 
     /// Write the document to `path`.
@@ -322,6 +339,16 @@ impl Exporter {
                 std::process::exit(1);
             }
         }
+    }
+}
+
+/// Drop the volatile `host` section from a parsed export document, leaving
+/// only the deterministic content. Two same-seed runs of an experiment must
+/// render identically after this — regardless of `--threads`.
+pub fn strip_host(doc: Json) -> Json {
+    match doc {
+        Json::Obj(fields) => Json::Obj(fields.into_iter().filter(|(k, _)| k != "host").collect()),
+        other => other,
     }
 }
 
@@ -355,6 +382,27 @@ mod tests {
         ] {
             assert!(r.contains(needle), "missing {needle} in:\n{r}");
         }
+    }
+
+    #[test]
+    fn host_section_is_emitted_last_and_strippable() {
+        let mut ex = Exporter::new("e98", "host test");
+        ex.seed(1).param("n", 3u64);
+        let without_host = ex.to_json().render();
+
+        let mut hp = crate::engine::HostProfile::new(2);
+        hp.points(3);
+        ex.host(&hp);
+        let with_host = ex.to_json().render();
+        assert!(with_host.contains("\"host\""));
+        assert!(
+            with_host.starts_with(without_host.trim_end_matches(['}', '\n'])),
+            "host must extend the document, not reorder it"
+        );
+
+        let stripped = strip_host(Json::parse(&with_host).unwrap()).render();
+        let plain = strip_host(Json::parse(&without_host).unwrap()).render();
+        assert_eq!(stripped, plain, "strip_host removes the only difference");
     }
 
     #[test]

@@ -5,13 +5,17 @@
 //! paths. This library holds the shared table-printing, JSON-export, and
 //! setup helpers.
 
+pub mod args;
+pub mod engine;
 pub mod export;
 pub mod json;
 pub mod microbench;
 pub mod report;
 pub mod setup;
 
-pub use export::{json_arg, Exporter};
+pub use args::{arg_u64, flag, threads_arg};
+pub use engine::{run_sweep, HostProfile};
+pub use export::{json_arg, strip_host, Exporter};
 pub use json::{Json, Obj};
 pub use report::Table;
 pub use setup::{compile_suite_lib, std_timing};

@@ -23,7 +23,7 @@ pub fn compile_suite_lib(
     let mut ids = Vec::new();
     for &d in domains {
         for app in suite(d, spec.rows).apps {
-            ids.push(lib.register_compiled(app.compiled));
+            ids.push(lib.register_shared(app.compiled));
         }
     }
     (Arc::new(lib), ids)

@@ -1,0 +1,107 @@
+//! Parallel determinism: `--threads 4` must produce byte-identical JSON
+//! exports to `--threads 1` once the volatile `host` section is stripped.
+//!
+//! These tests execute the real experiment binaries (the exact artifacts
+//! CI ships), not a reimplementation of their sweeps, so they also pin
+//! the report/table/timeline ordering contract of the sweep engine: the
+//! join loop must scatter results back in point order regardless of
+//! which worker finished first.
+
+use bench::json::Json;
+use bench::strip_host;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run_export(exe: &str, extra: &[&str], threads: usize, tag: &str) -> String {
+    let path: PathBuf = std::env::temp_dir().join(format!(
+        "vfpga-det-{tag}-t{threads}-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let status = Command::new(exe)
+        .args(extra)
+        .arg("--threads")
+        .arg(threads.to_string())
+        .arg("--json")
+        .arg(&path)
+        .stdout(std::process::Stdio::null())
+        .status()
+        .expect("experiment binary must spawn");
+    assert!(status.success(), "{exe} --threads {threads} failed");
+    let text = std::fs::read_to_string(&path).expect("export file must exist");
+    let _ = std::fs::remove_file(&path);
+    let doc = Json::parse(&text).expect("export must parse");
+    assert!(
+        doc.get("host").is_some(),
+        "every export must carry a host section"
+    );
+    strip_host(doc).render()
+}
+
+fn assert_thread_invariant(exe: &str, extra: &[&str], tag: &str) {
+    let serial = run_export(exe, extra, 1, tag);
+    let parallel = run_export(exe, extra, 4, tag);
+    assert_eq!(
+        serial, parallel,
+        "{tag}: --threads 4 diverged from --threads 1 after stripping host"
+    );
+}
+
+#[test]
+fn e05_partitioning_is_thread_invariant() {
+    assert_thread_invariant(env!("CARGO_BIN_EXE_e05_partitioning"), &[], "e05");
+}
+
+#[test]
+fn e14_schedulers_is_thread_invariant() {
+    assert_thread_invariant(env!("CARGO_BIN_EXE_e14_schedulers"), &[], "e14");
+}
+
+#[test]
+fn e15_fault_recovery_smoke_is_thread_invariant() {
+    assert_thread_invariant(
+        env!("CARGO_BIN_EXE_e15_fault_recovery"),
+        &["--smoke"],
+        "e15",
+    );
+}
+
+#[test]
+fn e16_crash_restore_smoke_is_thread_invariant() {
+    assert_thread_invariant(env!("CARGO_BIN_EXE_e16_crash_restore"), &["--smoke"], "e16");
+}
+
+#[test]
+fn jdiff_accepts_exports_differing_only_in_host() {
+    // Two runs of the same experiment at different thread counts differ in
+    // the host section (wall-clock) but nowhere else; jdiff must say so.
+    let mk = |threads: usize| -> PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "vfpga-jdiff-t{threads}-{}.json",
+            std::process::id()
+        ));
+        let status = Command::new(env!("CARGO_BIN_EXE_e05_partitioning"))
+            .args(["--threads", &threads.to_string()])
+            .arg("--json")
+            .arg(&path)
+            .stdout(std::process::Stdio::null())
+            .status()
+            .unwrap();
+        assert!(status.success());
+        path
+    };
+    let a = mk(1);
+    let b = mk(2);
+    let out = Command::new(env!("CARGO_BIN_EXE_jdiff"))
+        .arg(&a)
+        .arg(&b)
+        .output()
+        .unwrap();
+    let _ = std::fs::remove_file(&a);
+    let _ = std::fs::remove_file(&b);
+    assert!(
+        out.status.success(),
+        "jdiff should report identical-modulo-host: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

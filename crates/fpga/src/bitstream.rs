@@ -86,7 +86,12 @@ pub enum IobConfig {
 }
 
 /// A full or partial configuration stream.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Deliberately *not* `Clone`: streams carry whole frame vectors, and the
+/// system shares them via `Arc<Bitstream>` (journal after-images, compile
+/// cache output). A deep copy on a download path is a bug, not a
+/// convenience.
+#[derive(Debug, PartialEq, Eq)]
 pub struct Bitstream {
     /// Human-readable origin (circuit name) for traces.
     pub label: String,
@@ -255,10 +260,12 @@ mod tests {
     fn crc_is_stable_and_detects_tampering() {
         let bs = sample();
         assert!(bs.crc_ok());
-        let bad = bs.clone().corrupted();
+        // Bitstream is intentionally not Clone; build fresh copies.
+        assert_eq!(sample().crc, bs.crc, "construction is deterministic");
+        let bad = sample().corrupted();
         assert!(!bad.crc_ok());
 
-        let mut modified = bs.clone();
+        let mut modified = sample();
         modified.frames[0].col = 4;
         assert!(!modified.crc_ok(), "payload change must invalidate CRC");
     }

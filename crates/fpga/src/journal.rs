@@ -23,6 +23,7 @@
 use crate::bitstream::{Bitstream, ClbCell, IobConfig};
 use crate::device::{Device, DeviceError};
 use fsim::SimDuration;
+use std::sync::Arc;
 
 /// Handle to one journaled download.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,7 +59,9 @@ enum PreImage {
 #[derive(Debug, Clone)]
 struct Txn {
     id: u64,
-    bs: Bitstream,
+    /// After-image, shared with the caller — retaining a record must not
+    /// deep-copy frame vectors.
+    bs: Arc<Bitstream>,
     pre: PreImage,
     committed: bool,
 }
@@ -89,8 +92,10 @@ impl Journal {
     }
 
     /// Open a transaction for `bs`: capture the pre-image of everything
-    /// the stream will overwrite. Call *before* [`Device::apply`].
-    pub fn begin(&mut self, dev: &Device, bs: &Bitstream) -> TxnId {
+    /// the stream will overwrite. Call *before* [`Device::apply`]. The
+    /// journal keeps a reference to the shared stream as the after-image
+    /// rather than a deep copy.
+    pub fn begin(&mut self, dev: &Device, bs: &Arc<Bitstream>) -> TxnId {
         let spec = dev.spec();
         let pre = if bs.full {
             let mut cells = Vec::new();
@@ -125,7 +130,7 @@ impl Journal {
         self.next_id += 1;
         self.txns.push(Txn {
             id,
-            bs: bs.clone(),
+            bs: Arc::clone(bs),
             pre,
             committed: false,
         });
@@ -247,7 +252,7 @@ mod tests {
         let before = format!("{d:?}");
 
         let mut j = Journal::new();
-        let incoming = stream("incoming", 0, 8, false);
+        let incoming = Arc::new(stream("incoming", 0, 8, false));
         j.begin(&d, &incoming);
         // Crash: only a prefix of the frames landed, never committed.
         d.apply_torn(&incoming, 1).unwrap();
@@ -268,7 +273,7 @@ mod tests {
         let before = format!("{d:?}");
 
         let mut j = Journal::new();
-        let full = stream("full", 0, 10, true);
+        let full = Arc::new(stream("full", 0, 10, true));
         j.begin(&d, &full);
         d.apply_torn(&full, 0).unwrap(); // wiped, nothing written
         assert_eq!(d.used_clbs(), 0, "full torn write wiped the device");
@@ -283,14 +288,14 @@ mod tests {
         let mut d = Device::new(spec, ConfigPort::SerialFast);
         let mut j = Journal::new();
 
-        let a = stream("a", 0, 4, false);
+        let a = Arc::new(stream("a", 0, 4, false));
         let ta = j.begin(&d, &a);
         d.apply(&a).unwrap();
         j.commit(ta);
 
         // Overlapping second write, also committed: redo must preserve
         // write order so the later stream wins.
-        let b = stream("b", 0, 6, false);
+        let b = Arc::new(stream("b", 0, 6, false));
         let tb = j.begin(&d, &b);
         d.apply(&b).unwrap();
         j.commit(tb);
@@ -316,11 +321,11 @@ mod tests {
         let spec = part("VF100");
         let mut d = Device::new(spec, ConfigPort::SerialFast);
         let mut j = Journal::new();
-        let a = stream("a", 0, 4, false);
+        let a = Arc::new(stream("a", 0, 4, false));
         let ta = j.begin(&d, &a);
         d.apply(&a).unwrap();
         j.commit(ta);
-        let b = stream("b", 1, 4, false);
+        let b = Arc::new(stream("b", 1, 4, false));
         j.begin(&d, &b);
         assert_eq!((j.len(), j.open_txns()), (2, 1));
         j.truncate_committed();

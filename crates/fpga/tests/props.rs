@@ -110,17 +110,19 @@ fn crc_catches_column_shift() {
         let col = rng.below(13) as u32;
         let table = rng.next_u64() as u16;
         let cell = ClbCell::comb(table, [ClbSource::None; 4]);
-        let bs = Bitstream::new(
-            "p",
-            vec![FrameWrite {
-                col,
-                row0: 0,
-                cells: vec![Some(cell)],
-            }],
-            vec![],
-            false,
-        );
-        let mut bad = bs.clone();
+        let mk = |col| {
+            Bitstream::new(
+                "p",
+                vec![FrameWrite {
+                    col,
+                    row0: 0,
+                    cells: vec![Some(cell)],
+                }],
+                vec![],
+                false,
+            )
+        };
+        let mut bad = mk(col);
         bad.frames[0].col += 1;
         assert!(!bad.crc_ok(), "seed {seed}");
     }

@@ -71,6 +71,17 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// An empty queue with heap space reserved for `capacity` pending
+    /// events, so steady-state scheduling in the simulator's hot loop
+    /// never reallocates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
     /// The current simulated time: the firing time of the most recently
     /// popped event (or zero before the first pop).
     #[inline]
@@ -194,6 +205,16 @@ mod tests {
         q.schedule_at(SimTime(10), ());
         q.pop();
         q.schedule_at(SimTime(5), ());
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(16);
+        assert!(q.is_empty());
+        q.schedule_at(SimTime(5), "a");
+        q.schedule_at(SimTime(3), "b");
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert_eq!(q.pop().unwrap().event, "a");
     }
 
     #[test]

@@ -133,9 +133,21 @@ fn escape_into(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Append `indent` levels of two-space padding without allocating (the
+/// old `"  ".repeat(n)` built a fresh `String` per emitted line, which
+/// dominated large trace exports).
+fn push_pad(out: &mut String, indent: usize) {
+    const SPACES: &str = "                                                                ";
+    let mut n = indent * 2;
+    while n > 0 {
+        let take = n.min(SPACES.len());
+        out.push_str(&SPACES[..take]);
+        n -= take;
+    }
+}
+
 impl Json {
     fn write_into(&self, out: &mut String, indent: usize) {
-        const PAD: &str = "  ";
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
@@ -180,14 +192,14 @@ impl Json {
                 } else {
                     out.push_str("[\n");
                     for (i, item) in items.iter().enumerate() {
-                        out.push_str(&PAD.repeat(indent + 1));
+                        push_pad(out, indent + 1);
                         item.write_into(out, indent + 1);
                         if i + 1 < items.len() {
                             out.push(',');
                         }
                         out.push('\n');
                     }
-                    out.push_str(&PAD.repeat(indent));
+                    push_pad(out, indent);
                     out.push(']');
                 }
             }
@@ -198,7 +210,7 @@ impl Json {
                 }
                 out.push_str("{\n");
                 for (i, (k, v)) in fields.iter().enumerate() {
-                    out.push_str(&PAD.repeat(indent + 1));
+                    push_pad(out, indent + 1);
                     escape_into(out, k);
                     out.push_str(": ");
                     v.write_into(out, indent + 1);
@@ -207,15 +219,59 @@ impl Json {
                     }
                     out.push('\n');
                 }
-                out.push_str(&PAD.repeat(indent));
+                push_pad(out, indent);
                 out.push('}');
             }
         }
     }
 
+    /// Cheap upper bound on the rendered length (including the trailing
+    /// newline). Used to pre-size the output buffer: the old growth-by-
+    /// doubling `String` re-copied large trace exports O(log n) times,
+    /// which showed up as quadratic-feeling wall time on 10k-event dumps.
+    /// The bound assumes every container breaks onto multiple lines (the
+    /// inline scalar-array layout is always shorter) and every string
+    /// character escapes to its worst case.
+    pub fn rendered_size_hint(&self) -> usize {
+        self.size_hint_at(0) + 1
+    }
+
+    fn size_hint_at(&self, indent: usize) -> usize {
+        match self {
+            Json::Null => 4,
+            Json::Bool(_) => 5,
+            // u64/i64 fit in 20 digits plus sign.
+            Json::UInt(_) | Json::Int(_) => 21,
+            // Shortest round-trip f64 is at most 17 significant digits
+            // plus sign, point, and exponent.
+            Json::Num(_) => 25,
+            // Worst case per char is a \uXXXX escape: 6 bytes per input
+            // byte, plus the surrounding quotes.
+            Json::Str(s) => 6 * s.len() + 2,
+            Json::Arr(items) => {
+                // Broken layout: "[\n" + per item (pad + value + ",\n")
+                // + pad + "]". The inline layout emits strictly less.
+                let mut n = 2 + 2 * indent + 1;
+                for item in items {
+                    n += 2 * (indent + 1) + item.size_hint_at(indent + 1) + 2;
+                }
+                n
+            }
+            Json::Obj(fields) => {
+                let mut n = 2 + 2 * indent + 1;
+                for (k, v) in fields {
+                    n += 2 * (indent + 1) + (6 * k.len() + 2) + 2 + v.size_hint_at(indent + 1) + 2;
+                }
+                n
+            }
+        }
+    }
+
     /// Pretty-print with two-space indentation and a trailing newline.
+    /// The output buffer is pre-sized from [`Json::rendered_size_hint`],
+    /// so rendering performs a single allocation.
     pub fn render(&self) -> String {
-        let mut out = String::new();
+        let mut out = String::with_capacity(self.rendered_size_hint());
         self.write_into(&mut out, 0);
         out.push('\n');
         out
@@ -741,6 +797,61 @@ mod tests {
         let err = Json::parse("[1, 2, x]").unwrap_err();
         assert_eq!(err.at, 7);
         assert!(err.to_string().contains("byte 7"));
+    }
+
+    #[test]
+    fn size_hint_bounds_every_random_tree() {
+        let mut rng = crate::SimRng::new(0x51ED);
+        for case in 0..200 {
+            let tree = random_value(&mut rng, 0);
+            let text = tree.render();
+            assert!(
+                text.len() <= tree.rendered_size_hint(),
+                "case {case}: rendered {} bytes > hint {}",
+                text.len(),
+                tree.rendered_size_hint()
+            );
+        }
+    }
+
+    #[test]
+    fn large_trace_export_renders_in_one_allocation() {
+        // Regression for the quadratic-growth path: a 10k-event trace-like
+        // array must render into the pre-sized buffer (hint >= final
+        // length, so the String never reallocates) and still parse back.
+        let events: Vec<Json> = (0..10_000u64)
+            .map(|i| {
+                Obj::new()
+                    .set("at_s", i as f64 * 0.001)
+                    .set("tag", if i % 3 == 0 { "config" } else { "dispatch" })
+                    .set("task", i % 12)
+                    .set("detail", format!("event #{i} \"quoted\"\npayload"))
+                    .build()
+            })
+            .collect();
+        let doc = Obj::new()
+            .set("schema", "vfpga-bench/1")
+            .set("events", Json::Arr(events))
+            .build();
+        let hint = doc.rendered_size_hint();
+        let text = doc.render();
+        assert!(
+            text.len() <= hint,
+            "rendered {} bytes but hint was {hint}",
+            text.len()
+        );
+        // The bound must stay an estimate, not a wild overshoot: worst-case
+        // string escaping is 6x, so allow that plus slack.
+        assert!(
+            hint <= text.len() * 8,
+            "hint {hint} overshoots {}",
+            text.len()
+        );
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(
+            back.get("events").and_then(Json::as_arr).unwrap().len(),
+            10_000
+        );
     }
 
     #[test]

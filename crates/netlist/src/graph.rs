@@ -198,6 +198,58 @@ impl Netlist {
         Ok(())
     }
 
+    /// Content hash (FNV-1a) over the netlist's full structure: name,
+    /// node table, input count, and outputs. Two netlists with equal
+    /// hashes are, for cache purposes, the same circuit — the compile
+    /// cache keys on this together with the compile options, so identical
+    /// workload suites are placed and routed once per sweep rather than
+    /// once per sweep point.
+    pub fn content_hash(&self) -> u64 {
+        fn eat(h: &mut u64, b: u64) {
+            for i in 0..8 {
+                *h ^= (b >> (i * 8)) & 0xFF;
+                *h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        fn eat_str(h: &mut u64, s: &str) {
+            for &b in s.as_bytes() {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            *h ^= 0xFF; // terminator so "ab","c" != "a","bc"
+            *h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        eat_str(&mut h, &self.name);
+        eat(&mut h, self.n_inputs as u64);
+        eat(&mut h, self.nodes.len() as u64);
+        for g in &self.nodes {
+            let (tag, a, b, c) = match *g {
+                Gate::Input { bit } => (0, bit as u64, 0, 0),
+                Gate::Const(v) => (1, v as u64, 0, 0),
+                Gate::Not(x) => (2, x.0 as u64, 0, 0),
+                Gate::And(x, y) => (3, x.0 as u64, y.0 as u64, 0),
+                Gate::Or(x, y) => (4, x.0 as u64, y.0 as u64, 0),
+                Gate::Xor(x, y) => (5, x.0 as u64, y.0 as u64, 0),
+                Gate::Nand(x, y) => (6, x.0 as u64, y.0 as u64, 0),
+                Gate::Nor(x, y) => (7, x.0 as u64, y.0 as u64, 0),
+                Gate::Xnor(x, y) => (8, x.0 as u64, y.0 as u64, 0),
+                Gate::Mux { sel, lo, hi } => (9, sel.0 as u64, lo.0 as u64, hi.0 as u64),
+                Gate::Dff { d, init } => (10, d.0 as u64, init as u64, 0),
+            };
+            eat(&mut h, tag);
+            eat(&mut h, a);
+            eat(&mut h, b);
+            eat(&mut h, c);
+        }
+        eat(&mut h, self.outputs.len() as u64);
+        for (name, id) in &self.outputs {
+            eat_str(&mut h, name);
+            eat(&mut h, id.0 as u64);
+        }
+        h
+    }
+
     /// Fanout count per node (combinational edges plus DFF `d` edges plus
     /// primary outputs). Used by the mapper's cone-duplication heuristics
     /// and the placer's wiring estimates.
@@ -528,6 +580,31 @@ mod tests {
         let n = b.finish();
         // Depth of a 7-leaf balanced tree is 3.
         assert_eq!(n.stats().depth, 3);
+    }
+
+    #[test]
+    fn content_hash_distinguishes_structure_and_name() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.content_hash(), b.content_hash(), "same build, same hash");
+
+        let mut bld = Builder::new("tiny2"); // same structure, new name
+        let x = bld.input();
+        let y = bld.input();
+        let g = bld.and(x, y);
+        let o = bld.xor(g, x);
+        bld.output("o", o);
+        let renamed = bld.finish();
+        assert_ne!(a.content_hash(), renamed.content_hash());
+
+        let mut bld = Builder::new("tiny"); // same name, new structure
+        let x = bld.input();
+        let y = bld.input();
+        let g = bld.or(x, y);
+        let o = bld.xor(g, x);
+        bld.output("o", o);
+        let restructured = bld.finish();
+        assert_ne!(a.content_hash(), restructured.content_hash());
     }
 
     #[test]

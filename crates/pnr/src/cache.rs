@@ -1,0 +1,197 @@
+//! Process-wide compile cache.
+//!
+//! The experiment harness sweeps many `(seed, policy, device, …)` points,
+//! and almost every point re-compiles the same workload suites through
+//! the full map/pack/place/timing flow. [`compile_shared`] memoizes
+//! [`compile`] results behind a global table keyed by the netlist's
+//! content hash plus every compile option, handing out
+//! `Arc<CompiledCircuit>` so a circuit is placed and routed once per
+//! process and shared by reference everywhere else.
+//!
+//! Correctness rests on two facts:
+//! * [`compile`] is deterministic: the same netlist and options always
+//!   produce the same placement, timing, and (later) bitstreams — so a
+//!   cache hit is observationally identical to a fresh compile, except
+//!   for the host-wall-clock [`crate::FlowProfile`] inside, which is
+//!   explicitly *not* part of any deterministic export.
+//! * The key covers everything [`compile`] reads: the netlist content
+//!   hash (name, gates, inputs, outputs) and all [`CompileOptions`]
+//!   fields (`fill` via its bit pattern, since `f64` is not `Eq`).
+//!
+//! Hit/miss counters are monotone but *thread-racy* (two threads may both
+//! miss on the same key and compile twice; the second insert wins and
+//! both results are identical) — they belong in the volatile `host`
+//! section of an export, never in deterministic output.
+
+use crate::flow::{compile, CompileOptions, CompiledCircuit};
+use crate::place::PlaceError;
+use netlist::Netlist;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Cache key: netlist content hash + every compile option.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    net_hash: u64,
+    map_k: usize,
+    map_max_cuts: usize,
+    fill_bits: u64,
+    max_height: u32,
+    seed: u64,
+    shape: Option<(u32, u32)>,
+    full_height: bool,
+}
+
+impl Key {
+    fn new(net: &Netlist, opts: CompileOptions) -> Self {
+        Key {
+            net_hash: net.content_hash(),
+            map_k: opts.map.k,
+            map_max_cuts: opts.map.max_cuts,
+            fill_bits: opts.fill.to_bits(),
+            max_height: opts.max_height,
+            seed: opts.seed,
+            shape: opts.shape,
+            full_height: opts.full_height,
+        }
+    }
+}
+
+/// Hit/miss counters for the process-wide cache (host diagnostics only:
+/// under threads two workers can race to compile the same key, so the
+/// split between hits and misses is not deterministic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the table.
+    pub hits: u64,
+    /// Lookups that ran the full flow.
+    pub misses: u64,
+}
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn table() -> &'static Mutex<HashMap<Key, Arc<CompiledCircuit>>> {
+    static TABLE: OnceLock<Mutex<HashMap<Key, Arc<CompiledCircuit>>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Compile `net` with `opts`, memoized process-wide. A hit returns the
+/// shared artifact without re-running the flow; a miss compiles outside
+/// the table lock (so concurrent misses on *different* circuits overlap)
+/// and publishes the result.
+pub fn compile_shared(
+    net: &Netlist,
+    opts: CompileOptions,
+) -> Result<Arc<CompiledCircuit>, PlaceError> {
+    let key = Key::new(net, opts);
+    if let Some(hit) = table().lock().unwrap().get(&key).cloned() {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok(hit);
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let compiled = Arc::new(compile(net, opts)?);
+    // Two threads may race here; compile is deterministic, so whichever
+    // insert wins, every caller observes the same artifact content.
+    Ok(table()
+        .lock()
+        .unwrap()
+        .entry(key)
+        .or_insert(compiled)
+        .clone())
+}
+
+/// Snapshot the process-wide hit/miss counters.
+pub fn cache_stats() -> CacheStats {
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Number of distinct compiled circuits the cache currently holds.
+pub fn cache_len() -> usize {
+    table().lock().unwrap().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emit::{emit_bitstream, PinAssignment};
+
+    #[test]
+    fn hit_returns_the_same_arc() {
+        let net = netlist::library::arith::ripple_adder("cache-a8", 8);
+        let opts = CompileOptions::default();
+        let a = compile_shared(&net, opts).unwrap();
+        let b = compile_shared(&net, opts).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit");
+    }
+
+    #[test]
+    fn different_options_are_different_entries() {
+        let net = netlist::library::arith::ripple_adder("cache-opt", 8);
+        let a = compile_shared(&net, CompileOptions::default()).unwrap();
+        let b = compile_shared(
+            &net,
+            CompileOptions {
+                seed: 0xD1FF,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "seed is part of the key");
+    }
+
+    #[test]
+    fn infeasible_compiles_propagate_errors() {
+        let net = netlist::library::arith::array_multiplier("cache-m8", 8);
+        let r = compile_shared(
+            &net,
+            CompileOptions {
+                shape: Some((2, 2)),
+                ..Default::default()
+            },
+        );
+        assert!(r.is_err());
+    }
+
+    /// The property the whole design rests on: a cached artifact is
+    /// indistinguishable from a fresh compile — same placement, same
+    /// timing, and identical emitted bitstreams at several origins.
+    #[test]
+    fn property_cached_equals_fresh_compile() {
+        let circuits: Vec<netlist::Netlist> = vec![
+            netlist::library::arith::ripple_adder("cp-add8", 8),
+            netlist::library::seq::lfsr("cp-lfsr", 16, 0b1101_0000_0000_1000),
+            netlist::library::codes::crc_comb("cp-crc8", netlist::library::codes::CRC8, 8, 8),
+            netlist::library::alu::alu("cp-alu4", 4),
+        ];
+        let opts = CompileOptions {
+            max_height: 10,
+            full_height: true,
+            ..Default::default()
+        };
+        for net in &circuits {
+            let cached = compile_shared(&net.clone(), opts).unwrap();
+            let cached_again = compile_shared(net, opts).unwrap();
+            let fresh = compile(net, opts).unwrap();
+            assert!(Arc::ptr_eq(&cached, &cached_again));
+            assert_eq!(cached.placed.coords, fresh.placed.coords, "{}", net.name());
+            assert_eq!(cached.crit_path_ns, fresh.crit_path_ns);
+            assert_eq!(cached.clock_ns, fresh.clock_ns);
+            let ins = cached.placed.circuit.num_inputs;
+            let outs = cached.placed.circuit.outputs.len();
+            for origin in [(0u32, 0u32), (3, 0)] {
+                let pins = PinAssignment::contiguous(ins, outs);
+                let a = emit_bitstream(&cached.placed, origin, &pins, false);
+                let b = emit_bitstream(&fresh.placed, origin, &pins, false);
+                assert_eq!(a, b, "{} bitstreams diverge at {origin:?}", net.name());
+            }
+        }
+        let s = cache_stats();
+        assert!(s.hits >= circuits.len() as u64, "stats move: {s:?}");
+        assert!(cache_len() >= circuits.len());
+    }
+}

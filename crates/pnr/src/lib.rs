@@ -19,6 +19,7 @@
 //!
 //! [`flow::compile`] chains the whole pipeline.
 
+pub mod cache;
 pub mod emit;
 pub mod flow;
 pub mod pack;
@@ -27,6 +28,7 @@ pub mod profile;
 pub mod route;
 pub mod timing;
 
+pub use cache::{cache_len, cache_stats, compile_shared, CacheStats};
 pub use emit::{emit_bitstream, PinAssignment};
 pub use flow::{compile, CompileOptions, CompiledCircuit};
 pub use pack::{BlockSource, PackedBlock, PackedCircuit};

@@ -30,6 +30,12 @@ impl CircuitImage {
         }
     }
 
+    /// Wrap an already-shared compiled circuit (e.g. from the process-wide
+    /// compile cache) without copying it.
+    pub fn from_shared(compiled: Arc<CompiledCircuit>) -> Self {
+        CircuitImage { compiled }
+    }
+
     /// Circuit name.
     pub fn name(&self) -> &str {
         self.compiled.name()
@@ -95,6 +101,12 @@ impl CircuitLib {
     /// Register a compiled circuit directly.
     pub fn register_compiled(&mut self, compiled: CompiledCircuit) -> CircuitId {
         self.register(CircuitImage::new(compiled))
+    }
+
+    /// Register a shared compiled circuit (compile-cache output) without
+    /// deep-copying it.
+    pub fn register_shared(&mut self, compiled: Arc<CompiledCircuit>) -> CircuitId {
+        self.register(CircuitImage::from_shared(compiled))
     }
 
     /// Look up a circuit.

@@ -233,8 +233,8 @@ impl PartitionManager {
     fn load_into(&mut self, idx: usize, cid: CircuitId, tid: TaskId) -> Option<SimDuration> {
         let need_w = self.lib.get(cid).shape().0;
         let origin = (self.parts[idx].col, 0u32);
-        let placed = &self.lib.get(cid).compiled.placed.clone();
-        let routes = match self.routing.route_circuit(placed, origin) {
+        let compiled = std::sync::Arc::clone(&self.lib.get(cid).compiled);
+        let routes = match self.routing.route_circuit(&compiled.placed, origin) {
             Ok(r) => r,
             Err(_) => return None,
         };
@@ -324,7 +324,8 @@ impl PartitionManager {
         self.routing.release(&routes);
         self.parts[idx].slot = Slot::Free;
         let need_w = self.lib.get(cid).shape().0;
-        let placed = self.lib.get(cid).compiled.placed.clone();
+        let compiled = std::sync::Arc::clone(&self.lib.get(cid).compiled);
+        let placed = &compiled.placed;
         // Candidate destinations: free partitions wide enough, tried in
         // column order. No split — the survivor may sit loosely until the
         // next GC tightens things up.
@@ -337,7 +338,7 @@ impl PartitionManager {
             .collect();
         for i in candidates {
             let origin = (self.parts[i].col, 0u32);
-            if let Ok(new_routes) = self.routing.route_circuit(&placed, origin) {
+            if let Ok(new_routes) = self.routing.route_circuit(placed, origin) {
                 let mut cost = partial_download_cost(&self.timing, need_w as usize);
                 if self.lib.get(cid).is_sequential() {
                     // State survives the move via readback + write-back.
@@ -444,13 +445,14 @@ impl PartitionManager {
                 Slot::Resident { cid, .. } => *cid,
                 Slot::Free | Slot::Retired => unreachable!(),
             };
-            let placed = self.lib.get(cid).compiled.placed.clone();
+            let compiled = std::sync::Arc::clone(&self.lib.get(cid).compiled);
+            let placed = &compiled.placed;
             let old_routes = match &p.slot {
                 Slot::Resident { routes, .. } => routes.clone(),
                 Slot::Free | Slot::Retired => unreachable!(),
             };
             self.routing.release(&old_routes);
-            match self.routing.route_circuit(&placed, (cursor, 0)) {
+            match self.routing.route_circuit(placed, (cursor, 0)) {
                 Ok(new_routes) => {
                     let frames = p.width as usize;
                     overhead += charge_partial_download(
@@ -474,7 +476,7 @@ impl PartitionManager {
                     // Keep the circuit where it was; restore its routes.
                     let restored = self
                         .routing
-                        .route_circuit(&placed, (p.col, 0))
+                        .route_circuit(placed, (p.col, 0))
                         .expect("re-routing at the original origin must succeed");
                     if let Slot::Resident { routes, .. } = &mut p.slot {
                         *routes = restored;
@@ -861,12 +863,13 @@ impl FpgaManager for PartitionManager {
                 Some(Json::Str(k)) if k == "retired" => Slot::Retired,
                 Some(Json::Str(k)) if k == "resident" => {
                     let cid = CircuitId(u32_of(p.get("cid"), "cid")?);
-                    let placed = self.lib.get(cid).compiled.placed.clone();
+                    let compiled = std::sync::Arc::clone(&self.lib.get(cid).compiled);
+                    let placed = &compiled.placed;
                     // Re-route at the original origin; partitions are
                     // disjoint column ranges, so routing each resident in
                     // image order reproduces a valid fabric state.
                     let routes = routing
-                        .route_circuit(&placed, (col, 0))
+                        .route_circuit(placed, (col, 0))
                         .map_err(|e| format!("re-routing circuit {} at col {col}: {e:?}", cid.0))?;
                     Slot::Resident {
                         cid,

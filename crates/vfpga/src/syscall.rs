@@ -74,9 +74,13 @@ impl OsInterface {
     }
 
     /// `fpga_open`: declare a compiled circuit; the OS validates it
-    /// against the physical device and stores it in its tables.
-    pub fn open(&mut self, compiled: CompiledCircuit) -> Result<FpgaHandle, OpenError> {
-        let img = CircuitImage::new(compiled);
+    /// against the physical device and stores it in its tables. Accepts
+    /// either an owned artifact or one shared through the compile cache.
+    pub fn open(
+        &mut self,
+        compiled: impl Into<std::sync::Arc<CompiledCircuit>>,
+    ) -> Result<FpgaHandle, OpenError> {
+        let img = CircuitImage::from_shared(compiled.into());
         let (w, h) = img.shape();
         if w > self.device.cols || h > self.device.rows {
             return Err(OpenError::TooLarge {

@@ -216,7 +216,10 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         config: SystemConfig,
         specs: Vec<TaskSpec>,
     ) -> Self {
-        let mut queue = EventQueue::new();
+        // Pending events stay within a small multiple of the task count
+        // (arrival + dispatch + completion + timer per task); reserving
+        // up front keeps the hot loop reallocation-free.
+        let mut queue = EventQueue::with_capacity(specs.len() * 4 + 8);
         let mut tasks = Vec::with_capacity(specs.len());
         let mut metrics = Vec::with_capacity(specs.len());
         for (i, spec) in specs.into_iter().enumerate() {

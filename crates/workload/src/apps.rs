@@ -11,7 +11,8 @@
 //! constants.
 
 use netlist::Netlist;
-use pnr::{compile, CompileOptions, CompiledCircuit};
+use pnr::{compile_shared, CompileOptions, CompiledCircuit};
+use std::sync::Arc;
 
 /// Application domains from the paper's conclusions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -57,8 +58,9 @@ pub struct App {
     pub name: String,
     /// Owning domain.
     pub domain: Domain,
-    /// The compiled circuit.
-    pub compiled: CompiledCircuit,
+    /// The compiled circuit, shared through the process-wide compile
+    /// cache — building the same suite twice compiles each kernel once.
+    pub compiled: Arc<CompiledCircuit>,
     /// Nanoseconds per processed item when executed in software.
     pub sw_ns_per_item: u64,
     /// Fabric cycles per processed item when executed on the FPGA.
@@ -96,7 +98,7 @@ fn sw_model(net: &Netlist) -> u64 {
 
 fn mk_app(domain: Domain, net: Netlist, hw_cycles_per_item: u64, opts: CompileOptions) -> App {
     let sw = sw_model(&net);
-    let compiled = compile(&net, opts).expect("suite circuit must compile");
+    let compiled = compile_shared(&net, opts).expect("suite circuit must compile");
     App {
         name: compiled.name().to_string(),
         domain,

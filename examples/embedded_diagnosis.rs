@@ -34,7 +34,7 @@ fn main() {
             app.compiled.blocks(),
             app.compiled.state_bits()
         );
-        ids.push(lib.register_compiled(app.compiled));
+        ids.push(lib.register_shared(app.compiled));
     }
     let lib = Arc::new(lib);
 

@@ -37,7 +37,7 @@ fn main() {
             app.compiled.blocks(),
             app.compiled.shape()
         );
-        ids.push(lib.register_compiled(app.compiled));
+        ids.push(lib.register_shared(app.compiled));
     }
     let lib = Arc::new(lib);
 

@@ -71,7 +71,7 @@ fn main() {
     let mut ids = Vec::new();
     for app in suite(Domain::Telecom, spec.rows).apps {
         println!("kernel '{}': {} CLBs", app.name, app.compiled.blocks());
-        ids.push(lib.register_compiled(app.compiled));
+        ids.push(lib.register_shared(app.compiled));
     }
     let lib = Arc::new(lib);
     let specs = call_log(&lib, &ids, 0xCA11);

@@ -143,7 +143,7 @@ fn os_layer_charges_download_times_consistent_with_device_timing() {
     let suite = workload::suite(workload::Domain::Storage, spec.rows);
     let mut ids = Vec::new();
     for app in suite.apps {
-        ids.push(lib.register_compiled(app.compiled));
+        ids.push(lib.register_shared(app.compiled));
     }
     let lib = Arc::new(lib);
 
@@ -209,7 +209,7 @@ fn whole_stack_is_deterministic() {
     let mut lib = vfpga::CircuitLib::new();
     let mut ids = Vec::new();
     for app in workload::suite(workload::Domain::Telecom, spec.rows).apps {
-        ids.push(lib.register_compiled(app.compiled));
+        ids.push(lib.register_shared(app.compiled));
     }
     let lib = Arc::new(lib);
 

@@ -158,18 +158,20 @@ fn bitstream_crc_detects_tampering() {
         let table = rng.next_u64() as u16;
         let flip = (rng.next_u64() as u16).max(1);
         let cell = fpga::ClbCell::comb(table, [fpga::ClbSource::None; 4]);
-        let bs = fpga::Bitstream::new(
-            "t",
-            vec![fpga::FrameWrite {
-                col,
-                row0,
-                cells: vec![Some(cell)],
-            }],
-            vec![],
-            false,
-        );
-        assert!(bs.crc_ok(), "seed {seed}");
-        let mut bad = bs.clone();
+        let mk = || {
+            fpga::Bitstream::new(
+                "t",
+                vec![fpga::FrameWrite {
+                    col,
+                    row0,
+                    cells: vec![Some(cell)],
+                }],
+                vec![],
+                false,
+            )
+        };
+        assert!(mk().crc_ok(), "seed {seed}");
+        let mut bad = mk();
         if let Some(Some(c)) = bad.frames[0].cells.first_mut().map(|c| c.as_mut()) {
             c.lut_table ^= flip;
         }
