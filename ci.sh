@@ -64,4 +64,36 @@ print("e16 gate: journal on = 0 divergences, journal off = "
       f"{counters['journal_off_divergences']} (ablation bites)")
 PY
 
+echo "==> e17 overload smoke (admission control: determinism + liveness)"
+# Same-seed bit reproducibility and thread invariance, like e15/e16.
+./target/release/e17_overload --smoke --seed 3605 --json "$E15_TMP/e17a.json" >/dev/null
+./target/release/e17_overload --smoke --seed 3605 --json "$E15_TMP/e17b.json" >/dev/null
+"$JDIFF" "$E15_TMP/e17a.json" "$E15_TMP/e17b.json" \
+  || { echo "e17 smoke: same-seed runs are not identical modulo host"; exit 1; }
+./target/release/e17_overload --smoke --threads 1 --json "$E15_TMP/e17t1.json" >/dev/null
+./target/release/e17_overload --smoke --threads 4 --json "$E15_TMP/e17t4.json" >/dev/null
+"$JDIFF" "$E15_TMP/e17t1.json" "$E15_TMP/e17t4.json" \
+  || { echo "e17 smoke: --threads 4 diverged from --threads 1"; exit 1; }
+# Liveness under a deliberately hanging task: the smoke sweep contains a
+# never-completing FPGA op that only the watchdog can reclaim. The hard
+# wall-clock timeout is the point — if quarantine regresses, the binary
+# spins or deadlocks instead of exiting, and CI must fail loudly rather
+# than hang.
+timeout 120 ./target/release/e17_overload --smoke --json "$E15_TMP/e17live.json" >/dev/null \
+  || { echo "e17 smoke: hanging task did not terminate (watchdog/quarantine broken)"; exit 1; }
+python3 - "$E15_TMP/e17live.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+reports = {r["label"]: r for r in doc["reports"]}
+off = reports["off/baseline"]
+assert "admission" not in off, "admission-off export grew an admission section"
+on = [r for l, r in reports.items() if l != "off/baseline"]
+assert on, "no admission cells in smoke sweep"
+assert any(r["admission"]["quarantined"] > 0 for r in on), \
+    "no cell quarantined the hanging task"
+assert all(r["admission"]["watchdog_fired"] > 0 for r in on), \
+    "a cell with a hanging task never fired its watchdog"
+print("e17 gate: hanging task quarantined, admission-off export unchanged")
+PY
+
 echo "CI green."

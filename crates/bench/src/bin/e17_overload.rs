@@ -1,0 +1,270 @@
+//! E17 — Overload-resilient multi-tenant admission control.
+//!
+//! The paper's OS layer detects completion "via a-priori latency estimate
+//! or a done-signal service circuit" (§3) and promises each of many tasks
+//! a dedicated virtual FPGA — but it trusts every task to terminate and
+//! admits unbounded work. This experiment exercises the defenses the
+//! `vfpga::admission` module adds: per-tenant in-flight quotas with a
+//! bounded admission queue (arrivals past both are load-shed), watchdog
+//! deadlines derived from the same §3 a-priori estimate (a deliberately
+//! hanging task is preempted and, after bounded retries, quarantined),
+//! and graceful degradation to a software-emulation path priced from the
+//! e12 coprocessor model once the fabric saturates.
+//!
+//! The sweep: offered load x per-tenant quota x watchdog slack, on the
+//! same seeded tenant-tagged Poisson workload (one task hangs forever),
+//! plus a no-admission baseline on the hang-free variant — the only
+//! variant that *can* run without a watchdog. Everything is
+//! deterministic: the same `--seed` yields a byte-identical export
+//! (modulo the volatile `host` section) at any `--threads` count.
+//!
+//! Flags: `--seed N` (default 0xE17), `--smoke` (reduced sweep for CI),
+//! `--threads N` (sweep-point parallelism), `--json <path>`
+//! (machine-readable export, re-parsed before exit).
+
+use bench::json::Json;
+use bench::report::{f3, Table};
+use bench::setup::compile_suite_lib_sw;
+use bench::{arg_u64, flag, run_sweep, threads_arg, Exporter, HostProfile};
+use fpga::{ConfigPort, ConfigTiming};
+use fsim::{SimDuration, SimRng};
+use std::collections::BTreeMap;
+use vfpga::manager::partition::{PartitionManager, PartitionMode};
+use vfpga::{
+    AdmissionPolicy, DegradationConfig, PreemptAction, Report, RoundRobinScheduler, System,
+    SystemConfig, TaskSpec, WatchdogConfig,
+};
+use workload::{tenant_tasks, Domain, MixParams, TenantMixParams};
+
+fn specs(
+    ids: &[vfpga::CircuitId],
+    seed: u64,
+    mean_interarrival: SimDuration,
+    hang_tasks: usize,
+) -> Vec<TaskSpec> {
+    let mut rng = SimRng::new(seed);
+    tenant_tasks(
+        &TenantMixParams {
+            base: MixParams {
+                tasks: 10,
+                mean_interarrival,
+                mean_cpu_burst: SimDuration::from_millis(2),
+                fpga_ops_per_task: 4,
+                cycles: (60_000, 250_000),
+            },
+            tenants: 2,
+            deadline: Some(SimDuration::from_millis(60)),
+            hang_tasks,
+        },
+        ids,
+        &mut rng,
+    )
+}
+
+#[derive(Clone)]
+struct Point {
+    label: String,
+    mean_interarrival: SimDuration,
+    hang_tasks: usize,
+    policy: Option<AdmissionPolicy>,
+}
+
+struct Cell {
+    label: String,
+    report: Report,
+}
+
+fn run_cell(
+    lib: &std::sync::Arc<vfpga::CircuitLib>,
+    ids: &[vfpga::CircuitId],
+    timing: ConfigTiming,
+    seed: u64,
+    p: &Point,
+) -> Cell {
+    let mgr = PartitionManager::new(
+        lib.clone(),
+        timing,
+        PartitionMode::Variable,
+        PreemptAction::SaveRestore,
+    )
+    .expect("partition layout fits the device");
+    let mut sys = System::new(
+        lib.clone(),
+        mgr,
+        RoundRobinScheduler::new(SimDuration::from_millis(8)),
+        SystemConfig {
+            preempt: PreemptAction::SaveRestore,
+            ..Default::default()
+        },
+        specs(ids, seed, p.mean_interarrival, p.hang_tasks),
+    );
+    if let Some(policy) = &p.policy {
+        sys = sys
+            .with_admission(policy.clone())
+            .expect("sweep policies must validate");
+    }
+    let report = sys
+        .run()
+        .expect("every task must terminate (completed, rejected, or quarantined)");
+    Cell {
+        label: p.label.clone(),
+        report,
+    }
+}
+
+fn main() {
+    let seed = arg_u64("--seed", 0xE17);
+    let smoke = flag("--smoke");
+    let threads = threads_arg();
+    let mut host = HostProfile::new(threads);
+    let spec = fpga::device::part("VF800");
+    let (lib, ids, sw) = host.phase("compile", || {
+        compile_suite_lib_sw(&[Domain::Telecom, Domain::Storage], spec)
+    });
+    let timing = ConfigTiming {
+        spec,
+        port: ConfigPort::SerialFast,
+    };
+
+    // queue_cap 2: a tenant holds `quota` running + 2 queued; the rest of
+    // a burst is load-shed. The default watermark (0.85) only degrades
+    // under real saturation; the dedicated "saturated" cell forces it low
+    // so the software-fallback path shows in the table.
+    let policy =
+        |quota: u32, slack: f64, watermark: f64, sw: &BTreeMap<u32, u64>| AdmissionPolicy {
+            max_in_flight: quota,
+            queue_cap: 2,
+            watchdog: Some(WatchdogConfig {
+                slack,
+                max_trips: 2,
+            }),
+            degradation: Some(DegradationConfig {
+                watermark,
+                sw_ns_per_cycle: sw.clone(),
+            }),
+        };
+
+    let loads: &[(&str, SimDuration)] = if smoke {
+        &[("heavy", SimDuration::from_millis(1))]
+    } else {
+        &[
+            ("light", SimDuration::from_millis(4)),
+            ("heavy", SimDuration::from_millis(1)),
+        ]
+    };
+    let quotas: &[u32] = if smoke { &[2] } else { &[2, 4] };
+    let slacks: &[f64] = if smoke { &[2.0] } else { &[1.5, 3.0] };
+
+    // One task hangs forever (its FPGA op never raises done); only the
+    // watchdog terminates it. The no-admission baseline therefore runs
+    // the hang-free variant of the same arrival process.
+    let mut points = Vec::new();
+    points.push(Point {
+        label: "off/baseline".into(),
+        mean_interarrival: loads[0].1,
+        hang_tasks: 0,
+        policy: None,
+    });
+    for &(lname, ia) in loads {
+        for &q in quotas {
+            for &s in slacks {
+                points.push(Point {
+                    label: format!("{lname}/quota{q}/slack{s}"),
+                    mean_interarrival: ia,
+                    hang_tasks: 1,
+                    policy: Some(policy(q, s, 0.85, &sw)),
+                });
+            }
+        }
+    }
+    // Saturation cell: a watermark this low treats the fabric as already
+    // full, so every non-resident FPGA op takes the software path.
+    points.push(Point {
+        label: "heavy/quota4/saturated".into(),
+        mean_interarrival: SimDuration::from_millis(1),
+        hang_tasks: 1,
+        policy: Some(policy(4, 2.0, 0.05, &sw)),
+    });
+
+    let mut ex = Exporter::new("e17", "offered load x tenant quota x watchdog slack");
+    ex.seed(seed)
+        .param("device", spec.name)
+        .param("tasks", 10u64)
+        .param("tenants", 2u64)
+        .param("smoke", smoke);
+
+    let mut t = Table::new(
+        "E17: overload x admission control (partition manager, RR 8ms)",
+        &[
+            "cell",
+            "makespan (s)",
+            "done",
+            "rejected",
+            "deferred",
+            "quarantined",
+            "wd fires",
+            "degraded",
+            "ddl miss",
+            "lost (s)",
+        ],
+    );
+
+    let cells = host.phase("sweep", || {
+        run_sweep(threads, &points, |_, p| {
+            run_cell(&lib, &ids, timing, seed, p)
+        })
+    });
+
+    for c in &cells {
+        let r = &c.report;
+        let done = r
+            .tasks
+            .iter()
+            .filter(|t| !t.failed && !t.quarantined && !t.rejected)
+            .count();
+        let a = r.admission.unwrap_or_default();
+        t.row(vec![
+            c.label.clone(),
+            f3(r.makespan.as_secs_f64()),
+            format!("{}/{}", done, r.tasks.len()),
+            a.rejected.to_string(),
+            a.deferred.to_string(),
+            a.quarantined.to_string(),
+            a.watchdog_fired.to_string(),
+            a.degraded_dispatches.to_string(),
+            a.deadline_missed.to_string(),
+            f3(a.watchdog_lost_time.as_secs_f64()),
+        ]);
+        ex.report(&c.label, r);
+    }
+
+    t.print();
+    ex.table(&t);
+    host.points(points.len());
+    ex.host(&host);
+    ex.write_if_requested();
+
+    // Re-read the export and verify it parses: a bench whose JSON cannot
+    // be read back is broken even if it "ran fine".
+    if let Some(path) = bench::json_arg() {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("failed to re-read {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let doc = Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("emitted JSON does not parse back: {e}");
+            std::process::exit(1);
+        });
+        let reports = doc.get("reports").and_then(Json::as_arr).unwrap_or(&[]);
+        if doc.get("schema").is_none() || reports.len() != cells.len() {
+            eprintln!("emitted JSON is missing sections");
+            std::process::exit(1);
+        }
+        eprintln!("export parses back OK ({} reports)", reports.len());
+    }
+
+    println!("\nQuotas trade tenant isolation for load shedding: rejected work never");
+    println!("queues, so the surviving tasks' turnaround stays bounded. The watchdog is");
+    println!("what lets a hanging tenant coexist with the rest — without it that cell");
+    println!("would deadlock; with it the hang costs `max_trips` deadlines, then exile.");
+}

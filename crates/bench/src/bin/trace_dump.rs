@@ -7,14 +7,15 @@
 //! preemptions, and GC.
 //!
 //! Usage: `trace_dump [--tag TAG]... [--limit N] [--seed S] [--summary]
-//! [--faults] [--checkpoints]`
+//! [--faults] [--checkpoints] [--admission]`
 //!
 //! * `--tag TAG` — print only events whose tag matches (repeatable;
 //!   tags: arrive/ready/run/block/fail/done/dispatch/config/preempt/gc/
 //!   fault/overlay/iomux/custom, plus with `--faults` the
 //!   injection/recovery tags fault-inj/crc/scrub/retry/task-fail/
-//!   col-retire/recover, and with `--checkpoints` the crash-consistency
-//!   tags ckpt/crash/replay).
+//!   col-retire/recover, with `--checkpoints` the crash-consistency
+//!   tags ckpt/crash/replay, and with `--admission` the admission-control
+//!   tags wd-arm/wd-fire/reject/quarantine/degrade).
 //! * `--limit N` — print at most N events (default 200; `0` = unlimited).
 //! * `--seed S`  — workload seed (default 0xE04).
 //! * `--summary` — skip the event listing, print only the per-tag counts.
@@ -25,16 +26,22 @@
 //!   the listing to the checkpoint/crash/journal-replay events. The
 //!   printed trace covers the final segment — earlier segments died with
 //!   their crashed host.
+//! * `--admission` — tag tasks with tenants round-robin, make the first
+//!   task's first FPGA op hang, and attach an [`AdmissionPolicy`] (tight
+//!   per-tenant quota, watchdog, low-watermark degradation) so the
+//!   admission events appear; unless `--tag` is given, filter the listing
+//!   to them.
 
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::{SimDuration, SimRng};
 use std::collections::BTreeMap;
 use vfpga::manager::partition::{PartitionManager, PartitionMode};
 use vfpga::{
-    run_with_crashes_traced, CheckpointConfig, CrashPlan, FaultPlan, PreemptAction, RecoveryPolicy,
-    RoundRobinScheduler, System, SystemConfig,
+    run_with_crashes_traced, AdmissionPolicy, CheckpointConfig, CrashPlan, DegradationConfig,
+    FaultPlan, PreemptAction, RecoveryPolicy, RoundRobinScheduler, System, SystemConfig,
+    WatchdogConfig,
 };
-use workload::{poisson_tasks, Domain, MixParams};
+use workload::{poisson_tasks, tenant_tasks, Domain, MixParams, TenantMixParams};
 
 struct Args {
     tags: Vec<String>,
@@ -43,6 +50,7 @@ struct Args {
     summary_only: bool,
     faults: bool,
     checkpoints: bool,
+    admission: bool,
 }
 
 fn parse_args() -> Args {
@@ -53,6 +61,7 @@ fn parse_args() -> Args {
         summary_only: false,
         faults: false,
         checkpoints: false,
+        admission: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -82,10 +91,11 @@ fn parse_args() -> Args {
             "--summary" => out.summary_only = true,
             "--faults" => out.faults = true,
             "--checkpoints" => out.checkpoints = true,
+            "--admission" => out.admission = true,
             "--help" | "-h" => {
                 println!(
                     "usage: trace_dump [--tag TAG]... [--limit N] [--seed S] [--summary] \
-                     [--faults] [--checkpoints]"
+                     [--faults] [--checkpoints] [--admission]"
                 );
                 std::process::exit(0);
             }
@@ -102,24 +112,37 @@ fn main() {
     let args = parse_args();
 
     let spec = fpga::device::part("VF800");
-    let (lib, ids) = bench::setup::compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec);
+    let (lib, ids, sw) =
+        bench::setup::compile_suite_lib_sw(&[Domain::Telecom, Domain::Storage], spec);
     let timing = ConfigTiming {
         spec,
         port: ConfigPort::SerialFast,
     };
+    let mix = MixParams {
+        tasks: 12,
+        mean_interarrival: SimDuration::from_millis(2),
+        mean_cpu_burst: SimDuration::from_millis(3),
+        fpga_ops_per_task: 6,
+        cycles: (100_000, 500_000),
+    };
     let specs = {
         let mut rng = SimRng::new(args.seed);
-        poisson_tasks(
-            &MixParams {
-                tasks: 12,
-                mean_interarrival: SimDuration::from_millis(2),
-                mean_cpu_burst: SimDuration::from_millis(3),
-                fpga_ops_per_task: 6,
-                cycles: (100_000, 500_000),
-            },
-            &ids,
-            &mut rng,
-        )
+        if args.admission {
+            // Tenant-tagged variant of the same arrival process, with one
+            // deliberately hanging op so the watchdog has work to do.
+            tenant_tasks(
+                &TenantMixParams {
+                    base: mix,
+                    tenants: 3,
+                    deadline: Some(SimDuration::from_millis(50)),
+                    hang_tasks: 1,
+                },
+                &ids,
+                &mut rng,
+            )
+        } else {
+            poisson_tasks(&mix, &ids, &mut rng)
+        }
     };
     let build = || {
         let mgr = PartitionManager::new(
@@ -152,9 +175,30 @@ fn main() {
             };
             sys = sys.with_faults(plan, policy);
         }
+        if args.admission {
+            let policy = AdmissionPolicy {
+                max_in_flight: 2,
+                queue_cap: 2,
+                watchdog: Some(WatchdogConfig {
+                    slack: 2.0,
+                    max_trips: 2,
+                }),
+                degradation: Some(DegradationConfig {
+                    watermark: 0.05,
+                    sw_ns_per_cycle: sw.clone(),
+                }),
+            };
+            sys = sys.with_admission(policy).expect("policy validates");
+        }
         sys
     };
     let mut tags = args.tags.clone();
+    if args.admission && tags.is_empty() && !args.checkpoints {
+        // The advertised filter: only the admission-control stream.
+        tags = ["wd-arm", "wd-fire", "reject", "quarantine", "degrade"]
+            .map(String::from)
+            .to_vec();
+    }
     let (report, trace) = if args.checkpoints {
         if tags.is_empty() {
             // The advertised filter: only the crash-consistency stream.
@@ -220,6 +264,22 @@ fn main() {
             c.records_undone,
             c.replay_time.as_secs_f64(),
             c.stale_discards,
+        );
+    }
+    if let Some(a) = &report.admission {
+        println!(
+            "admission: {} admitted, {} deferred, {} rejected, {} quarantined, \
+             watchdog {}/{} fired/armed ({:.3} s lost), {} degraded dispatches \
+             ({:.3} s software)",
+            a.admitted,
+            a.deferred,
+            a.rejected,
+            a.quarantined,
+            a.watchdog_fired,
+            a.watchdog_armed,
+            a.watchdog_lost_time.as_secs_f64(),
+            a.degraded_dispatches,
+            a.degraded_time.as_secs_f64(),
         );
     }
 }

@@ -104,11 +104,15 @@ fn table_json(t: &Table) -> Json {
 fn report_json(label: &str, r: &Report) -> Json {
     let ms = r.manager_stats;
     let b = r.overhead_breakdown();
+    // Admission fields are emitted only when the run had admission
+    // control: exports from runs without it stay byte-identical to the
+    // pre-admission format.
+    let admission_on = r.admission.is_some();
     let tasks = Json::Arr(
         r.tasks
             .iter()
             .map(|t| {
-                Obj::new()
+                let mut o = Obj::new()
                     .set("name", t.name.as_str())
                     .set("arrival_s", t.arrival.as_secs_f64())
                     .set("completion_s", t.completion.as_secs_f64())
@@ -119,18 +123,25 @@ fn report_json(label: &str, r: &Report) -> Json {
                     .set("fault_lost_s", t.fault_lost_time.as_secs_f64())
                     .set("blocked", t.blocked_count)
                     .set("failed", t.failed)
-                    .set("corrupted", t.corrupted)
-                    .set(
-                        "waiting_s",
-                        t.waiting_checked()
-                            .map(|w| Json::Num(w.as_secs_f64()))
-                            .unwrap_or(Json::Null),
-                    )
-                    .build()
+                    .set("corrupted", t.corrupted);
+                if admission_on {
+                    o = o
+                        .set("degraded_s", t.degraded_time.as_secs_f64())
+                        .set("quarantined", t.quarantined)
+                        .set("rejected", t.rejected)
+                        .set("deadline_missed", t.deadline_missed);
+                }
+                o.set(
+                    "waiting_s",
+                    t.waiting_checked()
+                        .map(|w| Json::Num(w.as_secs_f64()))
+                        .unwrap_or(Json::Null),
+                )
+                .build()
             })
             .collect(),
     );
-    Obj::new()
+    let mut doc = Obj::new()
         .set("label", label)
         .set("manager", r.manager)
         .set("scheduler", r.scheduler)
@@ -159,19 +170,21 @@ fn report_json(label: &str, r: &Report) -> Json {
                 .set("merges", ms.merges)
                 .set("gc_time_s", ms.gc_time.as_secs_f64()),
         )
-        .set(
-            "overhead_breakdown",
-            Obj::new()
+        .set("overhead_breakdown", {
+            let mut ob = Obj::new()
                 .set("config_s", b.config.as_secs_f64())
                 .set("state_s", b.state.as_secs_f64())
                 .set("gc_s", b.gc.as_secs_f64())
                 .set("rollback_loss_s", b.rollback_loss.as_secs_f64())
                 .set("fault_retry_s", b.fault_retry.as_secs_f64())
                 .set("checkpoint_s", b.checkpoint.as_secs_f64())
-                .set("journal_replay_s", b.journal_replay.as_secs_f64())
-                .set("other_s", b.other.as_secs_f64())
-                .set("total_s", b.total().as_secs_f64()),
-        )
+                .set("journal_replay_s", b.journal_replay.as_secs_f64());
+            if admission_on {
+                ob = ob.set("watchdog_s", b.watchdog.as_secs_f64());
+            }
+            ob.set("other_s", b.other.as_secs_f64())
+                .set("total_s", b.total().as_secs_f64())
+        })
         .set(
             "fault",
             Obj::new()
@@ -211,8 +224,25 @@ fn report_json(label: &str, r: &Report) -> Json {
                 .set("replay_time_s", r.crash.replay_time.as_secs_f64())
                 .set("stale_discards", r.crash.stale_discards)
                 .set("silent_corruptions", r.crash.silent_corruptions),
-        )
-        .set("metrics", metrics_json(&r.metrics))
+        );
+    if let Some(a) = &r.admission {
+        doc = doc.set(
+            "admission",
+            Obj::new()
+                .set("admitted", a.admitted)
+                .set("deferred", a.deferred)
+                .set("rejected", a.rejected)
+                .set("quarantined", a.quarantined)
+                .set("deadline_missed", a.deadline_missed)
+                .set("watchdog_armed", a.watchdog_armed)
+                .set("watchdog_fired", a.watchdog_fired)
+                .set("watchdog_preempt_s", a.watchdog_preempt_time.as_secs_f64())
+                .set("watchdog_lost_s", a.watchdog_lost_time.as_secs_f64())
+                .set("degraded_dispatches", a.degraded_dispatches)
+                .set("degraded_time_s", a.degraded_time.as_secs_f64()),
+        );
+    }
+    doc.set("metrics", metrics_json(&r.metrics))
         .set("timelines", timelines_json(&r.timelines))
         .set("tasks", tasks)
         .build()

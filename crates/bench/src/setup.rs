@@ -1,6 +1,7 @@
 //! Shared experiment setup.
 
 use fpga::{ConfigPort, ConfigTiming, DeviceSpec};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use vfpga::{CircuitId, CircuitLib};
 use workload::{suite, Domain};
@@ -29,6 +30,27 @@ pub fn compile_suite_lib(
     (Arc::new(lib), ids)
 }
 
+/// Like [`compile_suite_lib`], but also returns each circuit's software
+/// cost (ns per hardware cycle, the app's co-processor model) keyed by
+/// circuit id — the map [`vfpga::DegradationConfig`] wants.
+pub fn compile_suite_lib_sw(
+    domains: &[Domain],
+    spec: DeviceSpec,
+) -> (Arc<CircuitLib>, Vec<CircuitId>, BTreeMap<u32, u64>) {
+    let mut lib = CircuitLib::new();
+    let mut ids = Vec::new();
+    let mut sw = BTreeMap::new();
+    for &d in domains {
+        for app in suite(d, spec.rows).apps {
+            let ns = app.sw_ns_per_cycle();
+            let id = lib.register_shared(app.compiled);
+            ids.push(id);
+            sw.insert(id.0, ns);
+        }
+    }
+    (Arc::new(lib), ids, sw)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -39,5 +61,16 @@ mod tests {
         let (lib, ids) = compile_suite_lib(&[Domain::Telecom], spec);
         assert_eq!(lib.len(), 4);
         assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn suite_lib_sw_prices_every_circuit() {
+        let spec = fpga::device::part("VF400");
+        let (lib, ids, sw) = compile_suite_lib_sw(&[Domain::Telecom], spec);
+        assert_eq!(lib.len(), 4);
+        assert_eq!(sw.len(), ids.len());
+        for id in &ids {
+            assert!(sw[&id.0] >= 1);
+        }
     }
 }

@@ -72,6 +72,11 @@ fn e16_crash_restore_smoke_is_thread_invariant() {
 }
 
 #[test]
+fn e17_overload_smoke_is_thread_invariant() {
+    assert_thread_invariant(env!("CARGO_BIN_EXE_e17_overload"), &["--smoke"], "e17");
+}
+
+#[test]
 fn jdiff_accepts_exports_differing_only_in_host() {
     // Two runs of the same experiment at different thread counts differ in
     // the host section (wall-clock) but nowhere else; jdiff must say so.

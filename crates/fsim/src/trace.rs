@@ -236,6 +236,49 @@ pub enum TraceEvent {
         /// Port time the replay cost.
         duration: SimDuration,
     },
+    /// A hang-detection watchdog was armed for a dispatched FPGA
+    /// operation: the a-priori latency estimate times the slack factor.
+    WatchdogArmed {
+        /// Task identifier.
+        task: u32,
+        /// Delay from arming until the deadline expires.
+        deadline: SimDuration,
+    },
+    /// A watchdog deadline expired: the operation overran its estimate
+    /// and was forcibly preempted.
+    WatchdogFired {
+        /// Task identifier.
+        task: u32,
+        /// How many times this task has tripped the watchdog (1 = first).
+        trip: u32,
+        /// Operation progress discarded by the forced preemption.
+        lost: SimDuration,
+    },
+    /// Admission control rejected a task outright (load shedding).
+    TaskRejected {
+        /// Task identifier.
+        task: u32,
+        /// Tenant whose quota and queue cap were both exhausted.
+        tenant: u32,
+    },
+    /// A task was quarantined: removed from scheduling after repeated
+    /// watchdog trips or exhausted fault recovery.
+    TaskQuarantined {
+        /// Task identifier.
+        task: u32,
+        /// Why the task was quarantined.
+        reason: &'static str,
+    },
+    /// A saturated device sent an FPGA operation down the
+    /// software-emulation path instead of queueing it.
+    DegradedDispatch {
+        /// Task identifier.
+        task: u32,
+        /// Circuit whose hardware run was emulated.
+        circuit: u32,
+        /// Software execution time charged in place of the FPGA run.
+        duration: SimDuration,
+    },
     /// Escape hatch for one-off annotations.
     Custom {
         /// Category tag.
@@ -270,6 +313,11 @@ impl TraceEvent {
             TraceEvent::CheckpointTaken { .. } => "ckpt",
             TraceEvent::Crash { .. } => "crash",
             TraceEvent::JournalReplay { .. } => "replay",
+            TraceEvent::WatchdogArmed { .. } => "wd-arm",
+            TraceEvent::WatchdogFired { .. } => "wd-fire",
+            TraceEvent::TaskRejected { .. } => "reject",
+            TraceEvent::TaskQuarantined { .. } => "quarantine",
+            TraceEvent::DegradedDispatch { .. } => "degrade",
             TraceEvent::Custom { tag, .. } => tag,
         }
     }
@@ -446,6 +494,32 @@ impl fmt::Display for TraceEvent {
             } => write!(
                 f,
                 "journal replay: {redone} redone, {undone} undone, {:.3} ms",
+                duration.as_millis_f64()
+            ),
+            TraceEvent::WatchdogArmed { task, deadline } => write!(
+                f,
+                "watchdog armed for task {task}: fires in {:.3} ms",
+                deadline.as_millis_f64()
+            ),
+            TraceEvent::WatchdogFired { task, trip, lost } => write!(
+                f,
+                "watchdog fired for task {task} (trip #{trip}): lost {:.3} ms",
+                lost.as_millis_f64()
+            ),
+            TraceEvent::TaskRejected { task, tenant } => {
+                write!(f, "reject task {task}: tenant {tenant} over quota")
+            }
+            TraceEvent::TaskQuarantined { task, reason } => {
+                write!(f, "quarantine task {task}: {reason}")
+            }
+            TraceEvent::DegradedDispatch {
+                task,
+                circuit,
+                duration,
+            } => write!(
+                f,
+                "degraded dispatch task {task}: circuit {circuit} emulated in \
+                 software, {:.3} ms",
                 duration.as_millis_f64()
             ),
             TraceEvent::Custom { message, .. } => f.write_str(message),
@@ -785,6 +859,56 @@ mod tests {
                 },
                 "recover",
                 "recovered circuit 6",
+            ),
+        ];
+        for (ev, tag, fragment) in cases {
+            assert_eq!(ev.tag(), tag);
+            let s = ev.to_string();
+            assert!(s.contains(fragment), "{s:?} missing {fragment:?}");
+        }
+    }
+
+    #[test]
+    fn admission_event_tags_and_display() {
+        let cases: Vec<(TraceEvent, &str, &str)> = vec![
+            (
+                TraceEvent::WatchdogArmed {
+                    task: 1,
+                    deadline: SimDuration::from_millis(3),
+                },
+                "wd-arm",
+                "watchdog armed for task 1",
+            ),
+            (
+                TraceEvent::WatchdogFired {
+                    task: 1,
+                    trip: 2,
+                    lost: SimDuration::from_millis(6),
+                },
+                "wd-fire",
+                "watchdog fired for task 1 (trip #2)",
+            ),
+            (
+                TraceEvent::TaskRejected { task: 4, tenant: 2 },
+                "reject",
+                "reject task 4: tenant 2 over quota",
+            ),
+            (
+                TraceEvent::TaskQuarantined {
+                    task: 3,
+                    reason: "watchdog trips exhausted",
+                },
+                "quarantine",
+                "quarantine task 3: watchdog trips exhausted",
+            ),
+            (
+                TraceEvent::DegradedDispatch {
+                    task: 5,
+                    circuit: 7,
+                    duration: SimDuration::from_micros(900),
+                },
+                "degrade",
+                "degraded dispatch task 5: circuit 7 emulated in software",
             ),
         ];
         for (ev, tag, fragment) in cases {

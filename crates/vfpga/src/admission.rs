@@ -1,0 +1,276 @@
+//! Overload-resilient admission control.
+//!
+//! The paper's OS layer promises each of many concurrent tasks a dedicated
+//! virtual FPGA and detects completion "via a-priori latency estimate or a
+//! done-signal service circuit" (§3) — but a layer that trusts every task
+//! to terminate and admits unbounded work lets one hung circuit stall a
+//! partition forever, and saturation degrades every tenant equally. This
+//! module adds the missing defenses, all wired into
+//! [`System`](crate::system::System)'s event loop:
+//!
+//! * **Watchdogs** ([`WatchdogConfig`]): every dispatched FPGA operation
+//!   arms a deadline derived from the same a-priori estimate the §3
+//!   completion detector uses, times a slack factor ≥ 1. A segment that
+//!   overruns the deadline is forcibly preempted through the existing
+//!   rollback/save-restore machinery and re-queued; after `max_trips`
+//!   fires the task is quarantined.
+//! * **Per-tenant quotas** ([`AdmissionPolicy`]): tasks carry a tenant id;
+//!   at most `max_in_flight` of a tenant's tasks are admitted at once,
+//!   at most `queue_cap` more wait in a per-tenant FIFO, and anything
+//!   beyond that is load-shed (rejected) at arrival.
+//! * **Quarantine**: tasks that repeatedly trip the watchdog — or exhaust
+//!   fault-recovery retries while admission control is active — are
+//!   removed from scheduling and reported, so the end-of-run deadlock
+//!   sweep becomes a last resort instead of the only defense.
+//! * **Graceful degradation** ([`DegradationConfig`]): past an
+//!   area-saturation watermark, FPGA ops whose circuit is not already
+//!   resident fall back to a software-emulation execution path priced
+//!   from the e12 coprocessor model, instead of queueing indefinitely.
+//!
+//! Everything is deterministic: the admission decision depends only on
+//! simulated state, and a run with admission disabled is byte-identical
+//! to one built without this module.
+
+use crate::error::VfpgaError;
+use fsim::SimDuration;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Hang-detection watchdog parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogConfig {
+    /// Deadline slack: the armed deadline is the a-priori segment estimate
+    /// times this factor (plus any completion-detection slack the segment
+    /// already carries). Must be ≥ 1.0 — a tighter deadline would fire
+    /// before a healthy segment's own completion timer.
+    pub slack: f64,
+    /// Watchdog fires a task survives before being quarantined.
+    pub max_trips: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            slack: 2.0,
+            max_trips: 2,
+        }
+    }
+}
+
+/// Software-emulation fallback parameters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DegradationConfig {
+    /// Area-saturation watermark in `[0, 1]`: once resident CLBs reach
+    /// this fraction of the device, eligible FPGA ops degrade to software
+    /// instead of competing for fabric.
+    pub watermark: f64,
+    /// Software cost model: circuit id → nanoseconds of CPU time per
+    /// hardware cycle when the op is emulated (the e12 coprocessor
+    /// model's `sw_ns_per_item / hw_cycles_per_item`). Circuits absent
+    /// from the map never degrade.
+    pub sw_ns_per_cycle: BTreeMap<u32, u64>,
+}
+
+/// Per-tenant admission policy plus the optional watchdog/degradation
+/// defenses. `AdmissionPolicy::default()` is maximally permissive (no
+/// quotas, watchdog on with default slack, no degradation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionPolicy {
+    /// Tasks of one tenant admitted (non-terminal, past admission)
+    /// concurrently. Must be ≥ 1.
+    pub max_in_flight: u32,
+    /// Tasks of one tenant parked in the admission queue beyond the
+    /// in-flight quota; arrivals past this are rejected.
+    pub queue_cap: u32,
+    /// Hang-detection watchdog; `None` disables it (hangs then surface
+    /// as the end-of-run deadlock error).
+    pub watchdog: Option<WatchdogConfig>,
+    /// Software-emulation fallback under area saturation; `None` disables.
+    pub degradation: Option<DegradationConfig>,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            max_in_flight: u32::MAX,
+            queue_cap: u32::MAX,
+            watchdog: Some(WatchdogConfig::default()),
+            degradation: None,
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// Check the policy's numeric ranges.
+    pub fn validate(&self) -> Result<(), VfpgaError> {
+        if self.max_in_flight == 0 {
+            return Err(VfpgaError::BadAdmissionPolicy {
+                reason: "max_in_flight must be at least 1".into(),
+            });
+        }
+        if let Some(wd) = &self.watchdog {
+            if !wd.slack.is_finite() || wd.slack < 1.0 {
+                return Err(VfpgaError::BadAdmissionPolicy {
+                    reason: format!(
+                        "watchdog slack must be a finite factor >= 1.0, got {}",
+                        wd.slack
+                    ),
+                });
+            }
+        }
+        if let Some(dg) = &self.degradation {
+            if !dg.watermark.is_finite() || !(0.0..=1.0).contains(&dg.watermark) {
+                return Err(VfpgaError::BadAdmissionPolicy {
+                    reason: format!(
+                        "degradation watermark must be in [0, 1], got {}",
+                        dg.watermark
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Outcome counters for one run with admission control enabled; reported
+/// as [`Report::admission`](crate::metrics::Report::admission).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Tasks admitted (immediately or after deferral).
+    pub admitted: u64,
+    /// Tasks parked in a per-tenant queue at arrival (they may still be
+    /// admitted later; `admitted` counts them again when that happens).
+    pub deferred: u64,
+    /// Tasks load-shed at arrival (quota and queue cap both exhausted).
+    pub rejected: u64,
+    /// Tasks removed from scheduling (watchdog trips or fault recovery
+    /// exhausted).
+    pub quarantined: u64,
+    /// Completed tasks that finished after their stated deadline.
+    pub deadline_missed: u64,
+    /// Watchdog deadlines armed.
+    pub watchdog_armed: u64,
+    /// Watchdog deadlines that expired (hang detections).
+    pub watchdog_fired: u64,
+    /// Manager overhead paid for watchdog-forced preemptions (carved out
+    /// of the breakdown's `state` slice; never double-counted).
+    pub watchdog_preempt_time: SimDuration,
+    /// Operation progress discarded by watchdog preemptions (carved out
+    /// of the breakdown's `rollback_loss` slice).
+    pub watchdog_lost_time: SimDuration,
+    /// FPGA ops executed on the software-emulation path.
+    pub degraded_dispatches: u64,
+    /// CPU time spent in software emulation (useful work, priced from the
+    /// coprocessor model; also summed per task).
+    pub degraded_time: SimDuration,
+}
+
+/// Runtime admission state carried by the system (crate-internal).
+#[derive(Debug)]
+pub(crate) struct AdmissionRt {
+    /// The policy in force.
+    pub policy: AdmissionPolicy,
+    /// Admitted, non-terminal task count per tenant.
+    pub in_flight: BTreeMap<u32, u32>,
+    /// Deferred task indices per tenant, FIFO.
+    pub deferred: BTreeMap<u32, VecDeque<u32>>,
+    /// Watchdog generation per task: bumped whenever a segment ends, so a
+    /// pending watchdog event with a stale generation is ignored.
+    pub wd_seq: Vec<u64>,
+    /// Watchdog fires per task.
+    pub wd_trips: Vec<u32>,
+    /// Whether the task's *current* op is running on the software path.
+    pub degraded: Vec<bool>,
+    /// Outcome counters.
+    pub stats: AdmissionStats,
+}
+
+impl AdmissionRt {
+    pub(crate) fn new(policy: AdmissionPolicy, tasks: usize) -> Self {
+        AdmissionRt {
+            policy,
+            in_flight: BTreeMap::new(),
+            deferred: BTreeMap::new(),
+            wd_seq: vec![0; tasks],
+            wd_trips: vec![0; tasks],
+            degraded: vec![false; tasks],
+            stats: AdmissionStats::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_permissive_and_valid() {
+        let p = AdmissionPolicy::default();
+        assert_eq!(p.max_in_flight, u32::MAX);
+        assert_eq!(p.queue_cap, u32::MAX);
+        assert!(p.watchdog.is_some());
+        assert!(p.degradation.is_none());
+        p.validate().expect("default policy must validate");
+    }
+
+    #[test]
+    fn validate_rejects_bad_ranges() {
+        let zero_quota = AdmissionPolicy {
+            max_in_flight: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            zero_quota.validate(),
+            Err(VfpgaError::BadAdmissionPolicy { .. })
+        ));
+
+        let tight_slack = AdmissionPolicy {
+            watchdog: Some(WatchdogConfig {
+                slack: 0.5,
+                max_trips: 1,
+            }),
+            ..Default::default()
+        };
+        assert!(tight_slack.validate().is_err());
+
+        let nan_slack = AdmissionPolicy {
+            watchdog: Some(WatchdogConfig {
+                slack: f64::NAN,
+                max_trips: 1,
+            }),
+            ..Default::default()
+        };
+        assert!(nan_slack.validate().is_err());
+
+        let bad_mark = AdmissionPolicy {
+            degradation: Some(DegradationConfig {
+                watermark: 1.5,
+                sw_ns_per_cycle: BTreeMap::new(),
+            }),
+            ..Default::default()
+        };
+        assert!(bad_mark.validate().is_err());
+    }
+
+    #[test]
+    fn slack_of_exactly_one_is_allowed() {
+        // The event queue breaks ties FIFO and the completion timer is
+        // always scheduled before the watchdog, so slack == 1.0 is safe.
+        let p = AdmissionPolicy {
+            watchdog: Some(WatchdogConfig {
+                slack: 1.0,
+                max_trips: 0,
+            }),
+            ..Default::default()
+        };
+        p.validate().expect("slack of exactly 1.0 is legal");
+    }
+
+    #[test]
+    fn runtime_state_sized_to_task_count() {
+        let rt = AdmissionRt::new(AdmissionPolicy::default(), 5);
+        assert_eq!(rt.wd_seq.len(), 5);
+        assert_eq!(rt.wd_trips.len(), 5);
+        assert_eq!(rt.degraded.len(), 5);
+        assert_eq!(rt.stats, AdmissionStats::default());
+    }
+}

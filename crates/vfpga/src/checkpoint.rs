@@ -188,9 +188,10 @@ impl std::fmt::Display for Divergence {
 /// Differential verifier: compare per-task outcomes of an uninterrupted
 /// baseline run against a crashed-and-restored run of the same seed,
 /// field by field. Only timing-invariant fields are compared — name,
-/// done-vs-failed, useful CPU and FPGA time, and the silent-corruption
-/// flag. Completion times legitimately shift (journal replay forces
-/// re-downloads), so they are *not* compared.
+/// done-vs-failed, the admission terminal states (quarantined/rejected),
+/// useful CPU, FPGA, and software-emulation time, and the
+/// silent-corruption flag. Completion times legitimately shift (journal
+/// replay forces re-downloads), so they are *not* compared.
 pub fn diff_reports(baseline: &Report, restored: &Report) -> Vec<Divergence> {
     let mut out = Vec::new();
     if baseline.tasks.len() != restored.tasks.len() {
@@ -215,6 +216,17 @@ pub fn diff_reports(baseline: &Report, restored: &Report) -> Vec<Divergence> {
         };
         push("name", b.name.clone(), r.name.clone());
         push("failed", b.failed.to_string(), r.failed.to_string());
+        push(
+            "quarantined",
+            b.quarantined.to_string(),
+            r.quarantined.to_string(),
+        );
+        push("rejected", b.rejected.to_string(), r.rejected.to_string());
+        push(
+            "degraded_time",
+            b.degraded_time.as_nanos().to_string(),
+            r.degraded_time.as_nanos().to_string(),
+        );
         push(
             "cpu_time",
             b.cpu_time.as_nanos().to_string(),

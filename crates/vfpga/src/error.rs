@@ -55,6 +55,12 @@ pub enum VfpgaError {
         /// Name of a task left stuck.
         task: String,
     },
+    /// An admission policy with out-of-range parameters (zero quota,
+    /// watchdog slack below 1, degradation watermark outside `[0, 1]`).
+    BadAdmissionPolicy {
+        /// What is out of range.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for VfpgaError {
@@ -87,6 +93,9 @@ impl std::fmt::Display for VfpgaError {
             VfpgaError::Deadlock { task } => {
                 write!(f, "task '{task}' neither completed nor failed: deadlock")
             }
+            VfpgaError::BadAdmissionPolicy { reason } => {
+                write!(f, "admission policy invalid: {reason}")
+            }
         }
     }
 }
@@ -113,6 +122,10 @@ mod tests {
         assert!(e.to_string().contains("20"));
         let d = VfpgaError::Deadlock { task: "t3".into() };
         assert!(d.to_string().contains("t3"));
+        let a = VfpgaError::BadAdmissionPolicy {
+            reason: "max_in_flight must be at least 1".into(),
+        };
+        assert!(a.to_string().contains("max_in_flight"));
     }
 
     #[test]

@@ -35,8 +35,13 @@
 //! * [`checkpoint`] — crash consistency: periodic whole-system
 //!   checkpoints, a configuration write-ahead log, seeded host-crash
 //!   injection with restore, and the differential verifier proving a
-//!   crashed-and-restored run matches the uninterrupted one.
+//!   crashed-and-restored run matches the uninterrupted one,
+//! * [`admission`] — overload resilience: per-tenant admission quotas,
+//!   watchdog hang detection built on the §3 a-priori latency estimate,
+//!   quarantine of misbehaving tasks, and graceful degradation to
+//!   software emulation past an area-saturation watermark.
 
+pub mod admission;
 pub mod checkpoint;
 pub mod circuit;
 pub mod error;
@@ -50,6 +55,7 @@ pub mod system;
 pub mod task;
 pub mod vmem;
 
+pub use admission::{AdmissionPolicy, AdmissionStats, DegradationConfig, WatchdogConfig};
 pub use checkpoint::{
     diff_reports, run_with_crashes, run_with_crashes_traced, CheckpointConfig, CheckpointImage,
     CrashState, CrashStats, Divergence, RunOutcome, WalRecord,

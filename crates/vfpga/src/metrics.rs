@@ -4,6 +4,7 @@
 //! device utilization; this module accumulates them per task and
 //! aggregates a [`Report`] per run.
 
+use crate::admission::AdmissionStats;
 use crate::checkpoint::CrashStats;
 use crate::manager::ManagerStats;
 use crate::recovery::FaultStats;
@@ -29,10 +30,21 @@ pub struct TaskMetrics {
     /// FPGA work discarded by fault recovery (garbage computed on a
     /// corrupted circuit between the strike and its repair).
     pub fault_lost_time: SimDuration,
+    /// CPU time spent emulating FPGA ops in software (graceful
+    /// degradation under area saturation). Useful work, like `cpu_time`,
+    /// but priced from the coprocessor software model.
+    pub degraded_time: SimDuration,
     /// Number of times the task blocked on an FPGA resource.
     pub blocked_count: u64,
     /// Terminated by fault recovery instead of completing.
     pub failed: bool,
+    /// Removed from scheduling by admission control (watchdog trips or
+    /// fault recovery exhausted).
+    pub quarantined: bool,
+    /// Load-shed at arrival: never admitted.
+    pub rejected: bool,
+    /// Completed, but after its stated deadline.
+    pub deadline_missed: bool,
     /// The task "completed" but at least one of its FPGA ops ran on a
     /// stale residency claim after a crash-restore without journal
     /// replay: the result is garbage the system never noticed (silent
@@ -46,10 +58,15 @@ impl TaskMetrics {
         self.completion - self.arrival
     }
 
-    /// Sum of all accounted activity: CPU + FPGA + overhead + rollback
-    /// loss + fault-recovery loss.
+    /// Sum of all accounted activity: CPU + FPGA + software emulation +
+    /// overhead + rollback loss + fault-recovery loss.
     pub fn accounted(&self) -> SimDuration {
-        self.cpu_time + self.fpga_time + self.overhead_time + self.lost_time + self.fault_lost_time
+        self.cpu_time
+            + self.fpga_time
+            + self.degraded_time
+            + self.overhead_time
+            + self.lost_time
+            + self.fault_lost_time
     }
 
     /// Time neither computing nor charged overhead: queueing/blocked time.
@@ -100,6 +117,11 @@ pub struct OverheadBreakdown {
     /// Background port traffic spent replaying the configuration journal
     /// after a crash (undo of torn downloads, redo verification).
     pub journal_replay: SimDuration,
+    /// Watchdog-forced preemptions: manager overhead of the forced state
+    /// moves plus the operation progress they discarded. Carved out of
+    /// `state` and `rollback_loss` respectively, so the slices stay
+    /// disjoint (zero unless admission control armed watchdogs).
+    pub watchdog: SimDuration,
     /// Remaining charged overhead not attributed to a phase above.
     pub other: SimDuration,
 }
@@ -116,6 +138,7 @@ impl OverheadBreakdown {
             + self.fault_retry
             + self.checkpoint
             + self.journal_replay
+            + self.watchdog
             + self.other
     }
 }
@@ -144,6 +167,11 @@ pub struct Report {
     /// checkpointing enabled). Checkpoint readbacks and journal replay
     /// run in the background like scrubbing — never task-charged.
     pub crash: CrashStats,
+    /// Admission-control outcome counters; `None` unless the run was
+    /// built with [`System::with_admission`](crate::system::System::with_admission),
+    /// so reports from admission-free runs are byte-identical to before
+    /// the subsystem existed.
+    pub admission: Option<AdmissionStats>,
     /// Counter/gauge snapshot taken at the end of the run (empty unless the
     /// system ran with observability enabled).
     pub metrics: Metrics,
@@ -172,11 +200,11 @@ impl Report {
         s.mean()
     }
 
-    /// Total useful time (CPU + FPGA) across tasks.
+    /// Total useful time (CPU + FPGA + software emulation) across tasks.
     pub fn useful_time(&self) -> SimDuration {
-        self.tasks
-            .iter()
-            .fold(SimDuration::ZERO, |a, t| a + t.cpu_time + t.fpga_time)
+        self.tasks.iter().fold(SimDuration::ZERO, |a, t| {
+            a + t.cpu_time + t.fpga_time + t.degraded_time
+        })
     }
 
     /// Total overhead (config + state + rollback losses).
@@ -219,13 +247,23 @@ impl Report {
     /// downloads (which the manager's `config_time` necessarily includes)
     /// are split out into `fault_retry`.
     pub fn overhead_breakdown(&self) -> OverheadBreakdown {
+        // Watchdog-forced preemptions are reattributed into their own
+        // slice: the manager overhead they caused comes out of `state`,
+        // the progress they discarded out of `rollback_loss`, so the
+        // slices stay disjoint and the tiling invariant holds.
+        let (wd_preempt, wd_lost) = match &self.admission {
+            Some(a) => (a.watchdog_preempt_time, a.watchdog_lost_time),
+            None => (SimDuration::ZERO, SimDuration::ZERO),
+        };
+        let watchdog = wd_preempt + wd_lost;
         let rollback_loss = self
             .tasks
             .iter()
-            .fold(SimDuration::ZERO, |a, t| a + t.lost_time);
+            .fold(SimDuration::ZERO, |a, t| a + t.lost_time)
+            .saturating_sub(wd_lost);
         let fault_retry = self.fault.retry_time;
         let config = self.manager_stats.config_time.saturating_sub(fault_retry);
-        let state = self.manager_stats.state_time;
+        let state = self.manager_stats.state_time.saturating_sub(wd_preempt);
         let gc = self.manager_stats.gc_time;
         let other = self
             .overhead_time()
@@ -233,7 +271,8 @@ impl Report {
             .saturating_sub(state)
             .saturating_sub(gc)
             .saturating_sub(rollback_loss)
-            .saturating_sub(fault_retry);
+            .saturating_sub(fault_retry)
+            .saturating_sub(watchdog);
         OverheadBreakdown {
             config,
             state,
@@ -245,6 +284,7 @@ impl Report {
             // subtracted when computing `other`.
             checkpoint: self.crash.checkpoint_time,
             journal_replay: self.crash.replay_time,
+            watchdog,
             other,
         }
     }
@@ -353,6 +393,39 @@ mod tests {
         assert_eq!(b.fault_retry, SimDuration::from_millis(15));
         // overhead_time = 120 + 30 = 150; other = 150 − 55 − 20 − 10 − 30 − 15.
         assert_eq!(b.other, SimDuration::from_millis(20));
+        assert_eq!(b.total(), r.overhead_time());
+    }
+
+    #[test]
+    fn watchdog_slice_is_carved_not_double_counted() {
+        use crate::admission::AdmissionStats;
+        let mut a = tm("a", 0, 400, 100, 120);
+        a.lost_time = SimDuration::from_millis(30);
+        let r = Report {
+            manager: "x",
+            scheduler: "y",
+            tasks: vec![a],
+            makespan: SimDuration::from_millis(400),
+            manager_stats: ManagerStats {
+                config_time: SimDuration::from_millis(70),
+                state_time: SimDuration::from_millis(20),
+                gc_time: SimDuration::from_millis(10),
+                ..Default::default()
+            },
+            admission: Some(AdmissionStats {
+                watchdog_preempt_time: SimDuration::from_millis(8),
+                watchdog_lost_time: SimDuration::from_millis(12),
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let b = r.overhead_breakdown();
+        // The forced-preempt overhead moves out of `state`, the discarded
+        // progress out of `rollback_loss`; both land in `watchdog`.
+        assert_eq!(b.state, SimDuration::from_millis(12));
+        assert_eq!(b.rollback_loss, SimDuration::from_millis(18));
+        assert_eq!(b.watchdog, SimDuration::from_millis(20));
+        // Tiling is preserved: the slices still sum to the charged total.
         assert_eq!(b.total(), r.overhead_time());
     }
 }

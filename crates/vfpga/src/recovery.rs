@@ -44,7 +44,10 @@ pub enum UpsetRecovery {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RecoveryPolicy {
     /// Download retries after the first corrupt attempt before the task
-    /// is declared failed.
+    /// is declared failed — or, when admission control is active
+    /// ([`crate::System::with_admission`]), quarantined: the task is
+    /// removed from scheduling and reported under the admission stats
+    /// instead of counting as a plain fault casualty.
     pub max_download_retries: u32,
     /// Base backoff before the first retry; doubles per attempt.
     pub retry_backoff: SimDuration,
@@ -55,7 +58,8 @@ pub struct RecoveryPolicy {
     pub upset_recovery: UpsetRecovery,
     /// Fault-recovery restarts of one op before the task is declared
     /// failed (guards against an op that can never finish under a heavy
-    /// upset rate).
+    /// upset rate). Under admission control exhaustion quarantines the
+    /// task rather than failing it, same as the download-retry bound.
     pub max_op_recoveries: u32,
 }
 

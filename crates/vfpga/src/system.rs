@@ -10,6 +10,7 @@
 //! the desired FPGA configuration … then the operating system can put
 //! running the task", §3).
 
+use crate::admission::{AdmissionPolicy, AdmissionRt};
 use crate::checkpoint::{
     CheckpointConfig, CheckpointImage, CrashState, CrashStats, RunOutcome, WalRecord,
 };
@@ -25,7 +26,7 @@ use fsim::{
     EventQueue, FaultInjector, FaultPlan, Metrics, SimDuration, SimTime, TimelineSet, Trace,
     TraceEvent,
 };
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 /// How the OS learns an FPGA operation has finished (§3).
@@ -93,6 +94,13 @@ enum Ev {
     /// The host dies here (scheduled by [`System::run_until`]; never
     /// serialized into a checkpoint image).
     Crash,
+    /// A watchdog deadline for `tid`'s dispatched FPGA segment. `seq` is
+    /// the arming generation: a segment that ends on time bumps the
+    /// task's generation, turning the still-pending event stale.
+    Watchdog {
+        tid: TaskId,
+        seq: u64,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -124,8 +132,11 @@ fn state_str(s: TaskState) -> &'static str {
         TaskState::Ready => "ready",
         TaskState::Running => "running",
         TaskState::Blocked => "blocked",
+        TaskState::Deferred => "deferred",
         TaskState::Done => "done",
         TaskState::Failed => "failed",
+        TaskState::Quarantined => "quarantined",
+        TaskState::Rejected => "rejected",
     }
 }
 
@@ -135,8 +146,11 @@ fn state_from_str(s: &str) -> Result<TaskState, String> {
         "ready" => TaskState::Ready,
         "running" => TaskState::Running,
         "blocked" => TaskState::Blocked,
+        "deferred" => TaskState::Deferred,
         "done" => TaskState::Done,
         "failed" => TaskState::Failed,
+        "quarantined" => TaskState::Quarantined,
+        "rejected" => TaskState::Rejected,
         other => return Err(format!("unknown task state '{other}'")),
     })
 }
@@ -205,6 +219,9 @@ pub struct System<M: FpgaManager, S: Scheduler> {
     /// post-checkpoint download overwrote, discovered only because the
     /// journal was OFF — the next "hit" on one computes garbage.
     stale: BTreeSet<u32>,
+    /// Admission-control runtime (quotas, watchdogs, degradation);
+    /// `None` leaves every legacy code path byte-identical.
+    admission: Option<AdmissionRt>,
 }
 
 impl<M: FpgaManager, S: Scheduler> System<M, S> {
@@ -262,6 +279,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             wal: Vec::new(),
             crash: CrashStats::default(),
             stale: BTreeSet::new(),
+            admission: None,
         }
     }
 
@@ -319,6 +337,17 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         self.queue
             .schedule_at(SimTime::ZERO + cfg.interval, Ev::Checkpoint);
         self.ckpt = Some(cfg);
+        Ok(self)
+    }
+
+    /// Attach per-tenant admission control, watchdog hang detection and,
+    /// optionally, software-emulation degradation under area saturation.
+    /// Fails with [`VfpgaError::BadAdmissionPolicy`] on out-of-range
+    /// parameters. A system built without this call behaves
+    /// byte-identically to one predating the admission subsystem.
+    pub fn with_admission(mut self, policy: AdmissionPolicy) -> Result<Self, VfpgaError> {
+        policy.validate()?;
+        self.admission = Some(AdmissionRt::new(policy, self.tasks.len()));
         Ok(self)
     }
 
@@ -389,6 +418,11 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             TraceEvent::CheckpointTaken { .. } => self.reg.inc("checkpoints", 1),
             TraceEvent::Crash { .. } => self.reg.inc("crashes", 1),
             TraceEvent::JournalReplay { .. } => self.reg.inc("journal_replays", 1),
+            TraceEvent::WatchdogArmed { .. } => self.reg.inc("watchdogs_armed", 1),
+            TraceEvent::WatchdogFired { .. } => self.reg.inc("watchdogs_fired", 1),
+            TraceEvent::TaskRejected { .. } => self.reg.inc("tasks_rejected", 1),
+            TraceEvent::TaskQuarantined { .. } => self.reg.inc("tasks_quarantined", 1),
+            TraceEvent::DegradedDispatch { .. } => self.reg.inc("degraded_dispatches", 1),
             TraceEvent::Custom { .. } => self.reg.inc("custom_events", 1),
         }
         self.trace.record(at, event);
@@ -431,25 +465,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         while let Some(ev) = self.queue.pop() {
             let now = ev.at;
             match ev.event {
-                Ev::Arrive(tid) => {
-                    let t = &mut self.tasks[tid.0 as usize];
-                    debug_assert_eq!(t.state, TaskState::Future);
-                    t.state = TaskState::Ready;
-                    let prio = t.spec.priority;
-                    if self.trace.is_enabled() {
-                        let info = t.spec.name.clone();
-                        self.record(
-                            now,
-                            TraceEvent::TaskState {
-                                task: tid.0,
-                                state: fsim::TaskState::Arrive,
-                                info,
-                            },
-                        );
-                    }
-                    self.sched.on_ready(tid, prio, now);
-                    self.dispatch(now);
-                }
+                Ev::Arrive(tid) => self.on_arrive(tid, now),
                 Ev::Dispatch => self.dispatch(now),
                 Ev::Timer(tid) => self.on_timer(tid, now),
                 Ev::Seu => self.on_seu(now),
@@ -474,6 +490,14 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                     if self.unfinished > 0 {
                         let state = self.crash_now(now);
                         return Ok(RunOutcome::Crashed(Box::new(state)));
+                    }
+                }
+                Ev::Watchdog { tid, seq } => {
+                    if !self.on_watchdog(tid, seq, now) {
+                        // Stale: the segment ended on time. Skip even the
+                        // observation sample so that runs with no hangs stay
+                        // byte-identical to runs without watchdogs.
+                        continue;
                     }
                 }
             }
@@ -512,6 +536,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 manager_stats: self.manager.stats(),
                 fault: self.fault,
                 crash: self.crash,
+                admission: self.admission.as_ref().map(|a| a.stats),
                 metrics: self.reg,
                 timelines: self.timelines,
             }),
@@ -731,6 +756,10 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                     .set("blocked", m.blocked_count)
                     .set("failed", m.failed)
                     .set("corrupted", m.corrupted)
+                    .set("degraded", dur(m.degraded_time))
+                    .set("quarantined", m.quarantined)
+                    .set("rejected", m.rejected)
+                    .set("deadline_missed", m.deadline_missed)
                     .build()
             })
             .collect();
@@ -781,6 +810,10 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                     Ev::RetryDone(t) => ("retry_done", Json::from(u64::from(t.0))),
                     Ev::Retry(t) => ("retry", Json::from(u64::from(t.0))),
                     Ev::Checkpoint => ("ckpt", Json::Null),
+                    Ev::Watchdog { tid, seq } => (
+                        "watchdog",
+                        Json::Arr(vec![Json::from(u64::from(tid.0)), Json::from(seq)]),
+                    ),
                     // The crash is the one event that must NOT survive:
                     // the next segment gets its own crash time.
                     Ev::Crash => return None,
@@ -815,6 +848,61 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                     .map(|s| Json::Arr(s.iter().map(|&w| Json::from(w)).collect()))
                     .collect(),
             ),
+        };
+        let admission = match &self.admission {
+            None => Json::Null,
+            Some(a) => {
+                let in_flight: Vec<Json> = a
+                    .in_flight
+                    .iter()
+                    .map(|(t, c)| {
+                        Json::Arr(vec![Json::from(u64::from(*t)), Json::from(u64::from(*c))])
+                    })
+                    .collect();
+                let deferred: Vec<Json> = a
+                    .deferred
+                    .iter()
+                    .map(|(t, q)| {
+                        Json::Arr(vec![
+                            Json::from(u64::from(*t)),
+                            Json::Arr(q.iter().map(|&x| Json::from(u64::from(x))).collect()),
+                        ])
+                    })
+                    .collect();
+                let st = &a.stats;
+                Obj::new()
+                    .set("in_flight", in_flight)
+                    .set("deferred", deferred)
+                    .set("wd_seq", a.wd_seq.clone())
+                    .set(
+                        "wd_trips",
+                        a.wd_trips.iter().map(|&v| u64::from(v)).collect::<Vec<_>>(),
+                    )
+                    .set(
+                        "degraded",
+                        a.degraded
+                            .iter()
+                            .map(|&b| Json::from(b))
+                            .collect::<Vec<_>>(),
+                    )
+                    .set(
+                        "stats",
+                        Obj::new()
+                            .set("admitted", st.admitted)
+                            .set("deferred", st.deferred)
+                            .set("rejected", st.rejected)
+                            .set("quarantined", st.quarantined)
+                            .set("deadline_missed", st.deadline_missed)
+                            .set("wd_armed", st.watchdog_armed)
+                            .set("wd_fired", st.watchdog_fired)
+                            .set("wd_preempt", dur(st.watchdog_preempt_time))
+                            .set("wd_lost", dur(st.watchdog_lost_time))
+                            .set("degraded_dispatches", st.degraded_dispatches)
+                            .set("degraded_time", dur(st.degraded_time))
+                            .build(),
+                    )
+                    .build()
+            }
         };
         Obj::new()
             .set("schema", "vfpga-ckpt/1")
@@ -864,6 +952,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             .set("pending", pending)
             .set("fault", fault)
             .set("rng", rng)
+            .set("admission", admission)
             .set("sched", self.sched.snapshot().expect("validated at enable"))
             .set(
                 "manager",
@@ -933,6 +1022,10 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             mm.blocked_count = field(m, "blocked")?;
             mm.failed = fbool(m, "failed")?;
             mm.corrupted = fbool(m, "corrupted")?;
+            mm.degraded_time = fdur(m, "degraded")?;
+            mm.quarantined = fbool(m, "quarantined")?;
+            mm.rejected = fbool(m, "rejected")?;
+            mm.deadline_missed = fbool(m, "deadline_missed")?;
         }
         let vec_u64 = |key: &'static str| -> Result<Vec<u64>, String> {
             fixed(get(key)?, key, n)?
@@ -1044,6 +1137,76 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 return Err("fault injector presence differs from the image".into());
             }
         }
+        match (get("admission")?, self.admission.as_mut()) {
+            (Json::Null, None) => {}
+            (a @ Json::Obj(_), Some(adm)) => {
+                adm.in_flight.clear();
+                for v in arr_of(
+                    a.get("in_flight").ok_or("missing 'in_flight'")?,
+                    "in_flight",
+                )? {
+                    match v.as_arr() {
+                        Some([Json::UInt(t), Json::UInt(c)]) => {
+                            adm.in_flight.insert(*t as u32, *c as u32);
+                        }
+                        _ => return Err(format!("in_flight entry: {v:?}")),
+                    }
+                }
+                adm.deferred.clear();
+                for v in arr_of(a.get("deferred").ok_or("missing 'deferred'")?, "deferred")? {
+                    match v.as_arr() {
+                        Some([Json::UInt(t), q]) => {
+                            let q: VecDeque<u32> = arr_of(q, "deferred queue")?
+                                .iter()
+                                .map(|x| u64_of(x, "deferred tid").map(|x| x as u32))
+                                .collect::<Result<_, String>>()?;
+                            adm.deferred.insert(*t as u32, q);
+                        }
+                        _ => return Err(format!("deferred entry: {v:?}")),
+                    }
+                }
+                adm.wd_seq = fixed(a.get("wd_seq").ok_or("missing 'wd_seq'")?, "wd_seq", n)?
+                    .iter()
+                    .map(|v| u64_of(v, "wd_seq"))
+                    .collect::<Result<_, String>>()?;
+                adm.wd_trips = fixed(
+                    a.get("wd_trips").ok_or("missing 'wd_trips'")?,
+                    "wd_trips",
+                    n,
+                )?
+                .iter()
+                .map(|v| u64_of(v, "wd_trips").map(|x| x as u32))
+                .collect::<Result<_, String>>()?;
+                adm.degraded = fixed(
+                    a.get("degraded").ok_or("missing 'degraded'")?,
+                    "degraded",
+                    n,
+                )?
+                .iter()
+                .map(|v| match v {
+                    Json::Bool(b) => Ok(*b),
+                    other => Err(format!("degraded entry: {other:?}")),
+                })
+                .collect::<Result<_, String>>()?;
+                let st = a.get("stats").ok_or("missing admission 'stats'")?;
+                adm.stats = crate::admission::AdmissionStats {
+                    admitted: field(st, "admitted")?,
+                    deferred: field(st, "deferred")?,
+                    rejected: field(st, "rejected")?,
+                    quarantined: field(st, "quarantined")?,
+                    deadline_missed: field(st, "deadline_missed")?,
+                    watchdog_armed: field(st, "wd_armed")?,
+                    watchdog_fired: field(st, "wd_fired")?,
+                    watchdog_preempt_time: fdur(st, "wd_preempt")?,
+                    watchdog_lost_time: fdur(st, "wd_lost")?,
+                    degraded_dispatches: field(st, "degraded_dispatches")?,
+                    degraded_time: fdur(st, "degraded_time")?,
+                };
+            }
+            _ => {
+                return Err("admission presence differs from the image".into());
+            }
+        }
         self.sched
             .restore(get("sched")?)
             .map_err(|e| format!("scheduler: {e}"))?;
@@ -1072,6 +1235,13 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 "retry_done" => Ev::RetryDone(tid()?),
                 "retry" => Ev::Retry(tid()?),
                 "ckpt" => Ev::Checkpoint,
+                "watchdog" => match arg.as_arr() {
+                    Some([Json::UInt(t), Json::UInt(sq)]) => Ev::Watchdog {
+                        tid: TaskId(*t as u32),
+                        seq: *sq,
+                    },
+                    _ => return Err(format!("watchdog arg: {arg:?}")),
+                },
                 other => return Err(format!("unknown pending event '{other}'")),
             };
             self.queue.schedule_at(at, ev);
@@ -1113,6 +1283,253 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         }
         let wake = self.manager.task_exit(tid);
         self.wake(wake, now);
+        self.admission_on_terminal(tid, now);
+    }
+
+    /// A task arrives: with admission control on, the tenant's quota and
+    /// queue cap decide between admitting now, parking in the per-tenant
+    /// FIFO, and load-shedding; without it, the task is always admitted.
+    fn on_arrive(&mut self, tid: TaskId, now: SimTime) {
+        let ti = tid.0 as usize;
+        debug_assert_eq!(self.tasks[ti].state, TaskState::Future);
+        if self.trace.is_enabled() {
+            let info = self.tasks[ti].spec.name.clone();
+            self.record(
+                now,
+                TraceEvent::TaskState {
+                    task: tid.0,
+                    state: fsim::TaskState::Arrive,
+                    info,
+                },
+            );
+        }
+        enum Decision {
+            Admit,
+            Defer,
+            Reject,
+        }
+        let tenant = self.tasks[ti].spec.tenant;
+        let decision = match self.admission.as_mut() {
+            None => Decision::Admit,
+            Some(adm) => {
+                let in_flight = adm.in_flight.entry(tenant).or_insert(0);
+                if *in_flight < adm.policy.max_in_flight {
+                    *in_flight += 1;
+                    adm.stats.admitted += 1;
+                    Decision::Admit
+                } else if (adm.deferred.get(&tenant).map_or(0, |q| q.len()) as u64)
+                    < u64::from(adm.policy.queue_cap)
+                {
+                    adm.deferred.entry(tenant).or_default().push_back(tid.0);
+                    adm.stats.deferred += 1;
+                    Decision::Defer
+                } else {
+                    adm.stats.rejected += 1;
+                    Decision::Reject
+                }
+            }
+        };
+        match decision {
+            Decision::Admit => {
+                self.tasks[ti].state = TaskState::Ready;
+                let prio = self.tasks[ti].spec.priority;
+                self.sched.on_ready(tid, prio, now);
+                self.dispatch(now);
+            }
+            Decision::Defer => self.tasks[ti].state = TaskState::Deferred,
+            Decision::Reject => {
+                self.tasks[ti].state = TaskState::Rejected;
+                self.tasks[ti].completed_at = now;
+                self.metrics[ti].completion = now;
+                self.metrics[ti].rejected = true;
+                self.unfinished -= 1;
+                if self.trace.is_enabled() {
+                    self.record(
+                        now,
+                        TraceEvent::TaskRejected {
+                            task: tid.0,
+                            tenant,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Remove a task from scheduling without calling it merely "failed":
+    /// it keeps its metrics, frees its device claims, and is reported as
+    /// quarantined — the end-of-run deadlock sweep never sees it.
+    fn quarantine_task(&mut self, tid: TaskId, now: SimTime, reason: &'static str) {
+        let ti = tid.0 as usize;
+        debug_assert!(!self.tasks[ti].state.is_terminal());
+        self.tasks[ti].state = TaskState::Quarantined;
+        self.tasks[ti].completed_at = now;
+        self.metrics[ti].completion = now;
+        self.metrics[ti].quarantined = true;
+        if let Some(adm) = self.admission.as_mut() {
+            adm.stats.quarantined += 1;
+        }
+        self.unfinished -= 1;
+        self.poisoned[ti] = None;
+        if self.trace.is_enabled() {
+            self.record(
+                now,
+                TraceEvent::TaskQuarantined {
+                    task: tid.0,
+                    reason,
+                },
+            );
+        }
+        let wake = self.manager.task_exit(tid);
+        self.wake(wake, now);
+        self.admission_on_terminal(tid, now);
+    }
+
+    /// An admitted task left the system (done, failed, or quarantined):
+    /// release its tenant's in-flight slot and admit the longest-waiting
+    /// deferred task of that tenant, if any. Callers dispatch afterwards.
+    fn admission_on_terminal(&mut self, tid: TaskId, now: SimTime) {
+        let ti = tid.0 as usize;
+        let tenant = self.tasks[ti].spec.tenant;
+        let next = match self.admission.as_mut() {
+            None => return,
+            Some(adm) => {
+                let slots = adm.in_flight.entry(tenant).or_insert(0);
+                *slots = slots.saturating_sub(1);
+                if *slots < adm.policy.max_in_flight {
+                    match adm.deferred.get_mut(&tenant).and_then(|q| q.pop_front()) {
+                        Some(t) => {
+                            *slots += 1;
+                            adm.stats.admitted += 1;
+                            Some(TaskId(t))
+                        }
+                        None => None,
+                    }
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(nt) = next {
+            let ni = nt.0 as usize;
+            debug_assert_eq!(self.tasks[ni].state, TaskState::Deferred);
+            self.tasks[ni].state = TaskState::Ready;
+            let prio = self.tasks[ni].spec.priority;
+            self.sched.on_ready(nt, prio, now);
+        }
+    }
+
+    /// Whether a fresh FPGA op should run on the software path instead of
+    /// competing for fabric: degradation configured, this op not the
+    /// deliberate hang, a software model priced for the circuit, device
+    /// saturated past the watermark, and the circuit not already resident
+    /// (a resident hit is cheaper on hardware regardless of pressure).
+    /// Returns the software cost in ns per hardware cycle.
+    fn degrade_target(&self, circuit: CircuitId, ti: usize) -> Option<u64> {
+        let adm = self.admission.as_ref()?;
+        let dg = adm.policy.degradation.as_ref()?;
+        if self.tasks[ti].spec.hang_op == Some(self.tasks[ti].op_idx) {
+            return None; // the hang models a broken circuit, not a slow one
+        }
+        let sw_ns = *dg.sw_ns_per_cycle.get(&circuit.0)?;
+        let u = self.manager.usage();
+        if u.total_clbs == 0 || (u.used_clbs as f64) < dg.watermark * (u.total_clbs as f64) {
+            return None;
+        }
+        if self
+            .manager
+            .resident_regions()
+            .iter()
+            .any(|r| r.cid == circuit)
+        {
+            return None;
+        }
+        Some(sw_ns)
+    }
+
+    /// A watchdog deadline fired. Returns false when the event is stale
+    /// (its generation no longer matches because the segment ended on
+    /// time); the caller then skips the observation sample too, so an
+    /// expired-but-harmless watchdog cannot perturb recorded timelines.
+    fn on_watchdog(&mut self, tid: TaskId, seq: u64, now: SimTime) -> bool {
+        let ti = tid.0 as usize;
+        let (trip, max_trips) = {
+            let Some(adm) = self.admission.as_mut() else {
+                return false;
+            };
+            if adm.wd_seq[ti] != seq {
+                return false;
+            }
+            debug_assert!(
+                matches!(&self.running, Some(r) if r.tid == tid),
+                "a live watchdog generation implies the task is mid-segment"
+            );
+            adm.wd_seq[ti] += 1; // consumed: nothing else may fire on this segment
+            adm.wd_trips[ti] += 1;
+            adm.stats.watchdog_fired += 1;
+            let max = adm.policy.watchdog.map(|w| w.max_trips).unwrap_or(0);
+            (adm.wd_trips[ti], max)
+        };
+        let run = self.running.take().expect("watchdog fired on an idle CPU");
+        debug_assert_eq!(run.tid, tid);
+        let f = run.fpga.expect("watchdog armed on a non-FPGA segment");
+
+        // The op made no trustworthy progress: a hung (or wildly
+        // misestimated) circuit's state is not worth saving, so the whole
+        // op is discarded — prior completed slices included — exactly like
+        // a rollback. The CPU was genuinely held for the whole overrun
+        // (co-processor model), so the elapsed wall time is charged lost.
+        let elapsed = now - run.exec_start;
+        let done = self.op_done_so_far[ti];
+        let lost = done + elapsed;
+        self.metrics[ti].fpga_time -= done;
+        self.metrics[ti].lost_time += lost;
+        self.tasks[ti].op_remaining = self.op_full[ti];
+        self.op_done_so_far[ti] = SimDuration::ZERO;
+        self.poisoned[ti] = None; // discarded along with the progress
+
+        // Reclaim the device through the existing machinery: a preemption
+        // where the policy supports one, otherwise a forced completion
+        // that releases the slot (the fault-restart path's move).
+        let post =
+            if self.config.preempt != PreemptAction::WaitCompletion && self.manager.preemptable() {
+                let pc = self.manager.preempt(tid, f.cid);
+                self.metrics[ti].overhead_time += pc.overhead;
+                pc.overhead
+            } else {
+                let (ovh, wake) = self.manager.op_done(tid, f.cid);
+                self.metrics[ti].overhead_time += ovh;
+                self.wake(wake, now);
+                ovh
+            };
+        if let Some(adm) = self.admission.as_mut() {
+            adm.stats.watchdog_lost_time += lost;
+            adm.stats.watchdog_preempt_time += post;
+        }
+        if self.trace.is_enabled() {
+            self.record(
+                now,
+                TraceEvent::WatchdogFired {
+                    task: tid.0,
+                    trip,
+                    lost,
+                },
+            );
+        }
+
+        if trip > max_trips {
+            self.quarantine_task(tid, now, "watchdog trips exhausted");
+        } else {
+            self.tasks[ti].state = TaskState::Ready;
+            let prio = self.tasks[ti].spec.priority;
+            self.sched.on_ready(tid, prio, now);
+        }
+        if post > SimDuration::ZERO {
+            self.queue.schedule_at(now + post, Ev::Dispatch);
+        } else {
+            self.dispatch(now);
+        }
+        true
     }
 
     /// A configuration upset strikes column `col` at `now`.
@@ -1387,7 +1804,14 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         debug_assert_eq!(run.tid, tid);
         let ti = tid.0 as usize;
         if self.dl_attempts[ti] > self.recovery.max_download_retries {
-            self.fail_task(tid, now, "download retries exhausted");
+            // Under admission control a task that exhausts its recovery
+            // budget is quarantined (reported separately from genuine
+            // failures); legacy runs keep the Failed classification.
+            if self.admission.is_some() {
+                self.quarantine_task(tid, now, "download retries exhausted");
+            } else {
+                self.fail_task(tid, now, "download retries exhausted");
+            }
             self.dispatch(now);
             return;
         }
@@ -1427,146 +1851,198 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
 
             let mut overhead = SimDuration::ZERO;
             let mut fpga_ctx: Option<FpgaSeg> = None;
+            // An FPGA op running on the software-emulation path (graceful
+            // degradation): priced from the coprocessor model, executed
+            // like a CPU burst, never touching the manager.
+            let mut software_op = false;
 
             if let Op::FpgaRun { circuit, cycles } = op {
-                // Resolve the op duration on first activation.
-                if self.op_full[ti] == SimDuration::ZERO {
-                    let d = self.lib.get(circuit).run_time(cycles);
+                let already_degraded = self.admission.as_ref().is_some_and(|a| a.degraded[ti]);
+                let degrade_now = !already_degraded
+                    && self.op_done_so_far[ti] == SimDuration::ZERO
+                    && self.degrade_target(circuit, ti).is_some();
+                if already_degraded {
+                    // Mid-op re-dispatch of a degraded segment: stay on
+                    // the CPU; the pricing decision is sticky per op.
+                    software_op = true;
+                } else if degrade_now {
+                    let sw_ns = self
+                        .degrade_target(circuit, ti)
+                        .expect("checked just above");
+                    let d = SimDuration::from_nanos(cycles.saturating_mul(sw_ns));
                     self.op_full[ti] = d;
                     self.tasks[ti].op_remaining = d;
                     self.op_done_so_far[ti] = SimDuration::ZERO;
-                }
-                // A stats snapshot lets us detect whether this activation
-                // downloaded: fault injection corrupts downloads, and the
-                // checkpoint machinery journals them.
-                let dl_before = if self.injector.is_some() || self.ckpt.is_some() {
-                    Some(self.manager.stats())
-                } else {
-                    None
-                };
-                match self.manager.activate(tid, circuit) {
-                    Activation::Blocked => {
-                        self.tasks[ti].state = TaskState::Blocked;
-                        self.metrics[ti].blocked_count += 1;
-                        if self.trace.is_enabled() {
-                            self.record(
-                                now,
-                                TraceEvent::TaskState {
-                                    task: tid.0,
-                                    state: fsim::TaskState::Block,
-                                    info: format!("blocks on circuit {}", circuit.0),
-                                },
-                            );
-                        }
-                        continue;
-                    }
-                    Activation::Unservable => {
-                        // No configuration of the device can ever serve
-                        // this request (e.g. capacity retired below the
-                        // circuit's width): fail, don't hang.
-                        self.fail_task(tid, now, "unservable request");
-                        continue;
-                    }
-                    Activation::Ready { overhead: o } => {
-                        // Transient download corruption: the per-download
-                        // CRC catches it; the wasted attempt still costs
-                        // the full download time on the CPU.
-                        let corrupted = match (&dl_before, self.injector.as_mut()) {
-                            (Some(before), Some(inj)) => {
-                                self.manager.stats().downloads > before.downloads
-                                    && inj.corrupt_download()
-                            }
-                            _ => false,
-                        };
-                        if corrupted {
-                            let before = dl_before.unwrap();
-                            self.manager.discard_resident(circuit);
-                            self.fault.download_faults += 1;
-                            self.fault.crc_mismatches += 1;
-                            self.fault.retry_time +=
-                                self.manager.stats().config_time - before.config_time;
-                            self.dl_attempts[ti] += 1;
-                            self.metrics[ti].overhead_time += o;
-                            if self.trace.is_enabled() {
-                                self.record(
-                                    now,
-                                    TraceEvent::FaultInjected {
-                                        kind: "download",
-                                        circuit: Some(circuit.0),
-                                        col: None,
-                                    },
-                                );
-                                self.record(
-                                    now,
-                                    TraceEvent::CrcMismatch {
-                                        circuit: circuit.0,
-                                        task: Some(tid.0),
-                                        context: "download",
-                                    },
-                                );
-                            }
-                            // The CPU is held for the wasted attempt; the
-                            // retry decision happens when it elapses.
-                            self.tasks[ti].state = TaskState::Running;
-                            self.running = Some(Running {
-                                tid,
-                                dur: SimDuration::ZERO,
-                                exec_start: now + o,
-                                fpga: None,
-                            });
-                            self.queue.schedule_at(now + o, Ev::RetryDone(tid));
-                            return;
-                        }
-                        self.dl_attempts[ti] = 0;
-                        if self.ckpt.is_some() {
-                            let before = dl_before.as_ref().expect("snapshot taken above");
-                            let after = self.manager.stats();
-                            if after.downloads > before.downloads {
-                                // A download overwrote the device: journal
-                                // it. Whatever stale claim covered that
-                                // region is also refreshed for this circuit.
-                                let (col0, width) = self
-                                    .manager
-                                    .resident_regions()
-                                    .into_iter()
-                                    .find(|r| r.cid == circuit)
-                                    .map(|r| (r.col0, r.width))
-                                    .unwrap_or((0, self.manager.timing().spec.cols));
-                                self.wal.push(WalRecord {
-                                    seq: self.wal.len() as u64,
-                                    cid: circuit,
-                                    col0,
-                                    width,
-                                    at: now,
-                                    duration: after.config_time - before.config_time,
-                                });
-                                self.stale.remove(&circuit.0);
-                            } else if self.stale.contains(&circuit.0) {
-                                // Residency "hit" on a claim a crash
-                                // invalidated (journal off): the op runs on
-                                // garbage and nothing detects it.
-                                self.metrics[ti].corrupted = true;
-                                self.crash.silent_corruptions += 1;
-                            }
-                        }
-                        // Dispatching onto fabric a prior upset corrupted:
-                        // nothing computed from here on is trustworthy.
-                        if self.injector.is_some()
-                            && self.latent.contains_key(&circuit.0)
-                            && self.poisoned[ti].is_none()
-                        {
-                            self.poisoned[ti] = Some(self.op_done_so_far[ti]);
-                        }
-                        overhead = o;
-                        fpga_ctx = Some(FpgaSeg {
-                            cid: circuit,
-                            completes: false,
-                            slack: SimDuration::ZERO,
-                            poll_cost: SimDuration::ZERO,
-                        });
+                    // Any hardware garbage from an earlier poisoned attempt
+                    // is moot: the op restarts from scratch in software.
+                    self.poisoned[ti] = None;
+                    let adm = self.admission.as_mut().expect("degrade implies admission");
+                    adm.degraded[ti] = true;
+                    adm.stats.degraded_dispatches += 1;
+                    software_op = true;
+                    if self.trace.is_enabled() {
+                        self.record(
+                            now,
+                            TraceEvent::DegradedDispatch {
+                                task: tid.0,
+                                circuit: circuit.0,
+                                duration: d,
+                            },
+                        );
                     }
                 }
             }
+
+            if let Op::FpgaRun { circuit, cycles } = op {
+                if software_op {
+                    // Skip the whole hardware path below.
+                } else {
+                    // Resolve the op duration on first activation.
+                    if self.op_full[ti] == SimDuration::ZERO {
+                        let d = self.lib.get(circuit).run_time(cycles);
+                        self.op_full[ti] = d;
+                        self.tasks[ti].op_remaining = d;
+                        self.op_done_so_far[ti] = SimDuration::ZERO;
+                    }
+                    // A stats snapshot lets us detect whether this activation
+                    // downloaded: fault injection corrupts downloads, and the
+                    // checkpoint machinery journals them.
+                    let dl_before = if self.injector.is_some() || self.ckpt.is_some() {
+                        Some(self.manager.stats())
+                    } else {
+                        None
+                    };
+                    match self.manager.activate(tid, circuit) {
+                        Activation::Blocked => {
+                            self.tasks[ti].state = TaskState::Blocked;
+                            self.metrics[ti].blocked_count += 1;
+                            if self.trace.is_enabled() {
+                                self.record(
+                                    now,
+                                    TraceEvent::TaskState {
+                                        task: tid.0,
+                                        state: fsim::TaskState::Block,
+                                        info: format!("blocks on circuit {}", circuit.0),
+                                    },
+                                );
+                            }
+                            continue;
+                        }
+                        Activation::Unservable => {
+                            // No configuration of the device can ever serve
+                            // this request (e.g. capacity retired below the
+                            // circuit's width): fail, don't hang.
+                            self.fail_task(tid, now, "unservable request");
+                            continue;
+                        }
+                        Activation::Ready { overhead: o } => {
+                            // Transient download corruption: the per-download
+                            // CRC catches it; the wasted attempt still costs
+                            // the full download time on the CPU.
+                            let corrupted = match (&dl_before, self.injector.as_mut()) {
+                                (Some(before), Some(inj)) => {
+                                    self.manager.stats().downloads > before.downloads
+                                        && inj.corrupt_download()
+                                }
+                                _ => false,
+                            };
+                            if corrupted {
+                                let before = dl_before.unwrap();
+                                self.manager.discard_resident(circuit);
+                                self.fault.download_faults += 1;
+                                self.fault.crc_mismatches += 1;
+                                self.fault.retry_time +=
+                                    self.manager.stats().config_time - before.config_time;
+                                self.dl_attempts[ti] += 1;
+                                self.metrics[ti].overhead_time += o;
+                                if self.trace.is_enabled() {
+                                    self.record(
+                                        now,
+                                        TraceEvent::FaultInjected {
+                                            kind: "download",
+                                            circuit: Some(circuit.0),
+                                            col: None,
+                                        },
+                                    );
+                                    self.record(
+                                        now,
+                                        TraceEvent::CrcMismatch {
+                                            circuit: circuit.0,
+                                            task: Some(tid.0),
+                                            context: "download",
+                                        },
+                                    );
+                                }
+                                // The CPU is held for the wasted attempt; the
+                                // retry decision happens when it elapses.
+                                self.tasks[ti].state = TaskState::Running;
+                                self.running = Some(Running {
+                                    tid,
+                                    dur: SimDuration::ZERO,
+                                    exec_start: now + o,
+                                    fpga: None,
+                                });
+                                self.queue.schedule_at(now + o, Ev::RetryDone(tid));
+                                return;
+                            }
+                            self.dl_attempts[ti] = 0;
+                            if self.ckpt.is_some() {
+                                let before = dl_before.as_ref().expect("snapshot taken above");
+                                let after = self.manager.stats();
+                                if after.downloads > before.downloads {
+                                    // A download overwrote the device: journal
+                                    // it. Whatever stale claim covered that
+                                    // region is also refreshed for this circuit.
+                                    let (col0, width) = self
+                                        .manager
+                                        .resident_regions()
+                                        .into_iter()
+                                        .find(|r| r.cid == circuit)
+                                        .map(|r| (r.col0, r.width))
+                                        .unwrap_or((0, self.manager.timing().spec.cols));
+                                    self.wal.push(WalRecord {
+                                        seq: self.wal.len() as u64,
+                                        cid: circuit,
+                                        col0,
+                                        width,
+                                        at: now,
+                                        duration: after.config_time - before.config_time,
+                                    });
+                                    self.stale.remove(&circuit.0);
+                                } else if self.stale.contains(&circuit.0) {
+                                    // Residency "hit" on a claim a crash
+                                    // invalidated (journal off): the op runs on
+                                    // garbage and nothing detects it.
+                                    self.metrics[ti].corrupted = true;
+                                    self.crash.silent_corruptions += 1;
+                                }
+                            }
+                            // Dispatching onto fabric a prior upset corrupted:
+                            // nothing computed from here on is trustworthy.
+                            if self.injector.is_some()
+                                && self.latent.contains_key(&circuit.0)
+                                && self.poisoned[ti].is_none()
+                            {
+                                self.poisoned[ti] = Some(self.op_done_so_far[ti]);
+                            }
+                            overhead = o;
+                            fpga_ctx = Some(FpgaSeg {
+                                cid: circuit,
+                                completes: false,
+                                slack: SimDuration::ZERO,
+                                poll_cost: SimDuration::ZERO,
+                            });
+                        }
+                    }
+                }
+            }
+
+            // A deliberately hung op (done signal never rises): its
+            // hardware segment runs open-ended — never sliced, no
+            // completion timer. Only the watchdog armed below, or the
+            // end-of-run deadlock sweep, can reclaim the CPU.
+            let hanging =
+                fpga_ctx.is_some() && self.tasks[ti].spec.hang_op == Some(self.tasks[ti].op_idx);
 
             // Segment length: slice for CPU ops; FPGA ops are sliced only
             // when the preemption policy permits interruption.
@@ -1575,17 +2051,18 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             let slicable = match op {
                 Op::Cpu(_) => true,
                 Op::FpgaRun { .. } => {
-                    self.config.preempt != PreemptAction::WaitCompletion
-                        && self.manager.preemptable()
+                    software_op
+                        || (self.config.preempt != PreemptAction::WaitCompletion
+                            && self.manager.preemptable())
                 }
             };
             let mut dur = remaining;
-            if slicable {
+            if slicable && !hanging {
                 if let Some(s) = slice {
                     dur = dur.min(s);
                 }
             }
-            let completes = dur == remaining;
+            let completes = dur == remaining && !hanging;
 
             // Completion-detection slack for FPGA ops finishing here.
             if let Some(ctx) = &mut fpga_ctx {
@@ -1632,8 +2109,43 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 exec_start: now + overhead,
                 fpga: fpga_ctx,
             });
-            self.queue
-                .schedule_at(now + overhead + dur + slack_total, Ev::Timer(tid));
+            if !hanging {
+                self.queue
+                    .schedule_at(now + overhead + dur + slack_total, Ev::Timer(tid));
+            }
+            // Arm the hang watchdog strictly after the completion timer:
+            // at equal instants the event queue's FIFO tie-break pops the
+            // timer first, so a slack factor of exactly 1.0 can never
+            // preempt a healthy segment.
+            let arm = match self.admission.as_mut() {
+                Some(adm) if fpga_ctx.is_some() && !software_op => match adm.policy.watchdog {
+                    Some(wd) => {
+                        adm.wd_seq[ti] += 1;
+                        adm.stats.watchdog_armed += 1;
+                        Some((adm.wd_seq[ti], wd.slack))
+                    }
+                    None => None,
+                },
+                _ => None,
+            };
+            if let Some((seq, slack_factor)) = arm {
+                // Deadline: the a-priori estimate of this segment (the
+                // same §3 estimate the completion detector uses) times
+                // the slack factor, plus the segment's detection slack.
+                let est_ns = (slack_factor * dur.as_nanos() as f64).round() as u64;
+                let deadline = overhead + SimDuration::from_nanos(est_ns) + slack_total;
+                self.queue
+                    .schedule_at(now + deadline, Ev::Watchdog { tid, seq });
+                if self.trace.is_enabled() {
+                    self.record(
+                        now,
+                        TraceEvent::WatchdogArmed {
+                            task: tid.0,
+                            deadline,
+                        },
+                    );
+                }
+            }
             return;
         }
     }
@@ -1643,11 +2155,29 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         debug_assert_eq!(run.tid, tid);
         let ti = tid.0 as usize;
 
+        // The hardware segment ended on time: any watchdog armed for it
+        // is now stale (generation bump makes the pending event a no-op).
+        if run.fpga.is_some() {
+            if let Some(adm) = self.admission.as_mut() {
+                adm.wd_seq[ti] += 1;
+            }
+        }
+
         // Account executed time.
         match self.tasks[ti].current_op() {
             Some(Op::Cpu(_)) => self.metrics[ti].cpu_time += run.dur,
             Some(Op::FpgaRun { .. }) => {
-                self.metrics[ti].fpga_time += run.dur;
+                let degraded = self.admission.as_ref().is_some_and(|a| a.degraded[ti]);
+                if degraded {
+                    // Software-emulation path: useful work, but accounted
+                    // apart from real fabric time.
+                    self.metrics[ti].degraded_time += run.dur;
+                    if let Some(adm) = self.admission.as_mut() {
+                        adm.stats.degraded_time += run.dur;
+                    }
+                } else {
+                    self.metrics[ti].fpga_time += run.dur;
+                }
                 if let Some(f) = run.fpga {
                     self.metrics[ti].overhead_time += f.slack + f.poll_cost;
                 }
@@ -1674,7 +2204,11 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                     self.wake(wake, now);
                     self.fault_restarts[ti] += 1;
                     if self.fault_restarts[ti] > self.recovery.max_op_recoveries {
-                        self.fail_task(tid, now, "upset recovery limit");
+                        if self.admission.is_some() {
+                            self.quarantine_task(tid, now, "upset recovery limit");
+                        } else {
+                            self.fail_task(tid, now, "upset recovery limit");
+                        }
                         self.dispatch(now);
                         return;
                     }
@@ -1699,6 +2233,11 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             self.rollbacks[ti] = 0;
             self.fault_restarts[ti] = 0;
             self.dl_attempts[ti] = 0;
+            if let Some(adm) = self.admission.as_mut() {
+                // The degradation decision is per op; the next op competes
+                // for fabric again.
+                adm.degraded[ti] = false;
+            }
             // An undetected upset at op completion (no scrub configured, or
             // the pass hasn't come round yet) is *silent* corruption: the
             // simulator, like the real system, delivers the result anyway.
@@ -1713,6 +2252,14 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 self.tasks[ti].completed_at = now;
                 self.metrics[ti].completion = now;
                 self.unfinished -= 1;
+                if let Some(d) = self.tasks[ti].spec.deadline {
+                    if now > self.tasks[ti].spec.arrival + d {
+                        self.metrics[ti].deadline_missed = true;
+                        if let Some(adm) = self.admission.as_mut() {
+                            adm.stats.deadline_missed += 1;
+                        }
+                    }
+                }
                 if self.trace.is_enabled() {
                     let info = self.tasks[ti].spec.name.clone();
                     self.record(
@@ -1726,6 +2273,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 }
                 let wake = self.manager.task_exit(tid);
                 self.wake(wake, now);
+                self.admission_on_terminal(tid, now);
                 self.dispatch(now);
             }
         } else {

@@ -37,6 +37,14 @@ pub struct TaskSpec {
     pub arrival: SimTime,
     /// Scheduling priority (higher runs first under the priority policy).
     pub priority: u8,
+    /// Tenant the task belongs to; admission quotas are per tenant.
+    pub tenant: u32,
+    /// Relative completion deadline (from arrival), if the tenant stated
+    /// one. Misses are accounted, not enforced.
+    pub deadline: Option<SimDuration>,
+    /// Index of an op that never raises its done signal (a hung circuit).
+    /// The op runs forever unless a watchdog preempts it.
+    pub hang_op: Option<usize>,
     /// The program.
     pub ops: Vec<Op>,
 }
@@ -48,6 +56,9 @@ impl TaskSpec {
             name: name.into(),
             arrival,
             priority: 0,
+            tenant: 0,
+            deadline: None,
+            hang_op: None,
             ops,
         }
     }
@@ -55,6 +66,29 @@ impl TaskSpec {
     /// With a priority.
     pub fn with_priority(mut self, p: u8) -> Self {
         self.priority = p;
+        self
+    }
+
+    /// With a tenant id (admission quotas are per tenant).
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// With a relative completion deadline.
+    pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Mark op `idx` (which must be an FPGA run) as hanging: its done
+    /// signal never rises, so only a watchdog can reclaim the device.
+    pub fn with_hang_op(mut self, idx: usize) -> Self {
+        debug_assert!(
+            matches!(self.ops.get(idx), Some(Op::FpgaRun { .. })),
+            "hang_op must point at an FPGA op"
+        );
+        self.hang_op = Some(idx);
         self
     }
 
@@ -94,17 +128,31 @@ pub enum TaskState {
     Running,
     /// Waiting for an FPGA resource (partition, device, overlay slot).
     Blocked,
+    /// Admitted later: parked in a per-tenant admission queue until the
+    /// tenant's in-flight quota frees a slot. Unlike [`TaskState::Blocked`]
+    /// the task holds no device claim and cannot be woken by the manager.
+    Deferred,
     /// Finished all ops.
     Done,
     /// Terminated by fault recovery (retries exhausted or the request can
     /// never be served); the rest of the system keeps running.
     Failed,
+    /// Removed from scheduling by admission control: repeated watchdog
+    /// trips or exhausted fault recovery.
+    Quarantined,
+    /// Load-shed at arrival: the tenant's quota and queue cap were both
+    /// exhausted, so the task never entered the system.
+    Rejected,
 }
 
 impl TaskState {
-    /// Whether the task has left the system (completed or failed).
+    /// Whether the task has left the system (completed, failed,
+    /// quarantined, or rejected).
     pub fn is_terminal(self) -> bool {
-        matches!(self, TaskState::Done | TaskState::Failed)
+        matches!(
+            self,
+            TaskState::Done | TaskState::Failed | TaskState::Quarantined | TaskState::Rejected
+        )
     }
 }
 

@@ -1,0 +1,324 @@
+//! Property tests for the admission-control subsystem.
+//!
+//! The guarantees worth pinning down, end to end:
+//!
+//! 1. a maximally permissive policy is *exactly* a no-op — the report is
+//!    byte-identical (modulo the `admission` stats section) to a run
+//!    built without `with_admission` at all;
+//! 2. a task whose FPGA op never completes always terminates anyway —
+//!    quarantined by the watchdog at every seed — while the identical
+//!    workload without admission control deadlocks;
+//! 3. per-tenant quotas defer and then load-shed excess arrivals, with
+//!    coherent accounting (admitted + rejected covers every task);
+//! 4. under a saturated-fabric watermark every eligible op degrades to
+//!    the software path and still completes;
+//! 5. the overhead breakdown still tiles the grand total exactly when
+//!    the watchdog slice is non-zero;
+//! 6. admission state checkpoints and restores: a crashed-and-restored
+//!    run matches the uninterrupted baseline, including quarantine and
+//!    degradation outcomes;
+//! 7. admission-controlled runs are bit-reproducible per seed.
+
+use fsim::{SimDuration, SimRng, SimTime};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use vfpga::circuit::CircuitLib;
+use vfpga::manager::partition::{PartitionManager, PartitionMode};
+use vfpga::manager::PreemptAction;
+use vfpga::sched::RoundRobinScheduler;
+use vfpga::system::{System, SystemConfig};
+use vfpga::task::{Op, TaskSpec};
+use vfpga::{
+    diff_reports, run_with_crashes, AdmissionPolicy, CheckpointConfig, CrashPlan,
+    DegradationConfig, Report, VfpgaError, WatchdogConfig,
+};
+
+fn lib4() -> (Arc<CircuitLib>, Vec<vfpga::circuit::CircuitId>) {
+    use pnr::{compile, CompileOptions};
+    let mut lib = CircuitLib::new();
+    let ids = vec![
+        lib.register_compiled(
+            compile(
+                &netlist::library::arith::ripple_adder("add", 8),
+                CompileOptions::default(),
+            )
+            .unwrap(),
+        ),
+        lib.register_compiled(
+            compile(
+                &netlist::library::seq::lfsr("lfsr", 16, 0b1101_0000_0000_1000),
+                CompileOptions::default(),
+            )
+            .unwrap(),
+        ),
+        lib.register_compiled(
+            compile(
+                &netlist::library::logic::parity("par", 12),
+                CompileOptions::default(),
+            )
+            .unwrap(),
+        ),
+        lib.register_compiled(
+            compile(
+                &netlist::library::seq::counter("ctr", 12),
+                CompileOptions::default(),
+            )
+            .unwrap(),
+        ),
+    ];
+    (Arc::new(lib), ids)
+}
+
+/// Two-tenant workload with seeded arrival jitter; when `hang` is set the
+/// first task's first FPGA op never raises its done signal.
+fn workload(ids: &[vfpga::circuit::CircuitId], n: usize, seed: u64, hang: bool) -> Vec<TaskSpec> {
+    let mut rng = SimRng::new(seed);
+    (0..n)
+        .map(|i| {
+            let cid = ids[i % ids.len()];
+            let jitter = rng.range_u64(0, 30);
+            let mut s = TaskSpec::new(
+                format!("t{i}"),
+                SimTime::ZERO + SimDuration::from_micros(i as u64 * 40 + jitter),
+                vec![
+                    Op::Cpu(SimDuration::from_micros(100)),
+                    Op::FpgaRun {
+                        circuit: cid,
+                        cycles: 60_000,
+                    },
+                    Op::Cpu(SimDuration::from_micros(50)),
+                    Op::FpgaRun {
+                        circuit: cid,
+                        cycles: 30_000,
+                    },
+                ],
+            )
+            .with_tenant(i as u32 % 2);
+            if hang && i == 0 {
+                s = s.with_hang_op(1);
+            }
+            s
+        })
+        .collect()
+}
+
+fn timing() -> fpga::ConfigTiming {
+    fpga::ConfigTiming {
+        spec: fpga::device::part("VF400"),
+        port: fpga::ConfigPort::SerialFast,
+    }
+}
+
+/// Flat per-cycle software price for every circuit in the library — the
+/// exact values are irrelevant to these properties, only that lookups hit.
+fn sw_all(ids: &[vfpga::circuit::CircuitId]) -> BTreeMap<u32, u64> {
+    ids.iter().map(|id| (id.0, 3)).collect()
+}
+
+fn build(
+    seed: u64,
+    hang: bool,
+    policy: Option<AdmissionPolicy>,
+) -> System<PartitionManager, RoundRobinScheduler> {
+    let (lib, ids) = lib4();
+    let mgr = PartitionManager::new(
+        lib.clone(),
+        timing(),
+        PartitionMode::Variable,
+        PreemptAction::SaveRestore,
+    )
+    .unwrap();
+    let mut sys = System::new(
+        lib,
+        mgr,
+        RoundRobinScheduler::new(SimDuration::from_millis(2)),
+        SystemConfig {
+            preempt: PreemptAction::SaveRestore,
+            ..Default::default()
+        },
+        workload(&ids, 8, seed, hang),
+    );
+    if let Some(p) = policy {
+        sys = sys.with_admission(p).unwrap();
+    }
+    sys
+}
+
+fn run(seed: u64, hang: bool, policy: Option<AdmissionPolicy>) -> Report {
+    build(seed, hang, policy).run().unwrap()
+}
+
+#[test]
+fn permissive_policy_is_byte_identical_to_no_admission() {
+    for seed in [0u64, 7, 991] {
+        let baseline = run(seed, false, None);
+        let mut r = run(seed, false, Some(AdmissionPolicy::default()));
+        let stats = r.admission.take().expect("admission section present");
+        // The permissive run still armed watchdogs (the default policy
+        // keeps them on) — they just never fired.
+        assert!(stats.watchdog_armed > 0);
+        assert_eq!(stats.watchdog_fired, 0);
+        assert_eq!(stats.rejected + stats.quarantined + stats.deferred, 0);
+        // With the stats section removed the two reports must be
+        // *byte-identical*: admission off the hot path costs nothing.
+        assert_eq!(
+            format!("{baseline:?}"),
+            format!("{r:?}"),
+            "seed {seed}: permissive admission perturbed the run"
+        );
+    }
+}
+
+#[test]
+fn hanging_task_is_always_quarantined_and_the_run_terminates() {
+    for seed in 0..10u64 {
+        let r = run(seed, true, Some(AdmissionPolicy::default()));
+        let t0 = &r.tasks[0];
+        assert!(t0.quarantined, "seed {seed}: hanging task not quarantined");
+        assert!(
+            t0.completion >= t0.arrival,
+            "seed {seed}: no termination instant"
+        );
+        let stats = r.admission.unwrap();
+        // Default max_trips = 2: fire, retry, fire, retry, fire, exile.
+        assert_eq!(stats.watchdog_fired, 3, "seed {seed}");
+        assert_eq!(stats.quarantined, 1, "seed {seed}");
+        assert!(stats.watchdog_lost_time > SimDuration::ZERO);
+        // Everyone else still finishes.
+        for t in &r.tasks[1..] {
+            assert!(!t.failed && !t.quarantined && !t.rejected, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn without_admission_the_hanging_task_deadlocks_the_run() {
+    // The ablation: the identical workload minus the watchdog cannot
+    // terminate — the op holds its virtual FPGA forever and the run ends
+    // in the deadlock sweep.
+    let err = build(3, true, None).run().unwrap_err();
+    assert!(
+        matches!(err, VfpgaError::Deadlock { .. }),
+        "expected Deadlock, got {err:?}"
+    );
+}
+
+#[test]
+fn quotas_defer_then_load_shed_with_coherent_accounting() {
+    let policy = AdmissionPolicy {
+        max_in_flight: 1,
+        queue_cap: 1,
+        watchdog: None,
+        degradation: None,
+    };
+    let r = run(11, false, Some(policy));
+    let stats = r.admission.unwrap();
+    // 4 tasks per tenant arriving within ~120us against multi-ms service
+    // times: 1 in flight + 1 queued per tenant, the rest load-shed.
+    assert_eq!(stats.rejected, 4);
+    assert!(stats.deferred >= 2);
+    let rejected = r.tasks.iter().filter(|t| t.rejected).count();
+    assert_eq!(rejected as u64, stats.rejected);
+    // Every non-rejected task was admitted (possibly after deferral) and
+    // completed; rejected tasks carry a termination instant too.
+    assert_eq!(stats.admitted, (r.tasks.len() - rejected) as u64);
+    for t in &r.tasks {
+        assert!(t.completion >= t.arrival, "{} never terminated", t.name);
+        if !t.rejected {
+            assert!(!t.failed && !t.quarantined);
+        }
+    }
+}
+
+#[test]
+fn saturated_watermark_degrades_to_software_and_still_completes() {
+    let (_, ids) = lib4();
+    let policy = AdmissionPolicy {
+        degradation: Some(DegradationConfig {
+            watermark: 0.0,
+            sw_ns_per_cycle: sw_all(&ids),
+        }),
+        ..AdmissionPolicy::default()
+    };
+    let r = run(5, false, Some(policy));
+    let stats = r.admission.unwrap();
+    // Watermark 0 treats the fabric as saturated from the first op: every
+    // FPGA op of every task (8 tasks x 2 ops) takes the software path.
+    assert_eq!(stats.degraded_dispatches, 16);
+    assert!(stats.degraded_time > SimDuration::ZERO);
+    assert_eq!(
+        r.tasks
+            .iter()
+            .map(|t| t.degraded_time)
+            .fold(SimDuration::ZERO, |a, d| a + d),
+        stats.degraded_time,
+        "per-task degraded time must sum to the stats total"
+    );
+    for t in &r.tasks {
+        assert!(!t.failed && !t.quarantined && !t.rejected);
+        assert_eq!(t.fpga_time, SimDuration::ZERO, "{} touched fabric", t.name);
+    }
+}
+
+#[test]
+fn overhead_breakdown_tiles_total_with_watchdog_slice() {
+    let r = run(2, true, Some(AdmissionPolicy::default()));
+    let stats = r.admission.unwrap();
+    assert!(stats.watchdog_fired > 0, "dead test: watchdog never fired");
+    let b = r.overhead_breakdown();
+    assert!(b.watchdog > SimDuration::ZERO);
+    assert_eq!(
+        b.watchdog,
+        stats.watchdog_preempt_time + stats.watchdog_lost_time
+    );
+    assert_eq!(
+        b.total(),
+        r.overhead_time(),
+        "breakdown must tile the grand total exactly"
+    );
+}
+
+#[test]
+fn admission_state_survives_crash_and_restore() {
+    let policy = || AdmissionPolicy {
+        max_in_flight: 2,
+        queue_cap: 4,
+        watchdog: Some(WatchdogConfig::default()),
+        degradation: Some(DegradationConfig {
+            watermark: 0.0,
+            sw_ns_per_cycle: sw_all(&lib4().1),
+        }),
+    };
+    let baseline = run(9, true, Some(policy()));
+    assert!(baseline.tasks[0].quarantined);
+    assert!(baseline.admission.unwrap().degraded_dispatches > 0);
+    let mut crashed_somewhere = false;
+    for seed in 0..6u64 {
+        let plan = CrashPlan {
+            seed,
+            crash_rate_per_s: 200.0,
+            max_crashes: 3,
+        };
+        let cfg = CheckpointConfig::new(SimDuration::from_micros(2_500));
+        let r = run_with_crashes(|| build(9, true, Some(policy())), cfg, plan).unwrap();
+        crashed_somewhere |= r.crash.crashes > 0;
+        let d = diff_reports(&baseline, &r);
+        assert!(
+            d.is_empty(),
+            "crash seed {seed}: restored run diverged: {d:?}"
+        );
+    }
+    assert!(crashed_somewhere, "no seed ever crashed — dead test");
+}
+
+#[test]
+fn admission_runs_are_bit_reproducible() {
+    let policy = || AdmissionPolicy {
+        max_in_flight: 2,
+        queue_cap: 2,
+        ..AdmissionPolicy::default()
+    };
+    let a = run(42, true, Some(policy()));
+    let b = run(42, true, Some(policy()));
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}

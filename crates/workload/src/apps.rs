@@ -77,6 +77,14 @@ impl App {
     pub fn raw_speedup(&self) -> f64 {
         self.sw_ns_per_item as f64 / self.hw_ns_per_item().max(1) as f64
     }
+
+    /// Software cost per *hardware cycle* — the price admission control's
+    /// graceful degradation charges when it emulates this kernel instead
+    /// of configuring it (the e12 co-processor model re-expressed in the
+    /// unit `Op::FpgaRun` counts in).
+    pub fn sw_ns_per_cycle(&self) -> u64 {
+        (self.sw_ns_per_item / self.hw_cycles_per_item.max(1)).max(1)
+    }
 }
 
 /// A domain's circuit suite.

@@ -69,6 +69,72 @@ pub fn poisson_tasks(
     specs
 }
 
+/// Parameters for the multi-tenant overload mix (experiment E17).
+#[derive(Debug, Clone, Copy)]
+pub struct TenantMixParams {
+    /// The underlying Poisson mix.
+    pub base: MixParams,
+    /// Tenants; tasks are assigned round-robin (task `i` → `i % tenants`).
+    pub tenants: u32,
+    /// Relative completion deadline stamped on every task (miss accounting
+    /// only; nothing is enforced). `None` stamps no deadlines.
+    pub deadline: Option<SimDuration>,
+    /// The first `hang_tasks` tasks get their first FPGA op marked as
+    /// hanging (done signal never rises) — the deliberately misbehaving
+    /// application only a watchdog can defend against.
+    pub hang_tasks: usize,
+}
+
+impl Default for TenantMixParams {
+    fn default() -> Self {
+        TenantMixParams {
+            base: MixParams::default(),
+            tenants: 2,
+            deadline: None,
+            hang_tasks: 0,
+        }
+    }
+}
+
+/// Tenant-tagged Poisson mix: the [`poisson_tasks`] arrival process with
+/// round-robin tenant ids, an optional uniform relative deadline, and the
+/// first `hang_tasks` tasks carrying a hanging first FPGA op. Identical
+/// seeds produce identical specs; with `tenants: 1`, `deadline: None`,
+/// `hang_tasks: 0` the specs differ from [`poisson_tasks`] only in name.
+pub fn tenant_tasks(
+    params: &TenantMixParams,
+    circuits: &[CircuitId],
+    rng: &mut SimRng,
+) -> Vec<TaskSpec> {
+    assert!(params.tenants >= 1, "need at least one tenant");
+    assert!(
+        params.hang_tasks <= params.base.tasks,
+        "more hanging tasks than tasks"
+    );
+    let specs = poisson_tasks(&params.base, circuits, rng);
+    specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut s)| {
+            let tenant = i as u32 % params.tenants;
+            s.name = format!("tn{tenant}-task{i}");
+            s = s.with_tenant(tenant);
+            if let Some(d) = params.deadline {
+                s = s.with_deadline(d);
+            }
+            if i < params.hang_tasks {
+                let first_fpga = s
+                    .ops
+                    .iter()
+                    .position(|op| matches!(op, Op::FpgaRun { .. }))
+                    .expect("poisson tasks always carry FPGA ops");
+                s = s.with_hang_op(first_fpga);
+            }
+            s
+        })
+        .collect()
+}
+
 /// Periodic task set: `jobs` releases of each task at its period, each job
 /// one CPU burst plus one FPGA run of the task's dedicated circuit
 /// (modeled as separate TaskSpecs per job, arrival = release time).
@@ -143,6 +209,36 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.arrival, y.arrival);
             assert_eq!(x.ops, y.ops);
+        }
+    }
+
+    #[test]
+    fn tenant_mix_tags_deadlines_and_hangs() {
+        let params = TenantMixParams {
+            base: MixParams::default(),
+            tenants: 3,
+            deadline: Some(SimDuration::from_millis(250)),
+            hang_tasks: 2,
+        };
+        let specs = tenant_tasks(&params, &cids(3), &mut SimRng::new(9));
+        assert_eq!(specs.len(), 8);
+        for (i, s) in specs.iter().enumerate() {
+            assert_eq!(s.tenant, i as u32 % 3);
+            assert_eq!(s.deadline, Some(SimDuration::from_millis(250)));
+            assert!(s.name.starts_with(&format!("tn{}-", s.tenant)));
+            if i < 2 {
+                let idx = s.hang_op.expect("first two tasks hang");
+                assert!(matches!(s.ops[idx], Op::FpgaRun { .. }));
+            } else {
+                assert_eq!(s.hang_op, None);
+            }
+        }
+        // The arrival process is untouched: same seed, same arrivals as
+        // the plain Poisson mix.
+        let plain = poisson_tasks(&MixParams::default(), &cids(3), &mut SimRng::new(9));
+        for (a, b) in specs.iter().zip(&plain) {
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.ops, b.ops);
         }
     }
 
