@@ -96,4 +96,31 @@ assert all(r["admission"]["watchdog_fired"] > 0 for r in on), \
 print("e17 gate: hanging task quarantined, admission-off export unchanged")
 PY
 
+echo "==> bench_perf smoke (perf schema + self-compare + thread invariance)"
+# The perf harness must (a) write a document that parses back through the
+# bench JSON reader with the expected schema, (b) report zero regressions
+# when compared against itself, and (c) keep its deterministic `sim`
+# section byte-identical at any --threads — jdiff strips the volatile
+# host section exactly as it does for experiment exports.
+./target/release/bench_perf --smoke --threads 1 --out "$E15_TMP/perf1.json" >/dev/null
+./target/release/bench_perf --smoke --threads 4 --out "$E15_TMP/perf4.json" >/dev/null
+"$JDIFF" "$E15_TMP/perf1.json" "$E15_TMP/perf4.json" \
+  || { echo "bench_perf: --threads 4 diverged from --threads 1"; exit 1; }
+./target/release/bench_perf --compare "$E15_TMP/perf1.json" "$E15_TMP/perf1.json" \
+  || { echo "bench_perf: self-compare flagged regressions"; exit 1; }
+python3 - "$E15_TMP/perf1.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "vfpga-bench-perf/1", f"unexpected schema {doc['schema']}"
+cases = doc["host"]["cases"]
+for case in ["compile_cold", "compile_warm", "download_full", "download_partial",
+             "ckpt_crash_replay", "macro_point"]:
+    assert case in cases, f"missing case {case}"
+    assert cases[case]["iters"] > 0, f"case {case} ran no iterations"
+assert doc["sim"]["latency_ns"], "no simulated latency histograms"
+assert any(k.startswith("system") for k in doc["sim"]["span_counts"]), \
+    "no event-loop span counts"
+print(f"bench_perf gate: {len(cases)} cases, schema {doc['schema']}")
+PY
+
 echo "CI green."

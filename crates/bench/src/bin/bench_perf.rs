@@ -1,0 +1,113 @@
+//! `bench_perf` — the pinned host-performance suite and its regression
+//! harness.
+//!
+//! ```sh
+//! bench_perf [--smoke] [--threads N] [--out PATH]
+//! bench_perf --compare OLD.json NEW.json [--tolerance-pct P]
+//! ```
+//!
+//! The first form runs the suite (compile cold/warm, full/partial
+//! download, checkpointed crash/replay, profiled macro sweep), prints the
+//! case table and span tree, and writes `BENCH_<git-short-sha>.json`
+//! (override with `--out`). The written file is read back and re-parsed
+//! through `bench::json` before the process exits, so a malformed export
+//! fails loudly. Everything outside the volatile `host` section is
+//! byte-identical at any `--threads` value — `jdiff` two runs to check.
+//!
+//! The second form compares two perf documents: wall-clock case means may
+//! drift within the tolerance (default 30%), the deterministic `sim`
+//! section may not drift at all. Exit status 0 when clean, 1 when
+//! regressions or sim changes were flagged, 2 on usage/schema/I/O errors.
+
+use bench::perf::{self, PerfConfig};
+use bench::{arg_u64, flag, threads_arg, Json};
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_perf: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_perf: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn compare_mode(old_path: &str, new_path: &str) -> ! {
+    let tol = arg_u64("--tolerance-pct", 30) as f64 / 100.0;
+    let old = load(old_path);
+    let new = load(new_path);
+    let out = perf::compare(&old, &new, tol).unwrap_or_else(|e| {
+        eprintln!("bench_perf: {e}");
+        std::process::exit(2);
+    });
+    for r in &out.regressions {
+        println!(
+            "REGRESSION {}: {} -> {} ns/iter ({:.2}x, tolerance {:.0}%)",
+            r.case,
+            r.old_mean_ns,
+            r.new_mean_ns,
+            r.ratio,
+            tol * 100.0
+        );
+    }
+    for m in &out.missing {
+        println!("MISSING case {m}: present in {old_path}, absent from {new_path}");
+    }
+    for s in &out.sim_changes {
+        println!("SIM CHANGE {s}: deterministic section differs (not noise)");
+    }
+    if out.is_clean() {
+        println!(
+            "zero regressions ({old_path} -> {new_path}, tolerance {:.0}%)",
+            tol * 100.0
+        );
+        std::process::exit(0);
+    }
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--compare") {
+        match (args.get(i + 1), args.get(i + 2)) {
+            (Some(a), Some(b)) => compare_mode(a, b),
+            _ => {
+                eprintln!("usage: bench_perf --compare <old.json> <new.json> [--tolerance-pct P]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cfg = PerfConfig {
+        threads: threads_arg(),
+        smoke: flag("--smoke"),
+    };
+    let (doc, spans, table) = perf::run_suite(cfg);
+    table.print();
+    println!();
+    print!("{}", spans.render_tree());
+
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--out=").map(str::to_string))
+        })
+        .unwrap_or_else(|| format!("BENCH_{}.json", perf::git_short_sha()));
+    let text = doc.render();
+    if let Err(e) = std::fs::write(&out_path, &text) {
+        eprintln!("bench_perf: failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    // Read-back verification: the file on disk must parse through the
+    // same reader every consumer uses.
+    let back = load(&out_path);
+    if back.get("schema") != Some(&Json::Str(perf::PERF_SCHEMA.to_string())) {
+        eprintln!("bench_perf: {out_path} round-tripped with a wrong schema field");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path} ({} bytes, parse-verified)", text.len());
+}

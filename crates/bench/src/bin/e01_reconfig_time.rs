@@ -63,7 +63,7 @@ fn main() {
         .iter()
         .flat_map(|spec| ports.iter().map(move |&(pname, port)| (spec, pname, port)))
         .collect();
-    let rows = host.phase("sweep", || {
+    let rows = host.phase(bench::sections::PHASE_SWEEP, || {
         run_sweep(threads, &points, |_, &(spec, pname, port)| {
             let timing = ConfigTiming { spec: *spec, port };
             let frames = |pct: f64| ((spec.cols as f64 * pct).round() as usize).max(1);

@@ -24,7 +24,7 @@ fn main() {
     let threads = threads_arg();
     let mut host = HostProfile::new(threads);
     let spec = fpga::device::part("VF800");
-    let (lib, ids) = host.phase("compile", || {
+    let (lib, ids) = host.phase(bench::sections::PHASE_COMPILE, || {
         compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec)
     });
 
@@ -57,7 +57,7 @@ fn main() {
     .into_iter()
     .flat_map(|(pname, port)| slices_ms.iter().map(move |&s| (pname, port, s)))
     .collect();
-    let results = host.phase("sweep", || {
+    let results = host.phase(bench::sections::PHASE_SWEEP, || {
         run_sweep(threads, &points, |_, &(pname, port, slice)| {
             let timing = ConfigTiming { spec, port };
             let mut rng = SimRng::new(0xE02);

@@ -24,7 +24,7 @@ fn main() {
     let threads = threads_arg();
     let mut host = HostProfile::new(threads);
     let spec = fpga::device::part("VF400");
-    let (full_lib, all_ids) = host.phase("compile", || {
+    let (full_lib, all_ids) = host.phase(bench::sections::PHASE_COMPILE, || {
         compile_suite_lib(
             &[Domain::Telecom, Domain::Storage, Domain::Networking],
             spec,
@@ -49,7 +49,7 @@ fn main() {
     );
 
     let points: Vec<usize> = (2..=all_ids.len()).collect();
-    let results = host.phase("sweep", || {
+    let results = host.phase(bench::sections::PHASE_SWEEP, || {
         run_sweep(threads, &points, |_, &n| {
             // Sub-library with circuits renumbered 0..n.
             let lib = Arc::new(full_lib.subset(&all_ids[..n]));

@@ -39,7 +39,7 @@ fn main() {
     let threads = threads_arg();
     let mut host = HostProfile::new(threads);
     let spec = fpga::device::part("VF800");
-    let (lib, ids) = host.phase("compile", || {
+    let (lib, ids) = host.phase(bench::sections::PHASE_COMPILE, || {
         compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec)
     });
     let timing = ConfigTiming {
@@ -83,7 +83,7 @@ fn main() {
 
     // One sweep point per manager.
     let points = [0usize, 1, 2];
-    let results = host.phase("sweep", || {
+    let results = host.phase(bench::sections::PHASE_SWEEP, || {
         run_sweep(threads, &points, |_, &which| match which {
             0 => System::new(
                 lib.clone(),

@@ -22,7 +22,7 @@ fn main() {
     let threads = threads_arg();
     let mut host = HostProfile::new(threads);
     let spec = fpga::device::part("VF400"); // 20 columns
-    let (lib, ids) = host.phase("compile", || {
+    let (lib, ids) = host.phase(bench::sections::PHASE_COMPILE, || {
         compile_suite_lib(&[Domain::Multimedia, Domain::Telecom], spec)
     });
 
@@ -66,7 +66,7 @@ fn main() {
     );
     println!("circuit widths: {widths:?} (max {wmax})");
 
-    let results = host.phase("sweep", || {
+    let results = host.phase(bench::sections::PHASE_SWEEP, || {
         run_sweep(threads, &modes, |_, (name, mode)| {
             // Internal fragmentation estimate: mean over circuits of
             // (slot_width - circuit_width)/slot_width for the smallest fixed

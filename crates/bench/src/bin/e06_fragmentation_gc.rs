@@ -227,7 +227,7 @@ fn main() {
     let threads = threads_arg();
     let mut host = HostProfile::new(threads);
     let spec = fpga::device::part("VF400"); // 20 cols
-    let (lib, narrow, wide) = host.phase("compile", || build_lib(spec));
+    let (lib, narrow, wide) = host.phase(bench::sections::PHASE_COMPILE, || build_lib(spec));
     let mut ex = Exporter::new("e06", "fragmentation and garbage collection");
     ex.seed(0xE06)
         .param("device", spec.name)
@@ -244,10 +244,10 @@ fn main() {
             .collect::<Vec<_>>(),
         spec.cols
     );
-    host.phase("micro-trace", || {
+    host.phase(bench::sections::PHASE_MICRO_TRACE, || {
         micro_trace(threads, spec, &lib, &narrow, &wide, &mut ex)
     });
-    host.phase("churn", || {
+    host.phase(bench::sections::PHASE_CHURN, || {
         churn(threads, spec, &lib, &narrow, &wide, &mut ex)
     });
     host.points(4);

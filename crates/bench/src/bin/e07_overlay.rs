@@ -24,7 +24,7 @@ fn main() {
     let threads = threads_arg();
     let mut host = HostProfile::new(threads);
     let spec = fpga::device::part("VF800"); // 32 cols
-    let (lib, ids) = host.phase("compile", || {
+    let (lib, ids) = host.phase(bench::sections::PHASE_COMPILE, || {
         compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec)
     });
     let timing = ConfigTiming {
@@ -85,7 +85,7 @@ fn main() {
                 .map(move |p| (k, p))
         })
         .collect();
-    let results = host.phase("sweep", || {
+    let results = host.phase(bench::sections::PHASE_SWEEP, || {
         run_sweep(threads, &points, |_, &(k, policy)| {
             let common: Vec<_> = ids[..k].to_vec();
             let common_w: u32 = common.iter().map(|&i| lib.get(i).shape().0).sum();

@@ -30,7 +30,7 @@ fn main() {
 
     // Segment widths from real compiled kernels across two domains.
     let mut widths = Vec::new();
-    host.phase("compile", || {
+    host.phase(bench::sections::PHASE_COMPILE, || {
         for d in [Domain::Multimedia, Domain::Networking] {
             for app in suite(d, spec.rows).apps {
                 widths.push(app.compiled.shape().0);
@@ -75,7 +75,7 @@ fn main() {
     );
 
     let budgets = [100u32, 75, 50, 35];
-    let results = host.phase("sweep", || {
+    let results = host.phase(bench::sections::PHASE_SWEEP, || {
         run_sweep(threads, &budgets, |_, &budget_pct| {
             let mut rows: Vec<Vec<String>> = Vec::new();
             let mut timelines: Vec<(String, Timeline)> = Vec::new();

@@ -33,7 +33,7 @@ fn main() {
         ],
     );
     let virt = [32u32, 64, 96, 128, 192, 256, 512];
-    let rows = host.phase("mux-plan", || {
+    let rows = host.phase(bench::sections::PHASE_MUX_PLAN, || {
         run_sweep(threads, &virt, |_, &v| {
             let plan = mux_plan(v, 64).expect("nonzero pins");
             vec![
@@ -55,7 +55,7 @@ fn main() {
     // single shared stateful resource — each bind depends on the previous
     // one, so this part is inherently serial.
     let spec = fpga::device::part("VF400"); // 128 pins
-    let (lib, ids) = host.phase("compile", || {
+    let (lib, ids) = host.phase(bench::sections::PHASE_COMPILE, || {
         compile_suite_lib(
             &[Domain::Telecom, Domain::Storage, Domain::Networking],
             spec,
@@ -68,7 +68,7 @@ fn main() {
         ),
         &["circuit", "io pins", "bound?", "free pins after"],
     );
-    host.phase("pin-table", || {
+    host.phase(bench::sections::PHASE_PIN_TABLE, || {
         let mut table = PinTable::new(spec.io_pins);
         table.set_recording(true);
         // No simulated clock here: the timeline's axis is the bind sequence

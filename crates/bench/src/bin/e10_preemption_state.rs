@@ -25,7 +25,9 @@ fn main() {
     let threads = threads_arg();
     let mut host = HostProfile::new(threads);
     let spec = fpga::device::part("VF800");
-    let (lib, ids) = host.phase("compile", || compile_suite_lib(&[Domain::Telecom], spec));
+    let (lib, ids) = host.phase(bench::sections::PHASE_COMPILE, || {
+        compile_suite_lib(&[Domain::Telecom], spec)
+    });
     let scrambler = ids[0]; // LFSR: sequential
     let timing = ConfigTiming {
         spec,
@@ -64,7 +66,7 @@ fn main() {
             .map(move |p| (op_ms, p))
         })
         .collect();
-    let results = host.phase("sweep", || {
+    let results = host.phase(bench::sections::PHASE_SWEEP, || {
         run_sweep(threads, &points, |_, &(op_ms, policy)| {
             let cycles = (op_ms * 1_000_000) / per_cycle;
             // Rollback with op > slice makes progress only once every

@@ -22,7 +22,9 @@ fn main() {
     let threads = threads_arg();
     let mut host = HostProfile::new(threads);
     let spec = fpga::device::part("VF800");
-    let (lib, ids) = host.phase("compile", || compile_suite_lib(&[Domain::Networking], spec));
+    let (lib, ids) = host.phase(bench::sections::PHASE_COMPILE, || {
+        compile_suite_lib(&[Domain::Networking], spec)
+    });
     let cid = ids[0];
     let timing = ConfigTiming {
         spec,
@@ -62,7 +64,7 @@ fn main() {
             "wasted per op (ms)",
         ],
     );
-    let results = host.phase("sweep", || {
+    let results = host.phase(bench::sections::PHASE_SWEEP, || {
         run_sweep(threads, &detect_modes, |_, (_, completion)| {
             let ops: Vec<Op> = (0..20)
                 .flat_map(|_| {

@@ -51,7 +51,7 @@ fn main() {
     // One sweep point per domain suite; each point compiles its own suite
     // (through the shared compile cache) and returns its table rows plus
     // the per-batch effective-speedup contributions.
-    let results = host.phase("sweep", || {
+    let results = host.phase(bench::sections::PHASE_SWEEP, || {
         run_sweep(threads, &Domain::ALL, |_, &d| {
             let s = suite(d, spec.rows);
             let mut rows = Vec::new();

@@ -46,7 +46,7 @@ fn main() {
         ],
     );
 
-    let results = host.phase("sweep", || {
+    let results = host.phase(bench::sections::PHASE_SWEEP, || {
         run_sweep(threads, PARTS, |_, spec| {
             // Recompile the suites for this part's height so circuits are
             // full-height columns on *this* device.

@@ -49,7 +49,7 @@ fn main() {
     let threads = threads_arg();
     let mut host = HostProfile::new(threads);
     let spec = fpga::device::part("VF800");
-    let (lib, ids) = host.phase("compile", || {
+    let (lib, ids) = host.phase(bench::sections::PHASE_COMPILE, || {
         compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec)
     });
     let timing = ConfigTiming {
@@ -102,7 +102,7 @@ fn main() {
         .into_iter()
         .flat_map(|m| ["fifo", "rr", "priority"].into_iter().map(move |s| (m, s)))
         .collect();
-    let results = host.phase("sweep", || {
+    let results = host.phase(bench::sections::PHASE_SWEEP, || {
         run_sweep(threads, &points, |_, &(mgr_kind, sched_kind)| {
             macro_rules! with_sched {
                 ($mgr:expr, $preempt:expr) => {

@@ -92,7 +92,7 @@ fn main() {
     let threads = threads_arg();
     let mut host = HostProfile::new(threads);
     let spec = fpga::device::part("VF800");
-    let (lib, ids) = host.phase("compile", || {
+    let (lib, ids) = host.phase(bench::sections::PHASE_COMPILE, || {
         compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec)
     });
     let timing = ConfigTiming {
@@ -170,7 +170,7 @@ fn main() {
             }
         }
     }
-    let cells = host.phase("sweep", || {
+    let cells = host.phase(bench::sections::PHASE_SWEEP, || {
         run_sweep(threads, &points, |_, (plan, policy, label)| {
             run_cell(&lib, &ids, timing, seed, *plan, *policy, label.clone())
         })

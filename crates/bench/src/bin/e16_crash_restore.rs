@@ -60,7 +60,7 @@ fn main() {
     let threads = threads_arg();
     let mut host = HostProfile::new(threads);
     let spec = fpga::device::part("VF400");
-    let (lib, ids) = host.phase("compile", || {
+    let (lib, ids) = host.phase(bench::sections::PHASE_COMPILE, || {
         compile_suite_lib(&[Domain::Telecom, Domain::Storage], spec)
     });
     let timing = ConfigTiming {
@@ -128,7 +128,9 @@ fn main() {
         ],
     );
 
-    let baseline = host.phase("baseline", || build(seed)().run().expect("baseline run"));
+    let baseline = host.phase(bench::sections::PHASE_BASELINE, || {
+        build(seed)().run().expect("baseline run")
+    });
     let mut points = Vec::new();
     for &(rname, rate) in rates {
         for &(iname, interval_us) in intervals {
@@ -137,7 +139,7 @@ fn main() {
             }
         }
     }
-    let cells: Vec<Cell> = host.phase("sweep", || {
+    let cells: Vec<Cell> = host.phase(bench::sections::PHASE_SWEEP, || {
         run_sweep(
             threads,
             &points,

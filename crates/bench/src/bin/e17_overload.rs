@@ -118,7 +118,7 @@ fn main() {
     let threads = threads_arg();
     let mut host = HostProfile::new(threads);
     let spec = fpga::device::part("VF800");
-    let (lib, ids, sw) = host.phase("compile", || {
+    let (lib, ids, sw) = host.phase(bench::sections::PHASE_COMPILE, || {
         compile_suite_lib_sw(&[Domain::Telecom, Domain::Storage], spec)
     });
     let timing = ConfigTiming {
@@ -209,7 +209,7 @@ fn main() {
         ],
     );
 
-    let cells = host.phase("sweep", || {
+    let cells = host.phase(bench::sections::PHASE_SWEEP, || {
         run_sweep(threads, &points, |_, p| {
             run_cell(&lib, &ids, timing, seed, p)
         })

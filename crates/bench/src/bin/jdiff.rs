@@ -1,16 +1,17 @@
-//! Compare two experiment exports, ignoring the volatile `host` section.
+//! Compare two experiment exports, ignoring the volatile sections.
 //!
 //! ```sh
 //! jdiff a.json b.json
 //! ```
 //!
-//! Exit status 0 when the documents are identical after dropping the
-//! top-level `host` key from each, 1 when they differ, 2 on usage or I/O
-//! errors. This is the CI determinism gate: two runs of the same
-//! experiment with the same seed must agree byte-for-byte everywhere
-//! except host wall-clock data — regardless of `--threads`.
+//! Exit status 0 when the documents are identical after dropping every
+//! top-level section in [`bench::sections::VOLATILE_SECTIONS`] (today:
+//! `host`) from each, 1 when they differ, 2 on usage or I/O errors. This
+//! is the CI determinism gate: two runs of the same experiment with the
+//! same seed must agree byte-for-byte everywhere except host wall-clock
+//! data — regardless of `--threads`.
 
-use bench::{strip_host, Json};
+use bench::{strip_volatile, Json};
 
 fn load(path: &str) -> Json {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -29,8 +30,8 @@ fn main() {
         eprintln!("usage: jdiff <a.json> <b.json>");
         std::process::exit(2);
     }
-    let a = strip_host(load(&args[0])).render();
-    let b = strip_host(load(&args[1])).render();
+    let a = strip_volatile(load(&args[0])).render();
+    let b = strip_volatile(load(&args[1])).render();
     if a == b {
         println!("identical modulo host section");
     } else {

@@ -6,34 +6,42 @@
 //! kind the managers emit: task lifecycle, dispatches, downloads,
 //! preemptions, and GC.
 //!
-//! Usage: `trace_dump [--tag TAG]... [--limit N] [--seed S] [--summary]
-//! [--faults] [--checkpoints] [--admission]`
+//! Usage: `trace_dump [--section NAME]... [--tag TAG]... [--limit N]
+//! [--seed S] [--summary]`
 //!
+//! * `--section NAME` — enable one of the optional subsystems
+//!   (repeatable, combine freely):
+//!   - `faults` — attach a deterministic fault injector (download
+//!     corruption + SEUs + 2ms scrubbing) so the recovery events appear
+//!     (tags fault-inj/crc/scrub/retry/task-fail/col-retire/recover).
+//!   - `checkpoints` — run under periodic checkpoints with seeded host
+//!     crashes and journaled restore, and (unless `--tag` is given)
+//!     filter the listing to the ckpt/crash/replay events. The printed
+//!     trace covers the final segment — earlier segments died with their
+//!     crashed host.
+//!   - `admission` — tag tasks with tenants round-robin, make the first
+//!     task's first FPGA op hang, and attach an [`AdmissionPolicy`]
+//!     (tight per-tenant quota, watchdog, low-watermark degradation) so
+//!     the admission events appear (tags wd-arm/wd-fire/reject/
+//!     quarantine/degrade; the listing filters to them unless `--tag`
+//!     is given).
+//!   - `profile` — record host spans and simulated latency histograms
+//!     during the run, then print the span tree (inclusive/exclusive
+//!     wall time), a flamegraph-compatible collapsed-stack export, and
+//!     per-label latency quantiles after the event summary.
+//! * `--faults`, `--checkpoints`, `--admission`, `--profile` — aliases
+//!   for the matching `--section NAME`.
 //! * `--tag TAG` — print only events whose tag matches (repeatable;
-//!   tags: arrive/ready/run/block/fail/done/dispatch/config/preempt/gc/
-//!   fault/overlay/iomux/custom, plus with `--faults` the
-//!   injection/recovery tags fault-inj/crc/scrub/retry/task-fail/
-//!   col-retire/recover, with `--checkpoints` the crash-consistency
-//!   tags ckpt/crash/replay, and with `--admission` the admission-control
-//!   tags wd-arm/wd-fire/reject/quarantine/degrade).
+//!   base tags: arrive/ready/run/block/fail/done/dispatch/config/
+//!   preempt/gc/fault/overlay/iomux/custom, plus the per-section tags
+//!   listed above).
 //! * `--limit N` — print at most N events (default 200; `0` = unlimited).
 //! * `--seed S`  — workload seed (default 0xE04).
-//! * `--summary` — skip the event listing, print only the per-tag counts.
-//! * `--faults`  — attach a deterministic fault injector (download
-//!   corruption + SEUs + 2ms scrubbing) so the recovery events appear.
-//! * `--checkpoints` — run under periodic checkpoints with seeded host
-//!   crashes and journaled restore, and (unless `--tag` is given) filter
-//!   the listing to the checkpoint/crash/journal-replay events. The
-//!   printed trace covers the final segment — earlier segments died with
-//!   their crashed host.
-//! * `--admission` — tag tasks with tenants round-robin, make the first
-//!   task's first FPGA op hang, and attach an [`AdmissionPolicy`] (tight
-//!   per-tenant quota, watchdog, low-watermark degradation) so the
-//!   admission events appear; unless `--tag` is given, filter the listing
-//!   to them.
+//! * `--summary` — skip the event listing, print only the per-tag counts
+//!   (and, with `--section profile`, the profile views).
 
 use fpga::{ConfigPort, ConfigTiming};
-use fsim::{SimDuration, SimRng};
+use fsim::{span, SimDuration, SimRng};
 use std::collections::BTreeMap;
 use vfpga::manager::partition::{PartitionManager, PartitionMode};
 use vfpga::{
@@ -43,14 +51,44 @@ use vfpga::{
 };
 use workload::{poisson_tasks, tenant_tasks, Domain, MixParams, TenantMixParams};
 
+/// Optional subsystems `--section` can enable, with their help blurbs.
+const SECTIONS: &[(&str, &str)] = &[
+    ("faults", "fault injection + scrubbing recovery events"),
+    (
+        "checkpoints",
+        "periodic checkpoints, host crashes, journal replay",
+    ),
+    ("admission", "tenant quotas, watchdogs, degraded dispatch"),
+    (
+        "profile",
+        "host span tree, collapsed stacks, latency histograms",
+    ),
+];
+
 struct Args {
     tags: Vec<String>,
     limit: usize,
     seed: u64,
     summary_only: bool,
-    faults: bool,
-    checkpoints: bool,
-    admission: bool,
+    sections: Vec<String>,
+}
+
+impl Args {
+    fn section(&self, name: &str) -> bool {
+        self.sections.iter().any(|s| s == name)
+    }
+}
+
+fn usage() -> String {
+    let mut out = String::from(
+        "usage: trace_dump [--section NAME]... [--tag TAG]... [--limit N] [--seed S] \
+         [--summary]\n\nsections (repeatable; --faults/--checkpoints/--admission/--profile \
+         are aliases):\n",
+    );
+    for (name, blurb) in SECTIONS {
+        out.push_str(&format!("  {name:<12} {blurb}\n"));
+    }
+    out
 }
 
 fn parse_args() -> Args {
@@ -59,9 +97,12 @@ fn parse_args() -> Args {
         limit: 200,
         seed: 0xE04,
         summary_only: false,
-        faults: false,
-        checkpoints: false,
-        admission: false,
+        sections: Vec::new(),
+    };
+    let push_section = |sections: &mut Vec<String>, name: &str| {
+        if !sections.iter().any(|s| s == name) {
+            sections.push(name.to_string());
+        }
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -89,14 +130,21 @@ fn parse_args() -> Args {
                 });
             }
             "--summary" => out.summary_only = true,
-            "--faults" => out.faults = true,
-            "--checkpoints" => out.checkpoints = true,
-            "--admission" => out.admission = true,
+            "--section" => {
+                let name = value("--section");
+                if !SECTIONS.iter().any(|(s, _)| *s == name) {
+                    eprintln!("unknown section {name:?}\n\n{}", usage());
+                    std::process::exit(2);
+                }
+                push_section(&mut out.sections, &name);
+            }
+            // Pre-`--section` spellings, kept as aliases.
+            "--faults" => push_section(&mut out.sections, "faults"),
+            "--checkpoints" => push_section(&mut out.sections, "checkpoints"),
+            "--admission" => push_section(&mut out.sections, "admission"),
+            "--profile" => push_section(&mut out.sections, "profile"),
             "--help" | "-h" => {
-                println!(
-                    "usage: trace_dump [--tag TAG]... [--limit N] [--seed S] [--summary] \
-                     [--faults] [--checkpoints] [--admission]"
-                );
+                println!("{}", usage());
                 std::process::exit(0);
             }
             other => {
@@ -110,6 +158,7 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    let profile = args.section("profile");
 
     let spec = fpga::device::part("VF800");
     let (lib, ids, sw) =
@@ -127,7 +176,7 @@ fn main() {
     };
     let specs = {
         let mut rng = SimRng::new(args.seed);
-        if args.admission {
+        if args.section("admission") {
             // Tenant-tagged variant of the same arrival process, with one
             // deliberately hanging op so the watchdog has work to do.
             tenant_tasks(
@@ -162,7 +211,7 @@ fn main() {
             },
             specs.clone(),
         );
-        if args.faults {
+        if args.section("faults") {
             let plan = FaultPlan {
                 seed: args.seed,
                 download_corruption: 0.1,
@@ -175,7 +224,7 @@ fn main() {
             };
             sys = sys.with_faults(plan, policy);
         }
-        if args.admission {
+        if args.section("admission") {
             let policy = AdmissionPolicy {
                 max_in_flight: 2,
                 queue_cap: 2,
@@ -190,29 +239,39 @@ fn main() {
             };
             sys = sys.with_admission(policy).expect("policy validates");
         }
+        if profile {
+            sys = sys.with_latency_profile();
+        }
         sys
     };
     let mut tags = args.tags.clone();
-    if args.admission && tags.is_empty() && !args.checkpoints {
+    if args.section("admission") && tags.is_empty() && !args.section("checkpoints") {
         // The advertised filter: only the admission-control stream.
         tags = ["wd-arm", "wd-fire", "reject", "quarantine", "degrade"]
             .map(String::from)
             .to_vec();
     }
-    let (report, trace) = if args.checkpoints {
-        if tags.is_empty() {
-            // The advertised filter: only the crash-consistency stream.
-            tags = vec!["ckpt".into(), "crash".into(), "replay".into()];
+    let run = || {
+        if args.section("checkpoints") {
+            let cfg = CheckpointConfig::new(SimDuration::from_millis(5));
+            let plan = CrashPlan {
+                seed: args.seed,
+                crash_rate_per_s: 25.0,
+                max_crashes: 3,
+            };
+            run_with_crashes_traced(build, cfg, plan).expect("deadlock")
+        } else {
+            build().with_trace().run_traced().expect("deadlock")
         }
-        let cfg = CheckpointConfig::new(SimDuration::from_millis(5));
-        let plan = CrashPlan {
-            seed: args.seed,
-            crash_rate_per_s: 25.0,
-            max_crashes: 3,
-        };
-        run_with_crashes_traced(build, cfg, plan).expect("deadlock")
+    };
+    if args.section("checkpoints") && tags.is_empty() {
+        // The advertised filter: only the crash-consistency stream.
+        tags = vec!["ckpt".into(), "crash".into(), "replay".into()];
+    }
+    let ((report, trace), spans) = if profile {
+        span::scoped(run)
     } else {
-        build().with_trace().run_traced().expect("deadlock")
+        (run(), span::SpanProfile::new())
     };
 
     let mut by_tag: BTreeMap<&'static str, u64> = BTreeMap::new();
@@ -251,7 +310,7 @@ fn main() {
         report.tasks.len(),
         report.overhead_fraction() * 100.0
     );
-    if args.checkpoints {
+    if args.section("checkpoints") {
         let c = &report.crash;
         println!(
             "crash consistency: {} checkpoints ({:.3} s readback), {} crashes, \
@@ -281,5 +340,29 @@ fn main() {
             a.degraded_dispatches,
             a.degraded_time.as_secs_f64(),
         );
+    }
+    if profile {
+        println!("\n## host spans (wall clock, inclusive/exclusive)\n");
+        print!("{}", spans.render_tree());
+        println!("\n## collapsed stacks (flamegraph.pl / inferno format)\n");
+        print!("{}", spans.collapsed());
+        if let Some(lat) = &report.latency {
+            println!("\n## simulated latency histograms (ns, log-bucketed)\n");
+            println!(
+                "{:<24} {:>7} {:>12} {:>12} {:>12} {:>12}",
+                "label", "count", "p50", "p90", "p99", "max"
+            );
+            for (label, h) in lat.iter() {
+                println!(
+                    "{:<24} {:>7} {:>12} {:>12} {:>12} {:>12}",
+                    label,
+                    h.count(),
+                    bench::perf::fmt_ns(h.quantile_ns(0.50)),
+                    bench::perf::fmt_ns(h.quantile_ns(0.90)),
+                    bench::perf::fmt_ns(h.quantile_ns(0.99)),
+                    bench::perf::fmt_ns(h.max_ns()),
+                );
+            }
+        }
     }
 }

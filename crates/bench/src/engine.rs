@@ -112,8 +112,15 @@ impl HostProfile {
         }
     }
 
-    /// Time one named phase of the run.
+    /// Time one named phase of the run. `name` must come from
+    /// [`crate::sections::PHASES`] — registering labels in one table keeps
+    /// the exporter and the volatile-section tooling agreeing on what
+    /// binaries emit (checked in debug builds).
     pub fn phase<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        debug_assert!(
+            crate::sections::is_known_phase(name),
+            "phase {name:?} is not registered in bench::sections::PHASES"
+        );
         let t0 = Instant::now();
         let out = f();
         self.phases.push((name.to_string(), t0.elapsed()));

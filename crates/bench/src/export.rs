@@ -348,7 +348,7 @@ impl Exporter {
         // Volatile section last, so the deterministic prefix of two
         // exports lines up even in a plain textual diff.
         if let Some(h) = &self.host {
-            doc = doc.set("host", h.clone());
+            doc = doc.set(crate::sections::HOST, h.clone());
         }
         doc.build()
     }
@@ -372,14 +372,26 @@ impl Exporter {
     }
 }
 
-/// Drop the volatile `host` section from a parsed export document, leaving
-/// only the deterministic content. Two same-seed runs of an experiment must
-/// render identically after this — regardless of `--threads`.
-pub fn strip_host(doc: Json) -> Json {
+/// Drop every section named in [`crate::sections::VOLATILE_SECTIONS`] from
+/// a parsed export document, leaving only the deterministic content. Two
+/// same-seed runs of an experiment must render identically after this —
+/// regardless of `--threads`.
+pub fn strip_volatile(doc: Json) -> Json {
     match doc {
-        Json::Obj(fields) => Json::Obj(fields.into_iter().filter(|(k, _)| k != "host").collect()),
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| !crate::sections::VOLATILE_SECTIONS.contains(&k.as_str()))
+                .collect(),
+        ),
         other => other,
     }
+}
+
+/// Legacy name for [`strip_volatile`] (the `host` section was the only
+/// volatile one when this was introduced, and still is).
+pub fn strip_host(doc: Json) -> Json {
+    strip_volatile(doc)
 }
 
 #[cfg(test)]

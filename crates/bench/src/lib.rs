@@ -10,12 +10,14 @@ pub mod engine;
 pub mod export;
 pub mod json;
 pub mod microbench;
+pub mod perf;
 pub mod report;
+pub mod sections;
 pub mod setup;
 
 pub use args::{arg_u64, flag, threads_arg};
 pub use engine::{run_sweep, HostProfile};
-pub use export::{json_arg, strip_host, Exporter};
+pub use export::{json_arg, strip_host, strip_volatile, Exporter};
 pub use json::{Json, Obj};
 pub use report::Table;
 pub use setup::{compile_suite_lib, std_timing};

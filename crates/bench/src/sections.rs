@@ -1,0 +1,72 @@
+//! Shared names for export sections and host phases.
+//!
+//! The exporter writes the volatile `host` section, `jdiff` strips it, and
+//! every e-binary labels its wall-clock phases — three places that used to
+//! repeat the same string literals. This module is the single source of
+//! truth: the exporter emits [`HOST`], comparison tooling skips exactly
+//! [`VOLATILE_SECTIONS`], and [`crate::engine::HostProfile::phase`] asserts
+//! (in debug builds) that a phase label comes from [`PHASES`], so a new
+//! phase name must be registered here before a binary can emit it and the
+//! skip list can never silently drift from what binaries write.
+
+/// The one volatile top-level section: host wall-clock data.
+pub const HOST: &str = "host";
+
+/// Top-level sections excluded from byte-identity comparisons.
+///
+/// Everything else in an export must be deterministic — same seed, same
+/// bytes, regardless of `--threads`.
+pub const VOLATILE_SECTIONS: &[&str] = &[HOST];
+
+/// Workload compilation (map/pack/place/timing ahead of the sweep).
+pub const PHASE_COMPILE: &str = "compile";
+/// The parallel sweep over experiment points.
+pub const PHASE_SWEEP: &str = "sweep";
+/// A no-faults / no-feature reference run.
+pub const PHASE_BASELINE: &str = "baseline";
+/// Allocator churn loops (fragmentation experiments).
+pub const PHASE_CHURN: &str = "churn";
+/// Micro-trace replay.
+pub const PHASE_MICRO_TRACE: &str = "micro-trace";
+/// I/O-multiplexer planning.
+pub const PHASE_MUX_PLAN: &str = "mux-plan";
+/// Pin-table construction.
+pub const PHASE_PIN_TABLE: &str = "pin-table";
+
+/// Every phase name a binary may hand to
+/// [`crate::engine::HostProfile::phase`].
+pub const PHASES: &[&str] = &[
+    PHASE_COMPILE,
+    PHASE_SWEEP,
+    PHASE_BASELINE,
+    PHASE_CHURN,
+    PHASE_MICRO_TRACE,
+    PHASE_MUX_PLAN,
+    PHASE_PIN_TABLE,
+];
+
+/// Whether `name` is a registered phase label.
+pub fn is_known_phase(name: &str) -> bool {
+    PHASES.contains(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_table_is_duplicate_free() {
+        for (i, a) in PHASES.iter().enumerate() {
+            for b in &PHASES[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn host_is_volatile_and_phases_are_known() {
+        assert!(VOLATILE_SECTIONS.contains(&HOST));
+        assert!(is_known_phase(PHASE_SWEEP));
+        assert!(!is_known_phase("wall-clock"));
+    }
+}

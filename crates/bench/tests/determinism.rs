@@ -8,7 +8,7 @@
 //! which worker finished first.
 
 use bench::json::Json;
-use bench::strip_host;
+use bench::{strip_host, strip_volatile};
 use std::path::PathBuf;
 use std::process::Command;
 
@@ -74,6 +74,70 @@ fn e16_crash_restore_smoke_is_thread_invariant() {
 #[test]
 fn e17_overload_smoke_is_thread_invariant() {
     assert_thread_invariant(env!("CARGO_BIN_EXE_e17_overload"), &["--smoke"], "e17");
+}
+
+/// Run `bench_perf --smoke` at the given thread count and return the
+/// written document, parsed.
+fn run_bench_perf(threads: usize) -> Json {
+    let path =
+        std::env::temp_dir().join(format!("vfpga-perf-t{threads}-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let status = Command::new(env!("CARGO_BIN_EXE_bench_perf"))
+        .args(["--smoke", "--threads", &threads.to_string(), "--out"])
+        .arg(&path)
+        .stdout(std::process::Stdio::null())
+        .status()
+        .expect("bench_perf must spawn");
+    assert!(status.success(), "bench_perf --threads {threads} failed");
+    let text = std::fs::read_to_string(&path).expect("BENCH file must exist");
+    let _ = std::fs::remove_file(&path);
+    Json::parse(&text).expect("BENCH file must parse")
+}
+
+#[test]
+fn bench_perf_sim_section_is_thread_invariant() {
+    // The perf document's `sim` section (simulated latency histograms and
+    // event-loop span counts, merged in point order) must be byte-identical
+    // at any worker count; only the volatile `host` section may move.
+    let a = run_bench_perf(1);
+    let b = run_bench_perf(4);
+    assert_eq!(
+        a.get("schema"),
+        Some(&Json::Str(bench::perf::PERF_SCHEMA.to_string()))
+    );
+    assert!(a.get("host").is_some(), "perf doc carries a host section");
+    assert_eq!(
+        strip_volatile(a).render(),
+        strip_volatile(b).render(),
+        "bench_perf --threads 4 diverged from --threads 1 after stripping host"
+    );
+}
+
+#[test]
+fn bench_perf_self_compare_reports_zero_regressions() {
+    // `--compare A A` through the real binary: exit 0 and say so.
+    let path = std::env::temp_dir().join(format!("vfpga-perf-self-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let status = Command::new(env!("CARGO_BIN_EXE_bench_perf"))
+        .args(["--smoke", "--out"])
+        .arg(&path)
+        .stdout(std::process::Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success());
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_perf"))
+        .arg("--compare")
+        .arg(&path)
+        .arg(&path)
+        .output()
+        .unwrap();
+    let _ = std::fs::remove_file(&path);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "self-compare must exit 0: {stdout}");
+    assert!(
+        stdout.contains("zero regressions"),
+        "self-compare must report zero regressions: {stdout}"
+    );
 }
 
 #[test]

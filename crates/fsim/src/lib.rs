@@ -13,6 +13,8 @@
 //! * [`fault`] — seeded fault-injection plans (download corruption,
 //!   configuration upsets, permanent column failures, host crashes),
 //! * [`obs`] — a metrics registry and time-weighted utilization timelines,
+//! * [`span`] — a hierarchical scoped-span wall-clock profiler whose
+//!   per-thread buffers merge deterministically at join,
 //! * [`json`] — the hand-rolled JSON value tree shared by checkpoint
 //!   serialization (crate `vfpga`) and the bench exporter.
 //!
@@ -25,6 +27,7 @@ pub mod fault;
 pub mod json;
 pub mod obs;
 pub mod rng;
+pub mod span;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -33,6 +36,7 @@ pub use event::{EventQueue, ScheduledEvent};
 pub use fault::{CrashInjector, CrashPlan, FaultInjector, FaultPlan};
 pub use obs::{Metrics, Timeline, TimelineSet};
 pub use rng::SimRng;
-pub use stats::{Histogram, Summary};
+pub use span::{SpanGuard, SpanProfile, SpanStat};
+pub use stats::{HistSet, Histogram, LogHistogram, Summary};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TaskState, Trace, TraceEntry, TraceEvent};

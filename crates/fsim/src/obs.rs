@@ -92,6 +92,11 @@ impl Metrics {
         self.summaries.iter().map(|(&k, v)| (k, v))
     }
 
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty()
@@ -101,7 +106,7 @@ impl Metrics {
     }
 
     /// Fold another registry into this one: counters add, gauges take the
-    /// other's value, summaries merge.
+    /// other's value, summaries and histograms merge.
     pub fn absorb(&mut self, other: &Metrics) {
         for (k, v) in other.counters() {
             self.inc(k, v);
@@ -111,6 +116,14 @@ impl Metrics {
         }
         for (k, s) in other.summaries() {
             self.summaries.entry(k).or_default().merge(s);
+        }
+        for (k, h) in other.histograms() {
+            match self.histograms.get_mut(k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(k, h.clone());
+                }
+            }
         }
     }
 }
@@ -318,16 +331,53 @@ mod tests {
         let mut a = Metrics::new();
         a.inc("x", 1);
         a.observe("s", 1.0);
+        a.observe_hist("h", 0.0, 10.0, 10, 1.0);
         let mut b = Metrics::new();
         b.inc("x", 2);
         b.inc("y", 5);
         b.observe("s", 3.0);
         b.set_gauge("g", 9.0);
+        b.observe_hist("h", 0.0, 10.0, 10, 3.0);
+        b.observe_hist("h2", 0.0, 1.0, 4, 0.5);
         a.absorb(&b);
         assert_eq!(a.counter("x"), 3);
         assert_eq!(a.counter("y"), 5);
         assert_eq!(a.summary("s").unwrap().count(), 2);
         assert_eq!(a.gauge("g"), Some(9.0));
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        assert_eq!(a.histogram("h2").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn snapshot_order_is_independent_of_registration_order() {
+        // Two registries fed the same data in different registration orders
+        // must render identical snapshots — the exporter iterates these
+        // directly into JSON, so any order sensitivity would break
+        // byte-identical exports across code paths.
+        let mut fwd = Metrics::new();
+        let mut rev = Metrics::new();
+        let names = ["zeta", "alpha", "mid", "beta"];
+        for n in names {
+            fwd.inc(n, 1);
+            fwd.observe(n, 2.0);
+            fwd.observe_hist(n, 0.0, 4.0, 4, 2.0);
+        }
+        for n in names.iter().rev() {
+            rev.inc(n, 1);
+            rev.observe(n, 2.0);
+            rev.observe_hist(n, 0.0, 4.0, 4, 2.0);
+        }
+        let f: Vec<_> = fwd.counters().collect();
+        let r: Vec<_> = rev.counters().collect();
+        assert_eq!(f, r);
+        assert!(f.windows(2).all(|w| w[0].0 < w[1].0), "sorted: {f:?}");
+        let fs: Vec<_> = fwd.summaries().map(|(k, _)| k).collect();
+        let rs: Vec<_> = rev.summaries().map(|(k, _)| k).collect();
+        assert_eq!(fs, rs);
+        let fh: Vec<_> = fwd.histograms().map(|(k, _)| k).collect();
+        let rh: Vec<_> = rev.histograms().map(|(k, _)| k).collect();
+        assert_eq!(fh, rh);
+        assert_eq!(fh, vec!["alpha", "beta", "mid", "zeta"]);
     }
 
     #[test]

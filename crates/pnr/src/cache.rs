@@ -11,9 +11,10 @@
 //! Correctness rests on two facts:
 //! * [`compile`] is deterministic: the same netlist and options always
 //!   produce the same placement, timing, and (later) bitstreams — so a
-//!   cache hit is observationally identical to a fresh compile, except
-//!   for the host-wall-clock [`crate::FlowProfile`] inside, which is
-//!   explicitly *not* part of any deterministic export.
+//!   cache hit is observationally identical to a fresh compile. (Host
+//!   wall-clock flow timings live in the ambient [`fsim::span`] profiler,
+//!   not in [`CompiledCircuit`], so caching does not skew any stored
+//!   artifact — a hit simply records no `pnr;*` spans.)
 //! * The key covers everything [`compile`] reads: the netlist content
 //!   hash (name, gates, inputs, outputs) and all [`CompileOptions`]
 //!   fields (`fill` via its bit pattern, since `f64` is not `Eq`).

@@ -8,9 +8,8 @@
 
 use crate::pack::{pack, PackedCircuit};
 use crate::place::{auto_shape, place, PlaceError, PlacedCircuit};
-use crate::profile::FlowProfile;
 use crate::timing::{clock_period_ns, critical_path_ns};
-use fsim::SimRng;
+use fsim::{span, SimRng};
 use netlist::{map_to_luts, MapOptions, Netlist};
 
 /// Options for the compilation flow.
@@ -53,8 +52,6 @@ pub struct CompiledCircuit {
     pub crit_path_ns: f64,
     /// Derived clock period in nanoseconds (with margin).
     pub clock_ns: f64,
-    /// Host wall-clock time per flow phase (map/pack/place/timing).
-    pub profile: FlowProfile,
 }
 
 impl CompiledCircuit {
@@ -97,10 +94,15 @@ impl CompiledCircuit {
 }
 
 /// Compile a gate netlist down to a relocatable placed circuit.
+///
+/// The flow phases record `pnr;map` / `pnr;pack` / `pnr;place` /
+/// `pnr;timing` spans into the ambient [`fsim::span`] profiler when a
+/// harness has recording enabled (see [`fsim::span::scoped`]); with
+/// recording off the guards are free.
 pub fn compile(net: &Netlist, opts: CompileOptions) -> Result<CompiledCircuit, PlaceError> {
-    let mut profile = FlowProfile::new();
-    let mapped = profile.time("map", || map_to_luts(net, opts.map));
-    let packed: PackedCircuit = profile.time("pack", || pack(&mapped));
+    let _flow = span::guard("pnr");
+    let mapped = span::time("map", || map_to_luts(net, opts.map));
+    let packed: PackedCircuit = span::time("pack", || pack(&mapped));
     let (w, h) = opts.shape.unwrap_or_else(|| {
         let blocks = packed.blocks.len().max(1);
         if opts.full_height {
@@ -111,15 +113,14 @@ pub fn compile(net: &Netlist, opts: CompileOptions) -> Result<CompiledCircuit, P
         }
     });
     let mut rng = SimRng::new(opts.seed);
-    let placed = profile.time("place", || place(&packed, w, h, &mut rng))?;
-    let (crit, clock) = profile.time("timing", || {
+    let placed = span::time("place", || place(&packed, w, h, &mut rng))?;
+    let (crit, clock) = span::time("timing", || {
         (critical_path_ns(&placed), clock_period_ns(&placed))
     });
     Ok(CompiledCircuit {
         placed,
         crit_path_ns: crit,
         clock_ns: clock,
-        profile,
     })
 }
 

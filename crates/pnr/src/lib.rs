@@ -24,7 +24,6 @@ pub mod emit;
 pub mod flow;
 pub mod pack;
 pub mod place;
-pub mod profile;
 pub mod route;
 pub mod timing;
 
@@ -33,6 +32,5 @@ pub use emit::{emit_bitstream, PinAssignment};
 pub use flow::{compile, CompileOptions, CompiledCircuit};
 pub use pack::{BlockSource, PackedBlock, PackedCircuit};
 pub use place::{place, PlaceError, PlacedCircuit};
-pub use profile::FlowProfile;
 pub use route::{RouteError, RoutingFabric};
 pub use timing::{critical_path_ns, CLB_DELAY_NS, WIRE_DELAY_PER_HOP_NS};

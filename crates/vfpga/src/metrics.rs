@@ -179,6 +179,13 @@ pub struct Report {
     /// `free_fragments`, `ready_queue_depth` (empty unless observability
     /// was enabled).
     pub timelines: TimelineSet,
+    /// Simulated-time latency distributions per operation class (download,
+    /// GC, checkpoint capture, …) plus per-tenant `turnaround@t<n>` /
+    /// `waiting@t<n>` series; `None` unless the run was built with
+    /// [`System::with_latency_profile`](crate::system::System::with_latency_profile).
+    /// Deliberately absent from the exporter's report JSON — `bench_perf`
+    /// consumes it directly, so legacy exports stay byte-identical.
+    pub latency: Option<fsim::HistSet>,
 }
 
 impl Report {

@@ -23,8 +23,8 @@ use crate::sched::Scheduler;
 use crate::task::{Op, TaskId, TaskRun, TaskSpec, TaskState};
 use fsim::json::{Json, Obj};
 use fsim::{
-    EventQueue, FaultInjector, FaultPlan, Metrics, SimDuration, SimTime, TimelineSet, Trace,
-    TraceEvent,
+    span, EventQueue, FaultInjector, FaultPlan, HistSet, Metrics, SimDuration, SimTime,
+    TimelineSet, Trace, TraceEvent,
 };
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
@@ -222,6 +222,9 @@ pub struct System<M: FpgaManager, S: Scheduler> {
     /// Admission-control runtime (quotas, watchdogs, degradation);
     /// `None` leaves every legacy code path byte-identical.
     admission: Option<AdmissionRt>,
+    /// Simulated-time latency histograms per operation class; `None`
+    /// unless [`with_latency_profile`](Self::with_latency_profile) ran.
+    lat: Option<HistSet>,
 }
 
 impl<M: FpgaManager, S: Scheduler> System<M, S> {
@@ -280,6 +283,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             crash: CrashStats::default(),
             stale: BTreeSet::new(),
             admission: None,
+            lat: None,
         }
     }
 
@@ -312,6 +316,26 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         self.trace = Trace::enabled_with_capacity(capacity);
         self.obs_on = true;
         self.manager.set_recording(true);
+        self
+    }
+
+    /// Enable simulated-time latency profiling: every typed event that
+    /// carries a duration (downloads, GC, scrubbing, checkpoint capture,
+    /// journal replay, …) feeds a log-bucketed histogram, and per-tenant
+    /// `turnaround@t<n>` / `waiting@t<n>` series are recorded at the end
+    /// of the run. The collected [`HistSet`] lands in
+    /// [`Report::latency`]. Latency samples ride the same typed-event
+    /// flow the trace consumes, so this turns the observability path on;
+    /// a small trace ring keeps memory bounded when the caller only
+    /// wants histograms. Like all observability, this never changes
+    /// simulated results — only records them.
+    pub fn with_latency_profile(mut self) -> Self {
+        if !self.trace.is_enabled() {
+            self.trace = Trace::enabled_with_capacity(256);
+        }
+        self.obs_on = true;
+        self.manager.set_recording(true);
+        self.lat = Some(HistSet::new());
         self
     }
 
@@ -425,6 +449,47 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             TraceEvent::DegradedDispatch { .. } => self.reg.inc("degraded_dispatches", 1),
             TraceEvent::Custom { .. } => self.reg.inc("custom_events", 1),
         }
+        if let Some(lat) = self.lat.as_mut() {
+            match &event {
+                TraceEvent::ConfigDownload { duration, full, .. } => {
+                    let name = if *full {
+                        "download_full"
+                    } else {
+                        "download_partial"
+                    };
+                    lat.record(name, duration.as_nanos());
+                }
+                TraceEvent::Preemption { saved, .. } if *saved > SimDuration::ZERO => {
+                    lat.record("preempt_save", saved.as_nanos());
+                }
+                TraceEvent::GcRun { duration, .. } => lat.record("gc_run", duration.as_nanos()),
+                TraceEvent::PageFault { duration, .. } => {
+                    lat.record("page_fault", duration.as_nanos());
+                }
+                TraceEvent::OverlaySwap { duration, .. } => {
+                    lat.record("overlay_swap", duration.as_nanos());
+                }
+                TraceEvent::ScrubPass { duration, .. } => {
+                    lat.record("scrub_pass", duration.as_nanos());
+                }
+                TraceEvent::ColumnRetired { duration, .. } => {
+                    lat.record("column_retire", duration.as_nanos());
+                }
+                TraceEvent::Recovered { duration, .. } => {
+                    lat.record("recovery", duration.as_nanos());
+                }
+                TraceEvent::CheckpointTaken { duration, .. } => {
+                    lat.record("checkpoint_capture", duration.as_nanos());
+                }
+                TraceEvent::JournalReplay { duration, .. } => {
+                    lat.record("journal_replay", duration.as_nanos());
+                }
+                TraceEvent::DegradedDispatch { duration, .. } => {
+                    lat.record("degraded_run", duration.as_nanos());
+                }
+                _ => {}
+            }
+        }
         self.trace.record(at, event);
     }
 
@@ -462,16 +527,22 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 }
             }
         }
+        // The span guards below are free when no profiling harness has
+        // recording enabled on this thread (one thread-local check each);
+        // under `fsim::span::scoped` they produce the `system;…` tree.
+        let _loop_span = span::guard("system");
         while let Some(ev) = self.queue.pop() {
             let now = ev.at;
             match ev.event {
-                Ev::Arrive(tid) => self.on_arrive(tid, now),
-                Ev::Dispatch => self.dispatch(now),
-                Ev::Timer(tid) => self.on_timer(tid, now),
-                Ev::Seu => self.on_seu(now),
-                Ev::Scrub => self.on_scrub(now),
-                Ev::ColumnFail(pending) => self.on_column_fail(pending, now),
-                Ev::RetryDone(tid) => self.on_retry_done(tid, now),
+                Ev::Arrive(tid) => span::time("arrive", || self.on_arrive(tid, now)),
+                Ev::Dispatch => span::time("dispatch", || self.dispatch(now)),
+                Ev::Timer(tid) => span::time("timer", || self.on_timer(tid, now)),
+                Ev::Seu => span::time("seu", || self.on_seu(now)),
+                Ev::Scrub => span::time("scrub", || self.on_scrub(now)),
+                Ev::ColumnFail(pending) => {
+                    span::time("column_fail", || self.on_column_fail(pending, now))
+                }
+                Ev::RetryDone(tid) => span::time("retry_done", || self.on_retry_done(tid, now)),
                 Ev::Retry(tid) => {
                     // Backoff elapsed; the task may probe the manager
                     // again (a manager wake may already have freed it).
@@ -483,7 +554,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                         self.dispatch(now);
                     }
                 }
-                Ev::Checkpoint => self.on_checkpoint(now),
+                Ev::Checkpoint => span::time("checkpoint", || self.on_checkpoint(now)),
                 Ev::Crash => {
                     // A crash after the last task finished changes nothing
                     // observable: the run completed first.
@@ -493,6 +564,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                     }
                 }
                 Ev::Watchdog { tid, seq } => {
+                    let _s = span::guard("watchdog");
                     if !self.on_watchdog(tid, seq, now) {
                         // Stale: the segment ended on time. Skip even the
                         // observation sample so that runs with no hangs stay
@@ -527,6 +599,15 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 self.reg.observe("waiting_s", m.waiting().as_secs_f64());
             }
         }
+        if let Some(lat) = self.lat.as_mut() {
+            // Per-tenant tails: `@t<n>` labels keep one series per tenant
+            // so E17-style sweeps expose p99 turnaround, not just means.
+            for (m, t) in self.metrics.iter().zip(&self.tasks) {
+                let tenant = t.spec.tenant;
+                lat.record(&format!("turnaround@t{tenant}"), m.turnaround().as_nanos());
+                lat.record(&format!("waiting@t{tenant}"), m.waiting().as_nanos());
+            }
+        }
         Ok(RunOutcome::Completed(
             Box::new(Report {
                 manager: self.manager.name(),
@@ -539,6 +620,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 admission: self.admission.as_ref().map(|a| a.stats),
                 metrics: self.reg,
                 timelines: self.timelines,
+                latency: self.lat,
             }),
             self.trace,
         ))
@@ -566,11 +648,14 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         self.ckpt_seq += 1;
         self.crash.checkpoints += 1;
         self.crash.checkpoint_time += cost;
-        let state = self.snapshot_json(now);
-        // The round trip is the point: an image that does not survive the
-        // writer/parser pair could never be restored after a real crash.
-        let state = Json::parse(&state.render())
-            .expect("checkpoint image must survive a render/parse round trip");
+        let state = span::time("capture", || {
+            let state = self.snapshot_json(now);
+            // The round trip is the point: an image that does not survive
+            // the writer/parser pair could never be restored after a real
+            // crash.
+            Json::parse(&state.render())
+                .expect("checkpoint image must survive a render/parse round trip")
+        });
         if self.trace.is_enabled() {
             self.record(
                 now,
@@ -626,6 +711,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
     /// claims (clean re-downloads later); with it off, those claims stay
     /// and are marked stale — the next "hit" computes garbage.
     pub fn restore_from(&mut self, state: &CrashState) -> Result<(), VfpgaError> {
+        let _s = span::guard("restore");
         let Some(cfg) = self.ckpt else {
             return Err(VfpgaError::CheckpointCorrupt {
                 reason: "restore_from requires with_checkpoints".into(),
@@ -2450,6 +2536,56 @@ mod tests {
         assert_eq!(r.manager_stats.downloads, 1);
         assert!(r.tasks[0].overhead_time > SimDuration::ZERO);
         assert_eq!(r.tasks[0].fpga_time, lib.get(ids[0]).run_time(1000));
+    }
+
+    #[test]
+    fn latency_profile_records_histograms_without_changing_results() {
+        let (lib, ids) = lib2();
+        let mk_specs = || {
+            vec![TaskSpec::new(
+                "t",
+                SimTime::ZERO,
+                vec![Op::FpgaRun {
+                    circuit: ids[0],
+                    cycles: 1000,
+                }],
+            )
+            .with_tenant(3)]
+        };
+        let mk = |profiled: bool| {
+            let mgr = DynLoadManager::new(lib.clone(), timing(), PreemptAction::WaitCompletion);
+            let sys = System::new(
+                lib.clone(),
+                mgr,
+                FifoScheduler::new(),
+                SystemConfig::default(),
+                mk_specs(),
+            );
+            if profiled {
+                sys.with_latency_profile()
+            } else {
+                sys
+            }
+        };
+        let plain = mk(false).run().unwrap();
+        let prof = mk(true).run().unwrap();
+        // Profiling observes, never perturbs.
+        assert_eq!(plain.makespan, prof.makespan);
+        assert_eq!(plain.tasks[0].completion, prof.tasks[0].completion);
+        assert!(plain.latency.is_none());
+        let lat = prof.latency.as_ref().unwrap();
+        let dl = lat
+            .get("download_partial")
+            .expect("one partial-reconfig download");
+        assert_eq!(dl.count(), 1);
+        assert!(dl.max_ns() > 0);
+        let turn = lat.get("turnaround@t3").expect("tenant-labelled series");
+        assert_eq!(turn.count(), 1);
+        assert_eq!(
+            turn.max_ns(),
+            prof.tasks[0].turnaround().as_nanos(),
+            "turnaround sample is the simulated turnaround"
+        );
     }
 
     #[test]
