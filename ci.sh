@@ -96,6 +96,47 @@ assert all(r["admission"]["watchdog_fired"] > 0 for r in on), \
 print("e17 gate: hanging task quarantined, admission-off export unchanged")
 PY
 
+echo "==> e18 deadline smoke (EDF dominance + gate accounting + hysteresis)"
+# Same determinism contract as e15/e16/e17, then the substance: EDF must
+# strictly beat FIFO on deadline misses, the schedulability gate's
+# refusals must stay disjoint from quota load-shedding, and the split
+# hysteresis pair must never flap back out of degraded mode while the
+# coincident-mark baseline does.
+./target/release/e18_deadlines --smoke --seed 3605 --json "$E15_TMP/e18a.json" >/dev/null
+./target/release/e18_deadlines --smoke --seed 3605 --json "$E15_TMP/e18b.json" >/dev/null
+"$JDIFF" "$E15_TMP/e18a.json" "$E15_TMP/e18b.json" \
+  || { echo "e18 smoke: same-seed runs are not identical modulo host"; exit 1; }
+./target/release/e18_deadlines --smoke --threads 1 --json "$E15_TMP/e18t1.json" >/dev/null
+./target/release/e18_deadlines --smoke --threads 4 --json "$E15_TMP/e18t4.json" >/dev/null
+"$JDIFF" "$E15_TMP/e18t1.json" "$E15_TMP/e18t4.json" \
+  || { echo "e18 smoke: --threads 4 diverged from --threads 1"; exit 1; }
+timeout 120 ./target/release/e18_deadlines --smoke --json "$E15_TMP/e18live.json" >/dev/null \
+  || { echo "e18 smoke: sweep did not terminate"; exit 1; }
+python3 - "$E15_TMP/e18live.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+reports = {r["label"]: r for r in doc["reports"]}
+def missed(r):
+    return sum(1 for t in r["tasks"] if t.get("deadline_missed"))
+edf, fifo = missed(reports["heavy/edf"]), missed(reports["heavy/fifo"])
+assert edf < fifo, f"EDF must strictly beat FIFO on misses ({edf} vs {fifo})"
+gate = reports["heavy/edf/gate-x1"]
+ga = gate["admission"]
+assert ga.get("unschedulable", 0) > 0, "gate never refused an arrival"
+assert ga.get("rejected", 0) > 0, "gate cell lost its quota shedding"
+for t in gate["tasks"]:
+    assert not (t.get("unschedulable") and t.get("rejected")), \
+        "a task counted both unschedulable and quota-rejected"
+fb = reports["heavy/edf/flap-baseline"]["admission"]
+hy = reports["heavy/edf/hysteresis"]["admission"]
+assert fb.get("degrade_exits", 0) >= 1, "coincident-mark baseline never flapped"
+assert hy.get("degrade_enters", 0) >= 1, "hysteresis cell never entered degraded mode"
+assert hy.get("degrade_exits", 0) == 0, "split hysteresis pair flapped back out"
+print(f"e18 gate: edf {edf} < fifo {fifo} misses, gate unsched={ga['unschedulable']}"
+      f" rejected={ga['rejected']}, flap {fb['degrade_enters']}/{fb['degrade_exits']}"
+      f" vs hysteresis {hy['degrade_enters']}/{hy['degrade_exits']}")
+PY
+
 echo "==> bench_perf smoke (perf schema + self-compare + thread invariance)"
 # The perf harness must (a) write a document that parses back through the
 # bench JSON reader with the expected schema, (b) report zero regressions
@@ -122,5 +163,18 @@ assert any(k.startswith("system") for k in doc["sim"]["span_counts"]), \
     "no event-loop span counts"
 print(f"bench_perf gate: {len(cases)} cases, schema {doc['schema']}")
 PY
+
+echo "==> bench_perf regression gate (pinned baseline)"
+# A smoke-profile baseline measured on a known-good commit is pinned in
+# the repo; the generous tolerance absorbs host noise while still
+# catching order-of-magnitude regressions. Refresh with:
+#   ./target/release/bench_perf --smoke --threads 1 --out BENCH_<sha>.json
+BASELINE="$(ls BENCH_*.json 2>/dev/null | sort | head -n 1 || true)"
+if [ -n "$BASELINE" ]; then
+  ./target/release/bench_perf --compare "$BASELINE" "$E15_TMP/perf1.json" --tolerance-pct 400 \
+    || { echo "bench_perf: regression against pinned $BASELINE"; exit 1; }
+else
+  echo "no pinned BENCH_*.json baseline found; skipping"
+fi
 
 echo "CI green."

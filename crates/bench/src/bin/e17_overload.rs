@@ -55,6 +55,7 @@ fn specs(
             tenants: 2,
             deadline: Some(SimDuration::from_millis(60)),
             hang_tasks,
+            ..Default::default()
         },
         ids,
         &mut rng,
@@ -141,7 +142,9 @@ fn main() {
             degradation: Some(DegradationConfig {
                 watermark,
                 sw_ns_per_cycle: sw.clone(),
+                ..Default::default()
             }),
+            ..Default::default()
         };
 
     let loads: &[(&str, SimDuration)] = if smoke {

@@ -46,8 +46,8 @@ use std::collections::BTreeMap;
 use vfpga::manager::partition::{PartitionManager, PartitionMode};
 use vfpga::{
     run_with_crashes_traced, AdmissionPolicy, CheckpointConfig, CrashPlan, DegradationConfig,
-    FaultPlan, PreemptAction, RecoveryPolicy, RoundRobinScheduler, System, SystemConfig,
-    WatchdogConfig,
+    FaultPlan, PreemptAction, RecoveryPolicy, RoundRobinScheduler, SchedulabilityConfig, System,
+    SystemConfig, WatchdogConfig,
 };
 use workload::{poisson_tasks, tenant_tasks, Domain, MixParams, TenantMixParams};
 
@@ -59,6 +59,10 @@ const SECTIONS: &[(&str, &str)] = &[
         "periodic checkpoints, host crashes, journal replay",
     ),
     ("admission", "tenant quotas, watchdogs, degraded dispatch"),
+    (
+        "deadlines",
+        "schedulability gate, per-tenant deadline outcomes",
+    ),
     (
         "profile",
         "host span tree, collapsed stacks, latency histograms",
@@ -82,8 +86,8 @@ impl Args {
 fn usage() -> String {
     let mut out = String::from(
         "usage: trace_dump [--section NAME]... [--tag TAG]... [--limit N] [--seed S] \
-         [--summary]\n\nsections (repeatable; --faults/--checkpoints/--admission/--profile \
-         are aliases):\n",
+         [--summary]\n\nsections (repeatable; --faults/--checkpoints/--admission/--deadlines/\
+         --profile are aliases):\n",
     );
     for (name, blurb) in SECTIONS {
         out.push_str(&format!("  {name:<12} {blurb}\n"));
@@ -142,6 +146,7 @@ fn parse_args() -> Args {
             "--faults" => push_section(&mut out.sections, "faults"),
             "--checkpoints" => push_section(&mut out.sections, "checkpoints"),
             "--admission" => push_section(&mut out.sections, "admission"),
+            "--deadlines" => push_section(&mut out.sections, "deadlines"),
             "--profile" => push_section(&mut out.sections, "profile"),
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -176,15 +181,25 @@ fn main() {
     };
     let specs = {
         let mut rng = SimRng::new(args.seed);
-        if args.section("admission") {
-            // Tenant-tagged variant of the same arrival process, with one
-            // deliberately hanging op so the watchdog has work to do.
+        if args.section("admission") || args.section("deadlines") {
+            // Tenant-tagged variant of the same arrival process. The
+            // admission section adds one deliberately hanging op so the
+            // watchdog has work to do; the deadlines section jitters the
+            // deadlines so the schedulability gate sees a mixed bag.
             tenant_tasks(
                 &TenantMixParams {
                     base: mix,
                     tenants: 3,
-                    deadline: Some(SimDuration::from_millis(50)),
-                    hang_tasks: 1,
+                    // The deadlines view runs looser deadlines than the
+                    // admission one so the gate refuses some tasks and
+                    // admits others instead of refusing nearly all.
+                    deadline: Some(SimDuration::from_millis(if args.section("deadlines") {
+                        90
+                    } else {
+                        50
+                    })),
+                    hang_tasks: if args.section("admission") { 1 } else { 0 },
+                    deadline_spread: if args.section("deadlines") { 0.4 } else { 0.0 },
                 },
                 &ids,
                 &mut rng,
@@ -224,18 +239,35 @@ fn main() {
             };
             sys = sys.with_faults(plan, policy);
         }
-        if args.section("admission") {
+        if args.section("admission") || args.section("deadlines") {
+            // The deadlines section arms the schedulability gate; the
+            // admission extras (watchdog, degradation) ride along only
+            // when that section is also on, so each view stays focused.
             let policy = AdmissionPolicy {
                 max_in_flight: 2,
                 queue_cap: 2,
-                watchdog: Some(WatchdogConfig {
-                    slack: 2.0,
-                    max_trips: 2,
-                }),
-                degradation: Some(DegradationConfig {
-                    watermark: 0.05,
-                    sw_ns_per_cycle: sw.clone(),
-                }),
+                watchdog: if args.section("admission") {
+                    Some(WatchdogConfig {
+                        slack: 2.0,
+                        max_trips: 2,
+                    })
+                } else {
+                    None
+                },
+                degradation: if args.section("admission") {
+                    Some(DegradationConfig {
+                        watermark: 0.05,
+                        sw_ns_per_cycle: sw.clone(),
+                        ..Default::default()
+                    })
+                } else {
+                    None
+                },
+                schedulability: if args.section("deadlines") {
+                    Some(SchedulabilityConfig { margin: 1.0 })
+                } else {
+                    None
+                },
             };
             sys = sys.with_admission(policy).expect("policy validates");
         }
@@ -250,6 +282,9 @@ fn main() {
         tags = ["wd-arm", "wd-fire", "reject", "quarantine", "degrade"]
             .map(String::from)
             .to_vec();
+    } else if args.section("deadlines") && tags.is_empty() && !args.section("checkpoints") {
+        // The deadline stream: refusals at the door plus quota sheds.
+        tags = ["unsched", "reject"].map(String::from).to_vec();
     }
     let run = || {
         if args.section("checkpoints") {
@@ -340,6 +375,50 @@ fn main() {
             a.degraded_dispatches,
             a.degraded_time.as_secs_f64(),
         );
+    }
+    if args.section("deadlines") {
+        // Per-tenant deadline outcomes: the report's task table zipped
+        // with the specs (same order) for the deadline each task carried.
+        println!("\nper-tenant deadline outcomes:");
+        println!(
+            "  {:<8} {:>9} {:>9} {:>8} {:>7}",
+            "tenant", "admitted", "unsched", "shed", "missed"
+        );
+        let tenants: std::collections::BTreeSet<u32> = specs.iter().map(|sp| sp.tenant).collect();
+        for &tn in &tenants {
+            let mine = || {
+                specs
+                    .iter()
+                    .zip(&report.tasks)
+                    .filter(move |(sp, _)| sp.tenant == tn)
+            };
+            let unsched = mine().filter(|(_, t)| t.unschedulable).count();
+            let shed = mine()
+                .filter(|(_, t)| t.rejected && !t.unschedulable)
+                .count();
+            let missed = mine().filter(|(_, t)| t.deadline_missed).count();
+            let admitted = mine().count() - unsched - shed;
+            println!("  t{tn:<7} {admitted:>9} {unsched:>9} {shed:>8} {missed:>7}");
+        }
+        let mut miss_lat = fsim::LogHistogram::new();
+        for (sp, t) in specs.iter().zip(&report.tasks) {
+            if t.deadline_missed {
+                let dl = sp.absolute_deadline().expect("missed implies deadline");
+                miss_lat.record((t.completion - dl).as_nanos());
+            }
+        }
+        if miss_lat.count() > 0 {
+            println!(
+                "miss latency (completion past deadline): p50 {}, p90 {}, max {} \
+                 ({} misses)",
+                bench::perf::fmt_ns(miss_lat.quantile_ns(0.50)),
+                bench::perf::fmt_ns(miss_lat.quantile_ns(0.90)),
+                bench::perf::fmt_ns(miss_lat.max_ns()),
+                miss_lat.count(),
+            );
+        } else {
+            println!("miss latency: no deadline misses");
+        }
     }
     if profile {
         println!("\n## host spans (wall clock, inclusive/exclusive)\n");

@@ -128,8 +128,13 @@ fn report_json(label: &str, r: &Report) -> Json {
                     o = o
                         .set("degraded_s", t.degraded_time.as_secs_f64())
                         .set("quarantined", t.quarantined)
-                        .set("rejected", t.rejected)
-                        .set("deadline_missed", t.deadline_missed);
+                        .set("rejected", t.rejected);
+                    // Only stamped by the schedulability gate; omitted
+                    // otherwise so earlier exports stay byte-identical.
+                    if t.unschedulable {
+                        o = o.set("unschedulable", true);
+                    }
+                    o = o.set("deadline_missed", t.deadline_missed);
                 }
                 o.set(
                     "waiting_s",
@@ -226,21 +231,30 @@ fn report_json(label: &str, r: &Report) -> Json {
                 .set("silent_corruptions", r.crash.silent_corruptions),
         );
     if let Some(a) = &r.admission {
-        doc = doc.set(
-            "admission",
-            Obj::new()
-                .set("admitted", a.admitted)
-                .set("deferred", a.deferred)
-                .set("rejected", a.rejected)
-                .set("quarantined", a.quarantined)
-                .set("deadline_missed", a.deadline_missed)
-                .set("watchdog_armed", a.watchdog_armed)
-                .set("watchdog_fired", a.watchdog_fired)
-                .set("watchdog_preempt_s", a.watchdog_preempt_time.as_secs_f64())
-                .set("watchdog_lost_s", a.watchdog_lost_time.as_secs_f64())
-                .set("degraded_dispatches", a.degraded_dispatches)
-                .set("degraded_time_s", a.degraded_time.as_secs_f64()),
-        );
+        let mut ao = Obj::new()
+            .set("admitted", a.admitted)
+            .set("deferred", a.deferred)
+            .set("rejected", a.rejected)
+            .set("quarantined", a.quarantined)
+            .set("deadline_missed", a.deadline_missed)
+            .set("watchdog_armed", a.watchdog_armed)
+            .set("watchdog_fired", a.watchdog_fired)
+            .set("watchdog_preempt_s", a.watchdog_preempt_time.as_secs_f64())
+            .set("watchdog_lost_s", a.watchdog_lost_time.as_secs_f64())
+            .set("degraded_dispatches", a.degraded_dispatches)
+            .set("degraded_time_s", a.degraded_time.as_secs_f64());
+        // Newer counters exist only under the schedulability gate or an
+        // explicit hysteresis pair; emitted only when nonzero so exports
+        // from configs predating them stay byte-identical.
+        if a.unschedulable > 0 {
+            ao = ao.set("unschedulable", a.unschedulable);
+        }
+        if a.degrade_enters > 0 || a.degrade_exits > 0 {
+            ao = ao
+                .set("degrade_enters", a.degrade_enters)
+                .set("degrade_exits", a.degrade_exits);
+        }
+        doc = doc.set("admission", ao);
     }
     doc.set("metrics", metrics_json(&r.metrics))
         .set("timelines", timelines_json(&r.timelines))

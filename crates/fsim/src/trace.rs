@@ -279,6 +279,37 @@ pub enum TraceEvent {
         /// Software execution time charged in place of the FPGA run.
         duration: SimDuration,
     },
+    /// The arrival-time schedulability test rejected a task: even the
+    /// optimistic a-priori estimate already overshoots its deadline.
+    TaskUnschedulable {
+        /// Task identifier.
+        task: u32,
+        /// Tenant the task belongs to.
+        tenant: u32,
+        /// The a-priori completion estimate (service + pending
+        /// reconfiguration + queued backlog, times the margin).
+        estimate: SimDuration,
+        /// The relative deadline the estimate overshot.
+        deadline: SimDuration,
+    },
+    /// Device utilization crossed the degradation high mark: the system
+    /// entered sticky degraded mode. Only emitted for explicit
+    /// hysteresis pairs.
+    DegradeModeEnter {
+        /// Resident CLBs at the transition.
+        used: u64,
+        /// Total device CLBs.
+        total: u64,
+    },
+    /// Device utilization fell below the degradation low mark: the
+    /// system left degraded mode. Only emitted for explicit hysteresis
+    /// pairs; enter/exit churn is the flapping the pair exists to kill.
+    DegradeModeExit {
+        /// Resident CLBs at the transition.
+        used: u64,
+        /// Total device CLBs.
+        total: u64,
+    },
     /// Escape hatch for one-off annotations.
     Custom {
         /// Category tag.
@@ -318,6 +349,9 @@ impl TraceEvent {
             TraceEvent::TaskRejected { .. } => "reject",
             TraceEvent::TaskQuarantined { .. } => "quarantine",
             TraceEvent::DegradedDispatch { .. } => "degrade",
+            TraceEvent::TaskUnschedulable { .. } => "unsched",
+            TraceEvent::DegradeModeEnter { .. } => "degrade-on",
+            TraceEvent::DegradeModeExit { .. } => "degrade-off",
             TraceEvent::Custom { tag, .. } => tag,
         }
     }
@@ -521,6 +555,26 @@ impl fmt::Display for TraceEvent {
                 "degraded dispatch task {task}: circuit {circuit} emulated in \
                  software, {:.3} ms",
                 duration.as_millis_f64()
+            ),
+            TraceEvent::TaskUnschedulable {
+                task,
+                tenant,
+                estimate,
+                deadline,
+            } => write!(
+                f,
+                "unschedulable task {task}: tenant {tenant}, estimate {:.3} ms \
+                 exceeds deadline {:.3} ms",
+                estimate.as_millis_f64(),
+                deadline.as_millis_f64()
+            ),
+            TraceEvent::DegradeModeEnter { used, total } => write!(
+                f,
+                "degraded mode entered: {used}/{total} CLBs past the high mark"
+            ),
+            TraceEvent::DegradeModeExit { used, total } => write!(
+                f,
+                "degraded mode left: {used}/{total} CLBs below the low mark"
             ),
             TraceEvent::Custom { message, .. } => f.write_str(message),
         }
@@ -909,6 +963,32 @@ mod tests {
                 },
                 "degrade",
                 "degraded dispatch task 5: circuit 7 emulated in software",
+            ),
+            (
+                TraceEvent::TaskUnschedulable {
+                    task: 6,
+                    tenant: 1,
+                    estimate: SimDuration::from_millis(80),
+                    deadline: SimDuration::from_millis(20),
+                },
+                "unsched",
+                "unschedulable task 6: tenant 1",
+            ),
+            (
+                TraceEvent::DegradeModeEnter {
+                    used: 180,
+                    total: 200,
+                },
+                "degrade-on",
+                "degraded mode entered: 180/200 CLBs",
+            ),
+            (
+                TraceEvent::DegradeModeExit {
+                    used: 60,
+                    total: 200,
+                },
+                "degrade-off",
+                "degraded mode left: 60/200 CLBs",
             ),
         ];
         for (ev, tag, fragment) in cases {

@@ -26,6 +26,17 @@
 //!   area-saturation watermark, FPGA ops whose circuit is not already
 //!   resident fall back to a software-emulation execution path priced
 //!   from the e12 coprocessor model, instead of queueing indefinitely.
+//!   The watermark can be split into a high/low hysteresis pair
+//!   (`degrade_above` / `recover_below`): the system enters degraded
+//!   mode past the high mark and only leaves it below the low mark, so
+//!   oscillating load cannot flap the mode on and off every dispatch.
+//! * **Schedulability-gated admission** ([`SchedulabilityConfig`]): at
+//!   arrival, a deadline-stamped task whose deadline is provably
+//!   unmeetable — the §3 a-priori service estimate plus pending
+//!   reconfiguration time plus the tenant's queued backlog already
+//!   overshoots it — is rejected up front as an explicit robust outcome
+//!   (`unschedulable`, accounted disjointly from quota load-shedding)
+//!   instead of burning fabric on a guaranteed deadline miss.
 //!
 //! Everything is deterministic: the admission decision depends only on
 //! simulated state, and a run with admission disabled is byte-identical
@@ -61,13 +72,58 @@ impl Default for WatchdogConfig {
 pub struct DegradationConfig {
     /// Area-saturation watermark in `[0, 1]`: once resident CLBs reach
     /// this fraction of the device, eligible FPGA ops degrade to software
-    /// instead of competing for fabric.
+    /// instead of competing for fabric. Legacy single-mark knob: when
+    /// `degrade_above` / `recover_below` are unset it serves as both, and
+    /// the mode transition counters stay off so pre-hysteresis runs are
+    /// byte-identical.
     pub watermark: f64,
+    /// Hysteresis high mark: degraded mode is entered once utilization
+    /// reaches this fraction. Defaults to `watermark` when unset.
+    pub degrade_above: Option<f64>,
+    /// Hysteresis low mark: degraded mode is left only once utilization
+    /// falls below this fraction. Defaults to the high mark when unset
+    /// (which reduces to the single-watermark behavior).
+    pub recover_below: Option<f64>,
     /// Software cost model: circuit id → nanoseconds of CPU time per
     /// hardware cycle when the op is emulated (the e12 coprocessor
     /// model's `sw_ns_per_item / hw_cycles_per_item`). Circuits absent
     /// from the map never degrade.
     pub sw_ns_per_cycle: BTreeMap<u32, u64>,
+}
+
+impl DegradationConfig {
+    /// The utilization fraction at which degraded mode is entered.
+    pub fn high_mark(&self) -> f64 {
+        self.degrade_above.unwrap_or(self.watermark)
+    }
+
+    /// The utilization fraction below which degraded mode is left.
+    pub fn low_mark(&self) -> f64 {
+        self.recover_below.unwrap_or_else(|| self.high_mark())
+    }
+
+    /// Whether the hysteresis pair was set explicitly. Mode-transition
+    /// counters and trace events are only kept for explicit pairs, so
+    /// legacy single-watermark configurations stay byte-identical.
+    pub fn has_hysteresis(&self) -> bool {
+        self.degrade_above.is_some() || self.recover_below.is_some()
+    }
+}
+
+/// Arrival-time schedulability test parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulabilityConfig {
+    /// Safety factor ≥ 1.0 applied to the a-priori estimate before it is
+    /// compared against the task's absolute deadline: a margin of 1.5
+    /// rejects tasks whose deadline leaves less than 1.5× the estimated
+    /// service + reconfiguration + backlog time.
+    pub margin: f64,
+}
+
+impl Default for SchedulabilityConfig {
+    fn default() -> Self {
+        SchedulabilityConfig { margin: 1.0 }
+    }
 }
 
 /// Per-tenant admission policy plus the optional watchdog/degradation
@@ -86,6 +142,9 @@ pub struct AdmissionPolicy {
     pub watchdog: Option<WatchdogConfig>,
     /// Software-emulation fallback under area saturation; `None` disables.
     pub degradation: Option<DegradationConfig>,
+    /// Arrival-time schedulability test; `None` admits regardless of
+    /// deadline feasibility (deadline misses then surface at completion).
+    pub schedulability: Option<SchedulabilityConfig>,
 }
 
 impl Default for AdmissionPolicy {
@@ -95,6 +154,7 @@ impl Default for AdmissionPolicy {
             queue_cap: u32::MAX,
             watchdog: Some(WatchdogConfig::default()),
             degradation: None,
+            schedulability: None,
         }
     }
 }
@@ -123,6 +183,37 @@ impl AdmissionPolicy {
                     reason: format!(
                         "degradation watermark must be in [0, 1], got {}",
                         dg.watermark
+                    ),
+                });
+            }
+            for (name, mark) in [
+                ("degrade_above", dg.degrade_above),
+                ("recover_below", dg.recover_below),
+            ] {
+                if let Some(m) = mark {
+                    if !m.is_finite() || !(0.0..=1.0).contains(&m) {
+                        return Err(VfpgaError::BadAdmissionPolicy {
+                            reason: format!("degradation {name} must be in [0, 1], got {m}"),
+                        });
+                    }
+                }
+            }
+            if dg.low_mark() > dg.high_mark() {
+                return Err(VfpgaError::BadAdmissionPolicy {
+                    reason: format!(
+                        "degradation recover_below must not exceed degrade_above, got {} > {}",
+                        dg.low_mark(),
+                        dg.high_mark()
+                    ),
+                });
+            }
+        }
+        if let Some(sc) = &self.schedulability {
+            if !sc.margin.is_finite() || sc.margin < 1.0 {
+                return Err(VfpgaError::BadAdmissionPolicy {
+                    reason: format!(
+                        "schedulability margin must be a finite factor >= 1.0, got {}",
+                        sc.margin
                     ),
                 });
             }
@@ -162,6 +253,17 @@ pub struct AdmissionStats {
     /// CPU time spent in software emulation (useful work, priced from the
     /// coprocessor model; also summed per task).
     pub degraded_time: SimDuration,
+    /// Tasks rejected at arrival because the schedulability test proved
+    /// their deadline unmeetable. Disjoint from `rejected` (quota
+    /// load-shedding), `quarantined`, and `deadline_missed`.
+    pub unschedulable: u64,
+    /// Degraded-mode entries (utilization crossed the high mark). Only
+    /// counted when the hysteresis pair is explicit; flapping shows up as
+    /// repeated enter/exit cycles.
+    pub degrade_enters: u64,
+    /// Degraded-mode exits (utilization fell below the low mark). Only
+    /// counted when the hysteresis pair is explicit.
+    pub degrade_exits: u64,
 }
 
 /// Runtime admission state carried by the system (crate-internal).
@@ -180,6 +282,11 @@ pub(crate) struct AdmissionRt {
     pub wd_trips: Vec<u32>,
     /// Whether the task's *current* op is running on the software path.
     pub degraded: Vec<bool>,
+    /// Sticky device-wide degraded mode: set once utilization reaches the
+    /// high mark, cleared only below the low mark. With the legacy single
+    /// watermark the two marks coincide and this tracks the plain
+    /// comparison exactly.
+    pub degrade_mode: bool,
     /// Outcome counters.
     pub stats: AdmissionStats,
 }
@@ -193,6 +300,7 @@ impl AdmissionRt {
             wd_seq: vec![0; tasks],
             wd_trips: vec![0; tasks],
             degraded: vec![false; tasks],
+            degrade_mode: false,
             stats: AdmissionStats::default(),
         }
     }
@@ -245,10 +353,79 @@ mod tests {
             degradation: Some(DegradationConfig {
                 watermark: 1.5,
                 sw_ns_per_cycle: BTreeMap::new(),
+                ..Default::default()
             }),
             ..Default::default()
         };
         assert!(bad_mark.validate().is_err());
+
+        let bad_high = AdmissionPolicy {
+            degradation: Some(DegradationConfig {
+                degrade_above: Some(-0.1),
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        assert!(bad_high.validate().is_err());
+
+        let inverted_pair = AdmissionPolicy {
+            degradation: Some(DegradationConfig {
+                degrade_above: Some(0.4),
+                recover_below: Some(0.8),
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        assert!(
+            inverted_pair.validate().is_err(),
+            "recover_below above degrade_above must be rejected"
+        );
+
+        let bad_margin = AdmissionPolicy {
+            schedulability: Some(SchedulabilityConfig { margin: 0.5 }),
+            ..Default::default()
+        };
+        assert!(bad_margin.validate().is_err());
+        let nan_margin = AdmissionPolicy {
+            schedulability: Some(SchedulabilityConfig { margin: f64::NAN }),
+            ..Default::default()
+        };
+        assert!(nan_margin.validate().is_err());
+    }
+
+    #[test]
+    fn hysteresis_marks_alias_the_legacy_watermark() {
+        let legacy = DegradationConfig {
+            watermark: 0.7,
+            ..Default::default()
+        };
+        assert_eq!(legacy.high_mark(), 0.7);
+        assert_eq!(legacy.low_mark(), 0.7);
+        assert!(!legacy.has_hysteresis());
+
+        let pair = DegradationConfig {
+            watermark: 0.7, // ignored once the pair is explicit
+            degrade_above: Some(0.9),
+            recover_below: Some(0.4),
+            ..Default::default()
+        };
+        assert_eq!(pair.high_mark(), 0.9);
+        assert_eq!(pair.low_mark(), 0.4);
+        assert!(pair.has_hysteresis());
+        AdmissionPolicy {
+            degradation: Some(pair),
+            ..Default::default()
+        }
+        .validate()
+        .expect("a well-ordered pair validates");
+
+        // An explicit high mark alone recovers at the same mark.
+        let high_only = DegradationConfig {
+            degrade_above: Some(0.6),
+            ..Default::default()
+        };
+        assert_eq!(high_only.low_mark(), 0.6);
+        assert!(high_only.has_hysteresis());
     }
 
     #[test]
@@ -271,6 +448,7 @@ mod tests {
         assert_eq!(rt.wd_seq.len(), 5);
         assert_eq!(rt.wd_trips.len(), 5);
         assert_eq!(rt.degraded.len(), 5);
+        assert!(!rt.degrade_mode);
         assert_eq!(rt.stats, AdmissionStats::default());
     }
 }

@@ -56,7 +56,9 @@ pub enum VfpgaError {
         task: String,
     },
     /// An admission policy with out-of-range parameters (zero quota,
-    /// watchdog slack below 1, degradation watermark outside `[0, 1]`).
+    /// watchdog slack below 1, degradation watermark or hysteresis mark
+    /// outside `[0, 1]`, an inverted hysteresis pair, or a
+    /// schedulability margin below 1).
     BadAdmissionPolicy {
         /// What is out of range.
         reason: String,

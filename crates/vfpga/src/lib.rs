@@ -7,8 +7,9 @@
 //! The pieces map one-to-one onto the paper's sections:
 //!
 //! * [`task`] / [`sched`] / [`system`] — the multitasking host: task model
-//!   with CPU and FPGA bursts, FIFO / round-robin / priority schedulers,
-//!   and a deterministic discrete-event execution engine,
+//!   with CPU and FPGA bursts, FIFO / round-robin / priority /
+//!   earliest-deadline-first schedulers, and a deterministic
+//!   discrete-event execution engine,
 //! * [`manager::exclusive`] — the §4 baseline: a non-preemptable FPGA
 //!   ("any other task needing an already assigned FPGA will enter the
 //!   waiting state"),
@@ -38,8 +39,9 @@
 //!   crashed-and-restored run matches the uninterrupted one,
 //! * [`admission`] — overload resilience: per-tenant admission quotas,
 //!   watchdog hang detection built on the §3 a-priori latency estimate,
-//!   quarantine of misbehaving tasks, and graceful degradation to
-//!   software emulation past an area-saturation watermark.
+//!   quarantine of misbehaving tasks, a schedulability test that rejects
+//!   provably deadline-infeasible arrivals, and graceful degradation to
+//!   software emulation with a high/low hysteresis watermark pair.
 
 pub mod admission;
 pub mod checkpoint;
@@ -55,7 +57,9 @@ pub mod system;
 pub mod task;
 pub mod vmem;
 
-pub use admission::{AdmissionPolicy, AdmissionStats, DegradationConfig, WatchdogConfig};
+pub use admission::{
+    AdmissionPolicy, AdmissionStats, DegradationConfig, SchedulabilityConfig, WatchdogConfig,
+};
 pub use checkpoint::{
     diff_reports, run_with_crashes, run_with_crashes_traced, CheckpointConfig, CheckpointImage,
     CrashState, CrashStats, Divergence, RunOutcome, WalRecord,
@@ -66,7 +70,7 @@ pub use fsim::{CrashInjector, CrashPlan, FaultInjector, FaultPlan};
 pub use manager::{Activation, DeviceUsage, FpgaManager, ManagerStats, PreemptAction, PreemptCost};
 pub use metrics::{OverheadBreakdown, Report, TaskMetrics};
 pub use recovery::{FaultStats, RecoveryPolicy, UpsetRecovery};
-pub use sched::{FifoScheduler, PriorityScheduler, RoundRobinScheduler, Scheduler};
+pub use sched::{EdfScheduler, FifoScheduler, PriorityScheduler, RoundRobinScheduler, Scheduler};
 pub use syscall::{FpgaHandle, OpenError, OsInterface};
 pub use system::{CompletionDetect, System, SystemConfig};
 pub use task::{Op, TaskId, TaskSpec};

@@ -43,6 +43,10 @@ pub struct TaskMetrics {
     pub quarantined: bool,
     /// Load-shed at arrival: never admitted.
     pub rejected: bool,
+    /// Rejected at arrival by the schedulability test: the a-priori
+    /// estimate proved the deadline unmeetable. Disjoint from `rejected`
+    /// (quota load-shedding) — a task carries at most one of the two.
+    pub unschedulable: bool,
     /// Completed, but after its stated deadline.
     pub deadline_missed: bool,
     /// The task "completed" but at least one of its FPGA ops ran on a

@@ -1,12 +1,14 @@
 //! CPU schedulers.
 //!
 //! The paper assumes a general-purpose multitasking, possibly time-shared
-//! host (§1). Three policies are provided: FIFO (run-to-completion),
+//! host (§1). Four policies are provided: FIFO (run-to-completion),
 //! round-robin with a time slice (the time-shared case whose slice length
-//! experiment E2 sweeps against configuration time), and preemptive
-//! priority.
+//! experiment E2 sweeps against configuration time), preemptive priority
+//! (optionally with aging), and earliest-deadline-first
+//! ([`EdfScheduler`], the deadline-closed policy E18 compares against the
+//! others).
 
-use crate::task::TaskId;
+use crate::task::{TaskId, TaskSpec};
 use fsim::json::{Json, Obj};
 use fsim::{SimDuration, SimTime};
 use std::collections::VecDeque;
@@ -321,6 +323,145 @@ impl Scheduler for PriorityScheduler {
     }
 }
 
+/// Earliest absolute deadline first.
+///
+/// The trait's `on_ready` carries only the static priority byte, so this
+/// policy owns a per-task table of *absolute* deadlines (arrival +
+/// relative deadline), built up front from the task list via
+/// [`EdfScheduler::for_tasks`] or entry-by-entry via
+/// [`EdfScheduler::set_deadline`]. Tasks without a deadline sort after
+/// every deadline-bearing task; ties — equal deadlines, and the whole
+/// no-deadline tail — break FIFO by insertion sequence, so every pick is
+/// a deterministic function of enqueue order and `--threads`
+/// byte-identity holds. A slice makes the policy preemptive through the
+/// existing save/restore machinery: each expiry re-runs the
+/// earliest-deadline decision against whatever became ready meanwhile.
+#[derive(Debug, Clone)]
+pub struct EdfScheduler {
+    /// Absolute deadline in ns per task id; `u64::MAX` means none.
+    deadline_ns: Vec<u64>,
+    /// `(insertion seq, tid)`; deadlines are looked up at pick time.
+    ready: Vec<(u64, TaskId)>,
+    seq: u64,
+    slice: Option<SimDuration>,
+}
+
+impl EdfScheduler {
+    /// EDF with an empty deadline table; `slice` enables preemptive
+    /// re-evaluation on a timer.
+    pub fn new(slice: Option<SimDuration>) -> Self {
+        if let Some(s) = slice {
+            assert!(s > SimDuration::ZERO, "zero slice would livelock");
+        }
+        EdfScheduler {
+            deadline_ns: Vec::new(),
+            ready: Vec::new(),
+            seq: 0,
+            slice,
+        }
+    }
+
+    /// EDF over a concrete task list: task `i`'s absolute deadline is
+    /// `arrival + deadline` when stamped, "never" otherwise.
+    pub fn for_tasks(specs: &[TaskSpec], slice: Option<SimDuration>) -> Self {
+        let mut s = Self::new(slice);
+        for (i, spec) in specs.iter().enumerate() {
+            if let Some(at) = spec.absolute_deadline() {
+                s.set_deadline(TaskId(i as u32), at);
+            }
+        }
+        s
+    }
+
+    /// Record `tid`'s absolute deadline (growing the table as needed).
+    pub fn set_deadline(&mut self, tid: TaskId, deadline: SimTime) {
+        let i = tid.0 as usize;
+        if self.deadline_ns.len() <= i {
+            self.deadline_ns.resize(i + 1, u64::MAX);
+        }
+        self.deadline_ns[i] = deadline.as_nanos();
+    }
+
+    /// Sort key: the absolute deadline, tasks without one last.
+    fn key(&self, tid: TaskId) -> u64 {
+        self.deadline_ns
+            .get(tid.0 as usize)
+            .copied()
+            .unwrap_or(u64::MAX)
+    }
+}
+
+impl Scheduler for EdfScheduler {
+    fn on_ready(&mut self, tid: TaskId, _priority: u8, _now: SimTime) {
+        self.ready.push((self.seq, tid));
+        self.seq += 1;
+    }
+
+    fn pick(&mut self, _now: SimTime) -> Option<TaskId> {
+        if self.ready.is_empty() {
+            return None;
+        }
+        // Earliest deadline; FIFO by insertion among equals.
+        let best = self
+            .ready
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(seq, tid))| (self.key(tid), seq))
+            .map(|(i, _)| i)
+            .expect("nonempty");
+        Some(self.ready.remove(best).1)
+    }
+
+    fn slice(&self) -> Option<SimDuration> {
+        self.slice
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ready.is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.ready.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "edf"
+    }
+
+    fn snapshot(&self) -> Option<Json> {
+        // The deadline table is configuration (rebuilt identically with
+        // the scheduler); only the ready queue and seq counter are state.
+        let ready: Vec<Json> = self
+            .ready
+            .iter()
+            .map(|&(s, t)| Json::Arr(vec![Json::from(s), Json::from(u64::from(t.0))]))
+            .collect();
+        Some(Obj::new().set("ready", ready).set("seq", self.seq).build())
+    }
+
+    fn restore(&mut self, snap: &Json) -> Result<(), String> {
+        let arr = snap
+            .get("ready")
+            .and_then(Json::as_arr)
+            .ok_or("edf snapshot missing 'ready'")?;
+        let mut ready = Vec::with_capacity(arr.len());
+        for v in arr {
+            match v.as_arr() {
+                Some([Json::UInt(s), Json::UInt(t)]) => {
+                    ready.push((*s, TaskId(*t as u32)));
+                }
+                _ => return Err(format!("bad edf snapshot entry: {v:?}")),
+            }
+        }
+        self.ready = ready;
+        self.seq = match snap.get("seq") {
+            Some(Json::UInt(s)) => *s,
+            _ => return Err("edf snapshot missing 'seq'".into()),
+        };
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,6 +595,85 @@ mod tests {
 
         let r = std::panic::catch_unwind(|| PriorityScheduler::with_aging(None, SimDuration::ZERO));
         assert!(r.is_err(), "zero aging step must be rejected");
+    }
+
+    #[test]
+    fn edf_picks_earliest_deadline_then_fifo() {
+        let mut s = EdfScheduler::new(None);
+        assert_eq!(s.name(), "edf");
+        s.set_deadline(t(0), SimTime(9_000));
+        s.set_deadline(t(1), SimTime(3_000));
+        s.set_deadline(t(2), SimTime(3_000));
+        s.on_ready(t(0), 0, SimTime::ZERO);
+        s.on_ready(t(1), 0, SimTime::ZERO);
+        s.on_ready(t(2), 9, SimTime::ZERO); // priority byte is ignored
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.pick(SimTime::ZERO), Some(t(1)), "earliest deadline");
+        assert_eq!(s.pick(SimTime::ZERO), Some(t(2)), "FIFO at equal deadline");
+        assert_eq!(s.pick(SimTime::ZERO), Some(t(0)));
+        assert_eq!(s.pick(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn edf_sorts_deadline_free_tasks_last() {
+        let mut s = EdfScheduler::new(None);
+        s.set_deadline(t(2), SimTime(50_000_000));
+        s.on_ready(t(0), 0, SimTime::ZERO); // no table entry at all
+        s.on_ready(t(1), 0, SimTime::ZERO); // grown entry, still MAX
+        s.on_ready(t(2), 0, SimTime::ZERO);
+        assert_eq!(s.pick(SimTime::ZERO), Some(t(2)));
+        // The deadline-free tail keeps FIFO order.
+        assert_eq!(s.pick(SimTime::ZERO), Some(t(0)));
+        assert_eq!(s.pick(SimTime::ZERO), Some(t(1)));
+    }
+
+    #[test]
+    fn edf_for_tasks_uses_absolute_deadlines() {
+        use crate::task::Op;
+        // Same relative deadline, different arrivals: the earlier arrival
+        // has the earlier absolute deadline.
+        let ops = || vec![Op::Cpu(SimDuration::from_micros(10))];
+        let specs = vec![
+            TaskSpec::new("a", SimTime(5_000), ops()).with_deadline(SimDuration::from_micros(100)),
+            TaskSpec::new("b", SimTime(1_000), ops()).with_deadline(SimDuration::from_micros(100)),
+            TaskSpec::new("c", SimTime::ZERO, ops()), // no deadline
+        ];
+        let mut s = EdfScheduler::for_tasks(&specs, Some(SimDuration::from_millis(1)));
+        assert_eq!(s.slice(), Some(SimDuration::from_millis(1)));
+        s.on_ready(t(0), 0, SimTime::ZERO);
+        s.on_ready(t(1), 0, SimTime::ZERO);
+        s.on_ready(t(2), 0, SimTime::ZERO);
+        assert_eq!(s.pick(SimTime::ZERO), Some(t(1)));
+        assert_eq!(s.pick(SimTime::ZERO), Some(t(0)));
+        assert_eq!(s.pick(SimTime::ZERO), Some(t(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero slice")]
+    fn edf_zero_slice_rejected() {
+        EdfScheduler::new(Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn edf_snapshot_round_trips_insertion_order() {
+        let mut s = EdfScheduler::new(None);
+        s.set_deadline(t(0), SimTime(7_000));
+        s.set_deadline(t(1), SimTime(7_000));
+        s.on_ready(t(1), 0, SimTime::ZERO);
+        s.on_ready(t(0), 0, SimTime::ZERO);
+        let snap = s.snapshot().unwrap();
+        let back = Json::parse(&snap.render()).unwrap();
+        let mut s2 = EdfScheduler::new(None);
+        s2.set_deadline(t(0), SimTime(7_000));
+        s2.set_deadline(t(1), SimTime(7_000));
+        s2.restore(&back).unwrap();
+        // The equal-deadline FIFO tie restores exactly: t1 enqueued first.
+        assert_eq!(s2.pick(SimTime::ZERO), Some(t(1)));
+        assert_eq!(s2.pick(SimTime::ZERO), Some(t(0)));
+
+        let mut bad = EdfScheduler::new(None);
+        assert!(bad.restore(&Json::Null).is_err());
+        assert!(bad.restore(&Obj::new().set("ready", 3u64).build()).is_err());
     }
 
     #[test]

@@ -447,6 +447,9 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             TraceEvent::TaskRejected { .. } => self.reg.inc("tasks_rejected", 1),
             TraceEvent::TaskQuarantined { .. } => self.reg.inc("tasks_quarantined", 1),
             TraceEvent::DegradedDispatch { .. } => self.reg.inc("degraded_dispatches", 1),
+            TraceEvent::TaskUnschedulable { .. } => self.reg.inc("tasks_unschedulable", 1),
+            TraceEvent::DegradeModeEnter { .. } => self.reg.inc("degrade_mode_enters", 1),
+            TraceEvent::DegradeModeExit { .. } => self.reg.inc("degrade_mode_exits", 1),
             TraceEvent::Custom { .. } => self.reg.inc("custom_events", 1),
         }
         if let Some(lat) = self.lat.as_mut() {
@@ -845,6 +848,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                     .set("degraded", dur(m.degraded_time))
                     .set("quarantined", m.quarantined)
                     .set("rejected", m.rejected)
+                    .set("unschedulable", m.unschedulable)
                     .set("deadline_missed", m.deadline_missed)
                     .build()
             })
@@ -971,6 +975,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                             .map(|&b| Json::from(b))
                             .collect::<Vec<_>>(),
                     )
+                    .set("degrade_mode", a.degrade_mode)
                     .set(
                         "stats",
                         Obj::new()
@@ -985,6 +990,9 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                             .set("wd_lost", dur(st.watchdog_lost_time))
                             .set("degraded_dispatches", st.degraded_dispatches)
                             .set("degraded_time", dur(st.degraded_time))
+                            .set("unschedulable", st.unschedulable)
+                            .set("degrade_enters", st.degrade_enters)
+                            .set("degrade_exits", st.degrade_exits)
                             .build(),
                     )
                     .build()
@@ -1111,6 +1119,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             mm.degraded_time = fdur(m, "degraded")?;
             mm.quarantined = fbool(m, "quarantined")?;
             mm.rejected = fbool(m, "rejected")?;
+            mm.unschedulable = fbool(m, "unschedulable")?;
             mm.deadline_missed = fbool(m, "deadline_missed")?;
         }
         let vec_u64 = |key: &'static str| -> Result<Vec<u64>, String> {
@@ -1274,6 +1283,10 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                     other => Err(format!("degraded entry: {other:?}")),
                 })
                 .collect::<Result<_, String>>()?;
+                adm.degrade_mode = match a.get("degrade_mode").ok_or("missing 'degrade_mode'")? {
+                    Json::Bool(b) => *b,
+                    other => return Err(format!("degrade_mode: {other:?}")),
+                };
                 let st = a.get("stats").ok_or("missing admission 'stats'")?;
                 adm.stats = crate::admission::AdmissionStats {
                     admitted: field(st, "admitted")?,
@@ -1287,6 +1300,9 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                     watchdog_lost_time: fdur(st, "wd_lost")?,
                     degraded_dispatches: field(st, "degraded_dispatches")?,
                     degraded_time: fdur(st, "degraded_time")?,
+                    unschedulable: field(st, "unschedulable")?,
+                    degrade_enters: field(st, "degrade_enters")?,
+                    degrade_exits: field(st, "degrade_exits")?,
                 };
             }
             _ => {
@@ -1395,6 +1411,50 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             Reject,
         }
         let tenant = self.tasks[ti].spec.tenant;
+        // Arrival-time schedulability test, ahead of quota accounting: a
+        // provably unmeetable deadline rejects the task before it can
+        // consume an in-flight slot or queue entry. The margin-scaled §3
+        // estimate (service + pending reconfiguration + the tenant's
+        // queued backlog) is optimistic — it ignores contention from other
+        // tenants — so anything it already rules out is a guaranteed miss.
+        let unsched: Option<(SimDuration, SimDuration)> = match self.admission.as_ref() {
+            Some(adm) => match (adm.policy.schedulability, self.tasks[ti].spec.deadline) {
+                (Some(sc), Some(dl)) => {
+                    let mut est = self.service_estimate(ti);
+                    if let Some(q) = adm.deferred.get(&tenant) {
+                        for &t in q {
+                            est += self.service_estimate(t as usize);
+                        }
+                    }
+                    let est =
+                        SimDuration::from_nanos((sc.margin * est.as_nanos() as f64).round() as u64);
+                    (now + est > self.tasks[ti].spec.arrival + dl).then_some((est, dl))
+                }
+                _ => None,
+            },
+            None => None,
+        };
+        if let Some((est, dl)) = unsched {
+            let adm = self.admission.as_mut().expect("checked above");
+            adm.stats.unschedulable += 1;
+            self.tasks[ti].state = TaskState::Rejected;
+            self.tasks[ti].completed_at = now;
+            self.metrics[ti].completion = now;
+            self.metrics[ti].unschedulable = true;
+            self.unfinished -= 1;
+            if self.trace.is_enabled() {
+                self.record(
+                    now,
+                    TraceEvent::TaskUnschedulable {
+                        task: tid.0,
+                        tenant,
+                        estimate: est,
+                        deadline: dl,
+                    },
+                );
+            }
+            return;
+        }
         let decision = match self.admission.as_mut() {
             None => Decision::Admit,
             Some(adm) => {
@@ -1505,12 +1565,83 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         }
     }
 
+    /// The §3 a-priori completion estimate the schedulability test holds
+    /// against a task's deadline: every CPU burst at face value, every
+    /// FPGA run priced from the circuit's synchronous clock, plus a
+    /// pending-reconfiguration charge (one column-addressed frame
+    /// transfer per frame, the same movement cost a partial download
+    /// pays) for each FPGA op whose circuit is not currently resident.
+    fn service_estimate(&self, ti: usize) -> SimDuration {
+        let timing = self.manager.timing();
+        let resident = self.manager.resident_regions();
+        let mut est = SimDuration::ZERO;
+        for op in &self.tasks[ti].spec.ops {
+            match op {
+                Op::Cpu(d) => est += *d,
+                Op::FpgaRun { circuit, cycles } => {
+                    let img = self.lib.get(*circuit);
+                    est += img.run_time(*cycles);
+                    if !resident.iter().any(|r| r.cid == *circuit) {
+                        est += timing.readback_time(img.frames());
+                    }
+                }
+            }
+        }
+        est
+    }
+
+    /// Re-evaluate the sticky degraded-mode bit against the hysteresis
+    /// marks: enter once utilization reaches the high mark, leave only
+    /// below the low mark. With the legacy single watermark the marks
+    /// coincide, the bit tracks the plain comparison exactly, and no
+    /// transition counters or events are kept — pre-hysteresis runs stay
+    /// byte-identical. Called at dispatch, before any degradation
+    /// decision, mirroring where the old per-dispatch comparison ran.
+    fn update_degrade_mode(&mut self, now: SimTime) {
+        let Some(adm) = self.admission.as_ref() else {
+            return;
+        };
+        let Some(dg) = adm.policy.degradation.as_ref() else {
+            return;
+        };
+        let (high, low, explicit) = (dg.high_mark(), dg.low_mark(), dg.has_hysteresis());
+        let mode = adm.degrade_mode;
+        let u = self.manager.usage();
+        let used = u.used_clbs as f64;
+        let total = u.total_clbs as f64;
+        let mark = if mode { low } else { high };
+        let next = u.total_clbs != 0 && used >= mark * total;
+        if next == mode {
+            return;
+        }
+        let adm = self.admission.as_mut().expect("checked above");
+        adm.degrade_mode = next;
+        if explicit {
+            if next {
+                adm.stats.degrade_enters += 1;
+            } else {
+                adm.stats.degrade_exits += 1;
+            }
+            if self.trace.is_enabled() {
+                let (used, total) = (u.used_clbs, u.total_clbs);
+                let ev = if next {
+                    TraceEvent::DegradeModeEnter { used, total }
+                } else {
+                    TraceEvent::DegradeModeExit { used, total }
+                };
+                self.record(now, ev);
+            }
+        }
+    }
+
     /// Whether a fresh FPGA op should run on the software path instead of
     /// competing for fabric: degradation configured, this op not the
-    /// deliberate hang, a software model priced for the circuit, device
-    /// saturated past the watermark, and the circuit not already resident
-    /// (a resident hit is cheaper on hardware regardless of pressure).
-    /// Returns the software cost in ns per hardware cycle.
+    /// deliberate hang, a software model priced for the circuit, the
+    /// device in sticky degraded mode (see
+    /// [`update_degrade_mode`](Self::update_degrade_mode)), and the
+    /// circuit not already resident (a resident hit is cheaper on
+    /// hardware regardless of pressure). Returns the software cost in ns
+    /// per hardware cycle.
     fn degrade_target(&self, circuit: CircuitId, ti: usize) -> Option<u64> {
         let adm = self.admission.as_ref()?;
         let dg = adm.policy.degradation.as_ref()?;
@@ -1518,8 +1649,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             return None; // the hang models a broken circuit, not a slow one
         }
         let sw_ns = *dg.sw_ns_per_cycle.get(&circuit.0)?;
-        let u = self.manager.usage();
-        if u.total_clbs == 0 || (u.used_clbs as f64) < dg.watermark * (u.total_clbs as f64) {
+        if !adm.degrade_mode {
             return None;
         }
         if self
@@ -1943,6 +2073,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             let mut software_op = false;
 
             if let Op::FpgaRun { circuit, cycles } = op {
+                self.update_degrade_mode(now);
                 let already_degraded = self.admission.as_ref().is_some_and(|a| a.degraded[ti]);
                 let degrade_now = !already_degraded
                     && self.op_done_so_far[ti] == SimDuration::ZERO

@@ -81,6 +81,13 @@ impl TaskSpec {
         self
     }
 
+    /// The absolute instant the deadline lands on (`arrival + deadline`),
+    /// when one is stamped — the quantity EDF orders by and the
+    /// schedulability test compares estimates against.
+    pub fn absolute_deadline(&self) -> Option<SimTime> {
+        self.deadline.map(|d| self.arrival + d)
+    }
+
     /// Mark op `idx` (which must be an FPGA run) as hanging: its done
     /// signal never rises, so only a watchdog can reclaim the device.
     pub fn with_hang_op(mut self, idx: usize) -> Self {

@@ -17,7 +17,18 @@
 //! 6. admission state checkpoints and restores: a crashed-and-restored
 //!    run matches the uninterrupted baseline, including quarantine and
 //!    degradation outcomes;
-//! 7. admission-controlled runs are bit-reproducible per seed.
+//! 7. admission-controlled runs are bit-reproducible per seed;
+//! 8. the watchdog generation counter is airtight at both edges: a
+//!    deferred task released by a quarantine and hanging immediately is
+//!    caught by a *fresh* watchdog, and a watchdog whose segment already
+//!    completed is a no-op even at the tightest legal slack (1.0);
+//! 9. schedulability rejections are accounted disjointly from quota
+//!    load-shedding, per task and in the stats totals;
+//! 10. an explicit coincident hysteresis pair dispatches identically to
+//!     the legacy single watermark, and a wide pair is sticky (zero
+//!     exits once entered);
+//! 11. the deadline-era state — EDF queue, schedulability gate,
+//!     hysteresis mode bit — survives crash-and-restore.
 
 use fsim::{SimDuration, SimRng, SimTime};
 use std::collections::BTreeMap;
@@ -30,7 +41,7 @@ use vfpga::system::{System, SystemConfig};
 use vfpga::task::{Op, TaskSpec};
 use vfpga::{
     diff_reports, run_with_crashes, AdmissionPolicy, CheckpointConfig, CrashPlan,
-    DegradationConfig, Report, VfpgaError, WatchdogConfig,
+    DegradationConfig, EdfScheduler, Report, SchedulabilityConfig, VfpgaError, WatchdogConfig,
 };
 
 fn lib4() -> (Arc<CircuitLib>, Vec<vfpga::circuit::CircuitId>) {
@@ -69,9 +80,16 @@ fn lib4() -> (Arc<CircuitLib>, Vec<vfpga::circuit::CircuitId>) {
     (Arc::new(lib), ids)
 }
 
-/// Two-tenant workload with seeded arrival jitter; when `hang` is set the
-/// first task's first FPGA op never raises its done signal.
-fn workload(ids: &[vfpga::circuit::CircuitId], n: usize, seed: u64, hang: bool) -> Vec<TaskSpec> {
+/// Two-tenant workload with seeded arrival jitter, explicit hang indices
+/// (those tasks' first FPGA op never raises its done signal) and optional
+/// per-index deadlines.
+fn workload_ext(
+    ids: &[vfpga::circuit::CircuitId],
+    n: usize,
+    seed: u64,
+    hang: &[usize],
+    deadline: impl Fn(usize) -> Option<SimDuration>,
+) -> Vec<TaskSpec> {
     let mut rng = SimRng::new(seed);
     (0..n)
         .map(|i| {
@@ -94,12 +112,20 @@ fn workload(ids: &[vfpga::circuit::CircuitId], n: usize, seed: u64, hang: bool) 
                 ],
             )
             .with_tenant(i as u32 % 2);
-            if hang && i == 0 {
+            if hang.contains(&i) {
                 s = s.with_hang_op(1);
+            }
+            if let Some(d) = deadline(i) {
+                s = s.with_deadline(d);
             }
             s
         })
         .collect()
+}
+
+/// The original shape most tests use: optionally hang task 0, no deadlines.
+fn workload(ids: &[vfpga::circuit::CircuitId], n: usize, seed: u64, hang: bool) -> Vec<TaskSpec> {
+    workload_ext(ids, n, seed, if hang { &[0] } else { &[] }, |_| None)
 }
 
 fn timing() -> fpga::ConfigTiming {
@@ -146,6 +172,39 @@ fn build(
 
 fn run(seed: u64, hang: bool, policy: Option<AdmissionPolicy>) -> Report {
     build(seed, hang, policy).run().unwrap()
+}
+
+/// Fully parameterized builder: the workload is derived from the compiled
+/// circuit ids, the scheduler from the finished specs (EDF needs them).
+fn build_with<S: vfpga::Scheduler>(
+    make_specs: impl FnOnce(&[vfpga::circuit::CircuitId]) -> Vec<TaskSpec>,
+    make_sched: impl FnOnce(&[TaskSpec]) -> S,
+    policy: Option<AdmissionPolicy>,
+) -> System<PartitionManager, S> {
+    let (lib, ids) = lib4();
+    let specs = make_specs(&ids);
+    let sched = make_sched(&specs);
+    let mgr = PartitionManager::new(
+        lib.clone(),
+        timing(),
+        PartitionMode::Variable,
+        PreemptAction::SaveRestore,
+    )
+    .unwrap();
+    let mut sys = System::new(
+        lib,
+        mgr,
+        sched,
+        SystemConfig {
+            preempt: PreemptAction::SaveRestore,
+            ..Default::default()
+        },
+        specs,
+    );
+    if let Some(p) = policy {
+        sys = sys.with_admission(p).unwrap();
+    }
+    sys
 }
 
 #[test]
@@ -210,6 +269,7 @@ fn quotas_defer_then_load_shed_with_coherent_accounting() {
         queue_cap: 1,
         watchdog: None,
         degradation: None,
+        ..AdmissionPolicy::default()
     };
     let r = run(11, false, Some(policy));
     let stats = r.admission.unwrap();
@@ -237,6 +297,7 @@ fn saturated_watermark_degrades_to_software_and_still_completes() {
         degradation: Some(DegradationConfig {
             watermark: 0.0,
             sw_ns_per_cycle: sw_all(&ids),
+            ..Default::default()
         }),
         ..AdmissionPolicy::default()
     };
@@ -287,7 +348,9 @@ fn admission_state_survives_crash_and_restore() {
         degradation: Some(DegradationConfig {
             watermark: 0.0,
             sw_ns_per_cycle: sw_all(&lib4().1),
+            ..Default::default()
         }),
+        ..AdmissionPolicy::default()
     };
     let baseline = run(9, true, Some(policy()));
     assert!(baseline.tasks[0].quarantined);
@@ -321,4 +384,219 @@ fn admission_runs_are_bit_reproducible() {
     let a = run(42, true, Some(policy()));
     let b = run(42, true, Some(policy()));
     assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+#[test]
+fn released_deferred_hanging_task_is_requarantined() {
+    // Generation-counter edge one: tenant 0's first task hangs and is
+    // quarantined; the exile releases tenant 0's deferred queue, and the
+    // *released* task hangs immediately too. It must be caught by a fresh
+    // watchdog generation — neither masked by the first task's consumed
+    // generations nor tripped by one of its stale deadline events.
+    for seed in [1u64, 8, 77] {
+        let policy = AdmissionPolicy {
+            max_in_flight: 1,
+            queue_cap: 3,
+            ..AdmissionPolicy::default()
+        };
+        let r = build_with(
+            |ids| workload_ext(ids, 8, seed, &[0, 2], |_| None),
+            |_| RoundRobinScheduler::new(SimDuration::from_millis(2)),
+            Some(policy),
+        )
+        .run()
+        .unwrap();
+        let stats = r.admission.unwrap();
+        assert!(r.tasks[0].quarantined, "seed {seed}: first hang survived");
+        assert!(
+            r.tasks[2].quarantined,
+            "seed {seed}: released hang not re-quarantined"
+        );
+        assert_eq!(stats.quarantined, 2, "seed {seed}");
+        // max_trips = 2 costs 3 fires per hang, independently for each.
+        assert_eq!(stats.watchdog_fired, 6, "seed {seed}");
+        for (i, t) in r.tasks.iter().enumerate() {
+            if i != 0 && i != 2 {
+                assert!(
+                    !t.failed && !t.quarantined && !t.rejected,
+                    "seed {seed}: healthy task {i} harmed"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stale_watchdog_after_on_time_completion_is_a_noop() {
+    // Generation-counter edge two: at slack 1.0 every watchdog deadline
+    // lands on the *same instant* as its segment's completion timer. The
+    // FIFO tie-break pops the timer first, which bumps the generation, so
+    // the watchdog event arrives stale and must do nothing. max_trips 0
+    // turns any spurious fire into an immediate quarantine the
+    // assertions below would catch.
+    for seed in [0u64, 13, 541] {
+        let policy = AdmissionPolicy {
+            watchdog: Some(WatchdogConfig {
+                slack: 1.0,
+                max_trips: 0,
+            }),
+            ..AdmissionPolicy::default()
+        };
+        let r = run(seed, false, Some(policy));
+        let stats = r.admission.unwrap();
+        // 8 tasks x 2 FPGA ops, plus re-arms after any preemption.
+        assert!(stats.watchdog_armed >= 16, "seed {seed}: dead test");
+        assert_eq!(stats.watchdog_fired, 0, "seed {seed}: spurious fire");
+        assert_eq!(stats.quarantined, 0, "seed {seed}");
+        for t in &r.tasks {
+            assert!(!t.failed && !t.quarantined && !t.rejected, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn unschedulable_rejections_are_disjoint_from_quota_shedding() {
+    // Tenant 1's tasks (odd indices) carry a deadline far below any §3
+    // service estimate: the schedulability gate refuses them at arrival.
+    // Tenant 0's tasks carry no deadline, so they flow through the quota
+    // path instead: 1 in flight + 1 queued, the remaining 2 load-shed.
+    // The two rejection kinds must never share a task or a counter.
+    let policy = AdmissionPolicy {
+        max_in_flight: 1,
+        queue_cap: 1,
+        schedulability: Some(SchedulabilityConfig { margin: 1.0 }),
+        ..AdmissionPolicy::default()
+    };
+    let r = build_with(
+        |ids| {
+            workload_ext(ids, 8, 11, &[], |i| {
+                (i % 2 == 1).then_some(SimDuration::from_micros(100))
+            })
+        },
+        |_| RoundRobinScheduler::new(SimDuration::from_millis(2)),
+        Some(policy),
+    )
+    .run()
+    .unwrap();
+    let stats = r.admission.unwrap();
+    assert_eq!(stats.unschedulable, 4, "all four deadlined tasks refused");
+    assert_eq!(stats.rejected, 2, "quota path sheds exactly the overflow");
+    assert_eq!(stats.admitted, 2);
+    assert!(stats.deferred >= 1);
+    // Disjoint per task: a task is unschedulable xor quota-rejected xor
+    // admitted, and the three counters tile the workload exactly.
+    for t in &r.tasks {
+        assert!(
+            !(t.unschedulable && t.rejected),
+            "{}: double-counted rejection",
+            t.name
+        );
+        assert!(t.completion >= t.arrival, "{} never terminated", t.name);
+    }
+    let unsched = r.tasks.iter().filter(|t| t.unschedulable).count() as u64;
+    let shed = r.tasks.iter().filter(|t| t.rejected).count() as u64;
+    assert_eq!(unsched, stats.unschedulable);
+    assert_eq!(shed, stats.rejected);
+    assert_eq!(
+        stats.admitted + stats.rejected + stats.unschedulable,
+        r.tasks.len() as u64
+    );
+}
+
+#[test]
+fn coincident_hysteresis_pair_dispatches_like_the_legacy_watermark() {
+    let (_, ids) = lib4();
+    let legacy = AdmissionPolicy {
+        degradation: Some(DegradationConfig {
+            watermark: 0.0,
+            sw_ns_per_cycle: sw_all(&ids),
+            ..Default::default()
+        }),
+        ..AdmissionPolicy::default()
+    };
+    let pair = AdmissionPolicy {
+        degradation: Some(DegradationConfig {
+            watermark: 0.0,
+            degrade_above: Some(0.0),
+            recover_below: Some(0.0),
+            sw_ns_per_cycle: sw_all(&ids),
+        }),
+        ..AdmissionPolicy::default()
+    };
+    let a = run(5, false, Some(legacy));
+    let b = run(5, false, Some(pair));
+    // Identical timelines: only the mode-transition counters (kept solely
+    // for explicit pairs) may differ between the two stats blocks.
+    assert_eq!(format!("{:?}", a.tasks), format!("{:?}", b.tasks));
+    let (sa, sb) = (a.admission.unwrap(), b.admission.unwrap());
+    assert_eq!(sa.degraded_dispatches, sb.degraded_dispatches);
+    assert_eq!(sa.degraded_time, sb.degraded_time);
+    assert_eq!((sa.degrade_enters, sa.degrade_exits), (0, 0));
+    // A zero high mark is crossed at the first dispatch and, with an
+    // equal low mark, never left: sticky mode, single entry, zero exits —
+    // the no-flap guarantee in its degenerate form.
+    assert_eq!((sb.degrade_enters, sb.degrade_exits), (1, 0));
+}
+
+#[test]
+fn deadline_era_state_survives_crash_and_restore() {
+    // One run exercising every new persisted field at once: EDF queue
+    // order, the schedulability gate's disjoint rejection, the sticky
+    // hysteresis mode bit, and a watchdog quarantine — then crash it
+    // repeatedly and demand byte-equality with the uninterrupted run.
+    let policy = || AdmissionPolicy {
+        max_in_flight: 2,
+        queue_cap: 4,
+        degradation: Some(DegradationConfig {
+            watermark: 0.0,
+            degrade_above: Some(0.0),
+            recover_below: Some(0.0),
+            sw_ns_per_cycle: lib4()
+                .1
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 2 == 0)
+                .map(|(_, id)| (id.0, 3))
+                .collect(),
+        }),
+        schedulability: Some(SchedulabilityConfig { margin: 1.0 }),
+        ..AdmissionPolicy::default()
+    };
+    let build_sys = || {
+        build_with(
+            |ids| {
+                workload_ext(ids, 8, 9, &[0], |i| {
+                    Some(SimDuration::from_micros(if i % 3 == 1 {
+                        120
+                    } else {
+                        400_000
+                    }))
+                })
+            },
+            |specs| EdfScheduler::for_tasks(specs, Some(SimDuration::from_millis(2))),
+            Some(policy()),
+        )
+    };
+    let baseline = build_sys().run().unwrap();
+    let stats = baseline.admission.unwrap();
+    assert!(stats.unschedulable > 0, "dead test: gate never refused");
+    assert!(stats.quarantined > 0, "dead test: no quarantine");
+    assert!(stats.degrade_enters > 0, "dead test: mode never entered");
+    let mut crashed_somewhere = false;
+    for seed in 0..6u64 {
+        let plan = CrashPlan {
+            seed,
+            crash_rate_per_s: 200.0,
+            max_crashes: 3,
+        };
+        let cfg = CheckpointConfig::new(SimDuration::from_micros(2_500));
+        let r = run_with_crashes(build_sys, cfg, plan).unwrap();
+        crashed_somewhere |= r.crash.crashes > 0;
+        let d = diff_reports(&baseline, &r);
+        assert!(
+            d.is_empty(),
+            "crash seed {seed}: restored run diverged: {d:?}"
+        );
+    }
+    assert!(crashed_somewhere, "no seed ever crashed — dead test");
 }

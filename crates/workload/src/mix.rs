@@ -83,6 +83,14 @@ pub struct TenantMixParams {
     /// hanging (done signal never rises) — the deliberately misbehaving
     /// application only a watchdog can defend against.
     pub hang_tasks: usize,
+    /// Half-width of a uniform jitter applied to each task's deadline,
+    /// as a fraction of `deadline` (task `i` gets `deadline * u`,
+    /// `u ~ U[1 - spread, 1 + spread]`). Zero stamps the uniform
+    /// deadline unchanged. The jitter draws from an RNG derived from the
+    /// caller's (never from the caller's own stream), and only when the
+    /// spread is nonzero — mixes generated before this knob existed are
+    /// bit-for-bit unchanged.
+    pub deadline_spread: f64,
 }
 
 impl Default for TenantMixParams {
@@ -92,6 +100,7 @@ impl Default for TenantMixParams {
             tenants: 2,
             deadline: None,
             hang_tasks: 0,
+            deadline_spread: 0.0,
         }
     }
 }
@@ -111,6 +120,11 @@ pub fn tenant_tasks(
         params.hang_tasks <= params.base.tasks,
         "more hanging tasks than tasks"
     );
+    assert!(
+        (0.0..1.0).contains(&params.deadline_spread),
+        "deadline_spread must be in [0, 1)"
+    );
+    let mut dl_rng = rng.derive(0xD11E);
     let specs = poisson_tasks(&params.base, circuits, rng);
     specs
         .into_iter()
@@ -120,6 +134,13 @@ pub fn tenant_tasks(
             s.name = format!("tn{tenant}-task{i}");
             s = s.with_tenant(tenant);
             if let Some(d) = params.deadline {
+                let d = if params.deadline_spread > 0.0 {
+                    let u =
+                        1.0 - params.deadline_spread + 2.0 * params.deadline_spread * dl_rng.f64();
+                    SimDuration::from_secs_f64(d.as_secs_f64() * u)
+                } else {
+                    d
+                };
                 s = s.with_deadline(d);
             }
             if i < params.hang_tasks {
@@ -219,6 +240,7 @@ mod tests {
             tenants: 3,
             deadline: Some(SimDuration::from_millis(250)),
             hang_tasks: 2,
+            ..Default::default()
         };
         let specs = tenant_tasks(&params, &cids(3), &mut SimRng::new(9));
         assert_eq!(specs.len(), 8);
@@ -239,6 +261,47 @@ mod tests {
         for (a, b) in specs.iter().zip(&plain) {
             assert_eq!(a.arrival, b.arrival);
             assert_eq!(a.ops, b.ops);
+        }
+    }
+
+    #[test]
+    fn deadline_spread_jitters_without_touching_arrivals() {
+        let params = TenantMixParams {
+            base: MixParams::default(),
+            tenants: 2,
+            deadline: Some(SimDuration::from_millis(100)),
+            hang_tasks: 0,
+            deadline_spread: 0.5,
+        };
+        let specs = tenant_tasks(&params, &cids(3), &mut SimRng::new(9));
+        let lo = SimDuration::from_millis(50);
+        let hi = SimDuration::from_millis(150);
+        let mut distinct = std::collections::BTreeSet::new();
+        for s in &specs {
+            let d = s.deadline.expect("deadline stamped");
+            assert!(d >= lo && d <= hi, "jittered deadline out of band: {d:?}");
+            distinct.insert(d);
+        }
+        assert!(distinct.len() > 1, "spread 0.5 never varied the deadline");
+        // The arrival/op stream is untouched by the jitter draws: same
+        // seed, same specs as the spread-free mix, deadlines aside.
+        let plain = tenant_tasks(
+            &TenantMixParams {
+                deadline_spread: 0.0,
+                ..params
+            },
+            &cids(3),
+            &mut SimRng::new(9),
+        );
+        for (a, b) in specs.iter().zip(&plain) {
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.ops, b.ops);
+            assert_eq!(b.deadline, Some(SimDuration::from_millis(100)));
+        }
+        // And per-seed determinism holds for the jitter itself.
+        let again = tenant_tasks(&params, &cids(3), &mut SimRng::new(9));
+        for (a, b) in specs.iter().zip(&again) {
+            assert_eq!(a.deadline, b.deadline);
         }
     }
 
