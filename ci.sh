@@ -137,6 +137,53 @@ print(f"e18 gate: edf {edf} < fifo {fifo} misses, gate unsched={ga['unschedulabl
       f" vs hysteresis {hy['degrade_enters']}/{hy['degrade_exits']}")
 PY
 
+echo "==> e19 fleet smoke (device-crash failover: determinism + liveness + equivalence)"
+# Same determinism contract as e15-e18. The binary aborts in-process if a
+# capacity cell loses admitted work or diverges from the uninterrupted
+# single-device baseline, so merely exiting zero is already the main gate;
+# the wall-clock timeout catches a fleet event loop that stops converging.
+./target/release/e19_fleet --smoke --seed 3605 --json "$E15_TMP/e19a.json" >/dev/null
+./target/release/e19_fleet --smoke --seed 3605 --json "$E15_TMP/e19b.json" >/dev/null
+"$JDIFF" "$E15_TMP/e19a.json" "$E15_TMP/e19b.json" \
+  || { echo "e19 smoke: same-seed runs are not identical modulo host"; exit 1; }
+./target/release/e19_fleet --smoke --threads 1 --json "$E15_TMP/e19t1.json" >/dev/null
+./target/release/e19_fleet --smoke --threads 4 --json "$E15_TMP/e19t4.json" >/dev/null
+"$JDIFF" "$E15_TMP/e19t1.json" "$E15_TMP/e19t4.json" \
+  || { echo "e19 smoke: --threads 4 diverged from --threads 1"; exit 1; }
+timeout 120 ./target/release/e19_fleet --smoke --json "$E15_TMP/e19live.json" >/dev/null \
+  || { echo "e19 smoke: fleet did not survive device crashes (failover liveness broken)"; exit 1; }
+# A 1-device zero-fault fleet is the same machine as a plain System: both
+# exports must be byte-identical (the files carry no host section at all).
+./target/release/e19_fleet --smoke --equivalence "$E15_TMP/e19eq" >/dev/null 2>&1
+"$JDIFF" "$E15_TMP/e19eq.single.json" "$E15_TMP/e19eq.fleet.json" \
+  || { echo "e19: 1-device fleet diverged from the plain single-device system"; exit 1; }
+python3 - "$E15_TMP/e19live.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+reports = {r["label"]: r for r in doc["reports"]}
+for label, r in reports.items():
+    if "/none/" in label or label.endswith("/none"):
+        assert "fleet" not in r, f"zero-rate cell {label} grew a fleet section"
+storm = [r for l, r in reports.items() if "/storm/" in l and "ablation" not in l]
+assert storm, "no storm cells in smoke sweep"
+assert any(r["fleet"]["failovers"] > 0 for r in storm), \
+    "no storm cell failed over"
+for r in storm:
+    assert r["fleet"]["lost_in_flight"] == 0, "capacity cell lost work"
+    assert not any(t.get("lost_in_flight") for t in r["tasks"]), \
+        "capacity cell flagged a task lost"
+abl = next(r for l, r in reports.items() if "ablation" in l)
+fl = abl["fleet"]
+assert fl["lost_in_flight"] > 0, "ablation cell lost nothing"
+flagged = sum(1 for t in abl["tasks"] if t.get("lost_in_flight"))
+assert flagged == fl["lost_in_flight"], "per-task lost flags disagree with the counter"
+for t in abl["tasks"]:
+    assert not (t.get("lost_in_flight") and (t.get("failed") or t.get("rejected")
+                or t.get("quarantined"))), "lost_in_flight overlaps another slice"
+print(f"e19 gate: {sum(r['fleet']['failovers'] for r in storm)} failovers, "
+      f"capacity cells lost 0, ablation lost {fl['lost_in_flight']} (disjoint slice)")
+PY
+
 echo "==> bench_perf smoke (perf schema + self-compare + thread invariance)"
 # The perf harness must (a) write a document that parses back through the
 # bench JSON reader with the expected schema, (b) report zero regressions
@@ -155,7 +202,7 @@ doc = json.load(open(sys.argv[1]))
 assert doc["schema"] == "vfpga-bench-perf/1", f"unexpected schema {doc['schema']}"
 cases = doc["host"]["cases"]
 for case in ["compile_cold", "compile_warm", "download_full", "download_partial",
-             "ckpt_crash_replay", "macro_point"]:
+             "ckpt_crash_replay", "fleet_failover", "macro_point"]:
     assert case in cases, f"missing case {case}"
     assert cases[case]["iters"] > 0, f"case {case} ran no iterations"
 assert doc["sim"]["latency_ns"], "no simulated latency histograms"

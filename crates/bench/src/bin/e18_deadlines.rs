@@ -60,6 +60,7 @@ fn specs(ids: &[vfpga::CircuitId], seed: u64, mean_interarrival: SimDuration) ->
             deadline: Some(SimDuration::from_millis(120)),
             hang_tasks: 0,
             deadline_spread: 0.5,
+            ..Default::default()
         },
         ids,
         &mut rng,

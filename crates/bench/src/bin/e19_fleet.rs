@@ -1,0 +1,412 @@
+//! E19 — Fleet-level fault tolerance under device crashes.
+//!
+//! A multi-device fleet shards tenants across per-device systems and
+//! must survive whole-device faults: seeded crashes and timed brownouts
+//! cut a shard's run at the fault instant, and the resident tenants fail
+//! over onto a surviving device through the checkpoint + journal-replay
+//! machinery — priced as the periodic checkpoint readback on the source
+//! plus fresh configuration downloads on the destination, with bounded
+//! retry/backoff when every device is saturated and graceful degradation
+//! to the e12-priced software path as the last resort.
+//!
+//! The sweep: device count x device-crash rate x placement policy. Every
+//! capacity cell is differentially verified in-process against the
+//! uninterrupted single-device baseline with [`vfpga::diff_reports`]: a
+//! fleet under device crashes must lose no admitted work a checkpointed
+//! single device would have kept (divergence aborts the bench). The
+//! ablation cell removes spare capacity, retries, and the software
+//! fallback — its tasks land in the disjoint `lost_in_flight` slice,
+//! proving the loss accounting and the capacity headroom are both real.
+//!
+//! Flags: `--seed N` (default 0xE19), `--smoke` (reduced sweep for CI),
+//! `--threads N` (sweep-point parallelism), `--json <path>`
+//! (machine-readable export), `--equivalence <prefix>` (writes
+//! `<prefix>.single.json` and `<prefix>.fleet.json` — a plain system run
+//! and a 1-device zero-fault fleet of the same workload, which must be
+//! byte-identical modulo the volatile host section).
+
+use bench::json::Json;
+use bench::report::{f3, Table};
+use bench::setup::compile_suite_lib_sw;
+use bench::{arg_u64, flag, run_sweep, threads_arg, Exporter, HostProfile};
+use fpga::{ConfigPort, ConfigTiming};
+use fsim::{SimDuration, SimRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use vfpga::manager::dynload::DynLoadManager;
+use vfpga::{
+    diff_reports, run_fleet, CheckpointConfig, CircuitId, CircuitLib, DeviceFaultPlan, FleetConfig,
+    FleetReport, Op, PlacementPolicy, PreemptAction, Report, RoundRobinScheduler, ShardCtx, System,
+    SystemConfig, TaskSpec, VfpgaError,
+};
+use workload::{tenant_tasks, Domain, MixParams, TenantMixParams};
+
+fn specs(ids: &[CircuitId], seed: u64, devices: u32) -> Vec<TaskSpec> {
+    let mut rng = SimRng::new(seed);
+    tenant_tasks(
+        &TenantMixParams {
+            base: MixParams {
+                tasks: 12,
+                mean_interarrival: SimDuration::from_millis(2),
+                mean_cpu_burst: SimDuration::from_millis(2),
+                fpga_ops_per_task: 4,
+                cycles: (60_000, 250_000),
+            },
+            tenants: 4,
+            // Tenant-to-device affinity hints, exercised by the affinity
+            // placement cells and ignored by every other policy.
+            affinity_devices: devices,
+            ..Default::default()
+        },
+        ids,
+        &mut rng,
+    )
+}
+
+/// Re-price every FPGA op as host CPU time (the e12 co-processor model's
+/// software cost) — what the degradation path executes.
+fn softwareize(specs: &[TaskSpec], sw: &BTreeMap<u32, u64>) -> Vec<TaskSpec> {
+    specs
+        .iter()
+        .cloned()
+        .map(|mut s| {
+            for op in &mut s.ops {
+                if let Op::FpgaRun { circuit, cycles } = *op {
+                    let ns = sw.get(&circuit.0).copied().unwrap_or(1);
+                    *op = Op::Cpu(SimDuration::from_nanos(ns.saturating_mul(cycles)));
+                }
+            }
+            s
+        })
+        .collect()
+}
+
+fn shard_builder(
+    lib: Arc<CircuitLib>,
+    sw: Arc<BTreeMap<u32, u64>>,
+    timing: ConfigTiming,
+) -> impl FnMut(&ShardCtx<'_>) -> Result<System<DynLoadManager, RoundRobinScheduler>, VfpgaError> {
+    move |ctx| {
+        let specs = if ctx.software {
+            softwareize(ctx.specs, &sw)
+        } else {
+            ctx.specs.to_vec()
+        };
+        let mgr = DynLoadManager::new(lib.clone(), timing, PreemptAction::SaveRestore);
+        Ok(System::new(
+            lib.clone(),
+            mgr,
+            RoundRobinScheduler::new(SimDuration::from_millis(4)),
+            SystemConfig {
+                preempt: PreemptAction::SaveRestore,
+                ..Default::default()
+            },
+            specs,
+        ))
+    }
+}
+
+struct Cell {
+    label: String,
+    devices: u32,
+    rate_name: &'static str,
+    ablation: bool,
+    divergences: Vec<vfpga::Divergence>,
+    fleet: FleetReport,
+}
+
+fn main() {
+    let seed = arg_u64("--seed", 0xE19);
+    let smoke = flag("--smoke");
+    let threads = threads_arg();
+    let mut host = HostProfile::new(threads);
+    let spec = fpga::device::part("VF400");
+    let (lib, ids, sw) = host.phase(bench::sections::PHASE_COMPILE, || {
+        compile_suite_lib_sw(&[Domain::Telecom, Domain::Storage], spec)
+    });
+    let sw = Arc::new(sw);
+    let timing = ConfigTiming {
+        spec,
+        port: ConfigPort::SerialFast,
+    };
+
+    if let Some(prefix) = arg_str("--equivalence") {
+        equivalence(&prefix, &lib, &ids, sw.clone(), timing, seed);
+        return;
+    }
+
+    // Uninterrupted single-device reference: what a fleet must not lose.
+    let baseline = host.phase(bench::sections::PHASE_BASELINE, || {
+        let mut b = shard_builder(lib.clone(), sw.clone(), timing);
+        let sp = specs(&ids, seed, 1);
+        b(&ShardCtx {
+            shard: 0,
+            device: vfpga::DeviceId(0),
+            home: vfpga::DeviceId(0),
+            tenants: &[0, 1, 2, 3],
+            specs: &sp,
+            software: false,
+        })
+        .expect("baseline build")
+        .run()
+        .unwrap_or_else(|e| {
+            eprintln!("baseline run failed: {e}");
+            std::process::exit(1);
+        })
+    });
+
+    // (label fragment, device-crash rate per simulated second)
+    let rates: &[(&str, f64)] = if smoke {
+        &[("none", 0.0), ("storm", 150.0)]
+    } else {
+        &[("none", 0.0), ("rare", 40.0), ("storm", 150.0)]
+    };
+    let placements: &[PlacementPolicy] = if smoke {
+        &[PlacementPolicy::RoundRobin, PlacementPolicy::Affinity]
+    } else {
+        &[
+            PlacementPolicy::RoundRobin,
+            PlacementPolicy::LeastLoaded,
+            PlacementPolicy::Affinity,
+        ]
+    };
+
+    // (devices, rate name, rate, placement, ablation)
+    let mut points: Vec<(u32, &str, f64, PlacementPolicy, bool)> = Vec::new();
+    for &(rname, rate) in rates {
+        points.push((1, rname, rate, PlacementPolicy::RoundRobin, false));
+        for &p in placements {
+            points.push((4, rname, rate, p, false));
+        }
+    }
+    // Ablation: two saturated devices, no retries, no fallback — the
+    // crash has nowhere to go and the loss accounting must show it.
+    points.push((2, "storm", 150.0, PlacementPolicy::RoundRobin, true));
+
+    let cells: Vec<Cell> = host.phase(bench::sections::PHASE_SWEEP, || {
+        run_sweep(
+            threads,
+            &points,
+            |_, &(devices, rname, rate, placement, ablation)| {
+                let mut cfg = FleetConfig::new(devices)
+                    .with_placement(placement)
+                    .with_checkpoints(CheckpointConfig::new(SimDuration::from_millis(1)))
+                    .with_device_faults(DeviceFaultPlan {
+                        seed,
+                        crash_rate_per_s: rate,
+                        outage: SimDuration::from_millis(2),
+                        max_crashes: 3,
+                    });
+                if ablation {
+                    cfg = cfg
+                        .with_max_shards_per_device(1)
+                        .with_failover_retry(0, SimDuration::from_millis(1))
+                        .without_software_fallback();
+                }
+                let fleet = run_fleet(
+                    &cfg,
+                    specs(&ids, seed, devices),
+                    shard_builder(lib.clone(), sw.clone(), timing),
+                )
+                .unwrap_or_else(|e| {
+                    eprintln!("fleet run failed ({devices} dev, {rname}): {e}");
+                    std::process::exit(1);
+                });
+                let divergences = diff_reports(&baseline, &fleet.merged);
+                Cell {
+                    label: format!(
+                        "d{devices}/{rname}/{}{}",
+                        placement.name(),
+                        if ablation { "/ablation" } else { "" }
+                    ),
+                    devices,
+                    rate_name: rname,
+                    ablation,
+                    divergences,
+                    fleet,
+                }
+            },
+        )
+    });
+
+    // In-process acceptance gates. A capacity cell that loses work, or
+    // diverges from the single-device outcomes, is a correctness bug.
+    let mut storm_failovers = 0u64;
+    for c in &cells {
+        let st = c.fleet.stats;
+        let r = &c.fleet.merged;
+        assert_eq!(
+            r.tasks.len(),
+            specs(&ids, seed, c.devices).len(),
+            "{}: task conservation",
+            c.label
+        );
+        // Liveness: every task reached a terminal state — completed, or
+        // explicitly counted lost. Nothing is silently stuck.
+        let flagged = r.tasks.iter().filter(|t| t.lost_in_flight).count() as u64;
+        assert_eq!(flagged, st.lost_in_flight, "{}: lost accounting", c.label);
+        if c.ablation {
+            if st.lost_in_flight == 0 {
+                eprintln!("E19 FAILED: ablation cell {} lost nothing", c.label);
+                std::process::exit(1);
+            }
+        } else {
+            if st.lost_in_flight != 0 {
+                eprintln!("E19 FAILED: capacity cell {} lost work: {st:?}", c.label);
+                std::process::exit(1);
+            }
+            if !c.divergences.is_empty() {
+                eprintln!(
+                    "E19 FAILED: capacity cell {} diverged from baseline:",
+                    c.label
+                );
+                for d in &c.divergences {
+                    eprintln!("  {d}");
+                }
+                std::process::exit(1);
+            }
+        }
+        if c.rate_name == "none" && !st.is_zero() {
+            eprintln!(
+                "E19 FAILED: zero-rate cell {} moved fleet counters: {st:?}",
+                c.label
+            );
+            std::process::exit(1);
+        }
+        if c.rate_name == "storm" && !c.ablation {
+            storm_failovers += st.failovers + st.software_fallbacks;
+        }
+    }
+    if storm_failovers == 0 {
+        eprintln!("E19 FAILED: no storm cell exercised a failover");
+        std::process::exit(1);
+    }
+
+    let mut ex = Exporter::new("e19", "fleet device crashes x placement x failover");
+    ex.seed(seed)
+        .param("device", spec.name)
+        .param("tasks", 12u64)
+        .param("tenants", 4u64)
+        .param("smoke", smoke);
+
+    let mut t = Table::new(
+        "E19: fleet fault tolerance (dynload shards, RR 4ms, ckpt 1ms + journal)",
+        &[
+            "cell",
+            "dev-crashes",
+            "rejoins",
+            "failovers",
+            "migr-claims",
+            "lost",
+            "rebal",
+            "sw-fb",
+            "redo (ms)",
+            "mig p50 (ms)",
+            "mig p95 (ms)",
+            "makespan (ms)",
+            "diverged",
+        ],
+    );
+    for c in &cells {
+        let st = c.fleet.stats;
+        let lat = &c.fleet.migration_lat;
+        t.row(vec![
+            c.label.clone(),
+            st.device_crashes.to_string(),
+            st.rejoins.to_string(),
+            st.failovers.to_string(),
+            st.migrated_claims.to_string(),
+            st.lost_in_flight.to_string(),
+            st.rebalances.to_string(),
+            st.software_fallbacks.to_string(),
+            f3(st.redo_time.as_secs_f64() * 1e3),
+            f3(lat.quantile_ns(0.50) as f64 / 1e6),
+            f3(lat.quantile_ns(0.95) as f64 / 1e6),
+            f3(c.fleet.merged.makespan.as_secs_f64() * 1e3),
+            c.divergences.len().to_string(),
+        ]);
+        ex.report(&c.label, &c.fleet.merged);
+        ex.metrics().inc("fleet_failovers", st.failovers);
+        ex.metrics().inc("fleet_lost_in_flight", st.lost_in_flight);
+        ex.metrics()
+            .inc("fleet_migrated_claims", st.migrated_claims);
+        ex.metrics().inc("fleet_rebalances", st.rebalances);
+    }
+
+    t.print();
+    ex.table(&t);
+    host.points(points.len());
+    ex.host(&host);
+    ex.write_if_requested();
+
+    if let Some(path) = bench::json_arg() {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("failed to re-read {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let doc = Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("emitted JSON does not parse back: {e}");
+            std::process::exit(1);
+        });
+        let reports = doc.get("reports").and_then(Json::as_arr).unwrap_or(&[]);
+        if doc.get("schema").is_none() || reports.len() != cells.len() {
+            eprintln!("emitted JSON is missing sections");
+            std::process::exit(1);
+        }
+        eprintln!("export parses back OK ({} reports)", reports.len());
+    }
+
+    println!("\nEvery capacity cell under device crashes restored to outcomes identical to");
+    println!("the uninterrupted single-device baseline (the bench aborts otherwise): the");
+    println!("fleet loses nothing a checkpointed single device would have kept. The");
+    println!("ablation cell — no headroom, no retries, no software fallback — shows the");
+    println!("same crashes landing in the disjoint lost_in_flight slice instead.");
+}
+
+/// The 1-device zero-fault fleet must export byte-identically to the
+/// plain single-device system (modulo the volatile host section): write
+/// both for `jdiff` to compare.
+fn equivalence(
+    prefix: &str,
+    lib: &Arc<CircuitLib>,
+    ids: &[CircuitId],
+    sw: Arc<BTreeMap<u32, u64>>,
+    timing: ConfigTiming,
+    seed: u64,
+) {
+    let sp = specs(ids, seed, 1);
+    let mut b = shard_builder(lib.clone(), sw, timing);
+    let single = b(&ShardCtx {
+        shard: 0,
+        device: vfpga::DeviceId(0),
+        home: vfpga::DeviceId(0),
+        tenants: &[0, 1, 2, 3],
+        specs: &sp,
+        software: false,
+    })
+    .expect("single build")
+    .run()
+    .expect("single run");
+    let fleet = run_fleet(&FleetConfig::new(1), sp, b).expect("fleet run");
+    let write = |suffix: &str, r: &Report| {
+        let mut ex = Exporter::new("e19-equiv", "1-device fleet vs plain system");
+        ex.seed(seed).param("tasks", 12u64);
+        ex.report("equiv", r);
+        let path = std::path::PathBuf::from(format!("{prefix}.{suffix}.json"));
+        ex.write(&path).unwrap_or_else(|e| {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+    };
+    write("single", &single);
+    write("fleet", &fleet.merged);
+}
+
+/// String-valued flag (`--name value`).
+fn arg_str(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

@@ -25,12 +25,19 @@
 //!     the admission events appear (tags wd-arm/wd-fire/reject/
 //!     quarantine/degrade; the listing filters to them unless `--tag`
 //!     is given).
+//!   - `fleet` — run a 3-device fleet of dynload shards under a seeded
+//!     device-crash plan instead of the single-device engine, and print
+//!     the fleet-level timeline: per-device crash/rejoin history, the
+//!     per-tenant failover/migration outcome table, and
+//!     migration-latency quantiles (tags dev-crash/dev-rejoin/failover/
+//!     sw-failover/rebalance/lost). Does not compose with the
+//!     single-device sections.
 //!   - `profile` — record host spans and simulated latency histograms
 //!     during the run, then print the span tree (inclusive/exclusive
 //!     wall time), a flamegraph-compatible collapsed-stack export, and
 //!     per-label latency quantiles after the event summary.
-//! * `--faults`, `--checkpoints`, `--admission`, `--profile` — aliases
-//!   for the matching `--section NAME`.
+//! * `--faults`, `--checkpoints`, `--admission`, `--fleet`, `--profile`
+//!   — aliases for the matching `--section NAME`.
 //! * `--tag TAG` — print only events whose tag matches (repeatable;
 //!   base tags: arrive/ready/run/block/fail/done/dispatch/config/
 //!   preempt/gc/fault/overlay/iomux/custom, plus the per-section tags
@@ -43,11 +50,13 @@
 use fpga::{ConfigPort, ConfigTiming};
 use fsim::{span, SimDuration, SimRng};
 use std::collections::BTreeMap;
+use vfpga::manager::dynload::DynLoadManager;
 use vfpga::manager::partition::{PartitionManager, PartitionMode};
 use vfpga::{
-    run_with_crashes_traced, AdmissionPolicy, CheckpointConfig, CrashPlan, DegradationConfig,
-    FaultPlan, PreemptAction, RecoveryPolicy, RoundRobinScheduler, SchedulabilityConfig, System,
-    SystemConfig, WatchdogConfig,
+    run_fleet, run_with_crashes_traced, AdmissionPolicy, CheckpointConfig, CrashPlan,
+    DegradationConfig, DeviceFaultPlan, FaultPlan, FleetConfig, Op, PlacementPolicy, PreemptAction,
+    RecoveryPolicy, RoundRobinScheduler, SchedulabilityConfig, System, SystemConfig,
+    WatchdogConfig,
 };
 use workload::{poisson_tasks, tenant_tasks, Domain, MixParams, TenantMixParams};
 
@@ -62,6 +71,10 @@ const SECTIONS: &[(&str, &str)] = &[
     (
         "deadlines",
         "schedulability gate, per-tenant deadline outcomes",
+    ),
+    (
+        "fleet",
+        "multi-device crashes, failovers, rebalances, migration latency",
     ),
     (
         "profile",
@@ -87,7 +100,7 @@ fn usage() -> String {
     let mut out = String::from(
         "usage: trace_dump [--section NAME]... [--tag TAG]... [--limit N] [--seed S] \
          [--summary]\n\nsections (repeatable; --faults/--checkpoints/--admission/--deadlines/\
-         --profile are aliases):\n",
+         --fleet/--profile are aliases):\n",
     );
     for (name, blurb) in SECTIONS {
         out.push_str(&format!("  {name:<12} {blurb}\n"));
@@ -147,6 +160,7 @@ fn parse_args() -> Args {
             "--checkpoints" => push_section(&mut out.sections, "checkpoints"),
             "--admission" => push_section(&mut out.sections, "admission"),
             "--deadlines" => push_section(&mut out.sections, "deadlines"),
+            "--fleet" => push_section(&mut out.sections, "fleet"),
             "--profile" => push_section(&mut out.sections, "profile"),
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -163,6 +177,13 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    if args.section("fleet") {
+        // The fleet view runs its own multi-device harness (run_fleet
+        // replaces the single-system engine), so it does not compose
+        // with the single-device sections.
+        fleet_view(&args);
+        return;
+    }
     let profile = args.section("profile");
 
     let spec = fpga::device::part("VF800");
@@ -200,6 +221,7 @@ fn main() {
                     })),
                     hang_tasks: if args.section("admission") { 1 } else { 0 },
                     deadline_spread: if args.section("deadlines") { 0.4 } else { 0.0 },
+                    ..Default::default()
                 },
                 &ids,
                 &mut rng,
@@ -444,4 +466,200 @@ fn main() {
             }
         }
     }
+}
+
+/// `--section fleet`: run a 3-device fleet of dynload shards under a
+/// seeded device-crash plan and dump the fleet-level timeline — device
+/// crashes/rejoins per device, the per-tenant failover/migration
+/// outcome table, and migration-latency quantiles.
+fn fleet_view(args: &Args) {
+    let spec = fpga::device::part("VF400");
+    let (lib, ids, sw) =
+        bench::setup::compile_suite_lib_sw(&[Domain::Telecom, Domain::Storage], spec);
+    let sw = std::sync::Arc::new(sw);
+    let timing = ConfigTiming {
+        spec,
+        port: ConfigPort::SerialFast,
+    };
+    let specs = {
+        let mut rng = SimRng::new(args.seed);
+        tenant_tasks(
+            &TenantMixParams {
+                base: MixParams {
+                    tasks: 12,
+                    mean_interarrival: SimDuration::from_millis(2),
+                    mean_cpu_burst: SimDuration::from_millis(2),
+                    fpga_ops_per_task: 4,
+                    cycles: (60_000, 250_000),
+                },
+                tenants: 4,
+                affinity_devices: 3,
+                ..Default::default()
+            },
+            &ids,
+            &mut rng,
+        )
+    };
+    let cfg = FleetConfig::new(3)
+        .with_placement(PlacementPolicy::Affinity)
+        .with_checkpoints(CheckpointConfig::new(SimDuration::from_millis(1)))
+        .with_device_faults(DeviceFaultPlan {
+            seed: args.seed,
+            crash_rate_per_s: 120.0,
+            outage: SimDuration::from_millis(2),
+            max_crashes: 3,
+        });
+    let fleet = run_fleet(&cfg, specs.clone(), |ctx| {
+        let mut shard_specs = ctx.specs.to_vec();
+        if ctx.software {
+            for s in &mut shard_specs {
+                for op in &mut s.ops {
+                    if let Op::FpgaRun { circuit, cycles } = *op {
+                        let ns = sw.get(&circuit.0).copied().unwrap_or(1);
+                        *op = Op::Cpu(SimDuration::from_nanos(ns.saturating_mul(cycles)));
+                    }
+                }
+            }
+        }
+        let mgr = DynLoadManager::new(lib.clone(), timing, PreemptAction::SaveRestore);
+        Ok(System::new(
+            lib.clone(),
+            mgr,
+            RoundRobinScheduler::new(SimDuration::from_millis(4)),
+            SystemConfig {
+                preempt: PreemptAction::SaveRestore,
+                ..Default::default()
+            },
+            shard_specs,
+        ))
+    })
+    .expect("fleet runs");
+
+    // The fleet trace carries only fleet-level events, so the default
+    // listing is unfiltered; --tag still narrows it.
+    let mut by_tag: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut printed = 0usize;
+    let mut matched = 0usize;
+    for e in fleet.trace.entries() {
+        let tag = e.tag();
+        *by_tag.entry(tag).or_insert(0) += 1;
+        if !args.tags.is_empty() && !args.tags.iter().any(|t| t == tag) {
+            continue;
+        }
+        matched += 1;
+        if !args.summary_only && (args.limit == 0 || printed < args.limit) {
+            println!("{e}");
+            printed += 1;
+        }
+    }
+    if !args.summary_only && matched > printed {
+        println!(
+            "... {} more matching events (raise --limit)",
+            matched - printed
+        );
+    }
+    println!("\nevents by tag ({} total):", fleet.trace.len());
+    for (tag, n) in &by_tag {
+        println!("  {tag:<12} {n}");
+    }
+
+    // Per-device availability timeline, assembled by pairing each crash
+    // with the rejoin that follows it on the same device.
+    println!("\nper-device crash/rejoin timeline:");
+    let mut devices: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    for d in 0..cfg.devices {
+        devices.entry(d).or_default();
+    }
+    for e in fleet.trace.entries() {
+        match e.event {
+            fsim::TraceEvent::DeviceCrash { device, outage } => {
+                devices.entry(device).or_default().push(format!(
+                    "down @ {:.3} ms for {:.3} ms",
+                    e.at.as_secs_f64() * 1e3,
+                    outage.as_secs_f64() * 1e3
+                ));
+            }
+            fsim::TraceEvent::DeviceRejoin { device } => {
+                devices
+                    .entry(device)
+                    .or_default()
+                    .push(format!("rejoin @ {:.3} ms", e.at.as_secs_f64() * 1e3));
+            }
+            _ => {}
+        }
+    }
+    for (d, events) in &devices {
+        if events.is_empty() {
+            println!("  device {d}: up for the whole run");
+        } else {
+            println!("  device {d}: {}", events.join("; "));
+        }
+    }
+
+    // Per-tenant outcomes: each tenant inherits its shard's migration
+    // history; lost tasks come from the merged per-task table (original
+    // workload order, zippable with the specs).
+    println!("\nper-tenant failover/migration outcomes:");
+    println!(
+        "  {:<8} {:>5} {:>6} {:>10} {:>9} {:>7} {:>5} {:>5}",
+        "tenant", "shard", "home", "final", "failovers", "rebal", "tasks", "lost"
+    );
+    for sh in &fleet.shards {
+        for &tn in &sh.tenants {
+            let mine = || {
+                specs
+                    .iter()
+                    .zip(&fleet.merged.tasks)
+                    .filter(move |(sp, _)| sp.tenant == tn)
+            };
+            let lost = mine().filter(|(_, t)| t.lost_in_flight).count();
+            println!(
+                "  t{tn:<7} {:>5} {:>6} {:>10} {:>9} {:>7} {:>5} {:>5}",
+                sh.shard,
+                sh.home.0,
+                sh.final_host
+                    .map(|d| d.0.to_string())
+                    .unwrap_or_else(|| "software".into()),
+                sh.failovers,
+                sh.rebalances,
+                mine().count(),
+                lost,
+            );
+        }
+    }
+
+    let st = fleet.stats;
+    println!(
+        "\nfleet: {} device crashes, {} rejoins, {} failovers ({} claims migrated), \
+         {} rebalances, {} backoff retries, {} software fallbacks, {} lost in flight, \
+         {:.3} ms redone",
+        st.device_crashes,
+        st.rejoins,
+        st.failovers,
+        st.migrated_claims,
+        st.rebalances,
+        st.backoff_retries,
+        st.software_fallbacks,
+        st.lost_in_flight,
+        st.redo_time.as_secs_f64() * 1e3,
+    );
+    let lat = &fleet.migration_lat;
+    if lat.count() > 0 {
+        println!(
+            "migration latency (redo window + backoff): p50 {}, p90 {}, max {} \
+             ({} migrations)",
+            bench::perf::fmt_ns(lat.quantile_ns(0.50)),
+            bench::perf::fmt_ns(lat.quantile_ns(0.90)),
+            bench::perf::fmt_ns(lat.max_ns()),
+            lat.count(),
+        );
+    } else {
+        println!("migration latency: no migrations");
+    }
+    println!(
+        "run: makespan {:.3} s, {} tasks, overhead fraction {:.1}%",
+        fleet.merged.makespan.as_secs_f64(),
+        fleet.merged.tasks.len(),
+        fleet.merged.overhead_fraction() * 100.0
+    );
 }

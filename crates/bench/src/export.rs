@@ -136,6 +136,11 @@ fn report_json(label: &str, r: &Report) -> Json {
                     }
                     o = o.set("deadline_missed", t.deadline_missed);
                 }
+                // Only stamped by fleet failover abandonment; omitted
+                // otherwise so single-device exports stay byte-identical.
+                if t.lost_in_flight {
+                    o = o.set("lost_in_flight", true);
+                }
                 o.set(
                     "waiting_s",
                     t.waiting_checked()
@@ -255,6 +260,27 @@ fn report_json(label: &str, r: &Report) -> Json {
                 .set("degrade_exits", a.degrade_exits);
         }
         doc = doc.set("admission", ao);
+    }
+    // Fleet counters exist only for multi-device runs that actually
+    // exercised the fleet machinery: a single-device (or fault-free)
+    // fleet leaves them all zero and the section is omitted, keeping
+    // those exports byte-identical to plain system runs.
+    if let Some(fl) = &r.fleet {
+        if !fl.is_zero() {
+            doc = doc.set(
+                "fleet",
+                Obj::new()
+                    .set("device_crashes", fl.device_crashes)
+                    .set("rejoins", fl.rejoins)
+                    .set("failovers", fl.failovers)
+                    .set("migrated_claims", fl.migrated_claims)
+                    .set("lost_in_flight", fl.lost_in_flight)
+                    .set("rebalances", fl.rebalances)
+                    .set("backoff_retries", fl.backoff_retries)
+                    .set("software_fallbacks", fl.software_fallbacks)
+                    .set("redo_time_s", fl.redo_time.as_secs_f64()),
+            );
+        }
     }
     doc.set("metrics", metrics_json(&r.metrics))
         .set("timelines", timelines_json(&r.timelines))

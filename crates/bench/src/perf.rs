@@ -25,8 +25,8 @@ use fsim::{HistSet, LogHistogram, SimDuration, SimRng};
 use std::time::Instant;
 use vfpga::manager::dynload::DynLoadManager;
 use vfpga::{
-    run_with_crashes, CheckpointConfig, CrashPlan, PreemptAction, RoundRobinScheduler, System,
-    SystemConfig,
+    run_with_crashes, CheckpointConfig, CrashPlan, DeviceId, PreemptAction, RoundRobinScheduler,
+    RunOutcome, System, SystemConfig,
 };
 use workload::{poisson_tasks, Domain, MixParams};
 
@@ -276,6 +276,66 @@ pub fn run_suite(cfg: PerfConfig) -> (Json, SpanProfile, Table) {
     });
     cases.push(Case {
         name: "ckpt_crash_replay",
+        iters,
+        hist,
+    });
+
+    // --- fleet failover ----------------------------------------------------
+    // The device-loss path the fleet harness takes: a checkpointed run cut
+    // by a whole-device crash at a fixed instant, failed over onto a
+    // second (blank) device via checkpoint restore + journal replay, then
+    // driven to completion there.
+    let iters = if cfg.smoke { 2 } else { 5 };
+    let hist = time_iters(iters, || {
+        let build = |device: u32| {
+            let mut rng = SimRng::new(0xF1EE);
+            let specs = poisson_tasks(
+                &MixParams {
+                    tasks: 6,
+                    mean_interarrival: SimDuration::from_millis(2),
+                    mean_cpu_burst: SimDuration::from_millis(2),
+                    fpga_ops_per_task: 3,
+                    cycles: (60_000, 200_000),
+                },
+                &ids,
+                &mut rng,
+            );
+            let mgr = DynLoadManager::new(lib.clone(), timing, PreemptAction::SaveRestore);
+            System::new(
+                lib.clone(),
+                mgr,
+                RoundRobinScheduler::new(SimDuration::from_millis(10)),
+                SystemConfig {
+                    preempt: PreemptAction::SaveRestore,
+                    ..Default::default()
+                },
+                specs,
+            )
+            .with_device_id(DeviceId(device))
+        };
+        let crash_at = fsim::SimTime::ZERO + SimDuration::from_millis(6);
+        let outcome = build(0)
+            .with_checkpoints(CheckpointConfig::new(SimDuration::from_millis(1)))
+            .expect("dynload manager snapshots")
+            .run_until(Some(crash_at))
+            .expect("segment runs");
+        let state = match outcome {
+            RunOutcome::Crashed(state) => state,
+            RunOutcome::Completed(..) => panic!("crash instant lands mid-run"),
+        };
+        let mut dest = build(1)
+            .with_checkpoints(CheckpointConfig::new(SimDuration::from_millis(1)))
+            .expect("dynload manager snapshots");
+        let receipt = dest.fail_over_from(&state).expect("failover applies");
+        std::hint::black_box(receipt.redo_window);
+        let r = match dest.run_until(None).expect("failover run completes") {
+            RunOutcome::Completed(report, _) => report,
+            RunOutcome::Crashed(_) => unreachable!("run_until(None) cannot crash"),
+        };
+        std::hint::black_box(r.makespan);
+    });
+    cases.push(Case {
+        name: "fleet_failover",
         iters,
         hist,
     });

@@ -244,6 +244,110 @@ impl CrashInjector {
     }
 }
 
+/// The fifth fault class: whole-device outages. A physical FPGA drops off
+/// the shelf — power brownout, PCIe surprise-removal, carrier reboot — and
+/// every bit of configuration RAM and flip-flop state on it is lost. After
+/// a fixed outage the device returns, blank.
+///
+/// Like [`CrashPlan`] this is not survived by a single device's event
+/// loop: a fleet harness (see `vfpga::fleet`) fails resident tenants over
+/// to surviving devices from their last checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceFaultPlan {
+    /// Seed for the per-device crash streams. Each device derives its own
+    /// sub-stream, so drawing device 0's outages never shifts device 1's.
+    pub seed: u64,
+    /// Poisson rate (crashes per simulated second) *per device*. Zero
+    /// disables device faults entirely.
+    pub crash_rate_per_s: f64,
+    /// How long a crashed device stays down before rejoining, blank.
+    pub outage: SimDuration,
+    /// Hard cap on crashes per device, so a run always finishes.
+    pub max_crashes: u32,
+}
+
+impl DeviceFaultPlan {
+    /// A plan under which no device ever fails.
+    pub fn none() -> Self {
+        DeviceFaultPlan {
+            seed: 0,
+            crash_rate_per_s: 0.0,
+            outage: SimDuration::ZERO,
+            max_crashes: 0,
+        }
+    }
+
+    /// Whether device faults are disabled (rate zero or budget zero).
+    pub fn is_zero(&self) -> bool {
+        self.crash_rate_per_s <= 0.0 || self.max_crashes == 0
+    }
+}
+
+impl Default for DeviceFaultPlan {
+    fn default() -> Self {
+        DeviceFaultPlan::none()
+    }
+}
+
+/// Turns a [`DeviceFaultPlan`] into reproducible per-device outage
+/// windows. Lives in the fleet harness, outside any simulated system, so
+/// the streams survive the crashes they describe.
+#[derive(Debug)]
+pub struct DeviceFaultInjector {
+    plan: DeviceFaultPlan,
+}
+
+impl DeviceFaultInjector {
+    /// Derivation tag of device 0's stream; device `d` draws from tag
+    /// `STREAM_TAG_BASE + d`. Tags 1–3 are the [`FaultInjector`] streams
+    /// and tag 4 is the [`CrashInjector`] stream, so no device collides
+    /// with an existing class.
+    pub const STREAM_TAG_BASE: u64 = 5;
+
+    /// An injector over the plan. Constructing it draws nothing.
+    pub fn new(plan: DeviceFaultPlan) -> Self {
+        DeviceFaultInjector { plan }
+    }
+
+    /// The plan this injector was built from.
+    pub fn plan(&self) -> &DeviceFaultPlan {
+        &self.plan
+    }
+
+    /// The outage windows of device `device`, as absolute
+    /// `[down, rejoin)` pairs, strictly increasing and non-overlapping
+    /// (the next crash is drawn after the previous rejoin). A zero-rate
+    /// plan returns an empty vec without constructing an RNG, so existing
+    /// experiments are byte-identical under a disabled plan.
+    pub fn windows(&self, device: u32) -> Vec<(crate::SimTime, crate::SimTime)> {
+        if self.plan.is_zero() {
+            return Vec::new();
+        }
+        let mut rng = SimRng::new(self.plan.seed).derive(Self::STREAM_TAG_BASE + u64::from(device));
+        let mut at = 0u64;
+        let mut out = Vec::with_capacity(self.plan.max_crashes as usize);
+        for _ in 0..self.plan.max_crashes {
+            let gap = match FaultInjector::interarrival(&mut rng, self.plan.crash_rate_per_s) {
+                Some(g) => g,
+                None => break,
+            };
+            at = at.saturating_add(gap.as_nanos());
+            let down = crate::SimTime(at);
+            at = at.saturating_add(self.plan.outage.as_nanos());
+            out.push((down, crate::SimTime(at)));
+        }
+        out
+    }
+
+    /// Whether device `device` is up (not inside any outage window) at
+    /// time `at`.
+    pub fn up_at(&self, device: u32, at: crate::SimTime) -> bool {
+        self.windows(device)
+            .iter()
+            .all(|&(down, up)| at < down || at >= up)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,6 +477,53 @@ mod tests {
             .map(|_| (a.corrupt_download(), a.next_seu(), a.next_column_failure()))
             .collect();
         assert_eq!(expect, replay);
+    }
+
+    #[test]
+    fn device_fault_windows_are_seeded_monotone_and_bounded() {
+        let plan = DeviceFaultPlan {
+            seed: 21,
+            crash_rate_per_s: 40.0,
+            outage: SimDuration::from_millis(3),
+            max_crashes: 4,
+        };
+        let inj = DeviceFaultInjector::new(plan);
+        let a = inj.windows(0);
+        let b = DeviceFaultInjector::new(plan).windows(0);
+        assert_eq!(a, b, "same seed, same windows");
+        assert_eq!(a.len(), 4, "budget caps the sequence");
+        for &(down, up) in &a {
+            assert_eq!(up, down + SimDuration::from_millis(3));
+        }
+        for w in a.windows(2) {
+            assert!(w[0].1 <= w[1].0, "next crash drawn after prior rejoin");
+        }
+        // Down inside a window, up outside it.
+        let (down, up) = a[0];
+        assert!(!inj.up_at(0, down));
+        assert!(inj.up_at(0, up));
+    }
+
+    #[test]
+    fn device_streams_are_independent_and_zero_plan_draws_nothing() {
+        let plan = DeviceFaultPlan {
+            seed: 6,
+            crash_rate_per_s: 25.0,
+            outage: SimDuration::from_millis(1),
+            max_crashes: 8,
+        };
+        let inj = DeviceFaultInjector::new(plan);
+        // Each device has its own derived stream: distinct sequences, and
+        // querying one device never perturbs another.
+        let d0 = inj.windows(0);
+        let d1 = inj.windows(1);
+        assert_ne!(d0, d1);
+        assert_eq!(inj.windows(0), d0);
+
+        let none = DeviceFaultInjector::new(DeviceFaultPlan::none());
+        assert!(DeviceFaultPlan::none().is_zero());
+        assert!(none.windows(0).is_empty());
+        assert!(none.up_at(0, crate::SimTime(12345)));
     }
 
     #[test]

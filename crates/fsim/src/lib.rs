@@ -33,7 +33,9 @@ pub mod time;
 pub mod trace;
 
 pub use event::{EventQueue, ScheduledEvent};
-pub use fault::{CrashInjector, CrashPlan, FaultInjector, FaultPlan};
+pub use fault::{
+    CrashInjector, CrashPlan, DeviceFaultInjector, DeviceFaultPlan, FaultInjector, FaultPlan,
+};
 pub use obs::{Metrics, Timeline, TimelineSet};
 pub use rng::SimRng;
 pub use span::{SpanGuard, SpanProfile, SpanStat};

@@ -310,6 +310,61 @@ pub enum TraceEvent {
         /// Total device CLBs.
         total: u64,
     },
+    /// A physical device dropped off the shelf (power brownout, surprise
+    /// removal): every resident configuration and flip-flop bit on it is
+    /// lost. Emitted by the fleet harness, not a single-device run.
+    DeviceCrash {
+        /// The device that crashed.
+        device: u32,
+        /// How long it stays down before rejoining, blank.
+        outage: SimDuration,
+    },
+    /// A crashed device's outage ended: it rejoined the fleet with empty
+    /// configuration RAM.
+    DeviceRejoin {
+        /// The device that rejoined.
+        device: u32,
+    },
+    /// A shard's tasks were failed over from a crashed device to a
+    /// surviving one, restarting from the shard's last checkpoint.
+    Failover {
+        /// The crashed source device.
+        from_device: u32,
+        /// The surviving destination device.
+        to_device: u32,
+        /// Unfinished tasks carried over.
+        tasks: u32,
+        /// Work window lost to the crash (crash time minus the last
+        /// checkpoint) that the destination must re-execute.
+        redo: SimDuration,
+    },
+    /// No hardware destination had capacity within the retry budget: the
+    /// shard fell back to the software (CPU-only) execution path.
+    SoftwareFailover {
+        /// The crashed source device.
+        from_device: u32,
+        /// Unfinished tasks degraded to software.
+        tasks: u32,
+    },
+    /// Planned migration of a shard onto a rejoined device to even out
+    /// hosting load.
+    FleetRebalance {
+        /// The migrated shard.
+        shard: u32,
+        /// The device it left.
+        from_device: u32,
+        /// The rejoined device it moved to.
+        to_device: u32,
+    },
+    /// The failover retry budget expired with no destination and no
+    /// software fallback: the shard's unfinished tasks were abandoned
+    /// (counted in the disjoint lost-in-flight slice).
+    FleetLost {
+        /// The crashed device the tasks were resident on.
+        device: u32,
+        /// Tasks lost in flight.
+        tasks: u32,
+    },
     /// Escape hatch for one-off annotations.
     Custom {
         /// Category tag.
@@ -352,6 +407,12 @@ impl TraceEvent {
             TraceEvent::TaskUnschedulable { .. } => "unsched",
             TraceEvent::DegradeModeEnter { .. } => "degrade-on",
             TraceEvent::DegradeModeExit { .. } => "degrade-off",
+            TraceEvent::DeviceCrash { .. } => "dev-crash",
+            TraceEvent::DeviceRejoin { .. } => "dev-rejoin",
+            TraceEvent::Failover { .. } => "failover",
+            TraceEvent::SoftwareFailover { .. } => "sw-failover",
+            TraceEvent::FleetRebalance { .. } => "rebalance",
+            TraceEvent::FleetLost { .. } => "lost",
             TraceEvent::Custom { tag, .. } => tag,
         }
     }
@@ -575,6 +636,42 @@ impl fmt::Display for TraceEvent {
             TraceEvent::DegradeModeExit { used, total } => write!(
                 f,
                 "degraded mode left: {used}/{total} CLBs below the low mark"
+            ),
+            TraceEvent::DeviceCrash { device, outage } => write!(
+                f,
+                "device {device} crashed: configuration lost, down for {:.3} ms",
+                outage.as_millis_f64()
+            ),
+            TraceEvent::DeviceRejoin { device } => {
+                write!(f, "device {device} rejoined the fleet, blank")
+            }
+            TraceEvent::Failover {
+                from_device,
+                to_device,
+                tasks,
+                redo,
+            } => write!(
+                f,
+                "failover dev {from_device} -> dev {to_device}: {tasks} tasks, \
+                 redo window {:.3} ms",
+                redo.as_millis_f64()
+            ),
+            TraceEvent::SoftwareFailover { from_device, tasks } => write!(
+                f,
+                "device {from_device} down, no destination: {tasks} tasks \
+                 degraded to the software path"
+            ),
+            TraceEvent::FleetRebalance {
+                shard,
+                from_device,
+                to_device,
+            } => write!(
+                f,
+                "shard {shard} rebalanced dev {from_device} -> dev {to_device}"
+            ),
+            TraceEvent::FleetLost { device, tasks } => write!(
+                f,
+                "device {device} down, no destination: {tasks} tasks lost in flight"
             ),
             TraceEvent::Custom { message, .. } => f.write_str(message),
         }
@@ -989,6 +1086,54 @@ mod tests {
                 },
                 "degrade-off",
                 "degraded mode left: 60/200 CLBs",
+            ),
+            (
+                TraceEvent::DeviceCrash {
+                    device: 2,
+                    outage: SimDuration::from_millis(4),
+                },
+                "dev-crash",
+                "device 2 crashed",
+            ),
+            (
+                TraceEvent::DeviceRejoin { device: 2 },
+                "dev-rejoin",
+                "device 2 rejoined",
+            ),
+            (
+                TraceEvent::Failover {
+                    from_device: 2,
+                    to_device: 0,
+                    tasks: 5,
+                    redo: SimDuration::from_millis(1),
+                },
+                "failover",
+                "failover dev 2 -> dev 0: 5 tasks",
+            ),
+            (
+                TraceEvent::SoftwareFailover {
+                    from_device: 1,
+                    tasks: 3,
+                },
+                "sw-failover",
+                "degraded to the software path",
+            ),
+            (
+                TraceEvent::FleetRebalance {
+                    shard: 1,
+                    from_device: 0,
+                    to_device: 2,
+                },
+                "rebalance",
+                "shard 1 rebalanced dev 0 -> dev 2",
+            ),
+            (
+                TraceEvent::FleetLost {
+                    device: 3,
+                    tasks: 2,
+                },
+                "lost",
+                "2 tasks lost in flight",
             ),
         ];
         for (ev, tag, fragment) in cases {

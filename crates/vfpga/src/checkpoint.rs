@@ -242,6 +242,11 @@ pub fn diff_reports(baseline: &Report, restored: &Report) -> Vec<Divergence> {
             b.corrupted.to_string(),
             r.corrupted.to_string(),
         );
+        push(
+            "lost_in_flight",
+            b.lost_in_flight.to_string(),
+            r.lost_in_flight.to_string(),
+        );
     }
     out
 }

@@ -63,6 +63,22 @@ pub enum VfpgaError {
         /// What is out of range.
         reason: String,
     },
+    /// A fleet configuration that cannot run (zero devices, zero hosting
+    /// capacity, or device faults enabled without a journaled checkpoint
+    /// config to fail over from).
+    BadFleetConfig {
+        /// What is out of range.
+        reason: String,
+    },
+    /// A per-device error surfaced through the fleet. Carries the device
+    /// it happened on, so a multi-device failure is diagnosable from the
+    /// error alone; single-device errors keep their original formatting.
+    DeviceFailure {
+        /// The device the inner error happened on.
+        device: crate::fleet::DeviceId,
+        /// What went wrong there.
+        source: Box<VfpgaError>,
+    },
 }
 
 impl std::fmt::Display for VfpgaError {
@@ -97,6 +113,12 @@ impl std::fmt::Display for VfpgaError {
             }
             VfpgaError::BadAdmissionPolicy { reason } => {
                 write!(f, "admission policy invalid: {reason}")
+            }
+            VfpgaError::BadFleetConfig { reason } => {
+                write!(f, "fleet config invalid: {reason}")
+            }
+            VfpgaError::DeviceFailure { device, source } => {
+                write!(f, "{device}: {source}")
             }
         }
     }

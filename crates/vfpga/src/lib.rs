@@ -47,6 +47,7 @@ pub mod admission;
 pub mod checkpoint;
 pub mod circuit;
 pub mod error;
+pub mod fleet;
 pub mod iomux;
 pub mod manager;
 pub mod metrics;
@@ -66,13 +67,19 @@ pub use checkpoint::{
 };
 pub use circuit::{CircuitId, CircuitImage, CircuitLib};
 pub use error::VfpgaError;
-pub use fsim::{CrashInjector, CrashPlan, FaultInjector, FaultPlan};
+pub use fleet::{
+    run_fleet, DeviceId, FleetConfig, FleetReport, FleetStats, PlacementPolicy, ShardCtx,
+    ShardOutcome,
+};
+pub use fsim::{
+    CrashInjector, CrashPlan, DeviceFaultInjector, DeviceFaultPlan, FaultInjector, FaultPlan,
+};
 pub use manager::{Activation, DeviceUsage, FpgaManager, ManagerStats, PreemptAction, PreemptCost};
 pub use metrics::{OverheadBreakdown, Report, TaskMetrics};
 pub use recovery::{FaultStats, RecoveryPolicy, UpsetRecovery};
 pub use sched::{EdfScheduler, FifoScheduler, PriorityScheduler, RoundRobinScheduler, Scheduler};
 pub use syscall::{FpgaHandle, OpenError, OsInterface};
-pub use system::{CompletionDetect, System, SystemConfig};
+pub use system::{CompletionDetect, FailoverReceipt, System, SystemConfig};
 pub use task::{Op, TaskId, TaskSpec};
 
 #[cfg(test)]

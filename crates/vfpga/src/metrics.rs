@@ -54,6 +54,12 @@ pub struct TaskMetrics {
     /// replay: the result is garbage the system never noticed (silent
     /// corruption). Always false when the configuration journal is on.
     pub corrupted: bool,
+    /// The task's device crashed and no failover destination could take
+    /// it within the fleet's retry budget: the work in flight since the
+    /// last checkpoint is gone and the task never reached a terminal
+    /// outcome. Disjoint from every other terminal flag — a checkpointed
+    /// single-device run can never set it (only `vfpga::fleet` does).
+    pub lost_in_flight: bool,
 }
 
 impl TaskMetrics {
@@ -190,6 +196,12 @@ pub struct Report {
     /// Deliberately absent from the exporter's report JSON — `bench_perf`
     /// consumes it directly, so legacy exports stay byte-identical.
     pub latency: Option<fsim::HistSet>,
+    /// Fleet-level failover accounting, present only on reports merged by
+    /// [`crate::fleet::run_fleet`]; single-device runs leave it `None`.
+    /// The exporter emits it only when any counter is nonzero, so a
+    /// fault-free one-device fleet export is byte-identical to the plain
+    /// `System` export.
+    pub fleet: Option<crate::fleet::FleetStats>,
 }
 
 impl Report {

@@ -117,7 +117,7 @@ struct Running {
 
 /// An injected configuration upset that has not been repaired yet.
 #[derive(Debug, Clone, Copy)]
-struct Latent {
+pub(crate) struct Latent {
     /// When the (earliest) strike happened, for MTTR.
     struck_at: SimTime,
     /// Whether a scrub pass has found it (repair may still be deferred
@@ -166,10 +166,50 @@ struct FpgaSeg {
     poll_cost: SimDuration,
 }
 
+/// What [`System::fail_over_from`] found in the carried state: the
+/// quantities the fleet layer accounts and prices a failover by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverReceipt {
+    /// Residency claims that died with the source device; each is a
+    /// migration the destination re-downloads at next activation.
+    pub migrated_claims: u32,
+    /// Torn (mid-flight at the crash) journal records dropped.
+    pub torn_undone: u32,
+    /// Work window lost to the crash: crash time minus the restored
+    /// checkpoint's capture time (the whole run so far on a cold start).
+    pub redo_window: SimDuration,
+    /// Unfinished tasks carried onto the destination.
+    pub live_tasks: u32,
+}
+
+/// Everything that describes one physical device and dies — or must be
+/// rebuilt — with it: the manager owning its fabric, the fault streams
+/// striking it, the latent upsets and stale claims on it, and the
+/// write-ahead journal of downloads to it. Grouped so device-facing state
+/// is per-device rather than global: a fleet (`crate::fleet`) owns N
+/// `System`s, one `DeviceCtx` each, and fails tenants over between them.
+pub(crate) struct DeviceCtx<M: FpgaManager> {
+    /// Which physical device this is (0 outside a fleet).
+    pub(crate) id: crate::fleet::DeviceId,
+    /// The reconfiguration manager owning the device's fabric.
+    pub(crate) manager: M,
+    /// Deterministic fault source; `None` runs fault-free.
+    pub(crate) injector: Option<FaultInjector>,
+    /// Unrepaired upsets by struck circuit id.
+    pub(crate) latent: BTreeMap<u32, Latent>,
+    /// Circuits whose restored residency claim points at device regions a
+    /// post-checkpoint download overwrote, discovered only because the
+    /// journal was OFF — the next "hit" on one computes garbage.
+    pub(crate) stale: BTreeSet<u32>,
+    /// OS-level write-ahead log of configuration downloads (empty unless
+    /// checkpointing is on).
+    pub(crate) wal: Vec<WalRecord>,
+}
+
 /// The simulator.
 pub struct System<M: FpgaManager, S: Scheduler> {
     lib: Arc<CircuitLib>,
-    manager: M,
+    dev: DeviceCtx<M>,
     sched: S,
     config: SystemConfig,
     tasks: Vec<TaskRun>,
@@ -188,8 +228,6 @@ pub struct System<M: FpgaManager, S: Scheduler> {
     obs_on: bool,
     reg: Metrics,
     timelines: TimelineSet,
-    /// Deterministic fault source; `None` runs fault-free.
-    injector: Option<FaultInjector>,
     recovery: RecoveryPolicy,
     fault: FaultStats,
     /// Corrupt download attempts for the task's current request streak.
@@ -200,8 +238,6 @@ pub struct System<M: FpgaManager, S: Scheduler> {
     /// op (`None` = unpoisoned). Everything executed past this point is
     /// garbage and is discarded when the upset is repaired.
     poisoned: Vec<Option<SimDuration>>,
-    /// Unrepaired upsets by struck circuit id.
-    latent: BTreeMap<u32, Latent>,
     /// Tasks neither Done nor Failed; fault events stop rescheduling at 0.
     unfinished: usize,
     /// Checkpoint cadence + journal switch; `None` = no checkpointing.
@@ -210,15 +246,8 @@ pub struct System<M: FpgaManager, S: Scheduler> {
     ckpt_seq: u64,
     /// Most recent captured image (the durable restore point).
     last_ckpt: Option<CheckpointImage>,
-    /// OS-level write-ahead log of configuration downloads (empty unless
-    /// checkpointing is on).
-    wal: Vec<WalRecord>,
     /// Checkpoint/crash accounting (carried across restarts).
     crash: CrashStats,
-    /// Circuits whose restored residency claim points at device regions a
-    /// post-checkpoint download overwrote, discovered only because the
-    /// journal was OFF — the next "hit" on one computes garbage.
-    stale: BTreeSet<u32>,
     /// Admission-control runtime (quotas, watchdogs, degradation);
     /// `None` leaves every legacy code path byte-identical.
     admission: Option<AdmissionRt>,
@@ -254,7 +283,14 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         let n = tasks.len();
         System {
             lib,
-            manager,
+            dev: DeviceCtx {
+                id: crate::fleet::DeviceId(0),
+                manager,
+                injector: None,
+                latent: BTreeMap::new(),
+                stale: BTreeSet::new(),
+                wal: Vec::new(),
+            },
             sched,
             config,
             tasks,
@@ -268,31 +304,41 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             obs_on: false,
             reg: Metrics::new(),
             timelines: TimelineSet::new(),
-            injector: None,
             recovery: RecoveryPolicy::default(),
             fault: FaultStats::default(),
             dl_attempts: vec![0; n],
             fault_restarts: vec![0; n],
             poisoned: vec![None; n],
-            latent: BTreeMap::new(),
             unfinished: n,
             ckpt: None,
             ckpt_seq: 0,
             last_ckpt: None,
-            wal: Vec::new(),
             crash: CrashStats::default(),
-            stale: BTreeSet::new(),
             admission: None,
             lat: None,
         }
+    }
+
+    /// Tag the system with the physical device it runs on. Purely
+    /// diagnostic outside a fleet (defaults to device 0): it flows into
+    /// fleet-facing errors and trace events so multi-device failures are
+    /// attributable from the error alone.
+    pub fn with_device_id(mut self, id: crate::fleet::DeviceId) -> Self {
+        self.dev.id = id;
+        self
+    }
+
+    /// The physical device this system runs on (0 outside a fleet).
+    pub fn device_id(&self) -> crate::fleet::DeviceId {
+        self.dev.id
     }
 
     /// Attach a deterministic fault injector and the recovery policy that
     /// answers it. A zero-rate plan with the default policy is exactly
     /// equivalent to no injector at all (bit-identical reports).
     pub fn with_faults(mut self, plan: FaultPlan, policy: RecoveryPolicy) -> Self {
-        let cols = self.manager.timing().spec.cols;
-        self.injector = Some(FaultInjector::new(plan, cols));
+        let cols = self.dev.manager.timing().spec.cols;
+        self.dev.injector = Some(FaultInjector::new(plan, cols));
         self.recovery = policy;
         self
     }
@@ -304,7 +350,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
     pub fn with_trace(mut self) -> Self {
         self.trace = Trace::enabled();
         self.obs_on = true;
-        self.manager.set_recording(true);
+        self.dev.manager.set_recording(true);
         self
     }
 
@@ -315,7 +361,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
     pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
         self.trace = Trace::enabled_with_capacity(capacity);
         self.obs_on = true;
-        self.manager.set_recording(true);
+        self.dev.manager.set_recording(true);
         self
     }
 
@@ -334,7 +380,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             self.trace = Trace::enabled_with_capacity(256);
         }
         self.obs_on = true;
-        self.manager.set_recording(true);
+        self.dev.manager.set_recording(true);
         self.lat = Some(HistSet::new());
         self
     }
@@ -348,9 +394,9 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             cfg.interval > SimDuration::ZERO,
             "zero checkpoint interval would livelock the event loop"
         );
-        if self.manager.snapshot().is_none() {
+        if self.dev.manager.snapshot().is_none() {
             return Err(VfpgaError::CheckpointUnsupported {
-                component: self.manager.name(),
+                component: self.dev.manager.name(),
             });
         }
         if self.sched.snapshot().is_none() {
@@ -450,6 +496,14 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             TraceEvent::TaskUnschedulable { .. } => self.reg.inc("tasks_unschedulable", 1),
             TraceEvent::DegradeModeEnter { .. } => self.reg.inc("degrade_mode_enters", 1),
             TraceEvent::DegradeModeExit { .. } => self.reg.inc("degrade_mode_exits", 1),
+            TraceEvent::DeviceCrash { .. } => self.reg.inc("device_crashes", 1),
+            TraceEvent::DeviceRejoin { .. } => self.reg.inc("device_rejoins", 1),
+            TraceEvent::Failover { .. } => self.reg.inc("failovers", 1),
+            TraceEvent::SoftwareFailover { .. } => self.reg.inc("software_failovers", 1),
+            TraceEvent::FleetRebalance { .. } => self.reg.inc("rebalances", 1),
+            TraceEvent::FleetLost { tasks, .. } => {
+                self.reg.inc("lost_in_flight", u64::from(*tasks))
+            }
             TraceEvent::Custom { .. } => self.reg.inc("custom_events", 1),
         }
         if let Some(lat) = self.lat.as_mut() {
@@ -502,10 +556,10 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         if !self.obs_on {
             return;
         }
-        for ev in self.manager.drain_events() {
+        for ev in self.dev.manager.drain_events() {
             self.record(now, ev);
         }
-        let u = self.manager.usage();
+        let u = self.dev.manager.usage();
         self.timelines.sample("clb_used", now, u.used_clbs as f64);
         self.timelines
             .sample("free_fragments", now, f64::from(u.free_fragments));
@@ -517,7 +571,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         // Seed the fault timeline. A zero-rate plan schedules nothing, so
         // attaching it cannot perturb a fault-free run.
         if self.unfinished > 0 {
-            if let Some(inj) = self.injector.as_mut() {
+            if let Some(inj) = self.dev.injector.as_mut() {
                 if let Some(d) = inj.next_seu() {
                     self.queue.schedule_at(SimTime::ZERO + d, Ev::Seu);
                 }
@@ -587,6 +641,14 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 });
             }
         }
+        let (report, trace) = self.into_report();
+        Ok(RunOutcome::Completed(Box::new(report), trace))
+    }
+
+    /// Build the final report from whatever terminal state the task table
+    /// is in. Shared by the normal completion path and
+    /// [`abandon_lost`](Self::abandon_lost).
+    fn into_report(mut self) -> (Report, Trace) {
         let makespan = self
             .metrics
             .iter()
@@ -611,22 +673,40 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 lat.record(&format!("waiting@t{tenant}"), m.waiting().as_nanos());
             }
         }
-        Ok(RunOutcome::Completed(
-            Box::new(Report {
-                manager: self.manager.name(),
+        (
+            Report {
+                manager: self.dev.manager.name(),
                 scheduler: self.sched.name(),
                 tasks: self.metrics,
                 makespan,
-                manager_stats: self.manager.stats(),
+                manager_stats: self.dev.manager.stats(),
                 fault: self.fault,
                 crash: self.crash,
                 admission: self.admission.as_ref().map(|a| a.stats),
                 metrics: self.reg,
                 timelines: self.timelines,
                 latency: self.lat,
-            }),
+                fleet: None,
+            },
             self.trace,
-        ))
+        )
+    }
+
+    /// Abandon the run at `at`: every task that has not reached a terminal
+    /// state is marked [`TaskMetrics::lost_in_flight`] — its home device
+    /// is gone and no destination could take it — and the report is built
+    /// from whatever completed before the loss. Lost tasks keep the
+    /// metrics they accumulated up to the restore point; their completion
+    /// is stamped with the abandon time (never before arrival), so the
+    /// slice is disjoint from `failed`/`quarantined`/`rejected`.
+    pub fn abandon_lost(mut self, at: SimTime) -> Report {
+        for (t, m) in self.tasks.iter().zip(self.metrics.iter_mut()) {
+            if !t.state.is_terminal() {
+                m.lost_in_flight = true;
+                m.completion = at.max(m.arrival);
+            }
+        }
+        self.into_report().0
     }
 
     /// Capture a periodic checkpoint: serialize the full mutable state,
@@ -642,12 +722,13 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         // events this image records — a restored run keeps the cadence.
         self.queue.schedule_at(now + cfg.interval, Ev::Checkpoint);
         let frames: u32 = self
+            .dev
             .manager
             .resident_regions()
             .iter()
             .map(|r| r.width)
             .sum();
-        let cost = self.manager.timing().readback_time(frames as usize);
+        let cost = self.dev.manager.timing().readback_time(frames as usize);
         self.ckpt_seq += 1;
         self.crash.checkpoints += 1;
         self.crash.checkpoint_time += cost;
@@ -672,7 +753,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         self.last_ckpt = Some(CheckpointImage {
             seq: self.ckpt_seq,
             at: now,
-            wal_len: self.wal.len(),
+            wal_len: self.dev.wal.len(),
             state,
         });
     }
@@ -682,10 +763,10 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
     fn crash_now(&mut self, now: SimTime) -> CrashState {
         self.crash.crashes += 1;
         let base = self.last_ckpt.as_ref().map(|i| i.wal_len).unwrap_or(0);
-        let at_risk = (self.wal.len() - base) as u32;
+        let at_risk = (self.dev.wal.len() - base) as u32;
         // Only post-checkpoint records can tear: anything older has its
         // table effects inside the image already.
-        let torn = self.wal[base..]
+        let torn = self.dev.wal[base..]
             .iter()
             .filter(|r| r.in_flight_at(now))
             .count() as u64;
@@ -702,7 +783,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         CrashState {
             at: now,
             image: self.last_ckpt.clone(),
-            wal: std::mem::take(&mut self.wal),
+            wal: std::mem::take(&mut self.dev.wal),
             stats: self.crash,
         }
     }
@@ -721,7 +802,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             });
         };
         self.crash = state.stats;
-        self.wal = state.wal.clone();
+        self.dev.wal = state.wal.clone();
         let base = state.image.as_ref().map(|i| i.wal_len).unwrap_or(0);
         if let Some(image) = &state.image {
             self.apply_image(image)
@@ -733,11 +814,11 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         // restart state — arrivals and the first checkpoint are already
         // scheduled; only the journal below needs attention.
         let crash_at = state.at;
-        let post: Vec<WalRecord> = self.wal[base..].to_vec();
+        let post: Vec<WalRecord> = self.dev.wal[base..].to_vec();
         if post.is_empty() {
             return Ok(());
         }
-        let timing = *self.manager.timing();
+        let timing = *self.dev.manager.timing();
         if cfg.journal {
             // Journal replay: torn records are undone from their
             // pre-images, committed ones redo-verified by readback; both
@@ -756,16 +837,16 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 }
                 cost += timing.readback_time(r.width as usize);
             }
-            for claim in self.manager.resident_regions() {
+            for claim in self.dev.manager.resident_regions() {
                 if post.iter().any(|r| r.overlaps(claim.col0, claim.width))
-                    && self.manager.discard_resident(claim.cid)
+                    && self.dev.manager.discard_resident(claim.cid)
                 {
                     self.crash.stale_discards += 1;
                 }
             }
             // Undone records leave the journal (and the device), exactly
             // like fpga::Journal::recover retaining only committed ones.
-            self.wal.retain(|r| !r.in_flight_at(crash_at));
+            self.dev.wal.retain(|r| !r.in_flight_at(crash_at));
             self.crash.records_redone += u64::from(redone);
             self.crash.records_undone += u64::from(undone);
             self.crash.replay_time += cost;
@@ -783,14 +864,14 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             // No journal: nothing reconciles the device with the restored
             // tables. A claim whose region's LAST post-checkpoint write
             // was a different circuit (or tore) now points at garbage.
-            for claim in self.manager.resident_regions() {
+            for claim in self.dev.manager.resident_regions() {
                 let clobbered = post
                     .iter()
                     .rev()
                     .find(|r| r.overlaps(claim.col0, claim.width))
                     .is_some_and(|r| r.cid != claim.cid || r.in_flight_at(crash_at));
                 if clobbered {
-                    self.stale.insert(claim.cid.0);
+                    self.dev.stale.insert(claim.cid.0);
                 }
             }
             // The most direct victim: an FPGA segment that was mid-flight
@@ -800,7 +881,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             // post-checkpoint downloads left in those columns.
             if let Some(run) = &self.running {
                 if let Some(f) = &run.fpga {
-                    if self.stale.contains(&f.cid.0) {
+                    if self.dev.stale.contains(&f.cid.0) {
                         let ti = run.tid.0 as usize;
                         self.metrics[ti].corrupted = true;
                         self.crash.silent_corruptions += 1;
@@ -809,6 +890,67 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             }
         }
         Ok(())
+    }
+
+    /// Adopt a shard that died with its device: restore this freshly
+    /// built system — running on a *different* (or wiped-and-rejoined)
+    /// device — from the crashed shard's durable state. Unlike
+    /// [`restore_from`](Self::restore_from), which reconciles surviving
+    /// device contents against the journal, here the source fabric is
+    /// gone: torn records are dropped, committed post-checkpoint records
+    /// have nothing left on the destination to redo-verify, and every
+    /// restored residency claim is discarded. Each discarded claim is one
+    /// migration, priced honestly: the source-side half was already paid
+    /// as the checkpoint readback, and the destination pays the download
+    /// at the circuit's next activation. A mid-flight FPGA segment
+    /// restored from the image re-executes its post-checkpoint work on
+    /// the destination, exactly like the journal-on restore path.
+    pub fn fail_over_from(&mut self, state: &CrashState) -> Result<FailoverReceipt, VfpgaError> {
+        let _s = span::guard("failover");
+        if self.ckpt.is_none() {
+            return Err(VfpgaError::CheckpointCorrupt {
+                reason: "fail_over_from requires with_checkpoints".into(),
+            });
+        }
+        self.crash = state.stats;
+        let crash_at = state.at;
+        let base = state.image.as_ref().map(|i| i.wal_len).unwrap_or(0);
+        let mut redo_window = crash_at - SimTime::ZERO;
+        if let Some(image) = &state.image {
+            self.apply_image(image)
+                .map_err(|reason| VfpgaError::CheckpointCorrupt { reason })?;
+            self.ckpt_seq = image.seq;
+            redo_window = crash_at - image.at;
+            // The journal restarts empty on the destination: its records
+            // describe downloads to fabric that no longer exists.
+            let mut img = image.clone();
+            img.wal_len = 0;
+            self.last_ckpt = Some(img);
+        }
+        let torn = state.wal[base..]
+            .iter()
+            .filter(|r| r.in_flight_at(crash_at))
+            .count() as u32;
+        self.crash.records_undone += u64::from(torn);
+        self.dev.wal.clear();
+        // Device RAM died with the source: every restored claim points at
+        // fabric that no longer holds its circuit.
+        let mut migrated = 0u32;
+        for claim in self.dev.manager.resident_regions() {
+            if self.dev.manager.discard_resident(claim.cid) {
+                migrated += 1;
+            }
+        }
+        // Latent upsets and stale markers were properties of the dead
+        // fabric; the destination starts clean.
+        self.dev.latent.clear();
+        self.dev.stale.clear();
+        Ok(FailoverReceipt {
+            migrated_claims: migrated,
+            torn_undone: torn,
+            redo_window,
+            live_tasks: self.unfinished as u32,
+        })
     }
 
     /// Serialize the full mutable system state. Observability state
@@ -850,10 +992,12 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                     .set("rejected", m.rejected)
                     .set("unschedulable", m.unschedulable)
                     .set("deadline_missed", m.deadline_missed)
+                    .set("lost_in_flight", m.lost_in_flight)
                     .build()
             })
             .collect();
         let latent: Vec<Json> = self
+            .dev
             .latent
             .iter()
             .map(|(cid, l)| {
@@ -930,7 +1074,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             .set("retire_time", dur(f.retire_time))
             .set("mttr_total", dur(f.mttr_total))
             .build();
-        let rng = match &self.injector {
+        let rng = match &self.dev.injector {
             None => Json::Null,
             Some(inj) => Json::Arr(
                 inj.stream_states()
@@ -1040,7 +1184,11 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             .set("unfinished", self.unfinished as u64)
             .set(
                 "stale",
-                self.stale.iter().map(|&c| u64::from(c)).collect::<Vec<_>>(),
+                self.dev
+                    .stale
+                    .iter()
+                    .map(|&c| u64::from(c))
+                    .collect::<Vec<_>>(),
             )
             .set("running", running)
             .set("pending", pending)
@@ -1050,7 +1198,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             .set("sched", self.sched.snapshot().expect("validated at enable"))
             .set(
                 "manager",
-                self.manager.snapshot().expect("validated at enable"),
+                self.dev.manager.snapshot().expect("validated at enable"),
             )
             .build()
     }
@@ -1121,6 +1269,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             mm.rejected = fbool(m, "rejected")?;
             mm.unschedulable = fbool(m, "unschedulable")?;
             mm.deadline_missed = fbool(m, "deadline_missed")?;
+            mm.lost_in_flight = fbool(m, "lost_in_flight")?;
         }
         let vec_u64 = |key: &'static str| -> Result<Vec<u64>, String> {
             fixed(get(key)?, key, n)?
@@ -1153,11 +1302,11 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 other => Err(format!("poisoned entry: {other:?}")),
             })
             .collect::<Result<_, String>>()?;
-        self.latent.clear();
+        self.dev.latent.clear();
         for v in arr_of(get("latent")?, "latent")? {
             match v.as_arr() {
                 Some([Json::UInt(cid), Json::UInt(struck), Json::Bool(detected)]) => {
-                    self.latent.insert(
+                    self.dev.latent.insert(
                         *cid as u32,
                         Latent {
                             struck_at: SimTime::ZERO + SimDuration::from_nanos(*struck),
@@ -1169,7 +1318,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             }
         }
         self.unfinished = u64_of(get("unfinished")?, "unfinished")? as usize;
-        self.stale = arr_of(get("stale")?, "stale")?
+        self.dev.stale = arr_of(get("stale")?, "stale")?
             .iter()
             .map(|v| u64_of(v, "stale").map(|c| c as u32))
             .collect::<Result<_, String>>()?;
@@ -1210,7 +1359,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             retire_time: fdur(f, "retire_time")?,
             mttr_total: fdur(f, "mttr_total")?,
         };
-        match (get("rng")?, self.injector.as_mut()) {
+        match (get("rng")?, self.dev.injector.as_mut()) {
             (Json::Null, None) => {}
             (Json::Arr(streams), Some(inj)) => {
                 let mut states = [[0u64; 4]; 3];
@@ -1312,7 +1461,8 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         self.sched
             .restore(get("sched")?)
             .map_err(|e| format!("scheduler: {e}"))?;
-        self.manager
+        self.dev
+            .manager
             .restore(get("manager")?)
             .map_err(|e| format!("manager: {e}"))?;
         // Pending events last: the fresh queue (clock still at zero)
@@ -1383,7 +1533,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 },
             );
         }
-        let wake = self.manager.task_exit(tid);
+        let wake = self.dev.manager.task_exit(tid);
         self.wake(wake, now);
         self.admission_on_terminal(tid, now);
     }
@@ -1526,7 +1676,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 },
             );
         }
-        let wake = self.manager.task_exit(tid);
+        let wake = self.dev.manager.task_exit(tid);
         self.wake(wake, now);
         self.admission_on_terminal(tid, now);
     }
@@ -1572,8 +1722,8 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
     /// transfer per frame, the same movement cost a partial download
     /// pays) for each FPGA op whose circuit is not currently resident.
     fn service_estimate(&self, ti: usize) -> SimDuration {
-        let timing = self.manager.timing();
-        let resident = self.manager.resident_regions();
+        let timing = self.dev.manager.timing();
+        let resident = self.dev.manager.resident_regions();
         let mut est = SimDuration::ZERO;
         for op in &self.tasks[ti].spec.ops {
             match op {
@@ -1606,7 +1756,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         };
         let (high, low, explicit) = (dg.high_mark(), dg.low_mark(), dg.has_hysteresis());
         let mode = adm.degrade_mode;
-        let u = self.manager.usage();
+        let u = self.dev.manager.usage();
         let used = u.used_clbs as f64;
         let total = u.total_clbs as f64;
         let mark = if mode { low } else { high };
@@ -1653,6 +1803,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             return None;
         }
         if self
+            .dev
             .manager
             .resident_regions()
             .iter()
@@ -1707,17 +1858,18 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         // Reclaim the device through the existing machinery: a preemption
         // where the policy supports one, otherwise a forced completion
         // that releases the slot (the fault-restart path's move).
-        let post =
-            if self.config.preempt != PreemptAction::WaitCompletion && self.manager.preemptable() {
-                let pc = self.manager.preempt(tid, f.cid);
-                self.metrics[ti].overhead_time += pc.overhead;
-                pc.overhead
-            } else {
-                let (ovh, wake) = self.manager.op_done(tid, f.cid);
-                self.metrics[ti].overhead_time += ovh;
-                self.wake(wake, now);
-                ovh
-            };
+        let post = if self.config.preempt != PreemptAction::WaitCompletion
+            && self.dev.manager.preemptable()
+        {
+            let pc = self.dev.manager.preempt(tid, f.cid);
+            self.metrics[ti].overhead_time += pc.overhead;
+            pc.overhead
+        } else {
+            let (ovh, wake) = self.dev.manager.op_done(tid, f.cid);
+            self.metrics[ti].overhead_time += ovh;
+            self.wake(wake, now);
+            ovh
+        };
         if let Some(adm) = self.admission.as_mut() {
             adm.stats.watchdog_lost_time += lost;
             adm.stats.watchdog_preempt_time += post;
@@ -1750,7 +1902,11 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
 
     /// A configuration upset strikes column `col` at `now`.
     fn on_seu(&mut self, now: SimTime) {
-        let inj = self.injector.as_mut().expect("SEU event without injector");
+        let inj = self
+            .dev
+            .injector
+            .as_mut()
+            .expect("SEU event without injector");
         let col = inj.seu_column();
         let next = inj.next_seu();
         if self.unfinished > 0 {
@@ -1759,6 +1915,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             }
         }
         let hit = self
+            .dev
             .manager
             .resident_regions()
             .into_iter()
@@ -1777,7 +1934,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                     );
                 }
                 // Earliest unrepaired strike wins (MTTR measures from it).
-                self.latent.entry(r.cid.0).or_insert(Latent {
+                self.dev.latent.entry(r.cid.0).or_insert(Latent {
                     struck_at: now,
                     detected: false,
                 });
@@ -1816,17 +1973,18 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
     /// repair what was hit. Charged at real readback cost — background
     /// device-port time, never billed to any task.
     fn on_scrub(&mut self, now: SimTime) {
-        let regions = self.manager.resident_regions();
+        let regions = self.dev.manager.resident_regions();
         let frames: u32 = regions.iter().map(|r| r.width).sum();
-        let cost = self.manager.timing().readback_time(frames as usize);
+        let cost = self.dev.manager.timing().readback_time(frames as usize);
         self.fault.scrub_passes += 1;
         self.fault.scrub_time += cost;
         // Upsets on circuits that were discarded or evicted left the
         // device with them.
-        self.latent
+        self.dev
+            .latent
             .retain(|cid, _| regions.iter().any(|r| r.cid.0 == *cid));
         let mut newly: Vec<u32> = Vec::new();
-        for (cid, l) in self.latent.iter_mut() {
+        for (cid, l) in self.dev.latent.iter_mut() {
             if !l.detected {
                 l.detected = true;
                 newly.push(*cid);
@@ -1857,6 +2015,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         // then the repair waits for that segment's timer.
         let busy_cid = self.running.as_ref().and_then(|r| r.fpga.map(|f| f.cid.0));
         let detected: Vec<u32> = self
+            .dev
             .latent
             .iter()
             .filter(|(_, l)| l.detected)
@@ -1878,10 +2037,11 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
     /// when the port allows) and apply the policy's state choice; garbage
     /// computed since the strike is discarded from every victim task.
     fn repair_circuit(&mut self, cid: CircuitId, now: SimTime) {
-        let Some(l) = self.latent.remove(&cid.0) else {
+        let Some(l) = self.dev.latent.remove(&cid.0) else {
             return;
         };
         let Some(region) = self
+            .dev
             .manager
             .resident_regions()
             .into_iter()
@@ -1889,7 +2049,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         else {
             return; // evicted since detection; corruption left with it
         };
-        let timing = *self.manager.timing();
+        let timing = *self.dev.manager.timing();
         let frames = region.width as usize;
         let sequential = self.lib.get(cid).is_sequential();
         let mut cost = redownload_cost(&timing, frames);
@@ -1953,7 +2113,11 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         let col = match pending {
             Some(c) => c,
             None => {
-                let inj = self.injector.as_mut().expect("column event w/o injector");
+                let inj = self
+                    .dev
+                    .injector
+                    .as_mut()
+                    .expect("column event w/o injector");
                 let col = inj.failed_column();
                 let next = inj.next_column_failure();
                 if self.unfinished > 0 {
@@ -1975,7 +2139,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 col
             }
         };
-        let out = self.manager.retire_column(col);
+        let out = self.dev.manager.retire_column(col);
         if out.busy {
             // A task is mid-op on the dying fabric; retry shortly after.
             if self.unfinished > 0 {
@@ -2124,12 +2288,12 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                     // A stats snapshot lets us detect whether this activation
                     // downloaded: fault injection corrupts downloads, and the
                     // checkpoint machinery journals them.
-                    let dl_before = if self.injector.is_some() || self.ckpt.is_some() {
-                        Some(self.manager.stats())
+                    let dl_before = if self.dev.injector.is_some() || self.ckpt.is_some() {
+                        Some(self.dev.manager.stats())
                     } else {
                         None
                     };
-                    match self.manager.activate(tid, circuit) {
+                    match self.dev.manager.activate(tid, circuit) {
                         Activation::Blocked => {
                             self.tasks[ti].state = TaskState::Blocked;
                             self.metrics[ti].blocked_count += 1;
@@ -2156,20 +2320,20 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                             // Transient download corruption: the per-download
                             // CRC catches it; the wasted attempt still costs
                             // the full download time on the CPU.
-                            let corrupted = match (&dl_before, self.injector.as_mut()) {
+                            let corrupted = match (&dl_before, self.dev.injector.as_mut()) {
                                 (Some(before), Some(inj)) => {
-                                    self.manager.stats().downloads > before.downloads
+                                    self.dev.manager.stats().downloads > before.downloads
                                         && inj.corrupt_download()
                                 }
                                 _ => false,
                             };
                             if corrupted {
                                 let before = dl_before.unwrap();
-                                self.manager.discard_resident(circuit);
+                                self.dev.manager.discard_resident(circuit);
                                 self.fault.download_faults += 1;
                                 self.fault.crc_mismatches += 1;
                                 self.fault.retry_time +=
-                                    self.manager.stats().config_time - before.config_time;
+                                    self.dev.manager.stats().config_time - before.config_time;
                                 self.dl_attempts[ti] += 1;
                                 self.metrics[ti].overhead_time += o;
                                 if self.trace.is_enabled() {
@@ -2205,28 +2369,29 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                             self.dl_attempts[ti] = 0;
                             if self.ckpt.is_some() {
                                 let before = dl_before.as_ref().expect("snapshot taken above");
-                                let after = self.manager.stats();
+                                let after = self.dev.manager.stats();
                                 if after.downloads > before.downloads {
                                     // A download overwrote the device: journal
                                     // it. Whatever stale claim covered that
                                     // region is also refreshed for this circuit.
                                     let (col0, width) = self
+                                        .dev
                                         .manager
                                         .resident_regions()
                                         .into_iter()
                                         .find(|r| r.cid == circuit)
                                         .map(|r| (r.col0, r.width))
-                                        .unwrap_or((0, self.manager.timing().spec.cols));
-                                    self.wal.push(WalRecord {
-                                        seq: self.wal.len() as u64,
+                                        .unwrap_or((0, self.dev.manager.timing().spec.cols));
+                                    self.dev.wal.push(WalRecord {
+                                        seq: self.dev.wal.len() as u64,
                                         cid: circuit,
                                         col0,
                                         width,
                                         at: now,
                                         duration: after.config_time - before.config_time,
                                     });
-                                    self.stale.remove(&circuit.0);
-                                } else if self.stale.contains(&circuit.0) {
+                                    self.dev.stale.remove(&circuit.0);
+                                } else if self.dev.stale.contains(&circuit.0) {
                                     // Residency "hit" on a claim a crash
                                     // invalidated (journal off): the op runs on
                                     // garbage and nothing detects it.
@@ -2236,8 +2401,8 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                             }
                             // Dispatching onto fabric a prior upset corrupted:
                             // nothing computed from here on is trustworthy.
-                            if self.injector.is_some()
-                                && self.latent.contains_key(&circuit.0)
+                            if self.dev.injector.is_some()
+                                && self.dev.latent.contains_key(&circuit.0)
                                 && self.poisoned[ti].is_none()
                             {
                                 self.poisoned[ti] = Some(self.op_done_so_far[ti]);
@@ -2270,7 +2435,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 Op::FpgaRun { .. } => {
                     software_op
                         || (self.config.preempt != PreemptAction::WaitCompletion
-                            && self.manager.preemptable())
+                            && self.dev.manager.preemptable())
                 }
             };
             let mut dur = remaining;
@@ -2409,14 +2574,14 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         // repair resets the task's progress per policy, so the op restarts
         // (or resumes) from whatever survived.
         if let Some(f) = run.fpga {
-            let detected = self.latent.get(&f.cid.0).is_some_and(|l| l.detected);
+            let detected = self.dev.latent.get(&f.cid.0).is_some_and(|l| l.detected);
             if detected {
                 self.repair_circuit(f.cid, now);
                 if self.tasks[ti].op_remaining > SimDuration::ZERO {
                     // The op did not complete cleanly; release the device
                     // slot and go around again (a fault restart, not a
                     // preemption — the manager's preempt path never runs).
-                    let (ovh, wake) = self.manager.op_done(tid, f.cid);
+                    let (ovh, wake) = self.dev.manager.op_done(tid, f.cid);
                     self.metrics[ti].overhead_time += ovh;
                     self.wake(wake, now);
                     self.fault_restarts[ti] += 1;
@@ -2441,7 +2606,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         if self.tasks[ti].op_remaining == SimDuration::ZERO {
             // Op complete.
             if let Some(f) = run.fpga {
-                let (ovh, wake) = self.manager.op_done(tid, f.cid);
+                let (ovh, wake) = self.dev.manager.op_done(tid, f.cid);
                 self.metrics[ti].overhead_time += ovh;
                 self.wake(wake, now);
             }
@@ -2488,7 +2653,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                         },
                     );
                 }
-                let wake = self.manager.task_exit(tid);
+                let wake = self.dev.manager.task_exit(tid);
                 self.wake(wake, now);
                 self.admission_on_terminal(tid, now);
                 self.dispatch(now);
@@ -2508,7 +2673,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             }
             let mut post_overhead = SimDuration::ZERO;
             if let Some(f) = run.fpga {
-                let pc = self.manager.preempt(tid, f.cid);
+                let pc = self.dev.manager.preempt(tid, f.cid);
                 post_overhead = pc.overhead;
                 self.metrics[ti].overhead_time += pc.overhead;
                 if self.trace.is_enabled() {

@@ -45,6 +45,11 @@ pub struct TaskSpec {
     /// Index of an op that never raises its done signal (a hung circuit).
     /// The op runs forever unless a watchdog preempts it.
     pub hang_op: Option<usize>,
+    /// Device-affinity hint for fleet placement: the tenant would prefer
+    /// its tasks to land on this device (modulo fleet size). Advisory —
+    /// single-device systems and non-affinity placement policies ignore
+    /// it entirely.
+    pub affinity: Option<u32>,
     /// The program.
     pub ops: Vec<Op>,
 }
@@ -59,6 +64,7 @@ impl TaskSpec {
             tenant: 0,
             deadline: None,
             hang_op: None,
+            affinity: None,
             ops,
         }
     }
@@ -78,6 +84,13 @@ impl TaskSpec {
     /// With a relative completion deadline.
     pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// With a device-affinity hint (used by the fleet's affinity
+    /// placement policy; ignored everywhere else).
+    pub fn with_affinity(mut self, device: u32) -> Self {
+        self.affinity = Some(device);
         self
     }
 
