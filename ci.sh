@@ -184,6 +184,68 @@ print(f"e19 gate: {sum(r['fleet']['failovers'] for r in storm)} failovers, "
       f"capacity cells lost 0, ablation lost {fl['lost_in_flight']} (disjoint slice)")
 PY
 
+echo "==> e20 delta smoke (determinism + delta-beats-full + outcome identity)"
+# Same determinism contract as e15-e19. The binary is its own main gate:
+# it aborts in-process if any delta cell diverges from its full-download
+# twin (diff_reports), if delta config overhead ever exceeds full, or if
+# a >=50%-similar family never goes delta. The JSON pass re-checks the
+# off-switch: delta-off cells must export no "delta" section at all —
+# byte-identical to pre-delta behavior (the e01-e19 exports were verified
+# unchanged against the pre-delta build when this gate was introduced).
+./target/release/e20_delta --smoke --seed 3605 --json "$E15_TMP/e20a.json" >/dev/null
+./target/release/e20_delta --smoke --seed 3605 --json "$E15_TMP/e20b.json" >/dev/null
+"$JDIFF" "$E15_TMP/e20a.json" "$E15_TMP/e20b.json" \
+  || { echo "e20 smoke: same-seed runs are not identical modulo host"; exit 1; }
+./target/release/e20_delta --smoke --threads 1 --json "$E15_TMP/e20t1.json" >/dev/null
+./target/release/e20_delta --smoke --threads 4 --json "$E15_TMP/e20t4.json" >/dev/null
+"$JDIFF" "$E15_TMP/e20t1.json" "$E15_TMP/e20t4.json" \
+  || { echo "e20 smoke: --threads 4 diverged from --threads 1"; exit 1; }
+timeout 120 ./target/release/e20_delta --smoke --json "$E15_TMP/e20live.json" >/dev/null \
+  || { echo "e20 smoke: in-process delta gates failed (outcome divergence or lost savings)"; exit 1; }
+python3 - "$E15_TMP/e20live.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+reports = {r["label"]: r for r in doc["reports"]}
+fulls = {l: r for l, r in reports.items() if l.endswith("/full")}
+deltas = {l: r for l, r in reports.items() if l.endswith("/delta")}
+assert fulls and len(fulls) == len(deltas), "unpaired e20 cells"
+for l, r in fulls.items():
+    assert "delta" not in r, f"delta-off cell {l} grew a delta section"
+for l, r in deltas.items():
+    assert "delta" in r, f"delta cell {l} lost its delta section"
+high = [r for l, r in deltas.items() if float(l.split("/")[0][3:]) >= 0.5]
+assert any(r["delta"]["delta_downloads"] > 0 for r in high), \
+    "no >=50%-similar cell ever downloaded a delta"
+counters = doc["metrics"]["counters"]
+assert counters["delta_frames_saved"] > 0, "delta saved zero frames"
+print(f"e20 gate: {len(fulls)} cell pairs, {counters['delta_downloads']} delta "
+      f"downloads, {counters['delta_frames_saved']} frames saved, off-cells clean")
+PY
+
+echo "==> pnr disk-cache smoke (cold populate / warm hit / corrupt-entry fallback)"
+# The persistent compile cache must be invisible to results: a warm
+# process and a process reading a vandalized cache must both reproduce
+# the cold export byte-for-byte (corrupt entries read as misses and are
+# rewritten; the cache is advisory, never load-bearing).
+CACHE_DIR="$E15_TMP/pnr-cache"
+VFPGA_CACHE_DIR="$CACHE_DIR" ./target/release/e15_fault_recovery --smoke --seed 3605 \
+  --json "$E15_TMP/cachecold.json" >/dev/null
+ls "$CACHE_DIR"/*.json >/dev/null 2>&1 \
+  || { echo "disk cache: cold run wrote no entries"; exit 1; }
+VFPGA_CACHE_DIR="$CACHE_DIR" ./target/release/e15_fault_recovery --smoke --seed 3605 \
+  --json "$E15_TMP/cachewarm.json" >/dev/null
+"$JDIFF" "$E15_TMP/cachecold.json" "$E15_TMP/cachewarm.json" \
+  || { echo "disk cache: warm run diverged from cold"; exit 1; }
+for f in "$CACHE_DIR"/*.json; do printf 'not json' > "$f"; done
+VFPGA_CACHE_DIR="$CACHE_DIR" ./target/release/e15_fault_recovery --smoke --seed 3605 \
+  --json "$E15_TMP/cachebad.json" >/dev/null
+"$JDIFF" "$E15_TMP/cachecold.json" "$E15_TMP/cachebad.json" \
+  || { echo "disk cache: corrupt entries changed results"; exit 1; }
+if grep -lq 'not json' "$CACHE_DIR"/*.json; then
+  echo "disk cache: corrupt entries were not rewritten"; exit 1
+fi
+echo "disk-cache gate: $(ls "$CACHE_DIR"/*.json | wc -l) entries, warm and corrupt runs identical to cold"
+
 echo "==> bench_perf smoke (perf schema + self-compare + thread invariance)"
 # The perf harness must (a) write a document that parses back through the
 # bench JSON reader with the expected schema, (b) report zero regressions
@@ -201,8 +263,9 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["schema"] == "vfpga-bench-perf/1", f"unexpected schema {doc['schema']}"
 cases = doc["host"]["cases"]
-for case in ["compile_cold", "compile_warm", "download_full", "download_partial",
-             "ckpt_crash_replay", "fleet_failover", "macro_point"]:
+for case in ["compile_cold", "compile_warm", "compile_disk_warm", "download_full",
+             "download_partial", "download_delta", "ckpt_crash_replay", "ckpt_delta",
+             "fleet_failover", "macro_point"]:
     assert case in cases, f"missing case {case}"
     assert cases[case]["iters"] > 0, f"case {case} ran no iterations"
 assert doc["sim"]["latency_ns"], "no simulated latency histograms"
@@ -213,13 +276,20 @@ PY
 
 echo "==> bench_perf regression gate (pinned baseline)"
 # A smoke-profile baseline measured on a known-good commit is pinned in
-# the repo; the generous tolerance absorbs host noise while still
-# catching order-of-magnitude regressions. Refresh with:
+# the repo; the compare judges best-of-N (min_ns) and the generous
+# tolerance absorbs host noise while still catching order-of-magnitude
+# regressions. A flagged run is re-measured once on a quiet machine
+# state before failing — a real regression reproduces, a loaded-host
+# artifact does not. Refresh with:
 #   ./target/release/bench_perf --smoke --threads 1 --out BENCH_<sha>.json
 BASELINE="$(ls BENCH_*.json 2>/dev/null | sort | head -n 1 || true)"
 if [ -n "$BASELINE" ]; then
-  ./target/release/bench_perf --compare "$BASELINE" "$E15_TMP/perf1.json" --tolerance-pct 400 \
-    || { echo "bench_perf: regression against pinned $BASELINE"; exit 1; }
+  if ! ./target/release/bench_perf --compare "$BASELINE" "$E15_TMP/perf1.json" --tolerance-pct 400; then
+    echo "bench_perf: flagged vs pinned $BASELINE; re-measuring once"
+    ./target/release/bench_perf --smoke --threads 1 --out "$E15_TMP/perf_retry.json" > /dev/null
+    ./target/release/bench_perf --compare "$BASELINE" "$E15_TMP/perf_retry.json" --tolerance-pct 400 \
+      || { echo "bench_perf: regression against pinned $BASELINE (reproduced)"; exit 1; }
+  fi
 else
   echo "no pinned BENCH_*.json baseline found; skipping"
 fi

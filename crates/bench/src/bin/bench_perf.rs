@@ -14,9 +14,10 @@
 //! fails loudly. Everything outside the volatile `host` section is
 //! byte-identical at any `--threads` value — `jdiff` two runs to check.
 //!
-//! The second form compares two perf documents: wall-clock case means may
-//! drift within the tolerance (default 30%), the deterministic `sim`
-//! section may not drift at all. Exit status 0 when clean, 1 when
+//! The second form compares two perf documents: each case's best-of-N
+//! wall time (`min_ns`, robust to one-off scheduler stalls) may drift
+//! within the tolerance (default 30%), the deterministic `sim` section
+//! may not drift at all. Exit status 0 when clean, 1 when
 //! regressions or sim changes were flagged, 2 on usage/schema/I/O errors.
 
 use bench::perf::{self, PerfConfig};
@@ -45,8 +46,8 @@ fn compare_mode(old_path: &str, new_path: &str) -> ! {
         println!(
             "REGRESSION {}: {} -> {} ns/iter ({:.2}x, tolerance {:.0}%)",
             r.case,
-            r.old_mean_ns,
-            r.new_mean_ns,
+            r.old_ns,
+            r.new_ns,
             r.ratio,
             tol * 100.0
         );

@@ -25,6 +25,13 @@
 //!     the admission events appear (tags wd-arm/wd-fire/reject/
 //!     quarantine/degrade; the listing filters to them unless `--tag`
 //!     is given).
+//!   - `delta` — enable delta reconfiguration on the partition manager
+//!     and run under delta checkpoints (full anchor every 4th capture),
+//!     then print the per-tenant delta-vs-full download table, the base
+//!     invalidations by reason, and the delta-checkpoint chain lengths
+//!     (tags delta/delta-inv/ckpt-delta; the listing filters to them
+//!     unless `--tag` is given). Composes with `faults` (scrub repairs
+//!     invalidate bases) and `checkpoints` (crashes drop every base).
 //!   - `fleet` — run a 3-device fleet of dynload shards under a seeded
 //!     device-crash plan instead of the single-device engine, and print
 //!     the fleet-level timeline: per-device crash/rejoin history, the
@@ -53,7 +60,7 @@ use std::collections::BTreeMap;
 use vfpga::manager::dynload::DynLoadManager;
 use vfpga::manager::partition::{PartitionManager, PartitionMode};
 use vfpga::{
-    run_fleet, run_with_crashes_traced, AdmissionPolicy, CheckpointConfig, CrashPlan,
+    run_fleet, run_with_crashes_traced, AdmissionPolicy, CheckpointConfig, CircuitLib, CrashPlan,
     DegradationConfig, DeviceFaultPlan, FaultPlan, FleetConfig, Op, PlacementPolicy, PreemptAction,
     RecoveryPolicy, RoundRobinScheduler, SchedulabilityConfig, System, SystemConfig,
     WatchdogConfig,
@@ -71,6 +78,10 @@ const SECTIONS: &[(&str, &str)] = &[
     (
         "deadlines",
         "schedulability gate, per-tenant deadline outcomes",
+    ),
+    (
+        "delta",
+        "delta downloads, ghost invalidations, delta checkpoints",
     ),
     (
         "fleet",
@@ -100,7 +111,7 @@ fn usage() -> String {
     let mut out = String::from(
         "usage: trace_dump [--section NAME]... [--tag TAG]... [--limit N] [--seed S] \
          [--summary]\n\nsections (repeatable; --faults/--checkpoints/--admission/--deadlines/\
-         --fleet/--profile are aliases):\n",
+         --delta/--fleet/--profile are aliases):\n",
     );
     for (name, blurb) in SECTIONS {
         out.push_str(&format!("  {name:<12} {blurb}\n"));
@@ -160,6 +171,7 @@ fn parse_args() -> Args {
             "--checkpoints" => push_section(&mut out.sections, "checkpoints"),
             "--admission" => push_section(&mut out.sections, "admission"),
             "--deadlines" => push_section(&mut out.sections, "deadlines"),
+            "--delta" => push_section(&mut out.sections, "delta"),
             "--fleet" => push_section(&mut out.sections, "fleet"),
             "--profile" => push_section(&mut out.sections, "profile"),
             "--help" | "-h" => {
@@ -186,9 +198,40 @@ fn main() {
     }
     let profile = args.section("profile");
 
-    let spec = fpga::device::part("VF800");
+    // The delta view runs the same mix on a quarter-size part: VF800
+    // holds the whole suite resident, and a fabric that never evicts
+    // never reloads over a ghost, so no download would ever go delta.
+    // The delta view runs on a tenth-size part: a fabric with room for
+    // the whole working set never evicts, and a fabric that never evicts
+    // never reloads over a ghost, so no download would ever go delta.
+    let spec = fpga::device::part(if args.section("delta") {
+        "VF100"
+    } else {
+        "VF800"
+    });
     let (lib, ids, sw) =
         bench::setup::compile_suite_lib_sw(&[Domain::Telecom, Domain::Storage], spec);
+    // The delta view also swaps the suite for a circuit family: delta
+    // downloads need the incoming circuit to land on the ghost of a
+    // similar predecessor, so the workload rotates four half-similar
+    // drop-in variants of one full-height multiplier through the same
+    // few columns instead of mixing unrelated apps.
+    let (lib, ids) = if args.section("delta") {
+        let base = pnr::compile(
+            &netlist::library::arith::array_multiplier("tdmul", 4),
+            pnr::CompileOptions {
+                max_height: spec.rows,
+                full_height: true,
+                ..Default::default()
+            },
+        )
+        .expect("delta family base compiles");
+        let mut dlib = CircuitLib::new();
+        let dids = workload::variant_family(&mut dlib, base, 3, 0.5, args.seed);
+        (std::sync::Arc::new(dlib), dids)
+    } else {
+        (lib, ids)
+    };
     let timing = ConfigTiming {
         spec,
         port: ConfigPort::SerialFast,
@@ -202,11 +245,12 @@ fn main() {
     };
     let specs = {
         let mut rng = SimRng::new(args.seed);
-        if args.section("admission") || args.section("deadlines") {
+        if args.section("admission") || args.section("deadlines") || args.section("delta") {
             // Tenant-tagged variant of the same arrival process. The
             // admission section adds one deliberately hanging op so the
             // watchdog has work to do; the deadlines section jitters the
-            // deadlines so the schedulability gate sees a mixed bag.
+            // deadlines so the schedulability gate sees a mixed bag; the
+            // delta section only needs the tenant tags for its table.
             tenant_tasks(
                 &TenantMixParams {
                     base: mix,
@@ -214,11 +258,13 @@ fn main() {
                     // The deadlines view runs looser deadlines than the
                     // admission one so the gate refuses some tasks and
                     // admits others instead of refusing nearly all.
-                    deadline: Some(SimDuration::from_millis(if args.section("deadlines") {
-                        90
+                    deadline: if args.section("deadlines") {
+                        Some(SimDuration::from_millis(90))
+                    } else if args.section("admission") {
+                        Some(SimDuration::from_millis(50))
                     } else {
-                        50
-                    })),
+                        None
+                    },
                     hang_tasks: if args.section("admission") { 1 } else { 0 },
                     deadline_spread: if args.section("deadlines") { 0.4 } else { 0.0 },
                     ..Default::default()
@@ -231,13 +277,16 @@ fn main() {
         }
     };
     let build = || {
-        let mgr = PartitionManager::new(
+        let mut mgr = PartitionManager::new(
             lib.clone(),
             timing,
             PartitionMode::Variable,
             PreemptAction::SaveRestore,
         )
         .unwrap();
+        if args.section("delta") {
+            mgr.enable_delta();
+        }
         let mut sys = System::new(
             lib.clone(),
             mgr,
@@ -293,6 +342,16 @@ fn main() {
             };
             sys = sys.with_admission(policy).expect("policy validates");
         }
+        if args.section("delta") && !args.section("checkpoints") {
+            // The crash harness below installs its own checkpoint config;
+            // standalone delta runs attach one here so the delta-capture
+            // chain (full anchor every 4th) shows up in the trace.
+            sys = sys
+                .with_checkpoints(
+                    CheckpointConfig::new(SimDuration::from_millis(5)).with_delta_checkpoints(4),
+                )
+                .expect("partition manager snapshots");
+        }
         if profile {
             sys = sys.with_latency_profile();
         }
@@ -307,10 +366,20 @@ fn main() {
     } else if args.section("deadlines") && tags.is_empty() && !args.section("checkpoints") {
         // The deadline stream: refusals at the door plus quota sheds.
         tags = ["unsched", "reject"].map(String::from).to_vec();
+    } else if args.section("delta") && tags.is_empty() && !args.section("checkpoints") {
+        // The advertised filter: only the delta-reconfiguration stream.
+        tags = ["delta", "delta-inv", "ckpt-delta"]
+            .map(String::from)
+            .to_vec();
     }
     let run = || {
         if args.section("checkpoints") {
             let cfg = CheckpointConfig::new(SimDuration::from_millis(5));
+            let cfg = if args.section("delta") {
+                cfg.with_delta_checkpoints(4)
+            } else {
+                cfg
+            };
             let plan = CrashPlan {
                 seed: args.seed,
                 crash_rate_per_s: 25.0,
@@ -322,8 +391,12 @@ fn main() {
         }
     };
     if args.section("checkpoints") && tags.is_empty() {
-        // The advertised filter: only the crash-consistency stream.
+        // The advertised filter: only the crash-consistency stream,
+        // widened to the delta stream when both sections are on.
         tags = vec!["ckpt".into(), "crash".into(), "replay".into()];
+        if args.section("delta") {
+            tags.extend(["delta", "delta-inv", "ckpt-delta"].map(String::from));
+        }
     }
     let ((report, trace), spans) = if profile {
         span::scoped(run)
@@ -381,6 +454,102 @@ fn main() {
             c.replay_time.as_secs_f64(),
             c.stale_discards,
         );
+    }
+    if args.section("delta") {
+        // Per-tenant download split: every download is exactly one of
+        // DeltaDownload (priced as a frame diff) or ConfigDownload
+        // (full-price), and the event's task id indexes the spec list.
+        #[derive(Default)]
+        struct TenantDl {
+            delta: u64,
+            full: u64,
+            saved: u64,
+        }
+        let mut per: BTreeMap<u32, TenantDl> = BTreeMap::new();
+        let mut invalidations: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut chains: Vec<u32> = Vec::new();
+        let mut open_chain = 0u32;
+        let mut full_anchors = 0u64;
+        let mut delta_ckpts = 0u64;
+        for e in trace.entries() {
+            match &e.event {
+                fsim::TraceEvent::DeltaDownload {
+                    task,
+                    frames,
+                    full_frames,
+                    ..
+                } => {
+                    let tn = specs.get(*task as usize).map(|sp| sp.tenant).unwrap_or(0);
+                    let t = per.entry(tn).or_default();
+                    t.delta += 1;
+                    t.saved += full_frames.saturating_sub(*frames) as u64;
+                }
+                fsim::TraceEvent::ConfigDownload { task, .. } => {
+                    let tn = specs.get(*task as usize).map(|sp| sp.tenant).unwrap_or(0);
+                    per.entry(tn).or_default().full += 1;
+                }
+                fsim::TraceEvent::DeltaInvalidate { reason, .. } => {
+                    *invalidations.entry(reason).or_insert(0) += 1;
+                }
+                fsim::TraceEvent::DeltaCheckpoint { chain, .. } => {
+                    delta_ckpts += 1;
+                    open_chain = *chain;
+                }
+                fsim::TraceEvent::CheckpointTaken { .. } => {
+                    full_anchors += 1;
+                    if full_anchors > 1 || open_chain > 0 {
+                        chains.push(open_chain);
+                    }
+                    open_chain = 0;
+                }
+                _ => {}
+            }
+        }
+        println!("\nper-tenant downloads (delta-priced vs full-priced):");
+        println!(
+            "  {:<8} {:>7} {:>7} {:>14}",
+            "tenant", "delta", "full", "frames-saved"
+        );
+        for (tn, t) in &per {
+            println!("  t{tn:<7} {:>7} {:>7} {:>14}", t.delta, t.full, t.saved);
+        }
+        if invalidations.is_empty() {
+            println!("delta base invalidations: none");
+        } else {
+            let by_reason: Vec<String> = invalidations
+                .iter()
+                .map(|(r, n)| format!("{r} {n}"))
+                .collect();
+            println!("delta base invalidations: {}", by_reason.join(", "));
+        }
+        // Chain lengths: deltas taken between consecutive full anchors,
+        // as a `length x count` distribution (the final chain may still
+        // be open when the run ends). Anything shorter than `k - 1`
+        // means a dirty-fabric event forced an early anchor.
+        let mut chain_dist: BTreeMap<u32, u64> = BTreeMap::new();
+        for c in &chains {
+            *chain_dist.entry(*c).or_insert(0) += 1;
+        }
+        let dist = chain_dist
+            .iter()
+            .map(|(len, n)| format!("{len} x{n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "delta checkpoints: {delta_ckpts} delta captures, {full_anchors} full anchors; \
+             chain lengths between anchors {{{dist}}}, open chain {open_chain}"
+        );
+        if let Some(d) = &report.delta {
+            println!(
+                "delta totals: {} delta / {} full downloads, {} frames written \
+                 ({} saved), {} invalidations",
+                d.delta_downloads,
+                d.full_downloads,
+                d.frames_written,
+                d.frames_saved,
+                d.invalidations,
+            );
+        }
     }
     if let Some(a) = &report.admission {
         println!(

@@ -235,6 +235,20 @@ fn report_json(label: &str, r: &Report) -> Json {
                 .set("stale_discards", r.crash.stale_discards)
                 .set("silent_corruptions", r.crash.silent_corruptions),
         );
+    // Delta-reconfiguration counters exist only when the manager ran with
+    // delta downloads enabled; omitted otherwise so legacy exports stay
+    // byte-identical.
+    if let Some(d) = &r.delta {
+        doc = doc.set(
+            "delta",
+            Obj::new()
+                .set("delta_downloads", d.delta_downloads)
+                .set("full_downloads", d.full_downloads)
+                .set("frames_written", d.frames_written)
+                .set("frames_saved", d.frames_saved)
+                .set("invalidations", d.invalidations),
+        );
+    }
     if let Some(a) = &r.admission {
         let mut ao = Obj::new()
             .set("admitted", a.admitted)

@@ -7,6 +7,7 @@
 //! Partial bitstreams simply carry fewer frames.
 
 use crate::region::Rect;
+use std::collections::BTreeMap;
 
 /// Where a CLB input or an output IOB takes its signal from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -171,7 +172,24 @@ impl Bitstream {
     }
 
     /// Number of distinct frame columns this stream writes.
+    ///
+    /// Called on every download pricing and report row, so it must not
+    /// allocate: columns fit in a 128-bit set for every catalog part
+    /// (the largest is 56 columns wide); the sort-and-dedup scan is kept
+    /// only as a fallback for out-of-catalog geometries.
     pub fn frame_count(&self) -> usize {
+        let mut mask: u128 = 0;
+        for f in &self.frames {
+            if f.col >= 128 {
+                return self.frame_count_wide();
+            }
+            mask |= 1u128 << f.col;
+        }
+        mask.count_ones() as usize
+    }
+
+    /// Allocating fallback for streams addressing columns ≥ 128.
+    fn frame_count_wide(&self) -> usize {
         let mut cols: Vec<u32> = self.frames.iter().map(|f| f.col).collect();
         cols.sort_unstable();
         cols.dedup();
@@ -215,9 +233,125 @@ impl Bitstream {
         self.crc ^= 0xDEAD_BEEF;
         self
     }
+
+    /// Frame-wise delta between two streams targeting the same region.
+    ///
+    /// Produces a partial stream that, applied to a device currently
+    /// holding exactly what `old` left behind (applied to a clean
+    /// region), yields the configuration a download of `new` onto a
+    /// clean region would — columns whose contents are identical are
+    /// skipped entirely. A differing column is rewritten over the union
+    /// row span of both streams' content there, with `None` cells
+    /// clearing CLBs `old` configured and `new` does not; IOBs present
+    /// only in `old` are explicitly unbound.
+    ///
+    /// Flip-flop caveat: cells the delta skips keep their current FF
+    /// state, while a rewritten cell resets to its init value (exactly
+    /// like any reconfiguration). The managers only apply deltas on
+    /// fresh context switches where the incoming circuit starts from
+    /// init anyway, so the equivalence holds where it is used.
+    pub fn diff(old: &Bitstream, new: &Bitstream) -> DeltaStream {
+        // Canonical per-column view: col -> row -> configured cell.
+        // Later writes win and `None` clears, matching `Device::apply`.
+        fn columns(bs: &Bitstream) -> BTreeMap<u32, BTreeMap<u32, ClbCell>> {
+            let mut out: BTreeMap<u32, BTreeMap<u32, ClbCell>> = BTreeMap::new();
+            for f in &bs.frames {
+                let col = out.entry(f.col).or_default();
+                for (k, c) in f.cells.iter().enumerate() {
+                    let row = f.row0 + k as u32;
+                    match c {
+                        Some(cell) => {
+                            col.insert(row, *cell);
+                        }
+                        None => {
+                            col.remove(&row);
+                        }
+                    }
+                }
+            }
+            out.retain(|_, m| !m.is_empty());
+            out
+        }
+        let o = columns(old);
+        let n = columns(new);
+        let empty = BTreeMap::new();
+        let mut frames = Vec::new();
+        let mut cols: Vec<u32> = o.keys().chain(n.keys()).copied().collect();
+        cols.sort_unstable();
+        cols.dedup();
+        for col in cols {
+            let oc = o.get(&col).unwrap_or(&empty);
+            let nc = n.get(&col).unwrap_or(&empty);
+            if oc == nc {
+                continue;
+            }
+            let lo = *oc.keys().chain(nc.keys()).min().expect("nonempty column");
+            let hi = *oc.keys().chain(nc.keys()).max().expect("nonempty column");
+            frames.push(FrameWrite {
+                col,
+                row0: lo,
+                cells: (lo..=hi).map(|r| nc.get(&r).copied()).collect(),
+            });
+        }
+        let oi: BTreeMap<u32, IobConfig> = old.iobs.iter().copied().collect();
+        let ni: BTreeMap<u32, IobConfig> = new.iobs.iter().copied().collect();
+        let mut iobs: Vec<(u32, IobConfig)> = ni
+            .iter()
+            .filter(|(pin, cfg)| oi.get(pin) != Some(cfg))
+            .map(|(&pin, &cfg)| (pin, cfg))
+            .collect();
+        iobs.extend(
+            oi.keys()
+                .filter(|pin| !ni.contains_key(pin))
+                .map(|&pin| (pin, IobConfig::Unused)),
+        );
+        iobs.sort_unstable_by_key(|&(pin, _)| pin);
+        let changed_frames = frames.len();
+        let changed_iobs = iobs.len();
+        DeltaStream {
+            stream: Bitstream::new(
+                format!("delta:{}->{}", old.label, new.label),
+                frames,
+                iobs,
+                false,
+            ),
+            changed_frames,
+            total_frames: new.frame_count(),
+            changed_iobs,
+        }
+    }
 }
 
-fn source_code(s: ClbSource) -> u64 {
+/// The result of [`Bitstream::diff`]: a partial stream carrying only the
+/// frames/IOBs that differ, plus the counts the pricing layer needs.
+#[derive(Debug)]
+pub struct DeltaStream {
+    /// Partial stream applying the changes (`full == false`).
+    pub stream: Bitstream,
+    /// Distinct columns the delta rewrites.
+    pub changed_frames: usize,
+    /// Distinct columns the full `new` stream writes — what a non-delta
+    /// download would have cost.
+    pub total_frames: usize,
+    /// IOB writes in the delta (changed + explicitly unbound).
+    pub changed_iobs: usize,
+}
+
+impl DeltaStream {
+    /// Whether the two streams configure identical content (nothing to
+    /// download beyond the stream header).
+    pub fn is_identical(&self) -> bool {
+        self.changed_frames == 0 && self.changed_iobs == 0
+    }
+
+    /// Columns a full (non-delta) download would write but the delta
+    /// skips.
+    pub fn frames_saved(&self) -> usize {
+        self.total_frames.saturating_sub(self.changed_frames)
+    }
+}
+
+pub(crate) fn source_code(s: ClbSource) -> u64 {
     match s {
         ClbSource::None => 0,
         ClbSource::Clb(c, r) => 1 | ((c as u64) << 8) | ((r as u64) << 40),
@@ -322,6 +456,132 @@ mod tests {
         assert_eq!(bs.bounding_rect(), Some(Rect::new(3, 2, 1, 2)));
         let empty = Bitstream::new("e", vec![], vec![], false);
         assert_eq!(empty.bounding_rect(), None);
+    }
+
+    /// Regression for the allocating frame_count: duplicate and
+    /// out-of-order columns must dedupe through the bitmask scan exactly
+    /// like the old sort-and-dedup, including past the u128 fallback
+    /// boundary.
+    #[test]
+    fn frame_count_bitmask_matches_slow_scan() {
+        let cell = ClbCell::comb(0, [ClbSource::None; 4]);
+        let fw = |col: u32| FrameWrite {
+            col,
+            row0: 0,
+            cells: vec![Some(cell)],
+        };
+        let bs = Bitstream::new(
+            "dup",
+            vec![fw(9), fw(2), fw(9), fw(0), fw(2), fw(55)],
+            vec![],
+            false,
+        );
+        assert_eq!(bs.frame_count(), 4);
+        // Columns ≥ 128 exercise the wide fallback.
+        let wide = Bitstream::new("wide", vec![fw(200), fw(3), fw(200)], vec![], false);
+        assert_eq!(wide.frame_count(), 2);
+        assert_eq!(Bitstream::new("e", vec![], vec![], false).frame_count(), 0);
+    }
+
+    fn col_stream(label: &str, cols: &[(u32, u16)], rows: usize) -> Bitstream {
+        let frames = cols
+            .iter()
+            .map(|&(col, lut)| FrameWrite {
+                col,
+                row0: 0,
+                cells: vec![Some(ClbCell::comb(lut, [ClbSource::None; 4])); rows],
+            })
+            .collect();
+        Bitstream::new(label, frames, vec![], false)
+    }
+
+    #[test]
+    fn diff_skips_identical_columns_and_counts_changes() {
+        let old = col_stream("a", &[(0, 1), (1, 2), (2, 3)], 4);
+        let new = col_stream("b", &[(0, 1), (1, 9), (2, 3)], 4);
+        let d = Bitstream::diff(&old, &new);
+        assert_eq!(d.changed_frames, 1);
+        assert_eq!(d.total_frames, 3);
+        assert_eq!(d.frames_saved(), 2);
+        assert_eq!(d.changed_iobs, 0);
+        assert!(!d.is_identical());
+        assert_eq!(d.stream.frames.len(), 1);
+        assert_eq!(d.stream.frames[0].col, 1);
+        assert!(!d.stream.full);
+        assert!(d.stream.crc_ok());
+    }
+
+    #[test]
+    fn diff_of_identical_streams_is_empty() {
+        let old = col_stream("a", &[(0, 1), (1, 2)], 4);
+        let new = col_stream("a2", &[(0, 1), (1, 2)], 4);
+        let d = Bitstream::diff(&old, &new);
+        assert!(d.is_identical());
+        assert_eq!(d.changed_frames, 0);
+        assert!(d.stream.frames.is_empty());
+    }
+
+    #[test]
+    fn diff_clears_columns_old_covered_but_new_does_not() {
+        let old = col_stream("a", &[(0, 1), (1, 2)], 4);
+        let new = col_stream("b", &[(0, 1)], 4);
+        let d = Bitstream::diff(&old, &new);
+        assert_eq!(d.changed_frames, 1);
+        let f = &d.stream.frames[0];
+        assert_eq!(f.col, 1);
+        assert!(
+            f.cells.iter().all(Option::is_none),
+            "vacated column must be cleared, not left stale"
+        );
+    }
+
+    #[test]
+    fn diff_unbinds_stale_iobs_and_writes_changed_ones() {
+        let mk = |iobs: Vec<(u32, IobConfig)>| Bitstream::new("s", vec![], iobs, false);
+        let old = mk(vec![
+            (0, IobConfig::Input),
+            (1, IobConfig::Output(0, 0)),
+            (2, IobConfig::Input),
+        ]);
+        let new = mk(vec![(0, IobConfig::Input), (1, IobConfig::Output(0, 1))]);
+        let d = Bitstream::diff(&old, &new);
+        assert_eq!(d.changed_iobs, 2);
+        assert_eq!(
+            d.stream.iobs,
+            vec![(1, IobConfig::Output(0, 1)), (2, IobConfig::Unused)]
+        );
+    }
+
+    #[test]
+    fn diff_covers_union_row_span_of_partial_columns() {
+        let cell = |lut: u16| ClbCell::comb(lut, [ClbSource::None; 4]);
+        let old = Bitstream::new(
+            "a",
+            vec![FrameWrite {
+                col: 0,
+                row0: 1,
+                cells: vec![Some(cell(1)), Some(cell(2))],
+            }],
+            vec![],
+            false,
+        );
+        let new = Bitstream::new(
+            "b",
+            vec![FrameWrite {
+                col: 0,
+                row0: 3,
+                cells: vec![Some(cell(3))],
+            }],
+            vec![],
+            false,
+        );
+        let d = Bitstream::diff(&old, &new);
+        let f = &d.stream.frames[0];
+        // Union span rows 1..=3: clears old's rows 1-2, writes new row 3.
+        assert_eq!((f.row0, f.cells.len()), (1, 3));
+        assert_eq!(f.cells[0], None);
+        assert_eq!(f.cells[1], None);
+        assert_eq!(f.cells[2], Some(cell(3)));
     }
 
     #[test]

@@ -211,6 +211,46 @@ impl Device {
         self.downloads
     }
 
+    /// FNV-1a digest of the complete device state — configuration RAM,
+    /// IOBs, and flip-flop contents (the download counter is excluded:
+    /// it counts operations, not state). Two devices with equal digests
+    /// hold byte-identical fabric state; the delta-reconfiguration
+    /// equivalence tests compare this against a fresh full download.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |b: u64| {
+            for i in 0..8 {
+                h ^= (b >> (i * 8)) & 0xFF;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        for c in &self.cells {
+            match c {
+                None => eat(u64::MAX),
+                Some(cell) => {
+                    eat(cell.lut_table as u64);
+                    for s in cell.inputs {
+                        eat(crate::bitstream::source_code(s));
+                    }
+                    eat(cell.has_ff as u64
+                        | ((cell.ff_init as u64) << 1)
+                        | ((cell.out_from_ff as u64) << 2));
+                }
+            }
+        }
+        for iob in &self.iobs {
+            eat(match *iob {
+                IobConfig::Input => 1,
+                IobConfig::Output(c, r) => 2 | ((c as u64) << 8) | ((r as u64) << 40),
+                IobConfig::Unused => 0,
+            });
+        }
+        for &w in &self.ff {
+            eat(w);
+        }
+        h
+    }
+
     /// Validate a bitstream against this device without mutating anything
     /// (the shared front half of [`Device::apply`] and
     /// [`Device::apply_torn`]).
@@ -658,6 +698,57 @@ mod tests {
         );
         d.apply(&bs).unwrap();
         assert_eq!(d.ff_word(1, 1), u64::MAX, "init=1 must preset the FF");
+    }
+
+    /// The delta contract at the device level: apply(old) then
+    /// apply(diff(old, new)) must leave fabric state byte-identical to a
+    /// fresh device after apply(new) — including cleared columns, unbound
+    /// IOBs, and flip-flop init values.
+    #[test]
+    fn applying_delta_matches_full_download() {
+        let spec = part("VF100");
+        let cell = |lut: u16| {
+            ClbCell::registered(
+                lut,
+                [
+                    ClbSource::Pin(0),
+                    ClbSource::None,
+                    ClbSource::None,
+                    ClbSource::None,
+                ],
+                lut & 1 == 1,
+            )
+        };
+        let col = |c: u32, lut: u16| FrameWrite {
+            col: c,
+            row0: 0,
+            cells: vec![Some(cell(lut)); spec.rows as usize],
+        };
+        let old = Bitstream::new(
+            "old",
+            vec![col(0, 3), col(1, 5), col(4, 7)],
+            vec![(0, IobConfig::Input), (3, IobConfig::Output(0, 0))],
+            false,
+        );
+        let new = Bitstream::new(
+            "new",
+            vec![col(0, 3), col(1, 6), col(2, 8)],
+            vec![(0, IobConfig::Input), (5, IobConfig::Output(2, 0))],
+            false,
+        );
+        let delta = Bitstream::diff(&old, &new);
+        assert!(delta.changed_frames < new.frame_count() + 1);
+
+        let mut via_delta = Device::new(spec, ConfigPort::SerialFast);
+        via_delta.apply(&old).unwrap();
+        via_delta.apply(&delta.stream).unwrap();
+        let mut via_full = Device::new(spec, ConfigPort::SerialFast);
+        via_full.apply(&new).unwrap();
+        assert_eq!(via_delta.state_digest(), via_full.state_digest());
+        // And the digest actually discriminates.
+        let mut other = Device::new(spec, ConfigPort::SerialFast);
+        other.apply(&old).unwrap();
+        assert_ne!(other.state_digest(), via_full.state_digest());
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod fabric;
 pub mod journal;
 pub mod region;
 
-pub use bitstream::{Bitstream, ClbCell, ClbSource, FrameWrite, IobConfig};
+pub use bitstream::{Bitstream, ClbCell, ClbSource, DeltaStream, FrameWrite, IobConfig};
 pub use config::{ConfigPort, ConfigTiming};
 pub use device::{Device, DeviceSpec, PARTS};
 pub use fabric::{FabricError, FabricView};

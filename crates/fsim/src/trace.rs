@@ -92,6 +92,48 @@ pub enum TraceEvent {
         /// Whole-chip download (true) vs partial reconfiguration (false).
         full: bool,
     },
+    /// A delta (frame-diff) download onto a column range whose previous
+    /// occupant is still tracked in configuration RAM: only the changed
+    /// frames ship, instead of the incoming circuit's full frame set.
+    DeltaDownload {
+        /// Task the download served.
+        task: u32,
+        /// Previous occupant of the column range (the delta base).
+        from_circuit: u32,
+        /// Circuit downloaded.
+        to_circuit: u32,
+        /// Changed frames actually written.
+        frames: u32,
+        /// Frames a full (non-delta) load of the circuit would write.
+        full_frames: u32,
+        /// Simulated port time.
+        duration: SimDuration,
+    },
+    /// A tracked resident image (delta base) was invalidated; the next
+    /// load onto the range pays a full download.
+    DeltaInvalidate {
+        /// First column of the dropped image.
+        col0: u32,
+        /// Columns it spanned.
+        width: u32,
+        /// Invalidation cause (`"repair"`, `"retire"`, `"relocate"`,
+        /// `"gc"`, `"crash"`, `"overwrite"`, `"discard"`).
+        reason: &'static str,
+    },
+    /// A delta checkpoint capture: only columns dirtied since the previous
+    /// image were read back.
+    DeltaCheckpoint {
+        /// Checkpoint sequence number.
+        seq: u64,
+        /// Frames read back (the dirty columns).
+        frames: u32,
+        /// Frames a full capture would have read back.
+        full_frames: u32,
+        /// Delta captures since the last full image (chain length).
+        chain: u32,
+        /// Readback cost of the capture.
+        duration: SimDuration,
+    },
     /// A running task was preempted.
     Preemption {
         /// Task identifier.
@@ -384,6 +426,9 @@ impl TraceEvent {
             TraceEvent::TaskState { state, .. } => state.tag(),
             TraceEvent::SchedulerDispatch { .. } => "dispatch",
             TraceEvent::ConfigDownload { .. } => "config",
+            TraceEvent::DeltaDownload { .. } => "delta",
+            TraceEvent::DeltaInvalidate { .. } => "delta-inv",
+            TraceEvent::DeltaCheckpoint { .. } => "ckpt-delta",
             TraceEvent::Preemption { .. } => "preempt",
             TraceEvent::GcRun { .. } => "gc",
             TraceEvent::PageFault { .. } => "fault",
@@ -448,6 +493,39 @@ impl fmt::Display for TraceEvent {
                 f,
                 "{} download for task {task}: {frames} frames, {bytes} B, {:.3} ms",
                 if *full { "full" } else { "partial" },
+                duration.as_millis_f64()
+            ),
+            TraceEvent::DeltaDownload {
+                task,
+                from_circuit,
+                to_circuit,
+                frames,
+                full_frames,
+                duration,
+            } => write!(
+                f,
+                "delta download for task {task}: circuit {from_circuit} -> {to_circuit}, \
+                 {frames}/{full_frames} frames, {:.3} ms",
+                duration.as_millis_f64()
+            ),
+            TraceEvent::DeltaInvalidate {
+                col0,
+                width,
+                reason,
+            } => write!(
+                f,
+                "delta base invalidated [{reason}]: cols [{col0}, {})",
+                col0 + width
+            ),
+            TraceEvent::DeltaCheckpoint {
+                seq,
+                frames,
+                full_frames,
+                chain,
+                duration,
+            } => write!(
+                f,
+                "delta checkpoint #{seq}: {frames}/{full_frames} frames, chain {chain}, {:.3} ms",
                 duration.as_millis_f64()
             ),
             TraceEvent::Preemption {
@@ -1158,6 +1236,49 @@ mod tests {
                 info: String::new(),
             };
             assert_eq!(ev.tag(), tag);
+        }
+    }
+
+    #[test]
+    fn delta_event_tags_and_display() {
+        let cases: Vec<(TraceEvent, &str, &str)> = vec![
+            (
+                TraceEvent::DeltaDownload {
+                    task: 3,
+                    from_circuit: 1,
+                    to_circuit: 2,
+                    frames: 2,
+                    full_frames: 6,
+                    duration: SimDuration::from_micros(40),
+                },
+                "delta",
+                "delta download for task 3: circuit 1 -> 2, 2/6 frames",
+            ),
+            (
+                TraceEvent::DeltaInvalidate {
+                    col0: 4,
+                    width: 3,
+                    reason: "retire",
+                },
+                "delta-inv",
+                "delta base invalidated [retire]: cols [4, 7)",
+            ),
+            (
+                TraceEvent::DeltaCheckpoint {
+                    seq: 5,
+                    frames: 3,
+                    full_frames: 9,
+                    chain: 2,
+                    duration: SimDuration::from_micros(10),
+                },
+                "ckpt-delta",
+                "delta checkpoint #5: 3/9 frames, chain 2",
+            ),
+        ];
+        for (ev, tag, fragment) in cases {
+            assert_eq!(ev.tag(), tag);
+            let s = ev.to_string();
+            assert!(s.contains(fragment), "{s:?} missing {fragment:?}");
         }
     }
 }

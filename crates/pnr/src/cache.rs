@@ -31,21 +31,23 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Cache key: netlist content hash + every compile option.
+/// Cache key: netlist content hash + every compile option. Shared with
+/// the on-disk layer ([`crate::disk`]), which stores and verifies every
+/// field inside each entry file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct Key {
-    net_hash: u64,
-    map_k: usize,
-    map_max_cuts: usize,
-    fill_bits: u64,
-    max_height: u32,
-    seed: u64,
-    shape: Option<(u32, u32)>,
-    full_height: bool,
+pub(crate) struct Key {
+    pub(crate) net_hash: u64,
+    pub(crate) map_k: usize,
+    pub(crate) map_max_cuts: usize,
+    pub(crate) fill_bits: u64,
+    pub(crate) max_height: u32,
+    pub(crate) seed: u64,
+    pub(crate) shape: Option<(u32, u32)>,
+    pub(crate) full_height: bool,
 }
 
 impl Key {
-    fn new(net: &Netlist, opts: CompileOptions) -> Self {
+    pub(crate) fn new(net: &Netlist, opts: CompileOptions) -> Self {
         Key {
             net_hash: net.content_hash(),
             map_k: opts.map.k,
@@ -68,10 +70,32 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that ran the full flow.
     pub misses: u64,
+    /// Process-cache misses served from the on-disk cache.
+    pub disk_hits: u64,
+    /// On-disk lookups that found no usable entry (missing, corrupt, or
+    /// stale — all read as a plain miss).
+    pub disk_misses: u64,
+    /// Entries written (or rewritten over a corrupt file) on disk.
+    pub disk_writes: u64,
 }
 
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+static DISK_HITS: AtomicU64 = AtomicU64::new(0);
+static DISK_MISSES: AtomicU64 = AtomicU64::new(0);
+static DISK_WRITES: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn note_disk_hit() {
+    DISK_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_disk_miss() {
+    DISK_MISSES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_disk_write() {
+    DISK_WRITES.fetch_add(1, Ordering::Relaxed);
+}
 
 fn table() -> &'static Mutex<HashMap<Key, Arc<CompiledCircuit>>> {
     static TABLE: OnceLock<Mutex<HashMap<Key, Arc<CompiledCircuit>>>> = OnceLock::new();
@@ -82,6 +106,11 @@ fn table() -> &'static Mutex<HashMap<Key, Arc<CompiledCircuit>>> {
 /// shared artifact without re-running the flow; a miss compiles outside
 /// the table lock (so concurrent misses on *different* circuits overlap)
 /// and publishes the result.
+///
+/// When `VFPGA_CACHE_DIR` is set, the persistent [`crate::disk`] layer
+/// sits behind the process table: a process miss first tries the disk
+/// entry (publishing a valid one to the table), and a genuine compile
+/// writes its entry back — so the *next* process starts warm.
 pub fn compile_shared(
     net: &Netlist,
     opts: CompileOptions,
@@ -92,7 +121,21 @@ pub fn compile_shared(
         return Ok(hit);
     }
     MISSES.fetch_add(1, Ordering::Relaxed);
+    let disk_dir = crate::disk::configured_dir();
+    if let Some(dir) = &disk_dir {
+        if let Some(loaded) = crate::disk::load(dir, &key) {
+            DISK_HITS.fetch_add(1, Ordering::Relaxed);
+            let loaded = Arc::new(loaded);
+            return Ok(table().lock().unwrap().entry(key).or_insert(loaded).clone());
+        }
+        DISK_MISSES.fetch_add(1, Ordering::Relaxed);
+    }
     let compiled = Arc::new(compile(net, opts)?);
+    if let Some(dir) = &disk_dir {
+        if crate::disk::store(dir, &key, &compiled) {
+            DISK_WRITES.fetch_add(1, Ordering::Relaxed);
+        }
+    }
     // Two threads may race here; compile is deterministic, so whichever
     // insert wins, every caller observes the same artifact content.
     Ok(table()
@@ -108,6 +151,9 @@ pub fn cache_stats() -> CacheStats {
     CacheStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
+        disk_hits: DISK_HITS.load(Ordering::Relaxed),
+        disk_misses: DISK_MISSES.load(Ordering::Relaxed),
+        disk_writes: DISK_WRITES.load(Ordering::Relaxed),
     }
 }
 

@@ -20,17 +20,21 @@
 //! [`flow::compile`] chains the whole pipeline.
 
 pub mod cache;
+pub mod disk;
 pub mod emit;
 pub mod flow;
 pub mod pack;
 pub mod place;
 pub mod route;
 pub mod timing;
+pub mod variant;
 
 pub use cache::{cache_len, cache_stats, compile_shared, CacheStats};
+pub use disk::{compile_with_disk, DISK_SCHEMA};
 pub use emit::{emit_bitstream, PinAssignment};
 pub use flow::{compile, CompileOptions, CompiledCircuit};
 pub use pack::{BlockSource, PackedBlock, PackedCircuit};
 pub use place::{place, PlaceError, PlacedCircuit};
 pub use route::{RouteError, RoutingFabric};
 pub use timing::{critical_path_ns, CLB_DELAY_NS, WIRE_DELAY_PER_HOP_NS};
+pub use variant::mutate_tables;

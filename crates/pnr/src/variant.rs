@@ -1,0 +1,156 @@
+//! Seeded circuit variants for delta-reconfiguration experiments.
+//!
+//! Delta downloads only pay off when successive occupants of a column
+//! range share most of their frames. Real tenants get that for free
+//! (bug-fix respins, parameter tweaks of one design); the benchmarks
+//! need a knob. [`mutate_tables`] derives a *variant* of a compiled
+//! circuit by rewriting the LUT truth tables of the blocks in a seeded
+//! fraction of the placement's columns — same shape, same placement,
+//! same I/O, different configuration bits.
+//!
+//! The mutation is **column-clustered** on purpose: configuration frames
+//! are per-column, so changing a fraction `f` of columns changes ≈ `f`
+//! of the circuit's frames — the bench similarity axis maps directly to
+//! the frame-delta the device will see. Timing fields are copied
+//! unchanged (a table rewrite does not move the critical path in this
+//! delay model: path length depends on placement, not table contents).
+
+use crate::flow::CompiledCircuit;
+use fsim::SimRng;
+
+/// Derive a variant of `base` whose configuration differs in a seeded
+/// `fraction` of the placement's columns (clamped to `[0, 1]`, rounded
+/// up to whole columns when nonzero). Every block in a chosen column has
+/// its LUT table XORed with a nonzero seeded mask, so each chosen column
+/// is guaranteed to differ; `fraction = 0.0` returns a byte-identical
+/// configuration under a variant name.
+pub fn mutate_tables(base: &CompiledCircuit, fraction: f64, seed: u64) -> CompiledCircuit {
+    let mut out = base.clone();
+    out.placed.circuit.name = format!("{}~v{seed:x}", base.placed.circuit.name);
+    let width = base.placed.width as usize;
+    let fraction = fraction.clamp(0.0, 1.0);
+    let n_cols = ((fraction * width as f64).ceil() as usize).min(width);
+    if n_cols == 0 || width == 0 {
+        return out;
+    }
+    let mut rng = SimRng::new(seed ^ 0xDE17A);
+    // Partial Fisher–Yates: the first `n_cols` entries are a uniform
+    // sample of the columns, order irrelevant.
+    let mut cols: Vec<u32> = (0..width as u32).collect();
+    for i in 0..n_cols {
+        let j = i + rng.below((width - i) as u64) as usize;
+        cols.swap(i, j);
+    }
+    let chosen = &cols[..n_cols];
+    let masks: Vec<u16> = chosen
+        .iter()
+        .map(|_| (rng.below(u16::MAX as u64) as u16) | 1)
+        .collect();
+    for (b, &(col, _row)) in out.placed.circuit.blocks.iter_mut().zip(&out.placed.coords) {
+        if let Some(i) = chosen.iter().position(|&c| c == col) {
+            b.lut_table ^= masks[i];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emit::{emit_bitstream, PinAssignment};
+    use crate::flow::{compile, CompileOptions};
+    use std::collections::BTreeSet;
+
+    fn compiled() -> CompiledCircuit {
+        let net = netlist::library::alu::alu("var-alu4", 4);
+        compile(
+            &net,
+            CompileOptions {
+                max_height: 10,
+                full_height: true,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn changed_cols(a: &CompiledCircuit, b: &CompiledCircuit) -> BTreeSet<u32> {
+        a.placed
+            .circuit
+            .blocks
+            .iter()
+            .zip(&b.placed.circuit.blocks)
+            .zip(&a.placed.coords)
+            .filter(|((x, y), _)| x.lut_table != y.lut_table)
+            .map(|(_, &(col, _))| col)
+            .collect()
+    }
+
+    #[test]
+    fn zero_fraction_changes_nothing_but_the_name() {
+        let base = compiled();
+        let v = mutate_tables(&base, 0.0, 7);
+        assert_ne!(v.placed.circuit.name, base.placed.circuit.name);
+        assert_eq!(v.placed.circuit.blocks, base.placed.circuit.blocks);
+        assert_eq!(v.placed.coords, base.placed.coords);
+    }
+
+    #[test]
+    fn fraction_bounds_the_set_of_touched_columns() {
+        let base = compiled();
+        let width = base.placed.width;
+        for &(f, seed) in &[(0.25, 1u64), (0.5, 2), (1.0, 3)] {
+            let v = mutate_tables(&base, f, seed);
+            let touched = changed_cols(&base, &v);
+            let budget = ((f * width as f64).ceil() as usize).min(width as usize);
+            assert!(
+                touched.len() <= budget,
+                "f={f}: {} cols touched, budget {budget}",
+                touched.len()
+            );
+            assert!(!touched.is_empty(), "f={f}: nonzero fraction must mutate");
+            // Untouched columns stay bit-identical block by block.
+            for ((a, b), &(col, _)) in base
+                .placed
+                .circuit
+                .blocks
+                .iter()
+                .zip(&v.placed.circuit.blocks)
+                .zip(&base.placed.coords)
+            {
+                if !touched.contains(&col) {
+                    assert_eq!(a, b, "column {col} leaked a mutation");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn variants_are_deterministic_and_seed_sensitive() {
+        let base = compiled();
+        let a = mutate_tables(&base, 0.5, 42);
+        let b = mutate_tables(&base, 0.5, 42);
+        let c = mutate_tables(&base, 0.5, 43);
+        assert_eq!(a.placed.circuit.blocks, b.placed.circuit.blocks);
+        assert_ne!(a.placed.circuit.blocks, c.placed.circuit.blocks);
+    }
+
+    #[test]
+    fn variant_emits_a_valid_stream_sharing_untouched_frames() {
+        let base = compiled();
+        let v = mutate_tables(&base, 0.3, 9);
+        let pins = PinAssignment::contiguous(
+            base.placed.circuit.num_inputs,
+            base.placed.circuit.outputs.len(),
+        );
+        let old = emit_bitstream(&base.placed, (0, 0), &pins, false);
+        let new = emit_bitstream(&v.placed, (0, 0), &pins, false);
+        let delta = fpga::Bitstream::diff(&old, &new);
+        let touched = changed_cols(&base, &v).len();
+        assert_eq!(
+            delta.changed_frames, touched,
+            "delta frame count must equal the mutated column count"
+        );
+        assert!(delta.changed_frames < delta.total_frames || touched == base.placed.width as usize);
+    }
+}

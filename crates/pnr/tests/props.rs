@@ -122,3 +122,82 @@ fn congestion_recovers_after_release() {
     assert_eq!(f.utilization(), 0.0);
     assert!(f.can_route(&c.placed, (0, 0)));
 }
+
+/// Delta-reconfiguration equivalence, the property the vfpga swap path
+/// rests on: for seeded random circuit pairs — same-family variants at
+/// random similarity and entirely unrelated circuits — applying
+/// `Bitstream::diff(old, new)` on a device that holds `old` leaves the
+/// fabric byte-identical (per `Device::state_digest`) to a full download
+/// of `new` onto a clean device.
+#[test]
+fn delta_apply_equals_full_download() {
+    use fpga::{Bitstream, ConfigPort, Device};
+    let spec = fpga::device::part("VF600");
+    let opts = CompileOptions {
+        max_height: spec.rows,
+        full_height: true,
+        ..Default::default()
+    };
+    let library: Vec<netlist::Netlist> = vec![
+        netlist::library::arith::ripple_adder("dp-add8", 8),
+        netlist::library::seq::lfsr("dp-lfsr", 16, 0b1101_0000_0000_1000),
+        netlist::library::codes::crc_comb("dp-crc8", netlist::library::codes::CRC8, 8, 8),
+        netlist::library::alu::alu("dp-alu4", 4),
+        netlist::library::arith::array_multiplier("dp-m4", 4),
+    ];
+    let compiled: Vec<pnr::CompiledCircuit> =
+        library.iter().map(|n| compile(n, opts).unwrap()).collect();
+    let emit = |c: &pnr::CompiledCircuit, origin: (u32, u32)| {
+        let pins =
+            PinAssignment::contiguous(c.placed.circuit.num_inputs, c.placed.circuit.outputs.len());
+        emit_bitstream(&c.placed, origin, &pins, false)
+    };
+    let mut variant_cases = 0usize;
+    let mut cross_cases = 0usize;
+    for seed in 0..SEEDS {
+        let mut rng = SimRng::new(seed ^ 0xDE17A0);
+        let i = rng.below(compiled.len() as u64) as usize;
+        let old_c = &compiled[i];
+        let new_c = if rng.chance(0.5) {
+            variant_cases += 1;
+            let f = 0.1 + 0.9 * (rng.below(1000) as f64 / 1000.0);
+            pnr::mutate_tables(old_c, f, rng.next_u64())
+        } else {
+            cross_cases += 1;
+            compiled[rng.below(compiled.len() as u64) as usize].clone()
+        };
+        let origin = (rng.below(3) as u32, 0);
+        let old_bs = emit(old_c, origin);
+        let new_bs = emit(&new_c, origin);
+        let delta = Bitstream::diff(&old_bs, &new_bs);
+
+        let mut via_delta = Device::new(spec, ConfigPort::Parallel8);
+        via_delta
+            .apply(&old_bs)
+            .unwrap_or_else(|e| panic!("seed {seed}: old apply: {e:?}"));
+        if !delta.is_identical() {
+            via_delta
+                .apply(&delta.stream)
+                .unwrap_or_else(|e| panic!("seed {seed}: delta apply: {e:?}"));
+        }
+        let mut via_full = Device::new(spec, ConfigPort::Parallel8);
+        via_full
+            .apply(&new_bs)
+            .unwrap_or_else(|e| panic!("seed {seed}: full apply: {e:?}"));
+        assert_eq!(
+            via_delta.state_digest(),
+            via_full.state_digest(),
+            "seed {seed}: delta-configured fabric diverges from full download"
+        );
+        // Pricing sanity: the delta never writes more frames than the
+        // full image of `new`.
+        assert!(
+            delta.changed_frames <= new_bs.frame_count() + old_bs.frame_count(),
+            "seed {seed}"
+        );
+    }
+    assert!(
+        variant_cases > 0 && cross_cases > 0,
+        "both pair kinds must occur"
+    );
+}

@@ -46,6 +46,13 @@ pub struct CheckpointConfig {
     /// restore. Off, restores keep stale residency claims — the ablation
     /// proving the journal is load-bearing.
     pub journal: bool,
+    /// Delta checkpointing: `Some(k)` captures only the frames that
+    /// changed since the previous image (downloads logged in the WAL plus
+    /// the always-volatile flip-flop state of sequential residents), with
+    /// a full capture every `k`-th image as the chain anchor. `None`
+    /// (the default) reads back every resident frame each time — the
+    /// legacy behavior, byte-identical exports.
+    pub delta_full_every: Option<u32>,
 }
 
 impl CheckpointConfig {
@@ -54,12 +61,21 @@ impl CheckpointConfig {
         CheckpointConfig {
             interval,
             journal: true,
+            delta_full_every: None,
         }
     }
 
     /// Disable journal replay (ablation).
     pub fn without_journal(mut self) -> Self {
         self.journal = false;
+        self
+    }
+
+    /// Enable delta captures with a full-image anchor every `k` captures
+    /// (`k` is clamped to at least 1; `k = 1` means every capture is
+    /// full, i.e. delta mode with no deltas).
+    pub fn with_delta_checkpoints(mut self, k: u32) -> Self {
+        self.delta_full_every = Some(k.max(1));
         self
     }
 }

@@ -867,6 +867,7 @@ fn merge_reports(
         fault: Default::default(),
         crash: Default::default(),
         admission: None,
+        delta: None,
         metrics: Metrics::new(),
         timelines: TimelineSet::new(),
         latency: None,
@@ -939,6 +940,15 @@ fn merge_reports(
             a.unschedulable += s.unschedulable;
             a.degrade_enters += s.degrade_enters;
             a.degrade_exits += s.degrade_exits;
+        }
+
+        if let Some(s) = &o.report.delta {
+            let d = r.delta.get_or_insert_with(Default::default);
+            d.delta_downloads += s.delta_downloads;
+            d.full_downloads += s.full_downloads;
+            d.frames_written += s.frames_written;
+            d.frames_saved += s.frames_saved;
+            d.invalidations += s.invalidations;
         }
 
         r.metrics.absorb(&o.report.metrics);

@@ -6,11 +6,14 @@
 //! preemption. One implementation per technique the paper proposes, plus
 //! the baselines it argues against.
 
+pub mod delta;
 pub mod dynload;
 pub mod exclusive;
 pub mod merged;
 pub mod overlay;
 pub mod partition;
+
+pub use delta::DeltaStats;
 
 use crate::circuit::CircuitId;
 use crate::task::TaskId;
@@ -256,6 +259,21 @@ pub trait FpgaManager {
         RetireOutcome::default()
     }
 
+    /// Delta-reconfiguration counters, when the policy has delta downloads
+    /// enabled. `None` means the feature is off (or unsupported) and the
+    /// report omits the section entirely.
+    fn delta_stats(&self) -> Option<DeltaStats> {
+        None
+    }
+
+    /// Frames in `[col0, col0 + width)` were rewritten or corrupted outside
+    /// the manager's own download accounting — an SEU landed, a scrub
+    /// repair re-downloaded them, a journal redo replayed over them. Any
+    /// delta base overlapping the range is stale and must be dropped so a
+    /// stale delta is never applied. Default: nothing tracked, nothing to
+    /// invalidate.
+    fn invalidate_image_range(&mut self, _col0: u32, _width: u32) {}
+
     /// Serialize the mutable manager state (residency tables, waiters,
     /// counters) for a system checkpoint. `None` means the policy cannot
     /// be checkpointed; [`crate::System`] then refuses to enable
@@ -363,6 +381,39 @@ pub(crate) fn charge_partial_download(
         bytes: bits.div_ceil(8),
         duration: d,
         full: false,
+    });
+    d
+}
+
+/// Shared helper: charge a delta download of `changed` frames standing in
+/// for a full load of `full_frames`, updating both the legacy counters
+/// (a delta download is still a download) and the delta statistics.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn charge_delta_download(
+    timing: &fpga::ConfigTiming,
+    changed: usize,
+    full_frames: usize,
+    from: crate::circuit::CircuitId,
+    to: crate::circuit::CircuitId,
+    stats: &mut ManagerStats,
+    dstats: &mut DeltaStats,
+    obs: &mut EventBuf,
+    task: TaskId,
+) -> SimDuration {
+    let d = partial_download_cost(timing, changed);
+    stats.downloads += 1;
+    stats.frames_written += changed as u64;
+    stats.config_time += d;
+    dstats.delta_downloads += 1;
+    dstats.frames_written += changed as u64;
+    dstats.frames_saved += full_frames.saturating_sub(changed) as u64;
+    obs.push(|| TraceEvent::DeltaDownload {
+        task: task.0,
+        from_circuit: from.0,
+        to_circuit: to.0,
+        frames: changed as u32,
+        full_frames: full_frames as u32,
+        duration: d,
     });
     d
 }

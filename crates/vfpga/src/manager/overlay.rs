@@ -11,9 +11,10 @@
 //! using a specific circuit faults into an overlay slot, evicting a victim
 //! chosen by the configured replacement policy.
 
+use super::delta::{DeltaStats, DeltaTable};
 use super::{
-    charge_partial_download, Activation, DeviceUsage, EventBuf, FpgaManager, ManagerStats,
-    PreemptCost, ResidentRegion,
+    charge_delta_download, charge_partial_download, Activation, DeviceUsage, EventBuf, FpgaManager,
+    ManagerStats, PreemptCost, ResidentRegion,
 };
 use crate::circuit::{CircuitId, CircuitLib};
 use crate::error::VfpgaError;
@@ -59,6 +60,9 @@ pub struct OverlayManager {
     clock: u64,
     stats: ManagerStats,
     obs: EventBuf,
+    /// Delta-reconfiguration state; `None` keeps the legacy full-price
+    /// swap path byte-identical.
+    delta: Option<DeltaTable>,
 }
 
 impl OverlayManager {
@@ -116,6 +120,7 @@ impl OverlayManager {
             clock: 0,
             stats: ManagerStats::default(),
             obs: EventBuf::default(),
+            delta: None,
         };
         if common_width > 0 {
             // Boot download: recording is necessarily off here, and no
@@ -135,6 +140,30 @@ impl OverlayManager {
     /// Number of overlay slots.
     pub fn slot_count(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Enable delta reconfiguration: an overlay swap is priced as the
+    /// frame diff against the slot's outgoing occupant instead of a full
+    /// partial download of the incoming circuit.
+    pub fn enable_delta(&mut self) {
+        if self.delta.is_none() {
+            self.delta = Some(DeltaTable::new());
+        }
+    }
+
+    /// Whether delta reconfiguration is enabled.
+    pub fn delta_enabled(&self) -> bool {
+        self.delta.is_some()
+    }
+
+    /// Total width of the permanently resident common circuits.
+    fn common_width(&self) -> u32 {
+        self.common.iter().map(|&c| self.lib.get(c).shape().0).sum()
+    }
+
+    /// First device column of overlay slot `i`.
+    fn slot_col0(&self, i: usize) -> u32 {
+        self.common_width() + i as u32 * self.slot_width
     }
 
     fn tick(&mut self) -> u64 {
@@ -223,7 +252,8 @@ impl FpgaManager for OverlayManager {
         match self.pick_victim() {
             Some(i) => {
                 self.stats.misses += 1;
-                if let Some(old) = self.slots[i].resident {
+                let old = self.slots[i].resident;
+                if let Some(old) = old {
                     self.stats.evictions += 1;
                     self.obs.push(|| TraceEvent::OverlaySwap {
                         task: tid.0,
@@ -232,13 +262,49 @@ impl FpgaManager for OverlayManager {
                         duration: SimDuration::ZERO, // download charged below
                     });
                 }
-                let overhead = charge_partial_download(
-                    &self.timing,
-                    width as usize,
-                    &mut self.stats,
-                    &mut self.obs,
-                    tid,
-                );
+                let frames = width as usize;
+                let overhead = match &mut self.delta {
+                    Some(dt) => {
+                        // The outgoing occupant is the delta base — its
+                        // frames are what the slot physically holds (junk
+                        // beyond its width is safe: the diff writes full
+                        // frames for columns the base does not cover).
+                        let usable = old.filter(|&o| !dt.is_dirty(o));
+                        let changed = usable.map(|o| dt.changed_frames(&self.lib, o, cid));
+                        let d = match (usable, changed) {
+                            (Some(o), Some(ch)) if ch < frames => charge_delta_download(
+                                &self.timing,
+                                ch,
+                                frames,
+                                o,
+                                cid,
+                                &mut self.stats,
+                                &mut dt.stats,
+                                &mut self.obs,
+                                tid,
+                            ),
+                            _ => {
+                                dt.stats.full_downloads += 1;
+                                charge_partial_download(
+                                    &self.timing,
+                                    frames,
+                                    &mut self.stats,
+                                    &mut self.obs,
+                                    tid,
+                                )
+                            }
+                        };
+                        dt.clear_dirty(cid);
+                        d
+                    }
+                    None => charge_partial_download(
+                        &self.timing,
+                        frames,
+                        &mut self.stats,
+                        &mut self.obs,
+                        tid,
+                    ),
+                };
                 let s = &mut self.slots[i];
                 s.resident = Some(cid);
                 s.owner = Some(tid);
@@ -333,17 +399,60 @@ impl FpgaManager for OverlayManager {
 
     fn discard_resident(&mut self, cid: CircuitId) -> bool {
         let mut any = false;
-        for s in &mut self.slots {
-            if s.resident == Some(cid) {
+        for i in 0..self.slots.len() {
+            if self.slots[i].resident == Some(cid) {
                 // The download was rejected: the slot holds garbage, the
-                // would-be owner gets nothing.
-                s.resident = None;
-                s.owner = None;
-                s.uses = 0;
+                // would-be owner gets nothing — and the garbage can never
+                // serve as a delta base.
+                self.slots[i].resident = None;
+                self.slots[i].owner = None;
+                self.slots[i].uses = 0;
                 any = true;
+                let (col0, width) = (self.slot_col0(i), self.slot_width);
+                if let Some(dt) = &mut self.delta {
+                    dt.stats.invalidations += 1;
+                    self.obs.push(|| TraceEvent::DeltaInvalidate {
+                        col0,
+                        width,
+                        reason: "discard",
+                    });
+                }
             }
         }
         any
+    }
+
+    fn invalidate_image_range(&mut self, col0: u32, width: u32) {
+        if self.delta.is_none() {
+            return;
+        }
+        // Slots whose columns the rewrite touches hold frames that no
+        // longer match their occupant's image: mark the occupant dirty so
+        // it is never used as a swap base until freshly re-downloaded.
+        let mut hit: Vec<(CircuitId, u32, u32)> = Vec::new();
+        for (i, s) in self.slots.iter().enumerate() {
+            if let Some(cid) = s.resident {
+                let s0 = self.slot_col0(i);
+                if s0 < col0 + width && col0 < s0 + self.slot_width {
+                    hit.push((cid, s0, self.slot_width));
+                }
+            }
+        }
+        if let Some(dt) = &mut self.delta {
+            for (cid, s0, sw) in hit {
+                dt.mark_dirty(cid);
+                dt.stats.invalidations += 1;
+                self.obs.push(|| TraceEvent::DeltaInvalidate {
+                    col0: s0,
+                    width: sw,
+                    reason: "repair",
+                });
+            }
+        }
+    }
+
+    fn delta_stats(&self) -> Option<DeltaStats> {
+        self.delta.as_ref().map(|d| d.stats)
     }
 
     fn usage(&self) -> DeviceUsage {
@@ -504,6 +613,78 @@ mod tests {
                 ));
             }
         }
+    }
+
+    #[test]
+    fn swap_between_variants_is_priced_as_the_delta() {
+        let spec = fpga::device::part("VF400");
+        let opts = CompileOptions {
+            max_height: spec.rows,
+            full_height: true,
+            ..Default::default()
+        };
+        let base = compile(&netlist::library::arith::array_multiplier("ob", 5), opts).unwrap();
+        let var = pnr::mutate_tables(&base, 0.25, 5);
+        let w = base.placed.width;
+        let mut lib = CircuitLib::new();
+        let a = lib.register_compiled(base);
+        let b = lib.register_compiled(var);
+        // One overlay slot spanning the device: every miss is a swap.
+        let mut m = OverlayManager::new(
+            Arc::new(lib),
+            ConfigTiming {
+                spec,
+                port: ConfigPort::SerialFast,
+            },
+            vec![],
+            spec.cols,
+            Replacement::Lru,
+        )
+        .unwrap();
+        assert_eq!(m.slot_count(), 1);
+        m.enable_delta();
+        let full = match m.activate(TaskId(0), a) {
+            Activation::Ready { overhead } => overhead,
+            other => panic!("{other:?}"),
+        };
+        m.op_done(TaskId(0), a);
+        // Swap a -> b: the outgoing occupant is the base.
+        let delta = match m.activate(TaskId(1), b) {
+            Activation::Ready { overhead } => overhead,
+            other => panic!("{other:?}"),
+        };
+        assert!(delta < full, "variant swap must beat the full download");
+        let ds = m.delta_stats().unwrap();
+        assert_eq!((ds.delta_downloads, ds.full_downloads), (1, 1));
+        assert!(ds.frames_saved > 0);
+        m.op_done(TaskId(1), b);
+        // A repair rewrote the slot: the occupant is no longer a base.
+        m.invalidate_image_range(0, w);
+        match m.activate(TaskId(2), a) {
+            Activation::Ready { overhead } => assert_eq!(overhead, full),
+            other => panic!("{other:?}"),
+        }
+        let ds = m.delta_stats().unwrap();
+        assert_eq!(ds.delta_downloads, 1, "no delta against a repaired slot");
+        assert_eq!(ds.full_downloads, 2);
+        assert_eq!(ds.invalidations, 1);
+        m.op_done(TaskId(2), a);
+        // The fresh download re-synced the slot: deltas work again.
+        match m.activate(TaskId(3), b) {
+            Activation::Ready { overhead } => assert!(overhead < full),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(m.delta_stats().unwrap().delta_downloads, 2);
+        m.op_done(TaskId(3), b);
+        // A CRC-rejected download empties the slot: next load is full.
+        assert!(m.discard_resident(b));
+        match m.activate(TaskId(4), a) {
+            Activation::Ready { overhead } => assert_eq!(overhead, full),
+            other => panic!("{other:?}"),
+        }
+        let ds = m.delta_stats().unwrap();
+        assert_eq!(ds.full_downloads, 3);
+        assert_eq!(ds.invalidations, 2);
     }
 
     #[test]

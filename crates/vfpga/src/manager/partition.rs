@@ -19,9 +19,11 @@
 //!   origin succeeds ("a garbage-collecting procedure must be introduced
 //!   to merge - when necessary - the idle existing partitions").
 
+use super::delta::{DeltaStats, DeltaTable};
 use super::{
-    charge_partial_download, charge_state_move, partial_download_cost, Activation, DeviceUsage,
-    EventBuf, FpgaManager, ManagerStats, PreemptCost, ResidentRegion, RetireOutcome,
+    charge_delta_download, charge_partial_download, charge_state_move, partial_download_cost,
+    Activation, DeviceUsage, EventBuf, FpgaManager, ManagerStats, PreemptCost, ResidentRegion,
+    RetireOutcome,
 };
 use crate::circuit::{CircuitId, CircuitLib};
 use crate::error::VfpgaError;
@@ -84,6 +86,9 @@ pub struct PartitionManager {
     obs: EventBuf,
     /// Enable the garbage collector (ablation knob for E6).
     pub gc_enabled: bool,
+    /// Delta-reconfiguration state; `None` keeps the legacy full-price
+    /// download path byte-identical.
+    delta: Option<DeltaTable>,
 }
 
 impl PartitionManager {
@@ -138,7 +143,22 @@ impl PartitionManager {
             stats: ManagerStats::default(),
             obs: EventBuf::default(),
             gc_enabled: true,
+            delta: None,
         })
+    }
+
+    /// Enable delta reconfiguration: evictions leave a tracked *ghost*
+    /// image on the freed columns, and the next load over a tracked base
+    /// is priced as the frame diff instead of a full partial download.
+    pub fn enable_delta(&mut self) {
+        if self.delta.is_none() {
+            self.delta = Some(DeltaTable::new());
+        }
+    }
+
+    /// Whether delta reconfiguration is enabled.
+    pub fn delta_enabled(&self) -> bool {
+        self.delta.is_some()
     }
 
     fn tick(&mut self) -> u64 {
@@ -251,8 +271,50 @@ impl PartitionManager {
         }
         let last_use = self.tick();
         let frames = need_w as usize;
-        let overhead =
-            charge_partial_download(&self.timing, frames, &mut self.stats, &mut self.obs, tid);
+        let col = self.parts[idx].col;
+        let overhead = match &mut self.delta {
+            Some(dt) => {
+                // A usable base is a ghost anchored at this exact column
+                // whose diff is strictly cheaper than a full load.
+                let base = dt.base_at(col);
+                let changed = base.map(|g| dt.changed_frames(&self.lib, g.cid, cid));
+                let d = match (base, changed) {
+                    (Some(g), Some(ch)) if ch < frames => {
+                        dt.consume_base(col);
+                        charge_delta_download(
+                            &self.timing,
+                            ch,
+                            frames,
+                            g.cid,
+                            cid,
+                            &mut self.stats,
+                            &mut dt.stats,
+                            &mut self.obs,
+                            tid,
+                        )
+                    }
+                    _ => {
+                        dt.stats.full_downloads += 1;
+                        charge_partial_download(
+                            &self.timing,
+                            frames,
+                            &mut self.stats,
+                            &mut self.obs,
+                            tid,
+                        )
+                    }
+                };
+                // Whatever stale images the new frames cover are gone (the
+                // consumed base was already removed without counting); the
+                // fresh download re-syncs content with image.
+                dt.invalidate_overlap(col, need_w, "overwrite", &mut self.obs);
+                dt.clear_dirty(cid);
+                d
+            }
+            None => {
+                charge_partial_download(&self.timing, frames, &mut self.stats, &mut self.obs, tid)
+            }
+        };
         self.parts[idx].slot = Slot::Resident {
             cid,
             owner: Some(tid),
@@ -295,6 +357,12 @@ impl PartitionManager {
                             col + width
                         ),
                     });
+                    // The evicted circuit's frames stay on the fabric: the
+                    // freed range is a delta base for the next occupant.
+                    if let Some(dt) = &mut self.delta {
+                        let gw = self.lib.get(cid).shape().0;
+                        dt.record_ghost(col, gw, cid, &mut self.obs);
+                    }
                 }
                 self.parts[i].slot = Slot::Free;
                 self.stats.evictions += 1;
@@ -339,6 +407,11 @@ impl PartitionManager {
         for i in candidates {
             let origin = (self.parts[i].col, 0u32);
             if let Ok(new_routes) = self.routing.route_circuit(placed, origin) {
+                // The relocation download rewrites the destination columns
+                // outside the delta path: stale bases there are gone.
+                if let Some(dt) = &mut self.delta {
+                    dt.invalidate_overlap(origin.0, need_w, "relocate", &mut self.obs);
+                }
                 let mut cost = partial_download_cost(&self.timing, need_w as usize);
                 if self.lib.get(cid).is_sequential() {
                     // State survives the move via readback + write-back.
@@ -421,6 +494,11 @@ impl PartitionManager {
     /// requesting task `tid` is charged for relocation downloads.
     fn garbage_collect(&mut self, tid: TaskId) -> SimDuration {
         self.stats.gc_runs += 1;
+        // Compaction rewrites arbitrary column ranges; every tracked base
+        // is suspect afterwards. Conservative and correct: drop them all.
+        if let Some(dt) = &mut self.delta {
+            dt.invalidate_all("gc", &mut self.obs);
+        }
         let before = self.stats;
         let mut overhead = SimDuration::ZERO;
 
@@ -784,8 +862,33 @@ impl FpgaManager for PartitionManager {
                 }
             }
         }
+        // Retired fabric can never serve as a delta base.
+        if let Some(dt) = &mut self.delta {
+            let (pc, pw) = (self.parts[idx].col, self.parts[idx].width);
+            dt.invalidate_overlap(pc, pw, "retire", &mut self.obs);
+        }
         self.carve_retired(idx, col);
         out
+    }
+
+    fn invalidate_image_range(&mut self, col0: u32, width: u32) {
+        if let Some(dt) = &mut self.delta {
+            dt.invalidate_overlap(col0, width, "repair", &mut self.obs);
+            // Residents covered by the range diverged from their image (an
+            // upset landed or an external rewrite covered them): evicting
+            // one must not leave a ghost until a fresh download re-syncs.
+            for p in &self.parts {
+                if let Slot::Resident { cid, .. } = p.slot {
+                    if p.col < col0 + width && col0 < p.col + p.width {
+                        dt.mark_dirty(cid);
+                    }
+                }
+            }
+        }
+    }
+
+    fn delta_stats(&self) -> Option<DeltaStats> {
+        self.delta.as_ref().map(|d| d.stats)
     }
 
     fn snapshot(&self) -> Option<fsim::json::Json> {
@@ -823,15 +926,18 @@ impl FpgaManager for PartitionManager {
             .iter()
             .map(|&(t, c)| Json::Arr(vec![u64::from(t.0).into(), u64::from(c.0).into()]))
             .collect();
-        Some(
-            Obj::new()
-                .set("parts", parts)
-                .set("waiters", waiters)
-                .set("clock", self.clock)
-                .set("gc_enabled", self.gc_enabled)
-                .set("stats", super::stats_to_json(&self.stats))
-                .build(),
-        )
+        let mut o = Obj::new()
+            .set("parts", parts)
+            .set("waiters", waiters)
+            .set("clock", self.clock)
+            .set("gc_enabled", self.gc_enabled)
+            .set("stats", super::stats_to_json(&self.stats));
+        // Only present when the feature is on, so legacy images are
+        // byte-identical with delta disabled.
+        if let Some(dt) = &self.delta {
+            o = o.set("delta", dt.to_json());
+        }
+        Some(o.build())
     }
 
     fn restore(&mut self, snap: &fsim::json::Json) -> Result<(), String> {
@@ -913,6 +1019,12 @@ impl FpgaManager for PartitionManager {
             snap.get("stats")
                 .ok_or("partition snapshot missing 'stats'")?,
         )?;
+        // Ghosts are never carried across a restore: the fabric was wiped
+        // and re-downloaded, so every tracked base would be stale.
+        self.delta = match snap.get("delta") {
+            Some(d) => Some(DeltaTable::from_json(d)?),
+            None => None,
+        };
         Ok(())
     }
 }
@@ -1224,6 +1336,295 @@ mod tests {
         m.op_done(TaskId(0), ids[0]);
         let out = m.retire_column(region.col0);
         assert!(out.applied);
+    }
+
+    /// Register a compiled base circuit, two close variants (same shape,
+    /// ~25% of columns mutated), and a narrower unrelated circuit:
+    /// `ids = [base, var1, var2, narrow]`. Returns `(lib, ids, w, wn)`.
+    fn delta_family(spec: fpga::DeviceSpec) -> (Arc<CircuitLib>, Vec<CircuitId>, u32, u32) {
+        let opts = CompileOptions {
+            max_height: spec.rows,
+            full_height: true,
+            ..Default::default()
+        };
+        let base = compile(&netlist::library::arith::array_multiplier("dbase", 5), opts).unwrap();
+        let var1 = pnr::mutate_tables(&base, 0.25, 11);
+        let var2 = pnr::mutate_tables(&base, 0.25, 12);
+        let narrow = compile(&netlist::library::arith::array_multiplier("dnar", 2), opts).unwrap();
+        let (w, wn) = (base.placed.width, narrow.placed.width);
+        assert!(wn < w, "narrow circuit must be narrower than the family");
+        let mut lib = CircuitLib::new();
+        let ids = vec![
+            lib.register_compiled(base),
+            lib.register_compiled(var1),
+            lib.register_compiled(var2),
+            lib.register_compiled(narrow),
+        ];
+        (Arc::new(lib), ids, w, wn)
+    }
+
+    /// Fixed layout `[w, w, 1, 1, ...]`: two usable partitions for the
+    /// family, the rest unusable slivers, so a third load must evict.
+    fn delta_mgr(spec: fpga::DeviceSpec, w: u32, lib: Arc<CircuitLib>) -> PartitionManager {
+        let mut widths = vec![w, w];
+        widths.extend(std::iter::repeat_n(1, (spec.cols - 2 * w) as usize));
+        let mut m = PartitionManager::new(
+            lib,
+            ConfigTiming {
+                spec,
+                port: ConfigPort::SerialFast,
+            },
+            PartitionMode::Fixed(widths),
+            PreemptAction::SaveRestore,
+        )
+        .unwrap();
+        m.enable_delta();
+        m
+    }
+
+    #[test]
+    fn reload_over_a_ghost_is_priced_as_the_delta() {
+        let spec = fpga::device::part("VF400");
+        let (lib, ids, w, _) = delta_family(spec);
+        assert!(2 * w <= spec.cols, "pair must leave a filler partition");
+        // One usable partition: [w, rest-of-device-in-1s] so the variant
+        // always reloads over the base's ghost.
+        let mut widths = vec![w];
+        widths.extend(std::iter::repeat_n(1, (spec.cols - w) as usize));
+        let mut m = PartitionManager::new(
+            lib,
+            ConfigTiming {
+                spec,
+                port: ConfigPort::SerialFast,
+            },
+            PartitionMode::Fixed(widths),
+            PreemptAction::SaveRestore,
+        )
+        .unwrap();
+        m.enable_delta();
+        let full = match m.activate(TaskId(0), ids[0]) {
+            Activation::Ready { overhead } => overhead,
+            other => panic!("{other:?}"),
+        };
+        m.op_done(TaskId(0), ids[0]);
+        // Variant displaces the base: evict -> ghost -> delta reload.
+        let delta = match m.activate(TaskId(1), ids[1]) {
+            Activation::Ready { overhead } => overhead,
+            other => panic!("{other:?}"),
+        };
+        assert!(
+            delta < full,
+            "delta reload ({delta:?}) must beat the full download ({full:?})"
+        );
+        let ds = m.delta_stats().expect("delta enabled");
+        assert_eq!(ds.delta_downloads, 1);
+        assert_eq!(ds.full_downloads, 1, "the first load had no base");
+        assert!(ds.frames_saved > 0);
+        // And back again: the base's ghost now serves the other direction.
+        m.op_done(TaskId(1), ids[1]);
+        match m.activate(TaskId(2), ids[0]) {
+            Activation::Ready { overhead } => assert!(overhead < full),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(m.delta_stats().unwrap().delta_downloads, 2);
+        // Legacy counters still see every download.
+        assert_eq!(m.stats().downloads, 3);
+    }
+
+    #[test]
+    fn repair_invalidation_forces_a_full_download() {
+        let spec = fpga::device::part("VF400");
+        let (lib, ids, w, _) = delta_family(spec);
+        // Control: without the repair, evicting the clean base leaves a
+        // ghost and the incoming variant rides a delta.
+        let mut c = delta_mgr(spec, w, lib.clone());
+        c.activate(TaskId(0), ids[0]);
+        c.op_done(TaskId(0), ids[0]); // base idle in p0 (LRU victim)
+        c.activate(TaskId(1), ids[1]); // var1 busy in p1
+        c.activate(TaskId(2), ids[2]); // evicts base -> ghost -> delta
+        assert_eq!(c.delta_stats().unwrap().delta_downloads, 1);
+
+        // Same sequence, but a scrub repair rewrote the base's columns
+        // between going idle and being evicted: no ghost, full download.
+        let mut m = delta_mgr(spec, w, lib);
+        m.activate(TaskId(0), ids[0]);
+        m.op_done(TaskId(0), ids[0]);
+        m.activate(TaskId(1), ids[1]);
+        let r = m
+            .resident_regions()
+            .into_iter()
+            .find(|r| r.cid == ids[0])
+            .unwrap();
+        m.invalidate_image_range(r.col0, r.width);
+        let before = m.delta_stats().unwrap();
+        match m.activate(TaskId(2), ids[2]) {
+            Activation::Ready { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        let after = m.delta_stats().unwrap();
+        assert_eq!(
+            after.delta_downloads, before.delta_downloads,
+            "no delta may ever be priced against a repaired image"
+        );
+        assert_eq!(after.full_downloads, before.full_downloads + 1);
+        assert!(
+            after.invalidations > before.invalidations,
+            "refusing the dirty ghost counts as an invalidation"
+        );
+    }
+
+    #[test]
+    fn retirement_and_crash_restore_drop_ghosts() {
+        let spec = fpga::device::part("VF400");
+        let (lib, ids, w, wn) = delta_family(spec);
+        // Layout [wn, w, w, 1...]: the narrow circuit's partition cannot
+        // host the family, so its ghost survives the double eviction.
+        let mut widths = vec![wn, w, w];
+        widths.extend(std::iter::repeat_n(1, (spec.cols - wn - 2 * w) as usize));
+        let mk = |lib: Arc<CircuitLib>| {
+            let mut m = PartitionManager::new(
+                lib,
+                ConfigTiming {
+                    spec,
+                    port: ConfigPort::SerialFast,
+                },
+                PartitionMode::Fixed(widths.clone()),
+                PreemptAction::SaveRestore,
+            )
+            .unwrap();
+            m.enable_delta();
+            m
+        };
+        let mut m = mk(lib.clone());
+        m.activate(TaskId(0), ids[3]); // narrow -> p0
+        m.op_done(TaskId(0), ids[3]); // idle, oldest (first LRU victim)
+        m.activate(TaskId(1), ids[0]); // base -> p1
+        m.op_done(TaskId(1), ids[0]); // idle, second LRU victim
+        m.activate(TaskId(2), ids[1]); // var1 -> p2, busy
+                                       // var2 needs w: evicts narrow (ghost at p0, too narrow to reuse),
+                                       // then the base (ghost at p1), and loads p1 as a delta.
+        match m.activate(TaskId(3), ids[2]) {
+            Activation::Ready { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        let ds = m.delta_stats().unwrap();
+        assert_eq!(ds.delta_downloads, 1, "var2 rides the base's ghost");
+        // The narrow circuit's ghost is live on p0 right now.
+        let snap = m.snapshot().expect("partition manager snapshots");
+
+        // -- Retirement drops the ghost: reloading narrow is full-price.
+        let inv_before = m.delta_stats().unwrap().invalidations;
+        let out = m.retire_column(0);
+        assert!(out.applied, "p0 is free, retire lands");
+        assert!(
+            m.delta_stats().unwrap().invalidations > inv_before,
+            "retiring a ghosted range must invalidate the ghost"
+        );
+        let before = m.delta_stats().unwrap();
+        match m.activate(TaskId(4), ids[3]) {
+            // p0 is retired; narrow lands on a 1-wide sliver (if it fits)
+            // or elsewhere — either way there is no base for it.
+            Activation::Ready { .. } => {
+                let after = m.delta_stats().unwrap();
+                assert_eq!(after.delta_downloads, before.delta_downloads);
+                assert_eq!(after.full_downloads, before.full_downloads + 1);
+            }
+            Activation::Unservable | Activation::Blocked => {}
+        }
+
+        // -- Crash restore folds every live ghost into invalidations.
+        let mut m2 = mk(lib);
+        m2.restore(&snap).unwrap();
+        let ds2 = m2.delta_stats().expect("delta state survives restore");
+        assert_eq!(ds2.delta_downloads, ds.delta_downloads);
+        assert_eq!(
+            ds2.invalidations,
+            ds.invalidations + 1,
+            "the live ghost is stale after a crash"
+        );
+        // Reloading narrow after the crash: p0 is free again but holds no
+        // trusted image — full download, never a stale delta.
+        let full_before = ds2.full_downloads;
+        match m2.activate(TaskId(5), ids[3]) {
+            Activation::Ready { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        let ds3 = m2.delta_stats().unwrap();
+        assert_eq!(
+            ds3.delta_downloads, ds.delta_downloads,
+            "no stale delta after crash"
+        );
+        assert_eq!(ds3.full_downloads, full_before + 1);
+    }
+
+    #[test]
+    fn gc_and_relocation_invalidate_every_ghost() {
+        // Variable mode under fragmentation: evictions leave ghosts, then
+        // the garbage collector rewrites the column layout — every ghost
+        // must die with it (compaction moves images around).
+        let spec = fpga::device::part("VF400");
+        let (lib, ids) = lib_for(spec, &[(5, "a"), (5, "b"), (5, "c"), (8, "d")]);
+        let mut m = PartitionManager::new(
+            lib,
+            ConfigTiming {
+                spec,
+                port: ConfigPort::SerialFast,
+            },
+            PartitionMode::Variable,
+            PreemptAction::SaveRestore,
+        )
+        .unwrap();
+        m.enable_delta();
+        for (t, &cid) in ids[..3].iter().enumerate() {
+            m.activate(TaskId(t as u32), cid);
+            m.op_done(TaskId(t as u32), cid);
+        }
+        match m.activate(TaskId(3), ids[3]) {
+            Activation::Ready { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        let ds = m.delta_stats().unwrap();
+        let st = m.stats();
+        assert!(st.evictions >= 1 || st.gc_runs >= 1);
+        if st.gc_runs >= 1 {
+            assert!(
+                ds.invalidations >= 1,
+                "GC rewrote the layout; ghosts must have been dropped"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_disabled_is_byte_identical_legacy() {
+        let spec = fpga::device::part("VF400");
+        let (lib, ids, w, _) = delta_family(spec);
+        let mut widths = vec![w];
+        widths.extend(std::iter::repeat_n(1, (spec.cols - w) as usize));
+        let mk = || {
+            PartitionManager::new(
+                lib.clone(),
+                ConfigTiming {
+                    spec,
+                    port: ConfigPort::SerialFast,
+                },
+                PartitionMode::Fixed(widths.clone()),
+                PreemptAction::SaveRestore,
+            )
+            .unwrap()
+        };
+        let mut legacy = mk();
+        let mut fresh = mk();
+        assert!(!fresh.delta_enabled());
+        for m in [&mut legacy, &mut fresh] {
+            m.activate(TaskId(0), ids[0]);
+            m.op_done(TaskId(0), ids[0]);
+            m.activate(TaskId(1), ids[1]);
+            m.op_done(TaskId(1), ids[1]);
+        }
+        assert_eq!(legacy.stats(), fresh.stats());
+        assert_eq!(legacy.delta_stats(), None);
+        let (a, b) = (legacy.snapshot().unwrap(), fresh.snapshot().unwrap());
+        assert_eq!(a.render(), b.render(), "snapshot must not grow a delta key");
     }
 
     #[test]

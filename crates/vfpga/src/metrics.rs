@@ -182,6 +182,10 @@ pub struct Report {
     /// so reports from admission-free runs are byte-identical to before
     /// the subsystem existed.
     pub admission: Option<AdmissionStats>,
+    /// Delta-reconfiguration counters; `None` unless the manager had
+    /// `enable_delta()` called, so exports from delta-free runs are
+    /// byte-identical to before the feature existed.
+    pub delta: Option<crate::manager::DeltaStats>,
     /// Counter/gauge snapshot taken at the end of the run (empty unless the
     /// system ran with observability enabled).
     pub metrics: Metrics,

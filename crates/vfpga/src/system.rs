@@ -244,6 +244,11 @@ pub struct System<M: FpgaManager, S: Scheduler> {
     ckpt: Option<CheckpointConfig>,
     /// Monotone checkpoint number.
     ckpt_seq: u64,
+    /// Delta captures since the last full image (delta checkpointing).
+    ckpt_chain: u32,
+    /// Fabric was rewritten outside the WAL (scrub repair, crash restore,
+    /// failover) — the next capture must be a full image.
+    ckpt_dirty_all: bool,
     /// Most recent captured image (the durable restore point).
     last_ckpt: Option<CheckpointImage>,
     /// Checkpoint/crash accounting (carried across restarts).
@@ -312,6 +317,8 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             unfinished: n,
             ckpt: None,
             ckpt_seq: 0,
+            ckpt_chain: 0,
+            ckpt_dirty_all: false,
             last_ckpt: None,
             crash: CrashStats::default(),
             admission: None,
@@ -470,6 +477,12 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 self.reg.inc("config_frames", u64::from(*frames));
                 self.reg.inc("config_bytes", *bytes);
             }
+            TraceEvent::DeltaDownload { frames, .. } => {
+                self.reg.inc("delta_downloads", 1);
+                self.reg.inc("delta_frames", u64::from(*frames));
+            }
+            TraceEvent::DeltaInvalidate { .. } => self.reg.inc("delta_invalidations", 1),
+            TraceEvent::DeltaCheckpoint { .. } => self.reg.inc("delta_checkpoints", 1),
             TraceEvent::Preemption { .. } => self.reg.inc("preemptions", 1),
             TraceEvent::GcRun { relocations, .. } => {
                 self.reg.inc("gc_runs", 1);
@@ -515,6 +528,12 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                         "download_partial"
                     };
                     lat.record(name, duration.as_nanos());
+                }
+                TraceEvent::DeltaDownload { duration, .. } => {
+                    lat.record("download_delta", duration.as_nanos());
+                }
+                TraceEvent::DeltaCheckpoint { duration, .. } => {
+                    lat.record("checkpoint_delta", duration.as_nanos());
                 }
                 TraceEvent::Preemption { saved, .. } if *saved > SimDuration::ZERO => {
                     lat.record("preempt_save", saved.as_nanos());
@@ -683,6 +702,7 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                 fault: self.fault,
                 crash: self.crash,
                 admission: self.admission.as_ref().map(|a| a.stats),
+                delta: self.dev.manager.delta_stats(),
                 metrics: self.reg,
                 timelines: self.timelines,
                 latency: self.lat,
@@ -721,17 +741,41 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         // Schedule the next capture FIRST so it is part of the pending
         // events this image records — a restored run keeps the cadence.
         self.queue.schedule_at(now + cfg.interval, Ev::Checkpoint);
-        let frames: u32 = self
-            .dev
-            .manager
-            .resident_regions()
-            .iter()
-            .map(|r| r.width)
-            .sum();
-        let cost = self.dev.manager.timing().readback_time(frames as usize);
+        let regions = self.dev.manager.resident_regions();
+        let frames: u32 = regions.iter().map(|r| r.width).sum();
+        // Delta capture: only columns that could have diverged from the
+        // previous image need a readback — columns rewritten by downloads
+        // the WAL logged since that image, plus every resident sequential
+        // circuit (its flip-flop state is always volatile). Anything that
+        // rewrites fabric outside the WAL (scrub repair, crash restore,
+        // failover) raises `ckpt_dirty_all` and forces a full image, as
+        // does the every-`k` chain anchor.
+        let delta = match (cfg.delta_full_every, &self.last_ckpt) {
+            (Some(k), Some(img)) if !self.ckpt_dirty_all && self.ckpt_chain + 1 < k => {
+                let recent = &self.dev.wal[img.wal_len.min(self.dev.wal.len())..];
+                let mut changed = 0u32;
+                for r in &regions {
+                    if self.lib.get(r.cid).is_sequential() {
+                        // Flip-flop state is always volatile.
+                        changed += r.width;
+                    } else {
+                        changed += (r.col0..r.col0 + r.width)
+                            .filter(|&c| recent.iter().any(|w| w.overlaps(c, 1)))
+                            .count() as u32;
+                    }
+                }
+                Some(changed)
+            }
+            _ => None,
+        };
+        let read = delta.unwrap_or(frames);
+        let cost = self.dev.manager.timing().readback_time(read as usize);
         self.ckpt_seq += 1;
         self.crash.checkpoints += 1;
         self.crash.checkpoint_time += cost;
+        // The stored image is always the full snapshot — delta capture
+        // changes what crosses the readback port (the cost model), never
+        // what a restore can rely on.
         let state = span::time("capture", || {
             let state = self.snapshot_json(now);
             // The round trip is the point: an image that does not survive
@@ -740,15 +784,36 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             Json::parse(&state.render())
                 .expect("checkpoint image must survive a render/parse round trip")
         });
-        if self.trace.is_enabled() {
-            self.record(
-                now,
-                TraceEvent::CheckpointTaken {
-                    seq: self.ckpt_seq,
-                    frames,
-                    duration: cost,
-                },
-            );
+        match delta {
+            Some(changed) => {
+                self.ckpt_chain += 1;
+                if self.trace.is_enabled() {
+                    self.record(
+                        now,
+                        TraceEvent::DeltaCheckpoint {
+                            seq: self.ckpt_seq,
+                            frames: changed,
+                            full_frames: frames,
+                            chain: self.ckpt_chain,
+                            duration: cost,
+                        },
+                    );
+                }
+            }
+            None => {
+                self.ckpt_chain = 0;
+                self.ckpt_dirty_all = false;
+                if self.trace.is_enabled() {
+                    self.record(
+                        now,
+                        TraceEvent::CheckpointTaken {
+                            seq: self.ckpt_seq,
+                            frames,
+                            duration: cost,
+                        },
+                    );
+                }
+            }
         }
         self.last_ckpt = Some(CheckpointImage {
             seq: self.ckpt_seq,
@@ -802,6 +867,10 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             });
         };
         self.crash = state.stats;
+        // Whatever the restore leaves on the fabric was not produced by
+        // WAL-visible downloads of THIS incarnation: the next checkpoint
+        // capture must be a full image.
+        self.ckpt_dirty_all = true;
         self.dev.wal = state.wal.clone();
         let base = state.image.as_ref().map(|i| i.wal_len).unwrap_or(0);
         if let Some(image) = &state.image {
@@ -913,6 +982,8 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             });
         }
         self.crash = state.stats;
+        // Fresh fabric on the destination device: full capture next.
+        self.ckpt_dirty_all = true;
         let crash_at = state.at;
         let base = state.image.as_ref().map(|i| i.wal_len).unwrap_or(0);
         let mut redo_window = crash_at - SimTime::ZERO;
@@ -1938,6 +2009,9 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
                     struck_at: now,
                     detected: false,
                 });
+                // The struck frames no longer match any image — evicting
+                // this circuit must not leave a delta base behind.
+                self.dev.manager.invalidate_image_range(r.col0, r.width);
                 // The task executing on the struck circuit right now keeps
                 // only the progress made before the strike.
                 if let Some(run) = &self.running {
@@ -2053,6 +2127,18 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
         let frames = region.width as usize;
         let sequential = self.lib.get(cid).is_sequential();
         let mut cost = redownload_cost(&timing, frames);
+        // The scrub rewrite happens outside the manager's download path:
+        // drop any delta base it covers (the whole device when the port
+        // cannot address frames), and force the next checkpoint capture to
+        // be a full image — the WAL never saw this write.
+        if timing.port.supports_partial() {
+            self.dev
+                .manager
+                .invalidate_image_range(region.col0, region.width);
+        } else {
+            self.dev.manager.invalidate_image_range(0, timing.spec.cols);
+        }
+        self.ckpt_dirty_all = true;
         if sequential && self.recovery.upset_recovery == UpsetRecovery::SaveRestore {
             // Read back the flip-flop state (valid bits survive an upset in
             // the *configuration* plane) and write it back after repair —

@@ -299,6 +299,148 @@ fn overhead_breakdown_tiles_total_overhead_under_crashes() {
 }
 
 #[test]
+fn delta_checkpoints_cut_readback_without_changing_outcomes() {
+    let cfg_full = CheckpointConfig::new(SimDuration::from_micros(500));
+    let cfg_delta = cfg_full.with_delta_checkpoints(4);
+    let full = finish(build_dynload().with_checkpoints(cfg_full).unwrap());
+    let delta = finish(build_dynload().with_checkpoints(cfg_delta).unwrap());
+    let d = diff_reports(&full, &delta);
+    assert!(d.is_empty(), "delta capture changed outcomes: {d:?}");
+    assert_eq!(
+        delta.crash.checkpoints, full.crash.checkpoints,
+        "delta mode must keep the capture cadence"
+    );
+    assert!(
+        delta.crash.checkpoint_time < full.crash.checkpoint_time,
+        "delta captures must read back less than full ones ({:?} vs {:?})",
+        delta.crash.checkpoint_time,
+        full.crash.checkpoint_time
+    );
+    // And the images still restore: crashed runs under delta capture
+    // reach the same outcomes as the uninterrupted run.
+    let baseline = build_dynload().run().unwrap();
+    let mut crashed = false;
+    for seed in 0..4u64 {
+        let plan = CrashPlan {
+            seed,
+            crash_rate_per_s: 60.0,
+            max_crashes: 3,
+        };
+        let r = run_with_crashes(build_dynload, cfg_delta, plan).unwrap();
+        crashed |= r.crash.crashes > 0;
+        let d = diff_reports(&baseline, &r);
+        assert!(
+            d.is_empty(),
+            "seed {seed}: delta-ckpt restore diverged: {d:?}"
+        );
+    }
+    assert!(crashed, "no seed crashed — restore path untested");
+}
+
+#[test]
+fn delta_checkpoint_chain_anchors_on_full_images() {
+    use fsim::TraceEvent;
+    let k = 3u32;
+    let cfg = CheckpointConfig::new(SimDuration::from_micros(400)).with_delta_checkpoints(k);
+    let sys = build_dynload().with_checkpoints(cfg).unwrap().with_trace();
+    let (r, trace) = match sys.run_until(None).unwrap() {
+        RunOutcome::Completed(r, t) => (*r, t),
+        RunOutcome::Crashed(_) => unreachable!("no crash scheduled"),
+    };
+    let mut chain = 0u32;
+    let mut fulls = 0u64;
+    let mut deltas = 0u64;
+    for e in trace.entries() {
+        match e.event {
+            TraceEvent::CheckpointTaken { .. } => {
+                fulls += 1;
+                chain = 0;
+            }
+            TraceEvent::DeltaCheckpoint {
+                chain: c,
+                frames,
+                full_frames,
+                ..
+            } => {
+                deltas += 1;
+                chain += 1;
+                assert_eq!(c, chain, "chain counter must count from the last anchor");
+                assert!(chain < k, "a chain of {chain} deltas missed its anchor");
+                assert!(
+                    frames <= full_frames,
+                    "a delta capture ({frames}) cannot exceed the full image ({full_frames})"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(fulls + deltas, r.crash.checkpoints);
+    assert!(fulls >= 2, "every k-th capture must anchor a full image");
+    assert!(deltas > 0, "cadence never produced a delta capture");
+}
+
+#[test]
+fn scrub_repair_forces_the_next_capture_full() {
+    use fsim::TraceEvent;
+    // k is huge: after the first image, full captures can only come from
+    // the dirty-fabric flag a scrub repair raises. SEUs at a high rate
+    // with fast scrubbing guarantee repairs happen mid-run.
+    let fault_plan = FaultPlan {
+        seed: 7,
+        download_corruption: 0.0,
+        seu_rate_per_s: 400.0,
+        column_failure_rate_per_s: 0.0,
+    };
+    let policy = RecoveryPolicy {
+        scrub_interval: Some(SimDuration::from_micros(800)),
+        ..RecoveryPolicy::default()
+    };
+    let cfg = CheckpointConfig::new(SimDuration::from_micros(600)).with_delta_checkpoints(10_000);
+    let sys = build_partition()
+        .with_faults(fault_plan, policy)
+        .with_checkpoints(cfg)
+        .unwrap()
+        .with_trace();
+    let (r, trace) = match sys.run_until(None).unwrap() {
+        RunOutcome::Completed(r, t) => (*r, t),
+        RunOutcome::Crashed(_) => unreachable!("no crash scheduled"),
+    };
+    assert!(r.fault.repairs > 0, "no repair ever ran — dead test");
+    let mut captures = 0u64;
+    let mut repaired_since_capture = false;
+    let mut fulls_after_repair = 0u64;
+    for e in trace.entries() {
+        match e.event {
+            TraceEvent::Recovered { .. } => repaired_since_capture = true,
+            TraceEvent::CheckpointTaken { .. } => {
+                captures += 1;
+                if captures > 1 {
+                    assert!(
+                        repaired_since_capture,
+                        "full capture #{captures} without a repair since the last one \
+                         (k=10000 rules out chain anchors)"
+                    );
+                    fulls_after_repair += 1;
+                }
+                repaired_since_capture = false;
+            }
+            TraceEvent::DeltaCheckpoint { .. } => {
+                assert!(
+                    !repaired_since_capture,
+                    "delta capture over fabric a scrub repair rewrote — the image \
+                     readback would miss the repaired frames"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        fulls_after_repair > 0,
+        "no repair was ever followed by a capture — the forcing path is untested"
+    );
+}
+
+#[test]
 fn zero_retry_budget_fails_immediately_without_spurious_retry() {
     // max_download_retries = 0 with certain corruption: the first corrupt
     // attempt exhausts the budget. The task fails at once and the retry

@@ -15,4 +15,6 @@ pub mod apps;
 pub mod mix;
 
 pub use apps::{suite, App, Domain, Suite};
-pub use mix::{periodic_tasks, poisson_tasks, tenant_tasks, MixParams, TenantMixParams};
+pub use mix::{
+    periodic_tasks, poisson_tasks, tenant_tasks, variant_family, MixParams, TenantMixParams,
+};

@@ -6,6 +6,7 @@
 //! mentions).
 
 use fsim::{SimDuration, SimRng, SimTime};
+use vfpga::circuit::CircuitLib;
 use vfpga::{CircuitId, Op, TaskSpec};
 
 /// Parameters for the Poisson mix.
@@ -165,6 +166,39 @@ pub fn tenant_tasks(
         .collect()
 }
 
+/// Register a circuit family sharing structure: the base plus `variants`
+/// circuits derived by rewriting a fraction `1 - similarity` of the
+/// base's LUT columns ([`pnr::mutate_tables`] — column-clustered, so the
+/// frame-level diff against the base stays sparse). `similarity` is the
+/// fraction of configuration columns a variant shares with the base:
+/// `1.0` makes every variant bit-identical to it (a delta download of
+/// zero frames), `0.0` rewrites every column (delta degenerates to a
+/// full download). Returns the family's ids, base first. Shape, timing,
+/// and I/O are preserved, so members are drop-in replacements for one
+/// another in any task mix — exactly the workload where successive swaps
+/// onto the same columns share most of their frames.
+pub fn variant_family(
+    lib: &mut CircuitLib,
+    base: pnr::CompiledCircuit,
+    variants: usize,
+    similarity: f64,
+    seed: u64,
+) -> Vec<CircuitId> {
+    assert!(
+        (0.0..=1.0).contains(&similarity),
+        "similarity must be in [0, 1]"
+    );
+    // Each variant mutates the base independently (not the previous
+    // variant), so every family pair stays `similarity`-close.
+    let mutants: Vec<_> = (0..variants)
+        .map(|v| pnr::mutate_tables(&base, 1.0 - similarity, seed.wrapping_add(v as u64 + 1)))
+        .collect();
+    let mut ids = Vec::with_capacity(variants + 1);
+    ids.push(lib.register_compiled(base));
+    ids.extend(mutants.into_iter().map(|m| lib.register_compiled(m)));
+    ids
+}
+
 /// Periodic task set: `jobs` releases of each task at its period, each job
 /// one CPU burst plus one FPGA run of the task's dedicated circuit
 /// (modeled as separate TaskSpecs per job, arrival = release time).
@@ -312,6 +346,56 @@ mod tests {
         let again = tenant_tasks(&params, &cids(3), &mut SimRng::new(9));
         for (a, b) in specs.iter().zip(&again) {
             assert_eq!(a.deadline, b.deadline);
+        }
+    }
+
+    #[test]
+    fn variant_families_scale_frame_sharing_with_similarity() {
+        use pnr::{compile, CompileOptions, PinAssignment};
+        let base = compile(
+            &netlist::library::arith::array_multiplier("fam", 4),
+            CompileOptions::default(),
+        )
+        .unwrap();
+        let emit = |lib: &CircuitLib, id: CircuitId| {
+            let c = &lib.get(id).compiled;
+            let pins = PinAssignment::contiguous(
+                c.placed.circuit.num_inputs,
+                c.placed.circuit.outputs.len(),
+            );
+            pnr::emit_bitstream(&c.placed, (0, 0), &pins, false)
+        };
+        let changed_at = |similarity: f64| {
+            let mut lib = CircuitLib::new();
+            let ids = variant_family(&mut lib, base.clone(), 3, similarity, 42);
+            assert_eq!(ids.len(), 4);
+            let shape = lib.get(ids[0]).shape();
+            for w in ids.windows(2) {
+                // Drop-in replacements: same footprint, every pair.
+                assert_eq!(lib.get(w[1]).shape(), shape);
+            }
+            let b = emit(&lib, ids[0]);
+            ids[1..]
+                .iter()
+                .map(|&v| fpga::Bitstream::diff(&b, &emit(&lib, v)).changed_frames)
+                .max()
+                .unwrap()
+        };
+        let width = base.placed.width as usize;
+        assert_eq!(changed_at(1.0), 0, "similarity 1 must be bit-identical");
+        let half = changed_at(0.5);
+        assert!(half > 0 && half <= width.div_ceil(2));
+        assert!(
+            changed_at(0.0) >= half,
+            "lower similarity cannot shrink the diff"
+        );
+        // Determinism: the same seed yields the same family.
+        let mut lib_a = CircuitLib::new();
+        let mut lib_b = CircuitLib::new();
+        let a = variant_family(&mut lib_a, base.clone(), 2, 0.5, 7);
+        let b = variant_family(&mut lib_b, base.clone(), 2, 0.5, 7);
+        for (&x, &y) in a.iter().zip(&b) {
+            assert_eq!(emit(&lib_a, x).frames, emit(&lib_b, y).frames);
         }
     }
 
