@@ -222,6 +222,53 @@ print(f"e20 gate: {len(fulls)} cell pairs, {counters['delta_downloads']} delta "
       f"downloads, {counters['delta_frames_saved']} frames saved, off-cells clean")
 PY
 
+echo "==> e21 live-migration smoke (determinism + crash-window equivalence + liveness)"
+# Same determinism contract as e15-e20. The binary is its own main gate:
+# it aborts in-process if any cell — including the three crash-window
+# cells — diverges from the migration-free baseline (diff_reports), if a
+# crash window resolves wrongly (intent-without-commit not rolled back,
+# commit-without-free not redone idempotently), or if the rebalance cell
+# leaves the piled-up tenants on one device. The wall-clock timeout
+# catches a migration handler that stops the fleet loop from converging;
+# the JSON pass re-checks the exported counters per crash window.
+./target/release/e21_migration --smoke --seed 3605 --json "$E15_TMP/e21a.json" >/dev/null
+./target/release/e21_migration --smoke --seed 3605 --json "$E15_TMP/e21b.json" >/dev/null
+"$JDIFF" "$E15_TMP/e21a.json" "$E15_TMP/e21b.json" \
+  || { echo "e21 smoke: same-seed runs are not identical modulo host"; exit 1; }
+./target/release/e21_migration --smoke --threads 1 --json "$E15_TMP/e21t1.json" >/dev/null
+./target/release/e21_migration --smoke --threads 4 --json "$E15_TMP/e21t4.json" >/dev/null
+"$JDIFF" "$E15_TMP/e21t1.json" "$E15_TMP/e21t4.json" \
+  || { echo "e21 smoke: --threads 4 diverged from --threads 1"; exit 1; }
+timeout 120 ./target/release/e21_migration --smoke --json "$E15_TMP/e21live.json" >/dev/null \
+  || { echo "e21 smoke: in-process migration gates failed (outcome divergence or unresolved crash window)"; exit 1; }
+python3 - "$E15_TMP/e21live.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+reports = {r["label"]: r for r in doc["reports"]}
+for label, r in reports.items():
+    fl = r.get("fleet", {})
+    assert fl.get("lost_in_flight", 0) == 0, f"cell {label} lost work in flight"
+    assert not any(t.get("lost_in_flight") for t in r["tasks"]), \
+        f"cell {label} flagged a task lost"
+    if label.startswith("none/"):
+        assert "fleet" not in r, f"zero-rate cell {label} grew a fleet section"
+    if "src-mid-prepare" in label or "dest-mid-copy" in label:
+        assert fl.get("migration_aborts", 0) >= 1, \
+            f"{label}: intent-without-commit was not rolled back"
+        assert "migration_redone_frees" not in fl, \
+            f"{label}: pre-commit crash redid a free"
+    if "commit-no-free" in label:
+        assert fl.get("migration_redone_frees", 0) >= 1, \
+            f"{label}: commit-without-free was not redone by replay"
+        assert "migration_aborts" not in fl, f"{label}: committed migration aborted"
+migrated = sum(r.get("fleet", {}).get("tenant_migrations", 0) for r in reports.values())
+assert migrated > 0, "no cell exercised a live migration"
+counters = doc["metrics"]["counters"]
+print(f"e21 gate: {migrated} migrations across {len(reports)} cells, "
+      f"{counters['migration_aborts']} rolled back, "
+      f"{counters['migration_redone_frees']} frees redone, zero lost")
+PY
+
 echo "==> pnr disk-cache smoke (cold populate / warm hit / corrupt-entry fallback)"
 # The persistent compile cache must be invisible to results: a warm
 # process and a process reading a vandalized cache must both reproduce
@@ -265,7 +312,7 @@ assert doc["schema"] == "vfpga-bench-perf/1", f"unexpected schema {doc['schema']
 cases = doc["host"]["cases"]
 for case in ["compile_cold", "compile_warm", "compile_disk_warm", "download_full",
              "download_partial", "download_delta", "ckpt_crash_replay", "ckpt_delta",
-             "fleet_failover", "macro_point"]:
+             "fleet_failover", "migrate_live", "macro_point"]:
     assert case in cases, f"missing case {case}"
     assert cases[case]["iters"] > 0, f"case {case} ran no iterations"
 assert doc["sim"]["latency_ns"], "no simulated latency histograms"

@@ -33,12 +33,15 @@
 //!     unless `--tag` is given). Composes with `faults` (scrub repairs
 //!     invalidate bases) and `checkpoints` (crashes drop every base).
 //!   - `fleet` — run a 3-device fleet of dynload shards under a seeded
-//!     device-crash plan instead of the single-device engine, and print
-//!     the fleet-level timeline: per-device crash/rejoin history, the
-//!     per-tenant failover/migration outcome table, and
-//!     migration-latency quantiles (tags dev-crash/dev-rejoin/failover/
-//!     sw-failover/rebalance/lost). Does not compose with the
-//!     single-device sections.
+//!     device-crash plan *and* a live-migration plan instead of the
+//!     single-device engine, and print the fleet-level timeline:
+//!     per-device crash/rejoin history, the per-tenant
+//!     failover/migration outcome table, the per-tenant migration phase
+//!     timeline (prepare/commit/freed, and aborts with their
+//!     crash-window reason), and migration-latency quantiles (tags
+//!     dev-crash/dev-rejoin/failover/sw-failover/rebalance/lost/
+//!     mig-prepare/mig-commit/mig-abort/mig-freed). Does not compose
+//!     with the single-device sections.
 //!   - `profile` — record host spans and simulated latency histograms
 //!     during the run, then print the span tree (inclusive/exclusive
 //!     wall time), a flamegraph-compatible collapsed-stack export, and
@@ -61,8 +64,8 @@ use vfpga::manager::dynload::DynLoadManager;
 use vfpga::manager::partition::{PartitionManager, PartitionMode};
 use vfpga::{
     run_fleet, run_with_crashes_traced, AdmissionPolicy, CheckpointConfig, CircuitLib, CrashPlan,
-    DegradationConfig, DeviceFaultPlan, FaultPlan, FleetConfig, Op, PlacementPolicy, PreemptAction,
-    RecoveryPolicy, RoundRobinScheduler, SchedulabilityConfig, System, SystemConfig,
+    DegradationConfig, DeviceFaultPlan, FaultPlan, FleetConfig, MigrationPlan, Op, PlacementPolicy,
+    PreemptAction, RecoveryPolicy, RoundRobinScheduler, SchedulabilityConfig, System, SystemConfig,
     WatchdogConfig,
 };
 use workload::{poisson_tasks, tenant_tasks, Domain, MixParams, TenantMixParams};
@@ -85,7 +88,7 @@ const SECTIONS: &[(&str, &str)] = &[
     ),
     (
         "fleet",
-        "multi-device crashes, failovers, rebalances, migration latency",
+        "multi-device crashes, failovers, live-migration phase timelines, migration latency",
     ),
     (
         "profile",
@@ -677,6 +680,13 @@ fn fleet_view(args: &Args) {
             crash_rate_per_s: 120.0,
             outage: SimDuration::from_millis(2),
             max_crashes: 3,
+        })
+        .with_migrations(MigrationPlan {
+            seed: args.seed,
+            rate_per_s: 150.0,
+            max_migrations: 2,
+            delta_copy: false,
+            crash: None,
         });
     let fleet = run_fleet(&cfg, specs.clone(), |ctx| {
         let mut shard_specs = ctx.specs.to_vec();
@@ -797,16 +807,65 @@ fn fleet_view(args: &Args) {
         }
     }
 
+    // Per-tenant migration phase timeline: the four mig-* events carry
+    // the tenant id, so the two-phase protocol's progress — and where an
+    // aborted attempt died — reads off chronologically per tenant.
+    println!("\nper-tenant migration phase timeline:");
+    let mut phases: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    for e in fleet.trace.entries() {
+        let at_ms = e.at.as_secs_f64() * 1e3;
+        match e.event {
+            fsim::TraceEvent::MigrationPrepare {
+                tenant,
+                from_device,
+                to_device,
+                tasks,
+            } => phases.entry(tenant).or_default().push(format!(
+                "prepare @ {at_ms:.3} ms dev {from_device} -> dev {to_device} ({tasks} tasks)"
+            )),
+            fsim::TraceEvent::MigrationCommit { tenant, redo, .. } => {
+                phases.entry(tenant).or_default().push(format!(
+                    "commit @ {at_ms:.3} ms (redo {:.3} ms)",
+                    redo.as_secs_f64() * 1e3
+                ));
+            }
+            fsim::TraceEvent::MigrationAbort { tenant, reason, .. } => phases
+                .entry(tenant)
+                .or_default()
+                .push(format!("abort @ {at_ms:.3} ms ({reason})")),
+            fsim::TraceEvent::MigrationFreed {
+                tenant,
+                claims,
+                redone,
+                ..
+            } => phases.entry(tenant).or_default().push(format!(
+                "freed @ {at_ms:.3} ms ({claims} claims{})",
+                if redone { ", redone by replay" } else { "" }
+            )),
+            _ => {}
+        }
+    }
+    if phases.is_empty() {
+        println!("  no live migrations this run");
+    }
+    for (tn, steps) in &phases {
+        println!("  t{tn}: {}", steps.join("; "));
+    }
+
     let st = fleet.stats;
     println!(
         "\nfleet: {} device crashes, {} rejoins, {} failovers ({} claims migrated), \
-         {} rebalances, {} backoff retries, {} software fallbacks, {} lost in flight, \
+         {} rebalances, {} tenant migrations ({} aborted, {} frees redone), \
+         {} backoff retries, {} software fallbacks, {} lost in flight, \
          {:.3} ms redone",
         st.device_crashes,
         st.rejoins,
         st.failovers,
         st.migrated_claims,
         st.rebalances,
+        st.tenant_migrations,
+        st.migration_aborts,
+        st.migration_redone_frees,
         st.backoff_retries,
         st.software_fallbacks,
         st.lost_in_flight,

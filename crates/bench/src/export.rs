@@ -281,19 +281,29 @@ fn report_json(label: &str, r: &Report) -> Json {
     // those exports byte-identical to plain system runs.
     if let Some(fl) = &r.fleet {
         if !fl.is_zero() {
-            doc = doc.set(
-                "fleet",
-                Obj::new()
-                    .set("device_crashes", fl.device_crashes)
-                    .set("rejoins", fl.rejoins)
-                    .set("failovers", fl.failovers)
-                    .set("migrated_claims", fl.migrated_claims)
-                    .set("lost_in_flight", fl.lost_in_flight)
-                    .set("rebalances", fl.rebalances)
-                    .set("backoff_retries", fl.backoff_retries)
-                    .set("software_fallbacks", fl.software_fallbacks)
-                    .set("redo_time_s", fl.redo_time.as_secs_f64()),
-            );
+            let mut fo = Obj::new()
+                .set("device_crashes", fl.device_crashes)
+                .set("rejoins", fl.rejoins)
+                .set("failovers", fl.failovers)
+                .set("migrated_claims", fl.migrated_claims)
+                .set("lost_in_flight", fl.lost_in_flight)
+                .set("rebalances", fl.rebalances)
+                .set("backoff_retries", fl.backoff_retries)
+                .set("software_fallbacks", fl.software_fallbacks);
+            // Live-migration counters are emitted only when a migration
+            // (or its crash replay) actually moved one, keeping
+            // migration-free fleet exports byte-identical to before the
+            // protocol existed.
+            if fl.tenant_migrations > 0 {
+                fo = fo.set("tenant_migrations", fl.tenant_migrations);
+            }
+            if fl.migration_aborts > 0 {
+                fo = fo.set("migration_aborts", fl.migration_aborts);
+            }
+            if fl.migration_redone_frees > 0 {
+                fo = fo.set("migration_redone_frees", fl.migration_redone_frees);
+            }
+            doc = doc.set("fleet", fo.set("redo_time_s", fl.redo_time.as_secs_f64()));
         }
     }
     doc.set("metrics", metrics_json(&r.metrics))

@@ -25,8 +25,8 @@ use fsim::{HistSet, LogHistogram, SimDuration, SimRng};
 use std::time::Instant;
 use vfpga::manager::dynload::DynLoadManager;
 use vfpga::{
-    run_with_crashes, CheckpointConfig, CrashPlan, DeviceId, PreemptAction, RoundRobinScheduler,
-    RunOutcome, System, SystemConfig,
+    run_fleet, run_with_crashes, CheckpointConfig, CrashPlan, DeviceId, FleetConfig, MigrationPlan,
+    PreemptAction, RoundRobinScheduler, RunOutcome, System, SystemConfig,
 };
 use workload::{poisson_tasks, Domain, MixParams};
 
@@ -420,6 +420,60 @@ pub fn run_suite(cfg: PerfConfig) -> (Json, SpanProfile, Table) {
     });
     cases.push(Case {
         name: "fleet_failover",
+        iters,
+        hist,
+    });
+
+    // --- live migration ----------------------------------------------------
+    // The two-phase tenant migration the fleet event loop drives: a
+    // checkpointed 2-device fleet under a seeded migration plan, each
+    // attempt cutting the source via readback, adopting the tenant on a
+    // fresh destination shard, and journaling intent/commit/freed.
+    let hist = time_iters(iters, || {
+        let mut rng = SimRng::new(0x317A);
+        let specs: Vec<_> = poisson_tasks(
+            &MixParams {
+                tasks: 6,
+                mean_interarrival: SimDuration::from_millis(2),
+                mean_cpu_burst: SimDuration::from_millis(2),
+                fpga_ops_per_task: 3,
+                cycles: (60_000, 200_000),
+            },
+            &ids,
+            &mut rng,
+        )
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.with_tenant(i as u32 % 3))
+        .collect();
+        let cfg = FleetConfig::new(2)
+            .with_max_shards_per_device(4)
+            .with_checkpoints(CheckpointConfig::new(SimDuration::from_millis(1)))
+            .with_migrations(MigrationPlan {
+                seed: 0x317A,
+                rate_per_s: 400.0,
+                max_migrations: 2,
+                delta_copy: false,
+                crash: None,
+            });
+        let fleet = run_fleet(&cfg, specs, |ctx| {
+            let mgr = DynLoadManager::new(lib.clone(), timing, PreemptAction::SaveRestore);
+            Ok(System::new(
+                lib.clone(),
+                mgr,
+                RoundRobinScheduler::new(SimDuration::from_millis(10)),
+                SystemConfig {
+                    preempt: PreemptAction::SaveRestore,
+                    ..Default::default()
+                },
+                ctx.specs.to_vec(),
+            ))
+        })
+        .expect("migration fleet completes");
+        std::hint::black_box(fleet.stats.tenant_migrations);
+    });
+    cases.push(Case {
+        name: "migrate_live",
         iters,
         hist,
     });

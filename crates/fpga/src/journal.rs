@@ -214,6 +214,147 @@ impl Journal {
     }
 }
 
+/// Phase of one live tenant migration, journaled on durable storage of
+/// *both* the source and destination hosts. The protocol is two-phase:
+///
+/// 1. **Intent** — the destination region is reserved and the tenant's
+///    image snapshotted; nothing irreversible has happened yet.
+/// 2. **Commit** — placement flipped to the destination; the source must
+///    still free the tenant's exclusive residency claims.
+/// 3. **Freed** — the source released the claims; the migration is done.
+///
+/// **Aborted** closes an attempt that never committed (rollback onto the
+/// source). Crash recovery resolves every prefix of this sequence: an
+/// intent without a commit is undone, a commit without a freed record is
+/// redone (idempotently), and anything ending in `Freed`/`Aborted` needs
+/// no action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationPhase {
+    /// Prepare completed: destination reserved, image snapshotted.
+    Intent,
+    /// Placement flipped to the destination.
+    Commit,
+    /// Source-side claims released; the attempt is fully done.
+    Freed,
+    /// The attempt rolled back onto the source before committing.
+    Aborted,
+}
+
+/// One journaled migration phase transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationRecord {
+    /// Monotone record number within the log.
+    pub seq: u64,
+    /// Tenant being migrated.
+    pub tenant: u32,
+    /// Source device.
+    pub from_device: u32,
+    /// Destination device.
+    pub to_device: u32,
+    /// Which phase this record marks durable.
+    pub phase: MigrationPhase,
+}
+
+/// What journal replay must do about one tenant's latest migration
+/// attempt after a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationResolution {
+    /// The attempt finished (`Freed`) or was closed (`Aborted`); replay
+    /// does nothing.
+    Resolved,
+    /// Intent without commit: the crash struck inside the prepare window.
+    /// Undo — the tenant stays on the source with its backlog intact.
+    RollBack,
+    /// Commit without freed: the crash struck between the placement flip
+    /// and the source-side free. Redo the free; it is idempotent, so a
+    /// replay that races an already-completed free is harmless.
+    RedoFree,
+}
+
+/// Durable log of [`MigrationRecord`]s for one host, the migration
+/// counterpart of the download [`Journal`]. Unlike the download journal it
+/// carries no images — the checkpoint path owns those — only the phase
+/// markers recovery needs to decide undo vs redo.
+#[derive(Debug, Default, Clone)]
+pub struct MigrationLog {
+    next_seq: u64,
+    records: Vec<MigrationRecord>,
+}
+
+impl MigrationLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        MigrationLog::default()
+    }
+
+    /// Append a phase record; returns its sequence number.
+    pub fn record(&mut self, tenant: u32, from: u32, to: u32, phase: MigrationPhase) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.records.push(MigrationRecord {
+            seq,
+            tenant,
+            from_device: from,
+            to_device: to,
+            phase,
+        });
+        seq
+    }
+
+    /// Records in the log.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records, oldest first.
+    pub fn records(&self) -> &[MigrationRecord] {
+        &self.records
+    }
+
+    /// Crash recovery: for every tenant with at least one record, classify
+    /// the *latest* attempt. Returns `(record, resolution)` pairs ordered
+    /// by tenant id — the record is the newest one of that tenant, which
+    /// identifies the source/destination pair the resolution applies to.
+    pub fn resolve(&self) -> Vec<(MigrationRecord, MigrationResolution)> {
+        let mut latest: std::collections::BTreeMap<u32, MigrationRecord> =
+            std::collections::BTreeMap::new();
+        for r in &self.records {
+            latest.insert(r.tenant, *r);
+        }
+        latest
+            .into_values()
+            .map(|r| {
+                let res = match r.phase {
+                    MigrationPhase::Intent => MigrationResolution::RollBack,
+                    MigrationPhase::Commit => MigrationResolution::RedoFree,
+                    MigrationPhase::Freed | MigrationPhase::Aborted => {
+                        MigrationResolution::Resolved
+                    }
+                };
+                (r, res)
+            })
+            .collect()
+    }
+
+    /// Drop attempts that need no recovery action (latest phase `Freed` or
+    /// `Aborted`), bounding replay work the way
+    /// [`Journal::truncate_committed`] does for downloads.
+    pub fn truncate_resolved(&mut self) {
+        let open: Vec<u32> = self
+            .resolve()
+            .into_iter()
+            .filter(|(_, res)| *res != MigrationResolution::Resolved)
+            .map(|(r, _)| r.tenant)
+            .collect();
+        self.records.retain(|r| open.contains(&r.tenant));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,5 +486,66 @@ mod tests {
         assert_eq!(d.used_clbs(), 4, "prefix frames landed");
         assert_eq!(d.iob(0), IobConfig::Unused, "IOB writes never landed");
         assert_eq!(d.download_count(), 0, "download never completed");
+    }
+
+    #[test]
+    fn migration_intent_without_commit_rolls_back() {
+        let mut l = MigrationLog::new();
+        l.record(3, 0, 1, MigrationPhase::Intent);
+        let res = l.resolve();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].0.tenant, 3);
+        assert_eq!(res[0].0.to_device, 1);
+        assert_eq!(res[0].1, MigrationResolution::RollBack);
+    }
+
+    #[test]
+    fn migration_commit_without_free_redoes_the_free() {
+        let mut l = MigrationLog::new();
+        l.record(3, 0, 1, MigrationPhase::Intent);
+        l.record(3, 0, 1, MigrationPhase::Commit);
+        assert_eq!(l.resolve()[0].1, MigrationResolution::RedoFree);
+        // Completing the free resolves the attempt; a second replay of the
+        // same log does nothing (idempotent recovery).
+        l.record(3, 0, 1, MigrationPhase::Freed);
+        assert_eq!(l.resolve()[0].1, MigrationResolution::Resolved);
+        assert_eq!(l.resolve()[0].1, MigrationResolution::Resolved);
+    }
+
+    #[test]
+    fn migration_aborted_and_freed_attempts_truncate_away() {
+        let mut l = MigrationLog::new();
+        l.record(1, 0, 2, MigrationPhase::Intent);
+        l.record(1, 0, 2, MigrationPhase::Aborted);
+        l.record(2, 0, 1, MigrationPhase::Intent);
+        l.record(2, 0, 1, MigrationPhase::Commit);
+        l.record(2, 0, 1, MigrationPhase::Freed);
+        // A third tenant crashed mid-window: its attempt must survive
+        // truncation so a later replay still sees it.
+        l.record(7, 1, 0, MigrationPhase::Intent);
+        l.record(7, 1, 0, MigrationPhase::Commit);
+        assert_eq!(l.len(), 7);
+        l.truncate_resolved();
+        assert_eq!(l.len(), 2, "only the open attempt's records remain");
+        let res = l.resolve();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].0.tenant, 7);
+        assert_eq!(res[0].1, MigrationResolution::RedoFree);
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn migration_resolution_tracks_the_latest_attempt_per_tenant() {
+        let mut l = MigrationLog::new();
+        // First attempt aborted, second attempt crashed mid-prepare: the
+        // newest record governs.
+        l.record(4, 0, 1, MigrationPhase::Intent);
+        l.record(4, 0, 1, MigrationPhase::Aborted);
+        l.record(4, 0, 2, MigrationPhase::Intent);
+        let res = l.resolve();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].0.to_device, 2, "newest attempt's destination");
+        assert_eq!(res[0].1, MigrationResolution::RollBack);
+        assert_eq!(res[0].0.seq, 2, "records are sequenced");
     }
 }

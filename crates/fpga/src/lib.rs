@@ -32,5 +32,8 @@ pub use bitstream::{Bitstream, ClbCell, ClbSource, DeltaStream, FrameWrite, IobC
 pub use config::{ConfigPort, ConfigTiming};
 pub use device::{Device, DeviceSpec, PARTS};
 pub use fabric::{FabricError, FabricView};
-pub use journal::{Journal, RecoveryOutcome, TxnId};
+pub use journal::{
+    Journal, MigrationLog, MigrationPhase, MigrationRecord, MigrationResolution, RecoveryOutcome,
+    TxnId,
+};
 pub use region::Rect;

@@ -348,6 +348,142 @@ impl DeviceFaultInjector {
     }
 }
 
+/// Where inside a live-migration window a crash lands. The two-phase
+/// protocol (see `vfpga::migrate`) has three distinguishable windows a
+/// host or device death can interrupt; journal replay must resolve each
+/// one to either a clean rollback or an idempotent completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationCrashWindow {
+    /// The source host dies after journaling its `MigrationIntent` but
+    /// before the destination journals one: prepare never finished, the
+    /// intent-without-commit must be undone (tenant stays on the source).
+    SourceMidPrepare,
+    /// The destination dies while the prepared image is being copied in:
+    /// both sides hold an intent and no commit — undone on both, the
+    /// tenant rolls back onto the source with its backlog intact.
+    DestMidCopy,
+    /// The crash lands after `MigrationCommit` was journaled but before
+    /// the source columns were freed: the commit wins, and replay redoes
+    /// the source-free idempotently.
+    BetweenCommitAndFree,
+}
+
+impl MigrationCrashWindow {
+    /// Short name for labels and trace output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MigrationCrashWindow::SourceMidPrepare => "src-mid-prepare",
+            MigrationCrashWindow::DestMidCopy => "dest-mid-copy",
+            MigrationCrashWindow::BetweenCommitAndFree => "commit-no-free",
+        }
+    }
+}
+
+/// Seeded plan for tenant-grain live migrations driven by the fleet
+/// event loop: migration *instants* arrive as a Poisson process, and an
+/// optional crash point kills a chosen migration inside a chosen window.
+/// Like every other plan here, a zero-rate plan draws nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationPlan {
+    /// Seed for the migration-instant stream (independent of every other
+    /// fault class — the stream has its own derivation tag).
+    pub seed: u64,
+    /// Poisson rate (migration attempts per simulated second). Zero
+    /// disables live migration entirely.
+    pub rate_per_s: f64,
+    /// Hard cap on migration attempts, so a run always finishes.
+    pub max_migrations: u32,
+    /// Copy the prepared image delta-anchored: the destination implants a
+    /// ghost of the tenant's resident circuits so their next activation
+    /// is priced as a delta reconfiguration instead of a full download
+    /// (requires a delta-capable manager; silently full-priced otherwise).
+    pub delta_copy: bool,
+    /// Crash the `k`-th (0-based) migration attempt inside the given
+    /// window. `None` lets every migration run to completion.
+    pub crash: Option<(u32, MigrationCrashWindow)>,
+}
+
+impl MigrationPlan {
+    /// A plan that never migrates.
+    pub fn none() -> Self {
+        MigrationPlan {
+            seed: 0,
+            rate_per_s: 0.0,
+            max_migrations: 0,
+            delta_copy: false,
+            crash: None,
+        }
+    }
+
+    /// Whether live migration is disabled (rate zero or budget zero).
+    pub fn is_zero(&self) -> bool {
+        self.rate_per_s <= 0.0 || self.max_migrations == 0
+    }
+}
+
+impl Default for MigrationPlan {
+    fn default() -> Self {
+        MigrationPlan::none()
+    }
+}
+
+/// Turns a [`MigrationPlan`] into a reproducible sequence of absolute
+/// migration instants. Lives in the fleet harness, outside any simulated
+/// system, so the stream survives the crash windows it drives.
+#[derive(Debug)]
+pub struct MigrationInjector {
+    plan: MigrationPlan,
+}
+
+impl MigrationInjector {
+    /// Derivation tag of the migration-instant stream. Far above the
+    /// [`DeviceFaultInjector::STREAM_TAG_BASE`]` + device` tags of any
+    /// realistic fleet, so no device stream ever collides with it even
+    /// under a shared seed.
+    pub const STREAM_TAG: u64 = 1 << 32;
+
+    /// An injector over the plan. Constructing it draws nothing.
+    pub fn new(plan: MigrationPlan) -> Self {
+        MigrationInjector { plan }
+    }
+
+    /// The plan this injector was built from.
+    pub fn plan(&self) -> &MigrationPlan {
+        &self.plan
+    }
+
+    /// The absolute migration instants, strictly increasing, capped by
+    /// the plan's budget. A zero-rate plan returns an empty vec without
+    /// constructing an RNG, so existing experiments are byte-identical
+    /// under a disabled plan.
+    pub fn instants(&self) -> Vec<crate::SimTime> {
+        if self.plan.is_zero() {
+            return Vec::new();
+        }
+        let mut rng = SimRng::new(self.plan.seed).derive(Self::STREAM_TAG);
+        let mut at = 0u64;
+        let mut out = Vec::with_capacity(self.plan.max_migrations as usize);
+        for _ in 0..self.plan.max_migrations {
+            let gap = match FaultInjector::interarrival(&mut rng, self.plan.rate_per_s) {
+                Some(g) => g,
+                None => break,
+            };
+            at = at.saturating_add(gap.as_nanos());
+            out.push(crate::SimTime(at));
+        }
+        out
+    }
+
+    /// The crash window assigned to migration attempt `k`, if the plan
+    /// crashes that attempt.
+    pub fn crash_window_for(&self, k: u32) -> Option<MigrationCrashWindow> {
+        match self.plan.crash {
+            Some((kk, w)) if kk == k => Some(w),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -524,6 +660,54 @@ mod tests {
         assert!(DeviceFaultPlan::none().is_zero());
         assert!(none.windows(0).is_empty());
         assert!(none.up_at(0, crate::SimTime(12345)));
+    }
+
+    #[test]
+    fn migration_instants_are_seeded_monotone_and_bounded() {
+        let plan = MigrationPlan {
+            seed: 17,
+            rate_per_s: 200.0,
+            max_migrations: 5,
+            delta_copy: false,
+            crash: None,
+        };
+        let inj = MigrationInjector::new(plan);
+        let a = inj.instants();
+        let b = MigrationInjector::new(plan).instants();
+        assert_eq!(a, b, "same seed, same instants");
+        assert_eq!(a.len(), 5, "budget caps the sequence");
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        assert_eq!(inj.crash_window_for(0), None);
+
+        let none = MigrationInjector::new(MigrationPlan::none());
+        assert!(MigrationPlan::none().is_zero());
+        assert!(none.instants().is_empty());
+    }
+
+    #[test]
+    fn migration_crash_targets_exactly_one_attempt() {
+        let plan = MigrationPlan {
+            seed: 17,
+            rate_per_s: 200.0,
+            max_migrations: 5,
+            delta_copy: true,
+            crash: Some((2, MigrationCrashWindow::DestMidCopy)),
+        };
+        let inj = MigrationInjector::new(plan);
+        for k in 0..5 {
+            let w = inj.crash_window_for(k);
+            if k == 2 {
+                assert_eq!(w, Some(MigrationCrashWindow::DestMidCopy));
+            } else {
+                assert_eq!(w, None);
+            }
+        }
+        // The crash knob must not perturb the instant stream itself.
+        let clean = MigrationInjector::new(MigrationPlan {
+            crash: None,
+            ..plan
+        });
+        assert_eq!(inj.instants(), clean.instants());
     }
 
     #[test]

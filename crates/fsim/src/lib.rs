@@ -35,6 +35,7 @@ pub mod trace;
 pub use event::{EventQueue, ScheduledEvent};
 pub use fault::{
     CrashInjector, CrashPlan, DeviceFaultInjector, DeviceFaultPlan, FaultInjector, FaultPlan,
+    MigrationCrashWindow, MigrationInjector, MigrationPlan,
 };
 pub use obs::{Metrics, Timeline, TimelineSet};
 pub use rng::SimRng;

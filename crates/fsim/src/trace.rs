@@ -407,6 +407,57 @@ pub enum TraceEvent {
         /// Tasks lost in flight.
         tasks: u32,
     },
+    /// Live-migration *prepare*: a destination region was reserved and
+    /// the tenant's resident image + FF state snapshotted; a
+    /// `MigrationIntent` record is journaled on both sides.
+    MigrationPrepare {
+        /// The migrating tenant.
+        tenant: u32,
+        /// Source device.
+        from_device: u32,
+        /// Destination device.
+        to_device: u32,
+        /// Live (unfinished) tasks the tenant carries across.
+        tasks: u32,
+    },
+    /// Live-migration *commit*: the destination owns the tenant, the
+    /// placement table flipped, and a `MigrationCommit` was journaled.
+    MigrationCommit {
+        /// The migrated tenant.
+        tenant: u32,
+        /// Source device.
+        from_device: u32,
+        /// Destination device.
+        to_device: u32,
+        /// Post-checkpoint work window the destination re-executes.
+        redo: SimDuration,
+    },
+    /// Live-migration *abort*: a crash window (or missing destination)
+    /// rolled the tenant back onto the source with its backlog intact.
+    MigrationAbort {
+        /// The tenant that stayed put.
+        tenant: u32,
+        /// Source device.
+        from_device: u32,
+        /// Destination device the attempt targeted (`u32::MAX` when the
+        /// attempt died before choosing one).
+        to_device: u32,
+        /// Why the migration rolled back.
+        reason: &'static str,
+    },
+    /// Source columns of a committed migration were freed — either in the
+    /// normal commit path or idempotently redone by journal replay after
+    /// a crash between commit and free.
+    MigrationFreed {
+        /// The migrated tenant.
+        tenant: u32,
+        /// The source device whose columns were freed.
+        device: u32,
+        /// Residency claims discarded.
+        claims: u32,
+        /// True when journal replay redid the free after a crash.
+        redone: bool,
+    },
     /// Escape hatch for one-off annotations.
     Custom {
         /// Category tag.
@@ -458,6 +509,10 @@ impl TraceEvent {
             TraceEvent::SoftwareFailover { .. } => "sw-failover",
             TraceEvent::FleetRebalance { .. } => "rebalance",
             TraceEvent::FleetLost { .. } => "lost",
+            TraceEvent::MigrationPrepare { .. } => "mig-prepare",
+            TraceEvent::MigrationCommit { .. } => "mig-commit",
+            TraceEvent::MigrationAbort { .. } => "mig-abort",
+            TraceEvent::MigrationFreed { .. } => "mig-freed",
             TraceEvent::Custom { tag, .. } => tag,
         }
     }
@@ -750,6 +805,60 @@ impl fmt::Display for TraceEvent {
             TraceEvent::FleetLost { device, tasks } => write!(
                 f,
                 "device {device} down, no destination: {tasks} tasks lost in flight"
+            ),
+            TraceEvent::MigrationPrepare {
+                tenant,
+                from_device,
+                to_device,
+                tasks,
+            } => write!(
+                f,
+                "migration prepare tenant {tenant} dev {from_device} -> dev {to_device}: \
+                 {tasks} live tasks, intent journaled on both sides"
+            ),
+            TraceEvent::MigrationCommit {
+                tenant,
+                from_device,
+                to_device,
+                redo,
+            } => write!(
+                f,
+                "migration commit tenant {tenant} dev {from_device} -> dev {to_device}: \
+                 redo window {:.3} ms",
+                redo.as_millis_f64()
+            ),
+            TraceEvent::MigrationAbort {
+                tenant,
+                from_device,
+                to_device,
+                reason,
+            } => {
+                if *to_device == u32::MAX {
+                    write!(
+                        f,
+                        "migration abort tenant {tenant} on dev {from_device}: {reason}"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "migration abort tenant {tenant} dev {from_device} -> dev {to_device}: \
+                         {reason}"
+                    )
+                }
+            }
+            TraceEvent::MigrationFreed {
+                tenant,
+                device,
+                claims,
+                redone,
+            } => write!(
+                f,
+                "migration freed tenant {tenant} source dev {device}: {claims} claims{}",
+                if *redone {
+                    " (redone by journal replay)"
+                } else {
+                    ""
+                }
             ),
             TraceEvent::Custom { message, .. } => f.write_str(message),
         }

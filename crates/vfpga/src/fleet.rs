@@ -25,12 +25,14 @@ use crate::checkpoint::{CheckpointConfig, RunOutcome};
 use crate::error::VfpgaError;
 use crate::manager::FpgaManager;
 use crate::metrics::{Report, TaskMetrics};
+use crate::migrate::{CounterBaseline, MigrationEngine};
 use crate::sched::Scheduler;
 use crate::system::System;
 use crate::task::TaskSpec;
+use fpga::journal::{MigrationPhase, MigrationResolution};
 use fsim::{
-    DeviceFaultInjector, DeviceFaultPlan, HistSet, LogHistogram, Metrics, SimDuration, SimTime,
-    TimelineSet, Trace, TraceEvent,
+    DeviceFaultInjector, DeviceFaultPlan, HistSet, LogHistogram, Metrics, MigrationCrashWindow,
+    MigrationPlan, SimDuration, SimTime, TimelineSet, Trace, TraceEvent,
 };
 use std::fmt;
 
@@ -98,6 +100,16 @@ pub struct FleetStats {
     pub software_fallbacks: u64,
     /// Total post-checkpoint work window re-executed by migrations.
     pub redo_time: SimDuration,
+    /// Single tenants live-migrated between devices through the
+    /// two-phase prepare/commit protocol (planned moves, not failovers).
+    pub tenant_migrations: u64,
+    /// Live migrations rolled back by journal replay: a crash struck
+    /// before the commit, so the intent was undone and the tenant stayed
+    /// on its source with its backlog intact.
+    pub migration_aborts: u64,
+    /// Commit-without-free windows completed by journal replay: the
+    /// source-side free was redone idempotently.
+    pub migration_redone_frees: u64,
 }
 
 impl FleetStats {
@@ -130,6 +142,11 @@ pub struct FleetConfig {
     /// When the retry ladder is exhausted, finish the shard on a
     /// software-priced build instead of abandoning its tasks.
     pub software_fallback: bool,
+    /// Planned live-migration schedule (zero-rate never migrates). Like
+    /// device faults, a non-zero plan needs checkpoints with the journal:
+    /// the cut restores through the checkpoint path and the two-phase
+    /// protocol journals its intent/commit records for crash replay.
+    pub migrations: MigrationPlan,
 }
 
 impl FleetConfig {
@@ -146,7 +163,14 @@ impl FleetConfig {
             max_failover_retries: 3,
             retry_backoff: SimDuration::from_millis(5),
             software_fallback: true,
+            migrations: MigrationPlan::none(),
         }
+    }
+
+    /// With a planned live-migration schedule.
+    pub fn with_migrations(mut self, plan: MigrationPlan) -> Self {
+        self.migrations = plan;
+        self
     }
 
     /// With a placement policy.
@@ -209,6 +233,15 @@ impl FleetConfig {
                 Some(_) => {}
             }
         }
+        if !self.migrations.is_zero() {
+            match self.ckpt {
+                None => return bad("live migration needs checkpoints to cut tenants from"),
+                Some(c) if !c.journal => {
+                    return bad("live migration needs the journal for crash-safe two-phase commit")
+                }
+                Some(_) => {}
+            }
+        }
         Ok(())
     }
 }
@@ -248,12 +281,15 @@ pub struct ShardOutcome {
     /// Device the shard finished on; `None` means it finished on the
     /// software path (or was abandoned after its last device died).
     pub final_host: Option<DeviceId>,
-    /// Tenants the shard carried.
+    /// Tenants the shard finished with (live migration removes a tenant
+    /// from its source shard and appends a destination shard for it).
     pub tenants: Vec<u32>,
-    /// Fault-driven migrations this shard survived.
-    pub failovers: u32,
-    /// Planned migrations onto rejoined devices.
-    pub rebalances: u32,
+    /// Fault-driven migrations this shard survived. Same width as the
+    /// fleet total so per-shard sums never truncate against it.
+    pub failovers: u64,
+    /// Planned migrations onto rejoined devices (same width as the fleet
+    /// total).
+    pub rebalances: u64,
     /// Tasks counted `lost_in_flight`.
     pub lost: u32,
     /// The shard's own report.
@@ -385,8 +421,14 @@ struct ShardRun<M: FpgaManager, S: Scheduler> {
     /// Instant of the shard's last restore; device-fault windows at or
     /// before it are already accounted for.
     watermark: SimTime,
-    failovers: u32,
-    rebalances: u32,
+    failovers: u64,
+    rebalances: u64,
+    /// A live migration touched this shard (as source or destination):
+    /// its report must be filtered to the tenants it finished with.
+    mig_touched: bool,
+    /// Source-cumulative counter baseline a migration destination must
+    /// subtract from its final report before the fleet merge.
+    mig_baseline: Option<CounterBaseline>,
     /// A built (and possibly restored) system waiting for its next
     /// segment. `None` until first needed — segments after a migration
     /// carry the restored system here.
@@ -469,6 +511,8 @@ where
             watermark: SimTime::ZERO,
             failovers: 0,
             rebalances: 0,
+            mig_touched: false,
+            mig_baseline: None,
             pending: None,
             done: None,
         };
@@ -504,19 +548,21 @@ where
     let mut stats = FleetStats::default();
     let mut migration_lat = LogHistogram::new();
     let mut events: Vec<(SimTime, TraceEvent)> = Vec::new();
+    let mut engine = MigrationEngine::new(cfg.migrations);
 
     // Global event loop: interleave per-shard device-crash interrupts
-    // with device rejoins in time order (crashes first on ties). Each
+    // with device rejoins and planned migration instants in time order
+    // (crashes first on ties, then rejoins, then migrations). Each
     // iteration either finishes a shard, strictly advances a shard's
-    // watermark, or consumes a rejoin — and windows are finite, so the
-    // loop terminates.
+    // watermark, or consumes a rejoin or migration instant — and all
+    // three streams are finite, so the loop terminates.
     loop {
         if !shards.iter().any(|s| s.done.is_none()) {
             break;
         }
         // Earliest pending interrupt: (time, kind, index). kind 0 =
         // device crash cutting shard `index`, kind 1 = device `index`
-        // rejoining.
+        // rejoining, kind 2 = planned migration instant.
         let mut next: Option<(SimTime, u8, usize)> = None;
         for (si, sr) in shards.iter().enumerate() {
             if sr.done.is_some() {
@@ -538,7 +584,29 @@ where
                 next = Some(cand);
             }
         }
+        if let Some(at) = engine.next_instant() {
+            let cand = (at, 2u8, 0usize);
+            if next.is_none_or(|n| cand < n) {
+                next = Some(cand);
+            }
+        }
         let Some((t, kind, idx)) = next else { break };
+
+        if kind == 2 {
+            migrate_one(
+                cfg,
+                t,
+                &mut engine,
+                &mut build,
+                &mut shards,
+                &mut hosted,
+                &windows,
+                &mut stats,
+                &mut migration_lat,
+                &mut events,
+            )?;
+            continue;
+        }
 
         if kind == 1 {
             // Device `idx` is back. Rebalance at most one shard onto it:
@@ -738,11 +806,56 @@ where
         }
     }
 
-    // Assemble outcomes in shard order, then merge.
+    // Fleet totals and per-shard counters are updated in lockstep above;
+    // the sums must agree exactly (the shard counters are u64 for this
+    // reason — a u32 per-shard sum could truncate against the total).
+    debug_assert_eq!(
+        stats.failovers,
+        shards.iter().map(|s| s.failovers).sum::<u64>(),
+        "fleet failover total equals the per-shard sum"
+    );
+    debug_assert_eq!(
+        stats.rebalances,
+        shards.iter().map(|s| s.rebalances).sum::<u64>(),
+        "fleet rebalance total equals the per-shard sum"
+    );
+
+    // Assemble outcomes in shard order, then merge. A migration-touched
+    // shard ran with the full spec list for index stability; only the
+    // rows of the tenants it finished with are its to report — the other
+    // side of each split reports the rest.
     let mut outcomes = Vec::with_capacity(shards.len());
     let mut origs = Vec::with_capacity(shards.len());
     for sr in shards {
-        let (report, final_host, lost) = sr.done.expect("every shard finished");
+        let (mut report, final_host, lost) = sr.done.expect("every shard finished");
+        if let Some(base) = &sr.mig_baseline {
+            base.subtract_from(&mut report);
+        }
+        let mut orig = sr.orig;
+        if sr.mig_touched {
+            let keep: Vec<bool> = sr
+                .specs
+                .iter()
+                .map(|s| sr.tenants.contains(&s.tenant))
+                .collect();
+            report.tasks = report
+                .tasks
+                .into_iter()
+                .zip(&keep)
+                .filter_map(|(m, &k)| k.then_some(m))
+                .collect();
+            orig = orig
+                .into_iter()
+                .zip(&keep)
+                .filter_map(|(o, &k)| k.then_some(o))
+                .collect();
+            report.makespan = report
+                .tasks
+                .iter()
+                .map(|m| m.completion - SimTime::ZERO)
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+        }
         outcomes.push(ShardOutcome {
             shard: sr.shard,
             home: DeviceId(sr.home),
@@ -753,7 +866,7 @@ where
             lost,
             report,
         });
-        origs.push(sr.orig);
+        origs.push(orig);
     }
 
     // Device-fault bookkeeping against the merged horizon: windows that
@@ -812,6 +925,249 @@ fn finish<M: FpgaManager, S: Scheduler>(
         hosted[h as usize] -= 1;
     }
     sr.done = Some((report, host, 0));
+}
+
+/// One planned live migration at instant `t`: pick the most crowded live
+/// shard, its lowest-id tenant with live work, and a destination device;
+/// then run the two-phase protocol — prepare (cut + journal intent on
+/// both sides), commit (adopt on the destination, flip placement,
+/// journal), free (release source residency, journal). A crash window
+/// targeting this attempt dies at the scripted step instead, and journal
+/// replay resolves what survives: intent-without-commit rolls the tenant
+/// back onto the source, commit-without-free redoes the free
+/// idempotently.
+#[allow(clippy::too_many_arguments)]
+fn migrate_one<M, S, F>(
+    cfg: &FleetConfig,
+    t: SimTime,
+    engine: &mut MigrationEngine,
+    build: &mut F,
+    shards: &mut Vec<ShardRun<M, S>>,
+    hosted: &mut [u32],
+    windows: &[Vec<(SimTime, SimTime)>],
+    stats: &mut FleetStats,
+    migration_lat: &mut LogHistogram,
+    events: &mut Vec<(SimTime, TraceEvent)>,
+) -> Result<(), VfpgaError>
+where
+    M: FpgaManager,
+    S: Scheduler,
+    F: FnMut(&ShardCtx<'_>) -> Result<System<M, S>, VfpgaError>,
+{
+    engine.consume_instant();
+    // Victim shard: the live shard carrying the most tenants (ties to
+    // the lowest index), host up at `t`, not already cut at or past it.
+    let vi = shards
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| {
+            s.done.is_none() && s.watermark < t && device_up(&windows[s.host as usize], t)
+        })
+        .max_by_key(|(si, s)| (s.tenants.len(), std::cmp::Reverse(*si)))
+        .map(|(si, _)| si);
+    let Some(si) = vi else { return Ok(()) };
+    let from = shards[si].host;
+    // Destination: a different device, up at `t`, with hosting capacity
+    // for the tenant's new shard — policy-flavored like failover.
+    let cands: Vec<u32> = (0..cfg.devices)
+        .filter(|&d| {
+            d != from
+                && hosted[d as usize] < cfg.max_shards_per_device
+                && device_up(&windows[d as usize], t)
+        })
+        .collect();
+    let Some(d) = pick_destination(
+        cfg.placement,
+        &cands,
+        hosted,
+        cfg.devices,
+        shards[si].home,
+        from,
+    ) else {
+        return Ok(());
+    };
+    let sys = match shards[si].pending.take() {
+        Some(sys) => sys,
+        None => build_shard(build, cfg.ckpt, &shards[si], from, false)?,
+    };
+    let state = match sys.run_until(Some(t)).map_err(|e| on_device(from, e))? {
+        RunOutcome::Completed(report, _) => {
+            // The shard finished before the instant: nothing to migrate.
+            finish(&mut shards[si], hosted, *report, Some(from));
+            return Ok(());
+        }
+        RunOutcome::Crashed(state) => state,
+    };
+    let mut state = *state;
+    let (_k, window) = engine.begin_attempt();
+    // In the two genuinely-fatal windows a host dies mid-protocol and
+    // the crash count stands; a clean cut (and the commit-without-free
+    // window, where only the final free is lost) is a planned migration,
+    // not a host crash.
+    let genuine = matches!(
+        window,
+        Some(MigrationCrashWindow::SourceMidPrepare) | Some(MigrationCrashWindow::DestMidCopy)
+    );
+    if !genuine {
+        state.stats.crashes -= 1;
+    }
+    // The remainder continues on the source either way. It is built with
+    // the shard's FULL spec list — identical task indexing — so the cut
+    // state restores unchanged; the migrated tenant is then subtracted.
+    let mut rem = build_shard(build, cfg.ckpt, &shards[si], from, false)?;
+    rem.restore_from(&state).map_err(|e| on_device(from, e))?;
+    let victim = {
+        let mut ts = shards[si].tenants.clone();
+        ts.sort_unstable();
+        ts.into_iter().find(|&v| rem.live_tasks_of(v) > 0)
+    }
+    .expect("a cut shard has live work for some tenant");
+    let resume = state.image.as_ref().map(|i| i.at).unwrap_or(SimTime::ZERO);
+    match window {
+        Some(w @ MigrationCrashWindow::SourceMidPrepare) => {
+            // The source journaled its intent, then its host died before
+            // the destination saw anything: replay finds the bare intent
+            // and rolls the tenant back onto the source, backlog intact.
+            engine.journal_on(from, victim, from, d, MigrationPhase::Intent);
+            let rolled = engine
+                .resolve_device(from)
+                .into_iter()
+                .any(|(r, res)| r.tenant == victim && res == MigrationResolution::RollBack);
+            debug_assert!(rolled, "intent without commit must roll back");
+            engine.journal_on(from, victim, from, d, MigrationPhase::Aborted);
+            engine.truncate_device(from);
+            stats.migration_aborts += 1;
+            events.push((
+                t,
+                TraceEvent::MigrationAbort {
+                    tenant: victim,
+                    from_device: from,
+                    to_device: d,
+                    reason: w.name(),
+                },
+            ));
+            shards[si].watermark = t;
+            shards[si].pending = Some(rem);
+        }
+        Some(w @ MigrationCrashWindow::DestMidCopy) => {
+            // Both sides journaled the intent, then the destination died
+            // mid staged copy: both logs resolve the bare intent to a
+            // rollback; the destination never held anything durable.
+            engine.journal_both(victim, from, d, MigrationPhase::Intent);
+            for dev in [from, d] {
+                let rolled = engine
+                    .resolve_device(dev)
+                    .into_iter()
+                    .any(|(r, res)| r.tenant == victim && res == MigrationResolution::RollBack);
+                debug_assert!(rolled, "intent without commit must roll back");
+            }
+            engine.journal_both(victim, from, d, MigrationPhase::Aborted);
+            engine.truncate_device(from);
+            engine.truncate_device(d);
+            stats.migration_aborts += 1;
+            events.push((
+                t,
+                TraceEvent::MigrationAbort {
+                    tenant: victim,
+                    from_device: from,
+                    to_device: d,
+                    reason: w.name(),
+                },
+            ));
+            shards[si].watermark = t;
+            shards[si].pending = Some(rem);
+        }
+        other => {
+            // Commit path — clean, or the crash strikes between the
+            // commit and the source-side free.
+            let redo_free = matches!(other, Some(MigrationCrashWindow::BetweenCommitAndFree));
+            engine.journal_both(victim, from, d, MigrationPhase::Intent);
+            hosted[d as usize] += 1;
+            let mut dst_sr = ShardRun {
+                shard: shards.len() as u32,
+                home: d,
+                host: d,
+                tenants: vec![victim],
+                specs: shards[si].specs.clone(),
+                orig: shards[si].orig.clone(),
+                watermark: t,
+                failovers: 0,
+                rebalances: 0,
+                mig_touched: true,
+                mig_baseline: None,
+                pending: None,
+                done: None,
+            };
+            let mut dst = build_shard(build, cfg.ckpt, &dst_sr, d, false)?;
+            let receipt = dst
+                .migrate_in(&state, victim, cfg.migrations.delta_copy)
+                .map_err(|e| on_device(d, e))?;
+            engine.journal_both(victim, from, d, MigrationPhase::Commit);
+            // Source side: drop the tenant. The free rides along unless
+            // the crash window ate it — then journal replay finds the
+            // commit-without-free and redoes the free idempotently.
+            let manifest = rem.extract_tenant(victim, t, resume, !redo_free);
+            let freed = if redo_free {
+                let redo = engine
+                    .resolve_device(from)
+                    .into_iter()
+                    .any(|(r, res)| r.tenant == victim && res == MigrationResolution::RedoFree);
+                debug_assert!(redo, "commit without free must redo the free");
+                let freed = rem.free_migrated(victim);
+                debug_assert_eq!(
+                    rem.free_migrated(victim),
+                    0,
+                    "redoing the free is idempotent"
+                );
+                stats.migration_redone_frees += 1;
+                freed
+            } else {
+                manifest.freed_claims
+            };
+            engine.journal_both(victim, from, d, MigrationPhase::Freed);
+            engine.truncate_device(from);
+            engine.truncate_device(d);
+            stats.tenant_migrations += 1;
+            stats.migrated_claims += u64::from(receipt.migrated_claims);
+            stats.redo_time += receipt.redo_window;
+            migration_lat.record(receipt.redo_window.as_nanos());
+            events.push((
+                t,
+                TraceEvent::MigrationPrepare {
+                    tenant: victim,
+                    from_device: from,
+                    to_device: d,
+                    tasks: receipt.adopted_tasks,
+                },
+            ));
+            events.push((
+                t,
+                TraceEvent::MigrationCommit {
+                    tenant: victim,
+                    from_device: from,
+                    to_device: d,
+                    redo: receipt.redo_window,
+                },
+            ));
+            events.push((
+                t,
+                TraceEvent::MigrationFreed {
+                    tenant: victim,
+                    device: from,
+                    claims: freed,
+                    redone: redo_free,
+                },
+            ));
+            shards[si].tenants.retain(|&x| x != victim);
+            shards[si].mig_touched = true;
+            shards[si].watermark = t;
+            shards[si].pending = Some(rem);
+            dst_sr.mig_baseline = Some(receipt.baseline);
+            dst_sr.pending = Some(dst);
+            shards.push(dst_sr);
+        }
+    }
+    Ok(())
 }
 
 /// Timeline ordering for same-instant fleet events: the crash precedes
@@ -1121,7 +1477,10 @@ mod tests {
         }
         assert_eq!(
             fleet.migration_lat.count(),
-            fleet.stats.failovers + fleet.stats.rebalances + fleet.stats.software_fallbacks
+            fleet.stats.failovers
+                + fleet.stats.rebalances
+                + fleet.stats.software_fallbacks
+                + fleet.stats.tenant_migrations
         );
         assert!(fleet.stats.device_crashes >= 1);
     }
@@ -1207,6 +1566,109 @@ mod tests {
         assert_eq!(fleet.stats.software_fallbacks, 0);
         assert!(fleet.stats.backoff_retries >= 1);
         assert_eq!(fleet.shards[0].final_host, Some(DeviceId(0)));
+    }
+
+    fn mig_plan(rate: f64, max: u32, crash: Option<(u32, MigrationCrashWindow)>) -> MigrationPlan {
+        MigrationPlan {
+            seed: 0x515EED,
+            rate_per_s: rate,
+            max_migrations: max,
+            delta_copy: false,
+            crash,
+        }
+    }
+
+    #[test]
+    fn live_migration_moves_tenants_without_changing_outcomes() {
+        let (lib, ids) = lib_n(2);
+        let sp = specs(&ids);
+        let base_cfg = FleetConfig::new(2)
+            .with_max_shards_per_device(4)
+            .with_checkpoints(CheckpointConfig::new(ms(1)));
+        let baseline = run_fleet(&base_cfg, sp.clone(), builder(lib.clone())).unwrap();
+        let cfg = base_cfg.with_migrations(mig_plan(400.0, 2, None));
+        let fleet = run_fleet(&cfg, sp.clone(), builder(lib)).unwrap();
+        assert!(fleet.stats.tenant_migrations >= 1, "{:?}", fleet.stats);
+        assert_eq!(fleet.stats.migration_aborts, 0);
+        assert_eq!(fleet.stats.lost_in_flight, 0);
+        // Each migration appends a single-tenant destination shard.
+        assert_eq!(
+            fleet.shards.len(),
+            baseline.shards.len() + fleet.stats.tenant_migrations as usize
+        );
+        // Every task lands exactly once, in workload order, with the
+        // same outcome the migration-free fleet produced.
+        assert_eq!(fleet.merged.tasks.len(), sp.len());
+        for (m, s) in fleet.merged.tasks.iter().zip(&sp) {
+            assert_eq!(m.name, s.name, "merged tasks keep workload order");
+        }
+        assert!(
+            crate::checkpoint::diff_reports(&baseline.merged, &fleet.merged).is_empty(),
+            "live migration must not change task outcomes"
+        );
+        assert_eq!(
+            fleet.migration_lat.count(),
+            fleet.stats.failovers
+                + fleet.stats.rebalances
+                + fleet.stats.software_fallbacks
+                + fleet.stats.tenant_migrations
+        );
+        assert!(fleet.trace.entries().count() >= 3, "prepare/commit/freed");
+    }
+
+    #[test]
+    fn migration_crash_windows_resolve_to_baseline_outcomes() {
+        let (lib, ids) = lib_n(2);
+        let sp = specs(&ids);
+        let base_cfg = FleetConfig::new(2)
+            .with_max_shards_per_device(4)
+            .with_checkpoints(CheckpointConfig::new(ms(1)));
+        let baseline = run_fleet(&base_cfg, sp.clone(), builder(lib.clone())).unwrap();
+        for w in [
+            MigrationCrashWindow::SourceMidPrepare,
+            MigrationCrashWindow::DestMidCopy,
+            MigrationCrashWindow::BetweenCommitAndFree,
+        ] {
+            let cfg = base_cfg
+                .clone()
+                .with_migrations(mig_plan(400.0, 2, Some((0, w))));
+            let fleet = run_fleet(&cfg, sp.clone(), builder(lib.clone())).unwrap();
+            match w {
+                MigrationCrashWindow::BetweenCommitAndFree => {
+                    assert!(
+                        fleet.stats.migration_redone_frees >= 1,
+                        "{w:?}: {:?}",
+                        fleet.stats
+                    );
+                }
+                _ => {
+                    assert!(
+                        fleet.stats.migration_aborts >= 1,
+                        "{w:?}: {:?}",
+                        fleet.stats
+                    );
+                }
+            }
+            assert_eq!(fleet.stats.lost_in_flight, 0, "{w:?}");
+            assert!(
+                crate::checkpoint::diff_reports(&baseline.merged, &fleet.merged).is_empty(),
+                "crash window {w:?} must not change task outcomes"
+            );
+        }
+    }
+
+    #[test]
+    fn migration_without_checkpoint_journal_is_rejected() {
+        let (lib, ids) = lib_n(1);
+        let sp = specs(&ids);
+        let cfg = FleetConfig::new(2).with_migrations(mig_plan(100.0, 1, None));
+        let r = run_fleet(&cfg, sp.clone(), builder(lib.clone()));
+        assert!(matches!(r, Err(VfpgaError::BadFleetConfig { .. })));
+        let cfg = FleetConfig::new(2)
+            .with_checkpoints(CheckpointConfig::new(ms(1)).without_journal())
+            .with_migrations(mig_plan(100.0, 1, None));
+        let r = run_fleet(&cfg, sp, builder(lib));
+        assert!(matches!(r, Err(VfpgaError::BadFleetConfig { .. })));
     }
 
     #[test]

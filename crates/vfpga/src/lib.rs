@@ -41,7 +41,12 @@
 //!   watchdog hang detection built on the §3 a-priori latency estimate,
 //!   quarantine of misbehaving tasks, a schedulability test that rejects
 //!   provably deadline-infeasible arrivals, and graceful degradation to
-//!   software emulation with a high/low hysteresis watermark pair.
+//!   software emulation with a high/low hysteresis watermark pair,
+//! * [`migrate`] / [`fleet`] — multi-device fleets: failover of crashed
+//!   shards, and crash-safe two-phase live migration of individual
+//!   tenants between devices, journaled so a crash in any window of the
+//!   protocol is resolved by replay (intent-without-commit undone,
+//!   commit-without-free redone idempotently).
 
 pub mod admission;
 pub mod checkpoint;
@@ -51,6 +56,7 @@ pub mod fleet;
 pub mod iomux;
 pub mod manager;
 pub mod metrics;
+pub mod migrate;
 pub mod recovery;
 pub mod sched;
 pub mod syscall;
@@ -73,9 +79,11 @@ pub use fleet::{
 };
 pub use fsim::{
     CrashInjector, CrashPlan, DeviceFaultInjector, DeviceFaultPlan, FaultInjector, FaultPlan,
+    MigrationCrashWindow, MigrationPlan,
 };
 pub use manager::{Activation, DeviceUsage, FpgaManager, ManagerStats, PreemptAction, PreemptCost};
 pub use metrics::{OverheadBreakdown, Report, TaskMetrics};
+pub use migrate::{CounterBaseline, MigrateInReceipt, MigrationEngine, MigrationManifest};
 pub use recovery::{FaultStats, RecoveryPolicy, UpsetRecovery};
 pub use sched::{EdfScheduler, FifoScheduler, PriorityScheduler, RoundRobinScheduler, Scheduler};
 pub use syscall::{FpgaHandle, OpenError, OsInterface};

@@ -274,6 +274,19 @@ pub trait FpgaManager {
     /// invalidate.
     fn invalidate_image_range(&mut self, _col0: u32, _width: u32) {}
 
+    /// A migration prepare staged `cid`'s configuration frames onto
+    /// `[col0, col0 + width)` of this device (the two-phase copy wrote them
+    /// ahead of the placement flip). Managers with delta reconfiguration
+    /// enabled track the staged frames as a ghost base, so the circuit's
+    /// next activation there is priced as a frame diff (an identical image
+    /// diffs to a header-only revalidation) instead of a full download.
+    /// Returns whether a ghost is now anchored at `col0`; the default (no
+    /// delta machinery) tracks nothing and the destination pays a full
+    /// download at next activation, exactly like a failover.
+    fn implant_ghost(&mut self, _col0: u32, _width: u32, _cid: CircuitId) -> bool {
+        false
+    }
+
     /// Serialize the mutable manager state (residency tables, waiters,
     /// counters) for a system checkpoint. `None` means the policy cannot
     /// be checkpointed; [`crate::System`] then refuses to enable

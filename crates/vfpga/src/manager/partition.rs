@@ -891,6 +891,18 @@ impl FpgaManager for PartitionManager {
         self.delta.as_ref().map(|d| d.stats)
     }
 
+    fn implant_ghost(&mut self, col0: u32, width: u32, cid: CircuitId) -> bool {
+        match self.delta.as_mut() {
+            Some(dt) => {
+                dt.record_ghost(col0, width, cid, &mut self.obs);
+                // A dirty circuit refuses the ghost (record_ghost counted
+                // an invalidation); report what is actually anchored.
+                dt.base_at(col0).is_some_and(|g| g.cid == cid)
+            }
+            None => false,
+        }
+    }
+
     fn snapshot(&self) -> Option<fsim::json::Json> {
         use fsim::json::{Json, Obj};
         let opt = |t: Option<TaskId>| t.map(|t| Json::from(u64::from(t.0))).unwrap_or(Json::Null);

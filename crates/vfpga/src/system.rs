@@ -137,6 +137,7 @@ fn state_str(s: TaskState) -> &'static str {
         TaskState::Failed => "failed",
         TaskState::Quarantined => "quarantined",
         TaskState::Rejected => "rejected",
+        TaskState::Migrated => "migrated",
     }
 }
 
@@ -151,6 +152,7 @@ fn state_from_str(s: &str) -> Result<TaskState, String> {
         "failed" => TaskState::Failed,
         "quarantined" => TaskState::Quarantined,
         "rejected" => TaskState::Rejected,
+        "migrated" => TaskState::Migrated,
         other => return Err(format!("unknown task state '{other}'")),
     })
 }
@@ -516,6 +518,12 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             TraceEvent::FleetRebalance { .. } => self.reg.inc("rebalances", 1),
             TraceEvent::FleetLost { tasks, .. } => {
                 self.reg.inc("lost_in_flight", u64::from(*tasks))
+            }
+            TraceEvent::MigrationPrepare { .. } => self.reg.inc("migrations_prepared", 1),
+            TraceEvent::MigrationCommit { .. } => self.reg.inc("migrations_committed", 1),
+            TraceEvent::MigrationAbort { .. } => self.reg.inc("migrations_aborted", 1),
+            TraceEvent::MigrationFreed { claims, .. } => {
+                self.reg.inc("migration_claims_freed", u64::from(*claims))
             }
             TraceEvent::Custom { .. } => self.reg.inc("custom_events", 1),
         }
@@ -1021,6 +1029,236 @@ impl<M: FpgaManager, S: Scheduler> System<M, S> {
             torn_undone: torn,
             redo_window,
             live_tasks: self.unfinished as u32,
+        })
+    }
+
+    /// Non-terminal tasks of `tenant` still inside this system.
+    pub fn live_tasks_of(&self, tenant: u32) -> u32 {
+        self.tasks
+            .iter()
+            .filter(|t| t.spec.tenant == tenant && !t.state.is_terminal())
+            .count() as u32
+    }
+
+    /// Retire every non-terminal task matching `pred` as
+    /// [`TaskState::Migrated`]: it leaves this system (the other side of
+    /// the migration split reports its real outcome), frees its device
+    /// claims, and stops being scheduled. Pending events targeting a
+    /// retired task are pruned; scheduler entries go stale and are
+    /// skipped by dispatch. Returns how many tasks were retired.
+    fn retire_tasks_where(
+        &mut self,
+        stamp_at: SimTime,
+        resume_at: SimTime,
+        pred: impl Fn(&TaskSpec) -> bool,
+    ) -> u32 {
+        let mut gone = vec![false; self.tasks.len()];
+        let mut moved: Vec<TaskId> = Vec::new();
+        for (ti, slot) in gone.iter_mut().enumerate() {
+            if self.tasks[ti].state.is_terminal() || !pred(&self.tasks[ti].spec) {
+                continue;
+            }
+            // A task that has not even arrived yet "migrates" at its
+            // arrival — stamping earlier would record a negative lifetime.
+            let at = stamp_at.max(self.tasks[ti].spec.arrival);
+            self.tasks[ti].state = TaskState::Migrated;
+            self.tasks[ti].completed_at = at;
+            self.metrics[ti].completion = at;
+            self.poisoned[ti] = None;
+            self.unfinished -= 1;
+            *slot = true;
+            moved.push(TaskId(ti as u32));
+        }
+        if moved.is_empty() {
+            return 0;
+        }
+        if let Some(run) = &self.running {
+            if gone[run.tid.0 as usize] {
+                self.running = None;
+            }
+        }
+        let pending = self.queue.pending_in_order();
+        self.queue.clear();
+        for ev in pending {
+            let drop = match &ev.event {
+                Ev::Arrive(t) | Ev::Timer(t) | Ev::RetryDone(t) | Ev::Retry(t) => {
+                    gone[t.0 as usize]
+                }
+                Ev::Watchdog { tid, .. } => gone[tid.0 as usize],
+                _ => false,
+            };
+            if !drop {
+                self.queue.schedule_at(ev.at, ev.event);
+            }
+        }
+        for &tid in &moved {
+            let wake = self.dev.manager.task_exit(tid);
+            self.wake(wake, resume_at);
+        }
+        moved.len() as u32
+    }
+
+    /// Source half of a migration split: retire `tenant`'s tasks as
+    /// migrated (stamped at `cut_at`, the migration instant), drop the
+    /// tenant's admission state (its deferred backlog travels inside the
+    /// checkpoint image the destination restores), and — unless the free
+    /// is deferred to the journal-replay redo path (`free == false`) —
+    /// release the tenant's now-unreferenced residency claims.
+    pub fn extract_tenant(
+        &mut self,
+        tenant: u32,
+        cut_at: SimTime,
+        resume_at: SimTime,
+        free: bool,
+    ) -> crate::migrate::MigrationManifest {
+        let moved = self.retire_tasks_where(cut_at, resume_at, |s| s.tenant == tenant);
+        if let Some(adm) = self.admission.as_mut() {
+            adm.in_flight.remove(&tenant);
+            adm.deferred.remove(&tenant);
+        }
+        let freed = if free { self.free_migrated(tenant) } else { 0 };
+        self.queue.schedule_at(resume_at, Ev::Dispatch);
+        crate::migrate::MigrationManifest {
+            moved_tasks: moved,
+            freed_claims: freed,
+        }
+    }
+
+    /// Release residency claims only the migrated tenant still needs:
+    /// circuits used by `tenant`'s tasks and by no other tenant left in
+    /// this system. Shared circuits stay resident for the remaining
+    /// tenants. Idempotent — the journal-replay redo path may call it
+    /// again after a crash between commit and free, and the second call
+    /// finds nothing to discard.
+    pub fn free_migrated(&mut self, tenant: u32) -> u32 {
+        let mut exclusive: BTreeSet<u32> = BTreeSet::new();
+        for t in &self.tasks {
+            if t.spec.tenant == tenant {
+                for cid in t.spec.circuits_used() {
+                    exclusive.insert(cid.0);
+                }
+            }
+        }
+        for t in &self.tasks {
+            if t.spec.tenant != tenant {
+                for cid in t.spec.circuits_used() {
+                    exclusive.remove(&cid.0);
+                }
+            }
+        }
+        let mut freed = 0u32;
+        for claim in self.dev.manager.resident_regions() {
+            if exclusive.contains(&claim.cid.0) && self.dev.manager.discard_resident(claim.cid) {
+                freed += 1;
+            }
+        }
+        freed
+    }
+
+    /// Destination half of a migration split: adopt `tenant` from the
+    /// source shard's cut state. Restores the *whole* shard image (same
+    /// task indexing as the source, so the snapshot applies unchanged),
+    /// then retires every other tenant's tasks as migrated — they keep
+    /// running on the source remainder. The tenant's resident images are
+    /// staged-copied during prepare: with `delta` on, each lands as a
+    /// ghost the next activation revalidates header-only (the staged
+    /// frames are priced into `replay_time`, like journal replay —
+    /// background, never task-charged); with `delta` off the tenant pays
+    /// a full re-download at next activation, exactly like a failover.
+    pub fn migrate_in(
+        &mut self,
+        state: &CrashState,
+        tenant: u32,
+        delta: bool,
+    ) -> Result<crate::migrate::MigrateInReceipt, VfpgaError> {
+        let _s = span::guard("migrate_in");
+        if self.ckpt.is_none() {
+            return Err(VfpgaError::CheckpointCorrupt {
+                reason: "migrate_in requires with_checkpoints".into(),
+            });
+        }
+        self.crash = state.stats;
+        // Fresh fabric on the destination device: full capture next.
+        self.ckpt_dirty_all = true;
+        let cut_at = state.at;
+        let base = state.image.as_ref().map(|i| i.wal_len).unwrap_or(0);
+        let mut redo_window = cut_at - SimTime::ZERO;
+        let mut resume_at = SimTime::ZERO;
+        if let Some(image) = &state.image {
+            self.apply_image(image)
+                .map_err(|reason| VfpgaError::CheckpointCorrupt { reason })?;
+            self.ckpt_seq = image.seq;
+            redo_window = cut_at - image.at;
+            resume_at = image.at;
+            // The journal restarts empty on the destination: its records
+            // describe downloads to fabric that no longer exists.
+            let mut img = image.clone();
+            img.wal_len = 0;
+            self.last_ckpt = Some(img);
+        }
+        let torn = state.wal[base..]
+            .iter()
+            .filter(|r| r.in_flight_at(cut_at))
+            .count() as u32;
+        self.crash.records_undone += u64::from(torn);
+        self.dev.wal.clear();
+        // Every restored claim points at source fabric; all are
+        // discarded. The tenant's own claims are what the staged copy
+        // re-creates here — remember their geometry for the implant.
+        let tenant_circuits: BTreeSet<u32> = self
+            .tasks
+            .iter()
+            .filter(|t| t.spec.tenant == tenant)
+            .flat_map(|t| t.spec.circuits_used().into_iter().map(|c| c.0))
+            .collect();
+        let mut migrated = 0u32;
+        let mut staged: Vec<(u32, u32, crate::circuit::CircuitId)> = Vec::new();
+        for claim in self.dev.manager.resident_regions() {
+            let own = tenant_circuits.contains(&claim.cid.0);
+            if self.dev.manager.discard_resident(claim.cid) && own {
+                migrated += 1;
+                staged.push((claim.col0, claim.width, claim.cid));
+            }
+        }
+        self.dev.latent.clear();
+        self.dev.stale.clear();
+        // Everyone but the migrating tenant continues on the source.
+        self.retire_tasks_where(resume_at, resume_at, |s| s.tenant != tenant);
+        if let Some(adm) = self.admission.as_mut() {
+            adm.in_flight.retain(|k, _| *k == tenant);
+            adm.deferred.retain(|k, _| *k == tenant);
+        }
+        self.queue.schedule_at(resume_at, Ev::Dispatch);
+        // Counters restored from the image are the source's cumulative
+        // totals; the fleet subtracts this baseline from the final report
+        // so migrated work is counted exactly once. Captured before the
+        // staged copy below, so its cost shows in the increment.
+        let baseline = crate::migrate::CounterBaseline {
+            manager: self.dev.manager.stats(),
+            fault: self.fault,
+            crash: self.crash,
+            admission: self.admission.as_ref().map(|a| a.stats),
+            delta: self.dev.manager.delta_stats(),
+        };
+        let mut ghosts = 0u32;
+        if delta {
+            let timing = *self.dev.manager.timing();
+            let mut copy_cost = SimDuration::ZERO;
+            for (col0, width, cid) in staged {
+                if self.dev.manager.implant_ghost(col0, width, cid) {
+                    ghosts += 1;
+                    copy_cost += crate::manager::redownload_cost(&timing, width as usize);
+                }
+            }
+            self.crash.replay_time += copy_cost;
+        }
+        Ok(crate::migrate::MigrateInReceipt {
+            adopted_tasks: self.unfinished as u32,
+            migrated_claims: migrated,
+            ghosts_implanted: ghosts,
+            torn_undone: torn,
+            redo_window,
+            baseline,
         })
     }
 

@@ -392,3 +392,127 @@ fn untraced_run_records_nothing() {
     // beyond the system still completing — this guards the plumbing.
     assert_eq!(r.tasks.len(), 1);
 }
+
+/// Property-style accounting check for `fail_over_from`: across seeds and
+/// cut instants, the receipt's fields exactly partition the crashed
+/// shard's journal. Every WAL record is either (a) covered by the
+/// restored image (`index < image.wal_len`), (b) post-checkpoint and
+/// committed by the crash (carried implicitly — its download survives in
+/// no fabric, so it becomes a migrated claim or a cold re-download), or
+/// (c) post-checkpoint and torn mid-flight, counted in `torn_undone`.
+/// The redo window and live-task count must match an independent
+/// recomputation from the `CrashState` alone.
+#[test]
+fn failover_receipt_partitions_the_source_journal() {
+    let (lib, ids) = lib_n(3);
+    let mut crashed_cases = 0u32;
+    for seed in 0..4u64 {
+        for cut_ms in [2u64, 3, 5, 8] {
+            let specs: Vec<TaskSpec> = (0..6u32)
+                .map(|i| {
+                    fpga_task(
+                        &format!("fo{seed}_{i}"),
+                        u64::from(i) + seed % 3,
+                        ids[((u64::from(i) + seed) % ids.len() as u64) as usize],
+                        90_000 + 40_000 * ((u64::from(i) + seed) % 3),
+                    )
+                    .with_tenant(i % 2)
+                })
+                .collect();
+            let build = |specs: &[TaskSpec]| {
+                let mgr = DynLoadManager::new(lib.clone(), timing(), PreemptAction::SaveRestore);
+                System::new(
+                    lib.clone(),
+                    mgr,
+                    RoundRobinScheduler::new(ms(2)),
+                    SystemConfig::default(),
+                    specs.to_vec(),
+                )
+                .with_checkpoints(crate::checkpoint::CheckpointConfig::new(ms(1)))
+                .expect("dynload + round-robin both support snapshots")
+            };
+            let cut = SimTime::ZERO + ms(cut_ms);
+            let state = match build(&specs).run_until(Some(cut)).unwrap() {
+                crate::checkpoint::RunOutcome::Crashed(s) => *s,
+                // The whole workload finished before this cut instant;
+                // nothing to fail over. Other (seed, cut) cells cover it.
+                crate::checkpoint::RunOutcome::Completed(..) => continue,
+            };
+            crashed_cases += 1;
+
+            // Ground truth recomputed from the CrashState alone.
+            let base = state.image.as_ref().map(|i| i.wal_len).unwrap_or(0);
+            assert!(
+                base <= state.wal.len(),
+                "image cannot cover records written after its capture"
+            );
+            let torn = state.wal[base..]
+                .iter()
+                .filter(|r| r.in_flight_at(state.at))
+                .count() as u32;
+            let committed_post = (state.wal.len() - base) as u32 - torn;
+            // Partition: every journal record is image-covered, committed
+            // post-checkpoint, or torn — nothing is double-counted.
+            assert_eq!(
+                base as u32 + committed_post + torn,
+                state.wal.len() as u32,
+                "seed {seed} cut {cut_ms}ms: journal partition leaks records"
+            );
+            let expect_redo = match &state.image {
+                Some(img) => state.at - img.at,
+                None => state.at - SimTime::ZERO,
+            };
+
+            let mut dst = build(&specs);
+            let receipt = dst.fail_over_from(&state).unwrap();
+            assert_eq!(
+                receipt.torn_undone, torn,
+                "seed {seed} cut {cut_ms}ms: torn count must equal the \
+                 in-flight post-checkpoint records"
+            );
+            assert_eq!(
+                receipt.redo_window, expect_redo,
+                "seed {seed} cut {cut_ms}ms: redo window must span crash \
+                 minus restored checkpoint (whole run when cold)"
+            );
+            let live: u32 = (0..2).map(|t| dst.live_tasks_of(t)).sum();
+            assert_eq!(
+                receipt.live_tasks, live,
+                "seed {seed} cut {cut_ms}ms: receipt live tasks must match \
+                 the per-tenant live count on the destination"
+            );
+            assert!(
+                receipt.migrated_claims as usize <= ids.len(),
+                "dynload holds at most one claim per circuit"
+            );
+
+            // The destination must finish every carried task, and its
+            // final crash counters must show exactly the torn records as
+            // undone on top of the source's tally (no replays happen
+            // after a single failover).
+            let report = match dst.run_until(None).unwrap() {
+                crate::checkpoint::RunOutcome::Completed(r, _) => *r,
+                crate::checkpoint::RunOutcome::Crashed(_) => {
+                    unreachable!("run_until(None) never crashes")
+                }
+            };
+            check_invariants(&report);
+            assert_eq!(
+                report.crash.records_undone,
+                state.stats.records_undone + u64::from(torn),
+                "seed {seed} cut {cut_ms}ms: undone tally must grow by \
+                 exactly the torn records"
+            );
+            for t in &report.tasks {
+                assert!(
+                    t.failed || t.completion >= SimTime::ZERO,
+                    "carried task left unfinished"
+                );
+            }
+        }
+    }
+    assert!(
+        crashed_cases >= 8,
+        "property needs real crash coverage; only {crashed_cases} cells cut"
+    );
+}

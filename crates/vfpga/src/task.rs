@@ -163,15 +163,24 @@ pub enum TaskState {
     /// Load-shed at arrival: the tenant's quota and queue cap were both
     /// exhausted, so the task never entered the system.
     Rejected,
+    /// Live-migrated to another device: the task left *this* system and
+    /// continues on the migration destination, which reports its real
+    /// outcome. Terminal here so the source shard can drain; never a
+    /// final fleet-level outcome (the destination's row wins the merge).
+    Migrated,
 }
 
 impl TaskState {
     /// Whether the task has left the system (completed, failed,
-    /// quarantined, or rejected).
+    /// quarantined, rejected, or migrated away).
     pub fn is_terminal(self) -> bool {
         matches!(
             self,
-            TaskState::Done | TaskState::Failed | TaskState::Quarantined | TaskState::Rejected
+            TaskState::Done
+                | TaskState::Failed
+                | TaskState::Quarantined
+                | TaskState::Rejected
+                | TaskState::Migrated
         )
     }
 }
